@@ -1,0 +1,43 @@
+//! # vqmc-autodiff
+//!
+//! A small reverse-mode automatic-differentiation tape over
+//! [`vqmc_tensor::Matrix`] values.
+//!
+//! ## Why this crate exists
+//!
+//! The paper this workspace reproduces ran on PyTorch, whose autograd
+//! provided the per-sample gradients `∇θ log ψθ(x)` that drive VQMC's
+//! Eq. 5 estimators.  The Rust ML ecosystem is thin on autodiff, so the
+//! hot path in `vqmc-nn` uses *hand-derived analytic backprop* instead —
+//! and this tape is the **verification oracle** that keeps those manual
+//! derivations honest: every analytic gradient is tested against (a) this
+//! tape and (b) central finite differences.
+//!
+//! The tape is tensor-valued (each node holds a whole `Matrix`), supports
+//! exactly the operations the paper's two architectures need (dense and
+//! masked matmuls, row-bias broadcast, ReLU / Sigmoid / ln-cosh,
+//! Bernoulli log-likelihoods, reductions), and is deliberately simple
+//! rather than fast.
+//!
+//! ## Example
+//!
+//! ```
+//! use vqmc_autodiff::Tape;
+//! use vqmc_tensor::Matrix;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.input(Matrix::from_rows(&[&[1.0, 2.0]]));        // 1x2
+//! let w = tape.input(Matrix::from_rows(&[&[3.0], &[4.0]]));     // 2x1
+//! let y = tape.matmul_nn(x, w);                                  // 1x1 = [11]
+//! let loss = tape.sum(y);
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(w).as_slice(), &[1.0, 2.0]);              // d(loss)/dw = x^T
+//! ```
+
+#![warn(missing_docs)]
+
+mod numeric;
+mod tape;
+
+pub use numeric::{central_diff_gradient, check_gradient};
+pub use tape::{Gradients, Tape, TensorId};

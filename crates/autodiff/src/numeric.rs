@@ -1,0 +1,83 @@
+//! Finite-difference utilities: the second, independent gradient oracle.
+
+/// Central-difference gradient of a scalar function `f` at `x0` with step
+/// `h`: `g_i ≈ (f(x + h e_i) − f(x − h e_i)) / 2h`.
+pub fn central_diff_gradient(f: &dyn Fn(&[f64]) -> f64, x0: &[f64], h: f64) -> Vec<f64> {
+    let mut x = x0.to_vec();
+    let mut grad = Vec::with_capacity(x0.len());
+    for i in 0..x0.len() {
+        let orig = x[i];
+        x[i] = orig + h;
+        let fp = f(&x);
+        x[i] = orig - h;
+        let fm = f(&x);
+        x[i] = orig;
+        grad.push((fp - fm) / (2.0 * h));
+    }
+    grad
+}
+
+/// Asserts that `analytic` matches the central-difference gradient of `f`
+/// at `x0` to tolerance `tol` (mixed absolute/relative).  Returns the
+/// largest observed deviation for diagnostics.
+///
+/// Panics with a labelled message on the first mismatching coordinate.
+pub fn check_gradient(
+    label: &str,
+    f: &dyn Fn(&[f64]) -> f64,
+    x0: &[f64],
+    analytic: &[f64],
+    tol: f64,
+) -> f64 {
+    assert_eq!(
+        x0.len(),
+        analytic.len(),
+        "{label}: gradient length mismatch"
+    );
+    let numeric = central_diff_gradient(f, x0, 1e-6);
+    let mut worst = 0.0f64;
+    for (i, (a, n)) in analytic.iter().zip(&numeric).enumerate() {
+        let scale = a.abs().max(n.abs()).max(1.0);
+        let dev = (a - n).abs() / scale;
+        worst = worst.max(dev);
+        assert!(
+            dev <= tol,
+            "{label}: coordinate {i}: analytic {a} vs numeric {n} (relative deviation {dev:.3e} > {tol:.1e})"
+        );
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient() {
+        // f(x) = sum x_i^2, grad = 2x.
+        let f = |xs: &[f64]| xs.iter().map(|x| x * x).sum::<f64>();
+        let x0 = [1.0, -2.0, 0.5];
+        let g = central_diff_gradient(&f, &x0, 1e-6);
+        for (gi, xi) in g.iter().zip(&x0) {
+            assert!((gi - 2.0 * xi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn check_gradient_accepts_correct() {
+        let f = |xs: &[f64]| xs[0].sin() + xs[1] * xs[1];
+        let x0 = [0.7f64, 1.3];
+        let analytic = [x0[0].cos(), 2.0 * x0[1]];
+        let worst = check_gradient("sin+sq", &f, &x0, &analytic, 1e-6);
+        assert!(worst < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate 0")]
+    fn check_gradient_rejects_wrong() {
+        let f = |xs: &[f64]| xs[0] * xs[0];
+        let x0 = [2.0];
+        let wrong = [1.0]; // true gradient is 4.0
+        check_gradient("wrong", &f, &x0, &wrong, 1e-6);
+    }
+}

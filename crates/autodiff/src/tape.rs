@@ -1,0 +1,546 @@
+//! The reverse-mode tape itself.
+
+use vqmc_tensor::{ops, Matrix};
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TensorId(usize);
+
+/// The operation that produced a node, with parent handles.
+///
+/// Each variant documents its vector-Jacobian product (the backward
+/// rule applied in [`Tape::backward`]).
+enum Op {
+    /// Leaf node: an input or parameter.
+    Input,
+    /// `C = A + B` elementwise. `dA += dC`, `dB += dC`.
+    Add(usize, usize),
+    /// `C = A - B` elementwise. `dA += dC`, `dB -= dC`.
+    Sub(usize, usize),
+    /// `C = A ⊙ B` elementwise. `dA += dC ⊙ B`, `dB += dC ⊙ A`.
+    Mul(usize, usize),
+    /// `C = A * B` (`A: m×k`, `B: k×n`). `dA += dC B^T`, `dB += A^T dC`.
+    MatMulNN(usize, usize),
+    /// `C = A * B^T` (`A: m×k`, `B: n×k`). `dA += dC B`, `dB += dC^T A`.
+    MatMulNT(usize, usize),
+    /// `C = A + 1·b` (bias `b: 1×n` broadcast over rows).
+    /// `dA += dC`, `db += column-sum(dC)`.
+    AddRowBias(usize, usize),
+    /// `C = relu(A)`. `dA += dC ⊙ 1{A > 0}`.
+    Relu(usize),
+    /// `C = σ(A)`. `dA += dC ⊙ C(1-C)`.
+    Sigmoid(usize),
+    /// `C = ln cosh(A)`. `dA += dC ⊙ tanh(A)`.
+    LnCosh(usize),
+    /// `C = c · A`. `dA += c · dC`.
+    Scale(usize, f64),
+    /// `C = A ⊙ M` for a constant mask `M`. `dA += dC ⊙ M`.
+    MulConst(usize, Matrix),
+    /// Scalar `C = Σ_ij A_ij` (1×1). `dA += dC · 1`.
+    Sum(usize),
+    /// Row reduction `C[i,0] = Σ_j A_ij` (m×1). `dA[i,j] += dC[i,0]`.
+    RowSum(usize),
+    /// Fused Bernoulli log-likelihood: given logits `A` (m×n) and a
+    /// constant target matrix `T ∈ {0,1}^{m×n}`,
+    /// `C[i,0] = Σ_j T_ij ln σ(A_ij) + (1-T_ij) ln(1-σ(A_ij))`.
+    /// `dA[i,j] += dC[i,0] · (T_ij − σ(A_ij))`.
+    ///
+    /// This is exactly MADE's per-sample log-probability, fused for
+    /// numerical stability (no intermediate `σ` underflow).
+    BernoulliLogProb(usize, Matrix),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// Gradients of a scalar output with respect to every node on the tape.
+pub struct Gradients {
+    grads: Vec<Matrix>,
+}
+
+impl Gradients {
+    /// Gradient with respect to node `id` (same shape as its value).
+    pub fn get(&self, id: TensorId) -> &Matrix {
+        &self.grads[id.0]
+    }
+}
+
+/// A reverse-mode tape of tensor operations.
+///
+/// Record a computation with the builder methods, then call
+/// [`Tape::backward`] on a scalar (1×1) node to obtain gradients with
+/// respect to every recorded node.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: TensorId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> TensorId {
+        self.nodes.push(Node { value, op });
+        TensorId(self.nodes.len() - 1)
+    }
+
+    /// Records a leaf (input / parameter) node.
+    pub fn input(&mut self, value: Matrix) -> TensorId {
+        self.push(value, Op::Input)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let mut v = self.value(a).clone();
+        v.axpy(1.0, self.value(b));
+        self.push(v, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let mut v = self.value(a).clone();
+        v.axpy(-1.0, self.value(b));
+        self.push(v, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let mut v = self.value(a).clone();
+        v.hadamard_inplace(self.value(b));
+        self.push(v, Op::Mul(a.0, b.0))
+    }
+
+    /// Matrix product `A * B`.
+    pub fn matmul_nn(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).matmul_nn(self.value(b));
+        self.push(v, Op::MatMulNN(a.0, b.0))
+    }
+
+    /// Matrix product `A * B^T` (the FC-layer layout).
+    pub fn matmul_nt(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).matmul_nt(self.value(b));
+        self.push(v, Op::MatMulNT(a.0, b.0))
+    }
+
+    /// Broadcast-adds a `1×n` bias node to every row of `a`.
+    pub fn add_row_bias(&mut self, a: TensorId, bias: TensorId) -> TensorId {
+        let bias_mat = self.value(bias);
+        assert_eq!(bias_mat.rows(), 1, "add_row_bias: bias must be 1×n");
+        let bias_vec: vqmc_tensor::Vector = bias_mat.row(0).to_vec().into();
+        let mut v = self.value(a).clone();
+        v.add_row_bias(&bias_vec);
+        self.push(v, Op::AddRowBias(a.0, bias.0))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(ops::relu);
+        self.push(v, Op::Relu(a.0))
+    }
+
+    /// Elementwise sigmoid.
+    pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(ops::sigmoid);
+        self.push(v, Op::Sigmoid(a.0))
+    }
+
+    /// Elementwise `ln cosh`.
+    pub fn ln_cosh(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(ops::ln_cosh);
+        self.push(v, Op::LnCosh(a.0))
+    }
+
+    /// Scalar multiple `c · A`.
+    pub fn scale(&mut self, a: TensorId, c: f64) -> TensorId {
+        let mut v = self.value(a).clone();
+        v.scale(c);
+        self.push(v, Op::Scale(a.0, c))
+    }
+
+    /// Hadamard product with a constant mask (MADE's weight masks).
+    pub fn mul_const(&mut self, a: TensorId, mask: Matrix) -> TensorId {
+        let mut v = self.value(a).clone();
+        v.hadamard_inplace(&mask);
+        self.push(v, Op::MulConst(a.0, mask))
+    }
+
+    /// Full reduction to a 1×1 scalar node.
+    pub fn sum(&mut self, a: TensorId) -> TensorId {
+        let s = self.value(a).sum();
+        self.push(Matrix::from_vec(1, 1, vec![s]), Op::Sum(a.0))
+    }
+
+    /// Per-row reduction: `m×n → m×1`.
+    pub fn row_sum(&mut self, a: TensorId) -> TensorId {
+        let m = self.value(a);
+        let v = Matrix::from_vec(
+            m.rows(),
+            1,
+            m.rows_iter().map(|r| r.iter().sum()).collect(),
+        );
+        self.push(v, Op::RowSum(a.0))
+    }
+
+    /// Fused per-sample Bernoulli log-likelihood of constant targets
+    /// under `logits`:
+    /// `out[i] = Σ_j t_ij ln σ(l_ij) + (1 − t_ij) ln(1 − σ(l_ij))`.
+    pub fn bernoulli_log_prob(&mut self, logits: TensorId, targets: Matrix) -> TensorId {
+        let l = self.value(logits);
+        assert_eq!(l.shape(), targets.shape(), "bernoulli_log_prob: shape mismatch");
+        let v = Matrix::from_vec(
+            l.rows(),
+            1,
+            (0..l.rows())
+                .map(|i| {
+                    l.row(i)
+                        .iter()
+                        .zip(targets.row(i))
+                        .map(|(&logit, &t)| {
+                            if t > 0.5 {
+                                ops::log_sigmoid(logit)
+                            } else {
+                                ops::log_one_minus_sigmoid(logit)
+                            }
+                        })
+                        .sum()
+                })
+                .collect(),
+        );
+        self.push(v, Op::BernoulliLogProb(logits.0, targets))
+    }
+
+    /// Reverse pass from a scalar (1×1) node; returns gradients for every
+    /// node on the tape.
+    pub fn backward(&self, output: TensorId) -> Gradients {
+        let out_node = &self.nodes[output.0];
+        assert_eq!(
+            out_node.value.shape(),
+            (1, 1),
+            "backward: output must be a 1×1 scalar node"
+        );
+        let mut grads: Vec<Matrix> = self
+            .nodes
+            .iter()
+            .map(|n| Matrix::zeros(n.value.rows(), n.value.cols()))
+            .collect();
+        grads[output.0].set(0, 0, 1.0);
+
+        for idx in (0..=output.0).rev() {
+            // Leaves keep their accumulated gradient; nothing to propagate.
+            if matches!(self.nodes[idx].op, Op::Input) {
+                continue;
+            }
+            // Take the output gradient by value so we can mutate parents.
+            let g = std::mem::replace(&mut grads[idx], Matrix::zeros(0, 0));
+            match &self.nodes[idx].op {
+                Op::Input => unreachable!(),
+                Op::Add(a, b) => {
+                    grads[*a].axpy(1.0, &g);
+                    grads[*b].axpy(1.0, &g);
+                }
+                Op::Sub(a, b) => {
+                    grads[*a].axpy(1.0, &g);
+                    grads[*b].axpy(-1.0, &g);
+                }
+                Op::Mul(a, b) => {
+                    let mut ga = g.clone();
+                    ga.hadamard_inplace(&self.nodes[*b].value);
+                    grads[*a].axpy(1.0, &ga);
+                    let mut gb = g.clone();
+                    gb.hadamard_inplace(&self.nodes[*a].value);
+                    grads[*b].axpy(1.0, &gb);
+                }
+                Op::MatMulNN(a, b) => {
+                    // C = A B: dA = dC B^T, dB = A^T dC.
+                    let da = g.matmul_nt(&self.nodes[*b].value);
+                    grads[*a].axpy(1.0, &da);
+                    let db = self.nodes[*a].value.matmul_tn(&g);
+                    grads[*b].axpy(1.0, &db);
+                }
+                Op::MatMulNT(a, b) => {
+                    // C = A B^T: dA = dC B, dB = dC^T A.
+                    let da = g.matmul_nn(&self.nodes[*b].value);
+                    grads[*a].axpy(1.0, &da);
+                    let db = g.matmul_tn(&self.nodes[*a].value);
+                    grads[*b].axpy(1.0, &db);
+                }
+                Op::AddRowBias(a, bias) => {
+                    grads[*a].axpy(1.0, &g);
+                    // Column-sum of g into the 1×n bias gradient.
+                    let cols = g.cols();
+                    let mut col_sum = vec![0.0; cols];
+                    for row in g.rows_iter() {
+                        for (s, v) in col_sum.iter_mut().zip(row) {
+                            *s += v;
+                        }
+                    }
+                    grads[*bias].axpy(1.0, &Matrix::from_vec(1, cols, col_sum));
+                }
+                Op::Relu(a) => {
+                    let mut ga = g.clone();
+                    let av = &self.nodes[*a].value;
+                    for (gv, &x) in ga.as_mut_slice().iter_mut().zip(av.as_slice()) {
+                        *gv *= ops::relu_prime(x);
+                    }
+                    grads[*a].axpy(1.0, &ga);
+                }
+                Op::Sigmoid(a) => {
+                    let mut ga = g.clone();
+                    let sv = &self.nodes[idx].value;
+                    for (gv, &s) in ga.as_mut_slice().iter_mut().zip(sv.as_slice()) {
+                        *gv *= ops::sigmoid_prime_from_value(s);
+                    }
+                    grads[*a].axpy(1.0, &ga);
+                }
+                Op::LnCosh(a) => {
+                    let mut ga = g.clone();
+                    let av = &self.nodes[*a].value;
+                    for (gv, &x) in ga.as_mut_slice().iter_mut().zip(av.as_slice()) {
+                        *gv *= ops::ln_cosh_prime(x);
+                    }
+                    grads[*a].axpy(1.0, &ga);
+                }
+                Op::Scale(a, c) => {
+                    grads[*a].axpy(*c, &g);
+                }
+                Op::MulConst(a, mask) => {
+                    let mut ga = g.clone();
+                    ga.hadamard_inplace(mask);
+                    grads[*a].axpy(1.0, &ga);
+                }
+                Op::Sum(a) => {
+                    let s = g.get(0, 0);
+                    let (r, c) = self.nodes[*a].value.shape();
+                    let ones = Matrix::from_fn(r, c, |_, _| s);
+                    grads[*a].axpy(1.0, &ones);
+                }
+                Op::RowSum(a) => {
+                    let (r, c) = self.nodes[*a].value.shape();
+                    let expand = Matrix::from_fn(r, c, |i, _| g.get(i, 0));
+                    grads[*a].axpy(1.0, &expand);
+                }
+                Op::BernoulliLogProb(a, targets) => {
+                    let lv = &self.nodes[*a].value;
+                    let (r, c) = lv.shape();
+                    let mut ga = Matrix::zeros(r, c);
+                    for i in 0..r {
+                        let gi = g.get(i, 0);
+                        let l_row = lv.row(i);
+                        let t_row = targets.row(i);
+                        let out = ga.row_mut(i);
+                        for j in 0..c {
+                            out[j] = gi * (t_row[j] - ops::sigmoid(l_row[j]));
+                        }
+                    }
+                    grads[*a].axpy(1.0, &ga);
+                }
+            }
+        }
+        // Restore zero-shape placeholders for intermediate nodes we
+        // consumed: gradients of non-leaf nodes are rarely queried, but
+        // keep shapes consistent for the API.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if grads[idx].shape() == (0, 0) {
+                grads[idx] = Matrix::zeros(node.value.rows(), node.value.cols());
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(tape: &Tape, id: TensorId) -> f64 {
+        tape.value(id).get(0, 0)
+    }
+
+    #[test]
+    fn add_sub_gradients() {
+        let mut t = Tape::new();
+        let a = t.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = t.input(Matrix::from_rows(&[&[3.0, 4.0]]));
+        let c = t.add(a, b);
+        let d = t.sub(c, a); // d = b
+        let s = t.sum(d);
+        assert_eq!(scalar(&t, s), 7.0);
+        let g = t.backward(s);
+        assert_eq!(g.get(a).as_slice(), &[0.0, 0.0]);
+        assert_eq!(g.get(b).as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_gradient_is_other_operand() {
+        let mut t = Tape::new();
+        let a = t.input(Matrix::from_rows(&[&[2.0, 3.0]]));
+        let b = t.input(Matrix::from_rows(&[&[5.0, 7.0]]));
+        let c = t.mul(a, b);
+        let s = t.sum(c);
+        let g = t.backward(s);
+        assert_eq!(g.get(a).as_slice(), &[5.0, 7.0]);
+        assert_eq!(g.get(b).as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_nn_gradients() {
+        let mut t = Tape::new();
+        let x = t.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let w = t.input(Matrix::from_rows(&[&[3.0], &[4.0]]));
+        let y = t.matmul_nn(x, w);
+        assert_eq!(scalar(&t, y), 11.0);
+        let s = t.sum(y);
+        let g = t.backward(s);
+        assert_eq!(g.get(x).as_slice(), &[3.0, 4.0]);
+        assert_eq!(g.get(w).as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_nn_with_transpose() {
+        let mut t = Tape::new();
+        let x = t.input(Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]));
+        let w = t.input(Matrix::from_rows(&[&[2.0, 1.0], &[-1.0, 4.0], &[0.0, 1.0]]));
+        let y = t.matmul_nt(x, w); // 2x3
+        let s = t.sum(y);
+        let g = t.backward(s);
+
+        let mut t2 = Tape::new();
+        let x2 = t2.input(Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]));
+        let wt = t2.input(
+            Matrix::from_rows(&[&[2.0, 1.0], &[-1.0, 4.0], &[0.0, 1.0]]).transpose(),
+        );
+        let y2 = t2.matmul_nn(x2, wt);
+        let s2 = t2.sum(y2);
+        let g2 = t2.backward(s2);
+
+        assert!(g.get(x).max_abs_diff(g2.get(x2)) < 1e-12);
+        assert!(g.get(w).max_abs_diff(&g2.get(wt).transpose()) < 1e-12);
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut t = Tape::new();
+        let x = t.input(Matrix::zeros(3, 2));
+        let b = t.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let y = t.add_row_bias(x, b);
+        let s = t.sum(y);
+        assert_eq!(scalar(&t, s), 3.0 * 3.0); // 3 rows * (1+2)
+        let g = t.backward(s);
+        assert_eq!(g.get(b).as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn activation_gradients_match_finite_diff() {
+        use crate::numeric::central_diff_gradient;
+        let x0 = [0.5, -1.3, 2.0, -0.1];
+
+        for act in 0..3 {
+            let f = |xs: &[f64]| {
+                let mut t = Tape::new();
+                let x = t.input(Matrix::from_vec(1, 4, xs.to_vec()));
+                let y = match act {
+                    0 => t.relu(x),
+                    1 => t.sigmoid(x),
+                    _ => t.ln_cosh(x),
+                };
+                let s = t.sum(y);
+                t.value(s).get(0, 0)
+            };
+            let numeric = central_diff_gradient(&f, &x0, 1e-6);
+
+            let mut t = Tape::new();
+            let x = t.input(Matrix::from_vec(1, 4, x0.to_vec()));
+            let y = match act {
+                0 => t.relu(x),
+                1 => t.sigmoid(x),
+                _ => t.ln_cosh(x),
+            };
+            let s = t.sum(y);
+            let g = t.backward(s);
+            for (an, nu) in g.get(x).as_slice().iter().zip(&numeric) {
+                assert!((an - nu).abs() < 1e-6, "act {act}: {an} vs {nu}");
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_log_prob_value_and_gradient() {
+        use vqmc_tensor::ops::sigmoid;
+        let logits = [0.3, -1.2];
+        let targets = Matrix::from_rows(&[&[1.0, 0.0]]);
+
+        let mut t = Tape::new();
+        let l = t.input(Matrix::from_vec(1, 2, logits.to_vec()));
+        let lp = t.bernoulli_log_prob(l, targets.clone());
+        let expected = sigmoid(0.3).ln() + (1.0 - sigmoid(-1.2)).ln();
+        assert!((t.value(lp).get(0, 0) - expected).abs() < 1e-12);
+
+        let s = t.sum(lp);
+        let g = t.backward(s);
+        // d/dl = t - sigmoid(l)
+        assert!((g.get(l).get(0, 0) - (1.0 - sigmoid(0.3))).abs() < 1e-12);
+        assert!((g.get(l).get(0, 1) - (0.0 - sigmoid(-1.2))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_blocks_gradient_flow() {
+        let mut t = Tape::new();
+        let w = t.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let mask = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let wm = t.mul_const(w, mask);
+        let s = t.sum(wm);
+        let g = t.backward(s);
+        assert_eq!(g.get(w).row(0), &[1.0, 0.0]);
+        assert_eq!(g.get(w).row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn row_sum_gradient_broadcasts() {
+        let mut t = Tape::new();
+        let x = t.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let r = t.row_sum(x);
+        let half = t.scale(r, 0.5);
+        let s = t.sum(half);
+        assert_eq!(scalar(&t, s), 5.0);
+        let g = t.backward(s);
+        assert!(g.get(x).as_slice().iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn reused_node_accumulates_gradient() {
+        // f = sum(a ⊙ a) -> df/da = 2a.
+        let mut t = Tape::new();
+        let a = t.input(Matrix::from_rows(&[&[3.0, -2.0]]));
+        let sq = t.mul(a, a);
+        let s = t.sum(sq);
+        let g = t.backward(s);
+        assert_eq!(g.get(a).as_slice(), &[6.0, -4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1×1")]
+    fn backward_from_non_scalar_panics() {
+        let mut t = Tape::new();
+        let a = t.input(Matrix::zeros(2, 2));
+        let _ = t.backward(a);
+    }
+}

@@ -1,0 +1,119 @@
+//! Exact maximum cut by exhaustive enumeration — the oracle behind the
+//! approximation-ratio tests and the small-instance EXPERIMENTS entries.
+
+use vqmc_hamiltonian::Graph;
+
+/// Exact maximum cut for `n ≤ 26` vertices.
+///
+/// Enumerates the `2^{n−1}` partitions with vertex 0 fixed on side 0
+/// (complement symmetry halves the work), updating the cut value by the
+/// *delta* of the single bit that changes along a Gray-code walk — `O(deg)`
+/// per step instead of `O(|E|)`.
+pub fn brute_force(graph: &Graph) -> (Vec<u8>, usize) {
+    let n = graph.num_vertices();
+    assert!(n >= 1, "brute_force: empty graph");
+    assert!(n <= 26, "brute_force: n = {n} is too large to enumerate");
+
+    // Adjacency lists for O(deg) flip deltas.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in graph.edges() {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+
+    let mut x = vec![0u8; n];
+    let mut cut = 0i64;
+    let mut best_cut = 0i64;
+    let mut best_x = x.clone();
+
+    // Gray-code walk over the free bits 1..n.
+    let free = n - 1;
+    let total = 1u64 << free;
+    for g in 1..total {
+        // Index of the bit that flips between Gray(g-1) and Gray(g).
+        let changed = g.trailing_zeros() as usize + 1; // skip fixed vertex 0
+        // Delta: edges from `changed` to neighbours flip cut membership.
+        let side = x[changed];
+        let mut delta = 0i64;
+        for &nb in &adj[changed] {
+            if x[nb] == side {
+                delta += 1; // becomes cut
+            } else {
+                delta -= 1; // becomes uncut
+            }
+        }
+        x[changed] ^= 1;
+        cut += delta;
+        if cut > best_cut {
+            best_cut = cut;
+            best_x = x.clone();
+        }
+    }
+    (best_x, best_cut as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_max_cut_is_two() {
+        let g = Graph::complete(3);
+        let (x, cut) = brute_force(&g);
+        assert_eq!(cut, 2);
+        assert_eq!(g.cut_value(&x), 2);
+    }
+
+    #[test]
+    fn even_cycle_fully_cuttable() {
+        let g = Graph::cycle(8);
+        let (_, cut) = brute_force(&g);
+        assert_eq!(cut, 8);
+    }
+
+    #[test]
+    fn odd_cycle_loses_one_edge() {
+        let g = Graph::cycle(9);
+        let (_, cut) = brute_force(&g);
+        assert_eq!(cut, 8);
+    }
+
+    #[test]
+    fn complete_graph_formula() {
+        // Max cut of K_n is ⌊n/2⌋·⌈n/2⌉.
+        for n in 2..=9 {
+            let g = Graph::complete(n);
+            let (_, cut) = brute_force(&g);
+            assert_eq!(cut, (n / 2) * n.div_ceil(2), "K_{n}");
+        }
+    }
+
+    #[test]
+    fn bipartite_graph_cuts_everything() {
+        // K_{3,4}: all 12 edges cuttable.
+        let edges: Vec<(usize, usize)> = (0..3).flat_map(|a| (3..7).map(move |b| (a, b))).collect();
+        let g = Graph::from_edges(7, edges);
+        let (_, cut) = brute_force(&g);
+        assert_eq!(cut, 12);
+    }
+
+    #[test]
+    fn gray_walk_matches_naive_enumeration() {
+        let g = Graph::random_bernoulli(12, 17);
+        let (_, fast) = brute_force(&g);
+        // Naive reference.
+        let mut best = 0;
+        for bits in 0..(1u32 << 12) {
+            let x: Vec<u8> = (0..12).map(|i| ((bits >> i) & 1) as u8).collect();
+            best = best.max(g.cut_value(&x));
+        }
+        assert_eq!(fast, best);
+    }
+
+    #[test]
+    fn returned_assignment_achieves_reported_cut() {
+        let g = Graph::random_bernoulli(14, 23);
+        let (x, cut) = brute_force(&g);
+        assert_eq!(g.cut_value(&x), cut);
+    }
+}

@@ -1,0 +1,267 @@
+//! Burer–Monteiro low-rank factorisation of the Max-Cut SDP, optimised
+//! by Riemannian gradient descent on the product of unit spheres.
+//!
+//! The Max-Cut SDP relaxation is
+//!
+//! ```text
+//! max  Σ_{(i,j)∈E} (1 − X_ij)/2    s.t. X ⪰ 0, X_ii = 1,
+//! ```
+//!
+//! and Burer–Monteiro substitutes `X = V Vᵀ` with `V ∈ ℝ^{n×k}`, turning
+//! the conic program into smooth optimisation over unit rows
+//! (`‖v_i‖ = 1`) — the manifold `(S^{k−1})ⁿ`.  For `k > √(2n)`
+//! (Barvinok–Pataki) second-order points of the factorised problem are
+//! globally optimal for the SDP in the generic case; with `k = n` the
+//! equivalence is unconditional, which is how [`crate::goemans_williamson`]
+//! obtains the true SDP optimum.
+//!
+//! The solver is projected Riemannian gradient ascent with backtracking
+//! line search — the first-order core of the Riemannian trust-region
+//! method the paper cites (Absil et al. 2007); the trust-region outer
+//! loop adds robustness the smooth sphere geometry doesn't need here
+//! (the tests verify convergence to the known SDP optima).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use vqmc_hamiltonian::Graph;
+use vqmc_tensor::Matrix;
+
+/// Burer–Monteiro solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BmConfig {
+    /// Factorisation rank `k`; `None` selects `⌈√(2n)⌉ + 1`.
+    pub rank: Option<usize>,
+    /// Maximum gradient-ascent iterations.
+    pub max_iter: usize,
+    /// Stop when the Riemannian gradient norm falls below this.
+    pub grad_tol: f64,
+}
+
+impl Default for BmConfig {
+    fn default() -> Self {
+        BmConfig {
+            rank: None,
+            max_iter: 1000,
+            grad_tol: 1e-6,
+        }
+    }
+}
+
+/// A solved factorisation.
+#[derive(Clone, Debug)]
+pub struct BmSolution {
+    /// Row-normalised factor `V (n×k)`.
+    pub v: Matrix,
+    /// SDP objective value `Σ_{(i,j)∈E} (1 − v_i·v_j)/2` — an upper
+    /// bound on the maximum cut.
+    pub sdp_value: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final Riemannian gradient norm.
+    pub grad_norm: f64,
+}
+
+/// The Burer–Monteiro Max-Cut solver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BurerMonteiro {
+    /// Solver configuration.
+    pub config: BmConfig,
+}
+
+impl BurerMonteiro {
+    /// Creates a solver.
+    pub fn new(config: BmConfig) -> Self {
+        BurerMonteiro { config }
+    }
+
+    /// Default rank `⌈√(2n)⌉ + 1`.
+    pub fn default_rank(n: usize) -> usize {
+        ((2.0 * n as f64).sqrt().ceil() as usize + 1).min(n.max(1))
+    }
+
+    /// Solves the factorised SDP for `graph`.
+    pub fn solve(&self, graph: &Graph, rng: &mut StdRng) -> BmSolution {
+        let n = graph.num_vertices();
+        let k = self.config.rank.unwrap_or_else(|| Self::default_rank(n));
+        assert!(k >= 1, "BurerMonteiro: zero rank");
+
+        // Random start on the manifold.
+        let mut v = Matrix::from_fn(n, k, |_, _| gaussian(rng));
+        normalize_rows(&mut v);
+
+        // Objective: f(V) = Σ_E (1 − v_i·v_j)/2.  Ascent direction uses
+        // ∇_{v_i} f = −½ Σ_{j∈N(i)} v_j, projected onto the tangent.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in graph.edges() {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+
+        let mut step = 1.0f64;
+        let mut value = sdp_objective(graph, &v);
+        let mut grad_norm = f64::INFINITY;
+        let mut iterations = 0;
+
+        for it in 0..self.config.max_iter {
+            iterations = it + 1;
+            // Euclidean gradient of the *ascent* objective.
+            let mut grad = Matrix::zeros(n, k);
+            for i in 0..n {
+                let gi = grad.row_mut(i);
+                for &j in &adj[i] {
+                    // Borrow discipline: copy neighbour row (k is small).
+                    for (g, &vj) in gi.iter_mut().zip(v.row(j)) {
+                        *g -= 0.5 * vj;
+                    }
+                }
+            }
+            // Project onto the tangent space of each sphere.
+            for i in 0..n {
+                let radial = vqmc_tensor::vector::dot(grad.row(i), v.row(i));
+                let vi: Vec<f64> = v.row(i).to_vec();
+                vqmc_tensor::vector::axpy(grad.row_mut(i), -radial, &vi);
+            }
+            grad_norm = grad.frobenius_norm();
+            if grad_norm < self.config.grad_tol {
+                break;
+            }
+
+            // Backtracking line search on the retraction (row renorm).
+            let mut accepted = false;
+            for _ in 0..40 {
+                let mut trial = v.clone();
+                trial.axpy(step, &grad);
+                normalize_rows(&mut trial);
+                let trial_value = sdp_objective(graph, &trial);
+                if trial_value > value + 1e-12 {
+                    v = trial;
+                    value = trial_value;
+                    step = (step * 1.5).min(10.0);
+                    accepted = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !accepted {
+                break; // line search stalled at a stationary point
+            }
+        }
+
+        BmSolution {
+            v,
+            sdp_value: value,
+            iterations,
+            grad_norm,
+        }
+    }
+}
+
+/// The SDP objective `Σ_{(i,j)∈E} (1 − v_i·v_j)/2`.
+pub fn sdp_objective(graph: &Graph, v: &Matrix) -> f64 {
+    graph
+        .edges()
+        .iter()
+        .map(|&(a, b)| (1.0 - vqmc_tensor::vector::dot(v.row(a), v.row(b))) / 2.0)
+        .sum()
+}
+
+fn normalize_rows(v: &mut Matrix) {
+    for i in 0..v.rows() {
+        let row = v.row_mut(i);
+        let norm = vqmc_tensor::vector::dot(row, row).sqrt();
+        assert!(norm > 0.0, "zero row cannot be normalised");
+        for x in row {
+            *x /= norm;
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (keeps `rand_distr` out of the
+/// dependency set).
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_rule() {
+        assert_eq!(BurerMonteiro::default_rank(50), 11);
+        assert!(BurerMonteiro::default_rank(2) <= 2);
+    }
+
+    #[test]
+    fn rows_stay_on_sphere() {
+        let g = Graph::random_bernoulli(20, 3);
+        let sol = BurerMonteiro::default().solve(&g, &mut StdRng::seed_from_u64(1));
+        for i in 0..20 {
+            let norm = vqmc_tensor::vector::dot(sol.v.row(i), sol.v.row(i));
+            assert!((norm - 1.0).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn sdp_value_upper_bounds_max_cut() {
+        let g = Graph::random_bernoulli(16, 9);
+        let sol = BurerMonteiro::default().solve(&g, &mut StdRng::seed_from_u64(2));
+        let (_, opt) = crate::brute_force(&g);
+        assert!(
+            sol.sdp_value >= opt as f64 - 1e-6,
+            "SDP {} below OPT {opt}",
+            sol.sdp_value
+        );
+        // And not absurdly loose: the SDP is at most OPT/0.878.
+        assert!(sol.sdp_value <= opt as f64 / 0.8785 + 1e-6);
+    }
+
+    #[test]
+    fn bipartite_sdp_is_tight() {
+        // On bipartite graphs the SDP equals the max cut (all edges cut,
+        // antipodal vectors).
+        let edges: Vec<(usize, usize)> = (0..4).flat_map(|a| (4..8).map(move |b| (a, b))).collect();
+        let g = Graph::from_edges(8, edges);
+        let sol = BurerMonteiro::default().solve(&g, &mut StdRng::seed_from_u64(3));
+        assert!(
+            (sol.sdp_value - 16.0).abs() < 1e-4,
+            "SDP {} should be 16",
+            sol.sdp_value
+        );
+    }
+
+    #[test]
+    fn triangle_sdp_known_value() {
+        // SDP optimum of K₃ is 3·(1−cos(2π/3))/2 = 9/4.
+        let g = Graph::complete(3);
+        let cfg = BmConfig {
+            rank: Some(3),
+            max_iter: 4000,
+            grad_tol: 1e-10,
+        };
+        let sol = BurerMonteiro::new(cfg).solve(&g, &mut StdRng::seed_from_u64(4));
+        assert!(
+            (sol.sdp_value - 2.25).abs() < 1e-3,
+            "SDP {} should be 2.25",
+            sol.sdp_value
+        );
+    }
+
+    #[test]
+    fn gaussian_moments_sane() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

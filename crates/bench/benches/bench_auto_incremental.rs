@@ -1,0 +1,33 @@
+//! Ablation bench (DESIGN.md): naive Algorithm-1 AUTO sampling (n full
+//! forward passes) vs the incremental hidden-state-caching sampler.
+//! The two are bit-identical in output; the bench quantifies the
+//! `O(n)`-fold work reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vqmc_nn::{made_hidden_size, Made};
+use vqmc_sampler::{AutoSampler, IncrementalAutoSampler, Sampler};
+
+const BATCH: usize = 32;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auto_naive_vs_incremental");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let wf = Made::new(n, made_hidden_size(n), 1);
+        group.bench_with_input(BenchmarkId::new("naive", n), &wf, |b, wf| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(AutoSampler.sample(wf, BATCH, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &wf, |b, wf| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(IncrementalAutoSampler.sample(wf, BATCH, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

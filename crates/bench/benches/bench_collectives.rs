@@ -1,0 +1,52 @@
+//! Ablation bench (DESIGN.md): the tree allreduce across topologies and
+//! gradient sizes — the real data-combination cost of the virtual
+//! cluster (modelled link time is accounted separately by SimClock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vqmc_cluster::{allreduce_mean_tree, Topology};
+use vqmc_tensor::Vector;
+
+fn vectors(l: usize, len: usize) -> Vec<Vector> {
+    (0..l)
+        .map(|r| Vector::from_fn(len, |i| ((r * 131 + i * 7) % 97) as f64))
+        .collect()
+}
+
+fn bench_device_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_devices");
+    let len = 1 << 16; // ~ the d of a mid-size MADE
+    for topo in Topology::paper_configurations() {
+        let l = topo.num_devices();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(topo.label()),
+            &topo,
+            |b, topo| {
+                b.iter_batched(
+                    || vectors(l, len),
+                    |vs| black_box(allreduce_mean_tree(vs, topo)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gradient_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_bytes");
+    let topo = Topology::new(4, 4);
+    for &len in &[1usize << 12, 1 << 16, 1 << 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter_batched(
+                || vectors(16, len),
+                |vs| black_box(allreduce_mean_tree(vs, &topo)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_device_counts, bench_gradient_sizes);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation bench: model-parallel (hidden-sharded) MADE forward pass vs
+//! the dense forward — the execution cost of the paper's §4 avenue (1),
+//! implemented in `vqmc-core::model_parallel`.  The interesting numbers
+//! are the modelled comm volumes (printed by `comm_comparison` tests);
+//! this bench measures the real orchestration overhead of sharding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vqmc_cluster::{Cluster, DeviceSpec, Topology};
+use vqmc_core::model_parallel::ShardedMade;
+use vqmc_nn::{Made, WaveFunction};
+use vqmc_tensor::SpinBatch;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_parallel_forward");
+    group.sample_size(10);
+    let (n, h, bs) = (64usize, 64usize, 128usize);
+    let made = Made::new(n, h, 1);
+    let batch = SpinBatch::from_fn(bs, n, |s, i| (((s + 1) * (i + 3)) % 2) as u8);
+
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(made.log_psi(&batch)))
+    });
+    for &shards in &[2usize, 4, 8] {
+        let sharded = ShardedMade::from_made(&made, shards);
+        group.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &sharded,
+            |b, sharded| {
+                let mut cluster = Cluster::new(Topology::new(1, shards), DeviceSpec::v100());
+                b.iter(|| black_box(sharded.log_psi_distributed(&mut cluster, &batch)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! The Table-1 kernel as a criterion micro-benchmark: one sampling call
+//! of AUTO (MADE) vs MCMC (RBM, paper settings) across problem sizes.
+//! The wall-clock ratio here is the engine behind the paper's 20-50x
+//! training-time gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vqmc_nn::{made_hidden_size, rbm_hidden_size, Made, Rbm};
+use vqmc_sampler::{AutoSampler, McmcSampler, Sampler};
+
+const BATCH: usize = 64;
+
+fn bench_auto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auto_sampling");
+    group.sample_size(10);
+    for &n in &[20usize, 50, 100] {
+        let wf = Made::new(n, made_hidden_size(n), 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &wf, |b, wf| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| black_box(AutoSampler.sample(wf, BATCH, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcmc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcmc_sampling");
+    group.sample_size(10);
+    for &n in &[20usize, 50, 100] {
+        let wf = Rbm::new(n, rbm_hidden_size(n), 1);
+        let sampler = McmcSampler::default(); // 2 chains, k = 3n + 100
+        group.bench_with_input(BenchmarkId::from_parameter(n), &wf, |b, wf| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| black_box(sampler.sample_rbm(wf, BATCH, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_auto, bench_mcmc);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation bench (DESIGN.md): stochastic-reconfiguration solve cost as
+//! a function of the CG tolerance and the regulariser λ — the knobs of
+//! the paper's §5.1 SR setting (λ = 1e-3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vqmc_nn::{Made, WaveFunction};
+use vqmc_optim::{SrConfig, StochasticReconfiguration};
+use vqmc_tensor::{SpinBatch, Vector};
+
+fn setup(n: usize, bs: usize) -> (vqmc_tensor::Matrix, Vector) {
+    let wf = Made::new(n, 2 * n, 1);
+    let batch = SpinBatch::from_fn(bs, n, |s, i| (((s + 1) * (i + 3)) % 2) as u8);
+    let o_rows = wf.per_sample_grads(&batch);
+    let grad = Vector::from_fn(wf.num_params(), |k| ((k as f64) * 0.37).sin() * 1e-2);
+    (o_rows, grad)
+}
+
+fn bench_sr_lambda(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sr_lambda");
+    group.sample_size(10);
+    let (o_rows, grad) = setup(24, 128);
+    for &lambda in &[1e-1, 1e-3, 1e-5] {
+        let sr = StochasticReconfiguration::new(SrConfig {
+            lambda,
+            ..SrConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{lambda:e}")),
+            &sr,
+            |b, sr| b.iter(|| black_box(sr.precondition(&o_rows, &grad))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sr_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sr_batch_size");
+    group.sample_size(10);
+    for &bs in &[32usize, 128, 512] {
+        let (o_rows, grad) = setup(24, bs);
+        let sr = StochasticReconfiguration::default();
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, _| {
+            b.iter(|| black_box(sr.precondition(&o_rows, &grad)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sr_lambda, bench_sr_batch);
+criterion_main!(benches);

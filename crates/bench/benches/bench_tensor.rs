@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the dense kernels: GEMM variants across sizes
+//! straddling the rayon crossover threshold, validating the
+//! `PAR_THRESHOLD_ELEMS` design choice called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vqmc_tensor::{gemm, Matrix};
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 500.0 - 1.0
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nt");
+    // Shapes mirroring the FC forward pass Y[bs,h] = X[bs,n] W[h,n]^T at
+    // the paper's policy h = 5(ln n)^2.
+    for &(bs, n) in &[(64usize, 50usize), (256, 100), (1024, 200)] {
+        let h = {
+            let ln = (n as f64).ln();
+            (5.0 * ln * ln).round() as usize
+        };
+        let x = mat(bs, n, 1);
+        let w = mat(h, n, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("bs{bs}_n{n}_h{h}")),
+            &(x, w),
+            |b, (x, w)| b.iter(|| black_box(gemm::gemm_nt(x, w))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gemm_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_variants_256");
+    let a = mat(256, 256, 3);
+    let b_ = mat(256, 256, 4);
+    group.bench_function("nt", |bch| bch.iter(|| black_box(gemm::gemm_nt(&a, &b_))));
+    group.bench_function("nn", |bch| bch.iter(|| black_box(gemm::gemm_nn(&a, &b_))));
+    group.bench_function("tn", |bch| bch.iter(|| black_box(gemm::gemm_tn(&a, &b_))));
+    group.bench_function("reference", |bch| {
+        bch.iter(|| black_box(gemm::gemm_reference(&a, &b_)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gemm_variants);
+criterion_main!(benches);

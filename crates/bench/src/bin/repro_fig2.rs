@@ -1,0 +1,94 @@
+//! **Figure 2** — training curves on TIM: energy (red in the paper) and
+//! the standard deviation of the stochastic objective (blue), for
+//! RBM&MCMC vs MADE&AUTO across problem sizes.
+//!
+//! Paper shape to reproduce: MADE&AUTO converges rapidly and stably at
+//! every size; RBM&MCMC degrades as `n` grows (low-quality MCMC samples
+//! misestimate the population energy).
+//!
+//! ```sh
+//! cargo run --release -p vqmc-bench --bin repro_fig2 [-- --csv fig2.csv]
+//! ```
+
+use vqmc_bench::{parse_scale, write_csv, Table};
+use vqmc_core::{OptimizerChoice, Trainer, TrainerConfig, TrainingTrace};
+use vqmc_hamiltonian::TransverseFieldIsing;
+use vqmc_nn::{made_hidden_size, rbm_hidden_size, Made, Rbm};
+use vqmc_sampler::{AutoSampler, McmcSampler, RbmFastMcmc};
+
+fn run_pair(n: usize, iterations: usize, batch: usize) -> (TrainingTrace, TrainingTrace) {
+    let h = TransverseFieldIsing::random(n, 1000 + n as u64);
+    let config = TrainerConfig {
+        iterations,
+        batch_size: batch,
+        optimizer: OptimizerChoice::paper_default(),
+        ..TrainerConfig::paper_default(7)
+    };
+    let mut auto = Trainer::new(Made::new(n, made_hidden_size(n), 1), AutoSampler, config);
+    let auto_trace = auto.run(&h);
+    let mut mcmc = Trainer::new(
+        Rbm::new(n, rbm_hidden_size(n), 1),
+        RbmFastMcmc(McmcSampler::default()),
+        config,
+    );
+    let mcmc_trace = mcmc.run(&h);
+    (auto_trace, mcmc_trace)
+}
+
+/// Crude terminal sparkline of a series (high = worse energy).
+fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|v| GLYPHS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    let scale = parse_scale(&[10, 20, 40], &[20, 50, 100, 200, 500], 120);
+    println!(
+        "Figure 2 reproduction: training curves, {} iterations, batch {}\n",
+        scale.iterations, scale.batch_size
+    );
+
+    let mut csv = Table::new(&["n", "method", "iter", "energy", "std"]);
+    for &n in &scale.dims {
+        let (auto, mcmc) = run_pair(n, scale.iterations, scale.batch_size);
+        let stride = (scale.iterations / 60).max(1);
+        let a_curve: Vec<f64> = auto.records.iter().step_by(stride).map(|r| r.energy).collect();
+        let m_curve: Vec<f64> = mcmc.records.iter().step_by(stride).map(|r| r.energy).collect();
+        println!("n = {n}");
+        println!("  MADE&AUTO energy {}", sparkline(&a_curve));
+        println!("  RBM&MCMC  energy {}", sparkline(&m_curve));
+        println!(
+            "  final: AUTO {:.3} (std {:.3})   MCMC {:.3} (std {:.3})\n",
+            auto.final_energy(),
+            auto.records.last().unwrap().std_dev,
+            mcmc.final_energy(),
+            mcmc.records.last().unwrap().std_dev,
+        );
+        for (method, trace) in [("MADE&AUTO", &auto), ("RBM&MCMC", &mcmc)] {
+            for (it, rec) in trace.records.iter().enumerate() {
+                csv.row(vec![
+                    n.to_string(),
+                    method.into(),
+                    it.to_string(),
+                    format!("{:.6}", rec.energy),
+                    format!("{:.6}", rec.std_dev),
+                ]);
+            }
+        }
+    }
+    if let Some(path) = &scale.csv {
+        write_csv(&csv, path);
+    } else {
+        println!("(pass --csv fig2.csv to dump the full curves)");
+    }
+    println!(
+        "Shape check: AUTO curves descend monotonically with shrinking std at \
+         every n; MCMC curves stagnate sooner as n grows."
+    );
+}

@@ -1,0 +1,105 @@
+//! **Figure 4** — normalised converged energy vs device count at a
+//! fixed per-device batch of 4 (effective batch `4·L`): the energy
+//! improves with `L` and saturates earlier for smaller problems.
+//!
+//! This is the Table 6 sweep with each problem size's energies divided
+//! by the largest-magnitude value in its series, printed as a compact
+//! matrix plus terminal bars.
+//!
+//! ```sh
+//! cargo run --release -p vqmc-bench --bin repro_fig4 [-- --dims 16,32,64]
+//! ```
+
+use vqmc_bench::{parse_scale, write_csv, Table};
+use vqmc_cluster::{Cluster, DeviceSpec, Topology};
+use vqmc_core::{DistributedConfig, DistributedTrainer, OptimizerChoice};
+use vqmc_hamiltonian::TransverseFieldIsing;
+use vqmc_nn::{made_hidden_size, Made};
+use vqmc_sampler::IncrementalAutoSampler;
+
+fn main() {
+    let scale = parse_scale(&[16, 32, 64], &[20, 50, 100, 200, 500, 1000], 60);
+    let mbs = 4usize;
+    println!(
+        "Figure 4 reproduction: normalised converged energy vs #GPUs, \
+         mbs = {mbs}, {} iterations\n",
+        scale.iterations
+    );
+
+    // Distinct device counts in ascending order (the figure's x-axis).
+    let device_counts = [1usize, 2, 4, 8, 16, 24];
+    let topo_for = |l: usize| match l {
+        1 => Topology::new(1, 1),
+        2 => Topology::new(1, 2),
+        4 => Topology::new(1, 4),
+        8 => Topology::new(2, 4),
+        16 => Topology::new(4, 4),
+        24 => Topology::new(6, 4),
+        _ => unreachable!(),
+    };
+
+    let mut headers: Vec<String> = vec!["L".into(), "eff.batch".into()];
+    for &n in &scale.dims {
+        headers.push(format!("n={n}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for &n in &scale.dims {
+        let hidden = made_hidden_size(n);
+        let h = TransverseFieldIsing::random(n, 1000 + n as u64);
+        let energies: Vec<f64> = device_counts
+            .iter()
+            .map(|&l| {
+                let cluster = Cluster::new(topo_for(l), DeviceSpec::v100());
+                let wf = Made::new(n, hidden, 1);
+                let config = DistributedConfig {
+                    iterations: scale.iterations,
+                    minibatch_per_device: mbs,
+                    optimizer: OptimizerChoice::paper_default(),
+                    local_energy: Default::default(),
+                    seed: 9,
+                    cost_hidden: hidden,
+                    cost_offdiag: n,
+                };
+                let mut t =
+                    DistributedTrainer::new(cluster, wf, IncrementalAutoSampler, config);
+                t.run(&h).final_energy()
+            })
+            .collect();
+        series.push(energies);
+    }
+
+    // Normalise per problem size by the largest magnitude in the series.
+    for (row_idx, &l) in device_counts.iter().enumerate() {
+        let mut row = vec![l.to_string(), (mbs * l).to_string()];
+        for s in &series {
+            let norm = s.iter().map(|e| e.abs()).fold(0.0, f64::max);
+            row.push(format!("{:.3}", s[row_idx] / norm));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    println!("\nterminal view (each column: deeper bar = closer to best energy):");
+    for (col, &n) in scale.dims.iter().enumerate() {
+        let norm = series[col].iter().map(|e| e.abs()).fold(0.0, f64::max);
+        print!("  n={n:<6}");
+        for (row_idx, _) in device_counts.iter().enumerate() {
+            let frac = (series[col][row_idx] / norm).abs().clamp(0.0, 1.0);
+            let blocks = (frac * 8.0).round() as usize;
+            print!(" {}", "█".repeat(blocks.max(1)));
+        }
+        println!();
+    }
+
+    if let Some(path) = &scale.csv {
+        write_csv(&table, path);
+    }
+    println!(
+        "\nShape check: within each column the normalised energy approaches \
+         1.0 as L grows; small problems saturate at small L, larger problems \
+         keep improving — the paper's batch-size/exploration effect."
+    );
+}

@@ -1,0 +1,152 @@
+//! **Table 1** — training time on TIM for a fixed iteration budget on
+//! one device: RBM&MCMC (ADAM) vs MADE&AUTO (ADAM).
+//!
+//! Three columns of time are reported, because the substrate matters:
+//!
+//! * **passes/iter** — batched forward passes per training iteration,
+//!   the paper's own cost unit (its Figure 1): `1 + k + bs·j/c` for
+//!   MCMC vs `n + 1` for AUTO.  This is substrate-independent.
+//! * **modelled V100 s** — pass count × launch overhead + flops at the
+//!   device rate.  The paper's Table 1 numbers are launch-overhead
+//!   dominated, and this model reproduces their shape (MADE&AUTO
+//!   roughly an order of magnitude faster, both roughly linear in `n`).
+//! * **wall s** — real single-core CPU time of this simulation.  On a
+//!   serial substrate the batch axis is *not* free, which flips parts
+//!   of the comparison; EXPERIMENTS.md discusses this honestly.  The
+//!   incremental AUTO row shows the comparison with the batch-axis
+//!   redundancy removed.
+//!
+//! ```sh
+//! cargo run --release -p vqmc-bench --bin repro_table1 [-- --full]
+//! ```
+
+use vqmc_bench::{parse_scale, write_csv, Table};
+use vqmc_cluster::DeviceSpec;
+use vqmc_core::{cost, OptimizerChoice, Trainer, TrainerConfig, TrainingTrace};
+use vqmc_hamiltonian::TransverseFieldIsing;
+use vqmc_nn::{made_hidden_size, rbm_hidden_size, Made, Rbm};
+use vqmc_sampler::{AutoSampler, IncrementalAutoSampler, McmcSampler, RbmFastMcmc};
+
+struct RowInput {
+    model: &'static str,
+    sampler: &'static str,
+    trace: TrainingTrace,
+    hidden: usize,
+    sampling_flops: f64,
+}
+
+fn main() {
+    let scale = parse_scale(&[10, 20, 40, 80], &[20, 50, 100, 200, 500], 50);
+    println!(
+        "Table 1 reproduction: training time, {} iterations, batch {}\n",
+        scale.iterations, scale.batch_size
+    );
+    let spec = DeviceSpec::v100();
+    let mut table = Table::new(&[
+        "model",
+        "sampler",
+        "n",
+        "passes/iter",
+        "modelled V100 s",
+        "wall s",
+    ]);
+
+    for &n in &scale.dims {
+        let h = TransverseFieldIsing::random(n, 1000 + n as u64);
+        let config = TrainerConfig {
+            iterations: scale.iterations,
+            batch_size: scale.batch_size,
+            optimizer: OptimizerChoice::paper_default(),
+            ..TrainerConfig::paper_default(7)
+        };
+        let bs = scale.batch_size;
+
+        let mut rows: Vec<RowInput> = Vec::new();
+
+        // RBM & MCMC, paper settings (2 chains, k = 3n + 100), full
+        // forward passes per sweep — the fast cached path would be an
+        // optimisation the paper's implementation did not have, so the
+        // pass accounting uses the batched-forward cost. (Training
+        // itself uses the cached path for wall-clock sanity; the pass
+        // count is identical.)
+        {
+            let rbm_h = rbm_hidden_size(n);
+            let mut t = Trainer::new(
+                Rbm::new(n, rbm_h, 1),
+                RbmFastMcmc(McmcSampler::default()),
+                config,
+            );
+            let trace = t.run(&h);
+            let steps = cost::mcmc_steps(bs, 2, 3 * n + 100, 1);
+            rows.push(RowInput {
+                model: "RBM",
+                sampler: "MCMC",
+                trace,
+                hidden: rbm_h,
+                sampling_flops: cost::mcmc_sampling_flops(2, steps, n, rbm_h),
+            });
+        }
+
+        // MADE & AUTO — naive Algorithm 1 (the paper's accounting).
+        {
+            let made_h = made_hidden_size(n);
+            let mut t = Trainer::new(Made::new(n, made_h, 1), AutoSampler, config);
+            let trace = t.run(&h);
+            rows.push(RowInput {
+                model: "MADE",
+                sampler: "AUTO",
+                trace,
+                hidden: made_h,
+                sampling_flops: cost::auto_sampling_flops(bs, n, made_h),
+            });
+        }
+
+        // MADE & AUTO — incremental sampler (our optimisation; same
+        // distribution, same pass count in the paper's unit).
+        {
+            let made_h = made_hidden_size(n);
+            let mut t = Trainer::new(Made::new(n, made_h, 1), IncrementalAutoSampler, config);
+            let trace = t.run(&h);
+            rows.push(RowInput {
+                model: "MADE",
+                sampler: "AUTO(incr)",
+                trace,
+                hidden: made_h,
+                sampling_flops: cost::auto_sampling_flops_incremental(bs, n, made_h),
+            });
+        }
+
+        for r in rows {
+            let passes_per_iter = r.trace.records[0].sample_stats.forward_passes
+                + 2 /* measurement neighbour pass + own-batch backward */;
+            let iter_flops = r.sampling_flops
+                + cost::measurement_flops(bs, n, r.hidden, n)
+                + cost::backward_flops(bs, n, r.hidden);
+            // Measurement adds ceil(bs·n / chunk) + 1 more passes; count
+            // the dominant single neighbour pass for the summary unit.
+            let modelled =
+                cost::modelled_pass_time(passes_per_iter, iter_flops, &spec)
+                    * scale.iterations as f64;
+            table.row(vec![
+                r.model.into(),
+                r.sampler.into(),
+                n.to_string(),
+                passes_per_iter.to_string(),
+                format!("{modelled:.2}"),
+                format!("{:.2}", r.trace.total_secs),
+            ]);
+        }
+    }
+    table.print();
+    if let Some(path) = &scale.csv {
+        write_csv(&table, path);
+    }
+    println!(
+        "\nShape checks (paper's Table 1, in the modelled column): \
+         MADE&AUTO is roughly an order of magnitude cheaper than RBM&MCMC \
+         at every n, and both grow roughly linearly in n.\n\
+         The wall column shows the single-core caveat: with no parallel \
+         batch axis, naive AUTO pays its O(n) redundant forward passes \
+         for real; the incremental sampler removes them."
+    );
+}

@@ -1,0 +1,201 @@
+//! **Table 2** — converged objective values for Max-Cut (maximise cut)
+//! and TIM (minimise energy), averaged over seeds:
+//!
+//! * classical rows: Random, Goemans–Williamson, Burer–Monteiro;
+//! * VQMC rows: {RBM&MCMC, MADE&AUTO} × {SGD, ADAM, SGD+SR}.
+//!
+//! Paper shape to reproduce: MADE&AUTO ≳ RBM&MCMC everywhere (the gap
+//! exploding at large `n` for TIM), SR improving every architecture,
+//! MADE&AUTO+SR competitive with the SDP solvers on Max-Cut.
+//!
+//! ```sh
+//! cargo run --release -p vqmc-bench --bin repro_table2 [-- --full]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vqmc_baselines::{brute_force, goemans_williamson, random_cut, BurerMonteiro};
+use vqmc_bench::{mean_std, parse_scale, write_csv, Table};
+use vqmc_core::{OptimizerChoice, Trainer, TrainerConfig};
+use vqmc_hamiltonian::{MaxCut, SparseRowHamiltonian, TransverseFieldIsing};
+use vqmc_nn::{made_hidden_size, rbm_hidden_size, Made, Rbm};
+use vqmc_sampler::{AutoSampler, McmcSampler, RbmFastMcmc};
+
+fn optimizers() -> [OptimizerChoice; 3] {
+    [
+        OptimizerChoice::Sgd { lr: 0.1 },
+        OptimizerChoice::Adam { lr: 0.01 },
+        OptimizerChoice::paper_sr(),
+    ]
+}
+
+fn main() {
+    let scale = parse_scale(&[12, 16, 20], &[20, 50, 100, 200, 500], 120);
+    println!(
+        "Table 2 reproduction: converged objectives, {} iterations, batch {}, {} seeds\n",
+        scale.iterations, scale.batch_size, scale.seeds
+    );
+    let mut table = Table::new(&["problem", "model", "sampler", "optimizer", "n", "objective"]);
+
+    // ---------------- Max-Cut ----------------
+    for &n in &scale.dims {
+        let mc = MaxCut::random(n, 500 + n as u64);
+        let graph = mc.graph();
+
+        // Classical baselines, averaged over seeds.
+        let mut rand_vals = Vec::new();
+        let mut gw_vals = Vec::new();
+        let mut bm_vals = Vec::new();
+        for seed in 0..scale.seeds as u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            rand_vals.push(random_cut(graph, 1, &mut rng).1 as f64);
+            let gw = goemans_williamson(graph, 100, &mut rng);
+            gw_vals.push(gw.cut as f64);
+            let bm = BurerMonteiro::default().solve(graph, &mut rng);
+            let (mut x, _) = vqmc_baselines::hyperplane_round(graph, &bm.v, 100, &mut rng);
+            bm_vals.push(vqmc_baselines::local_search_1opt(graph, &mut x) as f64);
+        }
+        for (label, vals) in [
+            ("Random", &rand_vals),
+            ("Goemans-Williamson", &gw_vals),
+            ("Burer-Monteiro", &bm_vals),
+        ] {
+            let (m, s) = mean_std(vals);
+            table.row(vec![
+                "Max-Cut".into(),
+                "Classical".into(),
+                "-".into(),
+                label.into(),
+                n.to_string(),
+                format!("{m:.1} ± {s:.1}"),
+            ]);
+        }
+        if n <= 22 {
+            let (_, opt) = brute_force(graph);
+            table.row(vec![
+                "Max-Cut".into(),
+                "Classical".into(),
+                "-".into(),
+                "Brute force (exact)".into(),
+                n.to_string(),
+                format!("{opt}"),
+            ]);
+        }
+
+        // VQMC rows: score = mean cut of a fresh evaluation batch.
+        for opt_choice in optimizers() {
+            let mut rbm_scores = Vec::new();
+            let mut made_scores = Vec::new();
+            for seed in 0..scale.seeds as u64 {
+                let config = TrainerConfig {
+                    iterations: scale.iterations,
+                    batch_size: scale.batch_size,
+                    optimizer: opt_choice,
+                    ..TrainerConfig::paper_default(seed)
+                };
+                let mut t = Trainer::new(
+                    Rbm::new(n, rbm_hidden_size(n), seed),
+                    RbmFastMcmc(McmcSampler::default()),
+                    config,
+                );
+                t.run(&mc);
+                let eval = t.evaluate(&mc, scale.batch_size);
+                rbm_scores.push(-eval.stats.mean);
+
+                let mut t = Trainer::new(
+                    Made::new(n, made_hidden_size(n), seed),
+                    AutoSampler,
+                    config,
+                );
+                t.run(&mc);
+                let eval = t.evaluate(&mc, scale.batch_size);
+                made_scores.push(-eval.stats.mean);
+            }
+            let (m, s) = mean_std(&rbm_scores);
+            table.row(vec![
+                "Max-Cut".into(),
+                "RBM".into(),
+                "MCMC".into(),
+                opt_choice.label().into(),
+                n.to_string(),
+                format!("{m:.1} ± {s:.1}"),
+            ]);
+            let (m, s) = mean_std(&made_scores);
+            table.row(vec![
+                "Max-Cut".into(),
+                "MADE".into(),
+                "AUTO".into(),
+                opt_choice.label().into(),
+                n.to_string(),
+                format!("{m:.1} ± {s:.1}"),
+            ]);
+        }
+    }
+
+    // ---------------- TIM ----------------
+    for &n in &scale.dims {
+        let h = TransverseFieldIsing::random(n, 900 + n as u64);
+        if n <= 12 {
+            let gs = vqmc_hamiltonian::ground_state(&h, 300, 1e-10);
+            table.row(vec![
+                "TIM".into(),
+                "Exact".into(),
+                "-".into(),
+                "Lanczos".into(),
+                n.to_string(),
+                format!("{:.2}", gs.energy),
+            ]);
+        }
+        for opt_choice in optimizers() {
+            for (model, scores) in [("RBM", 0usize), ("MADE", 1)] {
+                let mut vals = Vec::new();
+                for seed in 0..scale.seeds as u64 {
+                    let config = TrainerConfig {
+                        iterations: scale.iterations,
+                        batch_size: scale.batch_size,
+                        optimizer: opt_choice,
+                        ..TrainerConfig::paper_default(seed)
+                    };
+                    let energy = if scores == 0 {
+                        let mut t = Trainer::new(
+                            Rbm::new(n, rbm_hidden_size(n), seed),
+                            RbmFastMcmc(McmcSampler::default()),
+                            config,
+                        );
+                        t.run(&h);
+                        t.evaluate(&h, scale.batch_size).stats.mean
+                    } else {
+                        let mut t = Trainer::new(
+                            Made::new(n, made_hidden_size(n), seed),
+                            AutoSampler,
+                            config,
+                        );
+                        t.run(&h);
+                        t.evaluate(&h, scale.batch_size).stats.mean
+                    };
+                    vals.push(energy);
+                }
+                let (m, s) = mean_std(&vals);
+                table.row(vec![
+                    "TIM".into(),
+                    model.into(),
+                    if scores == 0 { "MCMC" } else { "AUTO" }.into(),
+                    opt_choice.label().into(),
+                    n.to_string(),
+                    format!("{m:.2} ± {s:.2}"),
+                ]);
+            }
+        }
+        let _ = h.num_spins();
+    }
+
+    table.print();
+    if let Some(path) = &scale.csv {
+        write_csv(&table, path);
+    }
+    println!(
+        "\nShape checks: (1) SR rows dominate their SGD/ADAM siblings; \
+         (2) MADE&AUTO ≥ RBM&MCMC, increasingly so at larger n; \
+         (3) MADE&AUTO+SR is within a few percent of Burer-Monteiro on Max-Cut."
+    );
+}

@@ -1,0 +1,81 @@
+//! **Table 6 / Figure 4** — converged energy and running time for TIM
+//! as the device count grows with a *fixed* per-device minibatch of 4:
+//! the effective batch is `4·L`, and the paper's observation is that
+//! the converged energy improves with `L` (more exploration) while the
+//! time stays flat.
+//!
+//! This binary actually *trains* at every `(n, topology)` cell (real
+//! sampling, real gradients, real allreduces on the virtual cluster)
+//! and reports the converged energy plus the modelled time.
+//!
+//! ```sh
+//! cargo run --release -p vqmc-bench --bin repro_table6 [-- --dims 20,50]
+//! ```
+
+use vqmc_bench::{parse_scale, write_csv, Table};
+use vqmc_cluster::{Cluster, DeviceSpec, Topology};
+use vqmc_core::{DistributedConfig, DistributedTrainer, OptimizerChoice};
+use vqmc_hamiltonian::TransverseFieldIsing;
+use vqmc_nn::{made_hidden_size, Made};
+use vqmc_sampler::IncrementalAutoSampler;
+
+fn main() {
+    let scale = parse_scale(&[20, 50], &[20, 50, 100, 200, 500], 60);
+    let mbs = 4usize; // the paper's Table 6 setting
+    println!(
+        "Table 6 / Figure 4 reproduction: energy & modelled time vs GPU \
+         configuration, mbs = {mbs}, {} iterations\n",
+        scale.iterations
+    );
+
+    let mut table = Table::new(&[
+        "config",
+        "L",
+        "eff.batch",
+        "n",
+        "energy",
+        "modelled s",
+        "wall s",
+    ]);
+    for &n in &scale.dims {
+        let hidden = made_hidden_size(n);
+        let h = TransverseFieldIsing::random(n, 1000 + n as u64);
+        for topo in Topology::paper_configurations() {
+            let label = topo.label();
+            let l = topo.num_devices();
+            let cluster = Cluster::new(topo, DeviceSpec::v100());
+            let wf = Made::new(n, hidden, 1);
+            let config = DistributedConfig {
+                iterations: scale.iterations,
+                minibatch_per_device: mbs,
+                optimizer: OptimizerChoice::paper_default(),
+                local_energy: Default::default(),
+                seed: 9,
+                cost_hidden: hidden,
+                cost_offdiag: n,
+            };
+            let mut t = DistributedTrainer::new(cluster, wf, IncrementalAutoSampler, config);
+            let trace = t.run(&h);
+            table.row(vec![
+                label,
+                l.to_string(),
+                (mbs * l).to_string(),
+                n.to_string(),
+                format!("{:.2}", trace.final_energy()),
+                format!("{:.4}", t.elapsed_modelled()),
+                format!("{:.2}", trace.total_secs),
+            ]);
+        }
+    }
+    table.print();
+    if let Some(path) = &scale.csv {
+        write_csv(&table, path);
+    }
+    println!(
+        "\nShape checks (the paper's Table 6): at fixed n, energy improves \
+         (grows in magnitude) as L increases — saturating for small n — \
+         while the modelled time stays nearly constant.\n\
+         Figure 4 is this table with each n-column divided by its \
+         largest-magnitude entry."
+    );
+}

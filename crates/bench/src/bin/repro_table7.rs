@@ -1,0 +1,75 @@
+//! **Table 7** — the raw weak-scaling data behind Figure 3: running
+//! time for TIM problems of every dimension, each device loaded with
+//! the memory-saturating minibatch, across all GPU configurations.
+//!
+//! Unlike `repro_fig3` (which *executes* scaled-down sampling rounds),
+//! this binary evaluates the full modelled iteration time — sampling +
+//! measurement + backward + the two collectives — at the paper's exact
+//! parameters, for every `(n, topology)` cell.  The compute terms come
+//! from the flop model; the collective terms from real tree allreduces
+//! of gradient-sized buffers over each topology's link model.
+//!
+//! Paper shape to reproduce: each column (fixed n) is constant in L.
+//!
+//! ```sh
+//! cargo run --release -p vqmc-bench --bin repro_table7
+//! ```
+
+use vqmc_bench::{parse_scale, write_csv, Table};
+use vqmc_cluster::{allreduce_mean_tree, DeviceSpec, Topology};
+use vqmc_core::cost;
+use vqmc_nn::made_hidden_size;
+use vqmc_tensor::Vector;
+
+fn main() {
+    let scale = parse_scale(
+        &[20, 50, 100, 200, 500, 1000, 2000, 5000, 10_000],
+        &[20, 50, 100, 200, 500, 1000, 2000, 5000, 10_000],
+        1,
+    );
+    println!("Table 7 reproduction: modelled seconds per training iteration\n");
+    let spec = DeviceSpec::v100();
+
+    let mut headers: Vec<String> = vec!["config".into(), "L".into()];
+    for &n in &scale.dims {
+        headers.push(format!("n={n}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    // Print the paper's "samples per GPU" context row.
+    let mut mbs_row: Vec<String> = vec!["mbs/GPU".into(), "-".into()];
+    for &n in &scale.dims {
+        mbs_row.push(spec.paper_minibatch(n, made_hidden_size(n)).to_string());
+    }
+    table.row(mbs_row);
+
+    for topo in Topology::paper_configurations() {
+        let l = topo.num_devices();
+        let mut row: Vec<String> = vec![topo.label(), l.to_string()];
+        for &n in &scale.dims {
+            let hidden = made_hidden_size(n);
+            let mbs = spec.paper_minibatch(n, hidden);
+            let d = 2 * n * hidden + n + hidden;
+            let compute = cost::auto_iteration_flops(mbs, n, hidden, n) / spec.flops_per_sec
+                + (n + 3) as f64 * spec.pass_overhead_secs;
+            // Two collectives: 3-double scalars + d-double gradient.
+            let (_, comm_scalar) =
+                allreduce_mean_tree((0..l).map(|_| Vector::zeros(3)).collect(), &topo);
+            let (_, comm_grad) =
+                allreduce_mean_tree((0..l).map(|_| Vector::zeros(d)).collect(), &topo);
+            let per_iter = compute + comm_scalar + comm_grad;
+            row.push(format!("{per_iter:.2}"));
+        }
+        table.row(row);
+    }
+    table.print();
+    if let Some(path) = &scale.csv {
+        write_csv(&table, path);
+    }
+    println!(
+        "\nShape check: within each column the entries are nearly constant \
+         across configurations (weak scaling); along a row they grow with n \
+         as the paper's Table 7 does."
+    );
+}

@@ -1,0 +1,114 @@
+//! The modelled cluster clock.
+//!
+//! Training proceeds in lock-step rounds (SPMD): every device computes,
+//! then all devices meet at a collective.  The round's cost is therefore
+//! `max(per-device compute) + collective time`; [`SimClock`] accumulates
+//! exactly that.
+
+/// Modelled time accounting for a lock-step SPMD execution.
+#[derive(Clone, Debug)]
+pub struct SimClock {
+    /// Compute charged to each device since the last sync.
+    pending: Vec<f64>,
+    /// Total folded time.
+    total: f64,
+    /// Total spent in collectives (diagnostic split).
+    comm_total: f64,
+}
+
+impl SimClock {
+    /// A clock for `num_devices` devices.
+    pub fn new(num_devices: usize) -> Self {
+        assert!(num_devices >= 1);
+        SimClock {
+            pending: vec![0.0; num_devices],
+            total: 0.0,
+            comm_total: 0.0,
+        }
+    }
+
+    /// Charges `secs` of compute to one device within the current round.
+    pub fn charge_device(&mut self, rank: usize, secs: f64) {
+        assert!(secs >= 0.0, "negative time charge");
+        self.pending[rank] += secs;
+    }
+
+    /// Ends the round: folds the slowest device plus `comm_secs` of
+    /// collective time into the total.
+    pub fn sync_round(&mut self, comm_secs: f64) {
+        let slowest = self.pending.iter().copied().fold(0.0, f64::max);
+        self.total += slowest + comm_secs;
+        self.comm_total += comm_secs;
+        self.pending.fill(0.0);
+    }
+
+    /// Total modelled seconds so far (synced rounds only).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Seconds spent in collectives.
+    pub fn comm_total(&self) -> f64 {
+        self.comm_total
+    }
+
+    /// Fraction of total time spent communicating (0 when idle).
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.comm_total / self.total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_takes_slowest_device() {
+        let mut c = SimClock::new(3);
+        c.charge_device(0, 1.0);
+        c.charge_device(1, 3.0);
+        c.charge_device(2, 2.0);
+        c.sync_round(0.5);
+        assert!((c.total() - 3.5).abs() < 1e-15);
+        assert!((c.comm_total() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn charges_accumulate_within_round() {
+        let mut c = SimClock::new(1);
+        c.charge_device(0, 1.0);
+        c.charge_device(0, 2.0);
+        c.sync_round(0.0);
+        assert!((c.total() - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pending_resets_between_rounds() {
+        let mut c = SimClock::new(2);
+        c.charge_device(0, 5.0);
+        c.sync_round(0.0);
+        c.charge_device(1, 1.0);
+        c.sync_round(0.0);
+        assert!((c.total() - 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn comm_fraction() {
+        let mut c = SimClock::new(1);
+        assert_eq!(c.comm_fraction(), 0.0);
+        c.charge_device(0, 3.0);
+        c.sync_round(1.0);
+        assert!((c.comm_fraction() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_charge_rejected() {
+        let mut c = SimClock::new(1);
+        c.charge_device(0, -1.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Cluster topology: node layout and link cost model.
+//!
+//! The paper's experiments use configurations `L₁ × L₂` (`L₁` nodes with
+//! `L₂` GPUs each, up to `6 × 4`).  Communication cost depends on
+//! whether a hop stays inside a node (NVLink-class) or crosses nodes
+//! (InfiniBand-class); the defaults are conservative effective numbers,
+//! and every normalised figure is insensitive to their absolute values.
+
+use serde::{Deserialize, Serialize};
+
+/// Link cost parameters: latency (seconds) and bandwidth (bytes/sec).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One-way latency per message, in seconds.
+    pub latency: f64,
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl LinkSpec {
+    /// Time to move `bytes` over this link.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Node/device layout plus link specs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of nodes `L₁`.
+    pub nodes: usize,
+    /// Devices per node `L₂`.
+    pub devices_per_node: usize,
+    /// Intra-node link (NVLink class).
+    pub intra: LinkSpec,
+    /// Inter-node link (InfiniBand class).
+    pub inter: LinkSpec,
+}
+
+impl Topology {
+    /// A topology with default link specs (NVLink ≈ 25 GB/s, 5 µs;
+    /// InfiniBand ≈ 10 GB/s, 20 µs).
+    pub fn new(nodes: usize, devices_per_node: usize) -> Self {
+        assert!(nodes >= 1 && devices_per_node >= 1, "empty topology");
+        Topology {
+            nodes,
+            devices_per_node,
+            intra: LinkSpec {
+                latency: 5e-6,
+                bandwidth: 25e9,
+            },
+            inter: LinkSpec {
+                latency: 20e-6,
+                bandwidth: 10e9,
+            },
+        }
+    }
+
+    /// Total device count `L = L₁·L₂`.
+    pub fn num_devices(&self) -> usize {
+        self.nodes * self.devices_per_node
+    }
+
+    /// Node index of a device rank (ranks are laid out node-major).
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.devices_per_node
+    }
+
+    /// The link connecting two ranks.
+    pub fn link(&self, a: usize, b: usize) -> LinkSpec {
+        if self.node_of(a) == self.node_of(b) {
+            self.intra
+        } else {
+            self.inter
+        }
+    }
+
+    /// The paper's §5.4 configuration sweep:
+    /// `1×1, 1×2, 1×4, 2×2, 2×4, 4×2, 4×4, 8×2, 6×4`.
+    pub fn paper_configurations() -> Vec<Topology> {
+        [
+            (1, 1),
+            (1, 2),
+            (1, 4),
+            (2, 2),
+            (2, 4),
+            (4, 2),
+            (4, 4),
+            (8, 2),
+            (6, 4),
+        ]
+        .into_iter()
+        .map(|(l1, l2)| Topology::new(l1, l2))
+        .collect()
+    }
+
+    /// Display label in the paper's `L₁ × L₂` style.
+    pub fn label(&self) -> String {
+        format!("{}x{}", self.nodes, self.devices_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_count_and_node_mapping() {
+        let t = Topology::new(3, 4);
+        assert_eq!(t.num_devices(), 12);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_of(11), 2);
+    }
+
+    #[test]
+    fn link_classification() {
+        let t = Topology::new(2, 2);
+        // Ranks 0,1 on node 0; ranks 2,3 on node 1.
+        assert_eq!(t.link(0, 1).bandwidth, t.intra.bandwidth);
+        assert_eq!(t.link(1, 2).bandwidth, t.inter.bandwidth);
+    }
+
+    #[test]
+    fn inter_node_is_slower() {
+        let t = Topology::new(2, 1);
+        let bytes = 1 << 20;
+        assert!(t.inter.transfer_time(bytes) > t.intra.transfer_time(bytes));
+    }
+
+    #[test]
+    fn paper_sweep_matches_section_54() {
+        let configs = Topology::paper_configurations();
+        let labels: Vec<String> = configs.iter().map(|t| t.label()).collect();
+        assert_eq!(
+            labels,
+            ["1x1", "1x2", "1x4", "2x2", "2x4", "4x2", "4x4", "8x2", "6x4"]
+        );
+        let device_counts: Vec<usize> = configs.iter().map(|t| t.num_devices()).collect();
+        assert_eq!(device_counts, [1, 2, 4, 4, 8, 8, 16, 16, 24]);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let link = LinkSpec {
+            latency: 1e-3,
+            bandwidth: 1e9,
+        };
+        assert!((link.transfer_time(0) - 1e-3).abs() < 1e-15);
+        assert!((link.transfer_time(1_000_000_000) - 1.001).abs() < 1e-9);
+    }
+}

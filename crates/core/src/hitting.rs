@@ -1,0 +1,141 @@
+//! Time-to-target harness (the paper's Table 5).
+//!
+//! Trains with evaluation-after-update: each iteration, after the
+//! parameter step, a fresh evaluation batch is drawn and scored; the run
+//! stops as soon as the score reaches the target.  Per the paper,
+//! evaluation time is excluded from the reported hitting time.
+
+use std::time::Instant;
+
+use vqmc_hamiltonian::SparseRowHamiltonian;
+use vqmc_nn::WaveFunction;
+use vqmc_sampler::Sampler;
+
+use crate::trainer::Trainer;
+
+/// Configuration of a hitting-time run.
+#[derive(Clone, Copy, Debug)]
+pub struct HittingConfig {
+    /// Target score (for Max-Cut: the cut number to reach; the score of
+    /// a batch is the *mean* `−energy`, matching the paper's evaluation
+    /// protocol of reporting the mean over a fresh test batch).
+    pub target_score: f64,
+    /// Evaluation batch size.
+    pub eval_batch_size: usize,
+    /// Give up after this many iterations.
+    pub max_iterations: usize,
+}
+
+/// Result of a hitting-time run.
+#[derive(Clone, Debug)]
+pub struct HittingResult {
+    /// Whether the target was reached.
+    pub hit: bool,
+    /// Iterations executed (training steps).
+    pub iterations: usize,
+    /// Training seconds elapsed (evaluation excluded, per the paper).
+    pub train_secs: f64,
+    /// The best score observed.
+    pub best_score: f64,
+}
+
+/// Runs training until the evaluation score (mean `−energy` of a fresh
+/// batch) reaches `config.target_score`.
+pub fn hitting_time<W, S>(
+    trainer: &mut Trainer<W, S>,
+    h: &dyn SparseRowHamiltonian,
+    config: HittingConfig,
+) -> HittingResult
+where
+    W: WaveFunction,
+    S: Sampler<W>,
+{
+    let mut opt = trainer.make_optimizer();
+    let mut train_secs = 0.0;
+    let mut best_score = f64::NEG_INFINITY;
+    for it in 0..config.max_iterations {
+        let t0 = Instant::now();
+        trainer.step(h, opt.as_mut());
+        train_secs += t0.elapsed().as_secs_f64();
+
+        // Evaluation pass (excluded from the clock).
+        let eval = trainer.evaluate(h, config.eval_batch_size);
+        let score = -eval.stats.mean;
+        best_score = best_score.max(score);
+        if score >= config.target_score {
+            return HittingResult {
+                hit: true,
+                iterations: it + 1,
+                train_secs,
+                best_score,
+            };
+        }
+    }
+    HittingResult {
+        hit: false,
+        iterations: config.max_iterations,
+        train_secs,
+        best_score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{OptimizerChoice, TrainerConfig};
+    use vqmc_hamiltonian::{LocalEnergyConfig, MaxCut};
+    use vqmc_nn::Made;
+    use vqmc_sampler::AutoSampler;
+
+    fn trainer(n: usize) -> Trainer<Made, AutoSampler> {
+        let cfg = TrainerConfig {
+            iterations: 0,
+            batch_size: 128,
+            optimizer: OptimizerChoice::paper_default(),
+            local_energy: LocalEnergyConfig::default(),
+            seed: 3,
+        };
+        Trainer::new(Made::new(n, 12, 5), AutoSampler, cfg)
+    }
+
+    #[test]
+    fn reaches_easy_target_quickly() {
+        let n = 10;
+        let mc = MaxCut::random(n, 7);
+        // Half the edges is the random-cut expectation: trivially easy.
+        let target = mc.graph().num_edges() as f64 * 0.45;
+        let mut t = trainer(n);
+        let result = hitting_time(
+            &mut t,
+            &mc,
+            HittingConfig {
+                target_score: target,
+                eval_batch_size: 64,
+                max_iterations: 100,
+            },
+        );
+        assert!(result.hit, "easy target missed: best {}", result.best_score);
+        assert!(result.iterations <= 100);
+        assert!(result.best_score >= target);
+    }
+
+    #[test]
+    fn impossible_target_reports_miss() {
+        let n = 8;
+        let mc = MaxCut::random(n, 9);
+        let impossible = mc.graph().num_edges() as f64 + 10.0;
+        let mut t = trainer(n);
+        let result = hitting_time(
+            &mut t,
+            &mc,
+            HittingConfig {
+                target_score: impossible,
+                eval_batch_size: 32,
+                max_iterations: 5,
+            },
+        );
+        assert!(!result.hit);
+        assert_eq!(result.iterations, 5);
+        assert!(result.best_score < impossible);
+    }
+}

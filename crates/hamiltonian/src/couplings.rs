@@ -1,0 +1,290 @@
+//! Storage strategies for the pairwise couplings `βᵢⱼ`.
+//!
+//! The paper's disordered TIM draws a coupling for **every** pair
+//! `i < j`, i.e. a dense symmetric matrix.  At `n = 10 000` that matrix
+//! is `8·n² = 800 MB` of `f64` — storable once on this machine, but not
+//! per-replica.  [`Couplings`] therefore offers two backings:
+//!
+//! * [`Couplings::Dense`] — the literal `n×n` symmetric matrix (zero
+//!   diagonal, `βᵢⱼ` mirrored into both triangles) used up to a few
+//!   thousand spins and shared across device replicas behind an `Arc`.
+//! * [`Couplings::SparseRows`] — a CSR-like structure for graphs /
+//!   diluted disorder, used by Max-Cut (whose adjacency is ~25 % dense
+//!   under the paper's generator, but stored sparsely for uniformity at
+//!   large `n`).
+//!
+//! Both expose the two bulk kernels the energy engine needs: the
+//! quadratic form `σᵀ B σ` per batch row, and the *field*
+//! `f_i(σ) = Σ_j B_ij σ_j` used for O(1)-per-flip energy deltas.
+
+use serde::{Deserialize, Serialize};
+use vqmc_tensor::{Matrix, SpinBatch, Vector};
+
+/// Symmetric pairwise couplings with a zero diagonal.
+#[derive(Clone, Serialize, Deserialize)]
+pub enum Couplings {
+    /// Explicit dense symmetric matrix (both triangles populated).
+    Dense(Matrix),
+    /// Sparse rows: `rows[i]` lists `(j, B_ij)` with `j ≠ i`; symmetric
+    /// entries are stored on both rows.
+    SparseRows {
+        /// Per-row adjacency: `rows[i] = [(j, B_ij), ...]`.
+        rows: Vec<Vec<(usize, f64)>>,
+    },
+}
+
+impl Couplings {
+    /// Builds a dense backing from the strict upper triangle visitor
+    /// `f(i, j) -> βᵢⱼ` (called once per `i < j`).
+    pub fn dense_from_upper(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = f(i, j);
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        Couplings::Dense(m)
+    }
+
+    /// Builds a sparse backing from an edge list `(i, j, βᵢⱼ)` with
+    /// `i ≠ j`; duplicate edges are rejected by debug assertion.
+    pub fn sparse_from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(i, j, v) in edges {
+            assert!(i != j, "Couplings: self-loop ({i},{i})");
+            assert!(i < n && j < n, "Couplings: vertex out of range");
+            rows[i].push((j, v));
+            rows[j].push((i, v));
+        }
+        for r in &mut rows {
+            r.sort_unstable_by_key(|&(j, _)| j);
+            debug_assert!(
+                r.windows(2).all(|w| w[0].0 != w[1].0),
+                "Couplings: duplicate edge"
+            );
+        }
+        Couplings::SparseRows { rows }
+    }
+
+    /// Number of spins.
+    pub fn len(&self) -> usize {
+        match self {
+            Couplings::Dense(m) => m.rows(),
+            Couplings::SparseRows { rows } => rows.len(),
+        }
+    }
+
+    /// True when there are no spins.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Single coupling `B_ij` (O(1) dense, O(log deg) sparse).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        match self {
+            Couplings::Dense(m) => m.get(i, j),
+            Couplings::SparseRows { rows } => rows[i]
+                .binary_search_by_key(&j, |&(k, _)| k)
+                .map(|idx| rows[i][idx].1)
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// The field `f_i = Σ_j B_ij σ_j` for one Ising configuration
+    /// `σ ∈ {±1}ⁿ`.
+    pub fn field(&self, sigma: &[f64]) -> Vector {
+        match self {
+            Couplings::Dense(m) => m.matvec(&Vector(sigma.to_vec())),
+            Couplings::SparseRows { rows } => Vector::from_fn(rows.len(), |i| {
+                rows[i].iter().map(|&(j, v)| v * sigma[j]).sum()
+            }),
+        }
+    }
+
+    /// Quadratic pair energy `Σ_{i<j} B_ij σ_i σ_j = ½ σᵀ B σ` for one
+    /// configuration.
+    pub fn pair_energy(&self, sigma: &[f64]) -> f64 {
+        match self {
+            Couplings::Dense(m) => {
+                let mut acc = 0.0;
+                for (i, &si) in sigma.iter().enumerate() {
+                    let row = m.row(i);
+                    // Strict upper triangle only.
+                    let mut partial = 0.0;
+                    for j in (i + 1)..sigma.len() {
+                        partial += row[j] * sigma[j];
+                    }
+                    acc += si * partial;
+                }
+                acc
+            }
+            Couplings::SparseRows { rows } => {
+                let mut acc = 0.0;
+                for (i, row) in rows.iter().enumerate() {
+                    for &(j, v) in row {
+                        if j > i {
+                            acc += v * sigma[i] * sigma[j];
+                        }
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Batched pair energies `½ diag(Σ B Σᵀ)` where `Σ` is the batch of
+    /// Ising rows.  Dense backing uses one GEMM (the vectorised path the
+    /// GPU would take); sparse loops rows.
+    pub fn pair_energy_batch(&self, batch: &SpinBatch) -> Vector {
+        match self {
+            Couplings::Dense(m) => {
+                let sigma = batch.to_ising_matrix();
+                // (Σ B) has shape bs×n; rowwise dot with Σ gives σᵀBσ.
+                let sb = sigma.matmul_nt(m); // B symmetric: B^T = B
+                Vector::from_fn(batch.batch_size(), |s| {
+                    0.5 * vqmc_tensor::vector::dot(sb.row(s), sigma.row(s))
+                })
+            }
+            Couplings::SparseRows { .. } => Vector::from_fn(batch.batch_size(), |s| {
+                let sigma: Vec<f64> = batch
+                    .sample(s)
+                    .iter()
+                    .map(|&b| 1.0 - 2.0 * b as f64)
+                    .collect();
+                self.pair_energy(&sigma)
+            }),
+        }
+    }
+
+    /// Bytes of storage used by the backing (memory-model input).
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            Couplings::Dense(m) => m.as_slice().len() * std::mem::size_of::<f64>(),
+            Couplings::SparseRows { rows } => rows
+                .iter()
+                .map(|r| r.len() * std::mem::size_of::<(usize, f64)>())
+                .sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Couplings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Couplings::Dense(m) => write!(f, "Couplings::Dense({}x{})", m.rows(), m.cols()),
+            Couplings::SparseRows { rows } => {
+                let nnz: usize = rows.iter().map(Vec::len).sum();
+                write!(f, "Couplings::SparseRows(n={}, nnz={})", rows.len(), nnz)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both_backings() -> (Couplings, Couplings) {
+        // 4-spin system: edges (0,1)=2.0, (1,2)=-1.0, (0,3)=0.5
+        let edges = [(0usize, 1usize, 2.0), (1, 2, -1.0), (0, 3, 0.5)];
+        let dense = Couplings::dense_from_upper(4, |i, j| {
+            edges
+                .iter()
+                .find(|&&(a, b, _)| (a, b) == (i, j))
+                .map(|&(_, _, v)| v)
+                .unwrap_or(0.0)
+        });
+        let sparse = Couplings::sparse_from_edges(4, &edges);
+        (dense, sparse)
+    }
+
+    #[test]
+    fn get_is_symmetric_and_zero_diagonal() {
+        for c in [both_backings().0, both_backings().1] {
+            assert_eq!(c.get(0, 1), 2.0);
+            assert_eq!(c.get(1, 0), 2.0);
+            assert_eq!(c.get(2, 2), 0.0);
+            assert_eq!(c.get(2, 3), 0.0);
+        }
+    }
+
+    #[test]
+    fn field_matches_manual() {
+        let (dense, sparse) = both_backings();
+        let sigma = [1.0, -1.0, 1.0, -1.0];
+        // f_0 = 2*(-1) + 0.5*(-1) = -2.5 ; f_1 = 2*1 + (-1)*1 = 1
+        for c in [dense, sparse] {
+            let f = c.field(&sigma);
+            assert_eq!(f[0], -2.5);
+            assert_eq!(f[1], 1.0);
+            assert_eq!(f[2], 1.0); // -1 * σ_1 = 1
+            assert_eq!(f[3], 0.5); // 0.5 * σ_0
+        }
+    }
+
+    #[test]
+    fn pair_energy_consistent_across_backings() {
+        let (dense, sparse) = both_backings();
+        for bits in 0..16u8 {
+            let sigma: Vec<f64> = (0..4)
+                .map(|i| if bits >> i & 1 == 1 { -1.0 } else { 1.0 })
+                .collect();
+            let ed = dense.pair_energy(&sigma);
+            let es = sparse.pair_energy(&sigma);
+            assert!((ed - es).abs() < 1e-12, "bits={bits}: {ed} vs {es}");
+        }
+    }
+
+    #[test]
+    fn pair_energy_batch_matches_scalar() {
+        let (dense, sparse) = both_backings();
+        let batch = vqmc_tensor::batch::enumerate_configs(4);
+        for c in [dense, sparse] {
+            let batched = c.pair_energy_batch(&batch);
+            for (s, config) in batch.samples().enumerate() {
+                let sigma: Vec<f64> = config.iter().map(|&b| 1.0 - 2.0 * b as f64).collect();
+                assert!(
+                    (batched[s] - c.pair_energy(&sigma)).abs() < 1e-12,
+                    "sample {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn field_gives_flip_delta() {
+        // Flipping spin i changes pair energy by -2 σ_i f_i.
+        let (dense, _) = both_backings();
+        let sigma = [1.0, 1.0, -1.0, 1.0];
+        let e0 = dense.pair_energy(&sigma);
+        let f = dense.field(&sigma);
+        for i in 0..4 {
+            let mut flipped = sigma;
+            flipped[i] = -flipped[i];
+            let e1 = dense.pair_energy(&flipped);
+            assert!(
+                ((e1 - e0) - (-2.0 * sigma[i] * f[i])).abs() < 1e-12,
+                "flip {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_bytes_positive_for_nonempty() {
+        let (dense, sparse) = both_backings();
+        assert_eq!(dense.storage_bytes(), 16 * 8);
+        assert!(sparse.storage_bytes() > 0);
+        assert!(!dense.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn sparse_rejects_self_loop() {
+        let _ = Couplings::sparse_from_edges(3, &[(1, 1, 1.0)]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Explicit dense materialisation of a sparse-row Hamiltonian.
+//!
+//! Only sensible for small spin counts (the matrix is `2ⁿ × 2ⁿ`); it is
+//! the bridge between the implicit row representation and the exact
+//! linear-algebra oracles used by the tests (hermiticity checks, exact
+//! diagonalisation cross-validation, explicit Rayleigh quotients).
+
+use vqmc_tensor::batch::{decode_config, encode_config};
+use vqmc_tensor::{Matrix, Vector};
+
+use crate::SparseRowHamiltonian;
+
+/// Maximum spin count for dense materialisation (`2¹² × 2¹²` = 128 MiB).
+pub const MAX_DENSE_SPINS: usize = 12;
+
+/// A fully materialised Hamiltonian over the `2ⁿ` basis.
+#[derive(Clone, Debug)]
+pub struct DenseHamiltonian {
+    n: usize,
+    matrix: Matrix,
+}
+
+impl DenseHamiltonian {
+    /// Materialises `h` row by row.  Panics for `n >` [`MAX_DENSE_SPINS`].
+    pub fn from_sparse(h: &dyn SparseRowHamiltonian) -> Self {
+        let n = h.num_spins();
+        assert!(
+            n <= MAX_DENSE_SPINS,
+            "DenseHamiltonian: n = {n} exceeds the {MAX_DENSE_SPINS}-spin dense limit"
+        );
+        let dim = 1usize << n;
+        let mut matrix = Matrix::zeros(dim, dim);
+        for x in 0..dim {
+            let config = decode_config(x, n);
+            matrix.set(x, x, h.diagonal(&config));
+            let mut flipped = config.clone();
+            h.for_each_offdiag(&config, &mut |i, v| {
+                flipped[i] ^= 1;
+                let y = encode_config(&flipped);
+                flipped[i] ^= 1;
+                matrix.set(x, y, v);
+            });
+        }
+        DenseHamiltonian { n, matrix }
+    }
+
+    /// Number of spins.
+    pub fn num_spins(&self) -> usize {
+        self.n
+    }
+
+    /// Basis dimension `2ⁿ`.
+    pub fn dim(&self) -> usize {
+        1 << self.n
+    }
+
+    /// The dense matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// `H v` over an explicit state vector.
+    pub fn matvec(&self, v: &Vector) -> Vector {
+        self.matrix.matvec(v)
+    }
+
+    /// Rayleigh quotient `⟨v, Hv⟩ / ⟨v, v⟩` — the population objective of
+    /// the paper's Eq. 1 for an explicit trial vector.
+    pub fn rayleigh_quotient(&self, v: &Vector) -> f64 {
+        let hv = self.matvec(v);
+        let num = v.dot(&hv);
+        let den = v.dot(v);
+        assert!(den > 0.0, "rayleigh_quotient: zero vector");
+        num / den
+    }
+
+    /// Maximum asymmetry `max |H_xy − H_yx|` (hermiticity check).
+    pub fn max_asymmetry(&self) -> f64 {
+        let dim = self.dim();
+        let mut worst = 0.0f64;
+        for x in 0..dim {
+            for y in (x + 1)..dim {
+                worst = worst.max((self.matrix.get(x, y) - self.matrix.get(y, x)).abs());
+            }
+        }
+        worst
+    }
+
+    /// True when every off-diagonal entry is `≤ 0` (the Perron–Frobenius
+    /// precondition of the paper's §2.1).
+    pub fn offdiagonals_nonpositive(&self) -> bool {
+        let dim = self.dim();
+        for x in 0..dim {
+            for y in 0..dim {
+                if x != y && self.matrix.get(x, y) > 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxcut::MaxCut;
+    use crate::tim::TransverseFieldIsing;
+
+    #[test]
+    fn tim_materialisation_is_symmetric_and_signed() {
+        let h = TransverseFieldIsing::random(6, 17);
+        let dense = DenseHamiltonian::from_sparse(&h);
+        assert_eq!(dense.dim(), 64);
+        assert_eq!(dense.max_asymmetry(), 0.0);
+        assert!(dense.offdiagonals_nonpositive());
+    }
+
+    #[test]
+    fn maxcut_materialisation_is_diagonal() {
+        let h = MaxCut::random(5, 3);
+        let dense = DenseHamiltonian::from_sparse(&h);
+        for x in 0..dense.dim() {
+            for y in 0..dense.dim() {
+                if x != y {
+                    assert_eq!(dense.matrix().get(x, y), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_elements_match_trait_accessor() {
+        let h = TransverseFieldIsing::random(4, 9);
+        let dense = DenseHamiltonian::from_sparse(&h);
+        for x in 0..16usize {
+            for y in 0..16usize {
+                let cx = decode_config(x, 4);
+                let cy = decode_config(y, 4);
+                assert!(
+                    (dense.matrix().get(x, y) - h.matrix_element(&cx, &cy)).abs() < 1e-12,
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rayleigh_quotient_of_basis_state_is_diagonal() {
+        let h = TransverseFieldIsing::random(3, 5);
+        let dense = DenseHamiltonian::from_sparse(&h);
+        let mut v = Vector::zeros(8);
+        v[5] = 1.0;
+        let d5 = h.diagonal(&decode_config(5, 3));
+        assert!((dense.rayleigh_quotient(&v) - d5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense limit")]
+    fn oversize_rejected() {
+        let h = TransverseFieldIsing::random(13, 1);
+        let _ = DenseHamiltonian::from_sparse(&h);
+    }
+}

@@ -1,0 +1,339 @@
+//! Exact ground-state oracle: matrix-free Lanczos with full
+//! reorthogonalisation, plus a symmetric-tridiagonal eigensolver (an
+//! implicit-shift QL, after EISPACK's `tql2`).
+//!
+//! This is the correctness anchor of the whole workspace: every VQMC
+//! convergence test compares the variational energy against
+//! [`ground_state`] on instances small enough to enumerate (`n ≤ 20`
+//! works; tests use `n ≤ 12`).  The Hamiltonian is never materialised —
+//! `H v` is applied row by row through the [`SparseRowHamiltonian`]
+//! visitor, costing `O(2ⁿ · s)` per iteration.
+
+use rayon::prelude::*;
+use vqmc_tensor::batch::{decode_config, encode_config};
+use vqmc_tensor::Vector;
+
+use crate::SparseRowHamiltonian;
+
+/// Result of an exact ground-state solve.
+#[derive(Clone, Debug)]
+pub struct GroundState {
+    /// Minimal eigenvalue `λ_min(H)`.
+    pub energy: f64,
+    /// Unit-norm ground eigenvector over the `2ⁿ` basis (sign-fixed so
+    /// that the largest-magnitude component is positive).
+    pub vector: Vector,
+    /// Number of Lanczos iterations performed.
+    pub iterations: usize,
+    /// Final residual `‖Hv − λv‖`.
+    pub residual: f64,
+}
+
+/// Applies `H` to an explicit state vector, matrix-free.
+///
+/// `out[x] = H_xx v[x] + Σ_i H_{x, flip_i(x)} v[flip_i(x)]`.
+pub fn apply_hamiltonian(h: &dyn SparseRowHamiltonian, v: &Vector) -> Vector {
+    let n = h.num_spins();
+    let dim = 1usize << n;
+    assert_eq!(v.len(), dim, "apply_hamiltonian: dimension mismatch");
+    let out: Vec<f64> = (0..dim)
+        .into_par_iter()
+        .map(|x| {
+            let config = decode_config(x, n);
+            let mut acc = h.diagonal(&config) * v[x];
+            let mut flipped = config.clone();
+            h.for_each_offdiag(&config, &mut |i, hxy| {
+                flipped[i] ^= 1;
+                let y = encode_config(&flipped);
+                flipped[i] ^= 1;
+                acc += hxy * v[y];
+            });
+            acc
+        })
+        .collect();
+    Vector(out)
+}
+
+/// Computes the minimal eigenpair of `h` by Lanczos iteration.
+///
+/// * `max_iter` — Krylov dimension cap (clamped to the basis dimension).
+/// * `tol` — stop when the ground-eigenvalue estimate moves less than
+///   this between iterations *and* the residual is below `√tol`.
+///
+/// Panics for `n > 20` (the state vector would exceed 8 MiB × 2²⁰⁻²⁰...;
+/// 2²⁰ doubles = 8 MiB is fine, beyond that this oracle is the wrong
+/// tool).
+pub fn ground_state(h: &dyn SparseRowHamiltonian, max_iter: usize, tol: f64) -> GroundState {
+    let n = h.num_spins();
+    assert!(n <= 20, "ground_state: n = {n} too large for the exact oracle");
+    let dim = 1usize << n;
+    let m_cap = max_iter.min(dim);
+
+    // Deterministic, generically non-orthogonal-to-ground start vector.
+    let mut q = Vector::from_fn(dim, |x| 1.0 + ((x as f64 * 0.618_033_988_75).sin() * 0.01));
+    let norm = q.norm2();
+    q.scale(1.0 / norm);
+
+    let mut basis: Vec<Vector> = vec![q.clone()];
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+    let mut prev_energy = f64::INFINITY;
+
+    for it in 0..m_cap {
+        let mut w = apply_hamiltonian(h, &basis[it]);
+        let alpha = w.dot(&basis[it]);
+        alphas.push(alpha);
+        w.axpy(-alpha, &basis[it]);
+        if it > 0 {
+            let beta_prev = betas[it - 1];
+            w.axpy(-beta_prev, &basis[it - 1]);
+        }
+        // Full reorthogonalisation: cheap at these dimensions and
+        // eliminates ghost eigenvalues.
+        for b in &basis {
+            let overlap = w.dot(b);
+            w.axpy(-overlap, b);
+        }
+        let beta = w.norm2();
+
+        // Solve the current tridiagonal problem for the lowest pair.
+        let (evals, evecs) = tridiag_eigen(&alphas, &betas);
+        let (ground_idx, &ground_energy) = evals
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite eigenvalues"))
+            .expect("nonempty spectrum");
+
+        let converged_energy = (prev_energy - ground_energy).abs() < tol;
+        // Residual bound for Lanczos: |beta_m * s_m| where s_m is the
+        // last component of the tridiagonal eigenvector.
+        let last_component = evecs[alphas.len() - 1][ground_idx];
+        let residual_bound = (beta * last_component).abs();
+
+        if converged_energy && residual_bound < tol.sqrt() || beta < 1e-14 || it + 1 == m_cap {
+            // Assemble the Ritz vector in the full basis.
+            let mut v = Vector::zeros(dim);
+            for (j, b) in basis.iter().enumerate() {
+                v.axpy(evecs[j][ground_idx], b);
+            }
+            let vnorm = v.norm2();
+            v.scale(1.0 / vnorm);
+            // Fix the sign: largest-magnitude component positive.
+            let amax = v
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            if v[amax] < 0.0 {
+                v.scale(-1.0);
+            }
+            let hv = apply_hamiltonian(h, &v);
+            let mut resid = hv;
+            resid.axpy(-ground_energy, &v);
+            return GroundState {
+                energy: ground_energy,
+                vector: v,
+                iterations: it + 1,
+                residual: resid.norm2(),
+            };
+        }
+
+        prev_energy = ground_energy;
+        betas.push(beta);
+        w.scale(1.0 / beta);
+        basis.push(w);
+    }
+    unreachable!("loop always returns at the iteration cap");
+}
+
+/// All eigenvalues and eigenvectors of the symmetric tridiagonal matrix
+/// with diagonal `alphas` and off-diagonal `betas`
+/// (`betas.len() == alphas.len() - 1` entries are used).
+///
+/// Returns `(eigenvalues, rows)` where `rows[i][k]` is component `i` of
+/// eigenvector `k`.  Implicit-shift QL after EISPACK `tql2`.
+pub fn tridiag_eigen(alphas: &[f64], betas: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = alphas.len();
+    assert!(n > 0, "tridiag_eigen: empty matrix");
+    let mut d = alphas.to_vec();
+    let mut e = vec![0.0; n];
+    e[..n - 1].copy_from_slice(&betas[..n - 1]);
+    // z starts as identity; accumulates rotations.
+    let mut z = vec![vec![0.0; n]; n];
+    for (i, row) in z.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tridiag_eigen: QL failed to converge");
+
+            // Implicit shift from the 2x2 trailing block.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for row in z.iter_mut() {
+                    f = row[i + 1];
+                    row[i + 1] = s * row[i] + c * f;
+                    row[i] = c * row[i] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    (d, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::couplings::Couplings;
+    use crate::maxcut::MaxCut;
+    use crate::tim::TransverseFieldIsing;
+    use crate::DenseHamiltonian;
+
+    #[test]
+    fn tridiag_2x2_analytic() {
+        // [[1, 2], [2, 1]] -> eigenvalues -1 and 3.
+        let (mut evals, _) = tridiag_eigen(&[1.0, 1.0], &[2.0]);
+        evals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((evals[0] + 1.0).abs() < 1e-12);
+        assert!((evals[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tridiag_eigenvectors_satisfy_definition() {
+        let alphas = [2.0, -1.0, 0.5, 3.0];
+        let betas = [1.0, 0.7, -0.3];
+        let (evals, evecs) = tridiag_eigen(&alphas, &betas);
+        // Check T v = λ v column by column.
+        for k in 0..4 {
+            for i in 0..4 {
+                let mut tv = alphas[i] * evecs[i][k];
+                if i > 0 {
+                    tv += betas[i - 1] * evecs[i - 1][k];
+                }
+                if i < 3 {
+                    tv += betas[i] * evecs[i + 1][k];
+                }
+                assert!(
+                    (tv - evals[k] * evecs[i][k]).abs() < 1e-10,
+                    "eigenpair {k}, row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_spin_transverse_field_analytic() {
+        // H = -αX - βZ has eigenvalues ∓√(α² + β²).
+        let h = TransverseFieldIsing::new(
+            Vector(vec![0.8]),
+            Vector(vec![0.6]),
+            Couplings::dense_from_upper(1, |_, _| 0.0),
+        );
+        let gs = ground_state(&h, 50, 1e-12);
+        assert!((gs.energy + 1.0).abs() < 1e-10, "energy {}", gs.energy);
+        assert!(gs.residual < 1e-8);
+    }
+
+    #[test]
+    fn maxcut_ground_energy_is_negative_max_cut() {
+        let mc = MaxCut::random(8, 55);
+        // Brute-force the max cut.
+        let best = (0..256u32)
+            .map(|bits| {
+                let x: Vec<u8> = (0..8).map(|i| ((bits >> i) & 1) as u8).collect();
+                mc.cut_value(&x)
+            })
+            .max()
+            .unwrap();
+        let gs = ground_state(&mc, 256, 1e-12);
+        assert!(
+            (gs.energy + best as f64).abs() < 1e-8,
+            "λ_min {} vs -maxcut {}",
+            gs.energy,
+            best
+        );
+    }
+
+    #[test]
+    fn lanczos_matches_dense_rayleigh_bound() {
+        let h = TransverseFieldIsing::random(6, 23);
+        let gs = ground_state(&h, 200, 1e-12);
+        let dense = DenseHamiltonian::from_sparse(&h);
+        // The eigenvector must achieve its own eigenvalue as Rayleigh
+        // quotient, and no vector can do better.
+        let rq = dense.rayleigh_quotient(&gs.vector);
+        assert!((rq - gs.energy).abs() < 1e-8, "RQ {rq} vs λ {}", gs.energy);
+        // Perturbed vectors cannot go below λ_min.
+        let mut perturbed = gs.vector.clone();
+        perturbed[3] += 0.1;
+        perturbed[17] -= 0.05;
+        assert!(dense.rayleigh_quotient(&perturbed) >= gs.energy - 1e-9);
+    }
+
+    #[test]
+    fn ground_vector_nonnegative_for_nonpositive_offdiagonals() {
+        // Perron–Frobenius: with H_xy ≤ 0 off-diagonal the ground vector
+        // can be chosen non-negative; our sign convention should yield it.
+        let h = TransverseFieldIsing::random(5, 31);
+        let gs = ground_state(&h, 200, 1e-12);
+        assert!(
+            gs.vector.iter().all(|&v| v >= -1e-8),
+            "ground vector has a negative component"
+        );
+    }
+
+    #[test]
+    fn apply_hamiltonian_matches_dense_matvec() {
+        let h = TransverseFieldIsing::random(5, 3);
+        let dense = DenseHamiltonian::from_sparse(&h);
+        let v = Vector::from_fn(32, |i| ((i * 7 + 3) % 13) as f64 - 6.0);
+        let a = apply_hamiltonian(&h, &v);
+        let b = dense.matvec(&v);
+        for i in 0..32 {
+            assert!((a[i] - b[i]).abs() < 1e-10, "component {i}");
+        }
+    }
+}

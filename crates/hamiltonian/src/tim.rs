@@ -1,0 +1,315 @@
+//! The disordered transverse-field Ising model (TIM) of the paper's
+//! Eq. 11/13:
+//!
+//! ```text
+//! H = − Σᵢ (αᵢ Xᵢ + βᵢ Zᵢ) − Σ_{i<j} βᵢⱼ Zᵢ Zⱼ
+//! ```
+//!
+//! with disorder `αᵢ ~ U(0,1)`, `βᵢ ~ U(−1,1)`, `βᵢⱼ ~ U(−1,1)` drawn
+//! once per instance seed and then fixed (§5.1).  In the computational
+//! basis, `Z` is diagonal with `σᵢ = 1 − 2xᵢ`, and each `Xᵢ` contributes
+//! a single-spin-flip off-diagonal of weight `−αᵢ ≤ 0` — satisfying the
+//! Perron–Frobenius non-positivity requirement, so the ground state can
+//! be taken entrywise non-negative and `ψ = √π` is lossless.
+
+use std::sync::Arc;
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vqmc_tensor::{SpinBatch, Vector};
+
+use crate::couplings::Couplings;
+use crate::SparseRowHamiltonian;
+
+/// Standard normal via Box–Muller (keeps `rand_distr` out of the
+/// dependency set).
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    use rand::Rng;
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Disordered transverse-field Ising Hamiltonian (paper Eq. 11/13).
+///
+/// Cloning is cheap: the (possibly large) coupling matrix is behind an
+/// `Arc`, which is how the virtual cluster shares one instance across
+/// device replicas.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct TransverseFieldIsing {
+    /// Transverse fields `αᵢ ≥ 0` (the X-term weights).
+    alpha: Vector,
+    /// Longitudinal fields `βᵢ` (the Z-term weights).
+    beta: Vector,
+    /// Pairwise couplings `βᵢⱼ`.
+    couplings: Arc<Couplings>,
+}
+
+impl TransverseFieldIsing {
+    /// Builds a TIM from explicit disorder.  All `αᵢ` must be
+    /// non-negative (Perron–Frobenius condition, paper §2.4).
+    pub fn new(alpha: Vector, beta: Vector, couplings: Couplings) -> Self {
+        let n = alpha.len();
+        assert_eq!(beta.len(), n, "TIM: beta length mismatch");
+        assert_eq!(couplings.len(), n, "TIM: couplings size mismatch");
+        assert!(
+            alpha.iter().all(|&a| a >= 0.0),
+            "TIM: transverse fields must be non-negative"
+        );
+        TransverseFieldIsing {
+            alpha,
+            beta,
+            couplings: Arc::new(couplings),
+        }
+    }
+
+    /// The paper's §5.1 random instance: `αᵢ ~ U(0,1)`, `βᵢ ~ U(−1,1)`,
+    /// dense `βᵢⱼ ~ U(−1,1)`, all drawn from `seed` and then fixed.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let unit = Uniform::new(0.0f64, 1.0);
+        let sym = Uniform::new(-1.0f64, 1.0);
+        let alpha = Vector::from_fn(n, |_| unit.sample(&mut rng));
+        let beta = Vector::from_fn(n, |_| sym.sample(&mut rng));
+        let couplings = Couplings::dense_from_upper(n, |_, _| sym.sample(&mut rng));
+        TransverseFieldIsing::new(alpha, beta, couplings)
+    }
+
+    /// Random instance with *sparse* couplings of mean degree `degree`
+    /// (diluted disorder).  Used for very large `n` where the dense
+    /// `n×n` coupling matrix would not fit; documented as a substitution
+    /// in DESIGN.md — the sampling-scalability experiments are agnostic
+    /// to coupling density, which only affects the measurement kernel.
+    pub fn random_sparse(n: usize, degree: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let unit = Uniform::new(0.0f64, 1.0);
+        let sym = Uniform::new(-1.0f64, 1.0);
+        let alpha = Vector::from_fn(n, |_| unit.sample(&mut rng));
+        let beta = Vector::from_fn(n, |_| sym.sample(&mut rng));
+        // Each vertex proposes `degree/2` partners; symmetrised storage
+        // gives mean degree ≈ `degree`.
+        let vert = Uniform::new(0usize, n);
+        let mut edges = Vec::with_capacity(n * degree / 2);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for _ in 0..degree.div_ceil(2) {
+                let j = vert.sample(&mut rng);
+                if i != j {
+                    let key = (i.min(j), i.max(j));
+                    if seen.insert(key) {
+                        edges.push((key.0, key.1, sym.sample(&mut rng)));
+                    }
+                }
+            }
+        }
+        let couplings = Couplings::sparse_from_edges(n, &edges);
+        TransverseFieldIsing::new(alpha, beta, couplings)
+    }
+
+    /// The quantum Sherrington–Kirkpatrick model: Gaussian all-pairs
+    /// couplings `βᵢⱼ ~ N(0, 1/n)` (the `1/√n` normalisation keeps the
+    /// energy extensive), no longitudinal field, and a uniform
+    /// transverse field `αᵢ = gamma` — the canonical mean-field spin
+    /// glass, a natural stress workload beyond the paper's uniform
+    /// disorder.
+    pub fn sherrington_kirkpatrick(n: usize, gamma: f64, seed: u64) -> Self {
+        assert!(gamma >= 0.0, "SK: transverse field must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = 1.0 / (n as f64).sqrt();
+        let alpha = Vector::full(n, gamma);
+        let beta = Vector::zeros(n);
+        let couplings =
+            Couplings::dense_from_upper(n, |_, _| gaussian(&mut rng) * scale);
+        TransverseFieldIsing::new(alpha, beta, couplings)
+    }
+
+    /// Transverse fields `αᵢ`.
+    pub fn alpha(&self) -> &Vector {
+        &self.alpha
+    }
+
+    /// Longitudinal fields `βᵢ`.
+    pub fn beta(&self) -> &Vector {
+        &self.beta
+    }
+
+    /// Pairwise couplings.
+    pub fn couplings(&self) -> &Couplings {
+        &self.couplings
+    }
+}
+
+impl SparseRowHamiltonian for TransverseFieldIsing {
+    fn num_spins(&self) -> usize {
+        self.alpha.len()
+    }
+
+    fn diagonal(&self, x: &[u8]) -> f64 {
+        debug_assert_eq!(x.len(), self.num_spins());
+        let sigma: Vec<f64> = x.iter().map(|&b| 1.0 - 2.0 * b as f64).collect();
+        let field_term: f64 = self
+            .beta
+            .iter()
+            .zip(&sigma)
+            .map(|(&b, &s)| b * s)
+            .sum();
+        -field_term - self.couplings.pair_energy(&sigma)
+    }
+
+    fn for_each_offdiag(&self, _x: &[u8], visit: &mut dyn FnMut(usize, f64)) {
+        for (i, &a) in self.alpha.iter().enumerate() {
+            if a != 0.0 {
+                visit(i, -a);
+            }
+        }
+    }
+
+    fn sparsity(&self) -> usize {
+        self.num_spins() + 1
+    }
+
+    fn diagonal_batch(&self, batch: &SpinBatch) -> Vector {
+        // Vectorised: −Σ βᵢσᵢ via one matvec-style pass, pair term via
+        // the coupling backend's batched kernel (GEMM when dense).
+        let sigma = batch.to_ising_matrix();
+        let pair = self.couplings.pair_energy_batch(batch);
+        Vector::from_fn(batch.batch_size(), |s| {
+            let field: f64 = vqmc_tensor::vector::dot(sigma.row(s), &self.beta);
+            -field - pair[s]
+        })
+    }
+}
+
+impl std::fmt::Debug for TransverseFieldIsing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TransverseFieldIsing(n={}, couplings={:?})",
+            self.num_spins(),
+            self.couplings
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqmc_tensor::batch::enumerate_configs;
+
+    #[test]
+    fn random_instance_is_deterministic() {
+        let a = TransverseFieldIsing::random(8, 42);
+        let b = TransverseFieldIsing::random(8, 42);
+        assert_eq!(a.alpha().as_slice(), b.alpha().as_slice());
+        assert_eq!(a.beta().as_slice(), b.beta().as_slice());
+        let c = TransverseFieldIsing::random(8, 43);
+        assert_ne!(a.alpha().as_slice(), c.alpha().as_slice());
+    }
+
+    #[test]
+    fn disorder_ranges() {
+        let h = TransverseFieldIsing::random(64, 7);
+        assert!(h.alpha().iter().all(|&a| (0.0..1.0).contains(&a)));
+        assert!(h.beta().iter().all(|&b| (-1.0..1.0).contains(&b)));
+    }
+
+    #[test]
+    fn diagonal_hand_check_two_spins() {
+        // H = -α0 X0 - α1 X1 - β0 Z0 - β1 Z1 - β01 Z0 Z1.
+        let h = TransverseFieldIsing::new(
+            Vector(vec![0.3, 0.7]),
+            Vector(vec![0.5, -0.2]),
+            Couplings::dense_from_upper(2, |_, _| 0.4),
+        );
+        // x = [0,0] -> σ = [+1,+1]: diag = -(0.5 - 0.2) - 0.4 = -0.7
+        assert!((h.diagonal(&[0, 0]) - (-0.7)).abs() < 1e-12);
+        // x = [1,0] -> σ = [-1,+1]: diag = -(-0.5 - 0.2) - (-0.4) = 1.1
+        assert!((h.diagonal(&[1, 0]) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offdiag_lists_all_flips_with_alpha_weights() {
+        let h = TransverseFieldIsing::new(
+            Vector(vec![0.3, 0.0, 0.9]),
+            Vector::zeros(3),
+            Couplings::dense_from_upper(3, |_, _| 0.0),
+        );
+        let mut seen = Vec::new();
+        h.for_each_offdiag(&[0, 1, 0], &mut |i, v| seen.push((i, v)));
+        // α₁ = 0 is skipped.
+        assert_eq!(seen, vec![(0, -0.3), (2, -0.9)]);
+    }
+
+    #[test]
+    fn diagonal_batch_matches_scalar() {
+        let h = TransverseFieldIsing::random(6, 11);
+        let batch = enumerate_configs(6);
+        let d = h.diagonal_batch(&batch);
+        for (s, config) in batch.samples().enumerate() {
+            assert!(
+                (d[s] - h.diagonal(config)).abs() < 1e-10,
+                "config {s}: {} vs {}",
+                d[s],
+                h.diagonal(config)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_variant_valid() {
+        let h = TransverseFieldIsing::random_sparse(100, 6, 3);
+        assert_eq!(h.num_spins(), 100);
+        let x = vec![0u8; 100];
+        let d = h.diagonal(&x);
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn sherrington_kirkpatrick_statistics() {
+        let n = 200;
+        let h = TransverseFieldIsing::sherrington_kirkpatrick(n, 0.5, 7);
+        assert!(h.alpha().iter().all(|&a| a == 0.5));
+        assert!(h.beta().iter().all(|&b| b == 0.0));
+        // Coupling variance ≈ 1/n.
+        let mut sum_sq = 0.0;
+        let mut count = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = h.couplings().get(i, j);
+                sum_sq += v * v;
+                count += 1;
+            }
+        }
+        let var = sum_sq / count as f64;
+        assert!(
+            (var - 1.0 / n as f64).abs() < 0.3 / n as f64,
+            "coupling variance {var} vs 1/n = {}",
+            1.0 / n as f64
+        );
+    }
+
+    #[test]
+    fn sk_ground_energy_is_extensive() {
+        // λ_min / n should be O(1) thanks to the 1/√n normalisation.
+        let h = TransverseFieldIsing::sherrington_kirkpatrick(8, 0.3, 3);
+        let gs = crate::exact::ground_state(&h, 200, 1e-10);
+        let per_spin = gs.energy / 8.0;
+        assert!((-2.0..0.0).contains(&per_spin), "e/n = {per_spin}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_alpha_rejected() {
+        let _ = TransverseFieldIsing::new(
+            Vector(vec![-0.1]),
+            Vector::zeros(1),
+            Couplings::dense_from_upper(1, |_, _| 0.0),
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Model checkpointing: save / restore trained wavefunctions.
+//!
+//! A deliberately tiny self-describing binary format (magic + version +
+//! model kind + shape + little-endian `f64` parameters) so the crate
+//! needs no serialisation-format dependency.  Checkpoints are portable
+//! across platforms (explicit endianness) and validated on load (magic,
+//! version, kind, shape, length).
+//!
+//! ```no_run
+//! use vqmc_nn::{checkpoint::Checkpoint, Made};
+//! let model = Made::new(20, 45, 1);
+//! model.save("made.ckpt").unwrap();
+//! let restored = Made::load("made.ckpt").unwrap();
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use vqmc_tensor::Vector;
+
+use crate::{Made, Nade, Rbm, WaveFunction};
+
+const MAGIC: &[u8; 4] = b"VQMC";
+const VERSION: u32 = 1;
+
+/// A wavefunction that can be persisted and restored.
+pub trait Checkpoint: WaveFunction + Sized {
+    /// Kind tag written into the file (guards against loading an RBM
+    /// checkpoint into a MADE, etc.).
+    const KIND: &'static str;
+
+    /// Hidden width (the second shape coordinate of every model here).
+    fn hidden(&self) -> usize;
+
+    /// Constructs an uninitialised model of the given shape; its
+    /// parameters are immediately overwritten by the loader.
+    fn with_shape(n: usize, h: usize) -> Self;
+
+    /// Writes the checkpoint.
+    fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(MAGIC)?;
+        f.write_all(&VERSION.to_le_bytes())?;
+        let kind = Self::KIND.as_bytes();
+        f.write_all(&(kind.len() as u32).to_le_bytes())?;
+        f.write_all(kind)?;
+        f.write_all(&(self.num_spins() as u64).to_le_bytes())?;
+        f.write_all(&(self.hidden() as u64).to_le_bytes())?;
+        let params = self.params();
+        f.write_all(&(params.len() as u64).to_le_bytes())?;
+        for v in params.iter() {
+            f.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Reads a checkpoint, validating the header.
+    fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut f = std::fs::File::open(path)?;
+        let mut magic = [0u8; 4];
+        f.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a vqmc checkpoint (bad magic)"));
+        }
+        let version = read_u32(&mut f)?;
+        if version != VERSION {
+            return Err(bad(&format!("unsupported checkpoint version {version}")));
+        }
+        let kind_len = read_u32(&mut f)? as usize;
+        if kind_len > 64 {
+            return Err(bad("implausible kind-tag length"));
+        }
+        let mut kind = vec![0u8; kind_len];
+        f.read_exact(&mut kind)?;
+        if kind != Self::KIND.as_bytes() {
+            return Err(bad(&format!(
+                "checkpoint holds a {:?} model, expected {:?}",
+                String::from_utf8_lossy(&kind),
+                Self::KIND
+            )));
+        }
+        let n = read_u64(&mut f)? as usize;
+        let h = read_u64(&mut f)? as usize;
+        let count = read_u64(&mut f)? as usize;
+        let mut model = Self::with_shape(n, h);
+        if count != model.num_params() {
+            return Err(bad(&format!(
+                "parameter count mismatch: file has {count}, shape ({n},{h}) wants {}",
+                model.num_params()
+            )));
+        }
+        let mut buf = vec![0u8; count * 8];
+        f.read_exact(&mut buf)?;
+        let params = Vector(
+            buf.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect(),
+        );
+        if !params.all_finite() {
+            return Err(bad("checkpoint contains non-finite parameters"));
+        }
+        model.set_params(&params);
+        Ok(model)
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_u32(f: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    f.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(f: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    f.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+impl Checkpoint for Made {
+    const KIND: &'static str = "made";
+    fn hidden(&self) -> usize {
+        self.hidden_size()
+    }
+    fn with_shape(n: usize, h: usize) -> Self {
+        Made::new(n, h, 0)
+    }
+}
+
+impl Checkpoint for Rbm {
+    const KIND: &'static str = "rbm";
+    fn hidden(&self) -> usize {
+        self.hidden_size()
+    }
+    fn with_shape(n: usize, h: usize) -> Self {
+        Rbm::new(n, h, 0)
+    }
+}
+
+impl Checkpoint for Nade {
+    const KIND: &'static str = "nade";
+    fn hidden(&self) -> usize {
+        self.hidden_size()
+    }
+    fn with_shape(n: usize, h: usize) -> Self {
+        Nade::new(n, h, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqmc_tensor::batch::enumerate_configs;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vqmc-ckpt-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn made_round_trip_preserves_amplitudes() {
+        let path = tmp("made");
+        let model = Made::new(6, 9, 17);
+        model.save(&path).unwrap();
+        let restored = Made::load(&path).unwrap();
+        let batch = enumerate_configs(6);
+        let a = model.log_psi(&batch);
+        let b = restored.log_psi(&batch);
+        for s in 0..batch.batch_size() {
+            assert_eq!(a[s], b[s], "sample {s}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rbm_and_nade_round_trip() {
+        let p1 = tmp("rbm");
+        let rbm = Rbm::new(5, 7, 3);
+        rbm.save(&p1).unwrap();
+        let r2 = Rbm::load(&p1).unwrap();
+        assert_eq!(rbm.params().as_slice(), r2.params().as_slice());
+        std::fs::remove_file(&p1).ok();
+
+        let p2 = tmp("nade");
+        let nade = Nade::new(5, 6, 4);
+        nade.save(&p2).unwrap();
+        let n2 = Nade::load(&p2).unwrap();
+        assert_eq!(nade.params().as_slice(), n2.params().as_slice());
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let path = tmp("kind-mismatch");
+        Made::new(4, 5, 1).save(&path).unwrap();
+        let err = Rbm::load(&path).unwrap_err();
+        assert!(err.to_string().contains("expected"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let path = tmp("bad-magic");
+        std::fs::write(&path, b"NOPE-this-is-not-a-checkpoint").unwrap();
+        let err = Made::load(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let path = tmp("truncated");
+        Made::new(4, 5, 1).save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(Made::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,69 @@
+//! Parameter initialisation.
+//!
+//! Glorot/Xavier-uniform fan-in/fan-out scaling, matching the PyTorch
+//! defaults the paper's reference implementation would have used for its
+//! fully-connected layers.  All initialisation is driven by an explicit
+//! RNG so that model replicas on the virtual cluster can be constructed
+//! bit-identically from a shared seed.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use vqmc_tensor::{Matrix, Vector};
+
+/// Glorot/Xavier-uniform weight matrix: entries `~ U(−a, a)` with
+/// `a = √(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    let dist = Uniform::new_inclusive(-a, a);
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+}
+
+/// PyTorch-style `nn.Linear` bias init: `U(−1/√fan_in, 1/√fan_in)`.
+pub fn linear_bias(fan_in: usize, len: usize, rng: &mut impl Rng) -> Vector {
+    let bound = 1.0 / (fan_in.max(1) as f64).sqrt();
+    let dist = Uniform::new_inclusive(-bound, bound);
+    Vector::from_fn(len, |_| dist.sample(rng))
+}
+
+/// Small-scale Gaussian-free uniform init for RBM visible biases
+/// (`U(−0.01, 0.01)`), keeping the initial wavefunction close to uniform
+/// over configurations — the standard neutral start for VQMC.
+pub fn near_zero(len: usize, rng: &mut impl Rng) -> Vector {
+    let dist = Uniform::new_inclusive(-0.01, 0.01);
+    Vector::from_fn(len, |_| dist.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(20, 30, &mut rng);
+        let a = (6.0 / 50.0f64).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= a));
+        // Not all zero.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m1 = xavier_uniform(5, 5, &mut StdRng::seed_from_u64(9));
+        let m2 = xavier_uniform(5, 5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(m1, m2);
+        let m3 = xavier_uniform(5, 5, &mut StdRng::seed_from_u64(10));
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn bias_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = linear_bias(16, 8, &mut rng);
+        assert!(b.iter().all(|&v| v.abs() <= 0.25));
+        let z = near_zero(8, &mut rng);
+        assert!(z.iter().all(|&v| v.abs() <= 0.01));
+    }
+}

@@ -1,0 +1,559 @@
+//! The MADE autoregressive neural quantum state (paper §2.3 / §5.1).
+//!
+//! Architecture (exactly the paper's):
+//!
+//! ```text
+//! Input ──[bs,n]──> MaskedFC1 ──[bs,h]──> ReLU
+//!       ──[bs,h]──> MaskedFC2 ──[bs,n]──> Sigmoid ──> conditionals
+//! ```
+//!
+//! The sigmoid outputs are the conditionals `pᵢ = p(xᵢ = 1 | x_{<i})`;
+//! the model distribution is `πθ(x) = Πᵢ pᵢ^{xᵢ}(1−pᵢ)^{1−xᵢ}` and the
+//! wavefunction is its square root, `logψθ(x) = ½ log πθ(x)` —
+//! legitimate for ground states of Hamiltonians with non-positive
+//! off-diagonals, which are entrywise non-negative (Perron–Frobenius,
+//! paper §2.1).
+//!
+//! ## Parameter layout (flattened)
+//!
+//! `[W₁ (h·n, row-major) | b₁ (h) | W₂ (n·h, row-major) | b₂ (n)]`,
+//! total `d = 2hn + h + n` — the gradient-vector length quoted in the
+//! paper's §4.
+//!
+//! ## Mask invariant
+//!
+//! Masked weight entries are identically zero for the lifetime of the
+//! model: they are zero-initialised, every gradient is masked, and
+//! [`Made::set_params`] re-applies the masks defensively.  The
+//! autoregressive property is therefore structural, not statistical;
+//! `tests` property-check it by perturbing suffix bits.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vqmc_tensor::{ops, Matrix, SpinBatch, Vector};
+
+use crate::masks;
+use crate::{init, Autoregressive, WaveFunction};
+
+/// Masked autoencoder wavefunction.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Made {
+    n: usize,
+    h: usize,
+    w1: Matrix,
+    b1: Vector,
+    w2: Matrix,
+    b2: Vector,
+    mask1: Matrix,
+    mask2: Matrix,
+}
+
+/// Cached forward-pass activations, reused by backprop.
+struct Forward {
+    /// Network input (the batch as `f64` 0/1 rows).
+    x: Matrix,
+    /// Hidden pre-activations `Z₁ = X W₁ᵀ + b₁`.
+    z1: Matrix,
+    /// Hidden activations `H₁ = relu(Z₁)`.
+    h1: Matrix,
+    /// Output logits `A = H₁ W₂ᵀ + b₂`.
+    logits: Matrix,
+}
+
+impl Made {
+    /// Creates a MADE with `n` spins and `h` hidden units, parameters
+    /// initialised from `seed` (Xavier weights, PyTorch-style biases),
+    /// masks applied.
+    pub fn new(n: usize, h: usize, seed: u64) -> Self {
+        assert!(n >= 1 && h >= 1, "Made: degenerate shape");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let degrees = masks::hidden_degrees(n, h);
+        let mask1 = masks::input_mask(n, &degrees);
+        let mask2 = masks::output_mask(n, &degrees);
+        let mut w1 = init::xavier_uniform(h, n, &mut rng);
+        w1.hadamard_inplace(&mask1);
+        let b1 = init::linear_bias(n, h, &mut rng);
+        let mut w2 = init::xavier_uniform(n, h, &mut rng);
+        w2.hadamard_inplace(&mask2);
+        let b2 = init::linear_bias(h, n, &mut rng);
+        Made {
+            n,
+            h,
+            w1,
+            b1,
+            w2,
+            b2,
+            mask1,
+            mask2,
+        }
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden_size(&self) -> usize {
+        self.h
+    }
+
+    /// Masked first-layer weights (`h × n`).
+    pub fn w1(&self) -> &Matrix {
+        &self.w1
+    }
+
+    /// First-layer bias (`h`).
+    pub fn b1(&self) -> &Vector {
+        &self.b1
+    }
+
+    /// Masked second-layer weights (`n × h`).
+    pub fn w2(&self) -> &Matrix {
+        &self.w2
+    }
+
+    /// Second-layer bias (`n`).
+    pub fn b2(&self) -> &Vector {
+        &self.b2
+    }
+
+    /// The hidden mask `M¹` (tests / diagnostics).
+    pub fn mask1(&self) -> &Matrix {
+        &self.mask1
+    }
+
+    /// The output mask `M²` (tests / diagnostics).
+    pub fn mask2(&self) -> &Matrix {
+        &self.mask2
+    }
+
+    fn forward(&self, batch: &SpinBatch) -> Forward {
+        assert_eq!(batch.num_spins(), self.n, "Made: spin-count mismatch");
+        let x = batch.to_matrix();
+        let mut z1 = x.matmul_nt(&self.w1);
+        z1.add_row_bias(&self.b1);
+        let h1 = z1.map(ops::relu);
+        let mut logits = h1.matmul_nt(&self.w2);
+        logits.add_row_bias(&self.b2);
+        Forward { x, z1, h1, logits }
+    }
+
+    /// Output logits `aᵢ` (pre-sigmoid conditionals) for a batch — the
+    /// numerically safe representation for log-probabilities.
+    pub fn logits(&self, batch: &SpinBatch) -> Matrix {
+        self.forward(batch).logits
+    }
+
+    /// Per-sample `logπ(x) = Σᵢ xᵢ·logσ(aᵢ) + (1−xᵢ)·logσ(−aᵢ)`,
+    /// computed from logits for stability.
+    fn log_prob_from_logits(batch: &SpinBatch, logits: &Matrix) -> Vector {
+        Vector::from_fn(batch.batch_size(), |s| {
+            let a_row = logits.row(s);
+            batch
+                .sample(s)
+                .iter()
+                .zip(a_row)
+                .map(|(&bit, &a)| {
+                    if bit == 1 {
+                        ops::log_sigmoid(a)
+                    } else {
+                        ops::log_one_minus_sigmoid(a)
+                    }
+                })
+                .sum()
+        })
+    }
+
+    /// Shared backward pass.
+    ///
+    /// `out_weights[s]` scales sample `s`'s contribution to `logψ`; the
+    /// returned flat vector is `Σ_s out_weights[s] · ∇θ logψ(x_s)`.
+    fn backward(&self, fwd: &Forward, batch: &SpinBatch, out_weights: &Vector) -> Vector {
+        let bs = batch.batch_size();
+        // δA[s,i] = w_s · ½ (xᵢ − σ(aᵢ))   (∂logψ/∂aᵢ = ½ ∂logπ/∂aᵢ).
+        let mut delta_a = Matrix::zeros(bs, self.n);
+        for s in 0..bs {
+            let w = out_weights[s];
+            let a_row = fwd.logits.row(s);
+            let x_row = batch.sample(s);
+            let out = delta_a.row_mut(s);
+            for i in 0..self.n {
+                out[i] = w * 0.5 * (x_row[i] as f64 - ops::sigmoid(a_row[i]));
+            }
+        }
+        // dW₂ = δAᵀ H₁ ⊙ M², db₂ = colsum δA.
+        let mut dw2 = delta_a.matmul_tn(&fwd.h1);
+        dw2.hadamard_inplace(&self.mask2);
+        let db2 = column_sums(&delta_a);
+        // δH₁ = δA W₂ ; δZ₁ = δH₁ ⊙ relu'(Z₁).
+        let mut delta_z1 = delta_a.matmul_nn(&self.w2);
+        for (dz, &z) in delta_z1
+            .as_mut_slice()
+            .iter_mut()
+            .zip(fwd.z1.as_slice())
+        {
+            *dz *= ops::relu_prime(z);
+        }
+        // dW₁ = δZ₁ᵀ X ⊙ M¹, db₁ = colsum δZ₁.
+        let mut dw1 = delta_z1.matmul_tn(&fwd.x);
+        dw1.hadamard_inplace(&self.mask1);
+        let db1 = column_sums(&delta_z1);
+
+        flatten(&[dw1.as_slice(), &db1, dw2.as_slice(), &db2])
+    }
+}
+
+fn column_sums(m: &Matrix) -> Vector {
+    let mut out = Vector::zeros(m.cols());
+    for row in m.rows_iter() {
+        vqmc_tensor::vector::axpy(&mut out, 1.0, row);
+    }
+    out
+}
+
+fn flatten(parts: &[&[f64]]) -> Vector {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    Vector(out)
+}
+
+impl WaveFunction for Made {
+    fn num_spins(&self) -> usize {
+        self.n
+    }
+
+    fn num_params(&self) -> usize {
+        2 * self.h * self.n + self.h + self.n
+    }
+
+    fn log_psi(&self, batch: &SpinBatch) -> Vector {
+        let fwd = self.forward(batch);
+        let mut lp = Self::log_prob_from_logits(batch, &fwd.logits);
+        lp.scale(0.5);
+        lp
+    }
+
+    fn weighted_log_psi_grad(&self, batch: &SpinBatch, weights: &Vector) -> Vector {
+        assert_eq!(weights.len(), batch.batch_size());
+        let fwd = self.forward(batch);
+        self.backward(&fwd, batch, weights)
+    }
+
+    fn per_sample_grads(&self, batch: &SpinBatch) -> Matrix {
+        let bs = batch.batch_size();
+        let d = self.num_params();
+        let fwd = self.forward(batch);
+        let mut rows = Matrix::zeros(bs, d);
+        // One-sample backward per row: exact but explicit.  The weight
+        // structure (δzᵀx outer products) is computed directly into the
+        // row to avoid a temporary per-layer matrix per sample.
+        let (h, n) = (self.h, self.n);
+        for s in 0..bs {
+            let a_row = fwd.logits.row(s);
+            let x_row = batch.sample(s);
+            // δa (length n).
+            let delta_a: Vec<f64> = (0..n)
+                .map(|i| 0.5 * (x_row[i] as f64 - ops::sigmoid(a_row[i])))
+                .collect();
+            // δz₁ = (δa W₂) ⊙ relu'(z₁) (length h).
+            let z_row = fwd.z1.row(s);
+            let mut delta_z = vec![0.0; h];
+            for (i, &da) in delta_a.iter().enumerate() {
+                if da != 0.0 {
+                    vqmc_tensor::vector::axpy(&mut delta_z, da, self.w2.row(i));
+                }
+            }
+            for (dz, &z) in delta_z.iter_mut().zip(z_row) {
+                *dz *= ops::relu_prime(z);
+            }
+            let h1_row = fwd.h1.row(s);
+            let row = rows.row_mut(s);
+            // dW₁[k, d'] = δz_k · x_d' · M¹ — x is 0/1 so just copy δz
+            // into the columns where the input bit is set (mask entries
+            // are already zero in w2/w1 gradient positions via δ=0?
+            // No: mask must be applied explicitly).
+            for k in 0..h {
+                let base = k * n;
+                let dz = delta_z[k];
+                if dz != 0.0 {
+                    let mrow = self.mask1.row(k);
+                    for d2 in 0..n {
+                        if x_row[d2] == 1 && mrow[d2] == 1.0 {
+                            row[base + d2] = dz;
+                        }
+                    }
+                }
+            }
+            let off_b1 = h * n;
+            row[off_b1..off_b1 + h].copy_from_slice(&delta_z);
+            let off_w2 = off_b1 + h;
+            for i in 0..n {
+                let base = off_w2 + i * h;
+                let da = delta_a[i];
+                if da != 0.0 {
+                    let mrow = self.mask2.row(i);
+                    for k in 0..h {
+                        if mrow[k] == 1.0 {
+                            row[base + k] = da * h1_row[k];
+                        }
+                    }
+                }
+            }
+            let off_b2 = off_w2 + n * h;
+            row[off_b2..off_b2 + n].copy_from_slice(&delta_a);
+        }
+        rows
+    }
+
+    fn params(&self) -> Vector {
+        flatten(&[
+            self.w1.as_slice(),
+            &self.b1,
+            self.w2.as_slice(),
+            &self.b2,
+        ])
+    }
+
+    fn set_params(&mut self, params: &Vector) {
+        assert_eq!(params.len(), self.num_params(), "Made: param length");
+        let (h, n) = (self.h, self.n);
+        let mut off = 0;
+        self.w1 = Matrix::from_vec(h, n, params.as_slice()[off..off + h * n].to_vec());
+        off += h * n;
+        self.b1 = Vector(params.as_slice()[off..off + h].to_vec());
+        off += h;
+        self.w2 = Matrix::from_vec(n, h, params.as_slice()[off..off + n * h].to_vec());
+        off += n * h;
+        self.b2 = Vector(params.as_slice()[off..off + n].to_vec());
+        // Defensive: the mask invariant survives arbitrary inputs.
+        self.w1.hadamard_inplace(&self.mask1);
+        self.w2.hadamard_inplace(&self.mask2);
+    }
+}
+
+impl Autoregressive for Made {
+    fn conditionals(&self, batch: &SpinBatch) -> Matrix {
+        let mut logits = self.forward(batch).logits;
+        logits.map_inplace(ops::sigmoid);
+        logits
+    }
+}
+
+impl std::fmt::Debug for Made {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Made(n={}, h={}, d={})",
+            self.n,
+            self.h,
+            self.num_params()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqmc_tensor::batch::enumerate_configs;
+    use vqmc_tensor::reduce::log_sum_exp;
+
+    fn tiny() -> Made {
+        Made::new(5, 9, 42)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let m = tiny();
+        assert_eq!(m.num_spins(), 5);
+        assert_eq!(m.num_params(), 2 * 9 * 5 + 9 + 5);
+        assert_eq!(m.params().len(), m.num_params());
+    }
+
+    #[test]
+    fn distribution_is_exactly_normalised() {
+        // Σ_x π(x) = 1 — THE property that makes AUTO sampling exact.
+        for n in 1..=10 {
+            let m = Made::new(n, 2 * n + 3, 7 + n as u64);
+            let all = enumerate_configs(n);
+            let log_probs = m.log_prob(&all);
+            let total = log_sum_exp(&log_probs);
+            assert!(
+                total.abs() < 1e-10,
+                "n={n}: Σπ = exp({total}) deviates from 1"
+            );
+        }
+    }
+
+    #[test]
+    fn conditionals_ignore_suffix_bits() {
+        // Autoregressive property: p(x_i|·) must not change when any bit
+        // j >= i changes.
+        let m = tiny();
+        let mut batch = SpinBatch::zeros(1, 5);
+        batch.set(0, 0, 1);
+        batch.set(0, 2, 1);
+        let base = m.conditionals(&batch);
+        for j in 0..5 {
+            let mut perturbed = batch.clone();
+            perturbed.flip(0, j);
+            let cond = m.conditionals(&perturbed);
+            for i in 0..=j {
+                assert!(
+                    (cond.get(0, i) - base.get(0, i)).abs() < 1e-14,
+                    "conditional {i} changed when bit {j} flipped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log_psi_is_half_log_prob() {
+        let m = tiny();
+        let batch = enumerate_configs(5);
+        let lp = m.log_psi(&batch);
+        let lpr = m.log_prob(&batch);
+        for s in 0..batch.batch_size() {
+            assert!((2.0 * lp[s] - lpr[s]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn params_round_trip_preserves_log_psi() {
+        let mut m = tiny();
+        let batch = enumerate_configs(5);
+        let before = m.log_psi(&batch);
+        let p = m.params();
+        m.set_params(&p);
+        let after = m.log_psi(&batch);
+        for s in 0..batch.batch_size() {
+            assert_eq!(before[s], after[s]);
+        }
+    }
+
+    #[test]
+    fn set_params_enforces_masks() {
+        let mut m = tiny();
+        let mut p = m.params();
+        // Poison every parameter, including masked slots.
+        for v in p.iter_mut() {
+            *v += 1.0;
+        }
+        m.set_params(&p);
+        // Masked entries must still be zero.
+        for k in 0..m.hidden_size() {
+            for d in 0..m.num_spins() {
+                if m.mask1().get(k, d) == 0.0 {
+                    assert_eq!(m.w1().get(k, d), 0.0);
+                }
+            }
+        }
+        for i in 0..m.num_spins() {
+            for k in 0..m.hidden_size() {
+                if m.mask2().get(i, k) == 0.0 {
+                    assert_eq!(m.w2().get(i, k), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_grad_matches_finite_difference() {
+        let m = tiny();
+        let batch = SpinBatch::from_fn(3, 5, |s, i| ((s + i) % 2) as u8);
+        let weights = Vector(vec![1.0, -0.5, 2.0]);
+        let analytic = m.weighted_log_psi_grad(&batch, &weights);
+
+        let p0 = m.params();
+        let f = |p: &[f64]| {
+            let mut probe = m.clone();
+            probe.set_params(&Vector(p.to_vec()));
+            let lp = probe.log_psi(&batch);
+            lp.iter().zip(weights.iter()).map(|(l, w)| l * w).sum()
+        };
+        // Masked coordinates receive no gradient from either method;
+        // check_gradient covers every coordinate.
+        vqmc_autodiff::check_gradient("made-weighted", &f, &p0, &analytic, 1e-5);
+    }
+
+    #[test]
+    fn weighted_grad_matches_autodiff_tape() {
+        // Rebuild the MADE computation on the tape and compare parameter
+        // gradients of Σ_s w_s logψ(x_s).
+        let m = tiny();
+        let batch = SpinBatch::from_fn(4, 5, |s, i| ((s * 3 + i * 2) % 2) as u8);
+        let weights = Vector(vec![0.7, 1.3, -1.0, 0.25]);
+        let analytic = m.weighted_log_psi_grad(&batch, &weights);
+
+        use vqmc_autodiff::Tape;
+        let mut tape = Tape::new();
+        let x = tape.input(batch.to_matrix());
+        let w1 = tape.input(m.w1().clone());
+        let b1 = tape.input(Matrix::from_vec(1, m.hidden_size(), m.b1().to_vec()));
+        let w2 = tape.input(m.w2().clone());
+        let b2 = tape.input(Matrix::from_vec(1, m.num_spins(), m.b2().to_vec()));
+        // Masks as constants (so gradients arrive masked like analytic).
+        let w1m = tape.mul_const(w1, m.mask1().clone());
+        let w2m = tape.mul_const(w2, m.mask2().clone());
+        let z1 = tape.matmul_nt(x, w1m);
+        let z1b = tape.add_row_bias(z1, b1);
+        let h1 = tape.relu(z1b);
+        let a = tape.matmul_nt(h1, w2m);
+        let ab = tape.add_row_bias(a, b2);
+        let logpi = tape.bernoulli_log_prob(ab, batch.to_matrix()); // bs×1
+        let logpsi = tape.scale(logpi, 0.5);
+        let weighted = tape.mul_const(
+            logpsi,
+            Matrix::from_vec(4, 1, weights.to_vec()),
+        );
+        let loss = tape.sum(weighted);
+        let grads = tape.backward(loss);
+
+        // Assemble tape gradient in the Made layout.
+        let mut tape_grad = Vec::new();
+        tape_grad.extend_from_slice(grads.get(w1).as_slice());
+        tape_grad.extend_from_slice(grads.get(b1).as_slice());
+        tape_grad.extend_from_slice(grads.get(w2).as_slice());
+        tape_grad.extend_from_slice(grads.get(b2).as_slice());
+
+        assert_eq!(tape_grad.len(), analytic.len());
+        for (i, (a_val, t_val)) in analytic.iter().zip(&tape_grad).enumerate() {
+            assert!(
+                (a_val - t_val).abs() < 1e-10,
+                "param {i}: analytic {a_val} vs tape {t_val}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_sample_grads_sum_to_weighted_grad() {
+        let m = tiny();
+        let batch = SpinBatch::from_fn(6, 5, |s, i| ((s + 2 * i) % 2) as u8);
+        let rows = m.per_sample_grads(&batch);
+        assert_eq!(rows.shape(), (6, m.num_params()));
+        let weights = Vector(vec![0.3, -1.0, 0.5, 2.0, 1.0, -0.25]);
+        let weighted = m.weighted_log_psi_grad(&batch, &weights);
+        // Σ_s w_s · row_s must equal the one-pass weighted gradient.
+        let mut acc = Vector::zeros(m.num_params());
+        for s in 0..6 {
+            vqmc_tensor::vector::axpy(&mut acc, weights[s], rows.row(s));
+        }
+        for k in 0..m.num_params() {
+            assert!(
+                (acc[k] - weighted[k]).abs() < 1e-10,
+                "param {k}: {} vs {}",
+                acc[k],
+                weighted[k]
+            );
+        }
+    }
+
+    #[test]
+    fn single_spin_model_learns_its_bias() {
+        // n = 1: π(x₁=1) = σ(b₂); logψ([1]) = ½ logσ(b₂).
+        let m = Made::new(1, 3, 5);
+        let batch = SpinBatch::from_single(&[1]);
+        let lp = m.log_psi(&batch);
+        let expected = 0.5 * ops::log_sigmoid(m.b2()[0]);
+        assert!((lp[0] - expected).abs() < 1e-12);
+    }
+}

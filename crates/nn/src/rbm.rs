@@ -1,0 +1,412 @@
+//! The restricted-Boltzmann-machine log-amplitude (Carleo & Troyer 2017),
+//! in the paper's §5.1 form:
+//!
+//! ```text
+//! Input ──[bs,n]──> FC_{n,h} ──[bs,h]──> Lncoshsum ──[bs]──> Output1
+//!       ──[bs,n]──> FC_{n,1} ──[bs]──> (+ Output1) ──[bs]──> logψ
+//! ```
+//!
+//! i.e. `logψ(x) = a·x + c + Σⱼ ln cosh(Wx + b)ⱼ` with visible weights
+//! `a ∈ ℝⁿ`, scalar bias `c`, hidden weights `W ∈ ℝ^{h×n}` and hidden
+//! biases `b ∈ ℝʰ`.  The amplitude is **unnormalised** — exact sampling
+//! is intractable, so the RBM is paired with the MCMC sampler, exactly
+//! the pathology the paper's AUTO approach removes.
+//!
+//! ## Parameter layout (flattened)
+//!
+//! `[W (h·n, row-major) | b (h) | a (n) | c (1)]`, total
+//! `d = hn + h + n + 1`.
+//!
+//! ## MCMC fast path
+//!
+//! [`Rbm::hidden_preactivations`] / [`Rbm::flip_delta_log_psi`] give the
+//! `O(h)` single-flip log-ratio used by the Metropolis–Hastings sampler:
+//! with cached `z = Wx + b`, flipping bit `i` changes `logψ` by
+//! `a_i Δx_i + Σⱼ [ln cosh(zⱼ + Wⱼᵢ Δxᵢ) − ln cosh(zⱼ)]`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vqmc_tensor::{ops, Matrix, SpinBatch, Vector};
+
+use crate::{init, WaveFunction};
+
+/// RBM wavefunction in log-amplitude form.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Rbm {
+    n: usize,
+    h: usize,
+    w: Matrix,
+    b: Vector,
+    a: Vector,
+    c: f64,
+}
+
+impl Rbm {
+    /// Creates an RBM with `n` visible and `h` hidden units, initialised
+    /// from `seed`.
+    pub fn new(n: usize, h: usize, seed: u64) -> Self {
+        assert!(n >= 1 && h >= 1, "Rbm: degenerate shape");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Rbm {
+            n,
+            h,
+            w: init::xavier_uniform(h, n, &mut rng),
+            b: init::linear_bias(n, h, &mut rng),
+            a: init::near_zero(n, &mut rng),
+            c: 0.0,
+        }
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden_size(&self) -> usize {
+        self.h
+    }
+
+    /// Hidden weights (`h × n`).
+    pub fn w(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Hidden biases (`h`).
+    pub fn b(&self) -> &Vector {
+        &self.b
+    }
+
+    /// Visible weights (`n`).
+    pub fn a(&self) -> &Vector {
+        &self.a
+    }
+
+    /// Hidden pre-activations `z = Wx + b` for one configuration — the
+    /// state an MCMC chain caches between flips.
+    pub fn hidden_preactivations(&self, x: &[u8]) -> Vector {
+        assert_eq!(x.len(), self.n);
+        let mut z = self.b.clone();
+        for (i, &bit) in x.iter().enumerate() {
+            if bit == 1 {
+                // Column i of W.
+                for j in 0..self.h {
+                    z[j] += self.w.get(j, i);
+                }
+            }
+        }
+        z
+    }
+
+    /// `logψ` from cached pre-activations.
+    pub fn log_psi_from_hidden(&self, x: &[u8], z: &Vector) -> f64 {
+        let visible: f64 = x
+            .iter()
+            .zip(self.a.iter())
+            .map(|(&bit, &a)| a * bit as f64)
+            .sum();
+        visible + self.c + z.iter().map(|&zj| ops::ln_cosh(zj)).sum::<f64>()
+    }
+
+    /// `logψ(flip_i(x)) − logψ(x)` in `O(h)` given cached `z = Wx + b`.
+    pub fn flip_delta_log_psi(&self, x: &[u8], z: &Vector, i: usize) -> f64 {
+        let dx = if x[i] == 1 { -1.0 } else { 1.0 };
+        let mut delta = self.a[i] * dx;
+        for j in 0..self.h {
+            let zj = z[j];
+            delta += ops::ln_cosh(zj + self.w.get(j, i) * dx) - ops::ln_cosh(zj);
+        }
+        delta
+    }
+
+    /// Updates cached pre-activations after accepting the flip of bit
+    /// `i` (call *before* mutating `x`).
+    pub fn update_hidden_after_flip(&self, x: &[u8], z: &mut Vector, i: usize) {
+        let dx = if x[i] == 1 { -1.0 } else { 1.0 };
+        for j in 0..self.h {
+            z[j] += self.w.get(j, i) * dx;
+        }
+    }
+
+    /// Forward activations shared by the gradient paths:
+    /// `(X, Z = XWᵀ + b, T = tanh(Z))`.
+    fn forward(&self, batch: &SpinBatch) -> (Matrix, Matrix) {
+        assert_eq!(batch.num_spins(), self.n, "Rbm: spin-count mismatch");
+        let x = batch.to_matrix();
+        let mut z = x.matmul_nt(&self.w);
+        z.add_row_bias(&self.b);
+        (x, z)
+    }
+}
+
+impl WaveFunction for Rbm {
+    fn num_spins(&self) -> usize {
+        self.n
+    }
+
+    fn num_params(&self) -> usize {
+        self.h * self.n + self.h + self.n + 1
+    }
+
+    fn log_psi(&self, batch: &SpinBatch) -> Vector {
+        let (x, z) = self.forward(batch);
+        Vector::from_fn(batch.batch_size(), |s| {
+            let visible = vqmc_tensor::vector::dot(x.row(s), &self.a);
+            let hidden: f64 = z.row(s).iter().map(|&zj| ops::ln_cosh(zj)).sum();
+            visible + self.c + hidden
+        })
+    }
+
+    fn weighted_log_psi_grad(&self, batch: &SpinBatch, weights: &Vector) -> Vector {
+        assert_eq!(weights.len(), batch.batch_size());
+        let bs = batch.batch_size();
+        let (x, z) = self.forward(batch);
+        // T[s,j] = w_s · tanh(z_sj):  dW = Tᵀ X, db = colsum T.
+        let mut t = z;
+        for s in 0..bs {
+            let w = weights[s];
+            for v in t.row_mut(s) {
+                *v = w * ops::ln_cosh_prime(*v);
+            }
+        }
+        let dw = t.matmul_tn(&x);
+        let mut db = Vector::zeros(self.h);
+        for row in t.rows_iter() {
+            vqmc_tensor::vector::axpy(&mut db, 1.0, row);
+        }
+        // da = Σ_s w_s x_s ; dc = Σ_s w_s.
+        let mut da = Vector::zeros(self.n);
+        for s in 0..bs {
+            vqmc_tensor::vector::axpy(&mut da, weights[s], x.row(s));
+        }
+        let dc = weights.sum();
+
+        let mut out = Vec::with_capacity(self.num_params());
+        out.extend_from_slice(dw.as_slice());
+        out.extend_from_slice(&db);
+        out.extend_from_slice(&da);
+        out.push(dc);
+        Vector(out)
+    }
+
+    fn per_sample_grads(&self, batch: &SpinBatch) -> Matrix {
+        let bs = batch.batch_size();
+        let d = self.num_params();
+        let (x, z) = self.forward(batch);
+        let (h, n) = (self.h, self.n);
+        let mut rows = Matrix::zeros(bs, d);
+        for s in 0..bs {
+            let z_row = z.row(s);
+            let x_row = x.row(s);
+            let tanh_z: Vec<f64> = z_row.iter().map(|&v| ops::ln_cosh_prime(v)).collect();
+            let row = rows.row_mut(s);
+            // dW[j,k] = tanh(z_j)·x_k.
+            for j in 0..h {
+                if tanh_z[j] != 0.0 {
+                    let base = j * n;
+                    for k in 0..n {
+                        if x_row[k] != 0.0 {
+                            row[base + k] = tanh_z[j] * x_row[k];
+                        }
+                    }
+                }
+            }
+            let off_b = h * n;
+            row[off_b..off_b + h].copy_from_slice(&tanh_z);
+            let off_a = off_b + h;
+            row[off_a..off_a + n].copy_from_slice(x_row);
+            row[off_a + n] = 1.0;
+        }
+        rows
+    }
+
+    fn params(&self) -> Vector {
+        let mut out = Vec::with_capacity(self.num_params());
+        out.extend_from_slice(self.w.as_slice());
+        out.extend_from_slice(&self.b);
+        out.extend_from_slice(&self.a);
+        out.push(self.c);
+        Vector(out)
+    }
+
+    fn set_params(&mut self, params: &Vector) {
+        assert_eq!(params.len(), self.num_params(), "Rbm: param length");
+        let (h, n) = (self.h, self.n);
+        let mut off = 0;
+        self.w = Matrix::from_vec(h, n, params.as_slice()[off..off + h * n].to_vec());
+        off += h * n;
+        self.b = Vector(params.as_slice()[off..off + h].to_vec());
+        off += h;
+        self.a = Vector(params.as_slice()[off..off + n].to_vec());
+        off += n;
+        self.c = params[off];
+    }
+}
+
+impl std::fmt::Debug for Rbm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Rbm(n={}, h={}, d={})", self.n, self.h, self.num_params())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqmc_tensor::batch::enumerate_configs;
+
+    fn tiny() -> Rbm {
+        Rbm::new(4, 6, 11)
+    }
+
+    #[test]
+    fn param_count_and_round_trip() {
+        let mut r = tiny();
+        assert_eq!(r.num_params(), 6 * 4 + 6 + 4 + 1);
+        let batch = enumerate_configs(4);
+        let before = r.log_psi(&batch);
+        let p = r.params();
+        r.set_params(&p);
+        let after = r.log_psi(&batch);
+        for s in 0..16 {
+            assert_eq!(before[s], after[s]);
+        }
+    }
+
+    #[test]
+    fn log_psi_matches_direct_formula() {
+        let r = tiny();
+        let x = [1u8, 0, 1, 1];
+        let batch = SpinBatch::from_single(&x);
+        let lp = r.log_psi(&batch)[0];
+        // Direct: a·x + c + Σ ln cosh(Wx + b).
+        let mut direct = r.a()[0] + r.a()[2] + r.a()[3];
+        for j in 0..r.hidden_size() {
+            let z = r.w().get(j, 0) + r.w().get(j, 2) + r.w().get(j, 3) + r.b()[j];
+            direct += ops::ln_cosh(z);
+        }
+        assert!((lp - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hidden_cache_matches_forward() {
+        let r = tiny();
+        let x = [0u8, 1, 1, 0];
+        let z = r.hidden_preactivations(&x);
+        let lp_cached = r.log_psi_from_hidden(&x, &z);
+        let lp = r.log_psi(&SpinBatch::from_single(&x))[0];
+        assert!((lp_cached - lp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_delta_matches_full_recompute() {
+        let r = tiny();
+        let x = [1u8, 0, 0, 1];
+        let z = r.hidden_preactivations(&x);
+        let base = r.log_psi(&SpinBatch::from_single(&x))[0];
+        for i in 0..4 {
+            let mut y = x;
+            y[i] ^= 1;
+            let flipped = r.log_psi(&SpinBatch::from_single(&y))[0];
+            let delta = r.flip_delta_log_psi(&x, &z, i);
+            assert!(
+                ((flipped - base) - delta).abs() < 1e-12,
+                "flip {i}: {} vs {}",
+                flipped - base,
+                delta
+            );
+        }
+    }
+
+    #[test]
+    fn hidden_update_after_flip_is_consistent() {
+        let r = tiny();
+        let mut x = [1u8, 0, 0, 1];
+        let mut z = r.hidden_preactivations(&x);
+        // Accept a flip of bit 2, then bit 0.
+        for &i in &[2usize, 0] {
+            r.update_hidden_after_flip(&x, &mut z, i);
+            x[i] ^= 1;
+            let fresh = r.hidden_preactivations(&x);
+            for j in 0..r.hidden_size() {
+                assert!((z[j] - fresh[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_grad_matches_finite_difference() {
+        let r = tiny();
+        let batch = SpinBatch::from_fn(3, 4, |s, i| ((s * 2 + i) % 2) as u8);
+        let weights = Vector(vec![1.5, -0.7, 0.9]);
+        let analytic = r.weighted_log_psi_grad(&batch, &weights);
+        let p0 = r.params();
+        let f = |p: &[f64]| {
+            let mut probe = r.clone();
+            probe.set_params(&Vector(p.to_vec()));
+            let lp = probe.log_psi(&batch);
+            lp.iter().zip(weights.iter()).map(|(l, w)| l * w).sum()
+        };
+        vqmc_autodiff::check_gradient("rbm-weighted", &f, &p0, &analytic, 1e-5);
+    }
+
+    #[test]
+    fn weighted_grad_matches_autodiff_tape() {
+        let r = tiny();
+        let batch = SpinBatch::from_fn(3, 4, |s, i| ((s + i) % 2) as u8);
+        let weights = Vector(vec![0.5, 2.0, -1.0]);
+        let analytic = r.weighted_log_psi_grad(&batch, &weights);
+
+        use vqmc_autodiff::Tape;
+        let mut tape = Tape::new();
+        let x = tape.input(batch.to_matrix());
+        let w = tape.input(r.w().clone());
+        let b = tape.input(Matrix::from_vec(1, r.hidden_size(), r.b().to_vec()));
+        let a = tape.input(Matrix::from_vec(r.num_spins(), 1, r.a().to_vec()));
+        let z = tape.matmul_nt(x, w);
+        let zb = tape.add_row_bias(z, b);
+        let lc = tape.ln_cosh(zb);
+        let hidden = tape.row_sum(lc); // bs×1
+        let visible = tape.matmul_nn(x, a); // bs×1
+        let logpsi = tape.add(hidden, visible); // c omitted: constant grad 1 handled below
+        let weighted = tape.mul_const(logpsi, Matrix::from_vec(3, 1, weights.to_vec()));
+        let loss = tape.sum(weighted);
+        let grads = tape.backward(loss);
+
+        let mut tape_grad = Vec::new();
+        tape_grad.extend_from_slice(grads.get(w).as_slice());
+        tape_grad.extend_from_slice(grads.get(b).as_slice());
+        tape_grad.extend_from_slice(grads.get(a).as_slice());
+        tape_grad.push(weights.sum()); // dc analytically
+
+        for (i, (av, tv)) in analytic.iter().zip(&tape_grad).enumerate() {
+            assert!((av - tv).abs() < 1e-10, "param {i}: {av} vs {tv}");
+        }
+    }
+
+    #[test]
+    fn per_sample_grads_sum_to_weighted() {
+        let r = tiny();
+        let batch = SpinBatch::from_fn(5, 4, |s, i| ((s + 3 * i) % 2) as u8);
+        let rows = r.per_sample_grads(&batch);
+        let weights = Vector(vec![1.0, 0.5, -2.0, 0.0, 3.0]);
+        let weighted = r.weighted_log_psi_grad(&batch, &weights);
+        let mut acc = Vector::zeros(r.num_params());
+        for s in 0..5 {
+            vqmc_tensor::vector::axpy(&mut acc, weights[s], rows.row(s));
+        }
+        for k in 0..r.num_params() {
+            assert!((acc[k] - weighted[k]).abs() < 1e-10, "param {k}");
+        }
+    }
+
+    #[test]
+    fn amplitude_shift_invariance_of_ratios() {
+        // Shifting c shifts every logψ equally: flip deltas unchanged.
+        let mut r = tiny();
+        let x = [1u8, 1, 0, 0];
+        let z = r.hidden_preactivations(&x);
+        let d_before = r.flip_delta_log_psi(&x, &z, 1);
+        let mut p = r.params();
+        let last = p.len() - 1;
+        p[last] += 5.0; // c += 5
+        r.set_params(&p);
+        let d_after = r.flip_delta_log_psi(&x, &z, 1);
+        assert!((d_before - d_after).abs() < 1e-12);
+    }
+}

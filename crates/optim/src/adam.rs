@@ -1,0 +1,162 @@
+//! Adam (Kingma & Ba 2015) with PyTorch-default hyperparameters — the
+//! paper's default optimiser (`lr = 0.01`).
+
+use vqmc_tensor::Vector;
+
+use crate::Optimizer;
+
+/// Adam optimiser with bias-corrected first/second moments.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vector,
+    v: Vector,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the standard moments `β = (0.9, 0.999)`, `ε = 1e-8`.
+    pub fn new(lr: f64) -> Self {
+        Adam::with_moments(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// The paper's default (`lr = 0.01`).
+    pub fn paper_default() -> Self {
+        Adam::new(0.01)
+    }
+
+    /// Fully parameterised constructor.
+    pub fn with_moments(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!(lr > 0.0, "Adam: non-positive learning rate");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            m: Vector::zeros(0),
+            v: Vector::zeros(0),
+            t: 0,
+        }
+    }
+
+    /// Learning rate accessor.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Steps taken since the last reset.
+    pub fn steps_taken(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Vector, grad: &Vector) {
+        assert_eq!(params.len(), grad.len(), "Adam: length mismatch");
+        if self.m.len() != params.len() {
+            assert_eq!(self.t, 0, "Adam: parameter dimension changed mid-run");
+            self.m = Vector::zeros(params.len());
+            self.v = Vector::zeros(params.len());
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grad[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m = Vector::zeros(0);
+        self.v = Vector::zeros(0);
+        self.t = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "ADAM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step has magnitude
+        // ≈ lr regardless of gradient scale.
+        for &scale in &[1e-4, 1.0, 1e4] {
+            let mut opt = Adam::new(0.01);
+            let mut p = Vector(vec![0.0]);
+            opt.step(&mut p, &Vector(vec![scale]));
+            assert!(
+                (p[0].abs() - 0.01).abs() < 1e-6,
+                "scale {scale}: step {}",
+                p[0]
+            );
+        }
+    }
+
+    #[test]
+    fn step_direction_opposes_gradient() {
+        let mut opt = Adam::new(0.01);
+        let mut p = Vector(vec![1.0, 1.0]);
+        opt.step(&mut p, &Vector(vec![5.0, -5.0]));
+        assert!(p[0] < 1.0);
+        assert!(p[1] > 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Adam::new(0.01);
+        let mut p = Vector(vec![0.0]);
+        opt.step(&mut p, &Vector(vec![1.0]));
+        assert_eq!(opt.steps_taken(), 1);
+        opt.reset();
+        assert_eq!(opt.steps_taken(), 0);
+        // Usable with a different dimension after reset.
+        let mut p2 = Vector::zeros(3);
+        opt.step(&mut p2, &Vector(vec![1.0, 1.0, 1.0]));
+        assert_eq!(opt.steps_taken(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension changed")]
+    fn dimension_change_without_reset_panics() {
+        let mut opt = Adam::new(0.01);
+        let mut p = Vector::zeros(2);
+        opt.step(&mut p, &Vector::zeros(2));
+        let mut p3 = Vector::zeros(3);
+        opt.step(&mut p3, &Vector::zeros(3));
+    }
+
+    #[test]
+    fn moments_average_gradients() {
+        // Alternating ±g gradients: first moment shrinks toward zero, so
+        // steps get smaller — Adam damps oscillation.
+        let mut opt = Adam::new(0.1);
+        let mut p = Vector(vec![0.0]);
+        let mut first_step = 0.0;
+        let mut last_step = 0.0;
+        for t in 0..20 {
+            let before = p[0];
+            let g = if t % 2 == 0 { 1.0 } else { -1.0 };
+            opt.step(&mut p, &Vector(vec![g]));
+            let step = (p[0] - before).abs();
+            if t == 0 {
+                first_step = step;
+            }
+            last_step = step;
+        }
+        assert!(last_step < first_step);
+    }
+}

@@ -1,0 +1,170 @@
+//! Matrix-free conjugate-gradient solver for symmetric positive-definite
+//! systems — the linear-algebra engine behind stochastic
+//! reconfiguration's `(S + λI)δ = g` solve.
+
+use vqmc_tensor::Vector;
+
+/// Outcome of a CG solve.
+#[derive(Clone, Debug)]
+pub struct CgResult {
+    /// The solution estimate.
+    pub x: Vector,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − Ax‖`.
+    pub residual: f64,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` for SPD `A` given only the matvec `apply`.
+///
+/// * `tol` — relative residual target `‖r‖ ≤ tol·‖b‖`.
+/// * `max_iter` — iteration cap (CG converges in at most `dim` exact
+///   steps; SR uses far fewer).
+pub fn conjugate_gradient(
+    apply: &mut dyn FnMut(&Vector) -> Vector,
+    b: &Vector,
+    tol: f64,
+    max_iter: usize,
+) -> CgResult {
+    let n = b.len();
+    let b_norm = b.norm2();
+    if b_norm == 0.0 {
+        return CgResult {
+            x: Vector::zeros(n),
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        };
+    }
+    let target = tol * b_norm;
+
+    let mut x = Vector::zeros(n);
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut rs_old = r.dot(&r);
+
+    for it in 0..max_iter {
+        if rs_old.sqrt() <= target {
+            return CgResult {
+                x,
+                iterations: it,
+                residual: rs_old.sqrt(),
+                converged: true,
+            };
+        }
+        let ap = apply(&p);
+        let p_ap = p.dot(&ap);
+        assert!(
+            p_ap > 0.0,
+            "conjugate_gradient: matrix is not positive definite (pᵀAp = {p_ap})"
+        );
+        let alpha = rs_old / p_ap;
+        x.axpy(alpha, &p);
+        r.axpy(-alpha, &ap);
+        let rs_new = r.dot(&r);
+        let beta = rs_new / rs_old;
+        // p = r + beta p
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    CgResult {
+        x,
+        iterations: max_iter,
+        residual: rs_old.sqrt(),
+        converged: rs_old.sqrt() <= target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqmc_tensor::Matrix;
+
+    fn spd_matrix(n: usize, seed: u64) -> Matrix {
+        // A = MᵀM + n·I is comfortably SPD.
+        let mut state = seed | 1;
+        let m = Matrix::from_fn(n, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 100) as f64 / 50.0 - 1.0
+        });
+        let mut a = m.matmul_tn(&m);
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + n as f64);
+        }
+        a
+    }
+
+    #[test]
+    fn solves_identity() {
+        let b = Vector(vec![1.0, -2.0, 3.0]);
+        let res = conjugate_gradient(&mut |v: &Vector| v.clone(), &b, 1e-12, 10);
+        assert!(res.converged);
+        for i in 0..3 {
+            assert!((res.x[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solves_random_spd_system() {
+        let n = 20;
+        let a = spd_matrix(n, 5);
+        let x_true = Vector::from_fn(n, |i| (i as f64 * 0.3).sin());
+        let b = a.matvec(&x_true);
+        let res = conjugate_gradient(&mut |v: &Vector| a.matvec(v), &b, 1e-12, 200);
+        assert!(res.converged, "residual {}", res.residual);
+        for i in 0..n {
+            assert!((res.x[i] - x_true[i]).abs() < 1e-8, "component {i}");
+        }
+    }
+
+    #[test]
+    fn converges_in_at_most_dim_iterations() {
+        let n = 12;
+        let a = spd_matrix(n, 9);
+        let b = Vector::full(n, 1.0);
+        let res = conjugate_gradient(&mut |v: &Vector| a.matvec(v), &b, 1e-10, n + 2);
+        assert!(res.converged);
+        assert!(res.iterations <= n + 1);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let res = conjugate_gradient(&mut |v: &Vector| v.clone(), &Vector::zeros(5), 1e-12, 10);
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+        assert!(res.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reports_non_convergence_honestly() {
+        let n = 30;
+        let a = spd_matrix(n, 3);
+        let b = Vector::full(n, 1.0);
+        let res = conjugate_gradient(&mut |v: &Vector| a.matvec(v), &b, 1e-14, 2);
+        assert!(!res.converged);
+        assert!(res.residual > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive definite")]
+    fn indefinite_matrix_detected() {
+        // A = -I is negative definite.
+        let b = Vector::full(4, 1.0);
+        let _ = conjugate_gradient(
+            &mut |v: &Vector| {
+                let mut out = v.clone();
+                out.scale(-1.0);
+                out
+            },
+            &b,
+            1e-10,
+            10,
+        );
+    }
+}

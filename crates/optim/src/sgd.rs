@@ -1,0 +1,69 @@
+//! Plain stochastic gradient descent.
+
+use vqmc_tensor::Vector;
+
+use crate::Optimizer;
+
+/// `θ ← θ − lr · g`.  The paper's SGD runs use `lr = 0.1`.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "Sgd: non-positive learning rate");
+        Sgd { lr }
+    }
+
+    /// The paper's default SGD learning rate (§5.1).
+    pub fn paper_default() -> Self {
+        Sgd::new(0.1)
+    }
+
+    /// Learning rate accessor.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Vector, grad: &Vector) {
+        assert_eq!(params.len(), grad.len(), "Sgd: length mismatch");
+        params.axpy(-self.lr, grad);
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "SGD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_step_math() {
+        let mut opt = Sgd::new(0.5);
+        let mut p = Vector(vec![1.0, 2.0]);
+        opt.step(&mut p, &Vector(vec![2.0, -4.0]));
+        assert_eq!(p.as_slice(), &[0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_shapes_panic() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = Vector::zeros(2);
+        opt.step(&mut p, &Vector::zeros(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn zero_lr_rejected() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Closed-form parallel-efficiency models from the paper's §4.
+//!
+//! These are the *analytical* scaling claims; the `repro_efficiency`
+//! bench regenerates the numbers, and the unit tests here pin the
+//! qualitative behaviour (the burn-in term throttles MCMC speedup, AUTO
+//! speedup is asymptotically ideal).
+
+/// The paper's Eq. 14: speedup of MCMC sampling when `n_samples` are
+/// drawn on each of `l` independent units, with `k` burn-in steps and
+/// thinning interval `j` per unit.
+///
+/// ```text
+/// speedup(L) = (k + (nL − 1)j + 1) / (k + (n − 1)j + 1) = a + bL
+/// ```
+///
+/// The slope `b = nj / (k + (n−1)j + 1)` decays from 1 toward 0 as the
+/// (non-parallelisable) burn-in `k` grows.
+pub fn mcmc_speedup(k: usize, j: usize, n_samples: usize, l: usize) -> f64 {
+    let (k, j, n, l) = (k as f64, j as f64, n_samples as f64, l as f64);
+    (k + (n * l - 1.0) * j + 1.0) / (k + (n - 1.0) * j + 1.0)
+}
+
+/// The slope `b` of the affine speedup law `a + bL` (Eq. 14).
+pub fn mcmc_speedup_slope(k: usize, j: usize, n_samples: usize) -> f64 {
+    let (k, j, n) = (k as f64, j as f64, n_samples as f64);
+    n * j / (k + (n - 1.0) * j + 1.0)
+}
+
+/// The paper's Eq. 15: speedup of AUTO sampling across `l` units when
+/// each unit draws `mbs` samples of an `n`-spin model with hidden width
+/// `h`.  Compute is `O(h·n²·mbs)` per unit; the only serial term is the
+/// `O(h·n)` gradient allreduce.
+///
+/// ```text
+/// speedup(L) = L · (h n² mbs) / (h n² mbs + h n)
+///            = L · (n·mbs) / (n·mbs + 1)
+/// ```
+pub fn auto_speedup(h: usize, n: usize, mbs: usize, l: usize) -> f64 {
+    let compute = (h * n * n * mbs) as f64;
+    let comm = (h * n) as f64;
+    l as f64 * compute / (compute + comm)
+}
+
+/// Parallel efficiency (speedup / L) of the AUTO scheme — approaches 1
+/// for large `n` or `mbs` (the paper's "approximately L" claim).
+pub fn auto_efficiency(h: usize, n: usize, mbs: usize, l: usize) -> f64 {
+    auto_speedup(h, n, mbs, l) / l as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcmc_speedup_is_affine_in_l() {
+        let (k, j, n) = (300, 2, 64);
+        let s1 = mcmc_speedup(k, j, n, 1);
+        let s2 = mcmc_speedup(k, j, n, 2);
+        let s3 = mcmc_speedup(k, j, n, 3);
+        // Equal increments.
+        assert!(((s2 - s1) - (s3 - s2)).abs() < 1e-12);
+        // Increment equals the closed-form slope.
+        assert!(((s2 - s1) - mcmc_speedup_slope(k, j, n)).abs() < 1e-12);
+        // L = 1 is exactly 1.
+        assert!((s1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burn_in_kills_mcmc_scaling() {
+        // Slope decays monotonically toward 0 as k grows; without
+        // burn-in or thinning overhead it is near-ideal.
+        let n = 128;
+        let no_burn = mcmc_speedup_slope(0, 1, n);
+        assert!(no_burn > 0.99);
+        let mut prev = no_burn;
+        for k in [100, 1000, 10_000, 100_000] {
+            let b = mcmc_speedup_slope(k, 1, n);
+            assert!(b < prev, "slope must decay with k");
+            prev = b;
+        }
+        assert!(prev < 0.01, "huge burn-in should flatten speedup");
+    }
+
+    #[test]
+    fn auto_efficiency_near_one() {
+        // Paper's regime: any realistic n/mbs gives efficiency ≈ 1.
+        let eff = auto_efficiency(424, 10_000, 4, 24);
+        assert!(eff > 0.999, "efficiency {eff}");
+        // Degenerate tiny case still below 1 but positive.
+        let eff_tiny = auto_efficiency(4, 2, 1, 8);
+        assert!(eff_tiny > 0.5 && eff_tiny < 1.0);
+    }
+
+    #[test]
+    fn auto_speedup_scales_linearly() {
+        let s8 = auto_speedup(100, 500, 16, 8);
+        let s16 = auto_speedup(100, 500, 16, 16);
+        assert!((s16 / s8 - 2.0).abs() < 1e-9);
+    }
+}

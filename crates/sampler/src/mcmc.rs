@@ -1,0 +1,364 @@
+//! Random-walk Metropolis–Hastings sampling (the paper's MCMC baseline,
+//! §2.2 / §5.1).
+//!
+//! `c` chains evolve in lock-step; a step proposes one uniformly random
+//! single-spin flip per chain and accepts with probability
+//! `min(1, π(y)/π(x)) = min(1, exp(2·(logψ(y) − logψ(x))))`.  All `c`
+//! proposals are evaluated in **one batched forward pass** — exactly how
+//! a GPU implementation amortises the network cost, and the unit in
+//! which the paper's Figure 1 counts `k + bs·j/c` passes.
+//!
+//! The knobs mirror the paper's ablations:
+//!
+//! * burn-in `k` — [`BurnIn::Linear`] gives the paper's default
+//!   `k = 3n + 100`; [`BurnIn::Fixed`] covers the Table 4 Scheme 1
+//!   presets (`n`, `10n`).
+//! * thinning `j` — [`Thinning`] covers Scheme 2 (`×2`, `×5`, `×10`).
+//!
+//! For RBM wavefunctions a cached `O(h)`-per-proposal fast path
+//! ([`McmcSampler::sample_rbm`]) exploits single-flip structure; it
+//! draws the same decisions as the generic path given the same RNG and
+//! is property-tested equivalent.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use vqmc_nn::{Rbm, WaveFunction};
+use vqmc_tensor::{SpinBatch, Vector};
+
+use crate::{SampleOutput, SampleStats, Sampler};
+
+/// Burn-in schedule: how many initial sweeps each chain discards.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BurnIn {
+    /// A fixed number of steps (Table 4 Scheme 1: `n`, `10n`).
+    Fixed(usize),
+    /// `k = mult·n + offset` (the paper's default is `3n + 100`).
+    Linear {
+        /// Multiplier on the spin count.
+        mult: usize,
+        /// Additive offset.
+        offset: usize,
+    },
+}
+
+impl BurnIn {
+    /// The paper's §5.1 default, `k = 3n + 100`.
+    pub fn paper_default() -> Self {
+        BurnIn::Linear { mult: 3, offset: 100 }
+    }
+
+    /// Resolves the schedule for an `n`-spin problem.
+    pub fn steps(&self, n: usize) -> usize {
+        match *self {
+            BurnIn::Fixed(k) => k,
+            BurnIn::Linear { mult, offset } => mult * n + offset,
+        }
+    }
+}
+
+/// Thinning: keep every `j`-th post-burn-in state (Table 4 Scheme 2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Thinning(pub usize);
+
+impl Default for Thinning {
+    fn default() -> Self {
+        Thinning(1)
+    }
+}
+
+/// Configuration of the Metropolis–Hastings sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct McmcConfig {
+    /// Number of parallel chains `c` (the paper uses 2).
+    pub chains: usize,
+    /// Burn-in schedule.
+    pub burn_in: BurnIn,
+    /// Thinning interval `j ≥ 1`.
+    pub thinning: Thinning,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        McmcConfig {
+            chains: 2,
+            burn_in: BurnIn::paper_default(),
+            thinning: Thinning::default(),
+        }
+    }
+}
+
+/// Random-walk Metropolis–Hastings sampler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct McmcSampler {
+    /// Sampler configuration.
+    pub config: McmcConfig,
+}
+
+impl McmcSampler {
+    /// Creates a sampler with the paper's defaults (2 chains,
+    /// `k = 3n + 100`, no thinning).
+    pub fn new(config: McmcConfig) -> Self {
+        McmcSampler { config }
+    }
+
+    /// RBM fast path: identical Markov kernel, but each proposal costs
+    /// `O(h)` via the cached hidden pre-activations instead of a full
+    /// `O(n·h)` forward pass.
+    pub fn sample_rbm(&self, wf: &Rbm, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
+        let n = wf.num_spins();
+        let c = self.config.chains.max(1);
+        let k = self.config.burn_in.steps(n);
+        let j = self.config.thinning.0.max(1);
+        let mut stats = SampleStats::default();
+
+        // Chain state: configuration, cached z = Wx + b, cached logψ.
+        let mut configs: Vec<Vec<u8>> = (0..c)
+            .map(|_| (0..n).map(|_| rng.gen::<bool>() as u8).collect())
+            .collect();
+        let mut hidden: Vec<Vector> = configs
+            .iter()
+            .map(|x| wf.hidden_preactivations(x))
+            .collect();
+
+        let mut out = SpinBatch::zeros(batch_size, n);
+        let mut out_log_psi = Vector::zeros(batch_size);
+        let mut collected = 0usize;
+        let mut step = 0usize;
+
+        while collected < batch_size {
+            // One lock-step sweep over the chains = one batched pass.
+            for chain in 0..c {
+                let site = rng.gen_range(0..n);
+                let delta = wf.flip_delta_log_psi(&configs[chain], &hidden[chain], site);
+                stats.proposals += 1;
+                // Accept with min(1, exp(2Δ)).
+                if 2.0 * delta >= 0.0 || rng.gen::<f64>() < (2.0 * delta).exp() {
+                    wf.update_hidden_after_flip(&configs[chain], &mut hidden[chain], site);
+                    configs[chain][site] ^= 1;
+                    stats.accepted += 1;
+                }
+            }
+            stats.forward_passes += 1;
+            stats.configurations_evaluated += c;
+            step += 1;
+
+            if step > k && (step - k) % j == 0 {
+                for chain in 0..c {
+                    if collected == batch_size {
+                        break;
+                    }
+                    out.sample_mut(collected).copy_from_slice(&configs[chain]);
+                    out_log_psi[collected] =
+                        wf.log_psi_from_hidden(&configs[chain], &hidden[chain]);
+                    collected += 1;
+                }
+            }
+        }
+        SampleOutput {
+            batch: out,
+            log_psi: out_log_psi,
+            stats,
+        }
+    }
+}
+
+impl<W: WaveFunction + ?Sized> Sampler<W> for McmcSampler {
+    fn sample(&self, wf: &W, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
+        let n = wf.num_spins();
+        let c = self.config.chains.max(1);
+        let k = self.config.burn_in.steps(n);
+        let j = self.config.thinning.0.max(1);
+        let mut stats = SampleStats::default();
+
+        // Initialise chains uniformly at random.
+        let mut current = SpinBatch::from_fn(c, n, |_, _| rng.gen::<bool>() as u8);
+        let mut log_psi = wf.log_psi(&current);
+        stats.forward_passes += 1;
+        stats.configurations_evaluated += c;
+
+        let mut out = SpinBatch::zeros(batch_size, n);
+        let mut out_log_psi = Vector::zeros(batch_size);
+        let mut collected = 0usize;
+        let mut step = 0usize;
+
+        while collected < batch_size {
+            // Propose one flip per chain; evaluate all proposals in one
+            // batched forward pass (the GPU amortisation).
+            let sites: Vec<usize> = (0..c).map(|_| rng.gen_range(0..n)).collect();
+            let mut proposal = current.clone();
+            for (chain, &site) in sites.iter().enumerate() {
+                proposal.flip(chain, site);
+            }
+            let proposal_log_psi = wf.log_psi(&proposal);
+            stats.forward_passes += 1;
+            stats.configurations_evaluated += c;
+
+            for chain in 0..c {
+                stats.proposals += 1;
+                let log_ratio = 2.0 * (proposal_log_psi[chain] - log_psi[chain]);
+                if log_ratio >= 0.0 || rng.gen::<f64>() < log_ratio.exp() {
+                    // Adopt the proposed row.
+                    let row: Vec<u8> = proposal.sample(chain).to_vec();
+                    current.sample_mut(chain).copy_from_slice(&row);
+                    log_psi[chain] = proposal_log_psi[chain];
+                    stats.accepted += 1;
+                }
+            }
+            step += 1;
+
+            if step > k && (step - k) % j == 0 {
+                for chain in 0..c {
+                    if collected == batch_size {
+                        break;
+                    }
+                    out.sample_mut(collected)
+                        .copy_from_slice(current.sample(chain));
+                    out_log_psi[collected] = log_psi[chain];
+                    collected += 1;
+                }
+            }
+        }
+        SampleOutput {
+            batch: out,
+            log_psi: out_log_psi,
+            stats,
+        }
+    }
+}
+
+/// [`Sampler`] adapter that routes RBM sampling through the `O(h)`
+/// cached fast path — what the trainer uses for the paper's RBM&MCMC
+/// configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RbmFastMcmc(pub McmcSampler);
+
+impl Sampler<Rbm> for RbmFastMcmc {
+    fn sample(&self, wf: &Rbm, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
+        self.0.sample_rbm(wf, batch_size, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vqmc_nn::{Made, Rbm, WaveFunction};
+    use vqmc_tensor::batch::{encode_config, enumerate_configs};
+    use vqmc_tensor::reduce::log_sum_exp;
+
+    #[test]
+    fn burn_in_schedules() {
+        assert_eq!(BurnIn::paper_default().steps(100), 400);
+        assert_eq!(BurnIn::Fixed(50).steps(100), 50);
+        assert_eq!(BurnIn::Linear { mult: 10, offset: 0 }.steps(7), 70);
+    }
+
+    #[test]
+    fn produces_requested_batch() {
+        let wf = Rbm::new(6, 6, 3);
+        let sampler = McmcSampler::default();
+        let out = sampler.sample(&wf, 37, &mut StdRng::seed_from_u64(1));
+        assert_eq!(out.batch.batch_size(), 37);
+        assert_eq!(out.log_psi.len(), 37);
+        assert!(out.stats.proposals > 0);
+        assert!(out.stats.accepted <= out.stats.proposals);
+    }
+
+    #[test]
+    fn forward_pass_cost_matches_figure1_model() {
+        // k + ceil(bs/c)·j passes after burn-in (plus 1 init pass).
+        let wf = Rbm::new(5, 5, 9);
+        let config = McmcConfig {
+            chains: 2,
+            burn_in: BurnIn::Fixed(20),
+            thinning: Thinning(3),
+        };
+        let out = McmcSampler::new(config).sample(&wf, 10, &mut StdRng::seed_from_u64(2));
+        // 20 burn-in sweeps + 5 collection points 3 sweeps apart = 35
+        // sweeps, + 1 initial logψ pass.
+        assert_eq!(out.stats.forward_passes, 36);
+    }
+
+    #[test]
+    fn log_psi_output_is_consistent() {
+        let wf = Rbm::new(5, 7, 13);
+        let out = McmcSampler::default().sample(&wf, 8, &mut StdRng::seed_from_u64(3));
+        let recomputed = wf.log_psi(&out.batch);
+        for s in 0..8 {
+            assert!((out.log_psi[s] - recomputed[s]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rbm_fast_path_log_psi_consistent() {
+        let wf = Rbm::new(6, 8, 5);
+        let out = McmcSampler::default().sample_rbm(&wf, 12, &mut StdRng::seed_from_u64(7));
+        let recomputed = wf.log_psi(&out.batch);
+        for s in 0..12 {
+            assert!((out.log_psi[s] - recomputed[s]).abs() < 1e-9);
+        }
+    }
+
+    /// Long-chain MCMC must converge to |ψ|²: total-variation distance
+    /// against the exact distribution shrinks well below that of a
+    /// uniform reference.
+    #[test]
+    fn long_chain_approaches_target_distribution() {
+        let n = 4;
+        let dim = 1usize << n;
+        let wf = Rbm::new(n, 6, 11);
+
+        // Exact π from enumeration.
+        let all = enumerate_configs(n);
+        let log_psi = wf.log_psi(&all);
+        let log_weights: Vec<f64> = log_psi.iter().map(|lp| 2.0 * lp).collect();
+        let log_z = log_sum_exp(&log_weights);
+        let probs: Vec<f64> = log_weights.iter().map(|lw| (lw - log_z).exp()).collect();
+
+        let draws = 30_000;
+        let config = McmcConfig {
+            chains: 2,
+            burn_in: BurnIn::Fixed(500),
+            thinning: Thinning(2),
+        };
+        let out = McmcSampler::new(config).sample_rbm(&wf, draws, &mut StdRng::seed_from_u64(17));
+        let mut counts = vec![0usize; dim];
+        for s in out.batch.samples() {
+            counts[encode_config(s)] += 1;
+        }
+        let tv: f64 = (0..dim)
+            .map(|x| (counts[x] as f64 / draws as f64 - probs[x]).abs())
+            .sum::<f64>()
+            / 2.0;
+        let tv_uniform: f64 = (0..dim)
+            .map(|x| (1.0 / dim as f64 - probs[x]).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(
+            tv < 0.05 && tv < tv_uniform / 2.0,
+            "TV {tv} too large (uniform reference {tv_uniform})"
+        );
+    }
+
+    #[test]
+    fn generic_path_works_for_made_too() {
+        // MCMC is model-agnostic; pairing it with MADE is legal (just
+        // pointless given AUTO exists) — the paper's framing, tested.
+        let wf = Made::new(5, 8, 2);
+        let out = McmcSampler::default().sample(&wf, 6, &mut StdRng::seed_from_u64(8));
+        assert_eq!(out.batch.batch_size(), 6);
+        let recomputed = wf.log_psi(&out.batch);
+        for s in 0..6 {
+            assert!((out.log_psi[s] - recomputed[s]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn acceptance_rate_reasonable_for_smooth_model() {
+        let wf = Rbm::new(8, 8, 21);
+        let out = McmcSampler::default().sample_rbm(&wf, 200, &mut StdRng::seed_from_u64(9));
+        let rate = out.stats.acceptance_rate();
+        // A near-uniform freshly initialised RBM accepts most flips.
+        assert!(rate > 0.3, "acceptance rate {rate} suspiciously low");
+    }
+}

@@ -1,0 +1,266 @@
+//! Batches of binary spin configurations.
+//!
+//! A [`SpinBatch`] is the container every subsystem exchanges: samplers
+//! produce them, Hamiltonians evaluate local energies on them, and
+//! wavefunctions take them as network input.  Spins are stored as
+//! `u8 ∈ {0, 1}` (one byte per spin keeps a 1024 x 10 000 batch at 10 MB);
+//! the Ising convention `σ = 1 - 2x ∈ {+1, -1}` from the paper's Eq. 13
+//! is applied on conversion.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// A dense `batch_size x num_spins` array of binary spins.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpinBatch {
+    batch_size: usize,
+    num_spins: usize,
+    data: Vec<u8>,
+}
+
+impl SpinBatch {
+    /// All-zero batch.
+    pub fn zeros(batch_size: usize, num_spins: usize) -> Self {
+        SpinBatch {
+            batch_size,
+            num_spins,
+            data: vec![0; batch_size * num_spins],
+        }
+    }
+
+    /// Builds a batch from a generating function of `(sample, spin)`.
+    /// The function must return 0 or 1.
+    pub fn from_fn(
+        batch_size: usize,
+        num_spins: usize,
+        mut f: impl FnMut(usize, usize) -> u8,
+    ) -> Self {
+        let mut data = Vec::with_capacity(batch_size * num_spins);
+        for s in 0..batch_size {
+            for i in 0..num_spins {
+                let bit = f(s, i);
+                debug_assert!(bit <= 1, "SpinBatch entries must be 0 or 1");
+                data.push(bit);
+            }
+        }
+        SpinBatch {
+            batch_size,
+            num_spins,
+            data,
+        }
+    }
+
+    /// Builds a single-sample batch from a configuration slice.
+    pub fn from_single(config: &[u8]) -> Self {
+        SpinBatch::from_fn(1, config.len(), |_, i| config[i])
+    }
+
+    /// Concatenates batches with identical `num_spins` along the batch
+    /// axis (used to gather per-device samples on the virtual cluster).
+    pub fn concat(batches: &[SpinBatch]) -> Self {
+        assert!(!batches.is_empty(), "SpinBatch::concat: nothing to concat");
+        let num_spins = batches[0].num_spins;
+        let total: usize = batches.iter().map(|b| b.batch_size).sum();
+        let mut data = Vec::with_capacity(total * num_spins);
+        for b in batches {
+            assert_eq!(
+                b.num_spins, num_spins,
+                "SpinBatch::concat: spin-count mismatch"
+            );
+            data.extend_from_slice(&b.data);
+        }
+        SpinBatch {
+            batch_size: total,
+            num_spins,
+            data,
+        }
+    }
+
+    /// Number of samples in the batch.
+    #[inline]
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of spins per sample.
+    #[inline]
+    pub fn num_spins(&self) -> usize {
+        self.num_spins
+    }
+
+    /// Borrow of sample `s` as a slice of bits.
+    #[inline]
+    pub fn sample(&self, s: usize) -> &[u8] {
+        let start = s * self.num_spins;
+        &self.data[start..start + self.num_spins]
+    }
+
+    /// Mutable borrow of sample `s`.
+    #[inline]
+    pub fn sample_mut(&mut self, s: usize) -> &mut [u8] {
+        let start = s * self.num_spins;
+        &mut self.data[start..start + self.num_spins]
+    }
+
+    /// Iterator over sample slices.
+    pub fn samples(&self) -> impl Iterator<Item = &[u8]> {
+        self.data.chunks_exact(self.num_spins)
+    }
+
+    /// Bit accessor.
+    #[inline]
+    pub fn get(&self, s: usize, i: usize) -> u8 {
+        self.data[s * self.num_spins + i]
+    }
+
+    /// Bit mutator (`bit` must be 0 or 1).
+    #[inline]
+    pub fn set(&mut self, s: usize, i: usize, bit: u8) {
+        debug_assert!(bit <= 1);
+        self.data[s * self.num_spins + i] = bit;
+    }
+
+    /// Flips spin `i` of sample `s`.
+    #[inline]
+    pub fn flip(&mut self, s: usize, i: usize) {
+        let idx = s * self.num_spins + i;
+        self.data[idx] ^= 1;
+    }
+
+    /// Converts the batch to an `f64` matrix with entries in `{0, 1}`
+    /// (network-input convention).
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(
+            self.batch_size,
+            self.num_spins,
+            self.data.iter().map(|&b| b as f64).collect(),
+        )
+    }
+
+    /// Converts to the Ising convention `σ = 1 - 2x ∈ {+1, -1}` (Eq. 13).
+    pub fn to_ising_matrix(&self) -> Matrix {
+        Matrix::from_vec(
+            self.batch_size,
+            self.num_spins,
+            self.data.iter().map(|&b| 1.0 - 2.0 * b as f64).collect(),
+        )
+    }
+
+    /// Raw byte view (for hashing / dedup in tests).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Encodes a spin configuration as a basis-state index, most significant
+/// bit first: `x = 2^{n-1} x_1 + ... + 2^0 x_n` as in the paper's §2.4.
+///
+/// Panics if `config.len() > 63`.
+pub fn encode_config(config: &[u8]) -> usize {
+    assert!(
+        config.len() <= 63,
+        "encode_config: index would overflow usize"
+    );
+    config
+        .iter()
+        .fold(0usize, |acc, &b| (acc << 1) | (b as usize))
+}
+
+/// Inverse of [`encode_config`]: expands index `x` into `n` bits, most
+/// significant first.
+pub fn decode_config(x: usize, n: usize) -> Vec<u8> {
+    assert!(n <= 63, "decode_config: more than 63 spins");
+    assert!(x < (1usize << n), "decode_config: index out of range");
+    (0..n).map(|i| ((x >> (n - 1 - i)) & 1) as u8).collect()
+}
+
+/// Enumerates all `2^n` configurations as a batch (ascending index
+/// order).  Only sensible for small `n`; used by exactness tests and the
+/// exact-diagonalisation oracle.
+pub fn enumerate_configs(n: usize) -> SpinBatch {
+    assert!(n <= 24, "enumerate_configs: 2^n would be enormous");
+    let total = 1usize << n;
+    SpinBatch::from_fn(total, n, |s, i| ((s >> (n - 1 - i)) & 1) as u8)
+}
+
+impl std::fmt::Debug for SpinBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SpinBatch(bs={}, n={})",
+            self.batch_size, self.num_spins
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut b = SpinBatch::zeros(2, 3);
+        assert_eq!(b.batch_size(), 2);
+        assert_eq!(b.num_spins(), 3);
+        b.set(1, 2, 1);
+        assert_eq!(b.get(1, 2), 1);
+        b.flip(1, 2);
+        assert_eq!(b.get(1, 2), 0);
+        b.flip(0, 0);
+        assert_eq!(b.sample(0), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        for n in 1..=10 {
+            for x in 0..(1usize << n) {
+                assert_eq!(encode_config(&decode_config(x, n)), x);
+            }
+        }
+    }
+
+    #[test]
+    fn codec_msb_first_convention() {
+        // x = [1, 0] should be index 2 = 2^1*1 + 2^0*0.
+        assert_eq!(encode_config(&[1, 0]), 2);
+        assert_eq!(decode_config(2, 2), vec![1, 0]);
+    }
+
+    #[test]
+    fn enumerate_covers_all_states_once() {
+        let n = 4;
+        let all = enumerate_configs(n);
+        assert_eq!(all.batch_size(), 16);
+        for (s, config) in all.samples().enumerate() {
+            assert_eq!(encode_config(config), s);
+        }
+    }
+
+    #[test]
+    fn ising_conversion() {
+        let b = SpinBatch::from_single(&[0, 1]);
+        let m = b.to_ising_matrix();
+        assert_eq!(m.row(0), &[1.0, -1.0]);
+        let m01 = b.to_matrix();
+        assert_eq!(m01.row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_stacks_samples() {
+        let a = SpinBatch::from_single(&[0, 1]);
+        let b = SpinBatch::from_single(&[1, 1]);
+        let c = SpinBatch::concat(&[a, b]);
+        assert_eq!(c.batch_size(), 2);
+        assert_eq!(c.sample(0), &[0, 1]);
+        assert_eq!(c.sample(1), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spin-count mismatch")]
+    fn concat_rejects_ragged() {
+        let a = SpinBatch::zeros(1, 2);
+        let b = SpinBatch::zeros(1, 3);
+        let _ = SpinBatch::concat(&[a, b]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Cache-blocked, rayon-parallel GEMM kernels.
+//!
+//! Three layout variants cover every dense product in the workspace:
+//!
+//! * [`gemm_nt`] — `C[m,n] = A[m,k] * B[n,k]^T`.  The forward pass of a
+//!   fully-connected layer (`Y = X W^T`): both operands stream row-major,
+//!   so the inner loop is a pure dot product over contiguous memory.
+//! * [`gemm_nn`] — `C[m,n] = A[m,k] * B[k,n]`.  Backprop's input gradient
+//!   (`dX = dY W`); implemented as an axpy-accumulation over B's rows so
+//!   B is still streamed contiguously.
+//! * [`gemm_tn`] — `C[m,n] = A[k,m]^T * B[k,n]`.  Backprop's weight
+//!   gradient (`dW = dY^T X`); an outer-product accumulation.
+//!
+//! Parallelisation is over output rows (for `nt`/`nn`) in chunks sized by
+//! [`crate::par::row_chunk_len`]; `tn` parallelises over *output* rows by
+//! having each worker scan the shared `k` dimension, which avoids a
+//! reduction over partial `C` buffers.
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+use crate::par;
+use crate::vector::{axpy, dot};
+
+/// `C[m,n] = A[m,k] * B[n,k]^T` (B transposed: both row-major streams).
+pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(
+        k, kb,
+        "gemm_nt: inner dimensions disagree (A is {m}x{k}, B^T is {kb}x{n})"
+    );
+    let mut c = Matrix::zeros(m, n);
+    let work = m * n * k;
+    if par::should_parallelize(work) {
+        let chunk = par::row_chunk_len(m);
+        c.as_mut_slice()
+            .par_chunks_mut(chunk * n)
+            .enumerate()
+            .for_each(|(ci, c_rows)| {
+                let row0 = ci * chunk;
+                for (local_r, c_row) in c_rows.chunks_exact_mut(n).enumerate() {
+                    let a_row = a.row(row0 + local_r);
+                    for (j, c_val) in c_row.iter_mut().enumerate() {
+                        *c_val = dot(a_row, b.row(j));
+                    }
+                }
+            });
+    } else {
+        for r in 0..m {
+            let a_row = a.row(r);
+            let c_row = c.row_mut(r);
+            for (j, c_val) in c_row.iter_mut().enumerate() {
+                *c_val = dot(a_row, b.row(j));
+            }
+        }
+    }
+    c
+}
+
+/// `C[m,n] = A[m,k] * B[k,n]`.
+pub fn gemm_nn(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(
+        k, kb,
+        "gemm_nn: inner dimensions disagree (A is {m}x{k}, B is {kb}x{n})"
+    );
+    let mut c = Matrix::zeros(m, n);
+    let work = m * n * k;
+    if par::should_parallelize(work) {
+        let chunk = par::row_chunk_len(m);
+        c.as_mut_slice()
+            .par_chunks_mut(chunk * n)
+            .enumerate()
+            .for_each(|(ci, c_rows)| {
+                let row0 = ci * chunk;
+                for (local_r, c_row) in c_rows.chunks_exact_mut(n).enumerate() {
+                    accumulate_row_nn(a.row(row0 + local_r), b, c_row);
+                }
+            });
+    } else {
+        for r in 0..m {
+            // Split borrows: read A's row, write C's row.
+            let a_row: &[f64] = a.row(r);
+            let c_row = c.row_mut(r);
+            accumulate_row_nn(a_row, b, c_row);
+        }
+    }
+    c
+}
+
+/// One output row of `gemm_nn`: `c_row += sum_l a_row[l] * B[l, :]`,
+/// streaming B row-major.
+#[inline]
+fn accumulate_row_nn(a_row: &[f64], b: &Matrix, c_row: &mut [f64]) {
+    for (l, &a_val) in a_row.iter().enumerate() {
+        if a_val != 0.0 {
+            axpy(c_row, a_val, b.row(l));
+        }
+    }
+}
+
+/// `C[m,n] = A[k,m]^T * B[k,n]` (outer-product accumulation over `k`).
+pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(
+        k, kb,
+        "gemm_tn: outer dimensions disagree (A^T is {m}x{k}, B is {kb}x{n})"
+    );
+    let mut c = Matrix::zeros(m, n);
+    let work = m * n * k;
+    if par::should_parallelize(work) && m >= 2 {
+        let chunk = par::row_chunk_len(m);
+        c.as_mut_slice()
+            .par_chunks_mut(chunk * n)
+            .enumerate()
+            .for_each(|(ci, c_rows)| {
+                let row0 = ci * chunk;
+                // Each worker owns output rows [row0, row0+rows_here) and
+                // scans the full k dimension: no partial-C reduction needed.
+                for l in 0..k {
+                    let a_row = a.row(l);
+                    let b_row = b.row(l);
+                    for (local_r, c_row) in c_rows.chunks_exact_mut(n).enumerate() {
+                        let coeff = a_row[row0 + local_r];
+                        if coeff != 0.0 {
+                            axpy(c_row, coeff, b_row);
+                        }
+                    }
+                }
+            });
+    } else {
+        for l in 0..k {
+            let a_row = a.row(l);
+            let b_row = b.row(l);
+            for r in 0..m {
+                let coeff = a_row[r];
+                if coeff != 0.0 {
+                    axpy(c.row_mut(r), coeff, b_row);
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Naive triple-loop reference used by the tests to validate the blocked
+/// kernels. Public so downstream crates' tests can reuse it.
+pub fn gemm_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb);
+    let mut c = Matrix::zeros(m, n);
+    for r in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a.get(r, l) * b.get(l, j);
+            }
+            c.set(r, j, acc);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Small deterministic pseudo-random fill without pulling in rand.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn nt_matches_reference() {
+        let a = mat(7, 5, 1);
+        let b = mat(9, 5, 2);
+        let c = gemm_nt(&a, &b);
+        let c_ref = gemm_reference(&a, &b.transpose());
+        assert!(c.max_abs_diff(&c_ref) < 1e-12);
+    }
+
+    #[test]
+    fn nn_matches_reference() {
+        let a = mat(6, 8, 3);
+        let b = mat(8, 4, 4);
+        let c = gemm_nn(&a, &b);
+        let c_ref = gemm_reference(&a, &b);
+        assert!(c.max_abs_diff(&c_ref) < 1e-12);
+    }
+
+    #[test]
+    fn tn_matches_reference() {
+        let a = mat(8, 6, 5);
+        let b = mat(8, 3, 6);
+        let c = gemm_tn(&a, &b);
+        let c_ref = gemm_reference(&a.transpose(), &b);
+        assert!(c.max_abs_diff(&c_ref) < 1e-12);
+    }
+
+    #[test]
+    fn large_parallel_paths_match_reference() {
+        // Big enough to cross PAR_THRESHOLD_ELEMS and exercise the rayon
+        // branches of all three kernels.
+        let a = mat(70, 90, 7);
+        let b_nt = mat(50, 90, 8);
+        let b_nn = mat(90, 50, 9);
+        let a_tn = mat(90, 70, 10);
+
+        assert!(gemm_nt(&a, &b_nt)
+            .max_abs_diff(&gemm_reference(&a, &b_nt.transpose()))
+            < 1e-10);
+        assert!(gemm_nn(&a, &b_nn).max_abs_diff(&gemm_reference(&a, &b_nn)) < 1e-10);
+        assert!(gemm_tn(&a_tn, &b_nn)
+            .max_abs_diff(&gemm_reference(&a_tn.transpose(), &b_nn))
+            < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(3, 5);
+        let c = gemm_nt(&a, &b);
+        assert_eq!(c.shape(), (0, 3));
+
+        let a = mat(1, 1, 11);
+        let b = mat(1, 1, 12);
+        let c = gemm_nt(&a, &b);
+        assert!((c.get(0, 0) - a.get(0, 0) * b.get(0, 0)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn nt_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        let _ = gemm_nt(&a, &b);
+    }
+}

@@ -1,0 +1,81 @@
+//! # vqmc-tensor
+//!
+//! Dense linear-algebra kernels used throughout the `vqmc-rs` workspace.
+//!
+//! The SC'21 paper this workspace reproduces ("Overcoming barriers to
+//! scalability in variational quantum Monte Carlo") executes its neural
+//! wavefunctions on NVIDIA V100 GPUs.  A GPU earns its speed by
+//! parallelising the *batch* axis of every dense kernel; this crate plays
+//! the same role on CPU by parallelising the identical axis with rayon's
+//! work-stealing pool.  The flop counts per device and the bytes moved per
+//! collective — the only quantities the paper's scaling analysis (its
+//! Eq. 15) depends on — are therefore preserved exactly.
+//!
+//! ## Contents
+//!
+//! * [`Vector`] — a contiguous `f64` vector with the BLAS-1 operations the
+//!   optimisers need (axpy, dot, scaling, norms).
+//! * [`Matrix`] — a row-major `f64` matrix with cache-blocked,
+//!   rayon-parallel GEMM variants ([`Matrix::matmul_nt`] and friends).
+//! * [`SpinBatch`] — a `bs x n` batch of binary spin configurations, the
+//!   sample container shared by Hamiltonians, samplers and wavefunctions.
+//! * [`ops`] — numerically stable elementwise activations (`sigmoid`,
+//!   `ln_cosh`, `relu`, ...) and their derivatives.
+//! * [`reduce`] — reductions (mean, variance, log-sum-exp, weighted dots).
+//!
+//! ## Shape discipline
+//!
+//! Kernels `assert!` on shape mismatches rather than returning `Result`:
+//! a shape error in this workspace is always a programming bug, never a
+//! runtime condition, and the branch predictor eats the cost.
+//!
+//! ## Parallelism policy
+//!
+//! Every parallel kernel has a sequential twin, and a crossover threshold
+//! ([`par::PAR_THRESHOLD_ELEMS`]) below which the parallel entry points
+//! degrade to the sequential implementation.  The threshold was chosen by
+//! the `bench_tensor` criterion group in `vqmc-bench`.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod gemm;
+pub mod matrix;
+pub mod ops;
+pub mod par;
+pub mod reduce;
+pub mod vector;
+
+pub use batch::SpinBatch;
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+/// Absolute tolerance used by the test-suites of this workspace when
+/// comparing two floating point computations that are algebraically equal
+/// but may differ in association order (e.g. parallel reductions).
+pub const TEST_EPS: f64 = 1e-9;
+
+/// Relative comparison used across the workspace's tests: `a ~= b` up to
+/// `tol` relative to the larger magnitude (falling back to absolute
+/// comparison near zero).
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_near_zero() {
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+        assert!(!approx_eq(0.0, 1e-6, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.001e12, 1e-9));
+    }
+}

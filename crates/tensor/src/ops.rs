@@ -1,0 +1,220 @@
+//! Numerically stable elementwise activations and their derivatives.
+//!
+//! These are the nonlinearities of the paper's two architectures:
+//! `ReLU`/`Sigmoid` for MADE and `ln cosh` for the RBM's hidden units
+//! (its `Lncoshsum` block).  Each function documents its stable
+//! formulation; the derivative twins are consumed by the analytic
+//! backprop in `vqmc-nn` and cross-checked against `vqmc-autodiff`.
+
+/// Rectified linear unit `max(0, x)`.
+#[inline]
+pub fn relu(x: f64) -> f64 {
+    if x > 0.0 {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// Derivative of [`relu`]; the subgradient at 0 is taken to be 0, matching
+/// the convention of mainstream autodiff frameworks.
+#[inline]
+pub fn relu_prime(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, computed without overflow for
+/// any finite `x` by branching on the sign.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Derivative of [`sigmoid`] expressed through its value:
+/// `σ'(x) = σ(x)(1 - σ(x))`.
+#[inline]
+pub fn sigmoid_prime_from_value(s: f64) -> f64 {
+    s * (1.0 - s)
+}
+
+/// `ln cosh(x)`, stable for large `|x|` via
+/// `ln cosh(x) = |x| + ln(1 + e^{-2|x|}) - ln 2`.
+///
+/// The naive `x.cosh().ln()` overflows at `|x| ≈ 710`; RBM pre-activations
+/// routinely exceed that on 10 000-spin problems.
+#[inline]
+pub fn ln_cosh(x: f64) -> f64 {
+    let a = x.abs();
+    a + (-2.0 * a).exp().ln_1p() - std::f64::consts::LN_2
+}
+
+/// Derivative of [`ln_cosh`]: `tanh(x)`.
+#[inline]
+pub fn ln_cosh_prime(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// `ln(1 + e^x)` (softplus), stable in both tails.
+#[inline]
+pub fn softplus(x: f64) -> f64 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Log of the sigmoid, `ln σ(x) = -softplus(-x)`, stable where the naive
+/// `sigmoid(x).ln()` underflows to `-inf` (x ≲ -745).
+///
+/// MADE's log-probability of a conditional is exactly this quantity, so
+/// its stability bounds the stability of the whole wavefunction.
+#[inline]
+pub fn log_sigmoid(x: f64) -> f64 {
+    -softplus(-x)
+}
+
+/// Log of the complementary sigmoid, `ln(1 - σ(x)) = ln σ(-x)`.
+#[inline]
+pub fn log_one_minus_sigmoid(x: f64) -> f64 {
+    log_sigmoid(-x)
+}
+
+/// Applies [`relu`] over a slice in place.
+pub fn relu_slice(xs: &mut [f64]) {
+    for x in xs {
+        *x = relu(*x);
+    }
+}
+
+/// Applies [`sigmoid`] over a slice in place.
+pub fn sigmoid_slice(xs: &mut [f64]) {
+    for x in xs {
+        *x = sigmoid(*x);
+    }
+}
+
+/// Applies [`ln_cosh`] over a slice in place.
+pub fn ln_cosh_slice(xs: &mut [f64]) {
+    for x in xs {
+        *x = ln_cosh(*x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn relu_basics() {
+        assert_eq!(relu(3.0), 3.0);
+        assert_eq!(relu(-3.0), 0.0);
+        assert_eq!(relu(0.0), 0.0);
+        assert_eq!(relu_prime(2.0), 1.0);
+        assert_eq!(relu_prime(-2.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        for &x in &[-50.0, -3.0, -0.5, 0.0, 0.5, 3.0, 50.0] {
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!(approx_eq(s + sigmoid(-x), 1.0, 1e-12));
+        }
+        assert!(approx_eq(sigmoid(0.0), 0.5, 1e-15));
+    }
+
+    #[test]
+    fn sigmoid_extreme_inputs_do_not_overflow() {
+        assert_eq!(sigmoid(1e4), 1.0);
+        assert_eq!(sigmoid(-1e4), 0.0);
+        assert!(sigmoid(f64::MAX).is_finite());
+        assert!(sigmoid(f64::MIN).is_finite());
+    }
+
+    #[test]
+    fn ln_cosh_matches_naive_in_safe_range() {
+        for &x in &[-5.0, -1.0, -0.1, 0.0, 0.1, 1.0, 5.0, 20.0] {
+            assert!(
+                approx_eq(ln_cosh(x), x.cosh().ln(), 1e-12),
+                "x={x}: {} vs {}",
+                ln_cosh(x),
+                x.cosh().ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_cosh_stable_for_huge_inputs() {
+        // cosh(1e5) overflows; ln cosh(x) -> |x| - ln 2.
+        let x = 1e5;
+        assert!(approx_eq(ln_cosh(x), x - std::f64::consts::LN_2, 1e-12));
+        assert!(approx_eq(ln_cosh(-x), x - std::f64::consts::LN_2, 1e-12));
+    }
+
+    #[test]
+    fn ln_cosh_even_function() {
+        for &x in &[0.3, 1.7, 42.0] {
+            assert!(approx_eq(ln_cosh(x), ln_cosh(-x), 1e-14));
+        }
+    }
+
+    #[test]
+    fn log_sigmoid_matches_naive_in_safe_range() {
+        for &x in &[-20.0, -1.0, 0.0, 1.0, 20.0] {
+            assert!(approx_eq(log_sigmoid(x), sigmoid(x).ln(), 1e-10));
+            assert!(approx_eq(
+                log_one_minus_sigmoid(x),
+                (1.0 - sigmoid(x)).ln(),
+                1e-8
+            ));
+        }
+    }
+
+    #[test]
+    fn log_sigmoid_stable_deep_in_tail() {
+        // sigmoid(-800) underflows to 0, naive ln gives -inf; stable form
+        // gives approximately -800.
+        let v = log_sigmoid(-800.0);
+        assert!(v.is_finite());
+        assert!(approx_eq(v, -800.0, 1e-12));
+    }
+
+    #[test]
+    fn derivative_identities_numerically() {
+        let h = 1e-6;
+        for &x in &[-2.0, -0.3, 0.7, 3.1] {
+            let ds = (sigmoid(x + h) - sigmoid(x - h)) / (2.0 * h);
+            assert!(approx_eq(ds, sigmoid_prime_from_value(sigmoid(x)), 1e-6));
+            let dl = (ln_cosh(x + h) - ln_cosh(x - h)) / (2.0 * h);
+            assert!(approx_eq(dl, ln_cosh_prime(x), 1e-6));
+        }
+    }
+
+    #[test]
+    fn slice_variants_match_scalar() {
+        let xs = [-2.0, -0.5, 0.0, 0.5, 2.0];
+        let mut r = xs;
+        relu_slice(&mut r);
+        let mut s = xs;
+        sigmoid_slice(&mut s);
+        let mut l = xs;
+        ln_cosh_slice(&mut l);
+        for i in 0..xs.len() {
+            assert_eq!(r[i], relu(xs[i]));
+            assert_eq!(s[i], sigmoid(xs[i]));
+            assert_eq!(l[i], ln_cosh(xs[i]));
+        }
+    }
+}

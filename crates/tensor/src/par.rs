@@ -1,0 +1,55 @@
+//! Parallelism policy shared by the kernels in this crate.
+//!
+//! Rayon's overhead per `par_iter` dispatch is on the order of a few
+//! microseconds; kernels touching fewer elements than
+//! [`PAR_THRESHOLD_ELEMS`] run their sequential twin instead.  The
+//! threshold is deliberately a compile-time constant (not a runtime knob)
+//! so that the branch is free; the `bench_tensor` criterion group in
+//! `vqmc-bench` sweeps it empirically.
+
+/// Minimum number of `f64` elements a kernel must touch before the
+/// parallel code path is worth its scheduling overhead.
+pub const PAR_THRESHOLD_ELEMS: usize = 16 * 1024;
+
+/// Returns `true` when a kernel over `elems` elements should take the
+/// rayon code path.
+#[inline]
+pub fn should_parallelize(elems: usize) -> bool {
+    elems >= PAR_THRESHOLD_ELEMS && rayon::current_num_threads() > 1
+}
+
+/// Splits `rows` rows into chunk sizes that give each rayon worker a few
+/// chunks to steal, without descending into per-row tasks.
+///
+/// Returns a chunk length in rows, at least 1.
+#[inline]
+pub fn row_chunk_len(rows: usize) -> usize {
+    let workers = rayon::current_num_threads().max(1);
+    // Four chunks per worker gives the scheduler slack for imbalance
+    // while keeping task-creation overhead negligible.
+    (rows / (4 * workers)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sizes_stay_sequential() {
+        assert!(!should_parallelize(0));
+        assert!(!should_parallelize(PAR_THRESHOLD_ELEMS - 1));
+    }
+
+    #[test]
+    fn chunk_len_is_positive() {
+        for rows in [0usize, 1, 7, 1024, 1_000_000] {
+            assert!(row_chunk_len(rows) >= 1);
+        }
+    }
+
+    #[test]
+    fn chunk_len_bounded_by_rows_for_large_inputs() {
+        let rows = 1_000_000;
+        assert!(row_chunk_len(rows) <= rows);
+    }
+}

@@ -1,0 +1,188 @@
+//! Reductions over slices: sums, moments, extrema, log-sum-exp and the
+//! covariance-style weighted accumulations the VQMC estimators need.
+
+use rayon::prelude::*;
+
+use crate::par;
+
+/// Sum of a slice.  The parallel path sums fixed-size chunks and then the
+/// chunk partials, so its association order is deterministic for a given
+/// length (independent of thread count) — important for the distributed
+/// trainer's replica-consistency test.
+pub fn sum(xs: &[f64]) -> f64 {
+    if par::should_parallelize(xs.len()) {
+        xs.par_chunks(4096).map(sum_seq).collect::<Vec<_>>().iter().sum()
+    } else {
+        sum_seq(xs)
+    }
+}
+
+#[inline]
+fn sum_seq(xs: &[f64]) -> f64 {
+    // Pairwise-ish accumulation via 4 lanes: better rounding than a
+    // single running sum and auto-vectorises.
+    let mut acc = [0.0f64; 4];
+    let chunks = xs.len() / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc[0] += xs[b];
+        acc[1] += xs[b + 1];
+        acc[2] += xs[b + 2];
+        acc[3] += xs[b + 3];
+    }
+    let mut tail = 0.0;
+    for x in &xs[chunks * 4..] {
+        tail += x;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Arithmetic mean; panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    sum(xs) / xs.len() as f64
+}
+
+/// Population variance (divides by `n`), computed in two passes for
+/// numerical robustness.  Panics on an empty slice.
+///
+/// This is the estimator of the paper's Eq. 4: the variance of the local
+/// energy, which vanishes exactly at eigenvectors.
+pub fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    let ss = if par::should_parallelize(xs.len()) {
+        xs.par_chunks(4096)
+            .map(|c| c.iter().map(|x| (x - m) * (x - m)).sum::<f64>())
+            .sum()
+    } else {
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
+    };
+    ss / xs.len() as f64
+}
+
+/// Standard deviation (square root of the population [`variance`]).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Maximum element; panics on an empty slice. `NaN`s are ignored unless
+/// every element is `NaN`.
+pub fn max(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "max of empty slice");
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Minimum element; panics on an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "min of empty slice");
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Index of the maximum element (first occurrence).
+pub fn argmax(xs: &[f64]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// `ln Σ e^{x_i}`, shifted by the maximum for stability.
+///
+/// Used when normalising wavefunction amplitudes over explicitly
+/// enumerated bases (the exact-diagonalisation oracle) and in the
+/// sampler exactness tests.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "log_sum_exp of empty slice");
+    let m = max(xs);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let s: f64 = xs.iter().map(|x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Weighted mean `Σ w_i x_i / Σ w_i`; panics if the weights sum to zero.
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ws.len(), "weighted_mean: length mismatch");
+    let wsum = sum(ws);
+    assert!(wsum != 0.0, "weighted_mean: zero total weight");
+    let dot = crate::vector::dot(xs, ws);
+    dot / wsum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn sum_and_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(sum(&xs), 15.0);
+        assert_eq!(mean(&xs), 3.0);
+    }
+
+    #[test]
+    fn sum_parallel_matches_sequential() {
+        let xs: Vec<f64> = (0..100_000).map(|i| (i as f64 * 0.1).sin()).collect();
+        assert!(approx_eq(sum(&xs), sum_seq(&xs), 1e-10));
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let xs = [2.5; 100];
+        assert_eq!(variance(&xs), 0.0);
+        assert_eq!(std_dev(&xs), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // var([1,2,3,4]) = 1.25 (population).
+        assert!(approx_eq(variance(&[1.0, 2.0, 3.0, 4.0]), 1.25, 1e-14));
+    }
+
+    #[test]
+    fn extrema() {
+        let xs = [3.0, -1.0, 4.0, -1.5, 2.0];
+        assert_eq!(max(&xs), 4.0);
+        assert_eq!(min(&xs), -1.5);
+        assert_eq!(argmax(&xs), 2);
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        // Naive would overflow: e^1000.
+        let xs = [1000.0, 1000.0];
+        assert!(approx_eq(
+            log_sum_exp(&xs),
+            1000.0 + std::f64::consts::LN_2,
+            1e-12
+        ));
+        // All -inf stays -inf.
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_small() {
+        let xs = [0.1f64, -0.3, 0.7];
+        let naive: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!(approx_eq(log_sum_exp(&xs), naive, 1e-12));
+    }
+
+    #[test]
+    fn weighted_mean_uniform_weights_is_mean() {
+        let xs = [1.0, 2.0, 3.0];
+        let ws = [1.0, 1.0, 1.0];
+        assert!(approx_eq(weighted_mean(&xs, &ws), 2.0, 1e-14));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_empty_panics() {
+        let _ = mean(&[]);
+    }
+}

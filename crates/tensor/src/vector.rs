@@ -1,0 +1,344 @@
+//! A contiguous `f64` vector with the BLAS-1 style operations the
+//! optimisers and estimators need.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::par;
+
+/// A dense, heap-allocated vector of `f64`.
+///
+/// `Vector` is a thin newtype over `Vec<f64>` (it `Deref`s to `[f64]`),
+/// adding shape-checked arithmetic.  All binary operations `assert!`
+/// equal lengths.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Vector(pub Vec<f64>);
+
+impl Vector {
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Vector(vec![0.0; n])
+    }
+
+    /// Creates a vector of length `n` filled with `value`.
+    pub fn full(n: usize, value: f64) -> Self {
+        Vector(vec![value; n])
+    }
+
+    /// Creates a vector from a generating function of the index.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+        Vector((0..n).map(|i| f(i)).collect())
+    }
+
+    /// Length of the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrows the underlying slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutably borrows the underlying slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Dot product `self . other`.
+    ///
+    /// Parallelises above the crate's size threshold; the parallel path
+    /// uses per-chunk partial sums, so association order differs from the
+    /// sequential path by at most the usual fp round-off.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        dot(&self.0, &other.0)
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// `self += alpha * x` (BLAS `axpy`).
+    pub fn axpy(&mut self, alpha: f64, x: &Vector) {
+        axpy(&mut self.0, alpha, &x.0);
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.0 {
+            *v *= alpha;
+        }
+    }
+
+    /// Returns `self + other` as a new vector.
+    pub fn add(&self, other: &Vector) -> Vector {
+        assert_eq!(self.len(), other.len(), "Vector::add: length mismatch");
+        Vector(self.0.iter().zip(&other.0).map(|(a, b)| a + b).collect())
+    }
+
+    /// Returns `self - other` as a new vector.
+    pub fn sub(&self, other: &Vector) -> Vector {
+        assert_eq!(self.len(), other.len(), "Vector::sub: length mismatch");
+        Vector(self.0.iter().zip(&other.0).map(|(a, b)| a - b).collect())
+    }
+
+    /// Elementwise product (Hadamard) as a new vector.
+    pub fn hadamard(&self, other: &Vector) -> Vector {
+        assert_eq!(self.len(), other.len(), "Vector::hadamard: length mismatch");
+        Vector(self.0.iter().zip(&other.0).map(|(a, b)| a * b).collect())
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64 + Sync) {
+        if par::should_parallelize(self.len()) {
+            self.0.par_iter_mut().for_each(|v| *v = f(*v));
+        } else {
+            for v in &mut self.0 {
+                *v = f(*v);
+            }
+        }
+    }
+
+    /// Returns a new vector with `f` applied elementwise.
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Vector {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        crate::reduce::sum(&self.0)
+    }
+
+    /// Arithmetic mean; panics on an empty vector.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.is_empty(), "Vector::mean of empty vector");
+        self.sum() / self.len() as f64
+    }
+
+    /// Population variance (biased, divides by `n`); panics when empty.
+    pub fn variance(&self) -> f64 {
+        crate::reduce::variance(&self.0)
+    }
+
+    /// Largest element; panics when empty.
+    pub fn max(&self) -> f64 {
+        crate::reduce::max(&self.0)
+    }
+
+    /// Smallest element; panics when empty.
+    pub fn min(&self) -> f64 {
+        crate::reduce::min(&self.0)
+    }
+
+    /// Fills the vector with a constant.
+    pub fn fill(&mut self, value: f64) {
+        self.0.fill(value);
+    }
+
+    /// True when every element is finite (no NaN / inf).
+    pub fn all_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Free-function dot product over slices (used by matrix kernels to avoid
+/// constructing temporaries).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    if par::should_parallelize(a.len()) {
+        a.par_chunks(4096)
+            .zip(b.par_chunks(4096))
+            .map(|(ca, cb)| dot_seq(ca, cb))
+            .sum()
+    } else {
+        dot_seq(a, b)
+    }
+}
+
+/// Sequential dot product with 4-way unrolling: the compiler reliably
+/// vectorises this shape.
+#[inline]
+fn dot_seq(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        acc[0] += a[base] * b[base];
+        acc[1] += a[base + 1] * b[base + 1];
+        acc[2] += a[base + 2] * b[base + 2];
+        acc[3] += a[base + 3] * b[base + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Free-function axpy `y += alpha * x` over slices.
+#[inline]
+pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+impl Deref for Vector {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+impl DerefMut for Vector {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector(v)
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Vector(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 8 {
+            write!(f, "Vector({:?})", self.0)
+        } else {
+            write!(
+                f,
+                "Vector(len={}, head={:?}, ...)",
+                self.len(),
+                &self.0[..4]
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Vector::zeros(5);
+        assert_eq!(z.len(), 5);
+        assert!(z.iter().all(|&v| v == 0.0));
+        let f = Vector::full(3, 2.5);
+        assert_eq!(f.as_slice(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        let a = Vector(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = Vector(vec![5.0, 4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(a.dot(&b), 5.0 + 8.0 + 9.0 + 8.0 + 5.0);
+    }
+
+    #[test]
+    fn dot_parallel_matches_sequential() {
+        let n = 100_000;
+        let a = Vector::from_fn(n, |i| (i as f64 * 0.37).sin());
+        let b = Vector::from_fn(n, |i| (i as f64 * 0.11).cos());
+        let par = a.dot(&b);
+        let seq = dot_seq(&a, &b);
+        assert!(crate::approx_eq(par, seq, 1e-12), "{par} vs {seq}");
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = Vector(vec![1.0, 1.0]);
+        let x = Vector(vec![2.0, 3.0]);
+        y.axpy(0.5, &x);
+        assert_eq!(y.as_slice(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vector(vec![1.0, 2.0]);
+        let b = Vector(vec![3.0, 5.0]);
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn stats() {
+        let v = Vector(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.sum(), 10.0);
+        assert_eq!(v.mean(), 2.5);
+        assert!(crate::approx_eq(v.variance(), 1.25, 1e-12));
+        assert_eq!(v.max(), 4.0);
+        assert_eq!(v.min(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_shape_mismatch_panics() {
+        let a = Vector::zeros(3);
+        let b = Vector::zeros(4);
+        let _ = a.dot(&b);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let mut v = Vector(vec![1.0, -2.0, 3.0]);
+        v.scale(2.0);
+        assert_eq!(v.as_slice(), &[2.0, -4.0, 6.0]);
+        let abs = v.map(f64::abs);
+        assert_eq!(abs.as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut v = Vector::zeros(3);
+        assert!(v.all_finite());
+        v[1] = f64::NAN;
+        assert!(!v.all_finite());
+    }
+}

@@ -1,0 +1,393 @@
+//! Subcommand implementations for `vqmc-cli`.
+
+use std::collections::BTreeMap;
+
+use vqmc::baselines::{brute_force, goemans_williamson, local_search_1opt, random_cut};
+use vqmc::core::observables::fidelity;
+use vqmc::nn::checkpoint::Checkpoint;
+use vqmc::prelude::*;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+vqmc-cli — variational quantum Monte Carlo (SC'21 reproduction)
+
+USAGE:
+  vqmc-cli <command> [--flag value]...
+
+COMMANDS:
+  train      train a wavefunction on a problem instance
+             --problem tim|maxcut|sk   (default tim)
+             --n <spins>               (default 16)
+             --model made|nade|rbm     (default made)
+             --sampler auto|mcmc|gibbs (default: auto for made/nade, mcmc for rbm)
+             --optimizer adam|sgd|sr   (default adam)
+             --iters <N>               (default 300)
+             --batch <N>               (default 512)
+             --seed <N>                (default 0)
+             --instance-seed <N>       (default 2021)
+             --checkpoint <path>       save the trained model
+             --exact true              compare against Lanczos (n <= 16)
+  evaluate   load a checkpoint and report energy statistics
+             --checkpoint <path> --problem ... --n ... [--batch N]
+  sample     draw configurations from a checkpointed model
+             --checkpoint <path> [--count N]
+  baselines  classical Max-Cut solvers on one instance
+             --n <vertices> [--instance-seed N] [--seed N]
+  scaling    mini weak-scaling report on the virtual cluster
+             [--n N] [--mbs N] [--iters N]
+  help       show this text";
+
+type Flags = BTreeMap<String, String>;
+
+fn get<'a>(flags: &'a Flags, key: &str, default: &'a str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn get_usize(flags: &Flags, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} wants an integer, got {v:?}")),
+    }
+}
+
+fn get_u64(flags: &Flags, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} wants an integer, got {v:?}")),
+    }
+}
+
+/// The problem instances the CLI can build.
+enum Problem {
+    Tim(TransverseFieldIsing),
+    MaxCut(MaxCut),
+}
+
+impl Problem {
+    fn build(flags: &Flags) -> Result<(Self, usize), String> {
+        let n = get_usize(flags, "n", 16)?;
+        let instance_seed = get_u64(flags, "instance-seed", 2021)?;
+        let problem = match get(flags, "problem", "tim") {
+            "tim" => Problem::Tim(TransverseFieldIsing::random(n, instance_seed)),
+            "sk" => Problem::Tim(TransverseFieldIsing::sherrington_kirkpatrick(
+                n,
+                0.7,
+                instance_seed,
+            )),
+            "maxcut" => Problem::MaxCut(MaxCut::random(n, instance_seed)),
+            other => return Err(format!("unknown problem {other:?} (tim|maxcut|sk)")),
+        };
+        Ok((problem, n))
+    }
+
+    fn hamiltonian(&self) -> &dyn SparseRowHamiltonian {
+        match self {
+            Problem::Tim(h) => h,
+            Problem::MaxCut(h) => h,
+        }
+    }
+}
+
+fn optimizer_choice(flags: &Flags) -> Result<OptimizerChoice, String> {
+    Ok(match get(flags, "optimizer", "adam") {
+        "adam" => OptimizerChoice::paper_default(),
+        "sgd" => OptimizerChoice::Sgd { lr: 0.1 },
+        "sr" => OptimizerChoice::paper_sr(),
+        other => return Err(format!("unknown optimizer {other:?} (adam|sgd|sr)")),
+    })
+}
+
+fn trainer_config(flags: &Flags) -> Result<TrainerConfig, String> {
+    Ok(TrainerConfig {
+        iterations: get_usize(flags, "iters", 300)?,
+        batch_size: get_usize(flags, "batch", 512)?,
+        optimizer: optimizer_choice(flags)?,
+        ..TrainerConfig::paper_default(get_u64(flags, "seed", 0)?)
+    })
+}
+
+fn report_trace(trace: &TrainingTrace) {
+    let stride = (trace.records.len() / 10).max(1);
+    for (it, rec) in trace.records.iter().enumerate() {
+        if it % stride == 0 || it + 1 == trace.records.len() {
+            println!(
+                "iter {it:>5}: energy {:>12.4}  std {:>9.4}",
+                rec.energy, rec.std_dev
+            );
+        }
+    }
+    println!(
+        "done: final energy {:.6}, best {:.6}, {:.2}s",
+        trace.final_energy(),
+        trace.best_energy(),
+        trace.total_secs
+    );
+}
+
+fn maybe_exact(flags: &Flags, h: &dyn SparseRowHamiltonian, final_energy: f64) {
+    if get(flags, "exact", "false") == "true" {
+        let n = h.num_spins();
+        if n > 16 {
+            eprintln!("(skipping --exact: n = {n} > 16)");
+            return;
+        }
+        let gs = ground_state(h, 400, 1e-12);
+        println!(
+            "exact λ_min = {:.6}, relative gap = {:.3e}",
+            gs.energy,
+            (final_energy - gs.energy).abs() / gs.energy.abs()
+        );
+    }
+}
+
+/// `vqmc-cli train`.
+pub fn train(flags: &Flags) -> Result<(), String> {
+    let (problem, n) = Problem::build(flags)?;
+    let h = problem.hamiltonian();
+    let config = trainer_config(flags)?;
+    let model = get(flags, "model", "made");
+    let model_seed = get_u64(flags, "seed", 0)?.wrapping_add(1);
+    let default_sampler = if model == "rbm" { "mcmc" } else { "auto" };
+    let sampler_name = get(flags, "sampler", default_sampler);
+    println!(
+        "training {model} (+{sampler_name}) on {} with {} for {} iterations, batch {}",
+        get(flags, "problem", "tim"),
+        config.optimizer.label(),
+        config.iterations,
+        config.batch_size
+    );
+
+    // Dispatch over (model, sampler). Each arm owns its concrete types.
+    let (final_energy, save): (f64, Box<dyn FnOnce(&str) -> Result<(), String>>) =
+        match (model, sampler_name) {
+            ("made", "auto") => {
+                let wf = Made::new(n, made_hidden_size(n), model_seed);
+                let mut t = Trainer::new(wf, IncrementalAutoSampler, config);
+                let trace = t.run(h);
+                report_trace(&trace);
+                let wf = t.into_wavefunction();
+                (
+                    trace.final_energy(),
+                    Box::new(move |p: &str| wf.save(p).map_err(|e| e.to_string())),
+                )
+            }
+            ("made", "mcmc") => {
+                let wf = Made::new(n, made_hidden_size(n), model_seed);
+                let mut t = Trainer::new(wf, McmcSampler::default(), config);
+                let trace = t.run(h);
+                report_trace(&trace);
+                let wf = t.into_wavefunction();
+                (
+                    trace.final_energy(),
+                    Box::new(move |p: &str| wf.save(p).map_err(|e| e.to_string())),
+                )
+            }
+            ("nade", "auto") => {
+                let wf = Nade::new(n, made_hidden_size(n), model_seed);
+                let mut t = Trainer::new(wf, NadeNativeSampler, config);
+                let trace = t.run(h);
+                report_trace(&trace);
+                let wf = t.into_wavefunction();
+                (
+                    trace.final_energy(),
+                    Box::new(move |p: &str| wf.save(p).map_err(|e| e.to_string())),
+                )
+            }
+            ("rbm", "mcmc") => {
+                let wf = Rbm::new(n, rbm_hidden_size(n), model_seed);
+                let mut t = Trainer::new(wf, RbmFastMcmc(McmcSampler::default()), config);
+                let trace = t.run(h);
+                report_trace(&trace);
+                let wf = t.into_wavefunction();
+                (
+                    trace.final_energy(),
+                    Box::new(move |p: &str| wf.save(p).map_err(|e| e.to_string())),
+                )
+            }
+            ("rbm", "gibbs") => {
+                let wf = Rbm::new(n, rbm_hidden_size(n), model_seed);
+                let mut t = Trainer::new(wf, GibbsSampler::default(), config);
+                let trace = t.run(h);
+                report_trace(&trace);
+                let wf = t.into_wavefunction();
+                (
+                    trace.final_energy(),
+                    Box::new(move |p: &str| wf.save(p).map_err(|e| e.to_string())),
+                )
+            }
+            (m, s) => {
+                return Err(format!(
+                    "unsupported combination --model {m} --sampler {s} \
+                     (made+auto, made+mcmc, nade+auto, rbm+mcmc, rbm+gibbs)"
+                ))
+            }
+        };
+
+    maybe_exact(flags, h, final_energy);
+    if let Some(path) = flags.get("checkpoint") {
+        save(path)?;
+        println!("checkpoint written to {path}");
+    }
+    Ok(())
+}
+
+/// `vqmc-cli evaluate`.
+pub fn evaluate(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .get("checkpoint")
+        .ok_or("evaluate needs --checkpoint <path>")?;
+    let (problem, _) = Problem::build(flags)?;
+    let h = problem.hamiltonian();
+    let batch_size = get_usize(flags, "batch", 1024)?;
+
+    // Try each model kind in turn (the file header disambiguates).
+    let model: Box<dyn WaveFunction> = if let Ok(m) = Made::load(path) {
+        Box::new(m)
+    } else if let Ok(m) = Nade::load(path) {
+        Box::new(m)
+    } else if let Ok(m) = Rbm::load(path) {
+        Box::new(m)
+    } else {
+        return Err(format!("{path} is not a loadable vqmc checkpoint"));
+    };
+    if model.num_spins() != h.num_spins() {
+        return Err(format!(
+            "checkpoint has {} spins but the problem has {}",
+            model.num_spins(),
+            h.num_spins()
+        ));
+    }
+    // Evaluate with a neutral sampler: checkpointed MADE/NADE are
+    // normalised; RBM falls back to MCMC.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(get_u64(flags, "seed", 0)?);
+    let out = if let Ok(m) = Made::load(path) {
+        IncrementalAutoSampler.sample(&m, batch_size, &mut rng)
+    } else if let Ok(m) = Nade::load(path) {
+        NadeNativeSampler.sample(&m, batch_size, &mut rng)
+    } else {
+        let m = Rbm::load(path).expect("checked above");
+        McmcSampler::default().sample_rbm(&m, batch_size, &mut rng)
+    };
+    let mut eval = |b: &SpinBatch| model.log_psi(b);
+    let local = vqmc::hamiltonian::local_energies(
+        h,
+        &out.batch,
+        &out.log_psi,
+        &mut eval,
+        Default::default(),
+    );
+    let stats = EnergyStats::from_local_energies(&local);
+    println!(
+        "energy = {:.6} ± {:.6} (batch {batch_size}), best sample {:.6}",
+        stats.mean,
+        stats.std_dev / (batch_size as f64).sqrt(),
+        stats.min
+    );
+    if h.num_spins() <= 14 && get(flags, "exact", "false") == "true" {
+        let gs = ground_state(h, 400, 1e-12);
+        println!(
+            "exact λ_min = {:.6}; fidelity = {:.4}",
+            gs.energy,
+            fidelity(model.as_ref(), &gs.vector)
+        );
+    }
+    Ok(())
+}
+
+/// `vqmc-cli sample`.
+pub fn sample(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .get("checkpoint")
+        .ok_or("sample needs --checkpoint <path>")?;
+    let count = get_usize(flags, "count", 16)?;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(get_u64(flags, "seed", 0)?);
+    let (batch, log_psi) = if let Ok(m) = Made::load(path) {
+        let out = IncrementalAutoSampler.sample(&m, count, &mut rng);
+        (out.batch, out.log_psi)
+    } else if let Ok(m) = Nade::load(path) {
+        let out = NadeNativeSampler.sample(&m, count, &mut rng);
+        (out.batch, out.log_psi)
+    } else if let Ok(m) = Rbm::load(path) {
+        let out = McmcSampler::default().sample_rbm(&m, count, &mut rng);
+        (out.batch, out.log_psi)
+    } else {
+        return Err(format!("{path} is not a loadable vqmc checkpoint"));
+    };
+    for s in 0..batch.batch_size() {
+        let bits: String = batch
+            .sample(s)
+            .iter()
+            .map(|&b| if b == 1 { '1' } else { '0' })
+            .collect();
+        println!("{bits}  logψ = {:.4}", log_psi[s]);
+    }
+    Ok(())
+}
+
+/// `vqmc-cli baselines`.
+pub fn baselines(flags: &Flags) -> Result<(), String> {
+    let n = get_usize(flags, "n", 30)?;
+    let instance_seed = get_u64(flags, "instance-seed", 2021)?;
+    let seed = get_u64(flags, "seed", 0)?;
+    let mc = MaxCut::random(n, instance_seed);
+    let graph = mc.graph();
+    println!("Max-Cut instance: n = {n}, |E| = {}", graph.num_edges());
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (_, rc) = random_cut(graph, 1, &mut rng);
+    println!("random cut            : {rc}");
+    let gw = goemans_williamson(graph, 100, &mut rng);
+    println!(
+        "Goemans-Williamson    : {} (SDP bound {:.2})",
+        gw.cut, gw.sdp_value
+    );
+    let bm = BurerMonteiro::default().solve(graph, &mut rng);
+    let (mut x, _) = vqmc::baselines::hyperplane_round(graph, &bm.v, 100, &mut rng);
+    let bm_cut = local_search_1opt(graph, &mut x);
+    println!("Burer-Monteiro + 1opt : {bm_cut}");
+    if n <= 22 {
+        let (_, opt) = brute_force(graph);
+        println!("exact optimum         : {opt}");
+    }
+    Ok(())
+}
+
+/// `vqmc-cli scaling`.
+pub fn scaling(flags: &Flags) -> Result<(), String> {
+    let n = get_usize(flags, "n", 128)?;
+    let mbs = get_usize(flags, "mbs", 16)?;
+    let iters = get_usize(flags, "iters", 10)?;
+    let hidden = made_hidden_size(n);
+    let h = TransverseFieldIsing::random(n, 2021);
+    println!("weak scaling: TIM n = {n}, mbs = {mbs}, {iters} iterations\n");
+    println!("config    L   modelled s/iter   energy");
+    for topo in Topology::paper_configurations() {
+        let label = topo.label();
+        let l = topo.num_devices();
+        let cluster = Cluster::new(topo, DeviceSpec::v100());
+        let wf = Made::new(n, hidden, 1);
+        let config = DistributedConfig {
+            iterations: iters,
+            minibatch_per_device: mbs,
+            optimizer: OptimizerChoice::paper_default(),
+            local_energy: Default::default(),
+            seed: 9,
+            cost_hidden: hidden,
+            cost_offdiag: n,
+        };
+        let mut t = DistributedTrainer::new(cluster, wf, IncrementalAutoSampler, config);
+        let trace = t.run(&h);
+        println!(
+            "{label:>6} {l:>4}   {:>15.4}   {:>10.4}",
+            t.elapsed_modelled() / iters as f64,
+            trace.final_energy()
+        );
+    }
+    Ok(())
+}

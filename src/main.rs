@@ -1,0 +1,74 @@
+//! `vqmc-cli` — command-line front end to the vqmc library.
+//!
+//! ```text
+//! vqmc-cli train     --problem tim --n 20 --model made --sampler auto ...
+//! vqmc-cli evaluate  --checkpoint model.ckpt --problem tim --n 20 ...
+//! vqmc-cli sample    --checkpoint model.ckpt --count 16
+//! vqmc-cli baselines --n 30 --seed 7
+//! vqmc-cli scaling   --n 128 --mbs 16
+//! vqmc-cli help
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency): flags are
+//! `--key value` pairs validated against each subcommand's schema, with
+//! actionable error messages.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{}", cli::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let rest: Vec<String> = args.collect();
+    let flags = match parse_flags(&rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "train" => cli::train(&flags),
+        "evaluate" => cli::evaluate(&flags),
+        "sample" => cli::sample(&flags),
+        "baselines" => cli::baselines(&flags),
+        "scaling" => cli::scaling(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", cli::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` pairs; rejects dangling flags and positionals.
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found {key:?}"));
+        };
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("flag --{name} is missing its value"));
+        };
+        if map.insert(name.to_string(), value.clone()).is_some() {
+            return Err(format!("flag --{name} given twice"));
+        }
+        i += 2;
+    }
+    Ok(map)
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration tests: the full VQMC pipeline against exact
+//! oracles, spanning every crate in the workspace.
+
+use vqmc::prelude::*;
+
+/// MADE + AUTO + Adam on a small disordered TIM must converge close to
+/// the exact (Lanczos) ground-state energy, with the zero-variance
+/// diagnostic shrinking — the headline single-device claim.
+#[test]
+fn made_auto_reaches_tim_ground_state() {
+    let n = 6;
+    let h = TransverseFieldIsing::random(n, 101);
+    let exact = ground_state(&h, 300, 1e-12);
+
+    let config = TrainerConfig {
+        iterations: 250,
+        batch_size: 512,
+        optimizer: OptimizerChoice::paper_default(),
+        ..TrainerConfig::paper_default(11)
+    };
+    let mut trainer = Trainer::new(Made::new(n, made_hidden_size(n).max(12), 5), AutoSampler, config);
+    let trace = trainer.run(&h);
+
+    let final_e = trace.final_energy();
+    let rel = (final_e - exact.energy) / exact.energy.abs();
+    assert!(
+        rel.abs() < 0.05,
+        "VQMC {final_e} vs exact {} (rel {rel})",
+        exact.energy
+    );
+    // Variational inequality with Monte-Carlo slack at every iteration.
+    for rec in &trace.records {
+        assert!(rec.energy >= exact.energy - 4.0 * rec.std_dev / (512.0f64).sqrt() - 1e-9);
+    }
+    // Zero-variance diagnostic must shrink.
+    assert!(trace.records.last().unwrap().std_dev < trace.records[0].std_dev);
+}
+
+/// The VQMC Max-Cut heuristic must find the exact optimum of a small
+/// instance, and the classical baseline chain must order correctly:
+/// random ≤ GW ≤ OPT, with the SDP value an upper bound.
+#[test]
+fn maxcut_pipeline_against_brute_force() {
+    use rand::SeedableRng;
+    let n = 14;
+    let mc = MaxCut::random(n, 33);
+    let graph = mc.graph();
+    let (_, opt) = brute_force(graph);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let (_, rand_val) = random_cut(graph, 1, &mut rng);
+    let gw = goemans_williamson(graph, 60, &mut rng);
+    assert!(rand_val <= opt);
+    assert!(gw.cut <= opt);
+    assert!(gw.cut as f64 >= 0.878 * opt as f64, "GW ratio violated");
+    assert!(gw.sdp_value >= opt as f64 - 1e-6);
+
+    // VQMC with SR, the paper's strongest configuration.
+    let config = TrainerConfig {
+        iterations: 150,
+        batch_size: 256,
+        optimizer: OptimizerChoice::paper_sr(),
+        ..TrainerConfig::paper_default(3)
+    };
+    let mut trainer = Trainer::new(Made::new(n, 20, 8), AutoSampler, config);
+    trainer.run(&mc);
+    let eval = trainer.evaluate(&mc, 256);
+    let best_cut = mc.cut_values(&eval.batch).max() as usize;
+    assert!(
+        best_cut >= opt - 1,
+        "VQMC best cut {best_cut} too far below optimum {opt}"
+    );
+}
+
+/// RBM + MCMC (the paper's baseline pipeline) must also train — just
+/// less efficiently — and its energies must respect the variational
+/// bound of its own Hamiltonian.
+#[test]
+fn rbm_mcmc_pipeline_trains() {
+    let n = 8;
+    let h = TransverseFieldIsing::random(n, 55);
+    let exact = ground_state(&h, 300, 1e-10);
+
+    let config = TrainerConfig {
+        iterations: 120,
+        batch_size: 256,
+        optimizer: OptimizerChoice::paper_default(),
+        ..TrainerConfig::paper_default(21)
+    };
+    let mut trainer = Trainer::new(
+        Rbm::new(n, rbm_hidden_size(n), 2),
+        RbmFastMcmc(McmcSampler::default()),
+        config,
+    );
+    let trace = trainer.run(&h);
+    assert!(
+        trace.final_energy() < trace.records[0].energy,
+        "MCMC training made no progress"
+    );
+    // MCMC estimates are noisy but the final mean shouldn't sit below
+    // the exact ground energy by more than sampling noise.
+    let last = trace.records.last().unwrap();
+    assert!(last.energy >= exact.energy - 6.0 * last.std_dev / (256.0f64).sqrt() - 1e-6);
+}
+
+/// The hitting-time harness (Table 5 protocol) terminates on targets the
+/// model can reach and reports honest misses on ones it cannot.
+#[test]
+fn hitting_time_protocol() {
+    let n = 12;
+    let mc = MaxCut::random(n, 8);
+    let config = TrainerConfig {
+        iterations: 0,
+        batch_size: 128,
+        optimizer: OptimizerChoice::paper_default(),
+        ..TrainerConfig::paper_default(5)
+    };
+    let mut trainer = Trainer::new(Made::new(n, 16, 4), AutoSampler, config);
+    let target = mc.graph().num_edges() as f64 * 0.5;
+    let result = hitting_time(
+        &mut trainer,
+        &mc,
+        HittingConfig {
+            target_score: target,
+            eval_batch_size: 128,
+            max_iterations: 150,
+        },
+    );
+    assert!(result.hit, "failed to reach {target}: best {}", result.best_score);
+    assert!(result.train_secs > 0.0);
+}

@@ -1,0 +1,112 @@
+//! Property-based tests (proptest) over the workspace's cross-crate
+//! invariants: randomised shapes, seeds and configurations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vqmc::prelude::*;
+use vqmc::tensor::batch::enumerate_configs;
+use vqmc::tensor::reduce::log_sum_exp;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// MADE is exactly normalised for any shape and seed.
+    #[test]
+    fn made_normalised_for_any_shape(n in 1usize..9, h in 1usize..20, seed in 0u64..1000) {
+        let wf = Made::new(n, h, seed);
+        let all = enumerate_configs(n);
+        let lp = wf.log_prob(&all);
+        let total = log_sum_exp(&lp);
+        prop_assert!(total.abs() < 1e-9, "Σπ = exp({total})");
+    }
+
+    /// AUTO sampling respects the autoregressive masks for any model:
+    /// the sampled logψ always equals a fresh forward evaluation.
+    #[test]
+    fn auto_log_psi_self_consistent(n in 2usize..10, h in 2usize..16, seed in 0u64..500) {
+        let wf = Made::new(n, h, seed);
+        let out = AutoSampler.sample(&wf, 8, &mut StdRng::seed_from_u64(seed ^ 0xABCD));
+        let fresh = wf.log_psi(&out.batch);
+        for s in 0..8 {
+            prop_assert!((out.log_psi[s] - fresh[s]).abs() < 1e-9);
+        }
+    }
+
+    /// Hamiltonian hermiticity through the trait: H_xy == H_yx for
+    /// random TIM instances and random configuration pairs.
+    #[test]
+    fn tim_matrix_elements_symmetric(n in 2usize..10, seed in 0u64..500, x_bits in 0usize..64, i in 0usize..10) {
+        let h = TransverseFieldIsing::random(n, seed);
+        let x_bits = x_bits % (1 << n);
+        let i = i % n;
+        let x = vqmc::tensor::batch::decode_config(x_bits, n);
+        let mut y = x.clone();
+        y[i] ^= 1;
+        prop_assert!((h.matrix_element(&x, &y) - h.matrix_element(&y, &x)).abs() < 1e-12);
+    }
+
+    /// Cut values agree between the graph routine, the batched Ising
+    /// kernel, and the Hamiltonian diagonal, for any instance.
+    #[test]
+    fn cut_value_representations_agree(n in 3usize..12, seed in 0u64..500, bits in 0usize..4096) {
+        let mc = MaxCut::random(n, seed);
+        let bits = bits % (1 << n);
+        let x = vqmc::tensor::batch::decode_config(bits, n);
+        let direct = mc.cut_value(&x) as f64;
+        let batch = vqmc::tensor::SpinBatch::from_single(&x);
+        let batched = mc.cut_values(&batch)[0];
+        let diag = -mc.diagonal(&x);
+        prop_assert!((direct - batched).abs() < 1e-9);
+        prop_assert!((direct - diag).abs() < 1e-9);
+    }
+
+    /// The weighted gradient is linear in the weights (any model, any
+    /// batch): g(a·w₁ + b·w₂) = a·g(w₁) + b·g(w₂).
+    #[test]
+    fn weighted_gradient_is_linear(seed in 0u64..200, a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        let n = 5;
+        let wf = Made::new(n, 8, seed);
+        let batch = vqmc::tensor::SpinBatch::from_fn(6, n, |s, i| (((s + 1) * (i + 2) + seed as usize) % 2) as u8);
+        let w1 = Vector::from_fn(6, |s| (s as f64 * 0.37).sin());
+        let w2 = Vector::from_fn(6, |s| (s as f64 * 0.91).cos());
+        let mut combo = w1.clone();
+        combo.scale(a);
+        combo.axpy(b, &w2);
+        let lhs = wf.weighted_log_psi_grad(&batch, &combo);
+        let g1 = wf.weighted_log_psi_grad(&batch, &w1);
+        let g2 = wf.weighted_log_psi_grad(&batch, &w2);
+        for k in 0..lhs.len() {
+            let rhs = a * g1[k] + b * g2[k];
+            prop_assert!((lhs[k] - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+        }
+    }
+
+    /// Allreduce-mean over any device count equals the arithmetic mean.
+    #[test]
+    fn allreduce_is_exact_mean(l1 in 1usize..5, l2 in 1usize..5, len in 1usize..50) {
+        let topo = Topology::new(l1, l2);
+        let l = topo.num_devices();
+        let vectors: Vec<Vector> = (0..l)
+            .map(|r| Vector::from_fn(len, |i| ((r * 31 + i * 7) % 13) as f64 - 6.0))
+            .collect();
+        let mut expect = Vector::zeros(len);
+        for v in &vectors {
+            expect.axpy(1.0 / l as f64, v);
+        }
+        let (mean, _) = vqmc::cluster::allreduce_mean_tree(vectors, &topo);
+        for i in 0..len {
+            prop_assert!((mean[i] - expect[i]).abs() < 1e-12);
+        }
+    }
+
+    /// Brute force dominates every heuristic on any small instance.
+    #[test]
+    fn brute_force_dominates_heuristics(n in 4usize..12, seed in 0u64..200) {
+        let g = Graph::random_bernoulli(n, seed);
+        let (_, opt) = brute_force(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, rc) = random_cut(&g, 4, &mut rng);
+        prop_assert!(rc <= opt);
+    }
+}

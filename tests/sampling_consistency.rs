@@ -1,0 +1,122 @@
+//! Cross-sampler consistency: AUTO and MCMC are two estimators of the
+//! same expectation values.  On a *fixed* wavefunction they must agree
+//! (AUTO exactly, MCMC asymptotically) — the statistical foundation of
+//! the paper's comparison.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vqmc::hamiltonian::{local_energies, LocalEnergyConfig};
+use vqmc::prelude::*;
+use vqmc::tensor::batch::{encode_config, enumerate_configs};
+use vqmc::tensor::reduce::log_sum_exp;
+
+/// Exact population energy of a wavefunction by enumeration.
+fn exact_energy(h: &dyn SparseRowHamiltonian, wf: &dyn WaveFunction, n: usize) -> f64 {
+    let all = enumerate_configs(n);
+    let log_psi = wf.log_psi(&all);
+    let log_w: Vec<f64> = log_psi.iter().map(|lp| 2.0 * lp).collect();
+    let z = log_sum_exp(&log_w);
+    let mut eval = |b: &vqmc::tensor::SpinBatch| wf.log_psi(b);
+    let local = local_energies(h, &all, &log_psi, &mut eval, LocalEnergyConfig::default());
+    (0..all.batch_size())
+        .map(|s| (log_w[s] - z).exp() * local[s])
+        .sum()
+}
+
+#[test]
+fn auto_estimate_matches_exact_expectation() {
+    let n = 7;
+    let h = TransverseFieldIsing::random(n, 4);
+    let wf = Made::new(n, 12, 9);
+    let truth = exact_energy(&h, &wf, n);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let out = AutoSampler.sample(&wf, 8192, &mut rng);
+    let mut eval = |b: &vqmc::tensor::SpinBatch| wf.log_psi(b);
+    let local = local_energies(&h, &out.batch, &out.log_psi, &mut eval, LocalEnergyConfig::default());
+    let stats = EnergyStats::from_local_energies(&local);
+    let se = stats.std_dev / (8192.0f64).sqrt();
+    assert!(
+        (stats.mean - truth).abs() < 5.0 * se + 1e-9,
+        "AUTO estimate {} vs exact {truth} (5se = {})",
+        stats.mean,
+        5.0 * se
+    );
+}
+
+#[test]
+fn mcmc_estimate_agrees_with_auto_on_same_model() {
+    // Same MADE model sampled both ways: MCMC is model-agnostic, so the
+    // long-chain estimate must agree with the exact AUTO estimate.
+    let n = 6;
+    let h = TransverseFieldIsing::random(n, 19);
+    let wf = Made::new(n, 10, 3);
+    let truth = exact_energy(&h, &wf, n);
+
+    let config = McmcConfig {
+        chains: 4,
+        burn_in: BurnIn::Fixed(400),
+        thinning: Thinning(2),
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let out = McmcSampler::new(config).sample(&wf, 4096, &mut rng);
+    let mut eval = |b: &vqmc::tensor::SpinBatch| wf.log_psi(b);
+    let local = local_energies(&h, &out.batch, &out.log_psi, &mut eval, LocalEnergyConfig::default());
+    let stats = EnergyStats::from_local_energies(&local);
+    // MCMC samples are correlated: use a generous tolerance.
+    assert!(
+        (stats.mean - truth).abs() < 0.05 * truth.abs() + 10.0 * stats.std_dev / (4096.0f64).sqrt(),
+        "MCMC estimate {} vs exact {truth}",
+        stats.mean
+    );
+}
+
+#[test]
+fn incremental_and_naive_auto_identical_through_the_stack() {
+    // Beyond the unit test: identical *local energies* end to end.
+    let n = 9;
+    let h = TransverseFieldIsing::random(n, 77);
+    let wf = Made::new(n, 14, 21);
+    let naive = AutoSampler.sample(&wf, 64, &mut StdRng::seed_from_u64(5));
+    let fast = IncrementalAutoSampler.sample(&wf, 64, &mut StdRng::seed_from_u64(5));
+    assert_eq!(naive.batch.as_bytes(), fast.batch.as_bytes());
+
+    let mut eval = |b: &vqmc::tensor::SpinBatch| wf.log_psi(b);
+    let l1 = local_energies(&h, &naive.batch, &naive.log_psi, &mut eval, LocalEnergyConfig::default());
+    let mut eval2 = |b: &vqmc::tensor::SpinBatch| wf.log_psi(b);
+    let l2 = local_energies(&h, &fast.batch, &fast.log_psi, &mut eval2, LocalEnergyConfig::default());
+    for s in 0..64 {
+        assert!((l1[s] - l2[s]).abs() < 1e-9, "sample {s}");
+    }
+}
+
+#[test]
+fn auto_sample_frequencies_track_model_probabilities() {
+    // Empirical frequency of the single most likely configuration must
+    // match its model probability (a sharper exactness check than the
+    // chi-square in the unit tests, across the crate boundary).
+    let n = 5;
+    let wf = Made::new(n, 9, 13);
+    let all = enumerate_configs(n);
+    let lp = wf.log_prob(&all);
+    let probs: Vec<f64> = lp.iter().map(|l| l.exp()).collect();
+    let argmax = (0..probs.len())
+        .max_by(|&a, &b| probs[a].partial_cmp(&probs[b]).unwrap())
+        .unwrap();
+
+    let draws = 20_000;
+    let out = AutoSampler.sample(&wf, draws, &mut StdRng::seed_from_u64(31));
+    let hits = out
+        .batch
+        .samples()
+        .filter(|s| encode_config(s) == argmax)
+        .count();
+    let freq = hits as f64 / draws as f64;
+    let p = probs[argmax];
+    let se = (p * (1.0 - p) / draws as f64).sqrt();
+    assert!(
+        (freq - p).abs() < 5.0 * se,
+        "freq {freq} vs p {p} (5se = {})",
+        5.0 * se
+    );
+}
