@@ -19,11 +19,11 @@ fn bench_variants(c: &mut Criterion) {
         let wf = Made::new(n, made_hidden_size(n), 1);
         group.bench_with_input(BenchmarkId::new("naive", n), &wf, |b, wf| {
             let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| black_box(AutoSampler.sample(wf, BATCH, &mut rng)))
+            b.iter(|| black_box(AutoSampler::new().sample(wf, BATCH, &mut rng)))
         });
         group.bench_with_input(BenchmarkId::new("incremental", n), &wf, |b, wf| {
             let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| black_box(IncrementalAutoSampler.sample(wf, BATCH, &mut rng)))
+            b.iter(|| black_box(IncrementalAutoSampler::new().sample(wf, BATCH, &mut rng)))
         });
     }
     group.finish();

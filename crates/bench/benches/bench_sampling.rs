@@ -19,7 +19,7 @@ fn bench_auto(c: &mut Criterion) {
         let wf = Made::new(n, made_hidden_size(n), 1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &wf, |b, wf| {
             let mut rng = StdRng::seed_from_u64(7);
-            b.iter(|| black_box(AutoSampler.sample(wf, BATCH, &mut rng)))
+            b.iter(|| black_box(AutoSampler::new().sample(wf, BATCH, &mut rng)))
         });
     }
     group.finish();

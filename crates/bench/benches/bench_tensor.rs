@@ -1,9 +1,15 @@
 //! Micro-benchmarks of the dense kernels: GEMM variants across sizes
 //! straddling the rayon crossover threshold, validating the
-//! `PAR_THRESHOLD_ELEMS` design choice called out in DESIGN.md.
+//! `PAR_THRESHOLD_ELEMS` design choice called out in DESIGN.md, plus a
+//! naive-vs-blocked `gemm_nt` comparison at the EXPERIMENTS.md
+//! acceptance shape (m,k,n) = (1024,512,512).
+//!
+//! Run with `BENCH_JSON=BENCH_kernels.json cargo bench --bench
+//! bench_tensor` to refresh the machine-readable medians.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vqmc_tensor::vector::dot;
 use vqmc_tensor::{gemm, Matrix};
 
 fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -14,6 +20,24 @@ fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
         state ^= state << 17;
         (state % 1000) as f64 / 500.0 - 1.0
     })
+}
+
+/// The pre-blocking `gemm_nt` inner loop (one dot product per output
+/// element), kept as the durable "before" baseline for the blocked
+/// kernel's speedup numbers.
+fn gemm_nt_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb);
+    let mut c = Matrix::zeros(m, n);
+    for r in 0..m {
+        let a_row = a.row(r);
+        let c_row = c.row_mut(r);
+        for (j, c_val) in c_row.iter_mut().enumerate() {
+            *c_val = dot(a_row, b.row(j));
+        }
+    }
+    c
 }
 
 fn bench_gemm(c: &mut Criterion) {
@@ -49,5 +73,27 @@ fn bench_gemm_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_gemm_variants);
+fn bench_gemm_blocked_vs_naive(c: &mut Criterion) {
+    // The acceptance shape: C[1024,512] = A[1024,512] · B[512,512]^T.
+    let mut group = c.benchmark_group("gemm_nt_1024x512x512");
+    group.sample_size(10);
+    let a = mat(1024, 512, 5);
+    let b_ = mat(512, 512, 6);
+    group.bench_function("blocked", |bch| {
+        bch.iter(|| black_box(gemm::gemm_nt(&a, &b_)))
+    });
+    group.bench_function("naive", |bch| {
+        bch.iter(|| black_box(gemm_nt_naive(&a, &b_)))
+    });
+    let mut out = Matrix::zeros(1024, 512);
+    group.bench_function("blocked_into", |bch| {
+        bch.iter(|| {
+            gemm::gemm_nt_into(&a, &b_, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gemm_variants, bench_gemm_blocked_vs_naive);
 criterion_main!(benches);

@@ -64,7 +64,7 @@ fn main() {
         };
 
         let (auto, passes) = series_of(&|rng| {
-            let out = AutoSampler.sample(&made, draws, rng);
+            let out = AutoSampler::new().sample(&made, draws, rng);
             (out.log_psi.into_vec(), out.stats.forward_passes)
         });
         row("MADE+AUTO (exact)", auto, passes);

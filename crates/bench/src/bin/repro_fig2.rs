@@ -24,7 +24,7 @@ fn run_pair(n: usize, iterations: usize, batch: usize) -> (TrainingTrace, Traini
         optimizer: OptimizerChoice::paper_default(),
         ..TrainerConfig::paper_default(7)
     };
-    let mut auto = Trainer::new(Made::new(n, made_hidden_size(n), 1), AutoSampler, config);
+    let mut auto = Trainer::new(Made::new(n, made_hidden_size(n), 1), AutoSampler::new(), config);
     let auto_trace = auto.run(&h);
     let mut mcmc = Trainer::new(
         Rbm::new(n, rbm_hidden_size(n), 1),

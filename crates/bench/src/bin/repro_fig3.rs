@@ -71,7 +71,7 @@ fn main() {
                 cost_hidden: hidden,
                 cost_offdiag: n,
             };
-            let mut t = DistributedTrainer::new(cluster, wf, IncrementalAutoSampler, config);
+            let mut t = DistributedTrainer::new(cluster, wf, IncrementalAutoSampler::new(), config);
             let wall_start = Instant::now();
             let mut modelled = 0.0;
             for _ in 0..rounds {

@@ -64,7 +64,7 @@ fn main() {
                     cost_offdiag: n,
                 };
                 let mut t =
-                    DistributedTrainer::new(cluster, wf, IncrementalAutoSampler, config);
+                    DistributedTrainer::new(cluster, wf, IncrementalAutoSampler::new(), config);
                 t.run(&h).final_energy()
             })
             .collect();

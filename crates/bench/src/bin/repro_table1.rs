@@ -90,7 +90,7 @@ fn main() {
         // MADE & AUTO — naive Algorithm 1 (the paper's accounting).
         {
             let made_h = made_hidden_size(n);
-            let mut t = Trainer::new(Made::new(n, made_h, 1), AutoSampler, config);
+            let mut t = Trainer::new(Made::new(n, made_h, 1), AutoSampler::new(), config);
             let trace = t.run(&h);
             rows.push(RowInput {
                 model: "MADE",
@@ -105,7 +105,7 @@ fn main() {
         // distribution, same pass count in the paper's unit).
         {
             let made_h = made_hidden_size(n);
-            let mut t = Trainer::new(Made::new(n, made_h, 1), IncrementalAutoSampler, config);
+            let mut t = Trainer::new(Made::new(n, made_h, 1), IncrementalAutoSampler::new(), config);
             let trace = t.run(&h);
             rows.push(RowInput {
                 model: "MADE",

@@ -104,7 +104,7 @@ fn main() {
 
                 let mut t = Trainer::new(
                     Made::new(n, made_hidden_size(n), seed),
-                    AutoSampler,
+                    AutoSampler::new(),
                     config,
                 );
                 t.run(&mc);
@@ -167,7 +167,7 @@ fn main() {
                     } else {
                         let mut t = Trainer::new(
                             Made::new(n, made_hidden_size(n), seed),
-                            AutoSampler,
+                            AutoSampler::new(),
                             config,
                         );
                         t.run(&h);

@@ -57,7 +57,7 @@ fn main() {
                     };
                     let (score, secs) = if model == "MADE" {
                         let mut t =
-                            Trainer::new(Made::new(n, h, seed), AutoSampler, config);
+                            Trainer::new(Made::new(n, h, seed), AutoSampler::new(), config);
                         let trace = t.run(&mc);
                         (-t.evaluate(&mc, scale.batch_size).stats.mean, trace.total_secs)
                     } else {

@@ -84,7 +84,7 @@ fn main() {
                 let result = if method == "MADE+AUTO" {
                     let mut t = Trainer::new(
                         Made::new(n, made_hidden_size(n), seed),
-                        AutoSampler,
+                        AutoSampler::new(),
                         config,
                     );
                     hitting_time(&mut t, &mc, hc)

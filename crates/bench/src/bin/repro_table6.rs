@@ -54,7 +54,7 @@ fn main() {
                 cost_hidden: hidden,
                 cost_offdiag: n,
             };
-            let mut t = DistributedTrainer::new(cluster, wf, IncrementalAutoSampler, config);
+            let mut t = DistributedTrainer::new(cluster, wf, IncrementalAutoSampler::new(), config);
             let trace = t.run(&h);
             table.row(vec![
                 label,

@@ -27,11 +27,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vqmc_cluster::Cluster;
-use vqmc_hamiltonian::{local_energies, LocalEnergyConfig, SparseRowHamiltonian};
+use vqmc_hamiltonian::{local_energies_into, LocalEnergyConfig, LocalEnergyScratch, SparseRowHamiltonian};
 use vqmc_nn::WaveFunction;
 use vqmc_optim::Optimizer;
-use vqmc_sampler::Sampler;
-use vqmc_tensor::{SpinBatch, Vector};
+use vqmc_sampler::{SampleOutput, Sampler};
+use vqmc_tensor::{SpinBatch, Vector, Workspace};
 
 use crate::cost;
 use crate::trainer::{IterationRecord, OptimizerChoice, TrainingTrace};
@@ -56,30 +56,46 @@ pub struct DistributedConfig {
     pub cost_offdiag: usize,
 }
 
-struct DeviceState<W> {
+/// Everything one device owns: its model replica, RNG stream, optimiser
+/// state, its **own sampler instance** (samplers carry mutable scratch —
+/// activation workspaces, cached weight transposes — so they cannot be
+/// shared across device threads), and the per-device buffers that make
+/// the steady-state iteration allocation-free on every device.
+struct DeviceState<W, S> {
     wf: W,
     rng: StdRng,
     opt: Box<dyn Optimizer>,
-    /// Scratch from the sampling phase, consumed by the gradient phase.
-    scratch: Option<(SpinBatch, Vector)>,
+    sampler: S,
+    /// Sampled batch + logψ, reused across iterations.
+    out: SampleOutput,
+    /// Local energies `l(x)` per sample.
+    local: Vector,
+    /// Local-energy engine scratch.
+    le: LocalEnergyScratch,
+    /// Scratch pool for wavefunction forward/backward passes.
+    ws: Workspace,
+    /// Baseline-subtracted per-sample weights.
+    weights: Vector,
+    /// Parameter vector round-tripped through the optimiser.
+    params: Vector,
 }
 
 /// Data-parallel trainer over a [`Cluster`].
 pub struct DistributedTrainer<W, S> {
     cluster: Cluster,
-    states: Vec<DeviceState<W>>,
-    sampler: S,
+    states: Vec<DeviceState<W, S>>,
     config: DistributedConfig,
 }
 
 impl<W, S> DistributedTrainer<W, S>
 where
     W: WaveFunction + Clone,
-    S: Sampler<W>,
+    S: Sampler<W> + Clone,
 {
     /// Builds the trainer: `wf` is replicated onto every device; each
-    /// device gets an independent RNG stream and its own optimiser
-    /// instance (identical construction ⇒ identical trajectories).
+    /// device gets an independent RNG stream, its own optimiser
+    /// instance and its own sampler clone (identical construction ⇒
+    /// identical trajectories; sampler scratch is per-device).
     pub fn new(cluster: Cluster, wf: W, sampler: S, config: DistributedConfig) -> Self {
         let l = cluster.num_devices();
         let states = (0..l)
@@ -87,13 +103,18 @@ where
                 wf: wf.clone(),
                 rng: StdRng::seed_from_u64(crate::derive_seed(config.seed, rank as u64, 1)),
                 opt: make_optimizer(config.optimizer),
-                scratch: None,
+                sampler: sampler.clone(),
+                out: SampleOutput::default(),
+                local: Vector::default(),
+                le: LocalEnergyScratch::default(),
+                ws: Workspace::default(),
+                weights: Vector::default(),
+                params: Vector::default(),
             })
             .collect();
         DistributedTrainer {
             cluster,
             states,
-            sampler,
             config,
         }
     }
@@ -134,19 +155,27 @@ where
         let n = h.num_spins();
         let hid = self.config.cost_hidden;
         let offd = self.config.cost_offdiag;
-        let sampler = &self.sampler;
 
         // Phase 1 (parallel): sample + measure; keep batch on-device.
         let stats: Vec<(f64, f64, f64, vqmc_sampler::SampleStats)> =
             self.cluster.run_round_mut(&mut self.states, |_rank, st| {
-                let out = sampler.sample(&st.wf, mbs, &mut st.rng);
-                let wf = &st.wf;
-                let mut eval = |b: &SpinBatch| wf.log_psi(b);
-                let local = local_energies(h, &out.batch, &out.log_psi, &mut eval, le_cfg);
+                let DeviceState {
+                    wf,
+                    rng,
+                    sampler,
+                    out,
+                    local,
+                    le,
+                    ws,
+                    ..
+                } = st;
+                sampler.sample_into(wf, mbs, rng, out);
+                let wf_ref: &W = wf;
+                let mut eval = |b: &SpinBatch, dst: &mut Vector| wf_ref.log_psi_into(b, ws, dst);
+                local_energies_into(h, &out.batch, &out.log_psi, &mut eval, le_cfg, le, local);
                 let sum: f64 = local.sum();
                 let sum_sq: f64 = local.iter().map(|l| l * l).sum();
                 let min = local.min();
-                st.scratch = Some((out.batch, local));
                 (sum, sum_sq, min, out.stats)
             });
         // Charge the per-device compute for phase 1: streamed flops plus
@@ -179,10 +208,21 @@ where
         // baseline, normalised so that the allreduce MEAN of partials is
         // the global gradient.
         let grads: Vec<Vector> = self.cluster.run_round_mut(&mut self.states, |_rank, st| {
-            let (batch, local) = st.scratch.take().expect("phase 1 must precede phase 2");
-            let weights =
-                Vector::from_fn(mbs, |s| 2.0 * (local[s] - energy) / mbs as f64);
-            st.wf.weighted_log_psi_grad(&batch, &weights)
+            let DeviceState {
+                wf,
+                out,
+                local,
+                ws,
+                weights,
+                ..
+            } = st;
+            weights.resize(mbs);
+            for (w, &l) in weights.iter_mut().zip(local.iter()) {
+                *w = 2.0 * (l - energy) / mbs as f64;
+            }
+            let mut grad = Vector::default();
+            wf.weighted_log_psi_grad_into(&out.batch, weights, ws, &mut grad);
+            grad
         });
         self.cluster
             .charge_flops_all(cost::backward_flops(mbs, n, hid));
@@ -194,9 +234,10 @@ where
         // Phase 3 (parallel): identical local updates.
         let grad_ref = &avg_grad;
         self.cluster.run_round_mut(&mut self.states, |_rank, st| {
-            let mut params = st.wf.params();
-            st.opt.step(&mut params, grad_ref);
-            st.wf.set_params(&params);
+            let DeviceState { wf, opt, params, .. } = st;
+            wf.params_into(params);
+            opt.step(params, grad_ref);
+            wf.set_params(params);
         });
         self.cluster.sync();
 
@@ -243,10 +284,12 @@ where
         let before = self.cluster.elapsed_modelled();
         let mbs = self.config.minibatch_per_device;
         let hid = self.config.cost_hidden;
-        let sampler = &self.sampler;
         let stats: Vec<(usize, usize)> =
             self.cluster.run_round_mut(&mut self.states, |_rank, st| {
-                let out = sampler.sample(&st.wf, mbs, &mut st.rng);
+                let DeviceState {
+                    wf, rng, sampler, out, ..
+                } = st;
+                sampler.sample_into(wf, mbs, rng, out);
                 (out.batch.num_spins(), out.stats.forward_passes)
             });
         let (n, passes) = stats[0];
@@ -297,7 +340,7 @@ mod tests {
     fn trainer(l1: usize, l2: usize, n: usize, mbs: usize) -> DistributedTrainer<Made, AutoSampler> {
         let cluster = Cluster::new(Topology::new(l1, l2), DeviceSpec::v100());
         let wf = Made::new(n, 10, 42);
-        DistributedTrainer::new(cluster, wf, AutoSampler, config(3, mbs, 7, 10, n))
+        DistributedTrainer::new(cluster, wf, AutoSampler::new(), config(3, mbs, 7, 10, n))
     }
 
     #[test]
@@ -363,7 +406,7 @@ mod tests {
         let mut t = DistributedTrainer::new(
             cluster,
             wf,
-            AutoSampler,
+            AutoSampler::new(),
             config(40, 64, 3, 12, n),
         );
         let trace = t.run(&h);

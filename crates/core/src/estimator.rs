@@ -1,7 +1,7 @@
 //! Monte-Carlo estimators (paper Eqs. 3–5).
 
 use vqmc_nn::WaveFunction;
-use vqmc_tensor::{SpinBatch, Vector};
+use vqmc_tensor::{SpinBatch, Vector, Workspace};
 
 /// Summary statistics of a local-energy batch.
 #[derive(Clone, Debug)]
@@ -44,10 +44,31 @@ pub fn energy_gradient(
     local: &Vector,
     mean_energy: f64,
 ) -> Vector {
+    let mut ws = Workspace::new();
+    let mut weights = Vector::default();
+    let mut out = Vector::default();
+    energy_gradient_into(wf, batch, local, mean_energy, &mut ws, &mut weights, &mut out);
+    out
+}
+
+/// [`energy_gradient`] with caller-owned weight/output buffers and a
+/// scratch pool for the backprop pass — allocation-free at steady state.
+pub fn energy_gradient_into(
+    wf: &dyn WaveFunction,
+    batch: &SpinBatch,
+    local: &Vector,
+    mean_energy: f64,
+    ws: &mut Workspace,
+    weights: &mut Vector,
+    out: &mut Vector,
+) {
     let bs = batch.batch_size();
     assert_eq!(local.len(), bs, "energy_gradient: local-energy length");
-    let weights = Vector::from_fn(bs, |s| 2.0 * (local[s] - mean_energy) / bs as f64);
-    wf.weighted_log_psi_grad(batch, &weights)
+    weights.resize(bs);
+    for s in 0..bs {
+        weights[s] = 2.0 * (local[s] - mean_energy) / bs as f64;
+    }
+    wf.weighted_log_psi_grad_into(batch, weights, ws, out);
 }
 
 #[cfg(test)]
@@ -130,7 +151,7 @@ mod tests {
         let mut without_baseline = Vec::new();
         for seed in 0..8u64 {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let out = AutoSampler.sample(&wf, 64, &mut rng);
+            let out = AutoSampler::new().sample(&wf, 64, &mut rng);
             let mut eval = |b: &SpinBatch| wf.log_psi(b);
             let local = local_energies(
                 &h,

@@ -95,7 +95,7 @@ mod tests {
             local_energy: LocalEnergyConfig::default(),
             seed: 3,
         };
-        Trainer::new(Made::new(n, 12, 5), AutoSampler, cfg)
+        Trainer::new(Made::new(n, 12, 5), AutoSampler::new(), cfg)
     }
 
     #[test]

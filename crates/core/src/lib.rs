@@ -48,6 +48,140 @@ pub fn derive_seed(master: u64, rank: u64, stream: u64) -> u64 {
         .wrapping_add(stream.wrapping_mul(0x94D0_49BB_1331_11EB))
 }
 
+/// A heap-allocation counter installed as the global allocator in this
+/// crate's test build only.  Counts are **per thread**, so concurrent
+/// tests do not pollute each other's readings: the steady-state
+/// zero-allocation test in [`alloc_test`] measures only the allocations
+/// its own thread performs (the vendored rayon shim is sequential, so
+/// every kernel runs on the calling thread).
+#[cfg(test)]
+pub(crate) mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        // `const` init: reading/writing never allocates, so the counter
+        // is safe to touch from inside the allocator itself.
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Forwards to [`System`], counting `alloc`/`alloc_zeroed`/`realloc`
+    /// calls made by the current thread.
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAllocator = CountingAllocator;
+
+    /// Heap allocations made by the calling thread so far.
+    pub fn current_thread_allocs() -> u64 {
+        ALLOCS.with(|c| c.get())
+    }
+}
+
+/// The acceptance test for the zero-allocation training hot path: after
+/// a two-iteration warm-up, a [`Trainer::step`] performs **zero** heap
+/// allocations — sampling, local energies, backprop and the optimiser
+/// update all run out of reused buffers.
+#[cfg(test)]
+mod alloc_test {
+    use crate::alloc_counter::current_thread_allocs;
+    use crate::trainer::{OptimizerChoice, Trainer, TrainerConfig};
+    use vqmc_hamiltonian::{LocalEnergyConfig, TransverseFieldIsing};
+    use vqmc_nn::Made;
+    use vqmc_sampler::{AutoSampler, IncrementalAutoSampler};
+
+    fn config(opt: OptimizerChoice) -> TrainerConfig {
+        TrainerConfig {
+            iterations: 8,
+            batch_size: 64,
+            optimizer: opt,
+            local_energy: LocalEnergyConfig::default(),
+            seed: 11,
+        }
+    }
+
+    fn assert_steady_state_alloc_free(
+        mut t: Trainer<Made, impl vqmc_sampler::Sampler<Made>>,
+        h: &TransverseFieldIsing,
+        label: &str,
+    ) {
+        let mut opt = t.make_optimizer();
+        // Warm-up: the first iteration sizes every buffer; the second
+        // catches anything sized lazily off the first iteration's data.
+        for _ in 0..2 {
+            t.step(h, opt.as_mut());
+        }
+        let before = current_thread_allocs();
+        for _ in 0..4 {
+            t.step(h, opt.as_mut());
+        }
+        let after = current_thread_allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "{label}: {} heap allocations in 4 steady-state iterations",
+            after - before
+        );
+    }
+
+    #[test]
+    fn trainer_step_is_allocation_free_at_steady_state() {
+        let n = 6;
+        let h = TransverseFieldIsing::random(n, 3);
+        let t = Trainer::new(
+            Made::new(n, 12, 7),
+            AutoSampler::new(),
+            config(OptimizerChoice::paper_default()),
+        );
+        assert_steady_state_alloc_free(t, &h, "AUTO + Adam");
+    }
+
+    #[test]
+    fn incremental_sampler_step_is_allocation_free_at_steady_state() {
+        let n = 6;
+        let h = TransverseFieldIsing::random(n, 3);
+        let t = Trainer::new(
+            Made::new(n, 12, 7),
+            IncrementalAutoSampler::new(),
+            config(OptimizerChoice::paper_default()),
+        );
+        assert_steady_state_alloc_free(t, &h, "AUTO-incremental + Adam");
+    }
+
+    #[test]
+    fn sr_step_is_allocation_free_at_steady_state() {
+        let n = 6;
+        let h = TransverseFieldIsing::random(n, 3);
+        let t = Trainer::new(
+            Made::new(n, 12, 7),
+            AutoSampler::new(),
+            config(OptimizerChoice::paper_sr()),
+        );
+        assert_steady_state_alloc_free(t, &h, "AUTO + SGD+SR");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

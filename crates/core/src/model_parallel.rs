@@ -450,7 +450,7 @@ mod tests {
         let batch = {
             use rand::SeedableRng;
             use vqmc_sampler::{AutoSampler, Sampler};
-            AutoSampler
+            AutoSampler::new()
                 .sample(&made, 64, &mut rand::rngs::StdRng::seed_from_u64(3))
                 .batch
         };

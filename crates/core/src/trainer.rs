@@ -16,13 +16,15 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vqmc_hamiltonian::{local_energies, LocalEnergyConfig, SparseRowHamiltonian};
+use vqmc_hamiltonian::{
+    local_energies_into, LocalEnergyConfig, LocalEnergyScratch, SparseRowHamiltonian,
+};
 use vqmc_nn::WaveFunction;
-use vqmc_optim::{Adam, Optimizer, Sgd, SrConfig, StochasticReconfiguration};
-use vqmc_sampler::{SampleStats, Sampler};
-use vqmc_tensor::SpinBatch;
+use vqmc_optim::{Adam, Optimizer, Sgd, SrConfig, SrScratch, StochasticReconfiguration};
+use vqmc_sampler::{SampleOutput, SampleStats, Sampler};
+use vqmc_tensor::{Matrix, SpinBatch, Vector, Workspace};
 
-use crate::estimator::{energy_gradient, EnergyStats};
+use crate::estimator::{energy_gradient_into, EnergyStats};
 
 /// Which optimiser drives the update (paper §5.1 settings as defaults).
 #[derive(Clone, Copy, Debug)]
@@ -148,12 +150,41 @@ pub struct EvalResult {
     pub batch: SpinBatch,
 }
 
+/// Every buffer one training iteration needs, owned across iterations
+/// so that [`Trainer::step`] performs **zero heap allocations** once the
+/// shapes are warm (two iterations suffice; verified by the
+/// allocation-counter test in this crate).
+#[derive(Debug, Default)]
+struct TrainerScratch {
+    /// Scratch pool for wavefunction forward/backward passes.
+    ws: Workspace,
+    /// The sampled batch and its `logψ`.
+    sample_out: SampleOutput,
+    /// Local energies `l(x)` per sample.
+    local: Vector,
+    /// Local-energy engine scratch (work items, neighbour batch).
+    le: LocalEnergyScratch,
+    /// Baseline-subtracted per-sample weights.
+    weights: Vector,
+    /// Energy gradient.
+    grad: Vector,
+    /// Parameter vector (round-tripped through the optimiser).
+    params: Vector,
+    /// Per-sample log-derivative rows `O` (SR only).
+    o_rows: Matrix,
+    /// SR solver scratch (mean row, CG vectors).
+    sr: SrScratch,
+    /// Natural-gradient direction (SR only).
+    direction: Vector,
+}
+
 /// The single-device VQMC trainer.
 pub struct Trainer<W, S> {
     wf: W,
     sampler: S,
     config: TrainerConfig,
     rng: StdRng,
+    scratch: TrainerScratch,
 }
 
 impl<W, S> Trainer<W, S>
@@ -169,6 +200,7 @@ where
             sampler,
             config,
             rng,
+            scratch: TrainerScratch::default(),
         }
     }
 
@@ -188,42 +220,59 @@ where
     }
 
     /// Runs one training iteration, returning its record.
+    ///
+    /// Every intermediate lives in [`TrainerScratch`]; once buffer shapes
+    /// are warm (two iterations) a step performs no heap allocation.
     pub fn step(&mut self, h: &dyn SparseRowHamiltonian, opt: &mut dyn Optimizer) -> IterationRecord {
         let start = Instant::now();
-        let out = self
-            .sampler
-            .sample(&self.wf, self.config.batch_size, &mut self.rng);
+        let TrainerScratch {
+            ws,
+            sample_out,
+            local,
+            le,
+            weights,
+            grad,
+            params,
+            o_rows,
+            sr,
+            direction,
+        } = &mut self.scratch;
+        self.sampler
+            .sample_into(&self.wf, self.config.batch_size, &mut self.rng, sample_out);
         let wf = &self.wf;
-        let mut eval = |b: &SpinBatch| wf.log_psi(b);
-        let local = local_energies(
+        let mut eval = |b: &SpinBatch, out: &mut Vector| wf.log_psi_into(b, ws, out);
+        local_energies_into(
             h,
-            &out.batch,
-            &out.log_psi,
+            &sample_out.batch,
+            &sample_out.log_psi,
             &mut eval,
             self.config.local_energy,
+            le,
+            local,
         );
-        let stats = EnergyStats::from_local_energies(&local);
-        let grad = energy_gradient(&self.wf, &out.batch, &local, stats.mean);
+        let stats = EnergyStats::from_local_energies(local);
+        energy_gradient_into(&self.wf, &sample_out.batch, local, stats.mean, ws, weights, grad);
 
-        let update = match self.config.optimizer {
-            OptimizerChoice::SgdSr { sr, .. } => {
-                let o_rows = self.wf.per_sample_grads(&out.batch);
-                StochasticReconfiguration::new(sr)
-                    .precondition(&o_rows, &grad)
-                    .direction
+        let update: &Vector = match self.config.optimizer {
+            OptimizerChoice::SgdSr { sr: sr_cfg, .. } => {
+                self.wf
+                    .per_sample_grads_into(&sample_out.batch, ws, o_rows);
+                StochasticReconfiguration::new(sr_cfg)
+                    .precondition_into(o_rows, grad, sr, direction);
+                direction
             }
             _ => grad,
         };
-        let mut params = self.wf.params();
-        opt.step(&mut params, &update);
-        self.wf.set_params(&params);
+        self.wf.params_into(params);
+        opt.step(params, update);
+        self.wf.set_params(params);
 
         IterationRecord {
             energy: stats.mean,
             std_dev: stats.std_dev,
             min_energy: stats.min,
             wall_secs: start.elapsed().as_secs_f64(),
-            sample_stats: out.stats,
+            sample_stats: sample_out.stats,
         }
     }
 
@@ -259,17 +308,20 @@ where
         eval_batch_size: usize,
     ) -> EvalResult {
         let out = self.sampler.sample(&self.wf, eval_batch_size, &mut self.rng);
+        let TrainerScratch { ws, le, local, .. } = &mut self.scratch;
         let wf = &self.wf;
-        let mut eval = |b: &SpinBatch| wf.log_psi(b);
-        let local = local_energies(
+        let mut eval = |b: &SpinBatch, dst: &mut Vector| wf.log_psi_into(b, ws, dst);
+        local_energies_into(
             h,
             &out.batch,
             &out.log_psi,
             &mut eval,
             self.config.local_energy,
+            le,
+            local,
         );
         EvalResult {
-            stats: EnergyStats::from_local_energies(&local),
+            stats: EnergyStats::from_local_energies(local),
             batch: out.batch,
         }
     }
@@ -300,7 +352,7 @@ mod tests {
         let h = TransverseFieldIsing::random(n, 3);
         let gs = ground_state(&h, 200, 1e-10);
         let cfg = small_config(30, 256, OptimizerChoice::paper_default(), 1);
-        let mut t = Trainer::new(Made::new(n, 12, 7), AutoSampler, cfg);
+        let mut t = Trainer::new(Made::new(n, 12, 7), AutoSampler::new(), cfg);
         let trace = t.run(&h);
         for (i, rec) in trace.records.iter().enumerate() {
             let tolerance = 4.0 * rec.std_dev / (256.0f64).sqrt() + 1e-9;
@@ -319,7 +371,7 @@ mod tests {
         let h = TransverseFieldIsing::random(n, 11);
         let gs = ground_state(&h, 200, 1e-10);
         let cfg = small_config(250, 512, OptimizerChoice::paper_default(), 5);
-        let mut t = Trainer::new(Made::new(n, 12, 2), AutoSampler, cfg);
+        let mut t = Trainer::new(Made::new(n, 12, 2), AutoSampler::new(), cfg);
         let trace = t.run(&h);
         let final_e = trace.records.last().unwrap().energy;
         let gap = (final_e - gs.energy) / gs.energy.abs();
@@ -343,7 +395,7 @@ mod tests {
         let iters = 60;
         let run = |opt: OptimizerChoice| {
             let cfg = small_config(iters, 256, opt, 9);
-            let mut t = Trainer::new(Made::new(n, 10, 9), AutoSampler, cfg);
+            let mut t = Trainer::new(Made::new(n, 10, 9), AutoSampler::new(), cfg);
             t.run(&h).final_energy()
         };
         let sgd = run(OptimizerChoice::Sgd { lr: 0.1 });
@@ -381,7 +433,7 @@ mod tests {
         let h = TransverseFieldIsing::random(n, 2);
         let run = || {
             let cfg = small_config(10, 64, OptimizerChoice::paper_default(), 77);
-            let mut t = Trainer::new(Made::new(n, 8, 3), AutoSampler, cfg);
+            let mut t = Trainer::new(Made::new(n, 8, 3), AutoSampler::new(), cfg);
             t.run(&h)
         };
         let a = run();

@@ -18,7 +18,7 @@
 //! `f_i(σ) = Σ_j B_ij σ_j` used for O(1)-per-flip energy deltas.
 
 use serde::{Deserialize, Serialize};
-use vqmc_tensor::{Matrix, SpinBatch, Vector};
+use vqmc_tensor::{Matrix, SpinBatch, Vector, Workspace};
 
 /// Symmetric pairwise couplings with a zero diagonal.
 #[derive(Clone, Serialize, Deserialize)]
@@ -141,23 +141,40 @@ impl Couplings {
     /// Ising rows.  Dense backing uses one GEMM (the vectorised path the
     /// GPU would take); sparse loops rows.
     pub fn pair_energy_batch(&self, batch: &SpinBatch) -> Vector {
+        let mut ws = Workspace::new();
+        let mut out = Vector::default();
+        self.pair_energy_batch_into(batch, &mut ws, &mut out);
+        out
+    }
+
+    /// [`Couplings::pair_energy_batch`] into a caller-owned vector, with
+    /// scratch drawn from `ws` — allocation-free at steady state.
+    pub fn pair_energy_batch_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Vector) {
+        let bs = batch.batch_size();
+        out.resize(bs);
         match self {
             Couplings::Dense(m) => {
-                let sigma = batch.to_ising_matrix();
+                let mut sigma = Matrix::from_vec(0, 0, ws.take(0));
+                let mut sb = Matrix::from_vec(0, 0, ws.take(0));
+                batch.to_ising_matrix_into(&mut sigma);
                 // (Σ B) has shape bs×n; rowwise dot with Σ gives σᵀBσ.
-                let sb = sigma.matmul_nt(m); // B symmetric: B^T = B
-                Vector::from_fn(batch.batch_size(), |s| {
-                    0.5 * vqmc_tensor::vector::dot(sb.row(s), sigma.row(s))
-                })
+                sigma.matmul_nt_into(m, &mut sb); // B symmetric: Bᵀ = B
+                for s in 0..bs {
+                    out[s] = 0.5 * vqmc_tensor::vector::dot(sb.row(s), sigma.row(s));
+                }
+                ws.give(sb.into_vec());
+                ws.give(sigma.into_vec());
             }
-            Couplings::SparseRows { .. } => Vector::from_fn(batch.batch_size(), |s| {
-                let sigma: Vec<f64> = batch
-                    .sample(s)
-                    .iter()
-                    .map(|&b| 1.0 - 2.0 * b as f64)
-                    .collect();
-                self.pair_energy(&sigma)
-            }),
+            Couplings::SparseRows { .. } => {
+                let mut sigma = ws.take(batch.num_spins());
+                for s in 0..bs {
+                    for (v, &b) in sigma.iter_mut().zip(batch.sample(s)) {
+                        *v = 1.0 - 2.0 * b as f64;
+                    }
+                    out[s] = self.pair_energy(&sigma);
+                }
+                ws.give(sigma);
+            }
         }
     }
 

@@ -41,12 +41,12 @@ pub mod local_energy;
 pub mod maxcut;
 pub mod tim;
 
-use vqmc_tensor::{SpinBatch, Vector};
+use vqmc_tensor::{SpinBatch, Vector, Workspace};
 
 pub use couplings::Couplings;
 pub use dense::DenseHamiltonian;
 pub use exact::{ground_state, GroundState};
-pub use local_energy::{local_energies, LocalEnergyConfig};
+pub use local_energy::{local_energies, local_energies_into, LocalEnergyConfig, LocalEnergyScratch};
 pub use maxcut::{Graph, MaxCut, Qubo};
 pub use tim::TransverseFieldIsing;
 
@@ -74,7 +74,22 @@ pub trait SparseRowHamiltonian: Send + Sync {
     /// Batched diagonal.  The default loops over samples; models with
     /// dense couplings override this with a GEMM formulation.
     fn diagonal_batch(&self, batch: &SpinBatch) -> Vector {
-        Vector::from_fn(batch.batch_size(), |s| self.diagonal(batch.sample(s)))
+        let mut ws = Workspace::new();
+        let mut out = Vector::default();
+        self.diagonal_batch_into(batch, &mut ws, &mut out);
+        out
+    }
+
+    /// [`SparseRowHamiltonian::diagonal_batch`] into a caller-owned
+    /// vector, with scratch drawn from `ws` — allocation-free at steady
+    /// state.  The default loops over samples; overrides must produce
+    /// identical values.
+    fn diagonal_batch_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Vector) {
+        let _ = ws;
+        out.resize(batch.batch_size());
+        for s in 0..batch.batch_size() {
+            out[s] = self.diagonal(batch.sample(s));
+        }
     }
 
     /// Number of off-diagonal connections of row `x` (default: count via

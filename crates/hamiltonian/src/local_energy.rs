@@ -19,7 +19,7 @@
 //! physical quantity measurements"), with the chunk size capping peak
 //! memory.
 
-use vqmc_tensor::{SpinBatch, Vector};
+use vqmc_tensor::{SpinBatch, Vector, Workspace};
 
 use crate::SparseRowHamiltonian;
 
@@ -38,6 +38,31 @@ impl Default for LocalEnergyConfig {
     }
 }
 
+/// Reusable scratch state for [`local_energies_into`].
+///
+/// Owns every intermediate the engine needs — the off-diagonal work-item
+/// list, the neighbour batch, the neighbour `logψ` buffer, and a scratch
+/// pool for the diagonal kernel — so that repeated calls with stable
+/// shapes perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct LocalEnergyScratch {
+    /// Scratch pool for the batched diagonal.
+    ws: Workspace,
+    /// Off-diagonal work items `(sample index, flip index, H_xy)`.
+    items: Vec<(usize, usize, f64)>,
+    /// Neighbour configurations of the current chunk.
+    neigh: SpinBatch,
+    /// `logψ` of the current neighbour chunk.
+    log_psi_y: Vector,
+}
+
+impl LocalEnergyScratch {
+    /// Fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        LocalEnergyScratch::default()
+    }
+}
+
 /// Computes the local energies of every sample in `batch`.
 ///
 /// * `log_psi_x` — `logψ` of the batch itself (the caller already has it
@@ -52,6 +77,34 @@ pub fn local_energies(
     log_psi: &mut dyn FnMut(&SpinBatch) -> Vector,
     cfg: LocalEnergyConfig,
 ) -> Vector {
+    let mut scratch = LocalEnergyScratch::new();
+    let mut out = Vector::default();
+    local_energies_into(
+        h,
+        batch,
+        log_psi_x,
+        &mut |b, dst: &mut Vector| dst.copy_from(&log_psi(b)),
+        cfg,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// [`local_energies`] into a caller-owned vector with reusable scratch —
+/// the steady-state training path performs no heap allocation here.
+///
+/// `log_psi` writes the neighbour-batch `logψ` into a caller-owned
+/// vector so the wavefunction's workspace variants plug in directly.
+pub fn local_energies_into(
+    h: &dyn SparseRowHamiltonian,
+    batch: &SpinBatch,
+    log_psi_x: &Vector,
+    log_psi: &mut dyn FnMut(&SpinBatch, &mut Vector),
+    cfg: LocalEnergyConfig,
+    scratch: &mut LocalEnergyScratch,
+    out: &mut Vector,
+) {
     let bs = batch.batch_size();
     let n = batch.num_spins();
     assert_eq!(log_psi_x.len(), bs, "local_energies: logψ(x) length mismatch");
@@ -59,36 +112,34 @@ pub fn local_energies(
     assert!(cfg.chunk_rows > 0, "local_energies: zero chunk size");
 
     // Diagonal part, vectorised.
-    let mut local = h.diagonal_batch(batch);
+    h.diagonal_batch_into(batch, &mut scratch.ws, out);
 
     // Gather neighbour work items: (sample index, flip index, H_xy).
-    let mut items: Vec<(usize, usize, f64)> = Vec::new();
+    scratch.items.clear();
     for s in 0..bs {
+        let items = &mut scratch.items;
         h.for_each_offdiag(batch.sample(s), &mut |i, v| {
             items.push((s, i, v));
         });
     }
-    if items.is_empty() {
-        return local; // purely diagonal Hamiltonian (Max-Cut / QUBO)
+    if scratch.items.is_empty() {
+        return; // purely diagonal Hamiltonian (Max-Cut / QUBO)
     }
 
     // Evaluate neighbours in chunks: one big forward pass per chunk.
-    for chunk in items.chunks(cfg.chunk_rows) {
-        let neigh = SpinBatch::from_fn(chunk.len(), n, |row, col| {
-            let (s, flip, _) = chunk[row];
-            let bit = batch.get(s, col);
-            if col == flip {
-                bit ^ 1
-            } else {
-                bit
-            }
-        });
-        let log_psi_y = log_psi(&neigh);
+    for chunk in scratch.items.chunks(cfg.chunk_rows) {
+        scratch.neigh.resize(chunk.len(), n);
+        for (row, &(s, flip, _)) in chunk.iter().enumerate() {
+            let dst = scratch.neigh.sample_mut(row);
+            dst.copy_from_slice(batch.sample(s));
+            dst[flip] ^= 1;
+        }
+        log_psi(&scratch.neigh, &mut scratch.log_psi_y);
+        debug_assert_eq!(scratch.log_psi_y.len(), chunk.len());
         for (row, &(s, _, hxy)) in chunk.iter().enumerate() {
-            local[s] += hxy * (log_psi_y[row] - log_psi_x[s]).exp();
+            out[s] += hxy * (scratch.log_psi_y[row] - log_psi_x[s]).exp();
         }
     }
-    local
 }
 
 #[cfg(test)]
@@ -189,6 +240,37 @@ mod tests {
         );
         for s in 0..batch.batch_size() {
             assert!((big[s] - tiny[s]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_allocating() {
+        let n = 5;
+        let h = TransverseFieldIsing::random(n, 17);
+        let mut scratch = LocalEnergyScratch::new();
+        let mut out = Vector::default();
+        // Reuse one scratch across differently sized batches; every call
+        // must agree bit-for-bit with the allocating path.
+        for bs in [1usize, 7, 32, 4] {
+            let batch = SpinBatch::from_fn(bs, n, |s, i| ((s * 31 + i * 7) % 3 == 0) as u8);
+            let log_psi_x = eval_log_psi(&batch);
+            local_energies_into(
+                &h,
+                &batch,
+                &log_psi_x,
+                &mut |b, dst: &mut Vector| dst.copy_from(&eval_log_psi(b)),
+                LocalEnergyConfig { chunk_rows: 6 },
+                &mut scratch,
+                &mut out,
+            );
+            let alloc = local_energies(
+                &h,
+                &batch,
+                &log_psi_x,
+                &mut eval_log_psi,
+                LocalEnergyConfig { chunk_rows: 6 },
+            );
+            assert_eq!(out.as_slice(), alloc.as_slice(), "bs={bs}");
         }
     }
 

@@ -264,9 +264,19 @@ impl SparseRowHamiltonian for MaxCut {
         1
     }
 
-    fn diagonal_batch(&self, batch: &SpinBatch) -> Vector {
-        let cuts = self.cut_values(batch);
-        Vector::from_fn(batch.batch_size(), |s| -cuts[s])
+    fn diagonal_batch_into(
+        &self,
+        batch: &SpinBatch,
+        ws: &mut vqmc_tensor::Workspace,
+        out: &mut Vector,
+    ) {
+        // `H_xx = −cut(x) = −(|E| − Σ L_ij σᵢσⱼ)/2` via the batched
+        // pair-energy kernel.
+        self.adjacency.pair_energy_batch_into(batch, ws, out);
+        let m = self.graph.num_edges() as f64;
+        for s in 0..batch.batch_size() {
+            out[s] = (out[s] - m) / 2.0;
+        }
     }
 }
 

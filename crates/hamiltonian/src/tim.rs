@@ -174,15 +174,23 @@ impl SparseRowHamiltonian for TransverseFieldIsing {
         self.num_spins() + 1
     }
 
-    fn diagonal_batch(&self, batch: &SpinBatch) -> Vector {
+    fn diagonal_batch_into(
+        &self,
+        batch: &SpinBatch,
+        ws: &mut vqmc_tensor::Workspace,
+        out: &mut Vector,
+    ) {
         // Vectorised: −Σ βᵢσᵢ via one matvec-style pass, pair term via
         // the coupling backend's batched kernel (GEMM when dense).
-        let sigma = batch.to_ising_matrix();
-        let pair = self.couplings.pair_energy_batch(batch);
-        Vector::from_fn(batch.batch_size(), |s| {
+        let bs = batch.batch_size();
+        let mut sigma = vqmc_tensor::Matrix::from_vec(0, 0, ws.take(0));
+        batch.to_ising_matrix_into(&mut sigma);
+        self.couplings.pair_energy_batch_into(batch, ws, out);
+        for s in 0..bs {
             let field: f64 = vqmc_tensor::vector::dot(sigma.row(s), &self.beta);
-            -field - pair[s]
-        })
+            out[s] = -field - out[s];
+        }
+        ws.give(sigma.into_vec());
     }
 }
 

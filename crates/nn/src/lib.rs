@@ -39,9 +39,9 @@ pub mod masks;
 pub mod nade;
 pub mod rbm;
 
-use vqmc_tensor::{Matrix, SpinBatch, Vector};
+use vqmc_tensor::{Matrix, SpinBatch, Vector, Workspace};
 
-pub use made::Made;
+pub use made::{Made, MadeWorkspace};
 pub use nade::Nade;
 pub use rbm::Rbm;
 
@@ -80,6 +80,46 @@ pub trait WaveFunction: Send + Sync {
         p.axpy(1.0, delta);
         self.set_params(&p);
     }
+
+    // ----- allocation-free variants ------------------------------------
+    //
+    // Each `_into` method writes its result into a caller-owned buffer
+    // (resized in place, so a warm buffer is never reallocated) and draws
+    // any internal scratch from the caller's [`Workspace`] pool.  The
+    // defaults delegate to the allocating methods so every implementor
+    // stays correct; [`Made`] and [`Rbm`] override them with genuinely
+    // allocation-free passes, which is what makes the training loop in
+    // `vqmc-core` heap-quiet at steady state.
+
+    /// [`WaveFunction::log_psi`] into a caller-owned vector.
+    fn log_psi_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Vector) {
+        let _ = ws;
+        out.copy_from(&self.log_psi(batch));
+    }
+
+    /// [`WaveFunction::weighted_log_psi_grad`] into a caller-owned
+    /// vector.
+    fn weighted_log_psi_grad_into(
+        &self,
+        batch: &SpinBatch,
+        weights: &Vector,
+        ws: &mut Workspace,
+        out: &mut Vector,
+    ) {
+        let _ = ws;
+        out.copy_from(&self.weighted_log_psi_grad(batch, weights));
+    }
+
+    /// [`WaveFunction::per_sample_grads`] into a caller-owned matrix.
+    fn per_sample_grads_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Matrix) {
+        let _ = ws;
+        out.copy_from(&self.per_sample_grads(batch));
+    }
+
+    /// [`WaveFunction::params`] into a caller-owned vector.
+    fn params_into(&self, out: &mut Vector) {
+        out.copy_from(&self.params());
+    }
 }
 
 /// A wavefunction whose squared amplitude is an exactly normalised
@@ -98,6 +138,16 @@ pub trait Autoregressive: WaveFunction {
         let mut lp = self.log_psi(batch);
         lp.scale(2.0);
         lp
+    }
+
+    /// [`Autoregressive::conditionals`] into a caller-owned matrix,
+    /// drawing scratch from the caller's [`Workspace`].  The default
+    /// delegates to the allocating method; [`Made`] overrides it with an
+    /// allocation-free pass (the AUTO sampler calls this `n` times per
+    /// batch, so it is the hottest entry point in the whole loop).
+    fn conditionals_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Matrix) {
+        let _ = ws;
+        out.copy_from(&self.conditionals(batch));
     }
 }
 

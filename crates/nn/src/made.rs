@@ -31,7 +31,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use vqmc_tensor::{ops, Matrix, SpinBatch, Vector};
+use vqmc_tensor::{ops, Matrix, SpinBatch, Vector, Workspace};
 
 use crate::masks;
 use crate::{init, Autoregressive, WaveFunction};
@@ -47,18 +47,100 @@ pub struct Made {
     b2: Vector,
     mask1: Matrix,
     mask2: Matrix,
+    /// Bumped on every [`Made::set_params`].  Lets callers that cache
+    /// derived quantities (e.g. the incremental sampler's `W₁ᵀ`) detect
+    /// staleness without holding a borrow of the model.
+    #[serde(default)]
+    version: u64,
 }
 
-/// Cached forward-pass activations, reused by backprop.
-struct Forward {
+/// Named scratch buffers for MADE forward and backward passes.
+///
+/// Holding one of these across calls makes every `_with` method on
+/// [`Made`] allocation-free at steady state: all activations, gradient
+/// accumulators and per-sample scratch rows live here and are `resize`d
+/// in place (capacity is kept, so after the first call on a given batch
+/// shape no heap traffic occurs).
+///
+/// A `MadeWorkspace` can also be checked out of a generic
+/// [`Workspace`] pool ([`MadeWorkspace::from_pool`]) and returned to it
+/// ([`MadeWorkspace::into_pool`]); because the pool is LIFO and the
+/// checkout order is fixed, each field gets the same backing buffer
+/// every iteration.
+#[derive(Default)]
+pub struct MadeWorkspace {
     /// Network input (the batch as `f64` 0/1 rows).
-    x: Matrix,
+    pub x: Matrix,
     /// Hidden pre-activations `Z₁ = X W₁ᵀ + b₁`.
-    z1: Matrix,
+    pub z1: Matrix,
     /// Hidden activations `H₁ = relu(Z₁)`.
-    h1: Matrix,
+    pub h1: Matrix,
     /// Output logits `A = H₁ W₂ᵀ + b₂`.
-    logits: Matrix,
+    pub logits: Matrix,
+    /// Backprop: `δA` (`bs × n`).
+    delta_a: Matrix,
+    /// Backprop: `δZ₁` (`bs × h`).
+    delta_z1: Matrix,
+    /// Weight-gradient accumulator `dW₁` (`h × n`).
+    dw1: Matrix,
+    /// Weight-gradient accumulator `dW₂` (`n × h`).
+    dw2: Matrix,
+    /// Bias-gradient accumulator `db₁` (`h`).
+    db1: Vector,
+    /// Bias-gradient accumulator `db₂` (`n`).
+    db2: Vector,
+    /// Per-sample `δa` scratch row (length `n`).
+    delta_a_row: Vec<f64>,
+    /// Per-sample `δz₁` scratch row (length `h`).
+    delta_z_row: Vec<f64>,
+}
+
+impl MadeWorkspace {
+    /// A fresh workspace with empty buffers (they grow on first use).
+    pub fn new() -> Self {
+        MadeWorkspace::default()
+    }
+
+    /// Checks the workspace's buffers out of a shared pool.  Pair with
+    /// [`MadeWorkspace::into_pool`]; the fixed LIFO checkout order means
+    /// each field reuses the same pool buffer every iteration.
+    pub fn from_pool(ws: &mut Workspace) -> Self {
+        // `take(0)` hands back a parked buffer with its capacity intact;
+        // the zero-shape matrix/vector wrappers are then grown in place
+        // by the first `_into` kernel that writes them.
+        MadeWorkspace {
+            x: Matrix::from_vec(0, 0, ws.take(0)),
+            z1: Matrix::from_vec(0, 0, ws.take(0)),
+            h1: Matrix::from_vec(0, 0, ws.take(0)),
+            logits: Matrix::from_vec(0, 0, ws.take(0)),
+            delta_a: Matrix::from_vec(0, 0, ws.take(0)),
+            delta_z1: Matrix::from_vec(0, 0, ws.take(0)),
+            dw1: Matrix::from_vec(0, 0, ws.take(0)),
+            dw2: Matrix::from_vec(0, 0, ws.take(0)),
+            db1: Vector(ws.take(0)),
+            db2: Vector(ws.take(0)),
+            delta_a_row: ws.take(0),
+            delta_z_row: ws.take(0),
+        }
+    }
+
+    /// Returns every buffer to the pool, in reverse checkout order so
+    /// the next [`MadeWorkspace::from_pool`] sees them in the same
+    /// positions (LIFO discipline).
+    pub fn into_pool(self, ws: &mut Workspace) {
+        ws.give(self.delta_z_row);
+        ws.give(self.delta_a_row);
+        ws.give_vector(self.db2);
+        ws.give_vector(self.db1);
+        ws.give_matrix(self.dw2);
+        ws.give_matrix(self.dw1);
+        ws.give_matrix(self.delta_z1);
+        ws.give_matrix(self.delta_a);
+        ws.give_matrix(self.logits);
+        ws.give_matrix(self.h1);
+        ws.give_matrix(self.z1);
+        ws.give_matrix(self.x);
+    }
 }
 
 impl Made {
@@ -86,7 +168,16 @@ impl Made {
             b2,
             mask1,
             mask2,
+            version: 0,
         }
+    }
+
+    /// Monotone counter bumped by every [`Made::set_params`].  Callers
+    /// caching quantities derived from the parameters (the incremental
+    /// AUTO sampler caches `W₁ᵀ`) compare this against their cached
+    /// value to decide whether to recompute.
+    pub fn params_version(&self) -> u64 {
+        self.version
     }
 
     /// Hidden-layer width.
@@ -124,29 +215,34 @@ impl Made {
         &self.mask2
     }
 
-    fn forward(&self, batch: &SpinBatch) -> Forward {
+    /// Forward pass into `ws` (fills `ws.x`, `ws.z1`, `ws.h1`,
+    /// `ws.logits`; allocation-free once `ws` is warm).
+    pub fn forward_with(&self, batch: &SpinBatch, ws: &mut MadeWorkspace) {
         assert_eq!(batch.num_spins(), self.n, "Made: spin-count mismatch");
-        let x = batch.to_matrix();
-        let mut z1 = x.matmul_nt(&self.w1);
-        z1.add_row_bias(&self.b1);
-        let h1 = z1.map(ops::relu);
-        let mut logits = h1.matmul_nt(&self.w2);
-        logits.add_row_bias(&self.b2);
-        Forward { x, z1, h1, logits }
+        batch.to_matrix_into(&mut ws.x);
+        ws.x.matmul_nt_into(&self.w1, &mut ws.z1);
+        ws.z1.add_row_bias(&self.b1);
+        ws.h1.copy_from(&ws.z1);
+        ws.h1.map_inplace(ops::relu);
+        ws.h1.matmul_nt_into(&self.w2, &mut ws.logits);
+        ws.logits.add_row_bias(&self.b2);
     }
 
     /// Output logits `aᵢ` (pre-sigmoid conditionals) for a batch — the
     /// numerically safe representation for log-probabilities.
     pub fn logits(&self, batch: &SpinBatch) -> Matrix {
-        self.forward(batch).logits
+        let mut ws = MadeWorkspace::new();
+        self.forward_with(batch, &mut ws);
+        ws.logits
     }
 
     /// Per-sample `logπ(x) = Σᵢ xᵢ·logσ(aᵢ) + (1−xᵢ)·logσ(−aᵢ)`,
     /// computed from logits for stability.
-    fn log_prob_from_logits(batch: &SpinBatch, logits: &Matrix) -> Vector {
-        Vector::from_fn(batch.batch_size(), |s| {
+    fn log_prob_from_logits_into(batch: &SpinBatch, logits: &Matrix, out: &mut Vector) {
+        out.resize(batch.batch_size());
+        for s in 0..batch.batch_size() {
             let a_row = logits.row(s);
-            batch
+            out[s] = batch
                 .sample(s)
                 .iter()
                 .zip(a_row)
@@ -157,64 +253,204 @@ impl Made {
                         ops::log_one_minus_sigmoid(a)
                     }
                 })
-                .sum()
-        })
+                .sum();
+        }
     }
 
-    /// Shared backward pass.
+    /// [`WaveFunction::log_psi`] with caller-owned scratch and output.
+    pub fn log_psi_with(&self, batch: &SpinBatch, ws: &mut MadeWorkspace, out: &mut Vector) {
+        self.forward_with(batch, ws);
+        Self::log_prob_from_logits_into(batch, &ws.logits, out);
+        out.scale(0.5);
+    }
+
+    /// [`Autoregressive::conditionals`] with caller-owned scratch and
+    /// output.
+    pub fn conditionals_with(&self, batch: &SpinBatch, ws: &mut MadeWorkspace, out: &mut Matrix) {
+        self.forward_with(batch, ws);
+        out.copy_from(&ws.logits);
+        out.map_inplace(ops::sigmoid);
+    }
+
+    /// [`WaveFunction::weighted_log_psi_grad`] with caller-owned scratch
+    /// and output.
+    pub fn weighted_log_psi_grad_with(
+        &self,
+        batch: &SpinBatch,
+        weights: &Vector,
+        ws: &mut MadeWorkspace,
+        out: &mut Vector,
+    ) {
+        assert_eq!(weights.len(), batch.batch_size());
+        self.forward_with(batch, ws);
+        self.backward_with(batch, weights, ws, out);
+    }
+
+    /// Shared backward pass over the activations left in `ws` by
+    /// [`Made::forward_with`].
     ///
-    /// `out_weights[s]` scales sample `s`'s contribution to `logψ`; the
-    /// returned flat vector is `Σ_s out_weights[s] · ∇θ logψ(x_s)`.
-    fn backward(&self, fwd: &Forward, batch: &SpinBatch, out_weights: &Vector) -> Vector {
+    /// `out_weights[s]` scales sample `s`'s contribution to `logψ`; `out`
+    /// receives the flat vector `Σ_s out_weights[s] · ∇θ logψ(x_s)`.
+    fn backward_with(
+        &self,
+        batch: &SpinBatch,
+        out_weights: &Vector,
+        ws: &mut MadeWorkspace,
+        out: &mut Vector,
+    ) {
         let bs = batch.batch_size();
+        // Split the workspace into per-field borrows so reads of the
+        // forward activations can overlap writes to the gradient buffers.
+        let MadeWorkspace {
+            x,
+            z1,
+            h1,
+            logits,
+            delta_a,
+            delta_z1,
+            dw1,
+            dw2,
+            db1,
+            db2,
+            ..
+        } = ws;
         // δA[s,i] = w_s · ½ (xᵢ − σ(aᵢ))   (∂logψ/∂aᵢ = ½ ∂logπ/∂aᵢ).
-        let mut delta_a = Matrix::zeros(bs, self.n);
+        delta_a.resize(bs, self.n);
         for s in 0..bs {
             let w = out_weights[s];
-            let a_row = fwd.logits.row(s);
+            let a_row = logits.row(s);
             let x_row = batch.sample(s);
-            let out = delta_a.row_mut(s);
+            let out_row = delta_a.row_mut(s);
             for i in 0..self.n {
-                out[i] = w * 0.5 * (x_row[i] as f64 - ops::sigmoid(a_row[i]));
+                out_row[i] = w * 0.5 * (x_row[i] as f64 - ops::sigmoid(a_row[i]));
             }
         }
         // dW₂ = δAᵀ H₁ ⊙ M², db₂ = colsum δA.
-        let mut dw2 = delta_a.matmul_tn(&fwd.h1);
+        delta_a.matmul_tn_into(h1, dw2);
         dw2.hadamard_inplace(&self.mask2);
-        let db2 = column_sums(&delta_a);
+        column_sums_into(delta_a, db2);
         // δH₁ = δA W₂ ; δZ₁ = δH₁ ⊙ relu'(Z₁).
-        let mut delta_z1 = delta_a.matmul_nn(&self.w2);
-        for (dz, &z) in delta_z1
-            .as_mut_slice()
-            .iter_mut()
-            .zip(fwd.z1.as_slice())
-        {
+        delta_a.matmul_nn_into(&self.w2, delta_z1);
+        for (dz, &z) in delta_z1.as_mut_slice().iter_mut().zip(z1.as_slice()) {
             *dz *= ops::relu_prime(z);
         }
         // dW₁ = δZ₁ᵀ X ⊙ M¹, db₁ = colsum δZ₁.
-        let mut dw1 = delta_z1.matmul_tn(&fwd.x);
+        delta_z1.matmul_tn_into(x, dw1);
         dw1.hadamard_inplace(&self.mask1);
-        let db1 = column_sums(&delta_z1);
+        column_sums_into(delta_z1, db1);
 
-        flatten(&[dw1.as_slice(), &db1, dw2.as_slice(), &db2])
+        flatten_into(
+            &[dw1.as_slice(), db1.as_slice(), dw2.as_slice(), db2.as_slice()],
+            out,
+        );
+    }
+
+    /// [`WaveFunction::per_sample_grads`] with caller-owned scratch and
+    /// output.
+    pub fn per_sample_grads_with(
+        &self,
+        batch: &SpinBatch,
+        ws: &mut MadeWorkspace,
+        out: &mut Matrix,
+    ) {
+        let bs = batch.batch_size();
+        let d = self.num_params();
+        self.forward_with(batch, ws);
+        out.resize(bs, d);
+        out.fill(0.0);
+        let MadeWorkspace {
+            z1,
+            h1,
+            logits,
+            delta_a_row,
+            delta_z_row,
+            ..
+        } = ws;
+        // One-sample backward per row: exact but explicit.  The weight
+        // structure (δzᵀx outer products) is computed directly into the
+        // row to avoid a temporary per-layer matrix per sample.
+        let (h, n) = (self.h, self.n);
+        delta_a_row.resize(n, 0.0);
+        delta_z_row.resize(h, 0.0);
+        for s in 0..bs {
+            let a_row = logits.row(s);
+            let x_row = batch.sample(s);
+            // δa (length n).
+            for i in 0..n {
+                delta_a_row[i] = 0.5 * (x_row[i] as f64 - ops::sigmoid(a_row[i]));
+            }
+            // δz₁ = (δa W₂) ⊙ relu'(z₁) (length h).
+            let z_row = z1.row(s);
+            delta_z_row.fill(0.0);
+            for (i, &da) in delta_a_row.iter().enumerate() {
+                if da != 0.0 {
+                    vqmc_tensor::vector::axpy(delta_z_row, da, self.w2.row(i));
+                }
+            }
+            for (dz, &z) in delta_z_row.iter_mut().zip(z_row) {
+                *dz *= ops::relu_prime(z);
+            }
+            let h1_row = h1.row(s);
+            let row = out.row_mut(s);
+            // dW₁[k, d'] = δz_k · x_d' · M¹ — x is 0/1 so just copy δz
+            // into the columns where the input bit is set (mask entries
+            // are already zero in w2/w1 gradient positions via δ=0?
+            // No: mask must be applied explicitly).
+            for k in 0..h {
+                let base = k * n;
+                let dz = delta_z_row[k];
+                if dz != 0.0 {
+                    let mrow = self.mask1.row(k);
+                    for d2 in 0..n {
+                        if x_row[d2] == 1 && mrow[d2] == 1.0 {
+                            row[base + d2] = dz;
+                        }
+                    }
+                }
+            }
+            let off_b1 = h * n;
+            row[off_b1..off_b1 + h].copy_from_slice(delta_z_row);
+            let off_w2 = off_b1 + h;
+            for i in 0..n {
+                let base = off_w2 + i * h;
+                let da = delta_a_row[i];
+                if da != 0.0 {
+                    let mrow = self.mask2.row(i);
+                    for k in 0..h {
+                        if mrow[k] == 1.0 {
+                            row[base + k] = da * h1_row[k];
+                        }
+                    }
+                }
+            }
+            let off_b2 = off_w2 + n * h;
+            row[off_b2..off_b2 + n].copy_from_slice(delta_a_row);
+        }
     }
 }
 
-fn column_sums(m: &Matrix) -> Vector {
-    let mut out = Vector::zeros(m.cols());
+fn column_sums_into(m: &Matrix, out: &mut Vector) {
+    out.resize(m.cols());
+    out.fill(0.0);
     for row in m.rows_iter() {
-        vqmc_tensor::vector::axpy(&mut out, 1.0, row);
+        vqmc_tensor::vector::axpy(out, 1.0, row);
     }
-    out
+}
+
+fn flatten_into(parts: &[&[f64]], out: &mut Vector) {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    out.resize(total);
+    let mut off = 0;
+    for p in parts {
+        out.as_mut_slice()[off..off + p.len()].copy_from_slice(p);
+        off += p.len();
+    }
 }
 
 fn flatten(parts: &[&[f64]]) -> Vector {
-    let total: usize = parts.iter().map(|p| p.len()).sum();
-    let mut out = Vec::with_capacity(total);
-    for p in parts {
-        out.extend_from_slice(p);
-    }
-    Vector(out)
+    let mut out = Vector::default();
+    flatten_into(parts, &mut out);
+    out
 }
 
 impl WaveFunction for Made {
@@ -227,82 +463,24 @@ impl WaveFunction for Made {
     }
 
     fn log_psi(&self, batch: &SpinBatch) -> Vector {
-        let fwd = self.forward(batch);
-        let mut lp = Self::log_prob_from_logits(batch, &fwd.logits);
-        lp.scale(0.5);
-        lp
+        let mut ws = MadeWorkspace::new();
+        let mut out = Vector::default();
+        self.log_psi_with(batch, &mut ws, &mut out);
+        out
     }
 
     fn weighted_log_psi_grad(&self, batch: &SpinBatch, weights: &Vector) -> Vector {
-        assert_eq!(weights.len(), batch.batch_size());
-        let fwd = self.forward(batch);
-        self.backward(&fwd, batch, weights)
+        let mut ws = MadeWorkspace::new();
+        let mut out = Vector::default();
+        self.weighted_log_psi_grad_with(batch, weights, &mut ws, &mut out);
+        out
     }
 
     fn per_sample_grads(&self, batch: &SpinBatch) -> Matrix {
-        let bs = batch.batch_size();
-        let d = self.num_params();
-        let fwd = self.forward(batch);
-        let mut rows = Matrix::zeros(bs, d);
-        // One-sample backward per row: exact but explicit.  The weight
-        // structure (δzᵀx outer products) is computed directly into the
-        // row to avoid a temporary per-layer matrix per sample.
-        let (h, n) = (self.h, self.n);
-        for s in 0..bs {
-            let a_row = fwd.logits.row(s);
-            let x_row = batch.sample(s);
-            // δa (length n).
-            let delta_a: Vec<f64> = (0..n)
-                .map(|i| 0.5 * (x_row[i] as f64 - ops::sigmoid(a_row[i])))
-                .collect();
-            // δz₁ = (δa W₂) ⊙ relu'(z₁) (length h).
-            let z_row = fwd.z1.row(s);
-            let mut delta_z = vec![0.0; h];
-            for (i, &da) in delta_a.iter().enumerate() {
-                if da != 0.0 {
-                    vqmc_tensor::vector::axpy(&mut delta_z, da, self.w2.row(i));
-                }
-            }
-            for (dz, &z) in delta_z.iter_mut().zip(z_row) {
-                *dz *= ops::relu_prime(z);
-            }
-            let h1_row = fwd.h1.row(s);
-            let row = rows.row_mut(s);
-            // dW₁[k, d'] = δz_k · x_d' · M¹ — x is 0/1 so just copy δz
-            // into the columns where the input bit is set (mask entries
-            // are already zero in w2/w1 gradient positions via δ=0?
-            // No: mask must be applied explicitly).
-            for k in 0..h {
-                let base = k * n;
-                let dz = delta_z[k];
-                if dz != 0.0 {
-                    let mrow = self.mask1.row(k);
-                    for d2 in 0..n {
-                        if x_row[d2] == 1 && mrow[d2] == 1.0 {
-                            row[base + d2] = dz;
-                        }
-                    }
-                }
-            }
-            let off_b1 = h * n;
-            row[off_b1..off_b1 + h].copy_from_slice(&delta_z);
-            let off_w2 = off_b1 + h;
-            for i in 0..n {
-                let base = off_w2 + i * h;
-                let da = delta_a[i];
-                if da != 0.0 {
-                    let mrow = self.mask2.row(i);
-                    for k in 0..h {
-                        if mrow[k] == 1.0 {
-                            row[base + k] = da * h1_row[k];
-                        }
-                    }
-                }
-            }
-            let off_b2 = off_w2 + n * h;
-            row[off_b2..off_b2 + n].copy_from_slice(&delta_a);
-        }
-        rows
+        let mut ws = MadeWorkspace::new();
+        let mut out = Matrix::default();
+        self.per_sample_grads_with(batch, &mut ws, &mut out);
+        out
     }
 
     fn params(&self) -> Vector {
@@ -317,25 +495,72 @@ impl WaveFunction for Made {
     fn set_params(&mut self, params: &Vector) {
         assert_eq!(params.len(), self.num_params(), "Made: param length");
         let (h, n) = (self.h, self.n);
+        let p = params.as_slice();
         let mut off = 0;
-        self.w1 = Matrix::from_vec(h, n, params.as_slice()[off..off + h * n].to_vec());
+        // In place: the existing weight/bias buffers are overwritten, so
+        // a training step performs no parameter-storage allocation.
+        self.w1.as_mut_slice().copy_from_slice(&p[off..off + h * n]);
         off += h * n;
-        self.b1 = Vector(params.as_slice()[off..off + h].to_vec());
+        self.b1.as_mut_slice().copy_from_slice(&p[off..off + h]);
         off += h;
-        self.w2 = Matrix::from_vec(n, h, params.as_slice()[off..off + n * h].to_vec());
+        self.w2.as_mut_slice().copy_from_slice(&p[off..off + n * h]);
         off += n * h;
-        self.b2 = Vector(params.as_slice()[off..off + n].to_vec());
+        self.b2.as_mut_slice().copy_from_slice(&p[off..off + n]);
         // Defensive: the mask invariant survives arbitrary inputs.
         self.w1.hadamard_inplace(&self.mask1);
         self.w2.hadamard_inplace(&self.mask2);
+        self.version = self.version.wrapping_add(1);
+    }
+
+    fn log_psi_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Vector) {
+        let mut mws = MadeWorkspace::from_pool(ws);
+        self.log_psi_with(batch, &mut mws, out);
+        mws.into_pool(ws);
+    }
+
+    fn weighted_log_psi_grad_into(
+        &self,
+        batch: &SpinBatch,
+        weights: &Vector,
+        ws: &mut Workspace,
+        out: &mut Vector,
+    ) {
+        let mut mws = MadeWorkspace::from_pool(ws);
+        self.weighted_log_psi_grad_with(batch, weights, &mut mws, out);
+        mws.into_pool(ws);
+    }
+
+    fn per_sample_grads_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Matrix) {
+        let mut mws = MadeWorkspace::from_pool(ws);
+        self.per_sample_grads_with(batch, &mut mws, out);
+        mws.into_pool(ws);
+    }
+
+    fn params_into(&self, out: &mut Vector) {
+        flatten_into(
+            &[
+                self.w1.as_slice(),
+                self.b1.as_slice(),
+                self.w2.as_slice(),
+                self.b2.as_slice(),
+            ],
+            out,
+        );
     }
 }
 
 impl Autoregressive for Made {
     fn conditionals(&self, batch: &SpinBatch) -> Matrix {
-        let mut logits = self.forward(batch).logits;
-        logits.map_inplace(ops::sigmoid);
-        logits
+        let mut ws = MadeWorkspace::new();
+        let mut out = Matrix::default();
+        self.conditionals_with(batch, &mut ws, &mut out);
+        out
+    }
+
+    fn conditionals_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Matrix) {
+        let mut mws = MadeWorkspace::from_pool(ws);
+        self.conditionals_with(batch, &mut mws, out);
+        mws.into_pool(ws);
     }
 }
 
@@ -545,6 +770,72 @@ mod tests {
                 weighted[k]
             );
         }
+    }
+
+    #[test]
+    fn workspace_paths_are_bit_identical_to_allocating() {
+        // One reused MadeWorkspace across calls and batch shapes must
+        // reproduce the allocating entry points exactly (the `_with`
+        // paths ARE the implementation; this pins the wrapper plumbing).
+        let m = tiny();
+        let mut ws = MadeWorkspace::new();
+        let mut lp = Vector::default();
+        let mut cond = Matrix::default();
+        let mut grad = Vector::default();
+        let mut rows = Matrix::default();
+        for bs in [1usize, 3, 8, 2] {
+            let batch = SpinBatch::from_fn(bs, 5, |s, i| ((s * 7 + i * 3) % 2) as u8);
+            let weights = Vector::from_fn(bs, |s| 0.25 * s as f64 - 0.5);
+
+            m.log_psi_with(&batch, &mut ws, &mut lp);
+            assert_eq!(lp.as_slice(), m.log_psi(&batch).as_slice());
+
+            m.conditionals_with(&batch, &mut ws, &mut cond);
+            assert_eq!(cond.as_slice(), m.conditionals(&batch).as_slice());
+
+            m.weighted_log_psi_grad_with(&batch, &weights, &mut ws, &mut grad);
+            assert_eq!(
+                grad.as_slice(),
+                m.weighted_log_psi_grad(&batch, &weights).as_slice()
+            );
+
+            m.per_sample_grads_with(&batch, &mut ws, &mut rows);
+            assert_eq!(rows.as_slice(), m.per_sample_grads(&batch).as_slice());
+        }
+    }
+
+    #[test]
+    fn pool_checkout_roundtrip_parks_all_buffers() {
+        let m = tiny();
+        let batch = SpinBatch::from_fn(4, 5, |s, i| ((s + i) % 2) as u8);
+        let mut pool = vqmc_tensor::Workspace::new();
+        let mut out = Vector::default();
+        m.log_psi_into(&batch, &mut pool, &mut out);
+        assert_eq!(out.as_slice(), m.log_psi(&batch).as_slice());
+        // Every MadeWorkspace buffer went back to the pool...
+        assert_eq!(pool.parked(), 12);
+        // ...and a second call reuses them without growing the pool.
+        m.log_psi_into(&batch, &mut pool, &mut out);
+        assert_eq!(pool.parked(), 12);
+    }
+
+    #[test]
+    fn set_params_bumps_version() {
+        let mut m = tiny();
+        let v0 = m.params_version();
+        let p = m.params();
+        m.set_params(&p);
+        assert_eq!(m.params_version(), v0 + 1);
+        m.set_params(&p);
+        assert_eq!(m.params_version(), v0 + 2);
+    }
+
+    #[test]
+    fn params_into_matches_params() {
+        let m = tiny();
+        let mut out = Vector::default();
+        m.params_into(&mut out);
+        assert_eq!(out.as_slice(), m.params().as_slice());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use vqmc_tensor::{ops, Matrix, SpinBatch, Vector};
+use vqmc_tensor::{ops, Matrix, SpinBatch, Vector, Workspace};
 
 use crate::{init, WaveFunction};
 
@@ -125,13 +125,20 @@ impl Rbm {
     }
 
     /// Forward activations shared by the gradient paths:
-    /// `(X, Z = XWᵀ + b, T = tanh(Z))`.
+    /// `(X, Z = XWᵀ + b)`.
     fn forward(&self, batch: &SpinBatch) -> (Matrix, Matrix) {
-        assert_eq!(batch.num_spins(), self.n, "Rbm: spin-count mismatch");
-        let x = batch.to_matrix();
-        let mut z = x.matmul_nt(&self.w);
-        z.add_row_bias(&self.b);
+        let mut x = Matrix::default();
+        let mut z = Matrix::default();
+        self.forward_into(batch, &mut x, &mut z);
         (x, z)
+    }
+
+    /// [`Rbm::forward`] into caller-owned activation buffers.
+    fn forward_into(&self, batch: &SpinBatch, x: &mut Matrix, z: &mut Matrix) {
+        assert_eq!(batch.num_spins(), self.n, "Rbm: spin-count mismatch");
+        batch.to_matrix_into(x);
+        x.matmul_nt_into(&self.w, z);
+        z.add_row_bias(&self.b);
     }
 }
 
@@ -228,14 +235,80 @@ impl WaveFunction for Rbm {
     fn set_params(&mut self, params: &Vector) {
         assert_eq!(params.len(), self.num_params(), "Rbm: param length");
         let (h, n) = (self.h, self.n);
+        let p = params.as_slice();
         let mut off = 0;
-        self.w = Matrix::from_vec(h, n, params.as_slice()[off..off + h * n].to_vec());
+        // In place: existing buffers are overwritten, no allocation.
+        self.w.as_mut_slice().copy_from_slice(&p[off..off + h * n]);
         off += h * n;
-        self.b = Vector(params.as_slice()[off..off + h].to_vec());
+        self.b.as_mut_slice().copy_from_slice(&p[off..off + h]);
         off += h;
-        self.a = Vector(params.as_slice()[off..off + n].to_vec());
+        self.a.as_mut_slice().copy_from_slice(&p[off..off + n]);
         off += n;
         self.c = params[off];
+    }
+
+    fn log_psi_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Vector) {
+        let mut x = Matrix::from_vec(0, 0, ws.take(0));
+        let mut z = Matrix::from_vec(0, 0, ws.take(0));
+        self.forward_into(batch, &mut x, &mut z);
+        out.resize(batch.batch_size());
+        for s in 0..batch.batch_size() {
+            let visible = vqmc_tensor::vector::dot(x.row(s), &self.a);
+            let hidden: f64 = z.row(s).iter().map(|&zj| ops::ln_cosh(zj)).sum();
+            out[s] = visible + self.c + hidden;
+        }
+        ws.give_matrix(z);
+        ws.give_matrix(x);
+    }
+
+    fn weighted_log_psi_grad_into(
+        &self,
+        batch: &SpinBatch,
+        weights: &Vector,
+        ws: &mut Workspace,
+        out: &mut Vector,
+    ) {
+        assert_eq!(weights.len(), batch.batch_size());
+        let bs = batch.batch_size();
+        let (h, n) = (self.h, self.n);
+        let mut x = Matrix::from_vec(0, 0, ws.take(0));
+        let mut t = Matrix::from_vec(0, 0, ws.take(0));
+        let mut dw = Matrix::from_vec(0, 0, ws.take(0));
+        self.forward_into(batch, &mut x, &mut t);
+        // T[s,j] = w_s · tanh(z_sj) in place:  dW = Tᵀ X, db = colsum T.
+        for s in 0..bs {
+            let w = weights[s];
+            for v in t.row_mut(s) {
+                *v = w * ops::ln_cosh_prime(*v);
+            }
+        }
+        t.matmul_tn_into(&x, &mut dw);
+        out.resize(self.num_params());
+        out.fill(0.0);
+        let o = out.as_mut_slice();
+        o[..h * n].copy_from_slice(dw.as_slice());
+        for row in t.rows_iter() {
+            vqmc_tensor::vector::axpy(&mut o[h * n..h * n + h], 1.0, row);
+        }
+        // da = Σ_s w_s x_s ; dc = Σ_s w_s.
+        let off_a = h * n + h;
+        for s in 0..bs {
+            vqmc_tensor::vector::axpy(&mut o[off_a..off_a + n], weights[s], x.row(s));
+        }
+        o[off_a + n] = weights.sum();
+        ws.give_matrix(dw);
+        ws.give_matrix(t);
+        ws.give_matrix(x);
+    }
+
+    fn params_into(&self, out: &mut Vector) {
+        out.resize(self.num_params());
+        let (h, n) = (self.h, self.n);
+        let o = out.as_mut_slice();
+        o[..h * n].copy_from_slice(self.w.as_slice());
+        o[h * n..h * n + h].copy_from_slice(&self.b);
+        o[h * n + h..h * n + h + n].copy_from_slice(&self.a);
+        o[h * n + h + n] = self.c;
     }
 }
 
@@ -393,6 +466,28 @@ mod tests {
         for k in 0..r.num_params() {
             assert!((acc[k] - weighted[k]).abs() < 1e-10, "param {k}");
         }
+    }
+
+    #[test]
+    fn into_paths_match_allocating_exactly() {
+        let r = tiny();
+        let mut ws = Workspace::new();
+        let mut lp = Vector::default();
+        let mut grad = Vector::default();
+        let mut p = Vector::default();
+        for bs in [1usize, 5, 2] {
+            let batch = SpinBatch::from_fn(bs, 4, |s, i| ((s * 5 + i) % 2) as u8);
+            let weights = Vector::from_fn(bs, |s| 0.5 - s as f64);
+            r.log_psi_into(&batch, &mut ws, &mut lp);
+            assert_eq!(lp.as_slice(), r.log_psi(&batch).as_slice());
+            r.weighted_log_psi_grad_into(&batch, &weights, &mut ws, &mut grad);
+            assert_eq!(
+                grad.as_slice(),
+                r.weighted_log_psi_grad(&batch, &weights).as_slice()
+            );
+        }
+        r.params_into(&mut p);
+        assert_eq!(p.as_slice(), r.params().as_slice());
     }
 
     #[test]

@@ -17,6 +17,34 @@ pub struct CgResult {
     pub converged: bool,
 }
 
+/// Solver diagnostics without the solution vector (which
+/// [`conjugate_gradient_into`] writes into the caller's buffer).
+#[derive(Clone, Copy, Debug)]
+pub struct CgStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − Ax‖`.
+    pub residual: f64,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Reusable scratch vectors for [`conjugate_gradient_into`]: the
+/// residual, search direction, and matvec product.
+#[derive(Clone, Debug, Default)]
+pub struct CgScratch {
+    r: Vector,
+    p: Vector,
+    ap: Vector,
+}
+
+impl CgScratch {
+    /// Fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        CgScratch::default()
+    }
+}
+
 /// Solves `A x = b` for SPD `A` given only the matvec `apply`.
 ///
 /// * `tol` — relative residual target `‖r‖ ≤ tol·‖b‖`.
@@ -28,11 +56,41 @@ pub fn conjugate_gradient(
     tol: f64,
     max_iter: usize,
 ) -> CgResult {
+    let mut x = Vector::default();
+    let mut scratch = CgScratch::new();
+    let stats = conjugate_gradient_into(
+        &mut |v, out: &mut Vector| out.copy_from(&apply(v)),
+        b,
+        tol,
+        max_iter,
+        &mut x,
+        &mut scratch,
+    );
+    CgResult {
+        x,
+        iterations: stats.iterations,
+        residual: stats.residual,
+        converged: stats.converged,
+    }
+}
+
+/// [`conjugate_gradient`] with caller-owned solution and scratch —
+/// allocation-free once the buffers are warm.  `apply` writes `A v` into
+/// its output argument.
+pub fn conjugate_gradient_into(
+    apply: &mut dyn FnMut(&Vector, &mut Vector),
+    b: &Vector,
+    tol: f64,
+    max_iter: usize,
+    x: &mut Vector,
+    scratch: &mut CgScratch,
+) -> CgStats {
     let n = b.len();
+    x.resize(n);
+    x.fill(0.0);
     let b_norm = b.norm2();
     if b_norm == 0.0 {
-        return CgResult {
-            x: Vector::zeros(n),
+        return CgStats {
             iterations: 0,
             residual: 0.0,
             converged: true,
@@ -40,30 +98,29 @@ pub fn conjugate_gradient(
     }
     let target = tol * b_norm;
 
-    let mut x = Vector::zeros(n);
-    let mut r = b.clone();
-    let mut p = r.clone();
-    let mut rs_old = r.dot(&r);
+    let CgScratch { r, p, ap } = scratch;
+    r.copy_from(b);
+    p.copy_from(b);
+    let mut rs_old = r.dot(r);
 
     for it in 0..max_iter {
         if rs_old.sqrt() <= target {
-            return CgResult {
-                x,
+            return CgStats {
                 iterations: it,
                 residual: rs_old.sqrt(),
                 converged: true,
             };
         }
-        let ap = apply(&p);
-        let p_ap = p.dot(&ap);
+        apply(p, ap);
+        let p_ap = p.dot(ap);
         assert!(
             p_ap > 0.0,
             "conjugate_gradient: matrix is not positive definite (pᵀAp = {p_ap})"
         );
         let alpha = rs_old / p_ap;
-        x.axpy(alpha, &p);
-        r.axpy(-alpha, &ap);
-        let rs_new = r.dot(&r);
+        x.axpy(alpha, p);
+        r.axpy(-alpha, ap);
+        let rs_new = r.dot(r);
         let beta = rs_new / rs_old;
         // p = r + beta p
         for i in 0..n {
@@ -71,8 +128,7 @@ pub fn conjugate_gradient(
         }
         rs_old = rs_new;
     }
-    CgResult {
-        x,
+    CgStats {
         iterations: max_iter,
         residual: rs_old.sqrt(),
         converged: rs_old.sqrt() <= target,
@@ -149,6 +205,28 @@ mod tests {
         let res = conjugate_gradient(&mut |v: &Vector| a.matvec(v), &b, 1e-14, 2);
         assert!(!res.converged);
         assert!(res.residual > 0.0);
+    }
+
+    #[test]
+    fn into_path_matches_allocating_with_reused_scratch() {
+        let mut x = Vector::default();
+        let mut scratch = CgScratch::new();
+        // One scratch reused across systems of different size.
+        for (n, seed) in [(20usize, 5u64), (8, 2), (30, 3)] {
+            let a = spd_matrix(n, seed);
+            let b = Vector::from_fn(n, |i| (i as f64 * 0.7).cos());
+            let reference = conjugate_gradient(&mut |v: &Vector| a.matvec(v), &b, 1e-12, 200);
+            let stats = conjugate_gradient_into(
+                &mut |v, out: &mut Vector| out.copy_from(&a.matvec(v)),
+                &b,
+                1e-12,
+                200,
+                &mut x,
+                &mut scratch,
+            );
+            assert_eq!(stats.iterations, reference.iterations);
+            assert_eq!(x.as_slice(), reference.x.as_slice(), "n={n}");
+        }
     }
 
     #[test]

@@ -27,9 +27,9 @@ pub mod sr;
 use vqmc_tensor::Vector;
 
 pub use adam::Adam;
-pub use cg::{conjugate_gradient, CgResult};
+pub use cg::{conjugate_gradient, conjugate_gradient_into, CgResult, CgScratch, CgStats};
 pub use sgd::Sgd;
-pub use sr::{SrConfig, SrSolution, StochasticReconfiguration};
+pub use sr::{SrConfig, SrScratch, SrSolution, StochasticReconfiguration};
 
 /// A first-order optimiser over a flat parameter vector.
 ///

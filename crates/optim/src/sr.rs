@@ -19,7 +19,7 @@
 
 use vqmc_tensor::{Matrix, Vector};
 
-use crate::cg::{conjugate_gradient, CgResult};
+use crate::cg::{conjugate_gradient_into, CgResult, CgScratch, CgStats};
 
 /// Configuration of the SR solve.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +51,22 @@ pub struct SrSolution {
     pub cg: CgResult,
 }
 
+/// Reusable scratch state for [`StochasticReconfiguration::precondition_into`]:
+/// the mean row `Ō`, the `u = O v` intermediate, and the CG vectors.
+#[derive(Clone, Debug, Default)]
+pub struct SrScratch {
+    mean: Vector,
+    u: Vector,
+    cg: CgScratch,
+}
+
+impl SrScratch {
+    /// Fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        SrScratch::default()
+    }
+}
+
 /// Matrix-free stochastic-reconfiguration preconditioner.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StochasticReconfiguration {
@@ -66,57 +82,107 @@ impl StochasticReconfiguration {
 
     /// Mean row `Ō` of the per-sample gradients.
     pub fn mean_row(o_rows: &Matrix) -> Vector {
+        let mut mean = Vector::default();
+        Self::mean_row_into(o_rows, &mut mean);
+        mean
+    }
+
+    /// [`StochasticReconfiguration::mean_row`] into a caller-owned
+    /// vector.
+    pub fn mean_row_into(o_rows: &Matrix, out: &mut Vector) {
         let bs = o_rows.rows();
         assert!(bs > 0, "SR: empty batch");
-        let mut mean = Vector::zeros(o_rows.cols());
+        out.resize(o_rows.cols());
+        out.fill(0.0);
         for row in o_rows.rows_iter() {
-            vqmc_tensor::vector::axpy(&mut mean, 1.0, row);
+            vqmc_tensor::vector::axpy(out, 1.0, row);
         }
-        mean.scale(1.0 / bs as f64);
-        mean
+        out.scale(1.0 / bs as f64);
     }
 
     /// Applies the regularised Fisher matrix:
     /// `(S + λI)v = (1/bs)Oᵀ(Ov) − Ō(Ō·v) + λv`.
     pub fn apply_fisher(o_rows: &Matrix, mean: &Vector, lambda: f64, v: &Vector) -> Vector {
+        let mut u = Vector::default();
+        let mut out = Vector::default();
+        Self::apply_fisher_into(o_rows, mean, lambda, v, &mut u, &mut out);
+        out
+    }
+
+    /// [`StochasticReconfiguration::apply_fisher`] with a caller-owned
+    /// `u = O v` intermediate and output — allocation-free once warm.
+    pub fn apply_fisher_into(
+        o_rows: &Matrix,
+        mean: &Vector,
+        lambda: f64,
+        v: &Vector,
+        u: &mut Vector,
+        out: &mut Vector,
+    ) {
         let bs = o_rows.rows() as f64;
         // u = O v  (per-sample dot products).
-        let u = Vector::from_fn(o_rows.rows(), |s| {
-            vqmc_tensor::vector::dot(o_rows.row(s), v)
-        });
+        u.resize(o_rows.rows());
+        for s in 0..o_rows.rows() {
+            u[s] = vqmc_tensor::vector::dot(o_rows.row(s), v);
+        }
         // out = (1/bs) Oᵀ u
-        let mut out = Vector::zeros(o_rows.cols());
+        out.resize(o_rows.cols());
+        out.fill(0.0);
         for (s, row) in o_rows.rows_iter().enumerate() {
             if u[s] != 0.0 {
-                vqmc_tensor::vector::axpy(&mut out, u[s] / bs, row);
+                vqmc_tensor::vector::axpy(out.as_mut_slice(), u[s] / bs, row);
             }
         }
         // − Ō (Ō·v) + λ v
         let mv = mean.dot(v);
         out.axpy(-mv, mean);
         out.axpy(lambda, v);
-        out
     }
 
     /// Solves `(S + λI) δ = grad` and returns the direction.
     pub fn precondition(&self, o_rows: &Matrix, grad: &Vector) -> SrSolution {
+        let mut scratch = SrScratch::new();
+        let mut direction = Vector::default();
+        let stats = self.precondition_into(o_rows, grad, &mut scratch, &mut direction);
+        SrSolution {
+            cg: CgResult {
+                x: direction.clone(),
+                iterations: stats.iterations,
+                residual: stats.residual,
+                converged: stats.converged,
+            },
+            direction,
+        }
+    }
+
+    /// [`StochasticReconfiguration::precondition`] with caller-owned
+    /// direction and scratch — the steady-state SR solve performs no
+    /// heap allocation.
+    pub fn precondition_into(
+        &self,
+        o_rows: &Matrix,
+        grad: &Vector,
+        scratch: &mut SrScratch,
+        direction: &mut Vector,
+    ) -> CgStats {
         assert_eq!(
             o_rows.cols(),
             grad.len(),
             "SR: gradient/O-row dimension mismatch"
         );
-        let mean = Self::mean_row(o_rows);
+        let SrScratch { mean, u, cg } = scratch;
+        Self::mean_row_into(o_rows, mean);
         let lambda = self.config.lambda;
-        let cg = conjugate_gradient(
-            &mut |v: &Vector| Self::apply_fisher(o_rows, &mean, lambda, v),
+        conjugate_gradient_into(
+            &mut |v: &Vector, out: &mut Vector| {
+                Self::apply_fisher_into(o_rows, mean, lambda, v, u, out)
+            },
             grad,
             self.config.cg_tol,
             self.config.cg_max_iter,
-        );
-        SrSolution {
-            direction: cg.x.clone(),
+            direction,
             cg,
-        }
+        )
     }
 }
 

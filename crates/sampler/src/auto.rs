@@ -23,27 +23,55 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use vqmc_nn::{Autoregressive, Made, WaveFunction};
-use vqmc_tensor::{ops, SpinBatch, Vector};
+use vqmc_tensor::{ops, Matrix, Workspace};
 
 use crate::{SampleOutput, SampleStats, Sampler};
 
 /// Naive exact sampler: `n` full forward passes (paper Algorithm 1).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct AutoSampler;
+///
+/// Carries a scratch workspace and a conditionals buffer so the per-bit
+/// forward passes are allocation-free once warm.
+#[derive(Debug, Default)]
+pub struct AutoSampler {
+    ws: Workspace,
+    cond: Matrix,
+}
+
+impl AutoSampler {
+    /// A fresh sampler (scratch buffers grow on first use).
+    pub fn new() -> Self {
+        AutoSampler::default()
+    }
+}
+
+impl Clone for AutoSampler {
+    /// Clones start cold: scratch state is per-instance, not shared.
+    fn clone(&self) -> Self {
+        AutoSampler::new()
+    }
+}
 
 impl<W: Autoregressive + ?Sized> Sampler<W> for AutoSampler {
-    fn sample(&self, wf: &W, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
+    fn sample_into(
+        &mut self,
+        wf: &W,
+        batch_size: usize,
+        rng: &mut StdRng,
+        out: &mut SampleOutput,
+    ) {
         let n = wf.num_spins();
-        let mut batch = SpinBatch::zeros(batch_size, n);
+        let batch = &mut out.batch;
+        batch.resize(batch_size, n);
+        batch.fill(0);
         let mut stats = SampleStats::default();
         for i in 0..n {
             // One full forward pass; only column i of the conditionals
             // is consumed this round (the naive algorithm's redundancy).
-            let cond = wf.conditionals(&batch);
+            wf.conditionals_into(batch, &mut self.ws, &mut self.cond);
             stats.forward_passes += 1;
             stats.configurations_evaluated += batch_size;
             for s in 0..batch_size {
-                let p = cond.get(s, i);
+                let p = self.cond.get(s, i);
                 debug_assert!((0.0..=1.0).contains(&p), "conditional out of range");
                 if rng.gen::<f64>() < p {
                     batch.set(s, i, 1);
@@ -51,14 +79,10 @@ impl<W: Autoregressive + ?Sized> Sampler<W> for AutoSampler {
             }
         }
         // One more pass for logψ of the final configurations.
-        let log_psi = wf.log_psi(&batch);
+        wf.log_psi_into(batch, &mut self.ws, &mut out.log_psi);
         stats.forward_passes += 1;
         stats.configurations_evaluated += batch_size;
-        SampleOutput {
-            batch,
-            log_psi,
-            stats,
-        }
+        out.stats = stats;
     }
 }
 
@@ -68,32 +92,74 @@ impl<W: Autoregressive + ?Sized> Sampler<W> for AutoSampler {
 /// accumulated `log π`, touching only `O(h)` state per revealed bit.
 /// Draws the same `bs × n` uniform variates in the same order as
 /// [`AutoSampler`], so outputs are bit-identical for a given RNG state.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct IncrementalAutoSampler;
+///
+/// The column-major copy of `W₁` needed for contiguous column updates is
+/// cached across calls and recomputed only when
+/// [`Made::params_version`] changes (i.e. after an optimiser step) — at
+/// steady state each `sample_into` call is allocation-free and skips the
+/// `O(n·h)` transpose whenever parameters are unchanged.
+#[derive(Debug, Default)]
+pub struct IncrementalAutoSampler {
+    /// Per-sample hidden pre-activations (`bs · h`, row per sample).
+    z1: Vec<f64>,
+    /// Per-sample accumulated `log π`.
+    log_prob: Vec<f64>,
+    /// Cached `W₁ᵀ` (`n × h`: row `i` = column `i` of `W₁`).
+    w1_t: Matrix,
+    /// [`Made::params_version`] the cache was built against.
+    cached_version: Option<u64>,
+}
+
+impl IncrementalAutoSampler {
+    /// A fresh sampler (scratch buffers grow on first use).
+    pub fn new() -> Self {
+        IncrementalAutoSampler::default()
+    }
+}
+
+impl Clone for IncrementalAutoSampler {
+    /// Clones start cold: scratch and cache are per-instance.
+    fn clone(&self) -> Self {
+        IncrementalAutoSampler::new()
+    }
+}
 
 impl Sampler<Made> for IncrementalAutoSampler {
-    fn sample(&self, wf: &Made, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
+    fn sample_into(
+        &mut self,
+        wf: &Made,
+        batch_size: usize,
+        rng: &mut StdRng,
+        out: &mut SampleOutput,
+    ) {
         let n = wf.num_spins();
         let h = wf.hidden_size();
-        let mut batch = SpinBatch::zeros(batch_size, n);
+        let batch = &mut out.batch;
+        batch.resize(batch_size, n);
+        batch.fill(0);
         // z1[s] starts at b1 (all-zero input) and absorbs W₁'s column i
         // whenever bit i is sampled as 1.
         let b1 = wf.b1();
-        let mut z1: Vec<f64> = Vec::with_capacity(batch_size * h);
+        self.z1.clear();
+        self.z1.reserve(batch_size * h);
         for _ in 0..batch_size {
-            z1.extend_from_slice(b1);
+            self.z1.extend_from_slice(b1);
         }
-        // Column-major copy of W₁ for contiguous column updates.
-        let w1_t = wf.w1().transpose(); // n × h: row i = column i of W₁
+        // Refresh the cached W₁ᵀ only when the parameters changed.
+        if self.cached_version != Some(wf.params_version()) {
+            wf.w1().transpose_into(&mut self.w1_t);
+            self.cached_version = Some(wf.params_version());
+        }
         let w2 = wf.w2();
         let b2 = wf.b2();
-        let mut log_prob = vec![0.0f64; batch_size];
+        self.log_prob.clear();
+        self.log_prob.resize(batch_size, 0.0);
 
         for i in 0..n {
             let w2_row = w2.row(i);
-            let w1_col = w1_t.row(i);
+            let w1_col = self.w1_t.row(i);
             for s in 0..batch_size {
-                let z_row = &mut z1[s * h..(s + 1) * h];
+                let z_row = &mut self.z1[s * h..(s + 1) * h];
                 // Logit aᵢ = Σ_k W₂[i,k] · relu(z₁[k]) + b₂[i].
                 let mut a = b2[i];
                 for k in 0..h {
@@ -106,28 +172,27 @@ impl Sampler<Made> for IncrementalAutoSampler {
                 let bit = rng.gen::<f64>() < p;
                 if bit {
                     batch.set(s, i, 1);
-                    log_prob[s] += ops::log_sigmoid(a);
+                    self.log_prob[s] += ops::log_sigmoid(a);
                     // Fold the revealed bit into the hidden state.
                     vqmc_tensor::vector::axpy(z_row, 1.0, w1_col);
                 } else {
-                    log_prob[s] += ops::log_one_minus_sigmoid(a);
+                    self.log_prob[s] += ops::log_one_minus_sigmoid(a);
                 }
             }
         }
-        let log_psi = Vector(log_prob.into_iter().map(|lp| 0.5 * lp).collect());
-        SampleOutput {
-            batch,
-            log_psi,
-            stats: SampleStats {
-                // Equivalent *work* of one full forward pass per bit is
-                // avoided; we report the n logical passes of Algorithm 1
-                // so cost comparisons stay in the paper's unit.
-                forward_passes: n,
-                configurations_evaluated: batch_size * n,
-                proposals: 0,
-                accepted: 0,
-            },
+        out.log_psi.resize(batch_size);
+        for (o, &lp) in out.log_psi.iter_mut().zip(&self.log_prob) {
+            *o = 0.5 * lp;
         }
+        out.stats = SampleStats {
+            // Equivalent *work* of one full forward pass per bit is
+            // avoided; we report the n logical passes of Algorithm 1
+            // so cost comparisons stay in the paper's unit.
+            forward_passes: n,
+            configurations_evaluated: batch_size * n,
+            proposals: 0,
+            accepted: 0,
+        };
     }
 }
 
@@ -137,10 +202,16 @@ impl Sampler<Made> for IncrementalAutoSampler {
 pub struct NadeNativeSampler;
 
 impl Sampler<vqmc_nn::Nade> for NadeNativeSampler {
-    fn sample(&self, wf: &vqmc_nn::Nade, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
+    fn sample_into(
+        &mut self,
+        wf: &vqmc_nn::Nade,
+        batch_size: usize,
+        rng: &mut StdRng,
+        out: &mut SampleOutput,
+    ) {
         let n = wf.num_spins();
         let (batch, log_psi) = wf.sample_native(batch_size, rng);
-        SampleOutput {
+        *out = SampleOutput {
             batch,
             log_psi,
             stats: SampleStats {
@@ -149,7 +220,7 @@ impl Sampler<vqmc_nn::Nade> for NadeNativeSampler {
                 proposals: 0,
                 accepted: 0,
             },
-        }
+        };
     }
 }
 
@@ -168,9 +239,9 @@ mod tests {
     fn incremental_is_bit_identical_to_naive() {
         for seed in 0..5u64 {
             let m = model(7, 100 + seed);
-            let naive = AutoSampler.sample(&m, 16, &mut StdRng::seed_from_u64(seed));
+            let naive = AutoSampler::new().sample(&m, 16, &mut StdRng::seed_from_u64(seed));
             let fast =
-                IncrementalAutoSampler.sample(&m, 16, &mut StdRng::seed_from_u64(seed));
+                IncrementalAutoSampler::new().sample(&m, 16, &mut StdRng::seed_from_u64(seed));
             assert_eq!(
                 naive.batch.as_bytes(),
                 fast.batch.as_bytes(),
@@ -186,9 +257,74 @@ mod tests {
     }
 
     #[test]
+    fn cached_transpose_survives_parameter_updates() {
+        // One long-lived incremental sampler (warm W₁ᵀ cache) must stay
+        // bit-identical to a fresh naive sampler across set_params calls
+        // — i.e. the cache invalidation on params_version is correct.
+        let mut m = model(6, 50);
+        let mut fast = IncrementalAutoSampler::new();
+        let mut naive = AutoSampler::new();
+        for round in 0..4u64 {
+            let a = naive.sample(&m, 12, &mut StdRng::seed_from_u64(round));
+            let b = fast.sample(&m, 12, &mut StdRng::seed_from_u64(round));
+            assert_eq!(
+                a.batch.as_bytes(),
+                b.batch.as_bytes(),
+                "round {round}: batches diverged after set_params"
+            );
+            for s in 0..12 {
+                assert!((a.log_psi[s] - b.log_psi[s]).abs() < 1e-10);
+            }
+            // Perturb the parameters (masked entries are re-zeroed by
+            // set_params) and go again with the SAME sampler instances.
+            let mut p = m.params();
+            for (k, v) in p.iter_mut().enumerate() {
+                *v += 0.01 * ((k + round as usize) % 7) as f64;
+            }
+            m.set_params(&p);
+        }
+    }
+
+    #[test]
+    fn stale_cache_would_be_detected() {
+        // Same sampler, same RNG seed, before and after set_params: the
+        // outputs must differ (guards against a cache that never
+        // invalidates) yet stay equal to the naive path (guards against
+        // one that invalidates wrongly).
+        let mut m = model(6, 51);
+        let mut fast = IncrementalAutoSampler::new();
+        let before = fast.sample(&m, 32, &mut StdRng::seed_from_u64(9));
+        let mut p = m.params();
+        p.scale(1.5);
+        m.set_params(&p);
+        let after = fast.sample(&m, 32, &mut StdRng::seed_from_u64(9));
+        assert_ne!(
+            before.batch.as_bytes(),
+            after.batch.as_bytes(),
+            "parameter change did not alter samples — stale W₁ᵀ cache?"
+        );
+        let reference = AutoSampler::new().sample(&m, 32, &mut StdRng::seed_from_u64(9));
+        assert_eq!(after.batch.as_bytes(), reference.batch.as_bytes());
+    }
+
+    #[test]
+    fn sample_into_reuses_buffers_across_calls() {
+        let m = model(8, 60);
+        let mut sampler = AutoSampler::new();
+        let mut out = SampleOutput::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        sampler.sample_into(&m, 16, &mut rng, &mut out);
+        let batch_ptr = out.batch.as_bytes().as_ptr();
+        let lp_ptr = out.log_psi.as_slice().as_ptr();
+        sampler.sample_into(&m, 16, &mut rng, &mut out);
+        assert_eq!(out.batch.as_bytes().as_ptr(), batch_ptr);
+        assert_eq!(out.log_psi.as_slice().as_ptr(), lp_ptr);
+    }
+
+    #[test]
     fn log_psi_matches_model_evaluation() {
         let m = model(6, 3);
-        let out = AutoSampler.sample(&m, 32, &mut StdRng::seed_from_u64(9));
+        let out = AutoSampler::new().sample(&m, 32, &mut StdRng::seed_from_u64(9));
         let recomputed = m.log_psi(&out.batch);
         for s in 0..32 {
             assert!((out.log_psi[s] - recomputed[s]).abs() < 1e-10);
@@ -198,7 +334,7 @@ mod tests {
     #[test]
     fn forward_pass_accounting_matches_algorithm1() {
         let m = model(5, 1);
-        let out = AutoSampler.sample(&m, 8, &mut StdRng::seed_from_u64(0));
+        let out = AutoSampler::new().sample(&m, 8, &mut StdRng::seed_from_u64(0));
         // n passes for sampling + 1 for logψ.
         assert_eq!(out.stats.forward_passes, 6);
         assert_eq!(out.stats.proposals, 0);
@@ -218,7 +354,7 @@ mod tests {
 
         let draws = 40_000usize;
         let mut rng = StdRng::seed_from_u64(5);
-        let out = AutoSampler.sample(&m, draws, &mut rng);
+        let out = AutoSampler::new().sample(&m, draws, &mut rng);
         let mut counts = vec![0usize; dim];
         for s in out.batch.samples() {
             counts[encode_config(s)] += 1;
@@ -239,7 +375,7 @@ mod tests {
     fn empirical_mean_log_psi_is_finite_and_sane() {
         let m = model(10, 21);
         let out =
-            IncrementalAutoSampler.sample(&m, 64, &mut StdRng::seed_from_u64(33));
+            IncrementalAutoSampler::new().sample(&m, 64, &mut StdRng::seed_from_u64(33));
         assert!(out.log_psi.all_finite());
         // logψ = ½ logπ ≤ 0 for a normalised distribution... not strictly
         // (individual π(x) can exceed... no: π(x) ≤ 1 always). So:
@@ -249,8 +385,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let m = model(6, 2);
-        let a = AutoSampler.sample(&m, 10, &mut StdRng::seed_from_u64(4));
-        let b = AutoSampler.sample(&m, 10, &mut StdRng::seed_from_u64(4));
+        let a = AutoSampler::new().sample(&m, 10, &mut StdRng::seed_from_u64(4));
+        let b = AutoSampler::new().sample(&m, 10, &mut StdRng::seed_from_u64(4));
         assert_eq!(a.batch.as_bytes(), b.batch.as_bytes());
     }
 }

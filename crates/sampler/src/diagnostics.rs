@@ -202,7 +202,7 @@ mod tests {
         let tau_mcmc = integrated_autocorrelation_time(out.log_psi.as_slice());
 
         let made = Made::new(n, 16, 3);
-        let out = AutoSampler.sample(&made, 4000, &mut rand::rngs::StdRng::seed_from_u64(1));
+        let out = AutoSampler::new().sample(&made, 4000, &mut rand::rngs::StdRng::seed_from_u64(1));
         let _ = made.num_params();
         let tau_auto = integrated_autocorrelation_time(out.log_psi.as_slice());
 

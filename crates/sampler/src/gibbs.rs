@@ -91,7 +91,7 @@ impl GibbsSampler {
 }
 
 impl<W: WaveFunction + ?Sized> Sampler<W> for GibbsSampler {
-    fn sample(&self, wf: &W, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
+    fn sample_into(&mut self, wf: &W, batch_size: usize, rng: &mut StdRng, dst: &mut SampleOutput) {
         let n = wf.num_spins();
         let c = self.config.chains.max(1);
         let thin = self.config.thin_sweeps.max(1);
@@ -123,11 +123,11 @@ impl<W: WaveFunction + ?Sized> Sampler<W> for GibbsSampler {
                 collected += 1;
             }
         }
-        SampleOutput {
+        *dst = SampleOutput {
             batch: out,
             log_psi: out_log_psi,
             stats,
-        }
+        };
     }
 }
 

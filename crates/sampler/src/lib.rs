@@ -38,7 +38,10 @@ pub use mcmc::{BurnIn, McmcConfig, McmcSampler, RbmFastMcmc, Thinning};
 pub use tempering::{TemperingConfig, TemperingSampler};
 
 /// The product of one sampling call.
-#[derive(Clone, Debug)]
+///
+/// `Default` yields empty buffers: the natural initial state for a
+/// caller-owned output that [`Sampler::sample_into`] resizes in place.
+#[derive(Clone, Debug, Default)]
 pub struct SampleOutput {
     /// The sampled configurations.
     pub batch: SpinBatch,
@@ -73,9 +76,30 @@ impl SampleStats {
 }
 
 /// A strategy for drawing a batch of configurations from `|ψθ|²`.
+///
+/// Samplers take `&mut self`: the exact (AUTO) samplers carry scratch
+/// state — activation workspaces, cached weight transposes — so that the
+/// steady-state training loop performs no heap allocation per batch.
+/// The stateless MCMC samplers simply ignore the mutability.
 pub trait Sampler<W: WaveFunction + ?Sized>: Send + Sync {
-    /// Draws `batch_size` configurations.
-    fn sample(&self, wf: &W, batch_size: usize, rng: &mut StdRng) -> SampleOutput;
+    /// Draws `batch_size` configurations into a caller-owned output
+    /// (buffers resized in place; allocation-free at steady state for
+    /// the AUTO samplers).
+    fn sample_into(
+        &mut self,
+        wf: &W,
+        batch_size: usize,
+        rng: &mut StdRng,
+        out: &mut SampleOutput,
+    );
+
+    /// Draws `batch_size` configurations (allocating convenience form of
+    /// [`Sampler::sample_into`]).
+    fn sample(&mut self, wf: &W, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
+        let mut out = SampleOutput::default();
+        self.sample_into(wf, batch_size, rng, &mut out);
+        out
+    }
 }
 
 #[cfg(test)]

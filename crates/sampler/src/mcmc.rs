@@ -163,7 +163,7 @@ impl McmcSampler {
 }
 
 impl<W: WaveFunction + ?Sized> Sampler<W> for McmcSampler {
-    fn sample(&self, wf: &W, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
+    fn sample_into(&mut self, wf: &W, batch_size: usize, rng: &mut StdRng, dst: &mut SampleOutput) {
         let n = wf.num_spins();
         let c = self.config.chains.max(1);
         let k = self.config.burn_in.steps(n);
@@ -218,11 +218,11 @@ impl<W: WaveFunction + ?Sized> Sampler<W> for McmcSampler {
                 }
             }
         }
-        SampleOutput {
+        *dst = SampleOutput {
             batch: out,
             log_psi: out_log_psi,
             stats,
-        }
+        };
     }
 }
 
@@ -233,8 +233,8 @@ impl<W: WaveFunction + ?Sized> Sampler<W> for McmcSampler {
 pub struct RbmFastMcmc(pub McmcSampler);
 
 impl Sampler<Rbm> for RbmFastMcmc {
-    fn sample(&self, wf: &Rbm, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
-        self.0.sample_rbm(wf, batch_size, rng)
+    fn sample_into(&mut self, wf: &Rbm, batch_size: usize, rng: &mut StdRng, dst: &mut SampleOutput) {
+        *dst = self.0.sample_rbm(wf, batch_size, rng);
     }
 }
 
@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn produces_requested_batch() {
         let wf = Rbm::new(6, 6, 3);
-        let sampler = McmcSampler::default();
+        let mut sampler = McmcSampler::default();
         let out = sampler.sample(&wf, 37, &mut StdRng::seed_from_u64(1));
         assert_eq!(out.batch.batch_size(), 37);
         assert_eq!(out.log_psi.len(), 37);

@@ -150,7 +150,7 @@ impl TemperingSampler {
 }
 
 impl<W: WaveFunction + ?Sized> Sampler<W> for TemperingSampler {
-    fn sample(&self, wf: &W, batch_size: usize, rng: &mut StdRng) -> SampleOutput {
+    fn sample_into(&mut self, wf: &W, batch_size: usize, rng: &mut StdRng, dst: &mut SampleOutput) {
         self.config.validate();
         let betas = &self.config.betas;
         let k = betas.len();
@@ -199,11 +199,11 @@ impl<W: WaveFunction + ?Sized> Sampler<W> for TemperingSampler {
             out.sample_mut(slot).copy_from_slice(replicas.sample(0));
             out_log_psi[slot] = log_psi[0];
         }
-        SampleOutput {
+        *dst = SampleOutput {
             batch: out,
             log_psi: out_log_psi,
             stats,
-        }
+        };
     }
 }
 
@@ -242,7 +242,7 @@ mod tests {
         let probs: Vec<f64> = lw.iter().map(|l| (l - z).exp()).collect();
 
         let draws = 20_000;
-        let sampler = TemperingSampler::new(TemperingConfig {
+        let mut sampler = TemperingSampler::new(TemperingConfig {
             burn_in: 300,
             ..Default::default()
         });

@@ -77,6 +77,23 @@ impl SpinBatch {
         }
     }
 
+    /// Reshapes in place to `batch_size x num_spins`, reusing the
+    /// existing buffer when capacity suffices (no allocation at steady
+    /// state).  Entries are **unspecified** afterwards; callers must
+    /// overwrite every bit they read.
+    pub fn resize(&mut self, batch_size: usize, num_spins: usize) {
+        self.batch_size = batch_size;
+        self.num_spins = num_spins;
+        self.data.resize(batch_size * num_spins, 0);
+    }
+
+    /// Copies `other` into `self`, reshaping as needed (allocation-free
+    /// once the buffer is warm).
+    pub fn copy_from(&mut self, other: &SpinBatch) {
+        self.resize(other.batch_size, other.num_spins);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Number of samples in the batch.
     #[inline]
     pub fn batch_size(&self) -> usize {
@@ -108,6 +125,12 @@ impl SpinBatch {
         self.data.chunks_exact(self.num_spins)
     }
 
+    /// Fills every spin with `bit` (0 or 1).
+    pub fn fill(&mut self, bit: u8) {
+        debug_assert!(bit <= 1);
+        self.data.fill(bit);
+    }
+
     /// Bit accessor.
     #[inline]
     pub fn get(&self, s: usize, i: usize) -> u8 {
@@ -131,20 +154,34 @@ impl SpinBatch {
     /// Converts the batch to an `f64` matrix with entries in `{0, 1}`
     /// (network-input convention).
     pub fn to_matrix(&self) -> Matrix {
-        Matrix::from_vec(
-            self.batch_size,
-            self.num_spins,
-            self.data.iter().map(|&b| b as f64).collect(),
-        )
+        let mut out = Matrix::zeros(self.batch_size, self.num_spins);
+        self.to_matrix_into(&mut out);
+        out
+    }
+
+    /// [`SpinBatch::to_matrix`] into a caller-owned matrix (reshaped in
+    /// place).
+    pub fn to_matrix_into(&self, out: &mut Matrix) {
+        out.resize(self.batch_size, self.num_spins);
+        for (v, &b) in out.as_mut_slice().iter_mut().zip(&self.data) {
+            *v = b as f64;
+        }
     }
 
     /// Converts to the Ising convention `σ = 1 - 2x ∈ {+1, -1}` (Eq. 13).
     pub fn to_ising_matrix(&self) -> Matrix {
-        Matrix::from_vec(
-            self.batch_size,
-            self.num_spins,
-            self.data.iter().map(|&b| 1.0 - 2.0 * b as f64).collect(),
-        )
+        let mut out = Matrix::zeros(self.batch_size, self.num_spins);
+        self.to_ising_matrix_into(&mut out);
+        out
+    }
+
+    /// [`SpinBatch::to_ising_matrix`] into a caller-owned matrix
+    /// (reshaped in place).
+    pub fn to_ising_matrix_into(&self, out: &mut Matrix) {
+        out.resize(self.batch_size, self.num_spins);
+        for (v, &b) in out.as_mut_slice().iter_mut().zip(&self.data) {
+            *v = 1.0 - 2.0 * b as f64;
+        }
     }
 
     /// Raw byte view (for hashing / dedup in tests).
@@ -182,6 +219,14 @@ pub fn enumerate_configs(n: usize) -> SpinBatch {
     assert!(n <= 24, "enumerate_configs: 2^n would be enormous");
     let total = 1usize << n;
     SpinBatch::from_fn(total, n, |s, i| ((s >> (n - 1 - i)) & 1) as u8)
+}
+
+impl Default for SpinBatch {
+    /// An empty `0 x 0` batch — the natural initial state for scratch
+    /// buffers that are `resize`d by the first `_into` call.
+    fn default() -> Self {
+        SpinBatch::zeros(0, 0)
+    }
 }
 
 impl std::fmt::Debug for SpinBatch {

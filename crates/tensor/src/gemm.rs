@@ -4,17 +4,30 @@
 //!
 //! * [`gemm_nt`] — `C[m,n] = A[m,k] * B[n,k]^T`.  The forward pass of a
 //!   fully-connected layer (`Y = X W^T`): both operands stream row-major,
-//!   so the inner loop is a pure dot product over contiguous memory.
+//!   so the kernel can register-block without packing.
 //! * [`gemm_nn`] — `C[m,n] = A[m,k] * B[k,n]`.  Backprop's input gradient
 //!   (`dX = dY W`); implemented as an axpy-accumulation over B's rows so
 //!   B is still streamed contiguously.
 //! * [`gemm_tn`] — `C[m,n] = A[k,m]^T * B[k,n]`.  Backprop's weight
 //!   gradient (`dW = dY^T X`); an outer-product accumulation.
 //!
-//! Parallelisation is over output rows (for `nt`/`nn`) in chunks sized by
-//! [`crate::par::row_chunk_len`]; `tn` parallelises over *output* rows by
-//! having each worker scan the shared `k` dimension, which avoids a
-//! reduction over partial `C` buffers.
+//! Each kernel has an `_into` twin writing into a caller-owned matrix
+//! (reshaped in place, so a warm buffer is never reallocated); the
+//! allocating forms are thin wrappers over those.
+//!
+//! `gemm_nt` is the hot kernel (it is both the sampling and the forward
+//! bottleneck) and runs a genuinely blocked loop nest: a 4×4 register
+//! accumulator tile ([`MR`]×[`NR`]) in the innermost position, `k`
+//! blocked by [`KC`] so a 4-row A-slab stays L1-resident, and B's rows
+//! blocked by [`NC`] so the B-panel being swept is reused from L2 across
+//! the whole A row-panel sweep instead of being re-streamed from memory
+//! for every output row.  Versus the previous dot-per-element loop this
+//! cuts B traffic by `MR`× and A traffic by `NR`×.
+//!
+//! Parallelisation is over output-row panels (rounded to [`MR`]) in
+//! chunks sized by [`crate::par::row_chunk_len`]; `tn` parallelises over
+//! *output* rows by having each worker scan the shared `k` dimension,
+//! which avoids a reduction over partial `C` buffers.
 
 use rayon::prelude::*;
 
@@ -22,51 +35,172 @@ use crate::matrix::Matrix;
 use crate::par;
 use crate::vector::{axpy, dot};
 
+/// Microkernel accumulator tile height (A rows per tile).
+pub const MR: usize = 4;
+/// Microkernel accumulator tile width (B rows per tile).
+pub const NR: usize = 4;
+/// `k`-dimension block: `MR` A-rows × `KC` f64 = 8 KiB, safely L1.
+pub const KC: usize = 256;
+/// B-row block: `NC` rows × `KC` f64 = 128 KiB, sized for L2 residency.
+pub const NC: usize = 64;
+
 /// `C[m,n] = A[m,k] * B[n,k]^T` (B transposed: both row-major streams).
 pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    gemm_nt_into(a, b, &mut c);
+    c
+}
+
+/// [`gemm_nt`] into a caller-owned output (reshaped in place).
+pub fn gemm_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (m, k) = a.shape();
     let (n, kb) = b.shape();
     assert_eq!(
         k, kb,
         "gemm_nt: inner dimensions disagree (A is {m}x{k}, B^T is {kb}x{n})"
     );
-    let mut c = Matrix::zeros(m, n);
+    c.resize(m, n);
     let work = m * n * k;
     if par::should_parallelize(work) {
-        let chunk = par::row_chunk_len(m);
+        let chunk = par::row_chunk_len(m).div_ceil(MR) * MR;
         c.as_mut_slice()
             .par_chunks_mut(chunk * n)
             .enumerate()
-            .for_each(|(ci, c_rows)| {
-                let row0 = ci * chunk;
-                for (local_r, c_row) in c_rows.chunks_exact_mut(n).enumerate() {
-                    let a_row = a.row(row0 + local_r);
-                    for (j, c_val) in c_row.iter_mut().enumerate() {
-                        *c_val = dot(a_row, b.row(j));
-                    }
-                }
-            });
+            .for_each(|(ci, c_rows)| nt_panel(a, b, c_rows, ci * chunk));
     } else {
-        for r in 0..m {
-            let a_row = a.row(r);
-            let c_row = c.row_mut(r);
-            for (j, c_val) in c_row.iter_mut().enumerate() {
-                *c_val = dot(a_row, b.row(j));
-            }
-        }
+        nt_panel(a, b, c.as_mut_slice(), 0);
     }
-    c
+}
+
+/// The 4×4 register-tile inner product: `acc[i][j] = aᵢ · bⱼ` over one
+/// `k`-block.  All eight operand slices are trimmed to a common length
+/// up front so the bounds checks vanish from the unrolled loop.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_4x4(
+    a0: &[f64],
+    a1: &[f64],
+    a2: &[f64],
+    a3: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+) -> [[f64; NR]; MR] {
+    let lc = a0.len();
+    let (a1, a2, a3) = (&a1[..lc], &a2[..lc], &a3[..lc]);
+    let (b0, b1, b2, b3) = (&b0[..lc], &b1[..lc], &b2[..lc], &b3[..lc]);
+    let (mut c00, mut c01, mut c02, mut c03) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut c10, mut c11, mut c12, mut c13) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut c20, mut c21, mut c22, mut c23) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut c30, mut c31, mut c32, mut c33) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for i in 0..lc {
+        let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+        let (y0, y1, y2, y3) = (b0[i], b1[i], b2[i], b3[i]);
+        c00 += x0 * y0;
+        c01 += x0 * y1;
+        c02 += x0 * y2;
+        c03 += x0 * y3;
+        c10 += x1 * y0;
+        c11 += x1 * y1;
+        c12 += x1 * y2;
+        c13 += x1 * y3;
+        c20 += x2 * y0;
+        c21 += x2 * y1;
+        c22 += x2 * y2;
+        c23 += x2 * y3;
+        c30 += x3 * y0;
+        c31 += x3 * y1;
+        c32 += x3 * y2;
+        c33 += x3 * y3;
+    }
+    [
+        [c00, c01, c02, c03],
+        [c10, c11, c12, c13],
+        [c20, c21, c22, c23],
+        [c30, c31, c32, c33],
+    ]
+}
+
+/// Blocked `nt` sweep writing output rows `[row0, row0 + c_panel.len()/n)`.
+fn nt_panel(a: &Matrix, b: &Matrix, c_panel: &mut [f64], row0: usize) {
+    let k = a.cols();
+    let n = b.rows();
+    if n == 0 || c_panel.is_empty() {
+        return;
+    }
+    let rows_here = c_panel.len() / n;
+    c_panel.fill(0.0);
+
+    let mut l0 = 0;
+    while l0 < k {
+        let lc = KC.min(k - l0);
+        let mut j0 = 0;
+        while j0 < n {
+            let j_end = j0 + NC.min(n - j0);
+            let mut r = 0;
+            while r + MR <= rows_here {
+                let a0 = &a.row(row0 + r)[l0..l0 + lc];
+                let a1 = &a.row(row0 + r + 1)[l0..l0 + lc];
+                let a2 = &a.row(row0 + r + 2)[l0..l0 + lc];
+                let a3 = &a.row(row0 + r + 3)[l0..l0 + lc];
+                let mut j = j0;
+                while j + NR <= j_end {
+                    let b0 = &b.row(j)[l0..l0 + lc];
+                    let b1 = &b.row(j + 1)[l0..l0 + lc];
+                    let b2 = &b.row(j + 2)[l0..l0 + lc];
+                    let b3 = &b.row(j + 3)[l0..l0 + lc];
+                    let acc = micro_4x4(a0, a1, a2, a3, b0, b1, b2, b3);
+                    for (ri, acc_row) in acc.iter().enumerate() {
+                        let base = (r + ri) * n + j;
+                        for (cv, av) in c_panel[base..base + NR].iter_mut().zip(acc_row) {
+                            *cv += av;
+                        }
+                    }
+                    j += NR;
+                }
+                // Column remainder: one B row against the four A rows.
+                while j < j_end {
+                    let b_row = &b.row(j)[l0..l0 + lc];
+                    c_panel[r * n + j] += dot(a0, b_row);
+                    c_panel[(r + 1) * n + j] += dot(a1, b_row);
+                    c_panel[(r + 2) * n + j] += dot(a2, b_row);
+                    c_panel[(r + 3) * n + j] += dot(a3, b_row);
+                    j += 1;
+                }
+                r += MR;
+            }
+            // Row remainder: plain dots over the current block.
+            while r < rows_here {
+                let a_row = &a.row(row0 + r)[l0..l0 + lc];
+                for j in j0..j_end {
+                    c_panel[r * n + j] += dot(a_row, &b.row(j)[l0..l0 + lc]);
+                }
+                r += 1;
+            }
+            j0 = j_end;
+        }
+        l0 += lc;
+    }
 }
 
 /// `C[m,n] = A[m,k] * B[k,n]`.
 pub fn gemm_nn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_nn_into(a, b, &mut c);
+    c
+}
+
+/// [`gemm_nn`] into a caller-owned output (reshaped in place).
+pub fn gemm_nn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(
         k, kb,
         "gemm_nn: inner dimensions disagree (A is {m}x{k}, B is {kb}x{n})"
     );
-    let mut c = Matrix::zeros(m, n);
+    c.resize(m, n);
+    c.fill(0.0);
     let work = m * n * k;
     if par::should_parallelize(work) {
         let chunk = par::row_chunk_len(m);
@@ -87,7 +221,6 @@ pub fn gemm_nn(a: &Matrix, b: &Matrix) -> Matrix {
             accumulate_row_nn(a_row, b, c_row);
         }
     }
-    c
 }
 
 /// One output row of `gemm_nn`: `c_row += sum_l a_row[l] * B[l, :]`,
@@ -103,13 +236,21 @@ fn accumulate_row_nn(a_row: &[f64], b: &Matrix, c_row: &mut [f64]) {
 
 /// `C[m,n] = A[k,m]^T * B[k,n]` (outer-product accumulation over `k`).
 pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    gemm_tn_into(a, b, &mut c);
+    c
+}
+
+/// [`gemm_tn`] into a caller-owned output (reshaped in place).
+pub fn gemm_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (k, m) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(
         k, kb,
         "gemm_tn: outer dimensions disagree (A^T is {m}x{k}, B is {kb}x{n})"
     );
-    let mut c = Matrix::zeros(m, n);
+    c.resize(m, n);
+    c.fill(0.0);
     let work = m * n * k;
     if par::should_parallelize(work) && m >= 2 {
         let chunk = par::row_chunk_len(m);
@@ -143,7 +284,6 @@ pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
             }
         }
     }
-    c
 }
 
 /// Naive triple-loop reference used by the tests to validate the blocked
@@ -190,6 +330,49 @@ mod tests {
     }
 
     #[test]
+    fn nt_matches_reference_across_tile_remainders() {
+        // Sweep shapes around the MR/NR/KC/NC boundaries so every
+        // remainder path of the blocked loop nest is exercised.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 3, 3),
+            (4, 4, 4),
+            (5, 7, 9),
+            (8, 8, KC),
+            (9, NC + 3, KC + 5),
+            (MR * 3 + 2, NR * 5 + 1, 17),
+        ] {
+            let a = mat(m, k, m as u64 + 1);
+            let b = mat(n, k, n as u64 + 100);
+            let c = gemm_nt(&a, &b);
+            let c_ref = gemm_reference(&a, &b.transpose());
+            assert!(
+                c.max_abs_diff(&c_ref) < 1e-10,
+                "mismatch at shape ({m},{n},{k})"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_and_reshape_output() {
+        let a = mat(6, 8, 3);
+        let b_nt = mat(5, 8, 4);
+        let b_nn = mat(8, 5, 5);
+        let a_tn = mat(8, 6, 6);
+
+        // Start from a wrong-shaped, dirty output buffer.
+        let mut c = mat(2, 2, 9);
+        gemm_nt_into(&a, &b_nt, &mut c);
+        assert!(c.max_abs_diff(&gemm_nt(&a, &b_nt)) == 0.0);
+
+        gemm_nn_into(&a, &b_nn, &mut c);
+        assert!(c.max_abs_diff(&gemm_nn(&a, &b_nn)) == 0.0);
+
+        gemm_tn_into(&a_tn, &b_nn, &mut c);
+        assert!(c.max_abs_diff(&gemm_tn(&a_tn, &b_nn)) == 0.0);
+    }
+
+    #[test]
     fn nn_matches_reference() {
         let a = mat(6, 8, 3);
         let b = mat(8, 4, 4);
@@ -231,6 +414,12 @@ mod tests {
         let b = Matrix::zeros(3, 5);
         let c = gemm_nt(&a, &b);
         assert_eq!(c.shape(), (0, 3));
+
+        let a = Matrix::zeros(4, 0);
+        let b = Matrix::zeros(3, 0);
+        let c = gemm_nt(&a, &b);
+        assert_eq!(c.shape(), (4, 3));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
 
         let a = mat(1, 1, 11);
         let b = mat(1, 1, 12);

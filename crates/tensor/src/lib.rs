@@ -45,10 +45,12 @@ pub mod ops;
 pub mod par;
 pub mod reduce;
 pub mod vector;
+pub mod workspace;
 
 pub use batch::SpinBatch;
 pub use matrix::Matrix;
 pub use vector::Vector;
+pub use workspace::Workspace;
 
 /// Absolute tolerance used by the test-suites of this workspace when
 /// comparing two floating point computations that are algebraically equal

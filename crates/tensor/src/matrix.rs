@@ -149,19 +149,50 @@ impl Matrix {
         Vector::from_fn(self.rows, |r| self.get(r, c))
     }
 
+    /// Reshapes in place to `rows x cols`, reusing the existing buffer
+    /// when its capacity suffices (no allocation at steady state).
+    /// Entries are **unspecified** afterwards; every `_into` kernel
+    /// overwrites its output in full.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `other` into `self`, reshaping as needed (allocation-free
+    /// once the buffer is warm).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::transpose`] into a caller-owned matrix (reshaped in
+    /// place).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.set(c, r, self.get(r, c));
             }
         }
-        out
     }
 
     /// Matrix-vector product `A x`.
     pub fn matvec(&self, x: &Vector) -> Vector {
+        let mut out = Vector::zeros(self.rows);
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// [`Matrix::matvec`] into a caller-owned vector (resized in place).
+    pub fn matvec_into(&self, x: &Vector, out: &mut Vector) {
         assert_eq!(
             self.cols,
             x.len(),
@@ -170,11 +201,22 @@ impl Matrix {
             self.cols,
             x.len()
         );
-        Vector::from_fn(self.rows, |r| crate::vector::dot(self.row(r), x))
+        out.resize(self.rows);
+        for r in 0..self.rows {
+            out[r] = crate::vector::dot(self.row(r), x);
+        }
     }
 
     /// Transposed matrix-vector product `A^T x`.
     pub fn matvec_t(&self, x: &Vector) -> Vector {
+        let mut out = Vector::zeros(self.cols);
+        self.matvec_t_into(x, &mut out);
+        out
+    }
+
+    /// [`Matrix::matvec_t`] into a caller-owned vector (resized in
+    /// place).
+    pub fn matvec_t_into(&self, x: &Vector, out: &mut Vector) {
         assert_eq!(
             self.rows,
             x.len(),
@@ -183,16 +225,22 @@ impl Matrix {
             self.cols,
             x.len()
         );
-        let mut out = Vector::zeros(self.cols);
+        out.resize(self.cols);
+        out.fill(0.0);
         for r in 0..self.rows {
-            crate::vector::axpy(&mut out, x[r], self.row(r));
+            crate::vector::axpy(out, x[r], self.row(r));
         }
-        out
     }
 
     /// `C = A * B` where `self` is `m x k` and `b` is `k x n`.
     pub fn matmul_nn(&self, b: &Matrix) -> Matrix {
         gemm::gemm_nn(self, b)
+    }
+
+    /// [`Matrix::matmul_nn`] into a caller-owned output (reshaped in
+    /// place).
+    pub fn matmul_nn_into(&self, b: &Matrix, out: &mut Matrix) {
+        gemm::gemm_nn_into(self, b, out);
     }
 
     /// `C = A * B^T` where `self` is `m x k` and `b` is `n x k`.
@@ -204,12 +252,24 @@ impl Matrix {
         gemm::gemm_nt(self, b)
     }
 
+    /// [`Matrix::matmul_nt`] into a caller-owned output (reshaped in
+    /// place).
+    pub fn matmul_nt_into(&self, b: &Matrix, out: &mut Matrix) {
+        gemm::gemm_nt_into(self, b, out);
+    }
+
     /// `C = A^T * B` where `self` is `k x m` and `b` is `k x n`.
     ///
     /// Layout of the weight-gradient accumulation in backprop
     /// (`dW[h,n] = dY[bs,h]^T * X[bs,n]`).
     pub fn matmul_tn(&self, b: &Matrix) -> Matrix {
         gemm::gemm_tn(self, b)
+    }
+
+    /// [`Matrix::matmul_tn`] into a caller-owned output (reshaped in
+    /// place).
+    pub fn matmul_tn_into(&self, b: &Matrix, out: &mut Matrix) {
+        gemm::gemm_tn_into(self, b, out);
     }
 
     /// Adds `bias` (length `cols`) to every row in place.
@@ -307,6 +367,14 @@ impl Matrix {
             .zip(&other.data)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the natural initial state for scratch
+    /// buffers that are `resize`d by the first `_into` call.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 

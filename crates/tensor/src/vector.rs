@@ -62,6 +62,19 @@ impl Vector {
         self.0
     }
 
+    /// Resizes in place (new elements zero), reusing capacity so a warm
+    /// buffer is never reallocated.
+    pub fn resize(&mut self, n: usize) {
+        self.0.resize(n, 0.0);
+    }
+
+    /// Copies `other` into `self`, resizing as needed (allocation-free
+    /// once the buffer is warm).
+    pub fn copy_from(&mut self, other: &Vector) {
+        self.0.resize(other.len(), 0.0);
+        self.0.copy_from_slice(&other.0);
+    }
+
     /// Dot product `self . other`.
     ///
     /// Parallelises above the crate's size threshold; the parallel path

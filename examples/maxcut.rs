@@ -58,7 +58,7 @@ fn main() {
             ..TrainerConfig::paper_default(3)
         };
         let wf = Made::new(n, made_hidden_size(n), 9);
-        let mut trainer = Trainer::new(wf, AutoSampler, config);
+        let mut trainer = Trainer::new(wf, AutoSampler::new(), config);
         let trace = trainer.run(&mc);
         // Evaluation protocol: fresh batch, report mean and best cut.
         let eval = trainer.evaluate(&mc, 512);

@@ -34,7 +34,7 @@ fn main() {
         optimizer: OptimizerChoice::paper_default(),
         ..TrainerConfig::paper_default(7)
     };
-    let mut trainer = Trainer::new(wf, AutoSampler, config);
+    let mut trainer = Trainer::new(wf, AutoSampler::new(), config);
     let trace = trainer.run(&h);
 
     for (it, rec) in trace.records.iter().enumerate() {

@@ -45,10 +45,10 @@ fn main() {
     };
 
     let mut rng = StdRng::seed_from_u64(7);
-    report("MADE + AUTO (naive)", &AutoSampler.sample(&made, batch, &mut rng));
+    report("MADE + AUTO (naive)", &AutoSampler::new().sample(&made, batch, &mut rng));
     report(
         "MADE + AUTO (incremental)",
-        &IncrementalAutoSampler.sample(&made, batch, &mut rng),
+        &IncrementalAutoSampler::new().sample(&made, batch, &mut rng),
     );
     report(
         "NADE + AUTO (native)",

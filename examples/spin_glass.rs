@@ -27,7 +27,7 @@ fn main() {
         optimizer: OptimizerChoice::paper_sr(), // SR shines on glassy landscapes
         ..TrainerConfig::paper_default(5)
     };
-    let mut trainer = Trainer::new(Made::new(n, made_hidden_size(n), 1), AutoSampler, config);
+    let mut trainer = Trainer::new(Made::new(n, made_hidden_size(n), 1), AutoSampler::new(), config);
     let trace = trainer.run(&h);
     println!(
         "trained {} iterations: E = {:.4} (σ = {:.4}), {:.2}s",

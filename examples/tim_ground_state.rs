@@ -35,7 +35,7 @@ fn main() {
 
     // --- MADE with exact autoregressive sampling ---------------------------
     let made = Made::new(n, made_hidden_size(n), 1);
-    let mut auto_trainer = Trainer::new(made, AutoSampler, config(7));
+    let mut auto_trainer = Trainer::new(made, AutoSampler::new(), config(7));
     let auto_trace = auto_trainer.run(&h);
 
     // --- RBM with Metropolis-Hastings MCMC (paper settings) ----------------

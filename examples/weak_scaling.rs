@@ -38,7 +38,7 @@ fn main() {
             cost_hidden: hidden,
             cost_offdiag: n,
         };
-        DistributedTrainer::new(cluster, wf, IncrementalAutoSampler, config)
+        DistributedTrainer::new(cluster, wf, IncrementalAutoSampler::new(), config)
     };
 
     // ---- Part 1: sampling-only weak scaling (Figure 3) --------------------
@@ -84,7 +84,7 @@ fn main() {
             cost_hidden: made_hidden_size(small_n),
             cost_offdiag: small_n,
         };
-        let mut trainer = DistributedTrainer::new(cluster, wf, IncrementalAutoSampler, config);
+        let mut trainer = DistributedTrainer::new(cluster, wf, IncrementalAutoSampler::new(), config);
         let trace = trainer.run(&small_h);
         println!(
             "{label:>6} {l:>4}   {:>9}   {:>12.4}",

@@ -166,7 +166,7 @@ pub fn train(flags: &Flags) -> Result<(), String> {
         match (model, sampler_name) {
             ("made", "auto") => {
                 let wf = Made::new(n, made_hidden_size(n), model_seed);
-                let mut t = Trainer::new(wf, IncrementalAutoSampler, config);
+                let mut t = Trainer::new(wf, IncrementalAutoSampler::new(), config);
                 let trace = t.run(h);
                 report_trace(&trace);
                 let wf = t.into_wavefunction();
@@ -266,7 +266,7 @@ pub fn evaluate(flags: &Flags) -> Result<(), String> {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(get_u64(flags, "seed", 0)?);
     let out = if let Ok(m) = Made::load(path) {
-        IncrementalAutoSampler.sample(&m, batch_size, &mut rng)
+        IncrementalAutoSampler::new().sample(&m, batch_size, &mut rng)
     } else if let Ok(m) = Nade::load(path) {
         NadeNativeSampler.sample(&m, batch_size, &mut rng)
     } else {
@@ -308,7 +308,7 @@ pub fn sample(flags: &Flags) -> Result<(), String> {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(get_u64(flags, "seed", 0)?);
     let (batch, log_psi) = if let Ok(m) = Made::load(path) {
-        let out = IncrementalAutoSampler.sample(&m, count, &mut rng);
+        let out = IncrementalAutoSampler::new().sample(&m, count, &mut rng);
         (out.batch, out.log_psi)
     } else if let Ok(m) = Nade::load(path) {
         let out = NadeNativeSampler.sample(&m, count, &mut rng);
@@ -381,7 +381,7 @@ pub fn scaling(flags: &Flags) -> Result<(), String> {
             cost_hidden: hidden,
             cost_offdiag: n,
         };
-        let mut t = DistributedTrainer::new(cluster, wf, IncrementalAutoSampler, config);
+        let mut t = DistributedTrainer::new(cluster, wf, IncrementalAutoSampler::new(), config);
         let trace = t.run(&h);
         println!(
             "{label:>6} {l:>4}   {:>15.4}   {:>10.4}",

@@ -22,7 +22,7 @@
 //! let wf = Made::new(6, made_hidden_size(6), 1);
 //! let mut trainer = Trainer::new(
 //!     wf,
-//!     AutoSampler,
+//!     AutoSampler::new(),
 //!     TrainerConfig {
 //!         iterations: 100,
 //!         batch_size: 256,

@@ -26,7 +26,7 @@ fn replicas_bit_identical_across_topologies() {
         let cluster = Cluster::new(Topology::new(l1, l2), DeviceSpec::v100());
         let wf = Made::new(n, 10, 42);
         let mut t =
-            DistributedTrainer::new(cluster, wf, IncrementalAutoSampler, config(5, 8, n, 10, 3));
+            DistributedTrainer::new(cluster, wf, IncrementalAutoSampler::new(), config(5, 8, n, 10, 3));
         t.run(&h);
         t.assert_replicas_consistent();
     }
@@ -48,7 +48,7 @@ fn device_layout_does_not_change_the_physics() {
         let mut t = DistributedTrainer::new(
             cluster,
             wf,
-            IncrementalAutoSampler,
+            IncrementalAutoSampler::new(),
             config(iters, mbs, n, 12, 5),
         );
         t.run(&h)
@@ -140,7 +140,7 @@ fn larger_effective_batch_converges_no_worse() {
         let mut t = DistributedTrainer::new(
             cluster,
             wf,
-            IncrementalAutoSampler,
+            IncrementalAutoSampler::new(),
             config(60, 4, n, 12, 13),
         );
         t.run(&h).final_energy()
@@ -166,7 +166,7 @@ fn sampling_round_time_matches_cost_model() {
     let mut t = DistributedTrainer::new(
         cluster,
         wf,
-        IncrementalAutoSampler,
+        IncrementalAutoSampler::new(),
         config(0, mbs, n, hidden, 1),
     );
     let secs = t.sampling_round();

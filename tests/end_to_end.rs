@@ -18,7 +18,7 @@ fn made_auto_reaches_tim_ground_state() {
         optimizer: OptimizerChoice::paper_default(),
         ..TrainerConfig::paper_default(11)
     };
-    let mut trainer = Trainer::new(Made::new(n, made_hidden_size(n).max(12), 5), AutoSampler, config);
+    let mut trainer = Trainer::new(Made::new(n, made_hidden_size(n).max(12), 5), AutoSampler::new(), config);
     let trace = trainer.run(&h);
 
     let final_e = trace.final_energy();
@@ -62,7 +62,7 @@ fn maxcut_pipeline_against_brute_force() {
         optimizer: OptimizerChoice::paper_sr(),
         ..TrainerConfig::paper_default(3)
     };
-    let mut trainer = Trainer::new(Made::new(n, 20, 8), AutoSampler, config);
+    let mut trainer = Trainer::new(Made::new(n, 20, 8), AutoSampler::new(), config);
     trainer.run(&mc);
     let eval = trainer.evaluate(&mc, 256);
     let best_cut = mc.cut_values(&eval.batch).max() as usize;
@@ -115,7 +115,7 @@ fn hitting_time_protocol() {
         optimizer: OptimizerChoice::paper_default(),
         ..TrainerConfig::paper_default(5)
     };
-    let mut trainer = Trainer::new(Made::new(n, 16, 4), AutoSampler, config);
+    let mut trainer = Trainer::new(Made::new(n, 16, 4), AutoSampler::new(), config);
     let target = mc.graph().num_edges() as f64 * 0.5;
     let result = hitting_time(
         &mut trainer,

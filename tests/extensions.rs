@@ -66,7 +66,7 @@ fn sk_model_high_fidelity_with_sr() {
         optimizer: OptimizerChoice::paper_sr(),
         ..TrainerConfig::paper_default(1)
     };
-    let mut t = Trainer::new(Made::new(n, 14, 7), AutoSampler, config);
+    let mut t = Trainer::new(Made::new(n, 14, 7), AutoSampler::new(), config);
     let trace = t.run(&h);
     let f = fidelity(t.wavefunction(), &gs.vector);
     // Glassy landscapes can trap finite-iteration runs in near-degenerate
@@ -88,7 +88,7 @@ fn trained_model_shards_losslessly() {
         optimizer: OptimizerChoice::paper_default(),
         ..TrainerConfig::paper_default(2)
     };
-    let mut t = Trainer::new(Made::new(n, 9, 4), AutoSampler, config);
+    let mut t = Trainer::new(Made::new(n, 9, 4), AutoSampler::new(), config);
     t.run(&h);
     let made = t.into_wavefunction();
 
@@ -114,7 +114,7 @@ fn checkpoint_preserves_trained_model() {
         optimizer: OptimizerChoice::paper_default(),
         ..TrainerConfig::paper_default(6)
     };
-    let mut t = Trainer::new(Made::new(n, 8, 1), AutoSampler, config);
+    let mut t = Trainer::new(Made::new(n, 8, 1), AutoSampler::new(), config);
     t.run(&mc);
     let path = std::env::temp_dir().join(format!(
         "vqmc-integration-ckpt-{}.bin",
@@ -142,7 +142,7 @@ fn diagnostics_separate_exact_from_markov_sampling() {
     let rbm = Rbm::new(n, n, 1);
     let batch = 2000;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let auto = AutoSampler.sample(&made, batch, &mut rng);
+    let auto = AutoSampler::new().sample(&made, batch, &mut rng);
     let mcmc = McmcSampler::default().sample_rbm(&rbm, batch, &mut rng);
     let ess_auto = effective_sample_size(auto.log_psi.as_slice());
     let ess_mcmc = effective_sample_size(mcmc.log_psi.as_slice());

@@ -26,7 +26,7 @@ proptest! {
     #[test]
     fn auto_log_psi_self_consistent(n in 2usize..10, h in 2usize..16, seed in 0u64..500) {
         let wf = Made::new(n, h, seed);
-        let out = AutoSampler.sample(&wf, 8, &mut StdRng::seed_from_u64(seed ^ 0xABCD));
+        let out = AutoSampler::new().sample(&wf, 8, &mut StdRng::seed_from_u64(seed ^ 0xABCD));
         let fresh = wf.log_psi(&out.batch);
         for s in 0..8 {
             prop_assert!((out.log_psi[s] - fresh[s]).abs() < 1e-9);
@@ -108,5 +108,54 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let (_, rc) = random_cut(&g, 4, &mut rng);
         prop_assert!(rc <= opt);
+    }
+
+    /// The incremental AUTO sampler (cached `W₁ᵀ`, rank-1 activation
+    /// updates) is bit-identical to the naive AUTO sampler for any
+    /// model shape, seed and batch size — including across parameter
+    /// updates that invalidate its cache.
+    #[test]
+    fn incremental_sampler_bit_identical_to_auto(n in 2usize..10, h in 2usize..16, seed in 0u64..500, bs in 1usize..33) {
+        let mut wf = Made::new(n, h, seed);
+        let mut naive = AutoSampler::new();
+        let mut fast = IncrementalAutoSampler::new();
+        for round in 0..2u64 {
+            let a = naive.sample(&wf, bs, &mut StdRng::seed_from_u64(seed ^ round));
+            let b = fast.sample(&wf, bs, &mut StdRng::seed_from_u64(seed ^ round));
+            prop_assert_eq!(a.batch.as_bytes(), b.batch.as_bytes());
+            for s in 0..bs {
+                let rel = (a.log_psi[s] - b.log_psi[s]).abs() / (1.0 + a.log_psi[s].abs());
+                prop_assert!(rel <= 1e-12, "log_psi rel diff {rel:e} at sample {s}");
+            }
+            // Perturb the parameters so round 2 exercises the
+            // cache-invalidation path.
+            let mut p = wf.params();
+            p.scale(0.995);
+            wf.set_params(&p);
+        }
+    }
+
+    /// The pooled `_into` wavefunction entry points (`log_psi_into`,
+    /// `weighted_log_psi_grad_into`) are bit-identical to their
+    /// allocating twins for any model and batch, even when the
+    /// workspace pool starts dirty.
+    #[test]
+    fn pooled_wavefunction_paths_bit_identical(n in 2usize..10, h in 2usize..16, seed in 0u64..500, bs in 1usize..33) {
+        use vqmc::tensor::Workspace;
+        let wf = Made::new(n, h, seed);
+        let batch = vqmc::tensor::SpinBatch::from_fn(bs, n, |s, i| {
+            ((s.wrapping_mul(37) ^ i.wrapping_mul(13) ^ seed as usize) % 2) as u8
+        });
+        let mut ws = Workspace::new();
+        ws.give(vec![0.25; 101]); // dirty pool buffer
+
+        let mut lp = Vector::default();
+        wf.log_psi_into(&batch, &mut ws, &mut lp);
+        prop_assert_eq!(lp.as_slice(), wf.log_psi(&batch).as_slice());
+
+        let weights = Vector::from_fn(bs, |s| ((s as f64) * 0.61).sin());
+        let mut grad = Vector::default();
+        wf.weighted_log_psi_grad_into(&batch, &weights, &mut ws, &mut grad);
+        prop_assert_eq!(grad.as_slice(), wf.weighted_log_psi_grad(&batch, &weights).as_slice());
     }
 }

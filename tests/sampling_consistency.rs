@@ -31,7 +31,7 @@ fn auto_estimate_matches_exact_expectation() {
     let truth = exact_energy(&h, &wf, n);
 
     let mut rng = StdRng::seed_from_u64(2);
-    let out = AutoSampler.sample(&wf, 8192, &mut rng);
+    let out = AutoSampler::new().sample(&wf, 8192, &mut rng);
     let mut eval = |b: &vqmc::tensor::SpinBatch| wf.log_psi(b);
     let local = local_energies(&h, &out.batch, &out.log_psi, &mut eval, LocalEnergyConfig::default());
     let stats = EnergyStats::from_local_energies(&local);
@@ -77,8 +77,8 @@ fn incremental_and_naive_auto_identical_through_the_stack() {
     let n = 9;
     let h = TransverseFieldIsing::random(n, 77);
     let wf = Made::new(n, 14, 21);
-    let naive = AutoSampler.sample(&wf, 64, &mut StdRng::seed_from_u64(5));
-    let fast = IncrementalAutoSampler.sample(&wf, 64, &mut StdRng::seed_from_u64(5));
+    let naive = AutoSampler::new().sample(&wf, 64, &mut StdRng::seed_from_u64(5));
+    let fast = IncrementalAutoSampler::new().sample(&wf, 64, &mut StdRng::seed_from_u64(5));
     assert_eq!(naive.batch.as_bytes(), fast.batch.as_bytes());
 
     let mut eval = |b: &vqmc::tensor::SpinBatch| wf.log_psi(b);
@@ -105,7 +105,7 @@ fn auto_sample_frequencies_track_model_probabilities() {
         .unwrap();
 
     let draws = 20_000;
-    let out = AutoSampler.sample(&wf, draws, &mut StdRng::seed_from_u64(31));
+    let out = AutoSampler::new().sample(&wf, draws, &mut StdRng::seed_from_u64(31));
     let hits = out
         .batch
         .samples()

@@ -1,0 +1,346 @@
+//! Vendored stand-in for the `criterion` subset this workspace uses
+//! (see `third_party/README.md`): `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: one calibration call sizes iterations so each
+//! sample targets ~1/samples of a one-second budget, then `samples`
+//! timed samples are collected and the **median ns/iter** is reported.
+//! A hard ~10 s cap per benchmark shrinks the sample count for very
+//! slow cases rather than blocking the suite.
+//!
+//! Machine-readable output: when the `BENCH_JSON` environment variable
+//! names a file, every finished benchmark merges `"<group>/<id>":
+//! <median_ns>` into that file as a flat JSON object (one entry per
+//! line). Multiple bench binaries writing to the same path accumulate
+//! rather than clobber each other.
+
+use std::hint::black_box as hint_black_box;
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// How `iter_batched` amortises setup; the stub times the routine only,
+/// so the variants are equivalent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark identifier: `new("fn", param)` → `fn/param`,
+/// `from_parameter(param)` → `param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint_black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Times `routine` only — each iteration's `setup` runs off the
+    /// clock, matching upstream `iter_batched` semantics.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total: u128 = 0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            hint_black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total;
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    pub id: String,
+    pub median_ns: f64,
+}
+
+/// Top-level harness state; collects records across groups.
+pub struct Criterion {
+    results: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+        }
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 20;
+const BUDGET_NS: u128 = 1_000_000_000; // target per-benchmark time
+const HARD_CAP_NS: u128 = 10_000_000_000; // never exceed ~10 s per benchmark
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Ungrouped benchmark (id used verbatim).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let record = run_benchmark(id.to_string(), DEFAULT_SAMPLES, f);
+        self.results.push(record);
+        self
+    }
+
+    /// Prints the summary and, when `BENCH_JSON` is set, merges the
+    /// records into that JSON file. Called by `criterion_main!`.
+    pub fn finalize(&mut self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = merge_json(&path, &self.results) {
+                    eprintln!("criterion stub: failed to write {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id);
+        let record = run_benchmark(full_id, self.sample_size, f);
+        self.criterion.results.push(record);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        let record = run_benchmark(full_id, self.sample_size, |b| f(b, input));
+        self.criterion.results.push(record);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: String, samples: usize, mut routine: F) -> BenchRecord {
+    // Calibration: one single-iteration call (doubles as warm-up).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed_ns: 0,
+    };
+    routine(&mut b);
+    let per_iter = b.elapsed_ns.max(1);
+
+    // Size each sample toward BUDGET_NS/samples, then shrink the sample
+    // count if even one-iteration samples would blow the hard cap.
+    let per_sample_target = BUDGET_NS / samples as u128;
+    let iters = ((per_sample_target / per_iter).max(1)).min(1_000_000_000) as u64;
+    let est_total = per_iter * iters as u128 * samples as u128;
+    let samples = if est_total > HARD_CAP_NS {
+        ((HARD_CAP_NS / (per_iter * iters as u128)).max(3) as usize).min(samples)
+    } else {
+        samples
+    };
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
+        routine(&mut b);
+        per_iter_ns.push(b.elapsed_ns as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_ns = if per_iter_ns.len() % 2 == 1 {
+        per_iter_ns[per_iter_ns.len() / 2]
+    } else {
+        let hi = per_iter_ns.len() / 2;
+        0.5 * (per_iter_ns[hi - 1] + per_iter_ns[hi])
+    };
+
+    println!("bench {id:<48} median {median_ns:>14.1} ns/iter ({samples} samples x {iters} iters)");
+    BenchRecord { id, median_ns }
+}
+
+/// Merges records into a flat JSON object file: `{"id": median_ns, ...}`,
+/// one entry per line. Existing entries for other ids are preserved so
+/// several bench binaries can share one output file.
+fn merge_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let Some(rest) = line.strip_prefix('"') {
+                if let Some((key, value)) = rest.split_once("\":") {
+                    if let Ok(v) = value.trim().parse::<f64>() {
+                        entries.push((key.to_string(), v));
+                    }
+                }
+            }
+        }
+    }
+    for r in records {
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == r.id) {
+            slot.1 = r.median_ns;
+        } else {
+            entries.push((r.id.clone(), r.median_ns));
+        }
+    }
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!("\"{k}\": {v:.1}{sep}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main`: runs every group, then finalizes (summary +
+/// optional `BENCH_JSON` merge).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("naive", 50).to_string(), "naive/50");
+        assert_eq!(BenchmarkId::from_parameter(50).to_string(), "50");
+    }
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("with", 7), &7usize, |b, &x| {
+                b.iter_batched(|| x, |v| v * 2, BatchSize::LargeInput)
+            });
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "g/noop");
+        assert_eq!(c.results[1].id, "g/with/7");
+        assert!(c.results.iter().all(|r| r.median_ns >= 0.0));
+    }
+
+    #[test]
+    fn json_merge_preserves_and_updates() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bench_stub_test_{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+
+        merge_json(
+            &path,
+            &[BenchRecord {
+                id: "a/x".into(),
+                median_ns: 10.0,
+            }],
+        )
+        .unwrap();
+        merge_json(
+            &path,
+            &[
+                BenchRecord {
+                    id: "a/x".into(),
+                    median_ns: 20.0,
+                },
+                BenchRecord {
+                    id: "b/y".into(),
+                    median_ns: 5.0,
+                },
+            ],
+        )
+        .unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"a/x\": 20.0"));
+        assert!(text.contains("\"b/y\": 5.0"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

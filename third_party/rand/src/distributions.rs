@@ -1,0 +1,187 @@
+//! The distribution subset the workspace draws from: [`Distribution`],
+//! a generic [`Uniform`] (floats plus the integer types sampled
+//! in-tree), and [`Bernoulli`].
+
+use crate::{uniform_below, RngCore, StandardSample};
+
+/// A distribution over `T` sampled with an explicit RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Types usable with [`Uniform`]; carries the per-type sampling rule.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_uniform<R: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        // Closed vs half-open is a measure-zero distinction for floats.
+        lo + f64::sample_standard(rng) * (hi - lo)
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + if inclusive { 1 } else { 0 };
+                debug_assert!(span > 0, "Uniform: empty integer range");
+                if span > u64::MAX as u128 {
+                    // Full-width span: a raw draw is already uniform.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                let off = uniform_below(rng, span as u64);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(usize, u64, u32, i64, i32);
+
+/// Uniform distribution over a half-open or inclusive range.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T: SampleUniform = f64> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new: empty interval");
+        Uniform {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[lo, hi]`.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive: empty interval");
+        Uniform {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(self.lo, self.hi, self.inclusive, rng)
+    }
+}
+
+/// Error for an invalid Bernoulli probability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BernoulliError;
+
+impl std::fmt::Display for BernoulliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bernoulli probability outside [0, 1]")
+    }
+}
+
+impl std::error::Error for BernoulliError {}
+
+/// Bernoulli distribution with success probability `p`.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Builds the distribution; errors when `p ∉ [0, 1]`.
+    pub fn new(p: f64) -> Result<Self, BernoulliError> {
+        if (0.0..=1.0).contains(&p) {
+            Ok(Bernoulli { p })
+        } else {
+            Err(BernoulliError)
+        }
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        f64::sample_standard(rng) < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let d = Uniform::new_inclusive(-2.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.0..=2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_usize_hits_all_values() {
+        let d = Uniform::new(0usize, 5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[d.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_inclusive_int_endpoints_reachable() {
+        let d = Uniform::new_inclusive(0u32, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn uniform_negative_int_range() {
+        let d = Uniform::new(-3i64, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rejects_bad_probability() {
+        assert!(Bernoulli::new(1.5).is_err());
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let d = Bernoulli::new(0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| d.sample(&mut rng)).count();
+        assert!((6700..7300).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Vendored stand-in for the `rayon` API subset used by this workspace
+//! (see `third_party/README.md`).
+//!
+//! Every `par_*` entry point delegates to the equivalent sequential
+//! `std` iterator. This is semantically identical (rayon's contract is
+//! that parallel iteration computes the same result as sequential
+//! iteration, up to fp reduction order — and the sequential order *is*
+//! the canonical order), and on this single-core container it is also
+//! the fastest execution. The workspace additionally gates all parallel
+//! paths on [`current_num_threads`]` > 1` via
+//! `vqmc_tensor::par::should_parallelize`, so under this stub those
+//! branches are never taken in production code; the prelude exists so
+//! the call sites keep compiling unchanged and upstream rayon can be
+//! swapped back in on a multi-core substrate.
+
+/// Number of worker threads the pool would have: the machine's
+/// available parallelism.
+///
+/// Cached after the first call: `available_parallelism` performs a
+/// cgroup-quota lookup on Linux (file reads, heap allocations), which
+/// would otherwise put allocations on every hot-loop call to
+/// `vqmc_tensor::par::should_parallelize`. Real rayon's pool size is
+/// likewise fixed after initialisation.
+pub fn current_num_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs two closures (sequentially here) and returns both results —
+/// the `rayon::join` signature.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// The parallel-iterator traits, delegating to `std` iterators.
+pub mod prelude {
+    /// `par_chunks` for slices.
+    pub trait ParallelSlice<T> {
+        /// Chunked view of the slice (sequential stand-in).
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_chunks_mut` for slices.
+    pub trait ParallelSliceMut<T> {
+        /// Mutable chunked view of the slice (sequential stand-in).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `par_iter` by shared reference.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The iterator type.
+        type Iter;
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        #[inline]
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        #[inline]
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut` by exclusive reference.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The iterator type.
+        type Iter;
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = std::slice::IterMut<'a, T>;
+        #[inline]
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = std::slice::IterMut<'a, T>;
+        #[inline]
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `into_par_iter` by value (ranges, vectors).
+    pub trait IntoParallelIterator {
+        /// The iterator type.
+        type Iter;
+        /// Sequential stand-in for `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_matches_chunks() {
+        let xs = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let sums: Vec<f64> = xs.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3.0, 7.0, 5.0]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut xs = vec![1, 2, 3];
+        xs.par_iter_mut().for_each(|v| *v *= 2);
+        assert_eq!(xs, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let total: usize = (0..10usize).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(total, 285);
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Vendored stand-in for `serde`: marker traits plus no-op derive
+//! macros (see `third_party/README.md`). The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` declaratively — no serializer
+//! backend exists in-tree — so empty traits and empty derives satisfy
+//! every use site. Traits and derive macros share names in separate
+//! namespaces, exactly as in upstream serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
