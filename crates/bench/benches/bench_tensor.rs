@@ -1,14 +1,16 @@
 //! Micro-benchmarks of the dense kernels: GEMM variants across sizes
 //! straddling the rayon crossover threshold, validating the
-//! `PAR_THRESHOLD_ELEMS` design choice called out in DESIGN.md, plus a
-//! naive-vs-blocked `gemm_nt` comparison at the EXPERIMENTS.md
-//! acceptance shape (m,k,n) = (1024,512,512).
+//! `PAR_THRESHOLD_ELEMS` design choice called out in DESIGN.md, a
+//! naive / blocked-scalar / packed-SIMD `gemm_nt` comparison at the
+//! EXPERIMENTS.md acceptance shape (m,k,n) = (1024,512,512), and the
+//! transcendental slice kernels (SIMD arm vs portable scalar arm).
 //!
 //! Run with `BENCH_JSON=BENCH_kernels.json cargo bench --bench
 //! bench_tensor` to refresh the machine-readable medians.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vqmc_tensor::simd;
 use vqmc_tensor::vector::dot;
 use vqmc_tensor::{gemm, Matrix};
 
@@ -75,12 +77,19 @@ fn bench_gemm_variants(c: &mut Criterion) {
 
 fn bench_gemm_blocked_vs_naive(c: &mut Criterion) {
     // The acceptance shape: C[1024,512] = A[1024,512] · B[512,512]^T.
+    // "blocked" / "blocked_into" pin the scalar 4×4 loop nest (the
+    // pre-SIMD baseline); "simd" is the production dispatch, i.e. the
+    // packed AVX2 8×4 microkernel on capable hosts.
     let mut group = c.benchmark_group("gemm_nt_1024x512x512");
     group.sample_size(10);
     let a = mat(1024, 512, 5);
     let b_ = mat(512, 512, 6);
     group.bench_function("blocked", |bch| {
-        bch.iter(|| black_box(gemm::gemm_nt(&a, &b_)))
+        bch.iter(|| {
+            let mut out = Matrix::zeros(1024, 512);
+            gemm::gemm_nt_blocked_scalar_into(&a, &b_, &mut out);
+            black_box(out)
+        })
     });
     group.bench_function("naive", |bch| {
         bch.iter(|| black_box(gemm_nt_naive(&a, &b_)))
@@ -88,12 +97,59 @@ fn bench_gemm_blocked_vs_naive(c: &mut Criterion) {
     let mut out = Matrix::zeros(1024, 512);
     group.bench_function("blocked_into", |bch| {
         bch.iter(|| {
-            gemm::gemm_nt_into(&a, &b_, &mut out);
+            gemm::gemm_nt_blocked_scalar_into(&a, &b_, &mut out);
             black_box(out.get(0, 0))
         })
+    });
+    group.bench_function("simd", |bch| {
+        bch.iter(|| black_box(gemm::gemm_nt(&a, &b_)))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_gemm_variants, bench_gemm_blocked_vs_naive);
+/// Transcendental slice kernels at the MADE conditionals batch size:
+/// the production dispatch (AVX2 on capable hosts) against the portable
+/// scalar twin, same vendored algorithm on both arms.
+fn bench_ops_slice(c: &mut Criterion) {
+    const LEN: usize = 4096;
+    let xs: Vec<f64> = {
+        let m = mat(1, LEN, 9);
+        m.as_slice().iter().map(|v| v * 6.0).collect()
+    };
+    let prod = simd::kernels();
+    let port = simd::portable_kernels();
+    let mut group = c.benchmark_group("ops_slice");
+    let kernels: [(&str, fn(&mut [f64]), fn(&mut [f64])); 4] = [
+        ("sigmoid_4096", prod.sigmoid_slice, port.sigmoid_slice),
+        ("ln_cosh_4096", prod.ln_cosh_slice, port.ln_cosh_slice),
+        ("log_sigmoid_4096", prod.log_sigmoid_slice, port.log_sigmoid_slice),
+        ("exp_4096", prod.exp_slice, port.exp_slice),
+    ];
+    let mut buf = vec![0.0f64; LEN];
+    for (name, simd_fn, scalar_fn) in kernels {
+        group.bench_function(format!("{name}/simd"), |bch| {
+            bch.iter(|| {
+                buf.copy_from_slice(&xs);
+                simd_fn(&mut buf);
+                black_box(buf[0])
+            })
+        });
+        group.bench_function(format!("{name}/scalar"), |bch| {
+            bch.iter(|| {
+                buf.copy_from_slice(&xs);
+                scalar_fn(&mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_gemm_variants,
+    bench_gemm_blocked_vs_naive,
+    bench_ops_slice
+);
 criterion_main!(benches);

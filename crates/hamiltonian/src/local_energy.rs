@@ -54,6 +54,9 @@ pub struct LocalEnergyScratch {
     neigh: SpinBatch,
     /// `logψ` of the current neighbour chunk.
     log_psi_y: Vector,
+    /// Wavefunction ratios `ψ(y)/ψ(x)` of the current chunk (filled with
+    /// the log-ratios, exponentiated in one vectorised pass).
+    ratios: Vec<f64>,
 }
 
 impl LocalEnergyScratch {
@@ -136,8 +139,16 @@ pub fn local_energies_into(
         }
         log_psi(&scratch.neigh, &mut scratch.log_psi_y);
         debug_assert_eq!(scratch.log_psi_y.len(), chunk.len());
+        // Ratios in one vectorised exp over the chunk: fill with the
+        // log-ratios, exponentiate through the dispatched kernel, then
+        // scatter-accumulate weighted by the matrix elements.
+        scratch.ratios.resize(chunk.len(), 0.0);
+        for (row, &(s, _, _)) in chunk.iter().enumerate() {
+            scratch.ratios[row] = scratch.log_psi_y[row] - log_psi_x[s];
+        }
+        vqmc_tensor::ops::exp_slice(&mut scratch.ratios);
         for (row, &(s, _, hxy)) in chunk.iter().enumerate() {
-            out[s] += hxy * (scratch.log_psi_y[row] - log_psi_x[s]).exp();
+            out[s] += hxy * scratch.ratios[row];
         }
     }
 }

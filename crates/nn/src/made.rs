@@ -238,29 +238,38 @@ impl Made {
 
     /// Per-sample `logπ(x) = Σᵢ xᵢ·logσ(aᵢ) + (1−xᵢ)·logσ(−aᵢ)`,
     /// computed from logits for stability.
-    fn log_prob_from_logits_into(batch: &SpinBatch, logits: &Matrix, out: &mut Vector) {
+    ///
+    /// Uses `ln(1−σ(a)) = ln σ(−a)`: the logits are copied with the
+    /// sign flipped wherever the bit is 0, one vectorised
+    /// `log_sigmoid_slice` handles the whole row, and the row is
+    /// pairwise-summed.  `scratch` is a warm workspace buffer.
+    fn log_prob_from_logits_into(
+        batch: &SpinBatch,
+        logits: &Matrix,
+        scratch: &mut Vec<f64>,
+        out: &mut Vector,
+    ) {
         out.resize(batch.batch_size());
+        scratch.resize(logits.cols(), 0.0);
         for s in 0..batch.batch_size() {
             let a_row = logits.row(s);
-            out[s] = batch
-                .sample(s)
-                .iter()
-                .zip(a_row)
-                .map(|(&bit, &a)| {
-                    if bit == 1 {
-                        ops::log_sigmoid(a)
-                    } else {
-                        ops::log_one_minus_sigmoid(a)
-                    }
-                })
-                .sum();
+            for ((dst, &bit), &a) in scratch.iter_mut().zip(batch.sample(s)).zip(a_row) {
+                *dst = if bit == 1 { a } else { -a };
+            }
+            ops::log_sigmoid_slice(scratch);
+            out[s] = vqmc_tensor::reduce::sum(scratch);
         }
     }
 
     /// [`WaveFunction::log_psi`] with caller-owned scratch and output.
     pub fn log_psi_with(&self, batch: &SpinBatch, ws: &mut MadeWorkspace, out: &mut Vector) {
         self.forward_with(batch, ws);
-        Self::log_prob_from_logits_into(batch, &ws.logits, out);
+        let MadeWorkspace {
+            logits,
+            delta_a_row,
+            ..
+        } = ws;
+        Self::log_prob_from_logits_into(batch, logits, delta_a_row, out);
         out.scale(0.5);
     }
 
@@ -269,7 +278,7 @@ impl Made {
     pub fn conditionals_with(&self, batch: &SpinBatch, ws: &mut MadeWorkspace, out: &mut Matrix) {
         self.forward_with(batch, ws);
         out.copy_from(&ws.logits);
-        out.map_inplace(ops::sigmoid);
+        ops::sigmoid_slice(out.as_mut_slice());
     }
 
     /// [`WaveFunction::weighted_log_psi_grad`] with caller-owned scratch
@@ -315,14 +324,16 @@ impl Made {
             ..
         } = ws;
         // δA[s,i] = w_s · ½ (xᵢ − σ(aᵢ))   (∂logψ/∂aᵢ = ½ ∂logπ/∂aᵢ).
-        delta_a.resize(bs, self.n);
+        // One matrix-wide vectorised sigmoid over a copy of the logits,
+        // then the cheap affine combine per row.
+        delta_a.copy_from(logits);
+        ops::sigmoid_slice(delta_a.as_mut_slice());
         for s in 0..bs {
             let w = out_weights[s];
-            let a_row = logits.row(s);
             let x_row = batch.sample(s);
             let out_row = delta_a.row_mut(s);
             for i in 0..self.n {
-                out_row[i] = w * 0.5 * (x_row[i] as f64 - ops::sigmoid(a_row[i]));
+                out_row[i] = w * 0.5 * (x_row[i] as f64 - out_row[i]);
             }
         }
         // dW₂ = δAᵀ H₁ ⊙ M², db₂ = colsum δA.
@@ -373,11 +384,13 @@ impl Made {
         delta_a_row.resize(n, 0.0);
         delta_z_row.resize(h, 0.0);
         for s in 0..bs {
-            let a_row = logits.row(s);
             let x_row = batch.sample(s);
-            // δa (length n).
+            // δa (length n): vectorised sigmoid on a copy of the logit
+            // row, then the affine combine.
+            delta_a_row.copy_from_slice(logits.row(s));
+            ops::sigmoid_slice(delta_a_row);
             for i in 0..n {
-                delta_a_row[i] = 0.5 * (x_row[i] as f64 - ops::sigmoid(a_row[i]));
+                delta_a_row[i] = 0.5 * (x_row[i] as f64 - delta_a_row[i]);
             }
             // δz₁ = (δa W₂) ⊙ relu'(z₁) (length h).
             let z_row = z1.row(s);

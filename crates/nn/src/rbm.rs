@@ -152,11 +152,13 @@ impl WaveFunction for Rbm {
     }
 
     fn log_psi(&self, batch: &SpinBatch) -> Vector {
-        let (x, z) = self.forward(batch);
+        let (x, mut z) = self.forward(batch);
+        // One matrix-wide vectorised ln cosh, then a pairwise row sum —
+        // operation-identical to `log_psi_into` (cross-checked exactly).
+        ops::ln_cosh_slice(z.as_mut_slice());
         Vector::from_fn(batch.batch_size(), |s| {
             let visible = vqmc_tensor::vector::dot(x.row(s), &self.a);
-            let hidden: f64 = z.row(s).iter().map(|&zj| ops::ln_cosh(zj)).sum();
-            visible + self.c + hidden
+            visible + self.c + vqmc_tensor::reduce::sum(z.row(s))
         })
     }
 
@@ -164,12 +166,14 @@ impl WaveFunction for Rbm {
         assert_eq!(weights.len(), batch.batch_size());
         let bs = batch.batch_size();
         let (x, z) = self.forward(batch);
-        // T[s,j] = w_s · tanh(z_sj):  dW = Tᵀ X, db = colsum T.
+        // T[s,j] = w_s · tanh(z_sj):  dW = Tᵀ X, db = colsum T.  One
+        // vectorised tanh over the whole matrix, then the row scaling.
         let mut t = z;
+        ops::tanh_slice(t.as_mut_slice());
         for s in 0..bs {
             let w = weights[s];
             for v in t.row_mut(s) {
-                *v = w * ops::ln_cosh_prime(*v);
+                *v *= w;
             }
         }
         let dw = t.matmul_tn(&x);
@@ -198,10 +202,14 @@ impl WaveFunction for Rbm {
         let (x, z) = self.forward(batch);
         let (h, n) = (self.h, self.n);
         let mut rows = Matrix::zeros(bs, d);
+        // Single scratch row, vectorised tanh — hoisted out of the
+        // per-sample loop so it allocates once, not `bs` times.
+        let mut tanh_z = vec![0.0f64; h];
         for s in 0..bs {
             let z_row = z.row(s);
             let x_row = x.row(s);
-            let tanh_z: Vec<f64> = z_row.iter().map(|&v| ops::ln_cosh_prime(v)).collect();
+            tanh_z.copy_from_slice(z_row);
+            ops::tanh_slice(&mut tanh_z);
             let row = rows.row_mut(s);
             // dW[j,k] = tanh(z_j)·x_k.
             for j in 0..h {
@@ -252,10 +260,12 @@ impl WaveFunction for Rbm {
         let mut z = Matrix::from_vec(0, 0, ws.take(0));
         self.forward_into(batch, &mut x, &mut z);
         out.resize(batch.batch_size());
+        // Operation-identical to the allocating `log_psi` (the exact
+        // cross-check test depends on it).
+        ops::ln_cosh_slice(z.as_mut_slice());
         for s in 0..batch.batch_size() {
             let visible = vqmc_tensor::vector::dot(x.row(s), &self.a);
-            let hidden: f64 = z.row(s).iter().map(|&zj| ops::ln_cosh(zj)).sum();
-            out[s] = visible + self.c + hidden;
+            out[s] = visible + self.c + vqmc_tensor::reduce::sum(z.row(s));
         }
         ws.give_matrix(z);
         ws.give_matrix(x);
@@ -276,10 +286,12 @@ impl WaveFunction for Rbm {
         let mut dw = Matrix::from_vec(0, 0, ws.take(0));
         self.forward_into(batch, &mut x, &mut t);
         // T[s,j] = w_s · tanh(z_sj) in place:  dW = Tᵀ X, db = colsum T.
+        // Operation-identical to the allocating twin.
+        ops::tanh_slice(t.as_mut_slice());
         for s in 0..bs {
             let w = weights[s];
             for v in t.row_mut(s) {
-                *v = w * ops::ln_cosh_prime(*v);
+                *v *= w;
             }
         }
         t.matmul_tn_into(&x, &mut dw);

@@ -122,10 +122,8 @@ pub fn conjugate_gradient_into(
         r.axpy(-alpha, ap);
         let rs_new = r.dot(r);
         let beta = rs_new / rs_old;
-        // p = r + beta p
-        for i in 0..n {
-            p[i] = r[i] + beta * p[i];
-        }
+        // p = r + beta p (dispatched xpby kernel).
+        vqmc_tensor::vector::xpby(p, r, beta);
         rs_old = rs_new;
     }
     CgStats {

@@ -16,6 +16,11 @@
 //! (Convention note: the paper's Eq. 5 writes the Fisher in terms of
 //! `∇ log π = 2∇ logψ`, a constant factor 4 on `S` that is absorbed by
 //! the learning rate; we use the standard `O = ∇ logψ` convention.)
+//!
+//! Every reduction in the matvec (`dot` per row, `axpy` accumulate, the
+//! CG direction update) routes through the runtime-dispatched SIMD
+//! kernels of `vqmc_tensor::simd`, so the SR solve inherits the AVX2
+//! fused-multiply-add path without any code here changing.
 
 use vqmc_tensor::{Matrix, Vector};
 

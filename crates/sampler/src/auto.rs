@@ -104,6 +104,13 @@ pub struct IncrementalAutoSampler {
     z1: Vec<f64>,
     /// Per-sample accumulated `log π`.
     log_prob: Vec<f64>,
+    /// Per-sample logits of the current output bit (the whole column is
+    /// materialised so σ and ln σ run through the vectorised slice
+    /// kernels — the same dispatched kernels the naive sampler's
+    /// conditionals use).
+    logits: Vec<f64>,
+    /// Scratch: `σ(logits)` for the current bit.
+    probs: Vec<f64>,
     /// Cached `W₁ᵀ` (`n × h`: row `i` = column `i` of `W₁`).
     w1_t: Matrix,
     /// [`Made::params_version`] the cache was built against.
@@ -154,31 +161,41 @@ impl Sampler<Made> for IncrementalAutoSampler {
         let b2 = wf.b2();
         self.log_prob.clear();
         self.log_prob.resize(batch_size, 0.0);
+        self.logits.resize(batch_size, 0.0);
+        self.probs.resize(batch_size, 0.0);
+        let kern = vqmc_tensor::simd::kernels();
 
         for i in 0..n {
             let w2_row = w2.row(i);
             let w1_col = self.w1_t.row(i);
+            // Batched logits aᵢ(s) = b₂[i] + Σ_k W₂[i,k]·relu(z₁[s,k]):
+            // one fused relu·dot kernel per sample, then one vectorised
+            // sigmoid over the whole column.
             for s in 0..batch_size {
-                let z_row = &mut self.z1[s * h..(s + 1) * h];
-                // Logit aᵢ = Σ_k W₂[i,k] · relu(z₁[k]) + b₂[i].
-                let mut a = b2[i];
-                for k in 0..h {
-                    let zk = z_row[k];
-                    if zk > 0.0 {
-                        a += w2_row[k] * zk;
-                    }
-                }
-                let p = ops::sigmoid(a);
-                let bit = rng.gen::<f64>() < p;
-                if bit {
+                let z_row = &self.z1[s * h..(s + 1) * h];
+                self.logits[s] = b2[i] + (kern.relu_dot)(w2_row, z_row);
+            }
+            self.probs.copy_from_slice(&self.logits);
+            ops::sigmoid_slice(&mut self.probs);
+            // Draw order is unchanged from the scalar implementation
+            // (i outer, s inner, one variate per (i, s)) — the
+            // bit-identical-to-naive property depends on it.
+            for s in 0..batch_size {
+                let p = self.probs[s];
+                debug_assert!((0.0..=1.0).contains(&p), "conditional out of range");
+                if rng.gen::<f64>() < p {
                     batch.set(s, i, 1);
-                    self.log_prob[s] += ops::log_sigmoid(a);
                     // Fold the revealed bit into the hidden state.
-                    vqmc_tensor::vector::axpy(z_row, 1.0, w1_col);
+                    vqmc_tensor::vector::axpy(&mut self.z1[s * h..(s + 1) * h], 1.0, w1_col);
                 } else {
-                    self.log_prob[s] += ops::log_one_minus_sigmoid(a);
+                    // ln(1−σ(a)) = ln σ(−a): flip so one vectorised
+                    // log-sigmoid pass below covers both bit values.
+                    self.logits[s] = -self.logits[s];
                 }
             }
+            // log π(s) += ln σ(±aᵢ(s)), vectorised.
+            ops::log_sigmoid_slice(&mut self.logits);
+            vqmc_tensor::vector::axpy(&mut self.log_prob, 1.0, &self.logits);
         }
         out.log_psi.resize(batch_size);
         for (o, &lp) in out.log_psi.iter_mut().zip(&self.log_prob) {

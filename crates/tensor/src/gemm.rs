@@ -15,25 +15,49 @@
 //! (reshaped in place, so a warm buffer is never reallocated); the
 //! allocating forms are thin wrappers over those.
 //!
-//! `gemm_nt` is the hot kernel (it is both the sampling and the forward
-//! bottleneck) and runs a genuinely blocked loop nest: a 4×4 register
-//! accumulator tile ([`MR`]×[`NR`]) in the innermost position, `k`
-//! blocked by [`KC`] so a 4-row A-slab stays L1-resident, and B's rows
-//! blocked by [`NC`] so the B-panel being swept is reused from L2 across
-//! the whole A row-panel sweep instead of being re-streamed from memory
-//! for every output row.  Versus the previous dot-per-element loop this
-//! cuts B traffic by `MR`× and A traffic by `NR`×.
+//! ## Packed SIMD path (the production path on AVX2+FMA hosts)
+//!
+//! When the [`crate::simd`] dispatch resolves to the AVX2 arm, all
+//! three layout variants run one shared BLIS-style packed driver
+//! ([`gemm_packed`]): operands are repacked into contiguous,
+//! lane-ordered micro-panels (`kc×8` for A, `kc×4` for B) drawn from a
+//! thread-local [`Workspace`] pool, and the inner loop is the 8×4 FMA
+//! microkernel ([`crate::simd::Kernels::micro_8x4`]).  Packing is what
+//! makes the layouts converge — `nn`/`tn` differ from `nt` only in
+//! *which* strides the pack routines gather — and is also what keeps
+//! the microkernel reading purely sequential, aligned memory.  Blocking:
+//! `k` by [`KC`] (micro-panel depth), output rows by [`MC`]
+//! (`MC×KC×8 B = 512 KiB`, half the L2), output columns by
+//! [`NC_PACKED`] (the packed B panel, L3-resident).  The pack buffers
+//! come from a thread-local pool, so steady-state training performs
+//! zero heap allocations (the PR 1 invariant).
+//!
+//! ## Scalar path (fallback arm)
+//!
+//! `gemm_nt` otherwise runs the original blocked loop nest: a 4×4
+//! register accumulator tile ([`MR`]×[`NR`]) in the innermost position,
+//! `k` blocked by [`KC`] so a 4-row A-slab stays L1-resident, and B's
+//! rows blocked by [`NC`] so the B-panel being swept is reused from L2
+//! across the whole A row-panel sweep.  `nn`/`nt` keep their axpy /
+//! outer-product formulations on this arm.
 //!
 //! Parallelisation is over output-row panels (rounded to [`MR`]) in
 //! chunks sized by [`crate::par::row_chunk_len`]; `tn` parallelises over
 //! *output* rows by having each worker scan the shared `k` dimension,
-//! which avoids a reduction over partial `C` buffers.
+//! which avoids a reduction over partial `C` buffers.  The multi-thread
+//! path keeps the scalar kernels (the packed driver is sequential); on
+//! the single-core hosts this workspace targets, `should_parallelize`
+//! is never taken and the packed path covers every shape.
+
+use std::cell::RefCell;
 
 use rayon::prelude::*;
 
 use crate::matrix::Matrix;
 use crate::par;
+use crate::simd::{self, MicroKernel};
 use crate::vector::{axpy, dot};
+use crate::workspace::Workspace;
 
 /// Microkernel accumulator tile height (A rows per tile).
 pub const MR: usize = 4;
@@ -43,6 +67,211 @@ pub const NR: usize = 4;
 pub const KC: usize = 256;
 /// B-row block: `NC` rows × `KC` f64 = 128 KiB, sized for L2 residency.
 pub const NC: usize = 64;
+
+/// Packed-path microkernel tile height (8 C rows, two `ymm` per column).
+pub const MR_SIMD: usize = 8;
+/// Packed-path microkernel tile width (one `ymm` of C columns).
+pub const NR_SIMD: usize = 4;
+/// Packed A-block rows: `MC`×[`KC`]×8 B = 512 KiB, half the L2.
+const MC: usize = 256;
+/// Packed B-panel columns: [`KC`]×`NC_PACKED`×8 B = 4 MiB, L3-resident.
+const NC_PACKED: usize = 2048;
+
+thread_local! {
+    /// Pool for the packed A/B micro-panel buffers.  Private to this
+    /// module and only borrowed transiently (`take`/`give` are single
+    /// calls), so re-entrancy through the sequential rayon shim cannot
+    /// observe an outstanding borrow.  Buffer capacities grow to the
+    /// high-water mark of the shapes seen, after which `take` allocates
+    /// nothing — the packed path preserves the zero-allocation
+    /// steady-state invariant.
+    static PACK_POOL: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// A zeroed pool buffer of exactly `len` elements (zero-fill is what
+/// lets the pack routines skip writing the padded panel tails).
+fn take_pack(len: usize) -> Vec<f64> {
+    PACK_POOL.with(|p| p.borrow_mut().take(len))
+}
+
+fn give_pack(buf: Vec<f64>) {
+    PACK_POOL.with(|p| p.borrow_mut().give(buf))
+}
+
+/// The packed-path microkernel, when the production dispatch resolved
+/// to a vector arm.
+fn packed_micro() -> Option<MicroKernel> {
+    let k = simd::kernels();
+    (k.backend == simd::Backend::Avx2Fma).then_some(k.micro_8x4)
+}
+
+/// Gathers *rows* `[r0, r0+rc)` (k-slice `[l0, l0+lc)`) of a row-major
+/// operand into `ph`-high micro-panels:
+/// `buf[panel*ph*lc + p*ph + r] = src[r0 + panel*ph + r, l0 + p]`.
+/// Panel tails beyond `rc` stay at the pool's zero fill.
+fn pack_rows(src: &Matrix, r0: usize, rc: usize, l0: usize, lc: usize, ph: usize, buf: &mut [f64]) {
+    for (ip, panel) in buf.chunks_mut(ph * lc).enumerate() {
+        let rows_here = ph.min(rc.saturating_sub(ip * ph));
+        for r in 0..rows_here {
+            let row = &src.row(r0 + ip * ph + r)[l0..l0 + lc];
+            for (p, &v) in row.iter().enumerate() {
+                panel[p * ph + r] = v;
+            }
+        }
+    }
+}
+
+/// Gathers *columns* `[c0, c0+cc)` of rows `[l0, l0+lc)` into `ph`-wide
+/// micro-panels: `buf[panel*ph*lc + p*ph + q] = src[l0 + p, c0 +
+/// panel*ph + q]`.  Reads are contiguous runs of `ph`, so packing a
+/// `k`-major operand streams it row-major exactly once.
+fn pack_cols(src: &Matrix, c0: usize, cc: usize, l0: usize, lc: usize, ph: usize, buf: &mut [f64]) {
+    let panels = cc.div_ceil(ph);
+    for p in 0..lc {
+        let row = &src.row(l0 + p)[c0..c0 + cc];
+        for jp in 0..panels {
+            let w = ph.min(cc - jp * ph);
+            buf[jp * ph * lc + p * ph..][..w].copy_from_slice(&row[jp * ph..jp * ph + w]);
+        }
+    }
+}
+
+/// The shared BLIS-style packed driver: loop nest `l0 (KC) → j0
+/// (NC_PACKED, pack B) → i0 (MC, pack A) → jp → ip (microkernel)`.
+/// The microkernel overwrites an 8×4 tile with the product over the
+/// current `k`-block; the valid `iv×jv` region is then accumulated into
+/// `C`, which also handles the partial-tile edges (packed tails are
+/// zero, so the extra lanes compute zeros).
+///
+/// The `k`-summation order per element is identical to the scalar
+/// blocked path: sequential within a `KC` block, blocks in ascending
+/// order — only the fused rounding of the FMA differs.
+fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    pack_a: impl Fn(usize, usize, usize, usize, &mut [f64]),
+    pack_b: impl Fn(usize, usize, usize, usize, &mut [f64]),
+    c: &mut [f64],
+    micro: MicroKernel,
+) {
+    debug_assert_eq!(c.len(), m * n);
+    c.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut tile = [0.0f64; MR_SIMD * NR_SIMD];
+    let mut l0 = 0;
+    while l0 < k {
+        let lc = KC.min(k - l0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jc = NC_PACKED.min(n - j0);
+            let jpanels = jc.div_ceil(NR_SIMD);
+            let mut bbuf = take_pack(jpanels * NR_SIMD * lc);
+            pack_b(j0, jc, l0, lc, &mut bbuf);
+            let mut i0 = 0;
+            while i0 < m {
+                let ic = MC.min(m - i0);
+                let ipanels = ic.div_ceil(MR_SIMD);
+                let mut abuf = take_pack(ipanels * MR_SIMD * lc);
+                pack_a(i0, ic, l0, lc, &mut abuf);
+                for jp in 0..jpanels {
+                    let j = j0 + jp * NR_SIMD;
+                    let jv = NR_SIMD.min(j0 + jc - j);
+                    let bp = bbuf[jp * NR_SIMD * lc..].as_ptr();
+                    for ip in 0..ipanels {
+                        let i = i0 + ip * MR_SIMD;
+                        let iv = MR_SIMD.min(i0 + ic - i);
+                        let ap = abuf[ip * MR_SIMD * lc..].as_ptr();
+                        // SAFETY: the packed panels hold `lc` groups of
+                        // MR_SIMD/NR_SIMD elements, `tile` has 32, and
+                        // vector microkernels are only installed after
+                        // runtime feature detection.
+                        unsafe { micro(lc, ap, bp, tile.as_mut_ptr()) };
+                        for r in 0..iv {
+                            let base = (i + r) * n + j;
+                            for (cv, tv) in c[base..base + jv].iter_mut().zip(&tile[r * NR_SIMD..])
+                            {
+                                *cv += tv;
+                            }
+                        }
+                    }
+                }
+                give_pack(abuf);
+                i0 += ic;
+            }
+            give_pack(bbuf);
+            j0 += jc;
+        }
+        l0 += lc;
+    }
+}
+
+/// Packed `nt` with an explicit microkernel.  Hidden: the property
+/// tests use it to pit the AVX2 microkernel against its scalar twin;
+/// production code goes through [`gemm_nt_into`].
+#[doc(hidden)]
+pub fn gemm_nt_packed_with(a: &Matrix, b: &Matrix, c: &mut Matrix, micro: MicroKernel) {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(
+        k, kb,
+        "gemm_nt: inner dimensions disagree (A is {m}x{k}, B^T is {kb}x{n})"
+    );
+    c.resize(m, n);
+    gemm_packed(
+        m,
+        n,
+        k,
+        |i0, ic, l0, lc, buf| pack_rows(a, i0, ic, l0, lc, MR_SIMD, buf),
+        |j0, jc, l0, lc, buf| pack_rows(b, j0, jc, l0, lc, NR_SIMD, buf),
+        c.as_mut_slice(),
+        micro,
+    );
+}
+
+/// Packed `nn` with an explicit microkernel (see [`gemm_nt_packed_with`]).
+#[doc(hidden)]
+pub fn gemm_nn_packed_with(a: &Matrix, b: &Matrix, c: &mut Matrix, micro: MicroKernel) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(
+        k, kb,
+        "gemm_nn: inner dimensions disagree (A is {m}x{k}, B is {kb}x{n})"
+    );
+    c.resize(m, n);
+    gemm_packed(
+        m,
+        n,
+        k,
+        |i0, ic, l0, lc, buf| pack_rows(a, i0, ic, l0, lc, MR_SIMD, buf),
+        |j0, jc, l0, lc, buf| pack_cols(b, j0, jc, l0, lc, NR_SIMD, buf),
+        c.as_mut_slice(),
+        micro,
+    );
+}
+
+/// Packed `tn` with an explicit microkernel (see [`gemm_nt_packed_with`]).
+#[doc(hidden)]
+pub fn gemm_tn_packed_with(a: &Matrix, b: &Matrix, c: &mut Matrix, micro: MicroKernel) {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(
+        k, kb,
+        "gemm_tn: outer dimensions disagree (A^T is {m}x{k}, B is {kb}x{n})"
+    );
+    c.resize(m, n);
+    gemm_packed(
+        m,
+        n,
+        k,
+        |i0, ic, l0, lc, buf| pack_cols(a, i0, ic, l0, lc, MR_SIMD, buf),
+        |j0, jc, l0, lc, buf| pack_cols(b, j0, jc, l0, lc, NR_SIMD, buf),
+        c.as_mut_slice(),
+        micro,
+    );
+}
 
 /// `C[m,n] = A[m,k] * B[n,k]^T` (B transposed: both row-major streams).
 pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
@@ -67,9 +296,33 @@ pub fn gemm_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
             .par_chunks_mut(chunk * n)
             .enumerate()
             .for_each(|(ci, c_rows)| nt_panel(a, b, c_rows, ci * chunk));
+    } else if let Some(micro) = packed_micro() {
+        gemm_packed(
+            m,
+            n,
+            k,
+            |i0, ic, l0, lc, buf| pack_rows(a, i0, ic, l0, lc, MR_SIMD, buf),
+            |j0, jc, l0, lc, buf| pack_rows(b, j0, jc, l0, lc, NR_SIMD, buf),
+            c.as_mut_slice(),
+            micro,
+        );
     } else {
         nt_panel(a, b, c.as_mut_slice(), 0);
     }
+}
+
+/// The scalar blocked `nt` path, bypassing SIMD dispatch.  Hidden:
+/// kept callable so the benches can report the pre-SIMD baseline.
+#[doc(hidden)]
+pub fn gemm_nt_blocked_scalar_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(
+        k, kb,
+        "gemm_nt: inner dimensions disagree (A is {m}x{k}, B^T is {kb}x{n})"
+    );
+    c.resize(m, n);
+    nt_panel(a, b, c.as_mut_slice(), 0);
 }
 
 /// The 4×4 register-tile inner product: `acc[i][j] = aᵢ · bⱼ` over one
@@ -200,9 +453,9 @@ pub fn gemm_nn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         "gemm_nn: inner dimensions disagree (A is {m}x{k}, B is {kb}x{n})"
     );
     c.resize(m, n);
-    c.fill(0.0);
     let work = m * n * k;
     if par::should_parallelize(work) {
+        c.fill(0.0);
         let chunk = par::row_chunk_len(m);
         c.as_mut_slice()
             .par_chunks_mut(chunk * n)
@@ -213,7 +466,18 @@ pub fn gemm_nn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
                     accumulate_row_nn(a.row(row0 + local_r), b, c_row);
                 }
             });
+    } else if let Some(micro) = packed_micro() {
+        gemm_packed(
+            m,
+            n,
+            k,
+            |i0, ic, l0, lc, buf| pack_rows(a, i0, ic, l0, lc, MR_SIMD, buf),
+            |j0, jc, l0, lc, buf| pack_cols(b, j0, jc, l0, lc, NR_SIMD, buf),
+            c.as_mut_slice(),
+            micro,
+        );
     } else {
+        c.fill(0.0);
         for r in 0..m {
             // Split borrows: read A's row, write C's row.
             let a_row: &[f64] = a.row(r);
@@ -250,8 +514,22 @@ pub fn gemm_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         "gemm_tn: outer dimensions disagree (A^T is {m}x{k}, B is {kb}x{n})"
     );
     c.resize(m, n);
-    c.fill(0.0);
     let work = m * n * k;
+    if !par::should_parallelize(work) {
+        if let Some(micro) = packed_micro() {
+            gemm_packed(
+                m,
+                n,
+                k,
+                |i0, ic, l0, lc, buf| pack_cols(a, i0, ic, l0, lc, MR_SIMD, buf),
+                |j0, jc, l0, lc, buf| pack_cols(b, j0, jc, l0, lc, NR_SIMD, buf),
+                c.as_mut_slice(),
+                micro,
+            );
+            return;
+        }
+    }
+    c.fill(0.0);
     if par::should_parallelize(work) && m >= 2 {
         let chunk = par::row_chunk_len(m);
         c.as_mut_slice()

@@ -21,7 +21,13 @@
 //!   sample container shared by Hamiltonians, samplers and wavefunctions.
 //! * [`ops`] — numerically stable elementwise activations (`sigmoid`,
 //!   `ln_cosh`, `relu`, ...) and their derivatives.
-//! * [`reduce`] — reductions (mean, variance, log-sum-exp, weighted dots).
+//! * [`reduce`] — reductions (mean, variance, log-sum-exp, weighted dots),
+//!   pairwise-compensated for batch-scale accumulations.
+//! * [`simd`] — the runtime-dispatched kernel table: AVX2+FMA vector
+//!   kernels (packed GEMM microkernel, vectorized transcendentals) with
+//!   a portable scalar twin, selected once per process (see
+//!   [`simd::kernels`]).  Disable with `--features force-scalar` or
+//!   `VQMC_SIMD=off`.
 //!
 //! ## Shape discipline
 //!
@@ -44,6 +50,7 @@ pub mod matrix;
 pub mod ops;
 pub mod par;
 pub mod reduce;
+pub mod simd;
 pub mod vector;
 pub mod workspace;
 

@@ -5,6 +5,15 @@
 //! (its `Lncoshsum` block).  Each function documents its stable
 //! formulation; the derivative twins are consumed by the analytic
 //! backprop in `vqmc-nn` and cross-checked against `vqmc-autodiff`.
+//!
+//! The `*_slice` variants are the hot entry points (MADE conditionals,
+//! RBM `ln cosh` rows, local-energy ratio batches) and route through
+//! the runtime-dispatched kernels in [`crate::simd`]: AVX2+FMA
+//! vectorised transcendentals when the host supports them, the portable
+//! scalar twins otherwise.  Both arms agree bit-for-bit; they agree
+//! with the scalar functions here to ≤ 2 ULP (the scalar fns keep the
+//! libm formulations, the kernels use the vendored `exp`/`log1p`
+//! cores — see the `crate::simd` module docs for the exact contract).
 
 /// Rectified linear unit `max(0, x)`.
 #[inline]
@@ -90,25 +99,37 @@ pub fn log_one_minus_sigmoid(x: f64) -> f64 {
     log_sigmoid(-x)
 }
 
-/// Applies [`relu`] over a slice in place.
+/// Applies [`relu`] over a slice in place.  (A plain loop: the branch
+/// auto-vectorises to `maxpd`, so no dispatched kernel is needed.)
 pub fn relu_slice(xs: &mut [f64]) {
     for x in xs {
         *x = relu(*x);
     }
 }
 
-/// Applies [`sigmoid`] over a slice in place.
+/// Applies [`sigmoid`] over a slice in place (dispatched kernel).
 pub fn sigmoid_slice(xs: &mut [f64]) {
-    for x in xs {
-        *x = sigmoid(*x);
-    }
+    (crate::simd::kernels().sigmoid_slice)(xs)
 }
 
-/// Applies [`ln_cosh`] over a slice in place.
+/// Applies [`ln_cosh`] over a slice in place (dispatched kernel).
 pub fn ln_cosh_slice(xs: &mut [f64]) {
-    for x in xs {
-        *x = ln_cosh(*x);
-    }
+    (crate::simd::kernels().ln_cosh_slice)(xs)
+}
+
+/// Applies [`log_sigmoid`] over a slice in place (dispatched kernel).
+pub fn log_sigmoid_slice(xs: &mut [f64]) {
+    (crate::simd::kernels().log_sigmoid_slice)(xs)
+}
+
+/// Applies `tanh` over a slice in place (dispatched kernel).
+pub fn tanh_slice(xs: &mut [f64]) {
+    (crate::simd::kernels().tanh_slice)(xs)
+}
+
+/// Applies `e^x` over a slice in place (dispatched kernel).
+pub fn exp_slice(xs: &mut [f64]) {
+    (crate::simd::kernels().exp_slice)(xs)
 }
 
 #[cfg(test)]
@@ -204,17 +225,35 @@ mod tests {
 
     #[test]
     fn slice_variants_match_scalar() {
-        let xs = [-2.0, -0.5, 0.0, 0.5, 2.0];
+        // The dispatched slice kernels use the vendored exp/log1p cores,
+        // so they match the libm-based scalar functions to a couple of
+        // ULP rather than bit-for-bit (the exact contract is in the
+        // crate::simd docs and property-tested in tests/simd_proptests).
+        let xs = [-800.0, -2.0, -0.5, 0.0, 0.5, 2.0, 800.0];
         let mut r = xs;
         relu_slice(&mut r);
         let mut s = xs;
         sigmoid_slice(&mut s);
         let mut l = xs;
         ln_cosh_slice(&mut l);
+        let mut g = xs;
+        log_sigmoid_slice(&mut g);
+        let mut t = xs;
+        tanh_slice(&mut t);
+        let mut e = xs;
+        exp_slice(&mut e);
         for i in 0..xs.len() {
             assert_eq!(r[i], relu(xs[i]));
-            assert_eq!(s[i], sigmoid(xs[i]));
-            assert_eq!(l[i], ln_cosh(xs[i]));
+            assert!(approx_eq(s[i], sigmoid(xs[i]), 1e-14), "sigmoid {i}");
+            assert!(approx_eq(l[i], ln_cosh(xs[i]), 1e-14), "ln_cosh {i}");
+            assert!(approx_eq(g[i], log_sigmoid(xs[i]), 1e-14), "log_sigmoid {i}");
+            assert!(approx_eq(t[i], xs[i].tanh(), 1e-14), "tanh {i}");
+            // exp(800) overflows to +inf on both sides; approx_eq can't
+            // compare infinities, so accept exact equality there.
+            assert!(
+                e[i] == xs[i].exp() || approx_eq(e[i], xs[i].exp(), 1e-13),
+                "exp {i}"
+            );
         }
     }
 }

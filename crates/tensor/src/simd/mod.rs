@@ -1,0 +1,268 @@
+//! Runtime-dispatched SIMD kernel table.
+//!
+//! One-time runtime feature detection
+//! (`is_x86_feature_detected!("avx2")` + `"fma"`) resolves into a
+//! [`OnceLock`]-cached table of plain function pointers — the
+//! [`Kernels`] struct — that every hot-path consumer reads through
+//! [`kernels()`].  Two arms exist:
+//!
+//! * **AVX2+FMA** ([`avx2`]): 4-wide vector kernels and the 8×4 packed
+//!   GEMM microkernel.  Installed only after both features are
+//!   detected, so the `unsafe` `target_feature` functions are sound to
+//!   call through the table.
+//! * **Portable scalar** ([`portable`]): the operation-for-operation
+//!   scalar twin of every vector kernel.  This is the production arm
+//!   on non-x86_64 targets and the fallback everywhere else.
+//!
+//! Fallback policy (first match wins):
+//!
+//! 1. `--features force-scalar`, or a non-x86_64 target → portable arm
+//!    (the AVX2 module is not even compiled).
+//! 2. `VQMC_SIMD` set to `off`/`0`/`scalar`/`false` (case-insensitive)
+//!    → portable arm (runtime kill-switch, read once).
+//! 3. `avx2` **and** `fma` detected → AVX2 arm.
+//! 4. Otherwise → portable arm.
+//!
+//! The resolution runs once per process; the `OnceLock` initialisation
+//! (including the `env::var` read) happens on the first kernel call,
+//! which in the training loop lands inside the warm-up iterations the
+//! zero-allocation invariant already excludes.
+//!
+//! **ULP contract** (property-tested in `tests/simd_proptests.rs`):
+//! both arms agree within ≤2 ULP on every kernel; in practice they are
+//! bit-identical because they share operation order and fused steps.
+//! Accuracy versus libm is a separate contract: the vendored
+//! [`exp`](exp::exp) is within 2 ULP of `f64::exp` over the full input
+//! range, while the composite kernels (`ln_cosh`, `tanh`) carry an
+//! *absolute* error bound of a few 1e-16 (see DESIGN.md).
+
+use std::sync::OnceLock;
+
+pub mod exp;
+pub mod portable;
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+pub mod avx2;
+
+/// Which kernel arm the dispatch resolved to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// AVX2+FMA vector kernels (runtime-detected).
+    Avx2Fma,
+    /// Portable scalar kernels (fallback / `force-scalar` / `VQMC_SIMD=off`).
+    Scalar,
+}
+
+/// The packed-GEMM microkernel signature: multiply a `kc×8` packed A
+/// micro-panel by a `kc×4` packed B micro-panel, **overwriting** the
+/// row-major 8×4 `tile`.
+///
+/// # Safety
+/// `ap`, `bp` and `tile` must be valid for `kc*8`, `kc*4` and 32
+/// elements respectively; AVX2 implementations additionally require
+/// the caller to have verified CPU support.
+pub type MicroKernel = unsafe fn(kc: usize, ap: *const f64, bp: *const f64, tile: *mut f64);
+
+/// The resolved kernel table: one function pointer per hot-path
+/// primitive.  `Copy` — consumers hold `&'static Kernels`.
+#[derive(Clone, Copy)]
+pub struct Kernels {
+    /// Which arm this table belongs to.
+    pub backend: Backend,
+    /// In-place sigmoid over a slice.
+    pub sigmoid_slice: fn(&mut [f64]),
+    /// In-place `log σ` over a slice.
+    pub log_sigmoid_slice: fn(&mut [f64]),
+    /// In-place `ln cosh` over a slice.
+    pub ln_cosh_slice: fn(&mut [f64]),
+    /// In-place `tanh` over a slice.
+    pub tanh_slice: fn(&mut [f64]),
+    /// In-place `e^x` over a slice (full input range).
+    pub exp_slice: fn(&mut [f64]),
+    /// Fused dot product.
+    pub dot: fn(&[f64], &[f64]) -> f64,
+    /// `y ← y + α·x`.
+    pub axpy: fn(&mut [f64], f64, &[f64]),
+    /// `y ← x + β·y` (CG direction update).
+    pub xpby: fn(&mut [f64], f64, &[f64]),
+    /// `Σ w·max(z, 0)` (incremental-sampler logit).
+    pub relu_dot: fn(&[f64], &[f64]) -> f64,
+    /// Plain lane-striped sum (pairwise-summation base block).
+    pub sum: fn(&[f64]) -> f64,
+    /// `Σ (x−m)²` (variance base block).
+    pub sq_dev_sum: fn(&[f64], f64) -> f64,
+    /// `Σ e^{x−m}` (`log_sum_exp` base block).
+    pub sum_exp_shifted: fn(&[f64], f64) -> f64,
+    /// The packed-GEMM 8×4 microkernel.
+    pub micro_8x4: MicroKernel,
+}
+
+/// The portable arm as a constant table.
+static PORTABLE: Kernels = Kernels {
+    backend: Backend::Scalar,
+    sigmoid_slice: portable::sigmoid_slice,
+    log_sigmoid_slice: portable::log_sigmoid_slice,
+    ln_cosh_slice: portable::ln_cosh_slice,
+    tanh_slice: portable::tanh_slice,
+    exp_slice: portable::exp_slice,
+    dot: portable::dot,
+    axpy: portable::axpy,
+    xpby: portable::xpby,
+    relu_dot: portable::relu_dot,
+    sum: portable::sum_slice,
+    sq_dev_sum: portable::sq_dev_sum,
+    sum_exp_shifted: portable::sum_exp_shifted,
+    micro_8x4: portable::micro_8x4 as MicroKernel,
+};
+
+/// The portable-scalar table, regardless of what the production
+/// dispatch resolved to.  Used by property tests and benches to
+/// compare arms on one machine.
+pub fn portable_kernels() -> &'static Kernels {
+    &PORTABLE
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+mod avx2_table {
+    use super::*;
+
+    // Safe shims: these are only ever installed in the table after
+    // `is_x86_feature_detected!` confirmed avx2+fma, which makes the
+    // inner calls sound.
+    fn sigmoid_slice(xs: &mut [f64]) {
+        unsafe { avx2::sigmoid_slice(xs) }
+    }
+    fn log_sigmoid_slice(xs: &mut [f64]) {
+        unsafe { avx2::log_sigmoid_slice(xs) }
+    }
+    fn ln_cosh_slice(xs: &mut [f64]) {
+        unsafe { avx2::ln_cosh_slice(xs) }
+    }
+    fn tanh_slice(xs: &mut [f64]) {
+        unsafe { avx2::tanh_slice(xs) }
+    }
+    fn exp_slice(xs: &mut [f64]) {
+        unsafe { avx2::exp_slice(xs) }
+    }
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        unsafe { avx2::dot(a, b) }
+    }
+    fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+        unsafe { avx2::axpy(y, alpha, x) }
+    }
+    fn xpby(y: &mut [f64], beta: f64, x: &[f64]) {
+        unsafe { avx2::xpby(y, beta, x) }
+    }
+    fn relu_dot(w: &[f64], z: &[f64]) -> f64 {
+        unsafe { avx2::relu_dot(w, z) }
+    }
+    fn sum(xs: &[f64]) -> f64 {
+        unsafe { avx2::sum_slice(xs) }
+    }
+    fn sq_dev_sum(xs: &[f64], m: f64) -> f64 {
+        unsafe { avx2::sq_dev_sum(xs, m) }
+    }
+    fn sum_exp_shifted(xs: &[f64], m: f64) -> f64 {
+        unsafe { avx2::sum_exp_shifted(xs, m) }
+    }
+
+    pub(super) static AVX2: Kernels = Kernels {
+        backend: Backend::Avx2Fma,
+        sigmoid_slice,
+        log_sigmoid_slice,
+        ln_cosh_slice,
+        tanh_slice,
+        exp_slice,
+        dot,
+        axpy,
+        xpby,
+        relu_dot,
+        sum,
+        sq_dev_sum,
+        sum_exp_shifted,
+        micro_8x4: avx2::micro_8x4 as MicroKernel,
+    };
+}
+
+/// The AVX2 table when the CPU supports it, `None` otherwise (always
+/// `None` on non-x86_64 or under `force-scalar`).  Detection runs
+/// once.  Property tests use this to pit the two arms against each
+/// other on the same inputs.
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+pub fn avx2_kernels() -> Option<&'static Kernels> {
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    let ok = *DETECTED
+        .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"));
+    ok.then_some(&avx2_table::AVX2)
+}
+
+/// See the x86_64 variant; on this target the AVX2 arm does not exist.
+#[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+pub fn avx2_kernels() -> Option<&'static Kernels> {
+    None
+}
+
+/// `VQMC_SIMD` runtime kill-switch (read once at first dispatch).
+fn env_forces_scalar() -> bool {
+    match std::env::var("VQMC_SIMD") {
+        Ok(v) => matches!(
+            v.to_ascii_lowercase().as_str(),
+            "off" | "0" | "scalar" | "false"
+        ),
+        Err(_) => false,
+    }
+}
+
+/// The production kernel table, resolved once per process (see the
+/// module docs for the fallback policy).
+pub fn kernels() -> &'static Kernels {
+    static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        if env_forces_scalar() {
+            return &PORTABLE;
+        }
+        avx2_kernels().unwrap_or(&PORTABLE)
+    })
+}
+
+/// The arm the production dispatch resolved to.
+pub fn backend() -> Backend {
+    kernels().backend
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_table_is_scalar() {
+        assert_eq!(portable_kernels().backend, Backend::Scalar);
+    }
+
+    #[test]
+    fn dispatch_is_stable() {
+        assert_eq!(backend(), backend());
+        assert!(std::ptr::eq(kernels(), kernels()));
+    }
+
+    #[cfg(feature = "force-scalar")]
+    #[test]
+    fn force_scalar_feature_pins_scalar() {
+        assert_eq!(backend(), Backend::Scalar);
+        assert!(avx2_kernels().is_none());
+    }
+
+    #[test]
+    fn slice_kernels_agree_across_arms_smoke() {
+        // The exhaustive sweep lives in tests/simd_proptests.rs; this
+        // is a cheap always-on sanity check.
+        if let Some(v) = avx2_kernels() {
+            let xs: Vec<f64> = (0..37).map(|i| (i as f64 - 18.0) * 0.7).collect();
+            let mut a = xs.clone();
+            let mut b = xs.clone();
+            (v.sigmoid_slice)(&mut a);
+            (portable_kernels().sigmoid_slice)(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+}

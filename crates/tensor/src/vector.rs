@@ -189,33 +189,29 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     }
 }
 
-/// Sequential dot product with 4-way unrolling: the compiler reliably
-/// vectorises this shape.
+/// Sequential dot product through the dispatched kernel: 16 FMA lanes
+/// (four `ymm` accumulators) on the AVX2 arm, the bit-identical striped
+/// scalar twin otherwise.
 #[inline]
 fn dot_seq(a: &[f64], b: &[f64]) -> f64 {
-    let mut acc = [0.0f64; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        acc[0] += a[base] * b[base];
-        acc[1] += a[base + 1] * b[base + 1];
-        acc[2] += a[base + 2] * b[base + 2];
-        acc[3] += a[base + 3] * b[base + 3];
-    }
-    let mut tail = 0.0;
-    for i in chunks * 4..a.len() {
-        tail += a[i] * b[i];
-    }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
+    (crate::simd::kernels().dot)(a, b)
 }
 
-/// Free-function axpy `y += alpha * x` over slices.
+/// Free-function axpy `y += alpha * x` over slices (dispatched kernel;
+/// every step a fused multiply-add on both arms).
 #[inline]
 pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     assert_eq!(y.len(), x.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    (crate::simd::kernels().axpy)(y, alpha, x)
+}
+
+/// Free-function `y = x + beta * y` over slices (dispatched kernel) —
+/// the conjugate-gradient direction update `p = r + β p`, which axpy
+/// cannot express without a scratch copy.
+#[inline]
+pub fn xpby(y: &mut [f64], x: &[f64], beta: f64) {
+    assert_eq!(y.len(), x.len(), "xpby: length mismatch");
+    (crate::simd::kernels().xpby)(y, beta, x)
 }
 
 impl Deref for Vector {

@@ -1,0 +1,155 @@
+//! Property tests for the pairwise (cascade) reductions in
+//! `vqmc_tensor::reduce`, against a Neumaier (improved Kahan)
+//! compensated-summation reference on adversarially conditioned inputs.
+//!
+//! The generator builds slices dominated by cancellation: huge
+//! near-opposite pairs, magnitudes spanning ~30 decades, and signs that
+//! leave the true sum many orders of magnitude below `Σ|x|`.  On such
+//! inputs a naive running sum loses `O(ε·n·Σ|x|)`; the pairwise scheme
+//! must stay within `O(ε·(base + log₂ n)·Σ|x|)` of the compensated
+//! reference.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vqmc_tensor::reduce;
+
+/// Neumaier compensated sum: running sum plus a separately carried
+/// correction term, immune to the `|next| > |sum|` failure of classic
+/// Kahan.  Error is `O(ε)` relative to the true sum — the reference.
+fn neumaier_sum(xs: &[f64]) -> f64 {
+    let mut s = 0.0f64;
+    let mut c = 0.0f64;
+    for &x in xs {
+        let t = s + x;
+        c += if s.abs() >= x.abs() {
+            (s - t) + x
+        } else {
+            (x - t) + s
+        };
+        s = t;
+    }
+    s + c
+}
+
+/// Adversarial cancellation input: mixes unit-scale values, huge
+/// near-cancelling ± pairs (magnitude up to 10¹⁴), and tiny values that
+/// a naive sum would absorb entirely into rounding.
+fn cancellation_input(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(len + 1);
+    while xs.len() < len {
+        match rng.gen_range(0..4u32) {
+            0 => {
+                let big = rng.gen_range(1e10..1e14) * if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                xs.push(big);
+                // Near-opposite partner, slightly perturbed so the pair
+                // leaves a small residual rather than cancelling exactly.
+                xs.push(-big * (1.0 + 1e-13 * rng.gen_range(-1.0..1.0)));
+            }
+            1 => xs.push(rng.gen_range(-1e-8..1e-8)),
+            _ => xs.push(rng.gen_range(-1.0..1.0)),
+        }
+    }
+    xs.truncate(len);
+    xs
+}
+
+/// Pairwise-summation error bound relative to the compensated
+/// reference: `ε · (base + log₂ n + C) · Σ|x|` with slack for the
+/// base-case lane accumulation.
+fn pairwise_tolerance(xs: &[f64]) -> f64 {
+    let sum_abs: f64 = xs.iter().map(|x| x.abs()).sum();
+    let log2n = (xs.len().max(2) as f64).log2();
+    f64::EPSILON * (160.0 + 4.0 * log2n) * sum_abs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `reduce::sum` stays within the pairwise error bound of the
+    /// Neumaier reference on cancellation-dominated inputs (a naive
+    /// running sum violates this bound on the same inputs).
+    #[test]
+    fn sum_matches_compensated_reference(len in 1usize..3000, seed in 0u64..100_000) {
+        let xs = cancellation_input(len, seed);
+        let got = reduce::sum(&xs);
+        let want = neumaier_sum(&xs);
+        let tol = pairwise_tolerance(&xs);
+        prop_assert!(
+            (got - want).abs() <= tol,
+            "n={len}: pairwise {got:e} vs compensated {want:e} (|Δ|={:e} > tol {:e})",
+            (got - want).abs(), tol
+        );
+    }
+
+    /// `mean` inherits the bound (it is `sum / n`).
+    #[test]
+    fn mean_matches_compensated_reference(len in 1usize..3000, seed in 0u64..100_000) {
+        let xs = cancellation_input(len, seed);
+        let got = reduce::mean(&xs);
+        let want = neumaier_sum(&xs) / len as f64;
+        prop_assert!((got - want).abs() <= pairwise_tolerance(&xs) / len as f64);
+    }
+
+    /// Two-pass `variance` with a pairwise squared-deviation pass stays
+    /// within the analogous bound of a fully compensated two-pass
+    /// reference.  (Squared deviations are non-negative, so `Σ|x|` of
+    /// the second pass is the sum itself — the bound is relative.)
+    #[test]
+    fn variance_matches_compensated_reference(len in 1usize..3000, seed in 0u64..100_000) {
+        let xs = cancellation_input(len, seed);
+        let got = reduce::variance(&xs);
+        // Reference: compensated mean, then compensated Σ(x−m)².
+        let m = neumaier_sum(&xs) / len as f64;
+        let sq: Vec<f64> = xs.iter().map(|&x| (x - m) * (x - m)).collect();
+        let want = neumaier_sum(&sq) / len as f64;
+        // The dominant error is forming (x − m)² at magnitude max|x−m|²,
+        // identical in both implementations; the summation error bound
+        // is relative to the (non-negative) sum of squares.
+        let tol = f64::EPSILON * (160.0 + 4.0 * (len.max(2) as f64).log2()) * want.max(1e-300)
+            + 1e-12 * want;
+        prop_assert!(
+            (got - want).abs() <= tol,
+            "n={len}: variance {got:e} vs {want:e}"
+        );
+    }
+
+    /// `log_sum_exp` through the vectorised shifted-exp kernel matches
+    /// a compensated max-shift reference to relative precision.
+    #[test]
+    fn log_sum_exp_matches_compensated_reference(len in 1usize..3000, seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x10F);
+        let xs: Vec<f64> = (0..len).map(|_| rng.gen_range(-400.0..400.0)).collect();
+        let got = reduce::log_sum_exp(&xs);
+        let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = xs.iter().map(|&x| (x - m).exp()).collect();
+        let want = m + neumaier_sum(&exps).ln();
+        prop_assert!(
+            (got - want).abs() <= 1e-12 * (1.0 + want.abs()),
+            "n={len}: {got} vs {want}"
+        );
+    }
+}
+
+/// A fixed worst case making the *motivation* concrete: the classic
+/// `[1, 1e16, −1e16, …]` pattern where a naive running sum returns 0.
+#[test]
+fn pairwise_survives_classic_cancellation_pattern() {
+    // Pairs (1e16, −1e16) interleaved with 1.0: true sum = count of 1s.
+    let mut xs = Vec::new();
+    for _ in 0..512 {
+        xs.push(1.0);
+        xs.push(1e16);
+        xs.push(-1e16);
+    }
+    let got = reduce::sum(&xs);
+    let want = neumaier_sum(&xs);
+    // Both must agree within the pairwise bound; and the compensated
+    // reference recovers the exact value.
+    assert_eq!(want, 512.0);
+    assert!(
+        (got - want).abs() <= pairwise_tolerance(&xs),
+        "pairwise sum {got} too far from {want}"
+    );
+}

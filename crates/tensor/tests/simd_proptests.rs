@@ -1,0 +1,331 @@
+//! Property tests for the runtime-dispatched SIMD backend.
+//!
+//! Three invariant classes:
+//!
+//! 1. **AVX2 arm ↔ portable arm** — the vector kernels and their scalar
+//!    twins are written operation-for-operation identically (same FMA
+//!    placement, same lane-striped accumulator layout, same horizontal
+//!    reduction order), so they must agree **bit-for-bit** on every
+//!    input, including non-lane-multiple lengths, the scalar tail, and
+//!    exceptional lanes (saturated, infinite, NaN).  This is stronger
+//!    than the ≤ 2 ULP contract the module documents.
+//! 2. **Packed GEMM remainder sweep** — the packed driver run with the
+//!    AVX2 8×4 microkernel equals the same driver run with the portable
+//!    twin bit-for-bit, and both match the naive triple loop to a
+//!    length-scaled tolerance, across shapes oscillating around every
+//!    blocking boundary (`MR_SIMD`/`NR_SIMD`/`KC` and the `MC` /
+//!    `NC_PACKED` outer blocks).
+//! 3. **Vendored `exp` accuracy** — ≤ 2 ULP against `f64::exp` over the
+//!    full finite range, including the overflow edge, the subnormal
+//!    regime, and the underflow edge.
+//!
+//! The cross-arm tests are skipped (they degenerate to trivially-true)
+//! when the host lacks AVX2+FMA or the `force-scalar` feature compiled
+//! the vector arm out — `simd::avx2_kernels()` returns `None` there.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vqmc_tensor::gemm::{self, gemm_reference, KC, MR_SIMD, NR_SIMD};
+use vqmc_tensor::simd::{self, Kernels};
+use vqmc_tensor::Matrix;
+
+/// Ordered-bits ULP distance (`0` for bitwise-equal or both-NaN).
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return if a.is_nan() && b.is_nan() { 0 } else { u64::MAX };
+    }
+    let to_ordered = |x: f64| {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN.wrapping_sub(bits) as u64
+        } else {
+            (bits as u64).wrapping_add(1 << 63)
+        }
+    };
+    to_ordered(a).abs_diff(to_ordered(b))
+}
+
+/// An input slice mixing the moderate range the kernels are tuned for
+/// with values that exercise every exceptional path: saturation bounds,
+/// overflow/underflow edges, infinities, zeros and NaN — scattered at
+/// random positions so they land in vector lanes *and* scalar tails.
+fn adversarial_input(len: usize, seed: u64) -> Vec<f64> {
+    const SPECIALS: &[f64] = &[
+        0.0,
+        -0.0,
+        1e-300,
+        -1e-300,
+        353.9,
+        -353.9,
+        354.1,
+        -354.1,
+        707.9,
+        -707.9,
+        708.1,
+        -708.1,
+        709.9,
+        -745.2,
+        1e4,
+        -1e4,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| match rng.gen_range(0..4u32) {
+            0 => SPECIALS[rng.gen_range(0..SPECIALS.len())],
+            1 => rng.gen_range(-700.0..700.0),
+            _ => rng.gen_range(-8.0..8.0),
+        })
+        .collect()
+}
+
+/// Asserts two slices are bitwise identical (NaN ≡ NaN).
+fn assert_bits_eq(got: &[f64], want: &[f64], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits() || (g.is_nan() && w.is_nan()),
+            "{label}[{i}]: {g:?} ({:#x}) != {w:?} ({:#x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+fn run_slice_kernel(k: &Kernels, which: usize, xs: &mut [f64]) {
+    match which {
+        0 => (k.sigmoid_slice)(xs),
+        1 => (k.log_sigmoid_slice)(xs),
+        2 => (k.ln_cosh_slice)(xs),
+        3 => (k.tanh_slice)(xs),
+        _ => (k.exp_slice)(xs),
+    }
+}
+
+const KERNEL_NAMES: [&str; 5] = ["sigmoid", "log_sigmoid", "ln_cosh", "tanh", "exp"];
+
+/// Uniform(-1, 1) matrix from a seed.
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// Shape oscillating around a tile/block boundary (see
+/// `kernel_proptests::near`).
+fn near(tile: usize, raw: usize) -> usize {
+    match raw % 8 {
+        0 => 0,
+        1 => 1,
+        2 => tile.saturating_sub(1),
+        3 => tile,
+        4 => tile + 1,
+        5 => 2 * tile + 3,
+        _ => raw % (2 * tile + 7),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every transcendental slice kernel agrees bit-for-bit between the
+    /// AVX2 arm and the portable arm, across lengths that are not lane
+    /// multiples and inputs hitting every exceptional path.
+    #[test]
+    fn slice_kernels_bit_identical_across_arms(len in 0usize..130, seed in 0u64..10_000, which in 0usize..5) {
+        if let Some(avx) = simd::avx2_kernels() {
+            let xs = adversarial_input(len, seed);
+            let mut v = xs.clone();
+            let mut s = xs;
+            run_slice_kernel(avx, which, &mut v);
+            run_slice_kernel(simd::portable_kernels(), which, &mut s);
+            assert_bits_eq(&v, &s, KERNEL_NAMES[which]);
+        }
+    }
+
+    /// The reduction kernels (`sum`, `sq_dev_sum`, `sum_exp_shifted`,
+    /// `dot`, `relu_dot`) agree bit-for-bit across arms — this is what
+    /// makes `reduce::sum`/`variance`/`log_sum_exp` backend-independent.
+    #[test]
+    fn reduction_kernels_bit_identical_across_arms(len in 0usize..130, seed in 0u64..10_000) {
+        if let Some(avx) = simd::avx2_kernels() {
+            let port = simd::portable_kernels();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+            let xs: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e3..1e3)).collect();
+            let ys: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e3..1e3)).collect();
+            let m = rng.gen_range(-10.0..10.0);
+
+            prop_assert_eq!((avx.sum)(&xs).to_bits(), (port.sum)(&xs).to_bits());
+            prop_assert_eq!((avx.sq_dev_sum)(&xs, m).to_bits(), (port.sq_dev_sum)(&xs, m).to_bits());
+            prop_assert_eq!((avx.dot)(&xs, &ys).to_bits(), (port.dot)(&xs, &ys).to_bits());
+            prop_assert_eq!((avx.relu_dot)(&xs, &ys).to_bits(), (port.relu_dot)(&xs, &ys).to_bits());
+            // Shifted exp sum: shift near max keeps arguments ≤ 0.
+            let shift = xs.iter().cloned().fold(0.0, f64::max);
+            prop_assert_eq!(
+                (avx.sum_exp_shifted)(&xs, shift).to_bits(),
+                (port.sum_exp_shifted)(&xs, shift).to_bits()
+            );
+
+            let mut ya = ys.clone();
+            let mut yp = ys.clone();
+            (avx.axpy)(&mut ya, m, &xs);
+            (port.axpy)(&mut yp, m, &xs);
+            assert_bits_eq(&ya, &yp, "axpy");
+            let mut ya = ys.clone();
+            let mut yp = ys;
+            (avx.xpby)(&mut ya, m, &xs);
+            (port.xpby)(&mut yp, m, &xs);
+            assert_bits_eq(&ya, &yp, "xpby");
+        }
+    }
+
+    /// The packed GEMM driver is microkernel-agnostic: the AVX2 8×4
+    /// kernel and its portable twin produce bit-identical C across
+    /// shapes oscillating around the `MR_SIMD`/`NR_SIMD`/`KC`
+    /// boundaries, and both match the naive reference.
+    #[test]
+    fn packed_gemm_remainder_sweep(mr in 0usize..64, nr in 0usize..64, kr in 0usize..512, seed in 0u64..1000) {
+        let (m, n, k) = (near(MR_SIMD, mr), near(NR_SIMD, nr), near(KC, kr));
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(n, k, seed ^ 0xAB);
+        let mut c_port = Matrix::zeros(0, 0);
+        gemm::gemm_nt_packed_with(&a, &b, &mut c_port, simd::portable_kernels().micro_8x4);
+        let want = gemm_reference(&a, &b.transpose());
+        let tol = 1e-12 * (1.0 + k as f64);
+        prop_assert!(c_port.max_abs_diff(&want) <= tol, "portable micro vs reference");
+        if let Some(avx) = simd::avx2_kernels() {
+            let mut c_avx = Matrix::zeros(0, 0);
+            gemm::gemm_nt_packed_with(&a, &b, &mut c_avx, avx.micro_8x4);
+            assert_bits_eq(c_avx.as_slice(), c_port.as_slice(), "packed nt micro");
+        }
+    }
+
+    /// Same sweep for the `nn` and `tn` packing variants (column
+    /// gather paths).
+    #[test]
+    fn packed_gemm_variants_remainder_sweep(mr in 0usize..64, nr in 0usize..64, k in 0usize..40, seed in 0u64..1000) {
+        let (m, n) = (near(MR_SIMD, mr), near(NR_SIMD, nr));
+        let a_nn = rand_matrix(m, k, seed);
+        let b_nn = rand_matrix(k, n, seed ^ 0x11);
+        let a_tn = rand_matrix(k, m, seed ^ 0x12);
+        let tol = 1e-12 * (1.0 + k as f64);
+
+        let port = simd::portable_kernels().micro_8x4;
+        let mut c_port = Matrix::zeros(0, 0);
+        gemm::gemm_nn_packed_with(&a_nn, &b_nn, &mut c_port, port);
+        prop_assert!(c_port.max_abs_diff(&gemm_reference(&a_nn, &b_nn)) <= tol, "packed nn");
+        if let Some(avx) = simd::avx2_kernels() {
+            let mut c_avx = Matrix::zeros(0, 0);
+            gemm::gemm_nn_packed_with(&a_nn, &b_nn, &mut c_avx, avx.micro_8x4);
+            assert_bits_eq(c_avx.as_slice(), c_port.as_slice(), "packed nn micro");
+        }
+
+        let mut c_port = Matrix::zeros(0, 0);
+        gemm::gemm_tn_packed_with(&a_tn, &b_nn, &mut c_port, port);
+        prop_assert!(c_port.max_abs_diff(&gemm_reference(&a_tn.transpose(), &b_nn)) <= tol, "packed tn");
+        if let Some(avx) = simd::avx2_kernels() {
+            let mut c_avx = Matrix::zeros(0, 0);
+            gemm::gemm_tn_packed_with(&a_tn, &b_nn, &mut c_avx, avx.micro_8x4);
+            assert_bits_eq(c_avx.as_slice(), c_port.as_slice(), "packed tn micro");
+        }
+    }
+}
+
+/// Deterministic crossings of the *outer* cache blocks (`MC` = 256
+/// output rows, `NC_PACKED` = 2048 output columns), too large for the
+/// randomized sweep.
+#[test]
+fn packed_gemm_crosses_outer_blocks() {
+    for &(m, n, k) in &[(259usize, 7usize, 301usize), (9, 2051, 5)] {
+        let a = rand_matrix(m, k, 42);
+        let b = rand_matrix(n, k, 43);
+        let mut c = Matrix::zeros(0, 0);
+        gemm::gemm_nt_packed_with(&a, &b, &mut c, simd::portable_kernels().micro_8x4);
+        let want = gemm_reference(&a, &b.transpose());
+        let tol = 1e-12 * (1.0 + k as f64);
+        assert!(
+            c.max_abs_diff(&want) <= tol,
+            "({m},{n},{k}): {:e}",
+            c.max_abs_diff(&want)
+        );
+        if let Some(avx) = simd::avx2_kernels() {
+            let mut c_avx = Matrix::zeros(0, 0);
+            gemm::gemm_nt_packed_with(&a, &b, &mut c_avx, avx.micro_8x4);
+            assert_bits_eq(c_avx.as_slice(), c.as_slice(), "outer-block micro");
+        }
+    }
+}
+
+/// Vendored `exp` stays within 2 ULP of `f64::exp` across the full
+/// finite range: dense near zero, log-spaced across the normal range,
+/// through the subnormal-result regime and both saturation edges.
+#[test]
+fn vendored_exp_full_range_ulp() {
+    let mut worst = (0u64, 0.0f64);
+    let mut check = |x: f64| {
+        let d = ulp_diff(simd::exp::exp(x), x.exp());
+        if d > worst.0 {
+            worst = (d, x);
+        }
+    };
+    // Dense near zero (reduction r ≈ x, n = 0 path).
+    let mut x = -1.0;
+    while x <= 1.0 {
+        check(x);
+        x += 1e-3;
+    }
+    // Whole normal range.
+    let mut x = -709.0;
+    while x <= 709.0 {
+        check(x);
+        check(x + 0.343);
+        x += 0.761;
+    }
+    // Subnormal results: exp(x) < 2^-1022 for x < -708.39.
+    let mut x = -745.13;
+    while x <= -708.0 {
+        check(x);
+        x += 0.0137;
+    }
+    // Saturation edges.
+    for &x in &[
+        709.782712893384,
+        709.7827128933841,
+        -745.1332191019412,
+        -745.133219101941,
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        5e-324,
+        -5e-324,
+    ] {
+        check(x);
+    }
+    assert!(
+        worst.0 <= 2,
+        "max ulp {} at x = {:?}",
+        worst.0,
+        worst.1
+    );
+    // Non-finite edges are exact.
+    assert_eq!(simd::exp::exp(f64::INFINITY), f64::INFINITY);
+    assert_eq!(simd::exp::exp(f64::NEG_INFINITY), 0.0);
+    assert!(simd::exp::exp(f64::NAN).is_nan());
+}
+
+/// The production dispatch only ever returns one of the two published
+/// tables, and honours the `VQMC_SIMD=off`/`force-scalar` overrides.
+#[test]
+fn dispatch_returns_a_published_table() {
+    let k = simd::kernels();
+    let is_portable = std::ptr::eq(k, simd::portable_kernels());
+    let is_avx = simd::avx2_kernels().map(|a| std::ptr::eq(k, a)).unwrap_or(false);
+    assert!(is_portable || is_avx, "kernels() returned an unknown table");
+    if cfg!(feature = "force-scalar") {
+        assert!(is_portable, "force-scalar must pin the portable arm");
+    }
+}
