@@ -1,0 +1,311 @@
+//! `vqmc-loadgen` — load generator for the `vqmc-serve` inference
+//! server. Measures sustained throughput and latency percentiles under
+//! two standard load models:
+//!
+//! * **closed loop** (default): `--connections` clients each issue
+//!   `--requests` back-to-back requests (a new request the moment the
+//!   previous reply lands). Offered load self-regulates to the server's
+//!   capacity — this is the mode the dynamic-batching speedup criterion
+//!   is judged in.
+//! * **open loop**: requests are fired on a fixed schedule
+//!   (`--rate` req/s split across the connections) regardless of
+//!   completions, so queueing delay shows up in the tail latencies
+//!   instead of throttling the client.
+//!
+//! Results append to a JSON array (default `BENCH_serving.json`):
+//!
+//! ```sh
+//! vqmc-cli serve --checkpoint model.ckpt --max-batch 64 &   # prints the address
+//! vqmc-loadgen --addr 127.0.0.1:PORT --connections 32 --requests 200 \
+//!              --count 16 --label batch64
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vqmc_serve::{Client, Request};
+use vqmc_tensor::SpinBatch;
+
+const USAGE: &str = "\
+vqmc-loadgen — load generator for vqmc-serve
+
+USAGE:
+  vqmc-loadgen --addr <host:port> [--flag value]...
+
+FLAGS:
+  --addr <host:port>   server address (required)
+  --mode closed|open   load model (default closed)
+  --connections <N>    concurrent client connections (default 8)
+  --requests <N>       requests per connection (default 100)
+  --rate <R>           open loop only: total offered req/s (default 500)
+  --op sample|logpsi|localenergy  request type (default sample)
+  --count <N>          rows per request (default 16)
+  --seed <N>           base seed for request payloads (default 0)
+  --warmup <N>         unrecorded warm-up requests per connection (default 5)
+  --label <s>          run label recorded in the JSON output
+  --out <path>         output JSON array (default BENCH_serving.json; 'none' to skip)
+  --shutdown true      send Shutdown to the server when done
+                       (with --requests 0: send it without any load)";
+
+#[derive(Clone)]
+struct Opts {
+    addr: String,
+    mode: String,
+    connections: usize,
+    requests: usize,
+    rate: f64,
+    op: String,
+    count: u32,
+    seed: u64,
+    warmup: usize,
+    label: String,
+    out: String,
+    shutdown: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flags = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(name) = args[i].strip_prefix("--") else {
+            return Err(format!("expected a --flag, found {:?}", args[i]));
+        };
+        if name == "help" || name == "h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("flag --{name} is missing its value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let opts = Opts {
+        addr: flags.get("addr").cloned().ok_or("--addr is required")?,
+        mode: get("mode", "closed"),
+        connections: get("connections", "8").parse().map_err(|_| "--connections")?,
+        requests: get("requests", "100").parse().map_err(|_| "--requests")?,
+        rate: get("rate", "500").parse().map_err(|_| "--rate")?,
+        op: get("op", "sample"),
+        count: get("count", "16").parse().map_err(|_| "--count")?,
+        seed: get("seed", "0").parse().map_err(|_| "--seed")?,
+        warmup: get("warmup", "5").parse().map_err(|_| "--warmup")?,
+        label: get("label", ""),
+        out: get("out", "BENCH_serving.json"),
+        shutdown: get("shutdown", "false") == "true",
+    };
+    if !matches!(opts.mode.as_str(), "closed" | "open") {
+        return Err(format!("--mode {:?} (closed|open)", opts.mode));
+    }
+    if !matches!(opts.op.as_str(), "sample" | "logpsi" | "localenergy") {
+        return Err(format!("--op {:?} (sample|logpsi|localenergy)", opts.op));
+    }
+    if opts.connections == 0 || opts.count == 0 {
+        return Err("--connections/--count must be positive".into());
+    }
+    if opts.requests == 0 && !opts.shutdown {
+        return Err("--requests 0 only makes sense with --shutdown true".into());
+    }
+    Ok(opts)
+}
+
+/// Builds the r-th request for connection c (deterministic payloads so
+/// runs are comparable).
+fn build_request(opts: &Opts, num_spins: usize, c: usize, r: usize) -> Request {
+    let seed = opts
+        .seed
+        .wrapping_add((c as u64) << 32)
+        .wrapping_add(r as u64);
+    match opts.op.as_str() {
+        "sample" => Request::Sample {
+            count: opts.count,
+            seed: Some(seed),
+        },
+        op => {
+            let batch = SpinBatch::from_fn(opts.count as usize, num_spins, |s, i| {
+                (seed as usize + s * 31 + i * 7).wrapping_mul(2654435761) as u8 & 1
+            });
+            if op == "logpsi" {
+                Request::LogPsi(batch)
+            } else {
+                Request::LocalEnergy(batch)
+            }
+        }
+    }
+}
+
+struct RunStats {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    wall: Duration,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+fn run(opts: &Opts, num_spins: usize) -> RunStats {
+    let errors = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    // Open loop: each connection fires on its own fixed schedule at
+    // rate/connections, offset so the aggregate arrivals interleave.
+    let per_conn_period = Duration::from_secs_f64(opts.connections as f64 / opts.rate);
+    let handles: Vec<_> = (0..opts.connections)
+        .map(|c| {
+            let opts = opts.clone();
+            let errors = Arc::clone(&errors);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&opts.addr[..]).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+                for w in 0..opts.warmup {
+                    let _ = client.call(&build_request(&opts, num_spins, c, usize::MAX - w));
+                }
+                let mut lats = Vec::with_capacity(opts.requests);
+                let open = opts.mode == "open";
+                let t0 = Instant::now();
+                let offset = per_conn_period.mul_f64(c as f64 / opts.connections as f64);
+                for r in 0..opts.requests {
+                    if open {
+                        let due = offset + per_conn_period.mul_f64(r as f64);
+                        if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                    }
+                    let req = build_request(&opts, num_spins, c, r);
+                    let t = Instant::now();
+                    match client.call(&req) {
+                        Ok(_) => lats.push(t.elapsed().as_micros() as u64),
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                lats
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::new();
+    for handle in handles {
+        latencies_us.extend(handle.join().expect("loadgen thread"));
+    }
+    let wall = started.elapsed();
+    latencies_us.sort_unstable();
+    RunStats {
+        ok: latencies_us.len() as u64,
+        errors: errors.load(Ordering::Relaxed),
+        latencies_us,
+        wall,
+    }
+}
+
+/// Appends one record to a JSON array file (creates it if missing).
+fn append_record(path: &str, record: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let head = trimmed
+                .strip_suffix(']')
+                .ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("{path} is not a JSON array"),
+                    )
+                })?
+                .trim_end();
+            if head == "[" {
+                format!("[\n{record}\n]\n")
+            } else {
+                format!("{head},\n{record}\n]\n")
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => format!("[\n{record}\n]\n"),
+        Err(e) => return Err(e),
+    };
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(1);
+        }
+    };
+
+    // One probe connection: model shape for payload construction.
+    let mut probe = Client::connect(&opts.addr[..]).expect("connect to server");
+    let (num_spins, kind) = probe.ping().expect("ping server");
+    println!(
+        "server at {} serves a {kind} model with {num_spins} spins",
+        opts.addr
+    );
+
+    // Shutdown-only invocation: skip the load phase entirely.
+    if opts.requests == 0 {
+        probe.shutdown().expect("shutdown server");
+        println!("  sent Shutdown");
+        return;
+    }
+
+    let stats = run(&opts, num_spins);
+    let throughput = stats.ok as f64 / stats.wall.as_secs_f64();
+    let row_throughput = throughput * opts.count as f64;
+    let (p50, p95, p99) = (
+        percentile(&stats.latencies_us, 50.0),
+        percentile(&stats.latencies_us, 95.0),
+        percentile(&stats.latencies_us, 99.0),
+    );
+    let mean_ms = if stats.latencies_us.is_empty() {
+        f64::NAN
+    } else {
+        stats.latencies_us.iter().sum::<u64>() as f64 / stats.latencies_us.len() as f64 / 1000.0
+    };
+    println!(
+        "{} loop, op {}: {} ok, {} errors in {:.3}s",
+        opts.mode, opts.op, stats.ok, stats.errors, stats.wall.as_secs_f64()
+    );
+    println!("  throughput : {throughput:>10.1} req/s  ({row_throughput:.0} rows/s)");
+    println!("  latency ms : p50 {p50:.3}  p95 {p95:.3}  p99 {p99:.3}  mean {mean_ms:.3}");
+
+    if opts.out != "none" {
+        let record = format!(
+            "{{\"label\": \"{}\", \"mode\": \"{}\", \"op\": \"{}\", \
+             \"connections\": {}, \"requests_per_conn\": {}, \"count\": {}, \
+             \"num_spins\": {}, \"ok\": {}, \"errors\": {}, \"wall_s\": {:.4}, \
+             \"throughput_rps\": {:.2}, \"rows_per_s\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"mean_ms\": {:.4}}}",
+            opts.label,
+            opts.mode,
+            opts.op,
+            opts.connections,
+            opts.requests,
+            opts.count,
+            num_spins,
+            stats.ok,
+            stats.errors,
+            stats.wall.as_secs_f64(),
+            throughput,
+            row_throughput,
+            p50,
+            p95,
+            p99,
+            mean_ms,
+        );
+        append_record(&opts.out, &record).expect("write output JSON");
+        println!("  recorded to {}", opts.out);
+    }
+
+    if opts.shutdown {
+        probe.shutdown().expect("shutdown server");
+        println!("  sent Shutdown");
+    }
+}

@@ -47,7 +47,12 @@ pub fn allreduce_mean_tree(mut vectors: Vec<Vector>, topo: &Topology) -> (Vector
         comm += step_cost;
         stride *= 2;
     }
-    vectors[0].scale(1.0 / l as f64);
+    // True division, not multiplication by a rounded reciprocal: for
+    // non-power-of-two L the reciprocal of `l` is inexact and
+    // `x * (1/l)` can differ from `x / l` by 1 ulp.
+    for x in vectors[0].as_mut_slice() {
+        *x /= l as f64;
+    }
 
     // Broadcast phase retraces the tree in reverse; same per-step cost
     // structure (rank 0 already holds the mean, receivers get copies).

@@ -57,50 +57,124 @@ pub trait Checkpoint: WaveFunction + Sized {
     /// Reads a checkpoint, validating the header.
     fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let mut f = std::fs::File::open(path)?;
+        let header = Header::read(&mut f)?;
+        if header.kind != Self::KIND {
+            return Err(bad(&format!(
+                "checkpoint holds a {:?} model, expected {:?}",
+                header.kind,
+                Self::KIND
+            )));
+        }
+        load_body::<Self>(&mut f, &header)
+    }
+}
+
+/// The parsed checkpoint header (everything before the parameter block).
+struct Header {
+    kind: String,
+    n: usize,
+    h: usize,
+    count: usize,
+}
+
+impl Header {
+    fn read(f: &mut impl Read) -> io::Result<Header> {
         let mut magic = [0u8; 4];
         f.read_exact(&mut magic)?;
         if &magic != MAGIC {
             return Err(bad("not a vqmc checkpoint (bad magic)"));
         }
-        let version = read_u32(&mut f)?;
+        let version = read_u32(f)?;
         if version != VERSION {
             return Err(bad(&format!("unsupported checkpoint version {version}")));
         }
-        let kind_len = read_u32(&mut f)? as usize;
+        let kind_len = read_u32(f)? as usize;
         if kind_len > 64 {
             return Err(bad("implausible kind-tag length"));
         }
         let mut kind = vec![0u8; kind_len];
         f.read_exact(&mut kind)?;
-        if kind != Self::KIND.as_bytes() {
-            return Err(bad(&format!(
-                "checkpoint holds a {:?} model, expected {:?}",
-                String::from_utf8_lossy(&kind),
-                Self::KIND
-            )));
+        let kind = String::from_utf8(kind).map_err(|_| bad("kind tag is not UTF-8"))?;
+        let n = read_u64(f)? as usize;
+        let h = read_u64(f)? as usize;
+        let count = read_u64(f)? as usize;
+        Ok(Header { kind, n, h, count })
+    }
+}
+
+/// Reads the parameter block that follows a validated [`Header`].
+fn load_body<M: Checkpoint>(f: &mut impl Read, header: &Header) -> io::Result<M> {
+    let (n, h, count) = (header.n, header.h, header.count);
+    let mut model = M::with_shape(n, h);
+    if count != model.num_params() {
+        return Err(bad(&format!(
+            "parameter count mismatch: file has {count}, shape ({n},{h}) wants {}",
+            model.num_params()
+        )));
+    }
+    let mut buf = vec![0u8; count * 8];
+    f.read_exact(&mut buf)?;
+    let params = Vector(
+        buf.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect(),
+    );
+    if !params.all_finite() {
+        return Err(bad("checkpoint contains non-finite parameters"));
+    }
+    model.set_params(&params);
+    Ok(model)
+}
+
+/// A checkpointed model of any supported kind, resolved from the file's
+/// own kind tag — the load hook servers and CLI tools use when the
+/// model architecture is not known ahead of time.
+#[derive(Debug)]
+pub enum AnyModel {
+    /// A MADE autoregressive wavefunction.
+    Made(Made),
+    /// An RBM wavefunction.
+    Rbm(Rbm),
+    /// A NADE autoregressive wavefunction.
+    Nade(Nade),
+}
+
+impl AnyModel {
+    /// The kind tag of the wrapped model.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnyModel::Made(_) => Made::KIND,
+            AnyModel::Rbm(_) => Rbm::KIND,
+            AnyModel::Nade(_) => Nade::KIND,
         }
-        let n = read_u64(&mut f)? as usize;
-        let h = read_u64(&mut f)? as usize;
-        let count = read_u64(&mut f)? as usize;
-        let mut model = Self::with_shape(n, h);
-        if count != model.num_params() {
-            return Err(bad(&format!(
-                "parameter count mismatch: file has {count}, shape ({n},{h}) wants {}",
-                model.num_params()
-            )));
+    }
+
+    /// The wrapped model as a [`WaveFunction`] trait object.
+    pub fn as_wavefunction(&self) -> &dyn WaveFunction {
+        match self {
+            AnyModel::Made(m) => m,
+            AnyModel::Rbm(m) => m,
+            AnyModel::Nade(m) => m,
         }
-        let mut buf = vec![0u8; count * 8];
-        f.read_exact(&mut buf)?;
-        let params = Vector(
-            buf.chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-                .collect(),
-        );
-        if !params.all_finite() {
-            return Err(bad("checkpoint contains non-finite parameters"));
-        }
-        model.set_params(&params);
-        Ok(model)
+    }
+
+    /// Number of spins of the wrapped model.
+    pub fn num_spins(&self) -> usize {
+        self.as_wavefunction().num_spins()
+    }
+}
+
+/// Loads a checkpoint of *any* supported kind, dispatching on the kind
+/// tag in the file header (single header read — no try-each-kind
+/// guessing, and error messages name the actual problem).
+pub fn load_any(path: impl AsRef<Path>) -> io::Result<AnyModel> {
+    let mut f = std::fs::File::open(path)?;
+    let header = Header::read(&mut f)?;
+    match header.kind.as_str() {
+        "made" => Ok(AnyModel::Made(load_body(&mut f, &header)?)),
+        "rbm" => Ok(AnyModel::Rbm(load_body(&mut f, &header)?)),
+        "nade" => Ok(AnyModel::Nade(load_body(&mut f, &header)?)),
+        other => Err(bad(&format!("unknown model kind {other:?} in checkpoint"))),
     }
 }
 
@@ -191,6 +265,46 @@ mod tests {
         let n2 = Nade::load(&p2).unwrap();
         assert_eq!(nade.params().as_slice(), n2.params().as_slice());
         std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn load_any_dispatches_on_kind_tag() {
+        let path = tmp("any");
+        let savers: Vec<(Box<dyn Fn(&std::path::Path)>, &str)> = vec![
+            (
+                Box::new(|p: &std::path::Path| Made::new(5, 8, 2).save(p).unwrap()),
+                "made",
+            ),
+            (
+                Box::new(|p: &std::path::Path| Rbm::new(5, 5, 2).save(p).unwrap()),
+                "rbm",
+            ),
+            (
+                Box::new(|p: &std::path::Path| Nade::new(5, 4, 2).save(p).unwrap()),
+                "nade",
+            ),
+        ];
+        for (save, expect) in savers {
+            save(&path);
+            let any = load_any(&path).unwrap();
+            assert_eq!(any.kind(), expect);
+            assert_eq!(any.num_spins(), 5);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_any_round_trips_parameters() {
+        let path = tmp("any-params");
+        let model = Made::new(6, 9, 42);
+        model.save(&path).unwrap();
+        match load_any(&path).unwrap() {
+            AnyModel::Made(m) => {
+                assert_eq!(m.params().as_slice(), model.params().as_slice())
+            }
+            other => panic!("expected made, got {}", other.kind()),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! A minimal blocking client for the serve protocol (used by the
+//! integration tests and `vqmc-loadgen`).
+
+use std::io::{self, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use vqmc_tensor::{SpinBatch, Vector};
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, ErrorCode, Request, Response,
+};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Malformed server reply.
+    Protocol(String),
+    /// The server answered with an error frame.
+    Server {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with the wrong response kind.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::Unexpected(m) => write!(f, "unexpected reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server error code, when the failure is a server error frame.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking connection to a vqmc-serve server.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    frame: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to the server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            frame: Vec::new(),
+        })
+    }
+
+    /// Sets a read timeout for replies (`None` blocks indefinitely).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and awaits the reply.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &encode_request(request))?;
+        if !read_frame(&mut self.reader, &mut self.frame)? {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        decode_response(&self.frame).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn expect_ok(response: Response) -> Result<Response, ClientError> {
+        match response {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Health check; returns `(num_spins, model kind)`.
+    pub fn ping(&mut self) -> Result<(usize, String), ClientError> {
+        match Self::expect_ok(self.call(&Request::Ping)?)? {
+            Response::Pong { num_spins, kind } => Ok((num_spins as usize, kind)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Ping"))),
+        }
+    }
+
+    /// Draws `count` samples; `seed` pins the reply bit-for-bit.
+    pub fn sample(
+        &mut self,
+        count: u32,
+        seed: Option<u64>,
+    ) -> Result<(SpinBatch, Vector), ClientError> {
+        match Self::expect_ok(self.call(&Request::Sample { count, seed })?)? {
+            Response::Samples { batch, log_psi } => Ok((batch, log_psi)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Sample"))),
+        }
+    }
+
+    /// Evaluates `logψ` on the given configurations.
+    pub fn log_psi(&mut self, batch: &SpinBatch) -> Result<Vector, ClientError> {
+        match Self::expect_ok(self.call(&Request::LogPsi(batch.clone()))?)? {
+            Response::Values(v) => Ok(v),
+            other => Err(ClientError::Unexpected(format!("{other:?} to LogPsi"))),
+        }
+    }
+
+    /// Evaluates local energies on the given configurations.
+    pub fn local_energy(&mut self, batch: &SpinBatch) -> Result<Vector, ClientError> {
+        match Self::expect_ok(self.call(&Request::LocalEnergy(batch.clone()))?)? {
+            Response::Values(v) => Ok(v),
+            other => Err(ClientError::Unexpected(format!(
+                "{other:?} to LocalEnergy"
+            ))),
+        }
+    }
+
+    /// Requests the graceful drain; returns once the server acks.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match Self::expect_ok(self.call(&Request::Shutdown)?)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Shutdown"))),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # vqmc-serve
+//!
+//! A dynamic-batching inference server for trained wavefunctions — the
+//! serving counterpart of the paper's §4 observation that exact (AUTO)
+//! sampling of an autoregressive wavefunction is embarrassingly
+//! batch-parallel.  Concurrent client requests are coalesced into
+//! *single* batched SIMD passes over the model, which is the same lever
+//! the paper pulls for multi-GPU training throughput, applied to
+//! serving: one forward pass for 64 coalesced requests costs barely
+//! more than one pass for a single request.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──TCP──▶ connection handlers ──▶ [ dynamic batcher ] ──▶ workers (Engine)
+//!                    (frame decode,           bounded queue,          one coalesced
+//!                     validation,             coalesce ≤ max_batch    SIMD pass per
+//!                     inline Ping)            or max_wait_us)         drained batch
+//! ```
+//!
+//! * [`protocol`] — length-prefixed binary frames: `Ping`, `Sample`,
+//!   `LogPsi`, `LocalEnergy`, `Shutdown`.
+//! * [`batcher`] — the coalescing bounded queue: admission control
+//!   (`Overloaded` instead of OOM), deadline propagation, graceful
+//!   drain.
+//! * [`engine`] — batched execution over a loaded checkpoint
+//!   ([`vqmc_nn::checkpoint::AnyModel`]); coalesced replies are
+//!   **bit-identical** to the single-request path (property-tested),
+//!   including `Sample`, which draws each request's bits from its own
+//!   seeded RNG stream inside one combined incremental AUTO pass.
+//! * [`server`] — the TCP front end: accept loop, per-connection
+//!   handlers, worker pool, drain-on-`Shutdown`.
+//! * [`client`] — a blocking client (integration tests, `vqmc-loadgen`).
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{Batcher, BatcherConfig, PushError, WorkItem};
+pub use client::{Client, ClientError};
+pub use engine::{Engine, SampleRequest};
+pub use protocol::{ErrorCode, Request, Response};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,403 @@
+//! The TCP server: accept loop, per-connection handlers, worker pool,
+//! admission control and graceful drain.
+//!
+//! Thread layout:
+//!
+//! ```text
+//! accept thread ──spawns──▶ connection handlers (one per client)
+//!                                  │  push (bounded)       ▲ reply
+//!                                  ▼                       │
+//!                            [ Batcher ] ──drain──▶ worker threads (Engine each)
+//! ```
+//!
+//! * A connection handler reads frames, answers `Ping` inline, resolves
+//!   seedless `Sample` requests to a concrete per-request seed, and
+//!   pushes everything else into the [`Batcher`] with a single-use
+//!   reply channel, blocking until the worker answers (so each
+//!   connection has at most one request in flight — concurrency comes
+//!   from concurrent connections, exactly like the load generator).
+//! * `Shutdown` triggers the graceful drain: the batcher closes (new
+//!   work is refused with `ShuttingDown`), workers finish everything
+//!   already admitted, the accept loop stops, and [`Server::join`]
+//!   returns once every thread has exited.  Every admitted request is
+//!   answered — the drain drops nothing.
+//! * Deadlines: every admitted request carries
+//!   `now + config.request_timeout`; a worker that drains an expired
+//!   item answers `DeadlineExceeded` without executing it.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vqmc_hamiltonian::{LocalEnergyConfig, SparseRowHamiltonian};
+use vqmc_nn::checkpoint::AnyModel;
+
+use crate::batcher::{Batcher, BatcherConfig, PushError, WorkItem};
+use crate::engine::Engine;
+use crate::protocol::{
+    self, decode_request, encode_response, ErrorCode, Request, Response,
+};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back via
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Batching knobs (max batch, fill wait, admission queue bound).
+    pub batcher: BatcherConfig,
+    /// Worker threads, each with its own [`Engine`] scratch.
+    pub workers: usize,
+    /// Per-request deadline measured from admission.
+    pub request_timeout: Duration,
+    /// Base seed for server-assigned sample seeds (seedless requests
+    /// get `splitmix64(base_seed + k)` for the k-th admission).
+    pub base_seed: u64,
+    /// Chunking for the local-energy neighbour passes.
+    pub local_energy: LocalEnergyConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batcher: BatcherConfig::default(),
+            workers: 1,
+            request_timeout: Duration::from_secs(2),
+            base_seed: 0,
+            local_energy: LocalEnergyConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    batcher: Batcher,
+    stop_accepting: AtomicBool,
+    seed_counter: AtomicU64,
+    base_seed: u64,
+    request_timeout: Duration,
+    num_spins: usize,
+    kind: &'static str,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Initiates the graceful drain (idempotent).
+    fn begin_shutdown(&self) {
+        self.stop_accepting.store(true, Ordering::SeqCst);
+        self.batcher.close();
+    }
+
+    fn next_seed(&self) -> u64 {
+        let k = self.seed_counter.fetch_add(1, Ordering::Relaxed);
+        splitmix64(self.base_seed.wrapping_add(k).wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// SplitMix64 finaliser — decorrelates consecutive admission counters
+/// into well-spread seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A running server; dropping it does **not** stop it — call
+/// [`Server::shutdown`] or send a `Shutdown` frame, then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `model` (and optionally `hamiltonian`,
+    /// required for `LocalEnergy` requests).
+    pub fn start(
+        model: AnyModel,
+        hamiltonian: Option<Arc<dyn SparseRowHamiltonian>>,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        // Polled non-blocking accept: the drain signal must be able to
+        // stop the loop without an extra wake-up connection.
+        listener.set_nonblocking(true)?;
+
+        let kind = match &model {
+            AnyModel::Made(_) => "made",
+            AnyModel::Rbm(_) => "rbm",
+            AnyModel::Nade(_) => "nade",
+        };
+        let model = Arc::new(model);
+        let shared = Arc::new(Shared {
+            batcher: Batcher::new(config.batcher),
+            stop_accepting: AtomicBool::new(false),
+            seed_counter: AtomicU64::new(0),
+            base_seed: config.base_seed,
+            request_timeout: config.request_timeout,
+            num_spins: model.num_spins(),
+            kind,
+            conn_handles: Mutex::new(Vec::new()),
+        });
+
+        let workers = config.workers.max(1);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            let mut engine = Engine::new(
+                Arc::clone(&model),
+                hamiltonian.clone(),
+                config.local_energy,
+            );
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("vqmc-serve-worker-{w}"))
+                    .spawn(move || {
+                        while let Some(batch) = shared.batcher.next_batch() {
+                            engine.execute(batch);
+                        }
+                    })?,
+            );
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("vqmc-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Initiates the graceful drain from the hosting process (same
+    /// effect as a client `Shutdown` frame).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server has fully drained and every thread has
+    /// exited.  Returns only after a shutdown was initiated.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self
+            .shared
+            .conn_handles
+            .lock()
+            .unwrap()
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stop_accepting.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("vqmc-serve-conn".into())
+                    .spawn(move || connection_loop(stream, conn_shared));
+                if let Ok(h) = handle {
+                    shared.conn_handles.lock().unwrap().push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Outcome of one timeout-aware frame read.
+enum FrameRead {
+    /// A complete frame is in the buffer.
+    Frame,
+    /// EOF, drain-while-idle, or a transport error — close the
+    /// connection.
+    Close,
+}
+
+/// Reads one frame on a stream with a short read timeout, preserving
+/// partial progress across timeouts (a plain `read_exact` would lose
+/// already-consumed bytes and corrupt the framing).  While *idle*
+/// (zero bytes of the next frame read), a drain signal closes the
+/// connection; mid-frame, the read keeps waiting for the client.
+fn read_frame_idle(
+    reader: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shared: &Shared,
+) -> FrameRead {
+    let mut len_bytes = [0u8; 4];
+    match fill(reader, &mut len_bytes, shared, true) {
+        FillOutcome::Full => {}
+        FillOutcome::Close => return FrameRead::Close,
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > protocol::MAX_FRAME_LEN {
+        return FrameRead::Close;
+    }
+    buf.resize(len, 0);
+    match fill(reader, buf, shared, false) {
+        FillOutcome::Full => FrameRead::Frame,
+        FillOutcome::Close => FrameRead::Close,
+    }
+}
+
+enum FillOutcome {
+    Full,
+    Close,
+}
+
+fn fill(
+    reader: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    idle_at_start: bool,
+) -> FillOutcome {
+    use std::io::Read;
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return FillOutcome::Close, // EOF (mid-frame = truncation)
+            Ok(k) => filled += k,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                let idle = idle_at_start && filled == 0;
+                if idle && shared.stop_accepting.load(Ordering::SeqCst) {
+                    return FillOutcome::Close; // draining and client idle
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return FillOutcome::Close,
+        }
+    }
+    FillOutcome::Full
+}
+
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    // Finite read timeout so the handler notices the drain signal even
+    // while a client holds the connection open without sending.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = stream.try_clone().expect("clone TCP stream");
+    let mut writer = io::BufWriter::new(stream);
+    let mut frame = Vec::new();
+
+    loop {
+        match read_frame_idle(&mut reader, &mut frame, &shared) {
+            FrameRead::Frame => {}
+            FrameRead::Close => break,
+        }
+        let response = match decode_request(&frame) {
+            Err(e) => Some(Response::error(ErrorCode::BadRequest, e.to_string())),
+            Ok(Request::Ping) => Some(Response::Pong {
+                num_spins: shared.num_spins as u32,
+                kind: shared.kind.into(),
+            }),
+            Ok(Request::Shutdown) => {
+                shared.begin_shutdown();
+                Some(Response::ShutdownAck)
+            }
+            Ok(request) => Some(handle_batched(request, &shared)),
+        };
+        if let Some(response) = response {
+            if protocol::write_frame(&mut writer, &encode_response(&response)).is_err() {
+                break;
+            }
+            let shutting_down = matches!(response, Response::ShutdownAck);
+            if shutting_down {
+                // Ack delivered; the drain will close this connection.
+                break;
+            }
+        }
+        // After a drain begins, in-flight work above was still answered;
+        // stop reading further requests and release the connection.
+        if shared.stop_accepting.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    let _ = writer.flush();
+}
+
+/// Validates, seeds, enqueues and awaits one batchable request.
+fn handle_batched(mut request: Request, shared: &Shared) -> Response {
+    // Shape validation happens here, before admission, so malformed
+    // requests never occupy queue capacity.
+    match &mut request {
+        Request::Sample { count, seed } => {
+            if *count == 0 {
+                return Response::error(
+                    ErrorCode::BadRequest,
+                    "sample count must be positive",
+                );
+            }
+            if seed.is_none() {
+                *seed = Some(shared.next_seed());
+            }
+        }
+        Request::LogPsi(batch) | Request::LocalEnergy(batch) => {
+            if batch.num_spins() != shared.num_spins {
+                return Response::error(
+                    ErrorCode::BadRequest,
+                    format!(
+                        "batch has {} spins but the model has {}",
+                        batch.num_spins(),
+                        shared.num_spins
+                    ),
+                );
+            }
+            if batch.batch_size() == 0 {
+                return Response::Values(Default::default());
+            }
+        }
+        _ => unreachable!("Ping/Shutdown handled inline"),
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let item = WorkItem {
+        request,
+        reply: tx,
+        deadline: Instant::now() + shared.request_timeout,
+    };
+    match shared.batcher.push(item) {
+        Ok(()) => {}
+        Err((_, PushError::Overloaded)) => {
+            return Response::error(ErrorCode::Overloaded, "admission queue is full")
+        }
+        Err((_, PushError::ShuttingDown)) => {
+            return Response::error(ErrorCode::ShuttingDown, "server is draining")
+        }
+    }
+    // Workers always answer admitted items (drain included); the
+    // generous timeout only guards against a crashed worker.
+    match rx.recv_timeout(shared.request_timeout + Duration::from_secs(30)) {
+        Ok(response) => response,
+        Err(_) => Response::error(ErrorCode::Internal, "worker did not answer"),
+    }
+}

@@ -1,0 +1,365 @@
+//! End-to-end tests of the serving stack over real localhost TCP:
+//! coalescing identity (batched replies bit-identical to the
+//! single-request path), backpressure, deadlines, and graceful drain.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use vqmc_nn::checkpoint::AnyModel;
+use vqmc_nn::Made;
+use vqmc_serve::{BatcherConfig, Client, ErrorCode, ServeConfig, Server};
+use vqmc_tensor::SpinBatch;
+
+fn start_server(n: usize, h: usize, model_seed: u64, batcher: BatcherConfig) -> Server {
+    let model = AnyModel::Made(Made::new(n, h, model_seed));
+    let ham: Arc<dyn vqmc_hamiltonian::SparseRowHamiltonian> =
+        Arc::new(vqmc_hamiltonian::TransverseFieldIsing::random(n, 2021));
+    Server::start(
+        model,
+        Some(ham),
+        ServeConfig {
+            batcher,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn coalescing_config() -> BatcherConfig {
+    // A long fill window guarantees concurrent requests actually land
+    // in one worker batch.
+    BatcherConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(50),
+        queue_cap: 1024,
+    }
+}
+
+/// K concurrent seeded requests (forced into one coalesced batch) must
+/// produce byte-identical replies to the same K requests issued
+/// sequentially (drained as singleton batches).
+#[test]
+fn coalesced_replies_bit_identical_to_sequential() {
+    let server = start_server(8, 12, 5, coalescing_config());
+    let addr = server.local_addr();
+
+    let k = 6;
+    // Sequential reference: one connection, one request at a time.
+    let mut reference = Vec::new();
+    {
+        let mut client = Client::connect(addr).unwrap();
+        for r in 0..k {
+            let sample = client.sample(3 + r as u32, Some(100 + r as u64)).unwrap();
+            let batch = SpinBatch::from_fn(4, 8, |s, i| ((s + i + r) % 2) as u8);
+            let lp = client.log_psi(&batch).unwrap();
+            let le = client.local_energy(&batch).unwrap();
+            reference.push((sample, lp, le));
+        }
+    }
+
+    // Concurrent run: K threads released together so the batcher
+    // coalesces them.
+    for round in 0..3 {
+        let barrier = Arc::new(Barrier::new(k));
+        let handles: Vec<_> = (0..k)
+            .map(|r| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    barrier.wait();
+                    let sample = client.sample(3 + r as u32, Some(100 + r as u64)).unwrap();
+                    let batch = SpinBatch::from_fn(4, 8, |s, i| ((s + i + r) % 2) as u8);
+                    let lp = client.log_psi(&batch).unwrap();
+                    let le = client.local_energy(&batch).unwrap();
+                    (r, sample, lp, le)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (r, sample, lp, le) = handle.join().unwrap();
+            let (ref_sample, ref_lp, ref_le) = &reference[r];
+            assert_eq!(
+                sample.0.as_bytes(),
+                ref_sample.0.as_bytes(),
+                "round {round} req {r}: sampled configurations differ"
+            );
+            for s in 0..sample.1.len() {
+                assert_eq!(
+                    sample.1[s].to_bits(),
+                    ref_sample.1[s].to_bits(),
+                    "round {round} req {r}: sample logψ differs at {s}"
+                );
+            }
+            for s in 0..lp.len() {
+                assert_eq!(
+                    lp[s].to_bits(),
+                    ref_lp[s].to_bits(),
+                    "round {round} req {r}: logψ differs at {s}"
+                );
+                assert_eq!(
+                    le[s].to_bits(),
+                    ref_le[s].to_bits(),
+                    "round {round} req {r}: local energy differs at {s}"
+                );
+            }
+        }
+    }
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    server.join();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random coalescing shapes: request sizes, seeds and model shape.
+    /// Server replies must match the solo replies bit-for-bit.
+    #[test]
+    fn coalescing_identity_holds_for_random_shapes(
+        n in 3usize..10,
+        h in 2usize..14,
+        model_seed in 0u64..500,
+        nreq in 2usize..5,
+        seed0 in 0u64..10_000,
+    ) {
+        // Request sizes derived from the seed (the vendored proptest
+        // stub has no collection strategies).
+        let counts: Vec<u32> = (0..nreq)
+            .map(|r| 1 + ((seed0 >> (5 * r)) % 11) as u32)
+            .collect();
+        let server = start_server(n, h, model_seed, coalescing_config());
+        let addr = server.local_addr();
+
+        let mut reference = Vec::new();
+        {
+            let mut client = Client::connect(addr).unwrap();
+            for (r, &count) in counts.iter().enumerate() {
+                reference.push(client.sample(count, Some(seed0 + r as u64)).unwrap());
+            }
+        }
+
+        let barrier = Arc::new(Barrier::new(counts.len()));
+        let handles: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(r, &count)| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    barrier.wait();
+                    (r, client.sample(count, Some(seed0 + r as u64)).unwrap())
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (r, got) = handle.join().unwrap();
+            prop_assert_eq!(got.0.as_bytes(), reference[r].0.as_bytes());
+            for s in 0..got.1.len() {
+                prop_assert_eq!(got.1[s].to_bits(), reference[r].1[s].to_bits());
+            }
+        }
+        Client::connect(addr).unwrap().shutdown().unwrap();
+        server.join();
+    }
+}
+
+/// A saturated bounded queue must answer `Overloaded` — never hang,
+/// never crash, never drop a connection.
+#[test]
+fn overload_returns_error_not_hang() {
+    let server = start_server(
+        10,
+        16,
+        1,
+        BatcherConfig {
+            max_batch: 1,
+            max_wait: Duration::from_micros(0),
+            // Tiny admission bound so the flood saturates it.
+            queue_cap: 2,
+        },
+    );
+    let addr = server.local_addr();
+
+    let clients = 16;
+    let per_client = 8;
+    let overloaded = Arc::new(AtomicUsize::new(0));
+    let ok = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let overloaded = Arc::clone(&overloaded);
+            let ok = Arc::clone(&ok);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                for r in 0..per_client {
+                    // Large-ish draws keep the single worker busy so the
+                    // queue actually fills.
+                    match client.sample(512, Some((c * per_client + r) as u64)) {
+                        Ok((batch, _)) => {
+                            assert_eq!(batch.batch_size(), 512);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            assert_eq!(
+                                e.server_code(),
+                                Some(ErrorCode::Overloaded),
+                                "only Overloaded is acceptable: {e}"
+                            );
+                            overloaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("no client may hang or crash");
+    }
+    let (ok, overloaded) = (ok.load(Ordering::Relaxed), overloaded.load(Ordering::Relaxed));
+    assert_eq!(ok + overloaded, clients * per_client, "every request answered");
+    assert!(ok > 0, "some requests must succeed");
+    assert!(
+        overloaded > 0,
+        "the tiny queue must refuse some of the flood ({ok} ok)"
+    );
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    server.join();
+}
+
+/// With a zero request timeout every queued request expires before
+/// execution and is answered `DeadlineExceeded`.
+#[test]
+fn expired_deadline_answered_not_executed() {
+    let model = AnyModel::Made(Made::new(6, 8, 2));
+    let server = Server::start(
+        model,
+        None,
+        ServeConfig {
+            request_timeout: Duration::from_secs(0),
+            batcher: BatcherConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(5),
+                queue_cap: 64,
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let err = client.sample(4, Some(1)).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::DeadlineExceeded), "{err}");
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// Graceful drain: every request admitted before the shutdown gets a
+/// real reply; requests after it get `ShuttingDown`; `join` returns.
+#[test]
+fn graceful_drain_answers_all_in_flight() {
+    let server = start_server(
+        10,
+        16,
+        3,
+        BatcherConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 1024,
+        },
+    );
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicUsize::new(0)); // 0 = running, 1 = draining seen
+    let answered = Arc::new(AtomicUsize::new(0));
+    let clients = 8;
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                for r in 0..50 {
+                    match client.sample(64, Some((c * 100 + r) as u64)) {
+                        Ok(_) => {
+                            answered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            // After the drain begins only ShuttingDown /
+                            // a closed connection are acceptable.
+                            if let Some(code) = e.server_code() {
+                                assert!(
+                                    matches!(
+                                        code,
+                                        ErrorCode::ShuttingDown | ErrorCode::Overloaded
+                                    ),
+                                    "unexpected error during drain: {e}"
+                                );
+                            }
+                            stop.store(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let traffic build up, then pull the plug mid-stream.
+    std::thread::sleep(Duration::from_millis(30));
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    for handle in handles {
+        handle.join().expect("no client may hang through the drain");
+    }
+    assert!(
+        answered.load(Ordering::Relaxed) > 0,
+        "some requests must have completed before the drain"
+    );
+    server.join(); // must return — all threads exit after the drain
+}
+
+/// Ping reports the served model; bad requests get BadRequest and the
+/// connection stays usable.
+#[test]
+fn ping_and_bad_request_handling() {
+    let server = start_server(7, 9, 4, BatcherConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let (n, kind) = client.ping().unwrap();
+    assert_eq!((n, kind.as_str()), (7, "made"));
+
+    // Wrong spin count → BadRequest, connection still fine.
+    let err = client.log_psi(&SpinBatch::zeros(2, 5)).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::BadRequest), "{err}");
+    let (batch, log_psi) = client.sample(3, Some(9)).unwrap();
+    assert_eq!(batch.batch_size(), 3);
+    assert_eq!(log_psi.len(), 3);
+
+    // Zero-count sample → BadRequest.
+    let err = client.sample(0, None).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::BadRequest), "{err}");
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// Seedless samples are served (server picks distinct streams).
+#[test]
+fn seedless_samples_draw_distinct_streams() {
+    let server = start_server(12, 10, 6, BatcherConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let (a, _) = client.sample(32, None).unwrap();
+    let (b, _) = client.sample(32, None).unwrap();
+    assert_ne!(
+        a.as_bytes(),
+        b.as_bytes(),
+        "independent seedless draws should differ"
+    );
+    client.shutdown().unwrap();
+    server.join();
+}

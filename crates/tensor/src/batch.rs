@@ -51,9 +51,30 @@ impl SpinBatch {
         }
     }
 
+    /// Builds a batch from a contiguous row-major byte slice (one byte
+    /// per spin, values 0 or 1).  Bulk copy — the fast path for wire
+    /// decode, where `from_fn`'s per-element closure is measurable at
+    /// serving batch sizes.
+    pub fn from_bytes(batch_size: usize, num_spins: usize, bytes: &[u8]) -> Self {
+        assert_eq!(
+            bytes.len(),
+            batch_size * num_spins,
+            "SpinBatch::from_bytes: length mismatch"
+        );
+        debug_assert!(
+            bytes.iter().all(|&b| b <= 1),
+            "SpinBatch entries must be 0 or 1"
+        );
+        SpinBatch {
+            batch_size,
+            num_spins,
+            data: bytes.to_vec(),
+        }
+    }
+
     /// Builds a single-sample batch from a configuration slice.
     pub fn from_single(config: &[u8]) -> Self {
-        SpinBatch::from_fn(1, config.len(), |_, i| config[i])
+        SpinBatch::from_bytes(1, config.len(), config)
     }
 
     /// Concatenates batches with identical `num_spins` along the batch

@@ -102,7 +102,7 @@ fn give_pack(buf: Vec<f64>) {
 /// to a vector arm.
 fn packed_micro() -> Option<MicroKernel> {
     let k = simd::kernels();
-    (k.backend == simd::Backend::Avx2Fma).then_some(k.micro_8x4)
+    (k.backend != simd::Backend::Scalar).then_some(k.micro_8x4)
 }
 
 /// Gathers *rows* `[r0, r0+rc)` (k-slice `[l0, l0+lc)`) of a row-major

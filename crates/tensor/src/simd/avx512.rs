@@ -1,0 +1,134 @@
+//! AVX-512 kernels (runtime-detected, x86_64 only).
+//!
+//! Only the kernels where 512-bit vectors pay for themselves live
+//! here; the rest of the AVX-512 table reuses the AVX2+FMA
+//! implementations (detection of `avx512f` is gated on `avx2`+`fma`
+//! also being present, so that reuse is sound).  Today that is the
+//! batched-sampling panel kernel [`sample_step_cols`], whose inner
+//! loop is pure FP µop pressure: eight rows per vector halve the op
+//! count per element versus the AVX2 arm.
+//!
+//! # Safety
+//! Every function is `unsafe` and must only be called after
+//! `is_x86_feature_detected!` has confirmed `avx512f` (plus `avx2` and
+//! `fma` for the shared table entries).
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// Fused batched AUTO bit step over a transposed `h×b` activation
+/// panel; twin of `portable::sample_step_cols` and
+/// `avx2::sample_step_cols`, vectorised eight rows wide.
+///
+/// The masked `+w_prev[j]` update uses `_mm512_mask_add_pd` with the
+/// panel value as pass-through, so masked-off rows keep their stored
+/// bits exactly (including `-0.0`, matching the row path's skipped
+/// `axpy`).  Per row the accumulation order — four lane stripes over
+/// aligned blocks of 4 hidden units, a sequential tail, the
+/// `((a0+a1)+(a2+a3))+tail` combine, then `bias + Σ` — is the same as
+/// both other arms', so results are bit-identical.
+#[target_feature(enable = "avx512f")]
+pub unsafe fn sample_step_cols(
+    zt: &mut [f64],
+    b: usize,
+    w_prev: Option<&[f64]>,
+    prev_mask: &[f64],
+    w_out: &[f64],
+    bias: f64,
+    scratch: &mut [f64],
+    logits: &mut [f64],
+) {
+    let h = w_out.len();
+    debug_assert_eq!(zt.len(), h * b);
+    debug_assert_eq!(prev_mask.len(), b);
+    debug_assert_eq!(logits.len(), b);
+    let _ = scratch; // register accumulators; scratch is a portable-arm concern
+    let n4 = h - h % 4;
+    let pz = zt.as_mut_ptr();
+    let pm = prev_mask.as_ptr();
+    let po = w_out.as_ptr();
+    let wp = w_prev.map(|w| w.as_ptr());
+    let zero = _mm512_setzero_pd();
+    let half = _mm512_set1_pd(0.5);
+    let mut r = 0;
+    while r + 8 <= b {
+        let k: __mmask8 = _mm512_cmp_pd_mask(_mm512_loadu_pd(pm.add(r)), half, _CMP_GT_OQ);
+        let (mut a0, mut a1, mut a2, mut a3, mut at) = (zero, zero, zero, zero, zero);
+        // One hidden unit: masked update + striped fused accumulate.
+        macro_rules! step {
+            ($acc:ident, $j:expr) => {{
+                let j = $j;
+                let p = pz.add(j * b + r);
+                let mut z = _mm512_loadu_pd(p);
+                if let Some(w) = wp {
+                    z = _mm512_mask_add_pd(z, k, z, _mm512_set1_pd(*w.add(j)));
+                    _mm512_storeu_pd(p, z);
+                }
+                let zp = _mm512_max_pd(z, zero);
+                $acc = _mm512_fmadd_pd(_mm512_set1_pd(*po.add(j)), zp, $acc);
+            }};
+        }
+        // First row block only: stage the *next* bit's weight rows
+        // (contiguous at `base + h` in both matrices) into L2 while
+        // this bit computes.  Prefetches past the final row are
+        // harmless hints, formed with wrapping pointer arithmetic.
+        let mut j = 0;
+        if r == 0 {
+            while j + 4 <= n4 {
+                if j % 8 == 0 {
+                    let line = (h + j) as isize * 8;
+                    _mm_prefetch(po.cast::<i8>().wrapping_offset(line), _MM_HINT_T1);
+                    if let Some(w) = wp {
+                        _mm_prefetch(w.cast::<i8>().wrapping_offset(line), _MM_HINT_T1);
+                    }
+                }
+                step!(a0, j);
+                step!(a1, j + 1);
+                step!(a2, j + 2);
+                step!(a3, j + 3);
+                j += 4;
+            }
+        }
+        while j + 4 <= n4 {
+            step!(a0, j);
+            step!(a1, j + 1);
+            step!(a2, j + 2);
+            step!(a3, j + 3);
+            j += 4;
+        }
+        while j < h {
+            step!(at, j);
+            j += 1;
+        }
+        let s = _mm512_add_pd(_mm512_add_pd(a0, a1), _mm512_add_pd(a2, a3));
+        let sum = _mm512_add_pd(s, at);
+        _mm512_storeu_pd(
+            logits.as_mut_ptr().add(r),
+            _mm512_add_pd(_mm512_set1_pd(bias), sum),
+        );
+        r += 8;
+    }
+    // Remaining rows (b % 8): scalar, same per-row order.
+    while r < b {
+        let take = wp.is_some() && prev_mask[r] > 0.5;
+        let mut acc = [0.0f64; 4];
+        let mut tail = 0.0;
+        for j in 0..h {
+            let p = pz.add(j * b + r);
+            let mut z = *p;
+            if take {
+                z += *wp.unwrap_unchecked().add(j);
+                *p = z;
+            }
+            let zp = if z > 0.0 { z } else { 0.0 };
+            let wo = *po.add(j);
+            if j < n4 {
+                acc[j % 4] = wo.mul_add(zp, acc[j % 4]);
+            } else {
+                tail = wo.mul_add(zp, tail);
+            }
+        }
+        logits[r] = bias + (((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail);
+        r += 1;
+    }
+}

@@ -19,9 +19,12 @@
 //! 1. `--features force-scalar`, or a non-x86_64 target → portable arm
 //!    (the AVX2 module is not even compiled).
 //! 2. `VQMC_SIMD` set to `off`/`0`/`scalar`/`false` (case-insensitive)
-//!    → portable arm (runtime kill-switch, read once).
-//! 3. `avx2` **and** `fma` detected → AVX2 arm.
-//! 4. Otherwise → portable arm.
+//!    → portable arm (runtime kill-switch, read once); `VQMC_SIMD=avx2`
+//!    caps the dispatch at the AVX2 table.
+//! 3. `avx512f` (with `avx2`+`fma`) detected → AVX-512 table: the AVX2
+//!    kernels plus 512-bit overrides where they pay ([`avx512`]).
+//! 4. `avx2` **and** `fma` detected → AVX2 arm.
+//! 5. Otherwise → portable arm.
 //!
 //! The resolution runs once per process; the `OnceLock` initialisation
 //! (including the `env::var` read) happens on the first kernel call,
@@ -44,9 +47,15 @@ pub mod portable;
 #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
 pub mod avx2;
 
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+pub mod avx512;
+
 /// Which kernel arm the dispatch resolved to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
+    /// AVX2+FMA table with AVX-512 overrides where they pay
+    /// (runtime-detected; requires `avx512f` on top of `avx2`+`fma`).
+    Avx512,
     /// AVX2+FMA vector kernels (runtime-detected).
     Avx2Fma,
     /// Portable scalar kernels (fallback / `force-scalar` / `VQMC_SIMD=off`).
@@ -87,6 +96,14 @@ pub struct Kernels {
     pub xpby: fn(&mut [f64], f64, &[f64]),
     /// `Σ w·max(z, 0)` (incremental-sampler logit).
     pub relu_dot: fn(&[f64], &[f64]) -> f64,
+    /// Fused batched AUTO bit step over a transposed `h×b` activation
+    /// panel: masked `+w_prev[j]` column update + per-row
+    /// `Σⱼ w_out[j]·max(z,0)` in one memory pass.  Per-row results are
+    /// bit-identical to `axpy` + `relu_dot` on that row alone.
+    /// `(zt, b, w_prev, prev_mask, w_out, bias, scratch ≥ 5·b, logits)`;
+    /// `logits[r] = bias + Σ` matches the row path's `b2[i] + relu_dot`.
+    pub sample_step_cols:
+        fn(&mut [f64], usize, Option<&[f64]>, &[f64], &[f64], f64, &mut [f64], &mut [f64]),
     /// Plain lane-striped sum (pairwise-summation base block).
     pub sum: fn(&[f64]) -> f64,
     /// `Σ (x−m)²` (variance base block).
@@ -109,6 +126,7 @@ static PORTABLE: Kernels = Kernels {
     axpy: portable::axpy,
     xpby: portable::xpby,
     relu_dot: portable::relu_dot,
+    sample_step_cols: portable::sample_step_cols,
     sum: portable::sum_slice,
     sq_dev_sum: portable::sq_dev_sum,
     sum_exp_shifted: portable::sum_exp_shifted,
@@ -156,6 +174,19 @@ mod avx2_table {
     fn relu_dot(w: &[f64], z: &[f64]) -> f64 {
         unsafe { avx2::relu_dot(w, z) }
     }
+    #[allow(clippy::too_many_arguments)]
+    fn sample_step_cols(
+        zt: &mut [f64],
+        b: usize,
+        w_prev: Option<&[f64]>,
+        prev_mask: &[f64],
+        w_out: &[f64],
+        bias: f64,
+        scratch: &mut [f64],
+        logits: &mut [f64],
+    ) {
+        unsafe { avx2::sample_step_cols(zt, b, w_prev, prev_mask, w_out, bias, scratch, logits) }
+    }
     fn sum(xs: &[f64]) -> f64 {
         unsafe { avx2::sum_slice(xs) }
     }
@@ -177,10 +208,39 @@ mod avx2_table {
         axpy,
         xpby,
         relu_dot,
+        sample_step_cols,
         sum,
         sq_dev_sum,
         sum_exp_shifted,
         micro_8x4: avx2::micro_8x4 as MicroKernel,
+    };
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+mod avx512_table {
+    use super::*;
+
+    // Safe shim: only installed after `is_x86_feature_detected!`
+    // confirmed avx512f (and avx2+fma for the inherited entries).
+    #[allow(clippy::too_many_arguments)]
+    fn sample_step_cols(
+        zt: &mut [f64],
+        b: usize,
+        w_prev: Option<&[f64]>,
+        prev_mask: &[f64],
+        w_out: &[f64],
+        bias: f64,
+        scratch: &mut [f64],
+        logits: &mut [f64],
+    ) {
+        unsafe { avx512::sample_step_cols(zt, b, w_prev, prev_mask, w_out, bias, scratch, logits) }
+    }
+
+    /// The AVX2 table with AVX-512 overrides.
+    pub(super) static AVX512: Kernels = Kernels {
+        backend: Backend::Avx512,
+        sample_step_cols,
+        ..avx2_table::AVX2
     };
 }
 
@@ -196,20 +256,42 @@ pub fn avx2_kernels() -> Option<&'static Kernels> {
     ok.then_some(&avx2_table::AVX2)
 }
 
+/// The AVX-512 table (AVX2 kernels plus 512-bit overrides) when the
+/// CPU supports `avx512f` on top of `avx2`+`fma`, `None` otherwise.
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+pub fn avx512_kernels() -> Option<&'static Kernels> {
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    let ok = *DETECTED.get_or_init(|| {
+        is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("fma")
+    });
+    ok.then_some(&avx512_table::AVX512)
+}
+
+/// See the x86_64 variant; on this target the AVX-512 arm does not exist.
+#[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+pub fn avx512_kernels() -> Option<&'static Kernels> {
+    None
+}
+
 /// See the x86_64 variant; on this target the AVX2 arm does not exist.
 #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
 pub fn avx2_kernels() -> Option<&'static Kernels> {
     None
 }
 
-/// `VQMC_SIMD` runtime kill-switch (read once at first dispatch).
-fn env_forces_scalar() -> bool {
+/// `VQMC_SIMD` runtime switch (read once at first dispatch):
+/// `off`/`0`/`scalar`/`false` force the portable arm, `avx2` caps the
+/// dispatch at the AVX2 table (no 512-bit kernels).
+fn env_simd_cap() -> Option<Backend> {
     match std::env::var("VQMC_SIMD") {
-        Ok(v) => matches!(
-            v.to_ascii_lowercase().as_str(),
-            "off" | "0" | "scalar" | "false"
-        ),
-        Err(_) => false,
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "off" | "0" | "scalar" | "false" => Some(Backend::Scalar),
+            "avx2" => Some(Backend::Avx2Fma),
+            _ => None,
+        },
+        Err(_) => None,
     }
 }
 
@@ -217,11 +299,12 @@ fn env_forces_scalar() -> bool {
 /// module docs for the fallback policy).
 pub fn kernels() -> &'static Kernels {
     static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
-    ACTIVE.get_or_init(|| {
-        if env_forces_scalar() {
-            return &PORTABLE;
-        }
-        avx2_kernels().unwrap_or(&PORTABLE)
+    ACTIVE.get_or_init(|| match env_simd_cap() {
+        Some(Backend::Scalar) => &PORTABLE,
+        Some(_) => avx2_kernels().unwrap_or(&PORTABLE),
+        None => avx512_kernels()
+            .or_else(avx2_kernels)
+            .unwrap_or(&PORTABLE),
     })
 }
 

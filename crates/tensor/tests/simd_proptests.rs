@@ -324,8 +324,73 @@ fn dispatch_returns_a_published_table() {
     let k = simd::kernels();
     let is_portable = std::ptr::eq(k, simd::portable_kernels());
     let is_avx = simd::avx2_kernels().map(|a| std::ptr::eq(k, a)).unwrap_or(false);
-    assert!(is_portable || is_avx, "kernels() returned an unknown table");
+    let is_avx512 = simd::avx512_kernels()
+        .map(|a| std::ptr::eq(k, a))
+        .unwrap_or(false);
+    assert!(
+        is_portable || is_avx || is_avx512,
+        "kernels() returned an unknown table"
+    );
     if cfg!(feature = "force-scalar") {
         assert!(is_portable, "force-scalar must pin the portable arm");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `sample_step_cols` — the fused batched AUTO bit step — is
+    /// bit-identical per row to the unfused row path (`axpy` of the
+    /// previous W₁ column, then `relu_dot`), and the two arms agree
+    /// bit-for-bit with each other, across non-multiple `h`/`b`,
+    /// first-bit (`w_prev = None`) and masked-update cases.
+    #[test]
+    fn sample_step_cols_matches_row_path(h in 0usize..133, b in 0usize..19, seed in 0u64..10_000, first_bit in 0u64..2) {
+        let port = simd::portable_kernels();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC015);
+        let zt: Vec<f64> = (0..h * b).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let w_prev: Vec<f64> = (0..h).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let w_out: Vec<f64> = (0..h).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mask: Vec<f64> = (0..b).map(|_| if rng.gen::<f64>() < 0.5 { 1.0 } else { 0.0 }).collect();
+        let bias = rng.gen_range(-2.0..2.0);
+        let first_bit = first_bit == 1;
+        let wp = (!first_bit).then_some(&w_prev[..]);
+
+        // Reference: per-row gather → axpy → relu_dot.
+        let mut want_logits = vec![0.0f64; b];
+        let mut want_zt = zt.clone();
+        for r in 0..b {
+            let mut row: Vec<f64> = (0..h).map(|j| zt[j * b + r]).collect();
+            if !first_bit && mask[r] > 0.5 {
+                (port.axpy)(&mut row, 1.0, &w_prev);
+            }
+            want_logits[r] = bias + (port.relu_dot)(&w_out, &row);
+            for j in 0..h {
+                want_zt[j * b + r] = row[j];
+            }
+        }
+
+        let mut scratch = vec![0.0f64; 5 * b];
+        let mut zt_p = zt.clone();
+        let mut logits_p = vec![0.0f64; b];
+        (port.sample_step_cols)(&mut zt_p, b, wp, &mask, &w_out, bias, &mut scratch, &mut logits_p);
+        assert_bits_eq(&logits_p, &want_logits, "portable sample_step_cols logits");
+        assert_bits_eq(&zt_p, &want_zt, "portable sample_step_cols panel");
+
+        if let Some(avx) = simd::avx2_kernels() {
+            let mut zt_v = zt.clone();
+            let mut logits_v = vec![0.0f64; b];
+            (avx.sample_step_cols)(&mut zt_v, b, wp, &mask, &w_out, bias, &mut scratch, &mut logits_v);
+            assert_bits_eq(&logits_v, &logits_p, "avx2 sample_step_cols logits");
+            assert_bits_eq(&zt_v, &zt_p, "avx2 sample_step_cols panel");
+        }
+
+        if let Some(k512) = simd::avx512_kernels() {
+            let mut zt_v = zt.clone();
+            let mut logits_v = vec![0.0f64; b];
+            (k512.sample_step_cols)(&mut zt_v, b, wp, &mask, &w_out, bias, &mut scratch, &mut logits_v);
+            assert_bits_eq(&logits_v, &logits_p, "avx512 sample_step_cols logits");
+            assert_bits_eq(&zt_v, &zt_p, "avx512 sample_step_cols panel");
+        }
     }
 }

@@ -4,8 +4,9 @@ use std::collections::BTreeMap;
 
 use vqmc::baselines::{brute_force, goemans_williamson, local_search_1opt, random_cut};
 use vqmc::core::observables::fidelity;
-use vqmc::nn::checkpoint::Checkpoint;
+use vqmc::nn::checkpoint::{load_any, AnyModel, Checkpoint};
 use vqmc::prelude::*;
+use vqmc::serve::{BatcherConfig, ServeConfig, Server};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -22,15 +23,30 @@ COMMANDS:
              --sampler auto|mcmc|gibbs (default: auto for made/nade, mcmc for rbm)
              --optimizer adam|sgd|sr   (default adam)
              --iters <N>               (default 300)
+             --hidden <N>              hidden width (default: size heuristic)
              --batch <N>               (default 512)
              --seed <N>                (default 0)
              --instance-seed <N>       (default 2021)
              --checkpoint <path>       save the trained model
+             --save-model <path>       alias for --checkpoint
+             --load-model <path>       warm-start from a saved checkpoint
              --exact true              compare against Lanczos (n <= 16)
   evaluate   load a checkpoint and report energy statistics
              --checkpoint <path> --problem ... --n ... [--batch N]
   sample     draw configurations from a checkpointed model
              --checkpoint <path> [--count N]
+  serve      dynamic-batching TCP inference server over a checkpoint
+             --checkpoint <path>       model to serve (required)
+             --addr <host:port>        (default 127.0.0.1:0 = ephemeral)
+             --port <N>                shorthand for --addr 127.0.0.1:N
+             --max-batch <N>           coalesce ceiling (default 64)
+             --max-wait-us <N>         batch fill window (default 200)
+             --queue-cap <N>           admission bound (default 1024)
+             --workers <N>             batch-execution threads (default 1)
+             --timeout-ms <N>          per-request deadline (default 2000)
+             --problem tim|sk|maxcut|none  LocalEnergy hamiltonian
+                                       (default tim; n from the model)
+             --instance-seed <N>       (default 2021)
   baselines  classical Max-Cut solvers on one instance
              --n <vertices> [--instance-seed N] [--seed N]
   scaling    mini weak-scaling report on the virtual cluster
@@ -144,6 +160,30 @@ fn maybe_exact(flags: &Flags, h: &dyn SparseRowHamiltonian, final_energy: f64) {
     }
 }
 
+/// Builds the initial wavefunction for `train`: fresh, or warm-started
+/// from `--load-model` (spin count must match the problem).
+fn init_model<M: Checkpoint + WaveFunction>(
+    flags: &Flags,
+    n: usize,
+    fresh: impl FnOnce() -> M,
+) -> Result<M, String> {
+    match flags.get("load-model") {
+        None => Ok(fresh()),
+        Some(path) => {
+            let m = M::load(path).map_err(|e| format!("--load-model {path}: {e}"))?;
+            if m.num_spins() != n {
+                return Err(format!(
+                    "--load-model {path} has {} spins but the problem has {n} \
+                     (its kind must also match --model)",
+                    m.num_spins()
+                ));
+            }
+            println!("warm-starting from {path}");
+            Ok(m)
+        }
+    }
+}
+
 /// `vqmc-cli train`.
 pub fn train(flags: &Flags) -> Result<(), String> {
     let (problem, n) = Problem::build(flags)?;
@@ -151,6 +191,10 @@ pub fn train(flags: &Flags) -> Result<(), String> {
     let config = trainer_config(flags)?;
     let model = get(flags, "model", "made");
     let model_seed = get_u64(flags, "seed", 0)?.wrapping_add(1);
+    let hidden = match flags.get("hidden") {
+        Some(_) => Some(get_usize(flags, "hidden", 0)?),
+        None => None,
+    };
     let default_sampler = if model == "rbm" { "mcmc" } else { "auto" };
     let sampler_name = get(flags, "sampler", default_sampler);
     println!(
@@ -165,7 +209,7 @@ pub fn train(flags: &Flags) -> Result<(), String> {
     let (final_energy, save): (f64, Box<dyn FnOnce(&str) -> Result<(), String>>) =
         match (model, sampler_name) {
             ("made", "auto") => {
-                let wf = Made::new(n, made_hidden_size(n), model_seed);
+                let wf = init_model(flags, n, || Made::new(n, hidden.unwrap_or_else(|| made_hidden_size(n)), model_seed))?;
                 let mut t = Trainer::new(wf, IncrementalAutoSampler::new(), config);
                 let trace = t.run(h);
                 report_trace(&trace);
@@ -176,7 +220,7 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 )
             }
             ("made", "mcmc") => {
-                let wf = Made::new(n, made_hidden_size(n), model_seed);
+                let wf = init_model(flags, n, || Made::new(n, hidden.unwrap_or_else(|| made_hidden_size(n)), model_seed))?;
                 let mut t = Trainer::new(wf, McmcSampler::default(), config);
                 let trace = t.run(h);
                 report_trace(&trace);
@@ -187,7 +231,7 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 )
             }
             ("nade", "auto") => {
-                let wf = Nade::new(n, made_hidden_size(n), model_seed);
+                let wf = init_model(flags, n, || Nade::new(n, hidden.unwrap_or_else(|| made_hidden_size(n)), model_seed))?;
                 let mut t = Trainer::new(wf, NadeNativeSampler, config);
                 let trace = t.run(h);
                 report_trace(&trace);
@@ -198,7 +242,7 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 )
             }
             ("rbm", "mcmc") => {
-                let wf = Rbm::new(n, rbm_hidden_size(n), model_seed);
+                let wf = init_model(flags, n, || Rbm::new(n, hidden.unwrap_or_else(|| rbm_hidden_size(n)), model_seed))?;
                 let mut t = Trainer::new(wf, RbmFastMcmc(McmcSampler::default()), config);
                 let trace = t.run(h);
                 report_trace(&trace);
@@ -209,7 +253,7 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 )
             }
             ("rbm", "gibbs") => {
-                let wf = Rbm::new(n, rbm_hidden_size(n), model_seed);
+                let wf = init_model(flags, n, || Rbm::new(n, hidden.unwrap_or_else(|| rbm_hidden_size(n)), model_seed))?;
                 let mut t = Trainer::new(wf, GibbsSampler::default(), config);
                 let trace = t.run(h);
                 report_trace(&trace);
@@ -228,7 +272,7 @@ pub fn train(flags: &Flags) -> Result<(), String> {
         };
 
     maybe_exact(flags, h, final_energy);
-    if let Some(path) = flags.get("checkpoint") {
+    if let Some(path) = flags.get("checkpoint").or_else(|| flags.get("save-model")) {
         save(path)?;
         println!("checkpoint written to {path}");
     }
@@ -244,16 +288,8 @@ pub fn evaluate(flags: &Flags) -> Result<(), String> {
     let h = problem.hamiltonian();
     let batch_size = get_usize(flags, "batch", 1024)?;
 
-    // Try each model kind in turn (the file header disambiguates).
-    let model: Box<dyn WaveFunction> = if let Ok(m) = Made::load(path) {
-        Box::new(m)
-    } else if let Ok(m) = Nade::load(path) {
-        Box::new(m)
-    } else if let Ok(m) = Rbm::load(path) {
-        Box::new(m)
-    } else {
-        return Err(format!("{path} is not a loadable vqmc checkpoint"));
-    };
+    // The file header's kind tag disambiguates the model type.
+    let model = load_any(path).map_err(|e| format!("{path}: {e}"))?;
     if model.num_spins() != h.num_spins() {
         return Err(format!(
             "checkpoint has {} spins but the problem has {}",
@@ -265,15 +301,13 @@ pub fn evaluate(flags: &Flags) -> Result<(), String> {
     // normalised; RBM falls back to MCMC.
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(get_u64(flags, "seed", 0)?);
-    let out = if let Ok(m) = Made::load(path) {
-        IncrementalAutoSampler::new().sample(&m, batch_size, &mut rng)
-    } else if let Ok(m) = Nade::load(path) {
-        NadeNativeSampler.sample(&m, batch_size, &mut rng)
-    } else {
-        let m = Rbm::load(path).expect("checked above");
-        McmcSampler::default().sample_rbm(&m, batch_size, &mut rng)
+    let out = match &model {
+        AnyModel::Made(m) => IncrementalAutoSampler::new().sample(m, batch_size, &mut rng),
+        AnyModel::Nade(m) => NadeNativeSampler.sample(m, batch_size, &mut rng),
+        AnyModel::Rbm(m) => McmcSampler::default().sample_rbm(m, batch_size, &mut rng),
     };
-    let mut eval = |b: &SpinBatch| model.log_psi(b);
+    let wf = model.as_wavefunction();
+    let mut eval = |b: &SpinBatch| wf.log_psi(b);
     let local = vqmc::hamiltonian::local_energies(
         h,
         &out.batch,
@@ -293,7 +327,7 @@ pub fn evaluate(flags: &Flags) -> Result<(), String> {
         println!(
             "exact λ_min = {:.6}; fidelity = {:.4}",
             gs.energy,
-            fidelity(model.as_ref(), &gs.vector)
+            fidelity(wf, &gs.vector)
         );
     }
     Ok(())
@@ -307,18 +341,12 @@ pub fn sample(flags: &Flags) -> Result<(), String> {
     let count = get_usize(flags, "count", 16)?;
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(get_u64(flags, "seed", 0)?);
-    let (batch, log_psi) = if let Ok(m) = Made::load(path) {
-        let out = IncrementalAutoSampler::new().sample(&m, count, &mut rng);
-        (out.batch, out.log_psi)
-    } else if let Ok(m) = Nade::load(path) {
-        let out = NadeNativeSampler.sample(&m, count, &mut rng);
-        (out.batch, out.log_psi)
-    } else if let Ok(m) = Rbm::load(path) {
-        let out = McmcSampler::default().sample_rbm(&m, count, &mut rng);
-        (out.batch, out.log_psi)
-    } else {
-        return Err(format!("{path} is not a loadable vqmc checkpoint"));
+    let out = match load_any(path).map_err(|e| format!("{path}: {e}"))? {
+        AnyModel::Made(m) => IncrementalAutoSampler::new().sample(&m, count, &mut rng),
+        AnyModel::Nade(m) => NadeNativeSampler.sample(&m, count, &mut rng),
+        AnyModel::Rbm(m) => McmcSampler::default().sample_rbm(&m, count, &mut rng),
     };
+    let (batch, log_psi) = (out.batch, out.log_psi);
     for s in 0..batch.batch_size() {
         let bits: String = batch
             .sample(s)
@@ -327,6 +355,68 @@ pub fn sample(flags: &Flags) -> Result<(), String> {
             .collect();
         println!("{bits}  logψ = {:.4}", log_psi[s]);
     }
+    Ok(())
+}
+
+/// `vqmc-cli serve` — load a checkpoint and serve it over TCP with
+/// dynamic request batching until a client sends `Shutdown` (or the
+/// process is killed).
+pub fn serve(flags: &Flags) -> Result<(), String> {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let path = flags
+        .get("checkpoint")
+        .ok_or("serve needs --checkpoint <path>")?;
+    let model = load_any(path).map_err(|e| format!("{path}: {e}"))?;
+    let n = model.num_spins();
+
+    // The hamiltonian (for LocalEnergy requests) is built over the
+    // model's own spin count — there is no --n here by design.
+    let instance_seed = get_u64(flags, "instance-seed", 2021)?;
+    let hamiltonian: Option<Arc<dyn SparseRowHamiltonian>> = match get(flags, "problem", "tim") {
+        "none" => None,
+        "tim" => Some(Arc::new(TransverseFieldIsing::random(n, instance_seed))),
+        "sk" => Some(Arc::new(TransverseFieldIsing::sherrington_kirkpatrick(
+            n,
+            0.7,
+            instance_seed,
+        ))),
+        "maxcut" => Some(Arc::new(MaxCut::random(n, instance_seed))),
+        other => return Err(format!("unknown problem {other:?} (tim|sk|maxcut|none)")),
+    };
+
+    let addr = match (flags.get("addr"), flags.get("port")) {
+        (Some(_), Some(_)) => return Err("give --addr or --port, not both".into()),
+        (Some(a), None) => a.clone(),
+        (None, Some(p)) => format!("127.0.0.1:{p}"),
+        (None, None) => "127.0.0.1:0".to_string(),
+    };
+    let config = ServeConfig {
+        addr,
+        batcher: BatcherConfig {
+            max_batch: get_usize(flags, "max-batch", 64)?,
+            max_wait: Duration::from_micros(get_u64(flags, "max-wait-us", 200)?),
+            queue_cap: get_usize(flags, "queue-cap", 1024)?,
+        },
+        workers: get_usize(flags, "workers", 1)?,
+        request_timeout: Duration::from_millis(get_u64(flags, "timeout-ms", 2000)?),
+        base_seed: get_u64(flags, "seed", 0)?,
+        ..ServeConfig::default()
+    };
+    let max_batch = config.batcher.max_batch;
+
+    let server = Server::start(model, hamiltonian, config).map_err(|e| e.to_string())?;
+    println!(
+        "serving {} ({} spins, max_batch {max_batch}) — listening on {}",
+        path,
+        n,
+        server.local_addr()
+    );
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    server.join();
+    println!("server drained and stopped");
     Ok(())
 }
 

@@ -49,6 +49,7 @@
 //! | [`cluster`] | virtual multi-GPU cluster (threads + cost model) |
 //! | [`baselines`] | random cut, Goemans–Williamson, Burer–Monteiro |
 //! | [`core`] | the VQMC trainer, estimators, distributed trainer |
+//! | [`serve`] | dynamic-batching TCP inference server + client |
 
 #![warn(missing_docs)]
 
@@ -60,6 +61,7 @@ pub use vqmc_hamiltonian as hamiltonian;
 pub use vqmc_nn as nn;
 pub use vqmc_optim as optim;
 pub use vqmc_sampler as sampler;
+pub use vqmc_serve as serve;
 pub use vqmc_tensor as tensor;
 
 /// The most common imports in one line.

@@ -4,6 +4,7 @@
 //! vqmc-cli train     --problem tim --n 20 --model made --sampler auto ...
 //! vqmc-cli evaluate  --checkpoint model.ckpt --problem tim --n 20 ...
 //! vqmc-cli sample    --checkpoint model.ckpt --count 16
+//! vqmc-cli serve     --checkpoint model.ckpt --port 4710 --max-batch 64
 //! vqmc-cli baselines --n 30 --seed 7
 //! vqmc-cli scaling   --n 128 --mbs 16
 //! vqmc-cli help
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "train" => cli::train(&flags),
         "evaluate" => cli::evaluate(&flags),
         "sample" => cli::sample(&flags),
+        "serve" => cli::serve(&flags),
         "baselines" => cli::baselines(&flags),
         "scaling" => cli::scaling(&flags),
         "help" | "--help" | "-h" => {
