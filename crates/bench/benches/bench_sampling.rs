@@ -8,7 +8,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use vqmc_nn::{made_hidden_size, rbm_hidden_size, Made, Rbm};
-use vqmc_sampler::{AutoSampler, McmcSampler, Sampler};
+use vqmc_sampler::{AutoSampler, MadeBatchSampler, McmcSampler, PanelLayout, Sampler};
+use vqmc_tensor::{SpinBatch, Vector};
 
 const BATCH: usize = 64;
 
@@ -39,5 +40,50 @@ fn bench_mcmc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_auto, bench_mcmc);
+/// The training hot path after the sampling unification: one
+/// `MadeBatchSampler::sample_stream` call (exactly what
+/// `IncrementalAutoSampler` — and hence `Trainer::step` — executes).
+/// `rows` is the "before" layout (the pre-unification per-row training
+/// path); `cols` is the fused transposed-panel kernel that the
+/// unification promoted from `vqmc-serve` onto training; `auto` is the
+/// production threshold dispatch (≡ cols at these batch sizes).
+fn bench_training_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    // (n, batch): paper-scale spin counts, batch sized to keep one
+    // measurement within the stub's time budget.
+    for &(n, batch) in &[(1024usize, 256usize), (16384, 32)] {
+        let wf = Made::new(n, made_hidden_size(n), 1);
+        for (label, layout) in [
+            ("rows", PanelLayout::Rows),
+            ("cols", PanelLayout::Cols),
+            ("auto", PanelLayout::Auto),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &wf,
+                |b, wf| {
+                    let mut sampler = MadeBatchSampler::new();
+                    sampler.force_layout(layout);
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let mut out_batch = SpinBatch::default();
+                    let mut out_log_psi = Vector::default();
+                    b.iter(|| {
+                        sampler.sample_stream(
+                            wf,
+                            batch,
+                            &mut rng,
+                            &mut out_batch,
+                            &mut out_log_psi,
+                        );
+                        black_box(out_log_psi.as_slice()[0])
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_auto, bench_mcmc, bench_training_path);
 criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Golden-trace regression: the reference training run (identical to
+//! `vqmc-cli train --problem tim --n 10 --iters 60 --batch 128 --seed 3`)
+//! must keep producing the pinned final energy after any refactor of
+//! the sampling layer or the SIMD kernels.
+//!
+//! The pin holds on *both* dispatch arms — the verify skill reruns this
+//! test with `VQMC_SIMD=off` / `--features vqmc/force-scalar` — because
+//! every kernel implementation is bit-identical by construction
+//! (property-tested in `vqmc-tensor` and `vqmc-sampler`).  A drift here
+//! means the training numerics changed, not just their speed.
+
+use vqmc_core::{Trainer, TrainerConfig};
+use vqmc_hamiltonian::TransverseFieldIsing;
+use vqmc_nn::{made_hidden_size, Made};
+use vqmc_sampler::IncrementalAutoSampler;
+
+/// Final energy of the reference run, printed at 6 decimal places by
+/// the CLI.  Pinned against the pre-unification training path.
+const GOLDEN_FINAL_ENERGY: f64 = -10.555253;
+
+#[test]
+fn reference_training_run_reproduces_pinned_energy() {
+    let h = TransverseFieldIsing::random(10, 2021);
+    // CLI derives the model seed as `seed + 1`.
+    let wf = Made::new(10, made_hidden_size(10), 4);
+    let config = TrainerConfig {
+        iterations: 60,
+        batch_size: 128,
+        ..TrainerConfig::paper_default(3)
+    };
+    let mut trainer = Trainer::new(wf, IncrementalAutoSampler::new(), config);
+    let trace = trainer.run(&h);
+    let final_energy = trace.final_energy();
+    assert!(
+        (final_energy - GOLDEN_FINAL_ENERGY).abs() < 5e-7,
+        "golden trace drifted: got {final_energy:.9}, pinned {GOLDEN_FINAL_ENERGY}"
+    );
+}

@@ -158,6 +158,17 @@ impl AnyModel {
         }
     }
 
+    /// The wrapped model as a [`BatchedSampling`] trait object — the
+    /// unified sampling surface, so callers never match on the
+    /// architecture to draw configurations.
+    pub fn as_batched_sampling(&self) -> &dyn crate::sampling::BatchedSampling {
+        match self {
+            AnyModel::Made(m) => m,
+            AnyModel::Rbm(m) => m,
+            AnyModel::Nade(m) => m,
+        }
+    }
+
     /// Number of spins of the wrapped model.
     pub fn num_spins(&self) -> usize {
         self.as_wavefunction().num_spins()

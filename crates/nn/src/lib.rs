@@ -38,12 +38,14 @@ pub mod made;
 pub mod masks;
 pub mod nade;
 pub mod rbm;
+pub mod sampling;
 
 use vqmc_tensor::{Matrix, SpinBatch, Vector, Workspace};
 
 pub use made::{Made, MadeWorkspace};
 pub use nade::Nade;
 pub use rbm::Rbm;
+pub use sampling::{BatchedSampling, SamplingEngine};
 
 /// A differentiable trial wavefunction `ψθ : {0,1}ⁿ → ℝ₊`, exposed in
 /// log-amplitude form.

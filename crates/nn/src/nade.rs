@@ -72,6 +72,27 @@ impl Nade {
         self.h
     }
 
+    /// Shared hidden bias `b` (the recursion's initial pre-activation).
+    pub fn b(&self) -> &Vector {
+        &self.b
+    }
+
+    /// Per-output readout rows `V` (`n × h`).
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Per-output readout biases `c`.
+    pub fn c(&self) -> &Vector {
+        &self.c
+    }
+
+    /// Transposed input weights `Wᵀ` (`n × h`): row `i` is the column of
+    /// `W` folded into the recursion when bit `i` is drawn 1.
+    pub fn w_t(&self) -> &Matrix {
+        &self.w_t
+    }
+
     /// Runs the shared recursion for one sample, invoking `visit(i, hᵢ,
     /// logitᵢ)` at every site, in order.
     fn scan(&self, x: &[u8], mut visit: impl FnMut(usize, &[f64], f64)) {

@@ -23,7 +23,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use vqmc_nn::{Autoregressive, Made, WaveFunction};
-use vqmc_tensor::{ops, Matrix, Workspace};
+use vqmc_tensor::{Matrix, Workspace};
 
 use crate::{SampleOutput, SampleStats, Sampler};
 
@@ -86,35 +86,24 @@ impl<W: Autoregressive + ?Sized> Sampler<W> for AutoSampler {
     }
 }
 
-/// Incremental exact sampler specialised to [`Made`].
+/// Incremental exact sampler specialised to [`Made`] — a thin wrapper
+/// over the unified [`MadeBatchSampler`] panel engine
+/// ([`crate::batch`]), run as one caller-owned RNG stream.
 ///
-/// Maintains per-sample hidden pre-activations and per-sample
-/// accumulated `log π`, touching only `O(h)` state per revealed bit.
 /// Draws the same `bs × n` uniform variates in the same order as
-/// [`AutoSampler`], so outputs are bit-identical for a given RNG state.
+/// [`AutoSampler`], so outputs are bit-identical for a given RNG state
+/// (property-tested) — and since the engine unification, the training
+/// hot path dispatches into the same fused `sample_step_cols` SIMD
+/// kernel that powers coalesced serving, instead of a private row-major
+/// pass.
 ///
-/// The column-major copy of `W₁` needed for contiguous column updates is
-/// cached across calls and recomputed only when
-/// [`Made::params_version`] changes (i.e. after an optimiser step) — at
-/// steady state each `sample_into` call is allocation-free and skips the
-/// `O(n·h)` transpose whenever parameters are unchanged.
+/// The engine's scratch (activation panel, cached `W₁ᵀ` invalidated via
+/// [`Made::params_version`]) is pooled across calls: at steady state
+/// each `sample_into` call is allocation-free and skips the `O(n·h)`
+/// transpose whenever parameters are unchanged.
 #[derive(Debug, Default)]
 pub struct IncrementalAutoSampler {
-    /// Per-sample hidden pre-activations (`bs · h`, row per sample).
-    z1: Vec<f64>,
-    /// Per-sample accumulated `log π`.
-    log_prob: Vec<f64>,
-    /// Per-sample logits of the current output bit (the whole column is
-    /// materialised so σ and ln σ run through the vectorised slice
-    /// kernels — the same dispatched kernels the naive sampler's
-    /// conditionals use).
-    logits: Vec<f64>,
-    /// Scratch: `σ(logits)` for the current bit.
-    probs: Vec<f64>,
-    /// Cached `W₁ᵀ` (`n × h`: row `i` = column `i` of `W₁`).
-    w1_t: Matrix,
-    /// [`Made::params_version`] the cache was built against.
-    cached_version: Option<u64>,
+    engine: crate::batch::MadeBatchSampler,
 }
 
 impl IncrementalAutoSampler {
@@ -139,74 +128,14 @@ impl Sampler<Made> for IncrementalAutoSampler {
         rng: &mut StdRng,
         out: &mut SampleOutput,
     ) {
-        let n = wf.num_spins();
-        let h = wf.hidden_size();
-        let batch = &mut out.batch;
-        batch.resize(batch_size, n);
-        batch.fill(0);
-        // z1[s] starts at b1 (all-zero input) and absorbs W₁'s column i
-        // whenever bit i is sampled as 1.
-        let b1 = wf.b1();
-        self.z1.clear();
-        self.z1.reserve(batch_size * h);
-        for _ in 0..batch_size {
-            self.z1.extend_from_slice(b1);
-        }
-        // Refresh the cached W₁ᵀ only when the parameters changed.
-        if self.cached_version != Some(wf.params_version()) {
-            wf.w1().transpose_into(&mut self.w1_t);
-            self.cached_version = Some(wf.params_version());
-        }
-        let w2 = wf.w2();
-        let b2 = wf.b2();
-        self.log_prob.clear();
-        self.log_prob.resize(batch_size, 0.0);
-        self.logits.resize(batch_size, 0.0);
-        self.probs.resize(batch_size, 0.0);
-        let kern = vqmc_tensor::simd::kernels();
-
-        for i in 0..n {
-            let w2_row = w2.row(i);
-            let w1_col = self.w1_t.row(i);
-            // Batched logits aᵢ(s) = b₂[i] + Σ_k W₂[i,k]·relu(z₁[s,k]):
-            // one fused relu·dot kernel per sample, then one vectorised
-            // sigmoid over the whole column.
-            for s in 0..batch_size {
-                let z_row = &self.z1[s * h..(s + 1) * h];
-                self.logits[s] = b2[i] + (kern.relu_dot)(w2_row, z_row);
-            }
-            self.probs.copy_from_slice(&self.logits);
-            ops::sigmoid_slice(&mut self.probs);
-            // Draw order is unchanged from the scalar implementation
-            // (i outer, s inner, one variate per (i, s)) — the
-            // bit-identical-to-naive property depends on it.
-            for s in 0..batch_size {
-                let p = self.probs[s];
-                debug_assert!((0.0..=1.0).contains(&p), "conditional out of range");
-                if rng.gen::<f64>() < p {
-                    batch.set(s, i, 1);
-                    // Fold the revealed bit into the hidden state.
-                    vqmc_tensor::vector::axpy(&mut self.z1[s * h..(s + 1) * h], 1.0, w1_col);
-                } else {
-                    // ln(1−σ(a)) = ln σ(−a): flip so one vectorised
-                    // log-sigmoid pass below covers both bit values.
-                    self.logits[s] = -self.logits[s];
-                }
-            }
-            // log π(s) += ln σ(±aᵢ(s)), vectorised.
-            ops::log_sigmoid_slice(&mut self.logits);
-            vqmc_tensor::vector::axpy(&mut self.log_prob, 1.0, &self.logits);
-        }
-        out.log_psi.resize(batch_size);
-        for (o, &lp) in out.log_psi.iter_mut().zip(&self.log_prob) {
-            *o = 0.5 * lp;
-        }
+        self.engine
+            .sample_stream(wf, batch_size, rng, &mut out.batch, &mut out.log_psi);
         out.stats = SampleStats {
             // Equivalent *work* of one full forward pass per bit is
             // avoided; we report the n logical passes of Algorithm 1
             // so cost comparisons stay in the paper's unit.
-            forward_passes: n,
-            configurations_evaluated: batch_size * n,
+            forward_passes: wf.num_spins(),
+            configurations_evaluated: batch_size * wf.num_spins(),
             proposals: 0,
             accepted: 0,
         };
@@ -214,9 +143,29 @@ impl Sampler<Made> for IncrementalAutoSampler {
 }
 
 /// Exact sampler using NADE's native `O(bs·n·h)` recursion — the
-/// architecture-specific analogue of [`IncrementalAutoSampler`].
-#[derive(Clone, Copy, Debug, Default)]
-pub struct NadeNativeSampler;
+/// architecture-specific analogue of [`IncrementalAutoSampler`], and
+/// like it a thin wrapper over the unified batch engine
+/// ([`crate::batch::NadeBatchSampler`]), whose pooled scratch keeps the
+/// steady-state training loop allocation-free.  Bit-identical to
+/// [`vqmc_nn::Nade::sample_native`] given the same RNG.
+#[derive(Debug, Default)]
+pub struct NadeNativeSampler {
+    engine: crate::batch::NadeBatchSampler,
+}
+
+impl NadeNativeSampler {
+    /// A fresh sampler (scratch buffers grow on first use).
+    pub fn new() -> Self {
+        NadeNativeSampler::default()
+    }
+}
+
+impl Clone for NadeNativeSampler {
+    /// Clones start cold: scratch is per-instance.
+    fn clone(&self) -> Self {
+        NadeNativeSampler::new()
+    }
+}
 
 impl Sampler<vqmc_nn::Nade> for NadeNativeSampler {
     fn sample_into(
@@ -226,17 +175,13 @@ impl Sampler<vqmc_nn::Nade> for NadeNativeSampler {
         rng: &mut StdRng,
         out: &mut SampleOutput,
     ) {
-        let n = wf.num_spins();
-        let (batch, log_psi) = wf.sample_native(batch_size, rng);
-        *out = SampleOutput {
-            batch,
-            log_psi,
-            stats: SampleStats {
-                forward_passes: n,
-                configurations_evaluated: batch_size * n,
-                proposals: 0,
-                accepted: 0,
-            },
+        self.engine
+            .sample_stream(wf, batch_size, rng, &mut out.batch, &mut out.log_psi);
+        out.stats = SampleStats {
+            forward_passes: wf.num_spins(),
+            configurations_evaluated: batch_size * wf.num_spins(),
+            proposals: 0,
+            accepted: 0,
         };
     }
 }

@@ -1,0 +1,822 @@
+//! The unified batched sampling layer: **one** incremental AUTO engine
+//! shared by the training hot path (`Trainer` / `DistributedTrainer`
+//! via [`IncrementalAutoSampler`](crate::IncrementalAutoSampler)), the
+//! serving engine (`vqmc-serve` coalesces concurrent client requests
+//! into one pass here), and the CLI's `evaluate`/`sample` commands.
+//!
+//! ```text
+//! Trainer ─────────┐
+//! DistributedTrainer ├─▶ BatchedSampling ─▶ BatchSampler ─┬▶ MadeBatchSampler (fused panel)
+//! serve::Engine ───┤       (vqmc-nn)                      ├▶ NadeBatchSampler (native recursion)
+//! CLI evaluate/sample ┘                                   └▶ McmcSampler      (RBM fallback)
+//! ```
+//!
+//! Two call shapes, same arithmetic:
+//!
+//! * **coalesced requests** ([`BatchSampler::sample_requests`]) — every
+//!   request's rows are drawn inside one combined pass, but from that
+//!   request's *own* seeded RNG stream, so the result is bit-identical
+//!   to sampling each request alone (property-tested);
+//! * **single stream** ([`BatchSampler::sample_stream_into`]) — one
+//!   caller-owned RNG drives the whole batch: the training path.  It is
+//!   the one-request special case of the coalesced pass, so every
+//!   kernel-level optimisation lands on training and serving at once.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vqmc_nn::{BatchedSampling, Made, Nade, Rbm, SamplingEngine, WaveFunction};
+use vqmc_tensor::{ops, Matrix, SpinBatch, Vector};
+
+use crate::{McmcSampler, SampleOutput, SampleStats};
+
+/// A `Sample` request normalised for execution: callers (the serve
+/// admission layer, tests) resolve seedless requests to a concrete seed
+/// before reaching this layer, so execution is deterministic from here
+/// on.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleRequest {
+    /// Number of configurations to draw.
+    pub count: usize,
+    /// RNG seed for this request's private stream.
+    pub seed: u64,
+}
+
+/// Which activation layout the MADE panel sampler uses.
+///
+/// `Auto` (the default) picks by combined row count; the forced
+/// variants exist for the cross-layout bit-identity tests and the
+/// before/after kernel benchmarks — both layouts compute the same
+/// arithmetic in the same per-row accumulation order, so forcing is
+/// observationally invisible apart from speed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PanelLayout {
+    /// Dispatch on the combined shape: cols at ≥ 8 rows, unless the
+    /// transposed panel would overflow L2 (see `COLS_PANEL_CAP_BYTES`).
+    #[default]
+    Auto,
+    /// Always the row-major path (the pre-unification training layout).
+    Rows,
+    /// Always the transposed fused-kernel panel path.
+    Cols,
+}
+
+/// Below this combined row count the row path wins: the fused kernel
+/// vectorises along the batch, so tiny batches would run scalar.
+const COLS_THRESHOLD: usize = 8;
+
+/// Above this transposed-panel footprint (`h · rows · 8` bytes) the
+/// cols path loses its edge: the fused kernel writes the whole panel
+/// back every bit, and once the panel outgrows L2 that full writeback
+/// costs more than the row path's half-the-rows `axpy` traffic.  Auto
+/// falls back to the row path there (forced layouts are unaffected —
+/// both compute bit-identical results).
+const COLS_PANEL_CAP_BYTES: usize = 512 * 1024;
+
+/// The coalesced MADE sampler: the incremental AUTO pass, generalised
+/// to draw each row-range of the combined batch from its own
+/// request-seeded RNG — or the whole batch from one external stream
+/// (the training path).
+///
+/// Invariant (property-tested): for every request `r`, rows
+/// `[offset_r, offset_r + count_r)` of the output are bit-identical —
+/// configurations *and* `logψ` — to a solo
+/// `sample_stream(wf, count_r, StdRng::seed_from_u64(seed_r))`.
+///
+/// Two layouts, same arithmetic (dispatch on the combined row count):
+///
+/// * **row path** (small batches) — one `rows·h` row-major activation
+///   buffer, per-row `relu_dot` + `axpy`, vectorised along `h`;
+/// * **cols path** (`rows ≥ 8`) — a *transposed* `h·rows` panel driven
+///   by the fused `sample_step_cols` kernel: the deferred `W₁` column
+///   update and the logit reduction happen in **one** memory pass over
+///   the panel, vectorised along the batch, so the per-bit weight rows
+///   (`W₁ᵀ` and `W₂`) are streamed once per *batch* instead of once per
+///   *row*.  That amortisation is where the batched throughput comes
+///   from once the weights outgrow cache — and since the unification it
+///   is the training hot path's layout too (training batches are far
+///   above the threshold).
+///
+/// The kernel reproduces `relu_dot`'s per-row accumulation order
+/// exactly (property-tested in `vqmc-tensor`), so both paths produce
+/// bit-identical output and the solo-identity invariant holds
+/// regardless of which one dispatched.
+#[derive(Debug, Default)]
+pub struct MadeBatchSampler {
+    /// Layout override (tests / benchmarks only).
+    layout: PanelLayout,
+    /// Per-row hidden pre-activations (`rows · h`, row path).
+    z1: Vec<f64>,
+    /// Transposed pre-activation panel (`h · rows`, cols path).
+    z1t: Vec<f64>,
+    /// Which rows drew the previous bit as 1 (`1.0`/`0.0`, cols path —
+    /// the deferred update mask for `sample_step_cols`).
+    prev_mask: Vec<f64>,
+    /// Drawn bits in transposed `n · rows` layout (cols path): the
+    /// per-bit draw loop stores sequentially here instead of striding
+    /// across the row-major output (64 pages touched per bit);
+    /// transposed into the output in one tiled pass at the end.
+    bits_t: Vec<u8>,
+    /// Sign-flipped logits for a chunk of bits (cols path): `log σ` is
+    /// applied to `LS_CHUNK·rows` elements at a time so the
+    /// transcendental kernel runs at vector-friendly slice lengths
+    /// instead of once per bit.  Elementwise results and the ascending
+    /// bit-order accumulation into `log_prob` are unchanged, so this
+    /// stays bit-identical to the per-bit path.
+    ls_buf: Vec<f64>,
+    /// Accumulator stripes plus per-bit mask stash for
+    /// `sample_step_cols` (`6 · rows`).
+    cols_scratch: Vec<f64>,
+    /// Per-row accumulated `log π`.
+    log_prob: Vec<f64>,
+    /// Per-row logits of the current output bit.
+    logits: Vec<f64>,
+    /// `σ(logits)` scratch.
+    probs: Vec<f64>,
+    /// Per-request RNG streams (rebuilt each coalesced call; capacity
+    /// reused).
+    rngs: Vec<StdRng>,
+    /// Per-request row counts (pooled mirror of the request list).
+    counts: Vec<usize>,
+    /// Cached `W₁ᵀ`, invalidated via [`Made::params_version`].
+    w1_t: Matrix,
+    cached_version: Option<u64>,
+}
+
+impl MadeBatchSampler {
+    /// A fresh sampler (scratch buffers grow on first use).
+    pub fn new() -> Self {
+        MadeBatchSampler::default()
+    }
+
+    /// Overrides the layout dispatch (cross-layout identity tests and
+    /// before/after benchmarks).
+    pub fn force_layout(&mut self, layout: PanelLayout) {
+        self.layout = layout;
+    }
+
+    /// Draws every request inside one combined incremental pass, each
+    /// request's rows from its own seeded RNG stream.
+    pub fn sample_coalesced(
+        &mut self,
+        wf: &Made,
+        reqs: &[SampleRequest],
+        out_batch: &mut SpinBatch,
+        out_log_psi: &mut Vector,
+    ) {
+        self.rngs.clear();
+        let mut counts = std::mem::take(&mut self.counts);
+        counts.clear();
+        for req in reqs {
+            self.rngs.push(StdRng::seed_from_u64(req.seed));
+            counts.push(req.count);
+        }
+        self.sample_core(wf, &counts, None, out_batch, out_log_psi);
+        self.counts = counts;
+    }
+
+    /// Draws one batch from a caller-owned RNG stream — the training
+    /// path (`IncrementalAutoSampler` is a thin wrapper over this).
+    pub fn sample_stream(
+        &mut self,
+        wf: &Made,
+        count: usize,
+        rng: &mut StdRng,
+        out_batch: &mut SpinBatch,
+        out_log_psi: &mut Vector,
+    ) {
+        self.sample_core(wf, &[count], Some(rng), out_batch, out_log_psi);
+    }
+
+    /// The shared pass.  `counts[q]` rows are drawn for stream `q`; the
+    /// RNG of a stream is `external` when given (single caller-owned
+    /// stream), else `self.rngs[q]` (seeded per request).  The draw
+    /// order within a stream is always bit-major then
+    /// row-within-stream, so a stream sees the exact variate sequence
+    /// it would see alone.
+    fn sample_core(
+        &mut self,
+        wf: &Made,
+        counts: &[usize],
+        mut external: Option<&mut StdRng>,
+        out_batch: &mut SpinBatch,
+        out_log_psi: &mut Vector,
+    ) {
+        let n = wf.num_spins();
+        let h = wf.hidden_size();
+        let rows: usize = counts.iter().sum();
+        out_batch.resize(rows, n);
+        out_batch.fill(0);
+
+        let b1 = wf.b1();
+        if self.cached_version != Some(wf.params_version()) {
+            wf.w1().transpose_into(&mut self.w1_t);
+            self.cached_version = Some(wf.params_version());
+        }
+        let w2 = wf.w2();
+        let b2 = wf.b2();
+        self.log_prob.clear();
+        self.log_prob.resize(rows, 0.0);
+        self.logits.resize(rows, 0.0);
+        self.probs.resize(rows, 0.0);
+        let kern = vqmc_tensor::simd::kernels();
+
+        let use_cols = match self.layout {
+            PanelLayout::Auto => {
+                rows >= COLS_THRESHOLD && h * rows * 8 <= COLS_PANEL_CAP_BYTES
+            }
+            PanelLayout::Rows => false,
+            PanelLayout::Cols => true,
+        };
+        if use_cols {
+            // Cols path: transposed h×rows panel, z1t[j·rows + s]
+            // starts at b1[j]; bit i−1's column update is deferred into
+            // bit i's fused kernel call via prev_mask.
+            let MadeBatchSampler {
+                z1t,
+                prev_mask,
+                bits_t,
+                cols_scratch,
+                ls_buf,
+                log_prob,
+                logits,
+                probs,
+                rngs,
+                w1_t,
+                ..
+            } = self;
+            // No clear first: every byte is overwritten in the bit loop,
+            // so only grow (and zero) when the geometry changes.
+            bits_t.resize(n * rows, 0);
+            bits_t.truncate(n * rows);
+            z1t.clear();
+            z1t.reserve(h * rows);
+            for &bj in b1.as_slice() {
+                z1t.extend(std::iter::repeat(bj).take(rows));
+            }
+            prev_mask.clear();
+            prev_mask.resize(rows, 0.0);
+            cols_scratch.resize(6 * rows, 0.0);
+            const LS_CHUNK: usize = 512;
+            ls_buf.clear();
+            ls_buf.resize(LS_CHUNK.min(n.max(1)) * rows, 0.0);
+            for i in 0..n {
+                let w_prev = if i > 0 { Some(w1_t.row(i - 1)) } else { None };
+                (kern.sample_step_cols)(
+                    z1t,
+                    rows,
+                    w_prev,
+                    prev_mask,
+                    w2.row(i),
+                    b2[i],
+                    cols_scratch,
+                    logits,
+                );
+                probs.copy_from_slice(logits);
+                ops::sigmoid_slice(probs);
+                // Same draw order as the row path; the update is
+                // recorded in prev_mask instead of applied eagerly.
+                // Branchless: the drawn bit is data, not control flow,
+                // so the 50/50 outcome can't mispredict.  `-x` and the
+                // select are exact, so this stays bit-identical to the
+                // row path's `if`.
+                let row_bits = &mut bits_t[i * rows..(i + 1) * rows];
+                let c = i % LS_CHUNK;
+                let signed = &mut ls_buf[c * rows..(c + 1) * rows];
+                let mut s = 0;
+                for (q, &count) in counts.iter().enumerate() {
+                    let rng: &mut StdRng = match external.as_deref_mut() {
+                        Some(r) => r,
+                        None => &mut rngs[q],
+                    };
+                    for _ in 0..count {
+                        let u = rng.gen::<f64>();
+                        let p = probs[s];
+                        debug_assert!((0.0..=1.0).contains(&p), "conditional out of range");
+                        let bit = (u < p) as u8;
+                        row_bits[s] = bit;
+                        prev_mask[s] = bit as f64;
+                        signed[s] = if bit == 1 { logits[s] } else { -logits[s] };
+                        s += 1;
+                    }
+                }
+                if c + 1 == LS_CHUNK || i + 1 == n {
+                    let filled = (c + 1) * rows;
+                    ops::log_sigmoid_slice(&mut ls_buf[..filled]);
+                    for chunk in ls_buf[..filled].chunks_exact(rows) {
+                        for (lp, &v) in log_prob.iter_mut().zip(chunk) {
+                            *lp += v;
+                        }
+                    }
+                }
+            }
+            // Tiled transpose of the drawn bits into the row-major
+            // output (64-bit tiles keep both sides L1-resident).
+            const TILE: usize = 64;
+            let mut i0 = 0;
+            while i0 < n {
+                let iend = (i0 + TILE).min(n);
+                for s in 0..rows {
+                    let row = out_batch.sample_mut(s);
+                    for i in i0..iend {
+                        row[i] = bits_t[i * rows + s];
+                    }
+                }
+                i0 = iend;
+            }
+        } else {
+            // Row path: z1[s] starts at b1 and absorbs W₁'s column i
+            // when bit i is drawn 1.
+            self.z1.clear();
+            self.z1.reserve(rows * h);
+            for _ in 0..rows {
+                self.z1.extend_from_slice(b1);
+            }
+            for i in 0..n {
+                let w2_row = w2.row(i);
+                let w1_col = self.w1_t.row(i);
+                for s in 0..rows {
+                    let z_row = &self.z1[s * h..(s + 1) * h];
+                    self.logits[s] = b2[i] + (kern.relu_dot)(w2_row, z_row);
+                }
+                self.probs.copy_from_slice(&self.logits);
+                ops::sigmoid_slice(&mut self.probs);
+                // Draw order per stream matches the coalesced path
+                // exactly: bit-major, then row-within-stream.
+                let mut s = 0;
+                for (q, &count) in counts.iter().enumerate() {
+                    let rng: &mut StdRng = match external.as_deref_mut() {
+                        Some(r) => r,
+                        None => &mut self.rngs[q],
+                    };
+                    for _ in 0..count {
+                        let p = self.probs[s];
+                        debug_assert!((0.0..=1.0).contains(&p), "conditional out of range");
+                        if rng.gen::<f64>() < p {
+                            out_batch.set(s, i, 1);
+                            vqmc_tensor::vector::axpy(
+                                &mut self.z1[s * h..(s + 1) * h],
+                                1.0,
+                                w1_col,
+                            );
+                        } else {
+                            self.logits[s] = -self.logits[s];
+                        }
+                        s += 1;
+                    }
+                }
+                ops::log_sigmoid_slice(&mut self.logits);
+                vqmc_tensor::vector::axpy(&mut self.log_prob, 1.0, &self.logits);
+            }
+        }
+        out_log_psi.resize(rows);
+        for (o, &lp) in out_log_psi.iter_mut().zip(&self.log_prob) {
+            *o = 0.5 * lp;
+        }
+    }
+}
+
+/// The coalesced NADE sampler: the model's native `O(h)`-per-site
+/// recursion over the combined batch, each request's rows drawn from
+/// its own seeded RNG stream.
+///
+/// Invariant (property-tested): rows `[offset_r, offset_r + count_r)`
+/// are bit-identical — configurations *and* `logψ` — to a solo
+/// `Nade::sample_native(count_r, StdRng::seed_from_u64(seed_r))`.  The
+/// recursion reuses `sample_native`'s exact scalar `σ` / `ln σ` ops in
+/// the same `(site, row-within-request)` order, so the identity is
+/// bitwise, not just numerical (the vectorised slice kernels are only
+/// ≤ 2 ULP-equal to the scalar ops and would break it).
+#[derive(Debug, Default)]
+pub struct NadeBatchSampler {
+    /// Per-row shared hidden pre-activations (`rows · h`).
+    a: Vec<f64>,
+    /// `σ(a)` scratch for one row.
+    hidden: Vec<f64>,
+    /// Per-row accumulated `log π`.
+    log_prob: Vec<f64>,
+    /// Per-request RNG streams (rebuilt each coalesced call).
+    rngs: Vec<StdRng>,
+    /// Per-request row counts (pooled mirror of the request list).
+    counts: Vec<usize>,
+}
+
+impl NadeBatchSampler {
+    /// A fresh sampler (scratch buffers grow on first use).
+    pub fn new() -> Self {
+        NadeBatchSampler::default()
+    }
+
+    /// Draws every request inside one combined native recursion, each
+    /// request's rows from its own seeded RNG stream.
+    pub fn sample_coalesced(
+        &mut self,
+        wf: &Nade,
+        reqs: &[SampleRequest],
+        out_batch: &mut SpinBatch,
+        out_log_psi: &mut Vector,
+    ) {
+        self.rngs.clear();
+        let mut counts = std::mem::take(&mut self.counts);
+        counts.clear();
+        for req in reqs {
+            self.rngs.push(StdRng::seed_from_u64(req.seed));
+            counts.push(req.count);
+        }
+        self.sample_core(wf, &counts, None, out_batch, out_log_psi);
+        self.counts = counts;
+    }
+
+    /// Draws one batch from a caller-owned RNG stream (the training
+    /// path — pooled-scratch equivalent of [`Nade::sample_native`]).
+    pub fn sample_stream(
+        &mut self,
+        wf: &Nade,
+        count: usize,
+        rng: &mut StdRng,
+        out_batch: &mut SpinBatch,
+        out_log_psi: &mut Vector,
+    ) {
+        self.sample_core(wf, &[count], Some(rng), out_batch, out_log_psi);
+    }
+
+    fn sample_core(
+        &mut self,
+        wf: &Nade,
+        counts: &[usize],
+        mut external: Option<&mut StdRng>,
+        out_batch: &mut SpinBatch,
+        out_log_psi: &mut Vector,
+    ) {
+        let n = wf.num_spins();
+        let h = wf.hidden_size();
+        let rows: usize = counts.iter().sum();
+        out_batch.resize(rows, n);
+        out_batch.fill(0);
+        let b = wf.b().as_slice();
+        self.a.clear();
+        self.a.reserve(rows * h);
+        for _ in 0..rows {
+            self.a.extend_from_slice(b);
+        }
+        self.hidden.clear();
+        self.hidden.resize(h, 0.0);
+        self.log_prob.clear();
+        self.log_prob.resize(rows, 0.0);
+        let (v, c, w_t) = (wf.v(), wf.c(), wf.w_t());
+        for i in 0..n {
+            let v_row = v.row(i);
+            let w_col = w_t.row(i);
+            let mut s = 0;
+            for (q, &count) in counts.iter().enumerate() {
+                let rng: &mut StdRng = match external.as_deref_mut() {
+                    Some(r) => r,
+                    None => &mut self.rngs[q],
+                };
+                for _ in 0..count {
+                    let a_row = &mut self.a[s * h..(s + 1) * h];
+                    for (hk, &ak) in self.hidden.iter_mut().zip(a_row.iter()) {
+                        *hk = ops::sigmoid(ak);
+                    }
+                    let logit = vqmc_tensor::vector::dot(v_row, &self.hidden) + c[i];
+                    if rng.gen::<f64>() < ops::sigmoid(logit) {
+                        out_batch.set(s, i, 1);
+                        self.log_prob[s] += ops::log_sigmoid(logit);
+                        vqmc_tensor::vector::axpy(a_row, 1.0, w_col);
+                    } else {
+                        self.log_prob[s] += ops::log_one_minus_sigmoid(logit);
+                    }
+                    s += 1;
+                }
+            }
+        }
+        out_log_psi.resize(rows);
+        for (o, &lp) in out_log_psi.iter_mut().zip(&self.log_prob) {
+            *o = 0.5 * lp;
+        }
+    }
+}
+
+/// Exact-AUTO accounting in the paper's Algorithm-1 unit: the
+/// equivalent work of one logical forward pass per bit.
+fn auto_stats(n: usize, rows: usize) -> SampleStats {
+    SampleStats {
+        forward_passes: n,
+        configurations_evaluated: rows * n,
+        proposals: 0,
+        accepted: 0,
+    }
+}
+
+/// The architecture-dispatching batch sampler: owns one engine per
+/// model family and routes a [`BatchedSampling`] model to the right one
+/// via double dispatch — no `AnyModel` match anywhere in the consumers.
+#[derive(Debug, Default)]
+pub struct BatchSampler {
+    made: MadeBatchSampler,
+    nade: NadeBatchSampler,
+    mcmc: McmcSampler,
+}
+
+impl BatchSampler {
+    /// A fresh sampler (per-architecture scratch grows on first use).
+    pub fn new() -> Self {
+        BatchSampler::default()
+    }
+
+    /// A sampler whose RBM fallback uses a custom MCMC configuration.
+    pub fn with_mcmc(mcmc: McmcSampler) -> Self {
+        BatchSampler {
+            mcmc,
+            ..BatchSampler::default()
+        }
+    }
+
+    /// Draws every request into one coalesced output batch (request
+    /// `r`'s rows at `[Σ_{q<r} count_q, …)`), bit-identical per request
+    /// to a solo call with that request's seed.  Exact-AUTO models run
+    /// as one combined pass; RBM falls back to per-request MCMC chains
+    /// (inherently sequential per chain).
+    pub fn sample_requests(
+        &mut self,
+        model: &dyn BatchedSampling,
+        reqs: &[SampleRequest],
+        out_batch: &mut SpinBatch,
+        out_log_psi: &mut Vector,
+    ) -> SampleStats {
+        let mut call = RequestCall {
+            made: &mut self.made,
+            nade: &mut self.nade,
+            mcmc: &self.mcmc,
+            reqs,
+            out_batch,
+            out_log_psi,
+            stats: SampleStats::default(),
+        };
+        model.sample_via(&mut call);
+        call.stats
+    }
+
+    /// Draws one batch from a caller-owned RNG stream into a
+    /// caller-owned output — the single-stream shape the CLI's
+    /// `evaluate`/`sample` commands use on a loaded checkpoint.
+    pub fn sample_stream_into(
+        &mut self,
+        model: &dyn BatchedSampling,
+        count: usize,
+        rng: &mut StdRng,
+        out: &mut SampleOutput,
+    ) {
+        let mut call = StreamCall {
+            made: &mut self.made,
+            nade: &mut self.nade,
+            mcmc: &self.mcmc,
+            count,
+            rng,
+            out,
+        };
+        model.sample_via(&mut call);
+    }
+
+    /// Allocating convenience form of [`BatchSampler::sample_stream_into`].
+    pub fn sample_stream(
+        &mut self,
+        model: &dyn BatchedSampling,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> SampleOutput {
+        let mut out = SampleOutput::default();
+        self.sample_stream_into(model, count, rng, &mut out);
+        out
+    }
+}
+
+/// [`SamplingEngine`] arms for a coalesced multi-request call.
+struct RequestCall<'a> {
+    made: &'a mut MadeBatchSampler,
+    nade: &'a mut NadeBatchSampler,
+    mcmc: &'a McmcSampler,
+    reqs: &'a [SampleRequest],
+    out_batch: &'a mut SpinBatch,
+    out_log_psi: &'a mut Vector,
+    stats: SampleStats,
+}
+
+impl RequestCall<'_> {
+    fn rows(&self) -> usize {
+        self.reqs.iter().map(|r| r.count).sum()
+    }
+}
+
+impl SamplingEngine for RequestCall<'_> {
+    fn sample_made(&mut self, wf: &Made) {
+        self.made
+            .sample_coalesced(wf, self.reqs, self.out_batch, self.out_log_psi);
+        self.stats = auto_stats(wf.num_spins(), self.rows());
+    }
+
+    fn sample_nade(&mut self, wf: &Nade) {
+        self.nade
+            .sample_coalesced(wf, self.reqs, self.out_batch, self.out_log_psi);
+        self.stats = auto_stats(wf.num_spins(), self.rows());
+    }
+
+    fn sample_rbm(&mut self, wf: &Rbm) {
+        let n = wf.num_spins();
+        let rows = self.rows();
+        self.out_batch.resize(rows, n);
+        self.out_log_psi.resize(rows);
+        let mut stats = SampleStats::default();
+        let mut offset = 0;
+        for req in self.reqs {
+            let mut rng = StdRng::seed_from_u64(req.seed);
+            let out = self.mcmc.sample_rbm(wf, req.count, &mut rng);
+            for s in 0..req.count {
+                self.out_batch
+                    .sample_mut(offset + s)
+                    .copy_from_slice(out.batch.sample(s));
+            }
+            self.out_log_psi.as_mut_slice()[offset..offset + req.count]
+                .copy_from_slice(out.log_psi.as_slice());
+            offset += req.count;
+            stats.forward_passes += out.stats.forward_passes;
+            stats.configurations_evaluated += out.stats.configurations_evaluated;
+            stats.proposals += out.stats.proposals;
+            stats.accepted += out.stats.accepted;
+        }
+        self.stats = stats;
+    }
+}
+
+/// [`SamplingEngine`] arms for a single caller-owned RNG stream.
+struct StreamCall<'a> {
+    made: &'a mut MadeBatchSampler,
+    nade: &'a mut NadeBatchSampler,
+    mcmc: &'a McmcSampler,
+    count: usize,
+    rng: &'a mut StdRng,
+    out: &'a mut SampleOutput,
+}
+
+impl SamplingEngine for StreamCall<'_> {
+    fn sample_made(&mut self, wf: &Made) {
+        self.made
+            .sample_stream(wf, self.count, self.rng, &mut self.out.batch, &mut self.out.log_psi);
+        self.out.stats = auto_stats(wf.num_spins(), self.count);
+    }
+
+    fn sample_nade(&mut self, wf: &Nade) {
+        self.nade
+            .sample_stream(wf, self.count, self.rng, &mut self.out.batch, &mut self.out.log_psi);
+        self.out.stats = auto_stats(wf.num_spins(), self.count);
+    }
+
+    fn sample_rbm(&mut self, wf: &Rbm) {
+        // The `O(h)`-per-proposal RBM fast path, same as the trainer's
+        // `RbmFastMcmc` adapter.
+        *self.out = self.mcmc.sample_rbm(wf, self.count, self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sampler;
+
+    #[test]
+    fn coalesced_rows_land_at_request_offsets() {
+        let wf = Made::new(7, 11, 5);
+        let reqs = [
+            SampleRequest { count: 3, seed: 1 },
+            SampleRequest { count: 9, seed: 2 },
+        ];
+        let mut bs = BatchSampler::new();
+        let mut batch = SpinBatch::default();
+        let mut log_psi = Vector::default();
+        let stats = bs.sample_requests(&wf, &reqs, &mut batch, &mut log_psi);
+        assert_eq!(batch.batch_size(), 12);
+        assert_eq!(log_psi.len(), 12);
+        assert_eq!(stats.forward_passes, 7);
+        assert_eq!(stats.configurations_evaluated, 12 * 7);
+        // Solo redraw of the second request lands exactly at offset 3.
+        let mut solo_b = SpinBatch::default();
+        let mut solo_lp = Vector::default();
+        MadeBatchSampler::new().sample_stream(
+            &wf,
+            9,
+            &mut StdRng::seed_from_u64(2),
+            &mut solo_b,
+            &mut solo_lp,
+        );
+        for s in 0..9 {
+            assert_eq!(batch.sample(3 + s), solo_b.sample(s));
+            assert_eq!(log_psi[3 + s].to_bits(), solo_lp[s].to_bits());
+        }
+    }
+
+    #[test]
+    fn stream_call_dispatches_every_architecture() {
+        let mut bs = BatchSampler::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let made = Made::new(6, 9, 1);
+        let out = bs.sample_stream(&made, 10, &mut rng);
+        assert_eq!(out.batch.batch_size(), 10);
+        assert_eq!(out.stats.forward_passes, 6);
+
+        let nade = Nade::new(6, 5, 1);
+        let out = bs.sample_stream(&nade, 10, &mut StdRng::seed_from_u64(3));
+        assert_eq!(out.batch.batch_size(), 10);
+        // Bit-identical to the model's own native sampler.
+        let (nb, nlp) = nade.sample_native(10, &mut StdRng::seed_from_u64(3));
+        assert_eq!(out.batch.as_bytes(), nb.as_bytes());
+        for s in 0..10 {
+            assert_eq!(out.log_psi[s].to_bits(), nlp[s].to_bits());
+        }
+
+        let rbm = Rbm::new(6, 6, 1);
+        let out = bs.sample_stream(&rbm, 10, &mut StdRng::seed_from_u64(3));
+        assert_eq!(out.batch.batch_size(), 10);
+        assert!(out.stats.proposals > 0, "RBM must go through MCMC");
+    }
+
+    #[test]
+    fn rbm_requests_match_solo_mcmc_per_seed() {
+        let wf = Rbm::new(5, 5, 7);
+        let reqs = [
+            SampleRequest { count: 4, seed: 21 },
+            SampleRequest { count: 6, seed: 22 },
+        ];
+        let mut bs = BatchSampler::new();
+        let mut batch = SpinBatch::default();
+        let mut log_psi = Vector::default();
+        let stats = bs.sample_requests(&wf, &reqs, &mut batch, &mut log_psi);
+        assert!(stats.proposals > 0);
+        let mut offset = 0;
+        for req in &reqs {
+            let solo = McmcSampler::default().sample_rbm(
+                &wf,
+                req.count,
+                &mut StdRng::seed_from_u64(req.seed),
+            );
+            for s in 0..req.count {
+                assert_eq!(batch.sample(offset + s), solo.batch.sample(s));
+                assert_eq!(log_psi[offset + s].to_bits(), solo.log_psi[s].to_bits());
+            }
+            offset += req.count;
+        }
+    }
+
+    #[test]
+    fn forced_layouts_are_bit_identical() {
+        let wf = Made::new(11, 15, 42);
+        for count in [1usize, 4, 8, 33] {
+            let mut row_b = SpinBatch::default();
+            let mut row_lp = Vector::default();
+            let mut sampler = MadeBatchSampler::new();
+            sampler.force_layout(PanelLayout::Rows);
+            sampler.sample_stream(
+                &wf,
+                count,
+                &mut StdRng::seed_from_u64(9),
+                &mut row_b,
+                &mut row_lp,
+            );
+            let mut col_b = SpinBatch::default();
+            let mut col_lp = Vector::default();
+            let mut sampler = MadeBatchSampler::new();
+            sampler.force_layout(PanelLayout::Cols);
+            sampler.sample_stream(
+                &wf,
+                count,
+                &mut StdRng::seed_from_u64(9),
+                &mut col_b,
+                &mut col_lp,
+            );
+            assert_eq!(row_b.as_bytes(), col_b.as_bytes(), "count {count}");
+            for s in 0..count {
+                assert_eq!(row_lp[s].to_bits(), col_lp[s].to_bits(), "count {count} row {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn training_wrapper_equals_engine_stream() {
+        // IncrementalAutoSampler is a thin wrapper over MadeBatchSampler:
+        // same output, same stats.
+        let wf = Made::new(8, 12, 3);
+        let via_wrapper =
+            crate::IncrementalAutoSampler::new().sample(&wf, 20, &mut StdRng::seed_from_u64(4));
+        let mut batch = SpinBatch::default();
+        let mut log_psi = Vector::default();
+        MadeBatchSampler::new().sample_stream(
+            &wf,
+            20,
+            &mut StdRng::seed_from_u64(4),
+            &mut batch,
+            &mut log_psi,
+        );
+        assert_eq!(via_wrapper.batch.as_bytes(), batch.as_bytes());
+        for s in 0..20 {
+            assert_eq!(via_wrapper.log_psi[s].to_bits(), log_psi[s].to_bits());
+        }
+    }
+}

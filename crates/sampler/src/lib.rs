@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod auto;
+pub mod batch;
 pub mod diagnostics;
 pub mod efficiency;
 pub mod gibbs;
@@ -33,6 +34,9 @@ use vqmc_nn::WaveFunction;
 use vqmc_tensor::{SpinBatch, Vector};
 
 pub use auto::{AutoSampler, IncrementalAutoSampler, NadeNativeSampler};
+pub use batch::{
+    BatchSampler, MadeBatchSampler, NadeBatchSampler, PanelLayout, SampleRequest,
+};
 pub use gibbs::{GibbsConfig, GibbsSampler};
 pub use mcmc::{BurnIn, McmcConfig, McmcSampler, RbmFastMcmc, Thinning};
 pub use tempering::{TemperingConfig, TemperingSampler};

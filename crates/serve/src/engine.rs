@@ -11,46 +11,31 @@
 //!   forward passes are row-independent (each row's arithmetic touches
 //!   only that row, in a fixed accumulation order), so coalescing K
 //!   requests is bitwise identical to K sequential calls.
-//! * `Sample` on MADE — all requests are drawn in **one** incremental
-//!   autoregressive pass over the combined batch, but each request's
-//!   bits come from its *own* seeded RNG stream
-//!   ([`MadeBatchSampler`]).  Because the per-bit conditional of a row
-//!   depends only on that row's previously drawn bits, and each
-//!   request's RNG is consumed in the same `(bit, row-within-request)`
-//!   order as a solo call, the coalesced draw is bit-identical to
-//!   sampling each request alone — while the transcendental and
-//!   `relu·dot` kernel work runs at the combined batch size (the
-//!   paper's batch-parallelism lever, §4).
-//! * `Sample` on NADE / RBM — executed per request inside the drained
-//!   batch (their samplers are inherently sequential per chain); the
-//!   batcher still amortises queue wake-ups.
+//! * `Sample` — delegated to `vqmc-sampler`'s unified
+//!   [`BatchSampler`]: the engine owns **no** sampling implementation
+//!   of its own.  Exact-AUTO models (MADE's fused panel pass, NADE's
+//!   native recursion) draw all requests in one combined incremental
+//!   pass, each request's bits from its *own* seeded RNG stream —
+//!   bit-identical to sampling each request alone, while the
+//!   transcendental and `relu·dot` kernel work runs at the combined
+//!   batch size (the paper's batch-parallelism lever, §4).  RBM falls
+//!   back to per-request MCMC chains (inherently sequential per chain);
+//!   the batcher still amortises queue wake-ups.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vqmc_hamiltonian::{
     local_energies_into, LocalEnergyConfig, LocalEnergyScratch, SparseRowHamiltonian,
 };
 use vqmc_nn::checkpoint::AnyModel;
-use vqmc_nn::{Made, WaveFunction};
-use vqmc_sampler::{McmcSampler, SampleOutput};
-use vqmc_tensor::{ops, Matrix, SpinBatch, Vector, Workspace};
+use vqmc_sampler::BatchSampler;
+use vqmc_tensor::{SpinBatch, Vector, Workspace};
 
 use crate::batcher::WorkItem;
 use crate::protocol::{ErrorCode, Request, Response};
 
-/// A `Sample` request normalised for execution: the server resolves
-/// seedless requests to a concrete seed at admission, so execution is
-/// deterministic from here on.
-#[derive(Clone, Copy, Debug)]
-pub struct SampleRequest {
-    /// Number of configurations to draw.
-    pub count: usize,
-    /// RNG seed for this request's private stream.
-    pub seed: u64,
-}
+pub use vqmc_sampler::SampleRequest;
 
 /// Per-worker execution state: the shared read-only model plus all the
 /// scratch the batched passes need (reused across batches, so the
@@ -62,10 +47,12 @@ pub struct Engine {
     ws: Workspace,
     neigh_ws: Workspace,
     le_scratch: LocalEnergyScratch,
-    made_sampler: MadeBatchSampler,
+    sampler: BatchSampler,
     concat: SpinBatch,
     log_psi_buf: Vector,
     le_out: Vector,
+    sample_batch: SpinBatch,
+    sample_log_psi: Vector,
 }
 
 impl Engine {
@@ -89,10 +76,12 @@ impl Engine {
             ws: Workspace::new(),
             neigh_ws: Workspace::new(),
             le_scratch: LocalEnergyScratch::new(),
-            made_sampler: MadeBatchSampler::default(),
+            sampler: BatchSampler::new(),
             concat: SpinBatch::zeros(0, 0),
             log_psi_buf: Vector::default(),
             le_out: Vector::default(),
+            sample_batch: SpinBatch::zeros(0, 0),
+            sample_log_psi: Vector::default(),
         }
     }
 
@@ -229,54 +218,33 @@ impl Engine {
         }
     }
 
-    /// Draws every sample request, coalescing where the model allows it.
-    /// Public for the property tests (and for in-process embedding).
+    /// Draws every sample request through the unified
+    /// [`BatchSampler`], then splits the coalesced output back into
+    /// per-request replies (one bulk row copy per request).  Public for
+    /// the property tests (and for in-process embedding).
     pub fn run_samples(&mut self, reqs: &[SampleRequest]) -> Vec<Response> {
-        match self.model.as_ref() {
-            AnyModel::Made(made) => {
-                let mut batch = SpinBatch::zeros(0, 0);
-                let mut log_psi = Vector::default();
-                self.made_sampler
-                    .sample_coalesced(made, reqs, &mut batch, &mut log_psi);
-                let n = made.num_spins();
-                let mut replies = Vec::with_capacity(reqs.len());
-                let mut offset = 0;
-                for req in reqs {
-                    let mut rows = SpinBatch::zeros(req.count, n);
-                    for s in 0..req.count {
-                        rows.sample_mut(s).copy_from_slice(batch.sample(offset + s));
-                    }
-                    let lp =
-                        Vector(log_psi.as_slice()[offset..offset + req.count].to_vec());
-                    offset += req.count;
-                    replies.push(Response::Samples {
-                        batch: rows,
-                        log_psi: lp,
-                    });
-                }
-                replies
-            }
-            AnyModel::Nade(nade) => reqs
-                .iter()
-                .map(|req| {
-                    let mut rng = StdRng::seed_from_u64(req.seed);
-                    let (batch, log_psi) = nade.sample_native(req.count, &mut rng);
-                    Response::Samples { batch, log_psi }
-                })
-                .collect(),
-            AnyModel::Rbm(rbm) => reqs
-                .iter()
-                .map(|req| {
-                    let mut rng = StdRng::seed_from_u64(req.seed);
-                    let out: SampleOutput =
-                        McmcSampler::default().sample_rbm(rbm, req.count, &mut rng);
-                    Response::Samples {
-                        batch: out.batch,
-                        log_psi: out.log_psi,
-                    }
-                })
-                .collect(),
+        self.sampler.sample_requests(
+            self.model.as_batched_sampling(),
+            reqs,
+            &mut self.sample_batch,
+            &mut self.sample_log_psi,
+        );
+        let mut replies = Vec::with_capacity(reqs.len());
+        let mut offset = 0;
+        for req in reqs {
+            let mut rows = SpinBatch::default();
+            self.sample_batch
+                .copy_rows_into(offset..offset + req.count, &mut rows);
+            let lp = Vector(
+                self.sample_log_psi.as_slice()[offset..offset + req.count].to_vec(),
+            );
+            offset += req.count;
+            replies.push(Response::Samples {
+                batch: rows,
+                log_psi: lp,
+            });
         }
+        replies
     }
 
     /// `logψ` for one batch through the same path the coalesced pass
@@ -289,248 +257,12 @@ impl Engine {
     }
 }
 
-/// The coalesced MADE sampler: the incremental AUTO pass of
-/// `vqmc_sampler::IncrementalAutoSampler`, generalised to draw each
-/// row-range of the combined batch from its own request-seeded RNG.
-///
-/// Invariant (property-tested): for every request `r`, rows
-/// `[offset_r, offset_r + count_r)` of the output are bit-identical —
-/// configurations *and* `logψ` — to a solo
-/// `IncrementalAutoSampler::sample(wf, count_r, StdRng::seed_from_u64(seed_r))`.
-///
-/// Two layouts, same arithmetic (dispatch on the combined row count):
-///
-/// * **row path** (small batches) — one `rows·h` row-major activation
-///   buffer, per-row `relu_dot` + `axpy`, vectorised along `h`;
-/// * **cols path** (`rows ≥ COLS_THRESHOLD`) — a *transposed* `h·rows`
-///   panel driven by the fused `sample_step_cols` kernel: the deferred
-///   `W₁` column update and the logit reduction happen in **one**
-///   memory pass over the panel, vectorised along the batch, so the
-///   per-bit weight rows (`W₁ᵀ` and `W₂`) are streamed once per *batch*
-///   instead of once per *row*.  That amortisation is where the batched
-///   serving throughput comes from once the weights outgrow cache.
-///
-/// The kernel reproduces `relu_dot`'s per-row accumulation order
-/// exactly (property-tested in `vqmc-tensor`), so both paths produce
-/// bit-identical output and the solo-identity invariant holds
-/// regardless of which one dispatched.
-#[derive(Debug, Default)]
-struct MadeBatchSampler {
-    /// Per-row hidden pre-activations (`rows · h`, row path).
-    z1: Vec<f64>,
-    /// Transposed pre-activation panel (`h · rows`, cols path).
-    z1t: Vec<f64>,
-    /// Which rows drew the previous bit as 1 (`1.0`/`0.0`, cols path —
-    /// the deferred update mask for `sample_step_cols`).
-    prev_mask: Vec<f64>,
-    /// Drawn bits in transposed `n · rows` layout (cols path): the
-    /// per-bit draw loop stores sequentially here instead of striding
-    /// across the row-major output (64 pages touched per bit);
-    /// transposed into the output in one tiled pass at the end.
-    bits_t: Vec<u8>,
-    /// Sign-flipped logits for a chunk of bits (cols path): `log σ` is
-    /// applied to `LS_CHUNK·rows` elements at a time so the
-    /// transcendental kernel runs at vector-friendly slice lengths
-    /// instead of once per bit.  Elementwise results and the ascending
-    /// bit-order accumulation into `log_prob` are unchanged, so this
-    /// stays bit-identical to the per-bit path.
-    ls_buf: Vec<f64>,
-    /// Accumulator stripes for `sample_step_cols` (`5 · rows`).
-    cols_scratch: Vec<f64>,
-    /// Per-row accumulated `log π`.
-    log_prob: Vec<f64>,
-    /// Per-row logits of the current output bit.
-    logits: Vec<f64>,
-    /// `σ(logits)` scratch.
-    probs: Vec<f64>,
-    /// Request index of every row.
-    row_req: Vec<u32>,
-    /// Per-request RNG streams (rebuilt each call; capacity reused).
-    rngs: Vec<StdRng>,
-    /// Cached `W₁ᵀ`, invalidated via [`Made::params_version`].
-    w1_t: Matrix,
-    cached_version: Option<u64>,
-}
-
-/// Below this combined row count the row path wins: the fused kernel
-/// vectorises along the batch, so tiny batches would run scalar.
-const COLS_THRESHOLD: usize = 8;
-
-impl MadeBatchSampler {
-    fn sample_coalesced(
-        &mut self,
-        wf: &Made,
-        reqs: &[SampleRequest],
-        out_batch: &mut SpinBatch,
-        out_log_psi: &mut Vector,
-    ) {
-        let n = wf.num_spins();
-        let h = wf.hidden_size();
-        let rows: usize = reqs.iter().map(|r| r.count).sum();
-        out_batch.resize(rows, n);
-        out_batch.fill(0);
-
-        self.rngs.clear();
-        self.row_req.clear();
-        for (r, req) in reqs.iter().enumerate() {
-            self.rngs.push(StdRng::seed_from_u64(req.seed));
-            self.row_req.extend(std::iter::repeat(r as u32).take(req.count));
-        }
-
-        let b1 = wf.b1();
-        if self.cached_version != Some(wf.params_version()) {
-            wf.w1().transpose_into(&mut self.w1_t);
-            self.cached_version = Some(wf.params_version());
-        }
-        let w2 = wf.w2();
-        let b2 = wf.b2();
-        self.log_prob.clear();
-        self.log_prob.resize(rows, 0.0);
-        self.logits.resize(rows, 0.0);
-        self.probs.resize(rows, 0.0);
-        let kern = vqmc_tensor::simd::kernels();
-
-        if rows >= COLS_THRESHOLD {
-            // Cols path: transposed h×rows panel, z1t[j·rows + s]
-            // starts at b1[j]; bit i−1's column update is deferred into
-            // bit i's fused kernel call via prev_mask.
-            let MadeBatchSampler {
-                z1t,
-                prev_mask,
-                bits_t,
-                cols_scratch,
-                ls_buf,
-                log_prob,
-                logits,
-                probs,
-                row_req,
-                rngs,
-                w1_t,
-                ..
-            } = self;
-            // No clear first: every byte is overwritten in the bit loop,
-            // so only grow (and zero) when the geometry changes.
-            bits_t.resize(n * rows, 0);
-            bits_t.truncate(n * rows);
-            z1t.clear();
-            z1t.reserve(h * rows);
-            for &bj in b1.as_slice() {
-                z1t.extend(std::iter::repeat(bj).take(rows));
-            }
-            prev_mask.clear();
-            prev_mask.resize(rows, 0.0);
-            cols_scratch.resize(5 * rows, 0.0);
-            const LS_CHUNK: usize = 512;
-            ls_buf.clear();
-            ls_buf.resize(LS_CHUNK.min(n.max(1)) * rows, 0.0);
-            let _ = row_req;
-            for i in 0..n {
-                let w_prev = if i > 0 { Some(w1_t.row(i - 1)) } else { None };
-                (kern.sample_step_cols)(
-                    z1t,
-                    rows,
-                    w_prev,
-                    prev_mask,
-                    w2.row(i),
-                    b2[i],
-                    cols_scratch,
-                    logits,
-                );
-                probs.copy_from_slice(logits);
-                ops::sigmoid_slice(probs);
-                // Same draw order as the row path; the update is
-                // recorded in prev_mask instead of applied eagerly.
-                // Branchless: the drawn bit is data, not control flow,
-                // so the 50/50 outcome can't mispredict.  `-x` and the
-                // select are exact, so this stays bit-identical to the
-                // row path's `if`.
-                let row_bits = &mut bits_t[i * rows..(i + 1) * rows];
-                let c = i % LS_CHUNK;
-                let signed = &mut ls_buf[c * rows..(c + 1) * rows];
-                let mut s = 0;
-                for (q, req) in reqs.iter().enumerate() {
-                    let rng = &mut rngs[q];
-                    for _ in 0..req.count {
-                        let u = rng.gen::<f64>();
-                        let p = probs[s];
-                        debug_assert!((0.0..=1.0).contains(&p), "conditional out of range");
-                        let bit = (u < p) as u8;
-                        row_bits[s] = bit;
-                        prev_mask[s] = bit as f64;
-                        signed[s] = if bit == 1 { logits[s] } else { -logits[s] };
-                        s += 1;
-                    }
-                }
-                if c + 1 == LS_CHUNK || i + 1 == n {
-                    let filled = (c + 1) * rows;
-                    ops::log_sigmoid_slice(&mut ls_buf[..filled]);
-                    for chunk in ls_buf[..filled].chunks_exact(rows) {
-                        for (lp, &v) in log_prob.iter_mut().zip(chunk) {
-                            *lp += v;
-                        }
-                    }
-                }
-            }
-            // Tiled transpose of the drawn bits into the row-major
-            // output (64-bit tiles keep both sides L1-resident).
-            const TILE: usize = 64;
-            let mut i0 = 0;
-            while i0 < n {
-                let iend = (i0 + TILE).min(n);
-                for s in 0..rows {
-                    let row = out_batch.sample_mut(s);
-                    for i in i0..iend {
-                        row[i] = bits_t[i * rows + s];
-                    }
-                }
-                i0 = iend;
-            }
-        } else {
-            // Row path: z1[s] starts at b1 and absorbs W₁'s column i
-            // when bit i is drawn 1.
-            self.z1.clear();
-            self.z1.reserve(rows * h);
-            for _ in 0..rows {
-                self.z1.extend_from_slice(b1);
-            }
-            for i in 0..n {
-                let w2_row = w2.row(i);
-                let w1_col = self.w1_t.row(i);
-                for s in 0..rows {
-                    let z_row = &self.z1[s * h..(s + 1) * h];
-                    self.logits[s] = b2[i] + (kern.relu_dot)(w2_row, z_row);
-                }
-                self.probs.copy_from_slice(&self.logits);
-                ops::sigmoid_slice(&mut self.probs);
-                // Draw order per request matches the solo sampler exactly:
-                // bit-major, then row-within-request — each request's RNG
-                // sees the same variate sequence it would see alone.
-                for s in 0..rows {
-                    let p = self.probs[s];
-                    debug_assert!((0.0..=1.0).contains(&p), "conditional out of range");
-                    let rng = &mut self.rngs[self.row_req[s] as usize];
-                    if rng.gen::<f64>() < p {
-                        out_batch.set(s, i, 1);
-                        vqmc_tensor::vector::axpy(&mut self.z1[s * h..(s + 1) * h], 1.0, w1_col);
-                    } else {
-                        self.logits[s] = -self.logits[s];
-                    }
-                }
-                ops::log_sigmoid_slice(&mut self.logits);
-                vqmc_tensor::vector::axpy(&mut self.log_prob, 1.0, &self.logits);
-            }
-        }
-        out_log_psi.resize(rows);
-        for (o, &lp) in out_log_psi.iter_mut().zip(&self.log_prob) {
-            *o = 0.5 * lp;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vqmc_nn::{Nade, Rbm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vqmc_nn::{Made, Nade, Rbm};
     use vqmc_sampler::{IncrementalAutoSampler, Sampler};
     use vqmc_tensor::batch::enumerate_configs;
 
@@ -543,41 +275,44 @@ mod tests {
     }
 
     #[test]
-    fn coalesced_made_sampling_matches_solo_incremental_sampler() {
-        let wf = Made::new(9, 14, 123);
+    fn coalesced_sample_replies_match_solo_incremental_sampler() {
+        let mut engine = made_engine(9, 14, 123);
+        let wf = match engine.model() {
+            AnyModel::Made(m) => m.clone(),
+            _ => unreachable!(),
+        };
         let reqs = [
             SampleRequest { count: 5, seed: 11 },
             SampleRequest { count: 1, seed: 12 },
             SampleRequest { count: 17, seed: 13 },
             SampleRequest { count: 8, seed: 11 }, // duplicate seed is fine
         ];
-        let mut sampler = MadeBatchSampler::default();
-        let mut batch = SpinBatch::zeros(0, 0);
-        let mut log_psi = Vector::default();
-        sampler.sample_coalesced(&wf, &reqs, &mut batch, &mut log_psi);
-
-        let mut offset = 0;
-        for req in &reqs {
+        let replies = engine.run_samples(&reqs);
+        for (req, reply) in reqs.iter().zip(replies) {
             let solo = IncrementalAutoSampler::new().sample(
                 &wf,
                 req.count,
                 &mut StdRng::seed_from_u64(req.seed),
             );
-            for s in 0..req.count {
-                assert_eq!(
-                    batch.sample(offset + s),
-                    solo.batch.sample(s),
-                    "seed {}: configurations must be bit-identical",
-                    req.seed
-                );
-                assert_eq!(
-                    log_psi[offset + s].to_bits(),
-                    solo.log_psi[s].to_bits(),
-                    "seed {}: logψ must be bit-identical",
-                    req.seed
-                );
+            match reply {
+                Response::Samples { batch, log_psi } => {
+                    assert_eq!(
+                        batch.as_bytes(),
+                        solo.batch.as_bytes(),
+                        "seed {}: configurations must be bit-identical",
+                        req.seed
+                    );
+                    for s in 0..req.count {
+                        assert_eq!(
+                            log_psi[s].to_bits(),
+                            solo.log_psi[s].to_bits(),
+                            "seed {}: logψ must be bit-identical",
+                            req.seed
+                        );
+                    }
+                }
+                other => panic!("expected Samples, got {other:?}"),
             }
-            offset += req.count;
         }
     }
 
@@ -664,6 +399,34 @@ mod tests {
             let a = engine.run_samples(&reqs);
             let b = engine.run_samples(&reqs);
             assert_eq!(a, b, "same seed must reproduce");
+        }
+    }
+
+    #[test]
+    fn nade_coalesced_replies_match_native_sampling() {
+        let nade = Nade::new(7, 6, 9);
+        let mut engine = Engine::new(
+            Arc::new(AnyModel::Nade(nade.clone())),
+            None,
+            LocalEnergyConfig::default(),
+        );
+        let reqs = [
+            SampleRequest { count: 4, seed: 31 },
+            SampleRequest { count: 11, seed: 32 },
+        ];
+        let replies = engine.run_samples(&reqs);
+        for (req, reply) in reqs.iter().zip(replies) {
+            let (sb, slp) =
+                nade.sample_native(req.count, &mut StdRng::seed_from_u64(req.seed));
+            match reply {
+                Response::Samples { batch, log_psi } => {
+                    assert_eq!(batch.as_bytes(), sb.as_bytes(), "seed {}", req.seed);
+                    for s in 0..req.count {
+                        assert_eq!(log_psi[s].to_bits(), slp[s].to_bits());
+                    }
+                }
+                other => panic!("expected Samples, got {other:?}"),
+            }
         }
     }
 }

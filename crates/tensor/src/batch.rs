@@ -205,6 +205,24 @@ impl SpinBatch {
         }
     }
 
+    /// Copies the sample rows `src` into `dst` (reshaped to
+    /// `src.len() × num_spins`) as one contiguous memcpy — the bulk form
+    /// of per-row `sample_mut(..).copy_from_slice(..)` scatter loops,
+    /// used when a coalesced batch is split back into per-request
+    /// replies.
+    pub fn copy_rows_into(&self, src: std::ops::Range<usize>, dst: &mut SpinBatch) {
+        assert!(
+            src.start <= src.end && src.end <= self.batch_size,
+            "copy_rows_into: row range {src:?} out of bounds (batch {})",
+            self.batch_size
+        );
+        let rows = src.len();
+        dst.resize(rows, self.num_spins);
+        let start = src.start * self.num_spins;
+        dst.data
+            .copy_from_slice(&self.data[start..start + rows * self.num_spins]);
+    }
+
     /// Raw byte view (for hashing / dedup in tests).
     pub fn as_bytes(&self) -> &[u8] {
         &self.data
@@ -320,6 +338,29 @@ mod tests {
         assert_eq!(c.batch_size(), 2);
         assert_eq!(c.sample(0), &[0, 1]);
         assert_eq!(c.sample(1), &[1, 1]);
+    }
+
+    #[test]
+    fn copy_rows_into_extracts_contiguous_rows() {
+        let b = SpinBatch::from_fn(5, 3, |s, i| (((s + 1) * (i + 2)) % 2) as u8);
+        let mut dst = SpinBatch::default();
+        b.copy_rows_into(1..4, &mut dst);
+        assert_eq!(dst.batch_size(), 3);
+        assert_eq!(dst.num_spins(), 3);
+        for s in 0..3 {
+            assert_eq!(dst.sample(s), b.sample(1 + s));
+        }
+        // Empty range is legal and yields an empty batch.
+        b.copy_rows_into(2..2, &mut dst);
+        assert_eq!(dst.batch_size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn copy_rows_into_rejects_out_of_range() {
+        let b = SpinBatch::zeros(2, 3);
+        let mut dst = SpinBatch::default();
+        b.copy_rows_into(1..3, &mut dst);
     }
 
     #[test]

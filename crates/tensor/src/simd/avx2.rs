@@ -432,6 +432,11 @@ pub unsafe fn sample_step_cols(
     debug_assert_eq!(zt.len(), h * b);
     debug_assert_eq!(prev_mask.len(), b);
     debug_assert_eq!(logits.len(), b);
+    if h * b * 8 > HIDDEN_MAJOR_BYTES {
+        return sample_step_cols_hidden_major(
+            zt, b, w_prev, prev_mask, w_out, bias, scratch, logits,
+        );
+    }
     let _ = scratch; // register accumulators; scratch is a portable-arm concern
     let n4 = h - h % 4;
     let pz = zt.as_mut_ptr();
@@ -581,6 +586,211 @@ pub unsafe fn sample_step_cols(
             }
         }
         logits[r] = bias + (((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail);
+        r += 1;
+    }
+}
+
+/// Above this panel size the row-block traversal's stride-`b` loads
+/// outrun the dTLB and the stride prefetcher; see the AVX-512 arm for
+/// the full analysis.  Both SIMD arms use the same constant so the
+/// traversal switch happens at the same shape.
+const HIDDEN_MAJOR_BYTES: usize = 64 * 1024;
+
+/// Hidden-major twin of the row-block traversal in
+/// [`sample_step_cols`], used for panels too large for it: the hidden
+/// loop is outermost, so the panel row, the mask stash and the stripe
+/// accumulators are all walked contiguously.  Per row the operation
+/// sequence — `z + (w AND mask)` select-free update, `max(z,0)`,
+/// lane-striped fused multiply-accumulate, `((a0+a1)+(a2+a3))+tail`
+/// combine — matches the row-block traversal exactly, so results are
+/// bit-identical; partial sums round-tripping through the `f64`
+/// scratch stripes is exact.
+///
+/// The `prev_mask > 0.5` compares are hoisted into a per-bit mask
+/// stash (the sixth scratch stripe), and aligned blocks of 4 hidden
+/// units — one per accumulator stripe — share each mask load.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn sample_step_cols_hidden_major(
+    zt: &mut [f64],
+    b: usize,
+    w_prev: Option<&[f64]>,
+    prev_mask: &[f64],
+    w_out: &[f64],
+    bias: f64,
+    scratch: &mut [f64],
+    logits: &mut [f64],
+) {
+    let h = w_out.len();
+    debug_assert!(scratch.len() >= 6 * b);
+    let n4 = h - h % 4;
+    let (acc, mask_stash) = scratch.split_at_mut(5 * b);
+    acc.fill(0.0);
+    let pa = acc.as_mut_ptr();
+    let pz = zt.as_mut_ptr();
+    let pm = prev_mask.as_ptr();
+    let pk = mask_stash.as_mut_ptr();
+    let zero = _mm256_setzero_pd();
+    let half = _mm256_set1_pd(0.5);
+    let bv = b - b % 4;
+    if w_prev.is_some() {
+        let mut r = 0;
+        while r < bv {
+            let m = _mm256_cmp_pd(_mm256_loadu_pd(pm.add(r)), half, _CMP_GT_OQ);
+            _mm256_storeu_pd(pk.add(r), m);
+            r += 4;
+        }
+    }
+    match w_prev {
+        Some(w) => {
+            let mut j = 0;
+            // Aligned blocks of 4 hidden units: unit `j+t` feeds stripe
+            // `t`, so the four FMA chains are independent and the mask
+            // load is shared.
+            while j + 4 <= n4 {
+                let w0 = _mm256_set1_pd(*w.get_unchecked(j));
+                let w1 = _mm256_set1_pd(*w.get_unchecked(j + 1));
+                let w2 = _mm256_set1_pd(*w.get_unchecked(j + 2));
+                let w3 = _mm256_set1_pd(*w.get_unchecked(j + 3));
+                let o0 = _mm256_set1_pd(*w_out.get_unchecked(j));
+                let o1 = _mm256_set1_pd(*w_out.get_unchecked(j + 1));
+                let o2 = _mm256_set1_pd(*w_out.get_unchecked(j + 2));
+                let o3 = _mm256_set1_pd(*w_out.get_unchecked(j + 3));
+                let row0 = pz.add(j * b);
+                let row1 = pz.add((j + 1) * b);
+                let row2 = pz.add((j + 2) * b);
+                let row3 = pz.add((j + 3) * b);
+                let mut r = 0;
+                while r < bv {
+                    let m = _mm256_loadu_pd(pk.add(r));
+                    macro_rules! unit {
+                        ($row:ident, $wv:ident, $ov:ident, $stripe:expr) => {{
+                            let p = $row.add(r);
+                            let z = _mm256_loadu_pd(p);
+                            let z = _mm256_add_pd(z, _mm256_and_pd($wv, m));
+                            _mm256_storeu_pd(p, z);
+                            let a = pa.add($stripe * b + r);
+                            _mm256_storeu_pd(
+                                a,
+                                _mm256_fmadd_pd($ov, _mm256_max_pd(z, zero), _mm256_loadu_pd(a)),
+                            );
+                        }};
+                    }
+                    unit!(row0, w0, o0, 0);
+                    unit!(row1, w1, o1, 1);
+                    unit!(row2, w2, o2, 2);
+                    unit!(row3, w3, o3, 3);
+                    r += 4;
+                }
+                while r < b {
+                    let take = *pm.add(r) > 0.5;
+                    macro_rules! unit {
+                        ($row:ident, $jt:expr, $stripe:expr) => {{
+                            let p = $row.add(r);
+                            let mut z = *p;
+                            if take {
+                                z += *w.get_unchecked($jt);
+                                *p = z;
+                            }
+                            let zp = if z > 0.0 { z } else { 0.0 };
+                            let a = pa.add($stripe * b + r);
+                            *a = (*w_out.get_unchecked($jt)).mul_add(zp, *a);
+                        }};
+                    }
+                    unit!(row0, j, 0);
+                    unit!(row1, j + 1, 1);
+                    unit!(row2, j + 2, 2);
+                    unit!(row3, j + 3, 3);
+                    r += 1;
+                }
+                j += 4;
+            }
+            // Sequential tail units feed stripe 4.
+            while j < h {
+                let wj = *w.get_unchecked(j);
+                let wv = _mm256_set1_pd(wj);
+                let wo = *w_out.get_unchecked(j);
+                let wov = _mm256_set1_pd(wo);
+                let row = pz.add(j * b);
+                let accs = pa.add(4 * b);
+                let mut r = 0;
+                while r < bv {
+                    let m = _mm256_loadu_pd(pk.add(r));
+                    let p = row.add(r);
+                    let z = _mm256_loadu_pd(p);
+                    let z = _mm256_add_pd(z, _mm256_and_pd(wv, m));
+                    _mm256_storeu_pd(p, z);
+                    let a = accs.add(r);
+                    _mm256_storeu_pd(
+                        a,
+                        _mm256_fmadd_pd(wov, _mm256_max_pd(z, zero), _mm256_loadu_pd(a)),
+                    );
+                    r += 4;
+                }
+                while r < b {
+                    let p = row.add(r);
+                    let mut z = *p;
+                    if *pm.add(r) > 0.5 {
+                        z += wj;
+                        *p = z;
+                    }
+                    let zp = if z > 0.0 { z } else { 0.0 };
+                    let a = accs.add(r);
+                    *a = wo.mul_add(zp, *a);
+                    r += 1;
+                }
+                j += 1;
+            }
+        }
+        None => {
+            for j in 0..h {
+                let stripe = if j < n4 { j % 4 } else { 4 };
+                let accs = pa.add(stripe * b);
+                let row = pz.add(j * b);
+                let wo = *w_out.get_unchecked(j);
+                let wov = _mm256_set1_pd(wo);
+                let mut r = 0;
+                while r < bv {
+                    let z = _mm256_loadu_pd(row.add(r));
+                    let a = accs.add(r);
+                    _mm256_storeu_pd(
+                        a,
+                        _mm256_fmadd_pd(wov, _mm256_max_pd(z, zero), _mm256_loadu_pd(a)),
+                    );
+                    r += 4;
+                }
+                while r < b {
+                    let z = *row.add(r);
+                    let zp = if z > 0.0 { z } else { 0.0 };
+                    let a = accs.add(r);
+                    *a = wo.mul_add(zp, *a);
+                    r += 1;
+                }
+            }
+        }
+    }
+    let (a0, rest) = acc.split_at(b);
+    let (a1, rest) = rest.split_at(b);
+    let (a2, rest) = rest.split_at(b);
+    let (a3, a4) = rest.split_at(b);
+    let bias_v = _mm256_set1_pd(bias);
+    let mut r = 0;
+    while r < bv {
+        let s = _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_loadu_pd(a0.as_ptr().add(r)),
+                _mm256_loadu_pd(a1.as_ptr().add(r)),
+            ),
+            _mm256_add_pd(
+                _mm256_loadu_pd(a2.as_ptr().add(r)),
+                _mm256_loadu_pd(a3.as_ptr().add(r)),
+            ),
+        );
+        let sum = _mm256_add_pd(s, _mm256_loadu_pd(a4.as_ptr().add(r)));
+        _mm256_storeu_pd(logits.as_mut_ptr().add(r), _mm256_add_pd(bias_v, sum));
+        r += 4;
+    }
+    while r < b {
+        logits[r] = bias + (((a0[r] + a1[r]) + (a2[r] + a3[r])) + a4[r]);
         r += 1;
     }
 }

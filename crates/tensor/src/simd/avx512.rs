@@ -42,6 +42,11 @@ pub unsafe fn sample_step_cols(
     debug_assert_eq!(zt.len(), h * b);
     debug_assert_eq!(prev_mask.len(), b);
     debug_assert_eq!(logits.len(), b);
+    if h * b * 8 > HIDDEN_MAJOR_BYTES {
+        return sample_step_cols_hidden_major(
+            zt, b, w_prev, prev_mask, w_out, bias, scratch, logits,
+        );
+    }
     let _ = scratch; // register accumulators; scratch is a portable-arm concern
     let n4 = h - h % 4;
     let pz = zt.as_mut_ptr();
@@ -129,6 +134,224 @@ pub unsafe fn sample_step_cols(
             }
         }
         logits[r] = bias + (((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail);
+        r += 1;
+    }
+}
+
+/// Above this panel size the row-block traversal's stride-`b` loads
+/// (one line every `8·b` bytes) outrun the dTLB and the stride
+/// prefetcher, and the kernel goes latency-bound; the hidden-major
+/// traversal below streams everything sequentially instead.  Below it
+/// the panel is small enough that every stride lands in cache and the
+/// register traversal's freedom from stripe-accumulator traffic wins.
+const HIDDEN_MAJOR_BYTES: usize = 64 * 1024;
+
+/// Hidden-major twin of the row-block traversal in
+/// [`sample_step_cols`], used for panels too large for it: the `j`
+/// loop is outermost, so the panel row `zt[j·b..]`, the mask and the
+/// stripe accumulator are all walked contiguously — pure sequential
+/// streams the prefetcher can run ahead of, at the cost of keeping the
+/// five accumulator stripes in `scratch` (L1-resident: `5·b` doubles)
+/// instead of registers.
+///
+/// Bit-identity with the row-block traversal: the stripe assignment
+/// (`j % 4` inside aligned blocks of 4, sequential tail), the masked
+/// `_mm512_mask_add_pd` update with the panel value as pass-through,
+/// the `max(z,0)` + fused multiply-add per element, and the final
+/// `bias + (((a0+a1)+(a2+a3))+tail)` combine are all identical per
+/// row; the only difference is that partial sums round-trip through
+/// memory, which is exact for `f64`.
+///
+/// Two µop savers keep this competitive with the register traversal's
+/// 5-µop element loop: the `prev_mask > 0.5` compares are hoisted out
+/// of the hidden loop into a per-bit `__mmask8` array (stashed in the
+/// sixth scratch stripe), and aligned blocks of 4 hidden units — one
+/// per accumulator stripe — share each mask load, giving four
+/// independent FMA chains per pass over the rows.
+#[target_feature(enable = "avx512f")]
+unsafe fn sample_step_cols_hidden_major(
+    zt: &mut [f64],
+    b: usize,
+    w_prev: Option<&[f64]>,
+    prev_mask: &[f64],
+    w_out: &[f64],
+    bias: f64,
+    scratch: &mut [f64],
+    logits: &mut [f64],
+) {
+    let h = w_out.len();
+    debug_assert!(scratch.len() >= 6 * b);
+    let n4 = h - h % 4;
+    let (acc, mask_stash) = scratch.split_at_mut(5 * b);
+    acc.fill(0.0);
+    let pa = acc.as_mut_ptr();
+    let pz = zt.as_mut_ptr();
+    let pm = prev_mask.as_ptr();
+    let zero = _mm512_setzero_pd();
+    let half = _mm512_set1_pd(0.5);
+    let bv = b - b % 8;
+    // Per-bit mask precompute: one compare per 8 rows for the whole
+    // bit, instead of one per (hidden unit, 8 rows).
+    let pk = mask_stash.as_mut_ptr().cast::<u8>();
+    if w_prev.is_some() {
+        let mut r = 0;
+        while r < bv {
+            let k: __mmask8 = _mm512_cmp_pd_mask(_mm512_loadu_pd(pm.add(r)), half, _CMP_GT_OQ);
+            *pk.add(r / 8) = k;
+            r += 8;
+        }
+    }
+    match w_prev {
+        Some(w) => {
+            let mut j = 0;
+            // Aligned blocks of 4 hidden units: unit `j+t` feeds stripe
+            // `t`, so the four chains are independent and the mask load
+            // is shared.
+            while j + 4 <= n4 {
+                let w0 = _mm512_set1_pd(*w.get_unchecked(j));
+                let w1 = _mm512_set1_pd(*w.get_unchecked(j + 1));
+                let w2 = _mm512_set1_pd(*w.get_unchecked(j + 2));
+                let w3 = _mm512_set1_pd(*w.get_unchecked(j + 3));
+                let o0 = _mm512_set1_pd(*w_out.get_unchecked(j));
+                let o1 = _mm512_set1_pd(*w_out.get_unchecked(j + 1));
+                let o2 = _mm512_set1_pd(*w_out.get_unchecked(j + 2));
+                let o3 = _mm512_set1_pd(*w_out.get_unchecked(j + 3));
+                let row0 = pz.add(j * b);
+                let row1 = pz.add((j + 1) * b);
+                let row2 = pz.add((j + 2) * b);
+                let row3 = pz.add((j + 3) * b);
+                let mut r = 0;
+                while r < bv {
+                    let k: __mmask8 = *pk.add(r / 8);
+                    macro_rules! unit {
+                        ($row:ident, $wv:ident, $ov:ident, $stripe:expr) => {{
+                            let p = $row.add(r);
+                            let z = _mm512_loadu_pd(p);
+                            let z = _mm512_mask_add_pd(z, k, z, $wv);
+                            _mm512_storeu_pd(p, z);
+                            let a = pa.add($stripe * b + r);
+                            _mm512_storeu_pd(
+                                a,
+                                _mm512_fmadd_pd($ov, _mm512_max_pd(z, zero), _mm512_loadu_pd(a)),
+                            );
+                        }};
+                    }
+                    unit!(row0, w0, o0, 0);
+                    unit!(row1, w1, o1, 1);
+                    unit!(row2, w2, o2, 2);
+                    unit!(row3, w3, o3, 3);
+                    r += 8;
+                }
+                while r < b {
+                    let take = *pm.add(r) > 0.5;
+                    macro_rules! unit {
+                        ($row:ident, $jt:expr, $stripe:expr) => {{
+                            let p = $row.add(r);
+                            let mut z = *p;
+                            if take {
+                                z += *w.get_unchecked($jt);
+                                *p = z;
+                            }
+                            let zp = if z > 0.0 { z } else { 0.0 };
+                            let a = pa.add($stripe * b + r);
+                            *a = (*w_out.get_unchecked($jt)).mul_add(zp, *a);
+                        }};
+                    }
+                    unit!(row0, j, 0);
+                    unit!(row1, j + 1, 1);
+                    unit!(row2, j + 2, 2);
+                    unit!(row3, j + 3, 3);
+                    r += 1;
+                }
+                j += 4;
+            }
+            // Sequential tail units feed stripe 4.
+            while j < h {
+                let wj = *w.get_unchecked(j);
+                let wv = _mm512_set1_pd(wj);
+                let wo = *w_out.get_unchecked(j);
+                let wov = _mm512_set1_pd(wo);
+                let row = pz.add(j * b);
+                let accs = pa.add(4 * b);
+                let mut r = 0;
+                while r < bv {
+                    let k: __mmask8 = *pk.add(r / 8);
+                    let p = row.add(r);
+                    let z = _mm512_loadu_pd(p);
+                    let z = _mm512_mask_add_pd(z, k, z, wv);
+                    _mm512_storeu_pd(p, z);
+                    let a = accs.add(r);
+                    _mm512_storeu_pd(
+                        a,
+                        _mm512_fmadd_pd(wov, _mm512_max_pd(z, zero), _mm512_loadu_pd(a)),
+                    );
+                    r += 8;
+                }
+                while r < b {
+                    let p = row.add(r);
+                    let mut z = *p;
+                    if *pm.add(r) > 0.5 {
+                        z += wj;
+                        *p = z;
+                    }
+                    let zp = if z > 0.0 { z } else { 0.0 };
+                    let a = accs.add(r);
+                    *a = wo.mul_add(zp, *a);
+                    r += 1;
+                }
+                j += 1;
+            }
+        }
+        None => {
+            for j in 0..h {
+                let stripe = if j < n4 { j % 4 } else { 4 };
+                let accs = pa.add(stripe * b);
+                let row = pz.add(j * b);
+                let wo = *w_out.get_unchecked(j);
+                let wov = _mm512_set1_pd(wo);
+                let mut r = 0;
+                while r < bv {
+                    let z = _mm512_loadu_pd(row.add(r));
+                    let a = accs.add(r);
+                    _mm512_storeu_pd(
+                        a,
+                        _mm512_fmadd_pd(wov, _mm512_max_pd(z, zero), _mm512_loadu_pd(a)),
+                    );
+                    r += 8;
+                }
+                while r < b {
+                    let z = *row.add(r);
+                    let zp = if z > 0.0 { z } else { 0.0 };
+                    let a = accs.add(r);
+                    *a = wo.mul_add(zp, *a);
+                    r += 1;
+                }
+            }
+        }
+    }
+    let (a0, rest) = acc.split_at(b);
+    let (a1, rest) = rest.split_at(b);
+    let (a2, rest) = rest.split_at(b);
+    let (a3, a4) = rest.split_at(b);
+    let bias_v = _mm512_set1_pd(bias);
+    let mut r = 0;
+    while r < bv {
+        let s = _mm512_add_pd(
+            _mm512_add_pd(
+                _mm512_loadu_pd(a0.as_ptr().add(r)),
+                _mm512_loadu_pd(a1.as_ptr().add(r)),
+            ),
+            _mm512_add_pd(
+                _mm512_loadu_pd(a2.as_ptr().add(r)),
+                _mm512_loadu_pd(a3.as_ptr().add(r)),
+            ),
+        );
+        let sum = _mm512_add_pd(s, _mm512_loadu_pd(a4.as_ptr().add(r)));
+        _mm512_storeu_pd(logits.as_mut_ptr().add(r), _mm512_add_pd(bias_v, sum));
+        r += 8;
+    }
+    while r < b {
+        logits[r] = bias + (((a0[r] + a1[r]) + (a2[r] + a3[r])) + a4[r]);
         r += 1;
     }
 }

@@ -100,8 +100,12 @@ pub struct Kernels {
     /// panel: masked `+w_prev[j]` column update + per-row
     /// `Σⱼ w_out[j]·max(z,0)` in one memory pass.  Per-row results are
     /// bit-identical to `axpy` + `relu_dot` on that row alone.
-    /// `(zt, b, w_prev, prev_mask, w_out, bias, scratch ≥ 5·b, logits)`;
+    /// `(zt, b, w_prev, prev_mask, w_out, bias, scratch ≥ 6·b, logits)`;
     /// `logits[r] = bias + Σ` matches the row path's `b2[i] + relu_dot`.
+    /// (The portable arm needs 5·b of scratch for accumulator stripes;
+    /// the SIMD arms' hidden-major traversal for panels over 64 KiB
+    /// stashes per-bit masks in a sixth stripe — callers must size for
+    /// 6·b.)
     pub sample_step_cols:
         fn(&mut [f64], usize, Option<&[f64]>, &[f64], &[f64], f64, &mut [f64], &mut [f64]),
     /// Plain lane-striped sum (pairwise-summation base block).

@@ -370,7 +370,7 @@ proptest! {
             }
         }
 
-        let mut scratch = vec![0.0f64; 5 * b];
+        let mut scratch = vec![0.0f64; 6 * b];
         let mut zt_p = zt.clone();
         let mut logits_p = vec![0.0f64; b];
         (port.sample_step_cols)(&mut zt_p, b, wp, &mask, &w_out, bias, &mut scratch, &mut logits_p);
@@ -391,6 +391,54 @@ proptest! {
             (k512.sample_step_cols)(&mut zt_v, b, wp, &mask, &w_out, bias, &mut scratch, &mut logits_v);
             assert_bits_eq(&logits_v, &logits_p, "avx512 sample_step_cols logits");
             assert_bits_eq(&zt_v, &zt_p, "avx512 sample_step_cols panel");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same cross-arm identity, but on panels past the 256 KiB
+    /// traversal switch: the SIMD arms take their hidden-major path
+    /// (stripe accumulators in scratch instead of registers) for these
+    /// shapes, and must still match the portable arm bit-for-bit.
+    #[test]
+    fn sample_step_cols_large_panel_matches_portable(
+        h in 48usize..100,
+        b in 768usize..1100,
+        seed in 0u64..10_000,
+        first_bit in 0u64..2,
+    ) {
+        // Smallest shape is 48·768·8 = 294912 bytes — always past the
+        // 256 KiB traversal switch.
+        let port = simd::portable_kernels();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB16);
+        let zt: Vec<f64> = (0..h * b).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let w_prev: Vec<f64> = (0..h).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let w_out: Vec<f64> = (0..h).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mask: Vec<f64> = (0..b).map(|_| if rng.gen::<f64>() < 0.5 { 1.0 } else { 0.0 }).collect();
+        let bias = rng.gen_range(-2.0..2.0);
+        let wp = (first_bit == 0).then_some(&w_prev[..]);
+
+        let mut scratch = vec![0.0f64; 6 * b];
+        let mut zt_p = zt.clone();
+        let mut logits_p = vec![0.0f64; b];
+        (port.sample_step_cols)(&mut zt_p, b, wp, &mask, &w_out, bias, &mut scratch, &mut logits_p);
+
+        if let Some(avx) = simd::avx2_kernels() {
+            let mut zt_v = zt.clone();
+            let mut logits_v = vec![0.0f64; b];
+            (avx.sample_step_cols)(&mut zt_v, b, wp, &mask, &w_out, bias, &mut scratch, &mut logits_v);
+            assert_bits_eq(&logits_v, &logits_p, "avx2 hidden-major logits");
+            assert_bits_eq(&zt_v, &zt_p, "avx2 hidden-major panel");
+        }
+
+        if let Some(k512) = simd::avx512_kernels() {
+            let mut zt_v = zt.clone();
+            let mut logits_v = vec![0.0f64; b];
+            (k512.sample_step_cols)(&mut zt_v, b, wp, &mask, &w_out, bias, &mut scratch, &mut logits_v);
+            assert_bits_eq(&logits_v, &logits_p, "avx512 hidden-major logits");
+            assert_bits_eq(&zt_v, &zt_p, "avx512 hidden-major panel");
         }
     }
 }

@@ -52,7 +52,7 @@ fn main() {
     );
     report(
         "NADE + AUTO (native)",
-        &NadeNativeSampler.sample(&nade, batch, &mut rng),
+        &NadeNativeSampler::new().sample(&nade, batch, &mut rng),
     );
     report(
         "RBM + Metropolis MCMC",

@@ -232,7 +232,7 @@ pub fn train(flags: &Flags) -> Result<(), String> {
             }
             ("nade", "auto") => {
                 let wf = init_model(flags, n, || Nade::new(n, hidden.unwrap_or_else(|| made_hidden_size(n)), model_seed))?;
-                let mut t = Trainer::new(wf, NadeNativeSampler, config);
+                let mut t = Trainer::new(wf, NadeNativeSampler::new(), config);
                 let trace = t.run(h);
                 report_trace(&trace);
                 let wf = t.into_wavefunction();
@@ -279,6 +279,15 @@ pub fn train(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Draws `count` configurations from a loaded checkpoint through the
+/// unified batched sampling layer — the one sampling call `evaluate`
+/// and `sample` share, regardless of the model's architecture.
+fn sample_checkpoint(model: &AnyModel, count: usize, seed: u64) -> vqmc::sampler::SampleOutput {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    BatchSampler::new().sample_stream(model.as_batched_sampling(), count, &mut rng)
+}
+
 /// `vqmc-cli evaluate`.
 pub fn evaluate(flags: &Flags) -> Result<(), String> {
     let path = flags
@@ -297,15 +306,10 @@ pub fn evaluate(flags: &Flags) -> Result<(), String> {
             h.num_spins()
         ));
     }
-    // Evaluate with a neutral sampler: checkpointed MADE/NADE are
-    // normalised; RBM falls back to MCMC.
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(get_u64(flags, "seed", 0)?);
-    let out = match &model {
-        AnyModel::Made(m) => IncrementalAutoSampler::new().sample(m, batch_size, &mut rng),
-        AnyModel::Nade(m) => NadeNativeSampler.sample(m, batch_size, &mut rng),
-        AnyModel::Rbm(m) => McmcSampler::default().sample_rbm(m, batch_size, &mut rng),
-    };
+    // Evaluate through the unified batched sampling layer: exact AUTO
+    // for checkpointed MADE/NADE (normalised), MCMC fallback for RBM —
+    // the dispatch lives in the sampler, not here.
+    let out = sample_checkpoint(&model, batch_size, get_u64(flags, "seed", 0)?);
     let wf = model.as_wavefunction();
     let mut eval = |b: &SpinBatch| wf.log_psi(b);
     let local = vqmc::hamiltonian::local_energies(
@@ -339,13 +343,8 @@ pub fn sample(flags: &Flags) -> Result<(), String> {
         .get("checkpoint")
         .ok_or("sample needs --checkpoint <path>")?;
     let count = get_usize(flags, "count", 16)?;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(get_u64(flags, "seed", 0)?);
-    let out = match load_any(path).map_err(|e| format!("{path}: {e}"))? {
-        AnyModel::Made(m) => IncrementalAutoSampler::new().sample(&m, count, &mut rng),
-        AnyModel::Nade(m) => NadeNativeSampler.sample(&m, count, &mut rng),
-        AnyModel::Rbm(m) => McmcSampler::default().sample_rbm(&m, count, &mut rng),
-    };
+    let model = load_any(path).map_err(|e| format!("{path}: {e}"))?;
+    let out = sample_checkpoint(&model, count, get_u64(flags, "seed", 0)?);
     let (batch, log_psi) = (out.batch, out.log_psi);
     for s in 0..batch.batch_size() {
         let bits: String = batch

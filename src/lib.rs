@@ -76,13 +76,14 @@ pub mod prelude {
         ground_state, Graph, MaxCut, Qubo, SparseRowHamiltonian, TransverseFieldIsing,
     };
     pub use crate::nn::{
-        made_hidden_size, rbm_hidden_size, Autoregressive, Made, Nade, Rbm, WaveFunction,
+        made_hidden_size, rbm_hidden_size, Autoregressive, BatchedSampling, Made, Nade, Rbm,
+        WaveFunction,
     };
     pub use crate::optim::{Adam, Optimizer, Sgd, SrConfig};
     pub use crate::sampler::{
-        AutoSampler, BurnIn, GibbsConfig, GibbsSampler, IncrementalAutoSampler, McmcConfig,
-        McmcSampler, NadeNativeSampler, RbmFastMcmc, Sampler, TemperingConfig,
-        TemperingSampler, Thinning,
+        AutoSampler, BatchSampler, BurnIn, GibbsConfig, GibbsSampler, IncrementalAutoSampler,
+        McmcConfig, McmcSampler, NadeNativeSampler, RbmFastMcmc, SampleRequest, Sampler,
+        TemperingConfig, TemperingSampler, Thinning,
     };
     pub use crate::tensor::{Matrix, SpinBatch, Vector};
 }

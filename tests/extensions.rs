@@ -22,7 +22,7 @@ fn nade_trains_to_ground_state() {
         optimizer: OptimizerChoice::paper_default(),
         ..TrainerConfig::paper_default(9)
     };
-    let mut t = Trainer::new(Nade::new(n, 12, 3), NadeNativeSampler, config);
+    let mut t = Trainer::new(Nade::new(n, 12, 3), NadeNativeSampler::new(), config);
     let trace = t.run(&h);
     let rel = (trace.final_energy() - exact.energy) / exact.energy.abs();
     assert!(
