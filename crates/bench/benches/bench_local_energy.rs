@@ -1,0 +1,61 @@
+//! The batched local-energy engine across pool widths: neighbour-batch
+//! build + forward pass + vectorised ratio/exp + scatter, exactly the
+//! per-iteration measurement path of `Trainer::step`.
+//!
+//! The neighbour build and log-ratio fill stripe over the worker pool;
+//! the `logψ` forward pass rides the pool through the GEMM and slice
+//! kernels.  On this container `nproc` = 1, so the t2/t4 entries
+//! document dispatch overhead rather than speedup — rerun on a
+//! multi-core host for the scaling columns (results are bit-identical
+//! at any width).
+//!
+//! Run with `BENCH_JSON=BENCH_kernels.json cargo bench --bench
+//! bench_local_energy` to refresh the machine-readable medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vqmc_hamiltonian::{
+    local_energies_into, LocalEnergyConfig, LocalEnergyScratch, TransverseFieldIsing,
+};
+use vqmc_nn::{made_hidden_size, Made, WaveFunction};
+use vqmc_sampler::MadeBatchSampler;
+use vqmc_tensor::{par, SpinBatch, Vector};
+
+fn bench_local_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_energy");
+    group.sample_size(10);
+    let n = 64;
+    let batch_size = 512; // 512 samples × 64 flip-neighbours ≈ 33k logψ rows
+    let h = TransverseFieldIsing::random(n, 5);
+    let wf = Made::new(n, made_hidden_size(n), 1);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut batch = SpinBatch::default();
+    let mut log_psi_x = Vector::default();
+    MadeBatchSampler::new().sample_stream(&wf, batch_size, &mut rng, &mut batch, &mut log_psi_x);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("tim_n64_b512/t{threads}"), |b| {
+            par::with_threads(threads, || {
+                let mut scratch = LocalEnergyScratch::new();
+                let mut out = Vector::default();
+                b.iter(|| {
+                    local_energies_into(
+                        &h,
+                        &batch,
+                        &log_psi_x,
+                        &mut |nb, dst: &mut Vector| dst.copy_from(&wf.log_psi(nb)),
+                        LocalEnergyConfig::default(),
+                        &mut scratch,
+                        &mut out,
+                    );
+                    black_box(out.as_slice()[0])
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_energy);
+criterion_main!(benches);

@@ -85,5 +85,41 @@ fn bench_training_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_auto, bench_mcmc, bench_training_path);
+/// Pool-width sweep on the acceptance sampling shape (16 384 samples):
+/// the cols panel path stripes the batch across workers.  On this
+/// container `nproc` = 1, so t2/t4 time-slice one core and the medians
+/// document dispatch overhead, not speedup — rerun on a multi-core host
+/// for the scaling columns (output is bit-identical either way, so the
+/// thread count is purely a throughput knob).
+fn bench_sampling_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_threads");
+    group.sample_size(10);
+    let n = 64;
+    let batch = 16_384;
+    let wf = Made::new(n, made_hidden_size(n), 1);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("cols_b16384/t{threads}"), |b| {
+            vqmc_tensor::par::with_threads(threads, || {
+                let mut sampler = MadeBatchSampler::new();
+                sampler.force_layout(PanelLayout::Cols);
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut out_batch = SpinBatch::default();
+                let mut out_log_psi = Vector::default();
+                b.iter(|| {
+                    sampler.sample_stream(&wf, batch, &mut rng, &mut out_batch, &mut out_log_psi);
+                    black_box(out_log_psi.as_slice()[0])
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_auto,
+    bench_mcmc,
+    bench_training_path,
+    bench_sampling_threads
+);
 criterion_main!(benches);

@@ -10,9 +10,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use vqmc_tensor::simd;
 use vqmc_tensor::vector::dot;
-use vqmc_tensor::{gemm, Matrix};
+use vqmc_tensor::{gemm, ops, par, simd, Matrix};
 
 fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut state = seed | 1;
@@ -145,11 +144,80 @@ fn bench_ops_slice(c: &mut Criterion) {
     group.finish();
 }
 
+/// Raw pool-region dispatch cost: one broadcast wake + join over an
+/// (almost) empty job, per requested width.  This is the overhead every
+/// `should_parallelize` gate amortises; `PAR_THRESHOLD_ELEMS` is sized
+/// so the crossover sweep below clears it with margin.
+fn bench_par_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_dispatch");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("t{threads}"), |bch| {
+            par::with_threads(threads, || {
+                bch.iter(|| {
+                    let sink = std::sync::atomic::AtomicUsize::new(0);
+                    par::run(threads, &|w| {
+                        sink.fetch_add(w + 1, std::sync::atomic::Ordering::Relaxed);
+                    });
+                    black_box(sink.into_inner())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// `PAR_THRESHOLD_ELEMS` crossover sweep: a pool-parallel transcendental
+/// slice kernel at lengths straddling the 32 Ki-element gate, at 1 and
+/// 4 threads.  On a multi-core host the t4 column should win from the
+/// first gated length on; equal t1/t4 medians below the gate confirm
+/// the threshold suppresses unprofitable dispatch.
+fn bench_par_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_threshold");
+    for len in [8 * 1024usize, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024] {
+        let xs: Vec<f64> = (0..len).map(|i| ((i % 97) as f64) / 10.0 - 4.0).collect();
+        let mut buf = vec![0.0f64; len];
+        for threads in [1usize, 4] {
+            group.bench_function(format!("exp_{}k/t{threads}", len / 1024), |bch| {
+                par::with_threads(threads, || {
+                    bch.iter(|| {
+                        buf.copy_from_slice(&xs);
+                        ops::exp_slice(&mut buf);
+                        black_box(buf[0])
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The acceptance GEMM shape across pool widths (packed SIMD dispatch).
+/// On this container `nproc` = 1, so t2/t4 time-slice one core — the
+/// medians document dispatch overhead, not speedup; rerun on a
+/// multi-core host for the scaling numbers.
+fn bench_gemm_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nt_1024x512x512_threads");
+    group.sample_size(10);
+    let a = mat(1024, 512, 5);
+    let b_ = mat(512, 512, 6);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("simd_t{threads}"), |bch| {
+            par::with_threads(threads, || {
+                bch.iter(|| black_box(gemm::gemm_nt(&a, &b_)))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
     bench_gemm_variants,
     bench_gemm_blocked_vs_naive,
-    bench_ops_slice
+    bench_ops_slice,
+    bench_par_dispatch,
+    bench_par_threshold,
+    bench_gemm_threads
 );
 criterion_main!(benches);

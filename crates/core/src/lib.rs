@@ -49,15 +49,18 @@ pub fn derive_seed(master: u64, rank: u64, stream: u64) -> u64 {
 }
 
 /// A heap-allocation counter installed as the global allocator in this
-/// crate's test build only.  Counts are **per thread**, so concurrent
-/// tests do not pollute each other's readings: the steady-state
-/// zero-allocation test in [`alloc_test`] measures only the allocations
-/// its own thread performs (the vendored rayon shim is sequential, so
-/// every kernel runs on the calling thread).
+/// crate's test build only.  Two counters are maintained: a **per
+/// thread** count (concurrent tests do not pollute each other's
+/// readings — used by the single-thread steady-state tests in
+/// [`alloc_test`]) and a **process-wide** count (catches allocations
+/// made by the `vqmc_tensor::par` pool workers, which a per-thread
+/// counter on the test thread is blind to — used by the pool-active
+/// steady-state test).
 #[cfg(test)]
 pub(crate) mod alloc_counter {
     use std::alloc::{GlobalAlloc, Layout, System};
     use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     thread_local! {
         // `const` init: reading/writing never allocates, so the counter
@@ -65,23 +68,31 @@ pub(crate) mod alloc_counter {
         static ALLOCS: Cell<u64> = const { Cell::new(0) };
     }
 
+    static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    #[inline]
+    fn count() {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Forwards to [`System`], counting `alloc`/`alloc_zeroed`/`realloc`
-    /// calls made by the current thread.
+    /// calls made by the current thread and by the whole process.
     pub struct CountingAllocator;
 
     unsafe impl GlobalAlloc for CountingAllocator {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-            ALLOCS.with(|c| c.set(c.get() + 1));
+            count();
             System.alloc(layout)
         }
 
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-            ALLOCS.with(|c| c.set(c.get() + 1));
+            count();
             System.alloc_zeroed(layout)
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-            ALLOCS.with(|c| c.set(c.get() + 1));
+            count();
             System.realloc(ptr, layout, new_size)
         }
 
@@ -96,6 +107,12 @@ pub(crate) mod alloc_counter {
     /// Heap allocations made by the calling thread so far.
     pub fn current_thread_allocs() -> u64 {
         ALLOCS.with(|c| c.get())
+    }
+
+    /// Heap allocations made by the whole process so far (every thread,
+    /// pool workers included).
+    pub fn global_allocs() -> u64 {
+        GLOBAL_ALLOCS.load(Ordering::Relaxed)
     }
 }
 
@@ -179,6 +196,60 @@ mod alloc_test {
             config(OptimizerChoice::paper_sr()),
         );
         assert_steady_state_alloc_free(t, &h, "AUTO + SGD+SR");
+    }
+
+    /// With the worker pool active (4 threads, batch big enough that the
+    /// sampler panels and slice kernels actually dispatch to workers),
+    /// steady-state `Trainer::step` still performs **zero** heap
+    /// allocations — measured with the *process-wide* counter, so worker
+    /// threads are in scope.  Pool dispatch borrows the caller's job
+    /// closure (no boxing), workers are spawned during warm-up, and
+    /// every kernel runs out of buffers sized on the first iterations.
+    ///
+    /// Other tests in this binary run concurrently and also allocate, so
+    /// a single global-delta reading can be polluted.  A step that
+    /// itself allocates does so on *every* round; we therefore require
+    /// at least one clean round out of several, which is immune to
+    /// transient pollution but still fails reliably on a real
+    /// regression.
+    #[test]
+    fn pool_active_trainer_step_is_allocation_free_at_steady_state() {
+        use crate::alloc_counter::global_allocs;
+        let n = 16;
+        let h = TransverseFieldIsing::random(n, 5);
+        let mut t = Trainer::new(
+            Made::new(n, 32, 9),
+            AutoSampler::new(),
+            TrainerConfig {
+                iterations: 8,
+                batch_size: 256,
+                optimizer: OptimizerChoice::paper_default(),
+                local_energy: LocalEnergyConfig::default(),
+                seed: 13,
+            },
+        );
+        vqmc_tensor::par::with_threads(4, || {
+            let mut opt = t.make_optimizer();
+            // Warm-up: sizes every buffer *and* spawns the pool workers
+            // (their stacks and TLS are one-time costs, not steady state).
+            for _ in 0..2 {
+                t.step(&h, opt.as_mut());
+            }
+            let mut best = u64::MAX;
+            for _ in 0..8 {
+                let before = global_allocs();
+                t.step(&h, opt.as_mut());
+                let after = global_allocs();
+                best = best.min(after - before);
+                if best == 0 {
+                    break;
+                }
+            }
+            assert_eq!(
+                best, 0,
+                "pool-active steady state: best round still made {best} heap allocations"
+            );
+        });
     }
 }
 

@@ -13,13 +13,13 @@ use vqmc_core::{Trainer, TrainerConfig};
 use vqmc_hamiltonian::TransverseFieldIsing;
 use vqmc_nn::{made_hidden_size, Made};
 use vqmc_sampler::IncrementalAutoSampler;
+use vqmc_tensor::par;
 
 /// Final energy of the reference run, printed at 6 decimal places by
 /// the CLI.  Pinned against the pre-unification training path.
 const GOLDEN_FINAL_ENERGY: f64 = -10.555253;
 
-#[test]
-fn reference_training_run_reproduces_pinned_energy() {
+fn reference_run_final_energy() -> f64 {
     let h = TransverseFieldIsing::random(10, 2021);
     // CLI derives the model seed as `seed + 1`.
     let wf = Made::new(10, made_hidden_size(10), 4);
@@ -29,10 +29,38 @@ fn reference_training_run_reproduces_pinned_energy() {
         ..TrainerConfig::paper_default(3)
     };
     let mut trainer = Trainer::new(wf, IncrementalAutoSampler::new(), config);
-    let trace = trainer.run(&h);
-    let final_energy = trace.final_energy();
+    trainer.run(&h).final_energy()
+}
+
+#[test]
+fn reference_training_run_reproduces_pinned_energy() {
+    let final_energy = reference_run_final_energy();
     assert!(
         (final_energy - GOLDEN_FINAL_ENERGY).abs() < 5e-7,
         "golden trace drifted: got {final_energy:.9}, pinned {GOLDEN_FINAL_ENERGY}"
     );
+}
+
+/// The pin must also hold — **bit-for-bit**, not just within tolerance —
+/// at every pool width.  Each Bernoulli draw chaotically amplifies any
+/// floating-point difference in the conditionals, so agreement of the
+/// final energy after 60 iterations at 6 decimals effectively requires
+/// the whole training computation to be bit-identical across thread
+/// counts (the `vqmc_tensor::par` determinism contract; see
+/// `third_party/README.md`).
+#[test]
+fn reference_training_run_is_bit_identical_at_any_thread_count() {
+    let sequential = par::with_threads(1, reference_run_final_energy);
+    assert!(
+        (sequential - GOLDEN_FINAL_ENERGY).abs() < 5e-7,
+        "golden trace drifted at 1 thread: got {sequential:.9}"
+    );
+    for threads in [2usize, 4, 8] {
+        let parallel = par::with_threads(threads, reference_run_final_energy);
+        assert_eq!(
+            parallel.to_bits(),
+            sequential.to_bits(),
+            "final energy at {threads} threads ({parallel:.17}) differs from 1 thread ({sequential:.17})"
+        );
+    }
 }

@@ -19,7 +19,7 @@
 //! physical quantity measurements"), with the chunk size capping peak
 //! memory.
 
-use vqmc_tensor::{SpinBatch, Vector, Workspace};
+use vqmc_tensor::{par, SpinBatch, Vector, Workspace};
 
 use crate::SparseRowHamiltonian;
 
@@ -130,21 +130,59 @@ pub fn local_energies_into(
     }
 
     // Evaluate neighbours in chunks: one big forward pass per chunk.
+    //
+    // The neighbour build and the log-ratio fill are striped over the
+    // pool (each worker owns a contiguous row range of the chunk — a
+    // static partition, so results are bit-identical at any thread
+    // count); the final scatter-accumulate stays sequential because
+    // many rows can target the same sample `s` and the accumulation
+    // order must not depend on the partition.
     for chunk in scratch.items.chunks(cfg.chunk_rows) {
-        scratch.neigh.resize(chunk.len(), n);
-        for (row, &(s, flip, _)) in chunk.iter().enumerate() {
-            let dst = scratch.neigh.sample_mut(row);
-            dst.copy_from_slice(batch.sample(s));
-            dst[flip] ^= 1;
+        let rows = chunk.len();
+        scratch.neigh.resize(rows, n);
+        let parts = if par::should_parallelize(rows * n) {
+            par::active_threads().min(rows.max(1))
+        } else {
+            1
+        };
+        {
+            let pneigh = par::SendPtr(scratch.neigh.as_bytes_mut().as_mut_ptr());
+            par::run(parts, &|w| {
+                let r = par::stripe(rows, parts, w);
+                for row in r {
+                    // SAFETY: row ranges are disjoint across workers and
+                    // every row lies inside the `rows × n` byte buffer
+                    // resized above; the region joins before the borrow
+                    // of `neigh` ends.
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(pneigh.get().add(row * n), n)
+                    };
+                    let (s, flip, _) = chunk[row];
+                    dst.copy_from_slice(batch.sample(s));
+                    dst[flip] ^= 1;
+                }
+            });
         }
         log_psi(&scratch.neigh, &mut scratch.log_psi_y);
-        debug_assert_eq!(scratch.log_psi_y.len(), chunk.len());
+        debug_assert_eq!(scratch.log_psi_y.len(), rows);
         // Ratios in one vectorised exp over the chunk: fill with the
         // log-ratios, exponentiate through the dispatched kernel, then
         // scatter-accumulate weighted by the matrix elements.
-        scratch.ratios.resize(chunk.len(), 0.0);
-        for (row, &(s, _, _)) in chunk.iter().enumerate() {
-            scratch.ratios[row] = scratch.log_psi_y[row] - log_psi_x[s];
+        scratch.ratios.resize(rows, 0.0);
+        {
+            let log_psi_y = &scratch.log_psi_y;
+            let pratios = par::SendPtr(scratch.ratios.as_mut_ptr());
+            par::run(parts, &|w| {
+                let r = par::stripe(rows, parts, w);
+                for row in r {
+                    let (s, _, _) = chunk[row];
+                    // SAFETY: disjoint per-row writes, same partition as
+                    // above.
+                    unsafe {
+                        *pratios.get().add(row) = log_psi_y[row] - log_psi_x[s];
+                    }
+                }
+            });
         }
         vqmc_tensor::ops::exp_slice(&mut scratch.ratios);
         for (row, &(s, _, hxy)) in chunk.iter().enumerate() {

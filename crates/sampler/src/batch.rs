@@ -25,7 +25,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vqmc_nn::{BatchedSampling, Made, Nade, Rbm, SamplingEngine, WaveFunction};
-use vqmc_tensor::{ops, Matrix, SpinBatch, Vector};
+use vqmc_tensor::{ops, par, Matrix, SpinBatch, Vector};
 
 use crate::{McmcSampler, SampleOutput, SampleStats};
 
@@ -64,13 +64,23 @@ pub enum PanelLayout {
 /// vectorises along the batch, so tiny batches would run scalar.
 const COLS_THRESHOLD: usize = 8;
 
-/// Above this transposed-panel footprint (`h · rows · 8` bytes) the
-/// cols path loses its edge: the fused kernel writes the whole panel
-/// back every bit, and once the panel outgrows L2 that full writeback
-/// costs more than the row path's half-the-rows `axpy` traffic.  Auto
-/// falls back to the row path there (forced layouts are unaffected —
-/// both compute bit-identical results).
+/// Above this transposed-panel footprint (`h · rows · 8` bytes **per
+/// pool worker**) the cols path loses its edge: the fused kernel writes
+/// the whole panel back every bit, and once a worker's panel outgrows
+/// L2 that full writeback costs more than the row path's half-the-rows
+/// `axpy` traffic.  Auto falls back to the row path there (forced
+/// layouts are unaffected — both compute bit-identical results, so the
+/// thread-count-dependent dispatch cannot change any output bit).
 const COLS_PANEL_CAP_BYTES: usize = 512 * 1024;
+
+/// Row-stripe granularity of the parallel cols path: stripes are
+/// multiples of 8 rows so the fused kernel's widest (8-row) register
+/// blocks stay saturated on every worker but the last.
+const PAR_ROW_UNIT: usize = 8;
+
+/// Below this combined row count the cols path stays on one thread:
+/// a pool dispatch per bit cannot amortise over fewer than two stripes.
+const PAR_ROWS_MIN: usize = 16;
 
 /// The coalesced MADE sampler: the incremental AUTO pass, generalised
 /// to draw each row-range of the combined batch from its own
@@ -124,8 +134,16 @@ pub struct MadeBatchSampler {
     /// stays bit-identical to the per-bit path.
     ls_buf: Vec<f64>,
     /// Accumulator stripes plus per-bit mask stash for
-    /// `sample_step_cols` (`6 · rows`).
+    /// `sample_step_cols` (`6 · rows`; each pool stripe uses its own
+    /// contiguous `6 · bw` slice, honouring the kernel's scratch
+    /// contract per stripe).
     cols_scratch: Vec<f64>,
+    /// Pre-drawn uniform variates for one bit (`rows`): the RNG streams
+    /// are advanced *sequentially* in the exact (stream, row) order of
+    /// the draw loop before the parallel region consumes them, so the
+    /// variate sequence — and hence every drawn bit — is independent of
+    /// the thread count.
+    u_buf: Vec<f64>,
     /// Per-row accumulated `log π`.
     log_prob: Vec<f64>,
     /// Per-row logits of the current output bit.
@@ -222,21 +240,35 @@ impl MadeBatchSampler {
 
         let use_cols = match self.layout {
             PanelLayout::Auto => {
-                rows >= COLS_THRESHOLD && h * rows * 8 <= COLS_PANEL_CAP_BYTES
+                rows >= COLS_THRESHOLD
+                    && h * rows * 8 <= COLS_PANEL_CAP_BYTES * par::active_threads()
             }
             PanelLayout::Rows => false,
             PanelLayout::Cols => true,
         };
         if use_cols {
-            // Cols path: transposed h×rows panel, z1t[j·rows + s]
-            // starts at b1[j]; bit i−1's column update is deferred into
-            // bit i's fused kernel call via prev_mask.
+            // Cols path: transposed activation panels; bit i−1's column
+            // update is deferred into bit i's fused kernel call via
+            // prev_mask.
+            //
+            // Parallelism: the batch is split into at most one
+            // contiguous, 8-row-aligned stripe per pool worker (a pure
+            // function of (rows, parts) — no stealing).  Each stripe
+            // owns its own contiguous transposed panel (`h·bw` at
+            // element offset `h·start`) plus its slices of every
+            // per-row buffer, so the fused kernel simply sees a
+            // narrower panel.  Per-row results are independent of the
+            // panel width (the kernel reproduces the row path's per-row
+            // accumulation order at any width — property-tested), and
+            // the RNG variates are pre-drawn sequentially, so output is
+            // **bit-identical at every thread count**.
             let MadeBatchSampler {
                 z1t,
                 prev_mask,
                 bits_t,
                 cols_scratch,
                 ls_buf,
+                u_buf,
                 log_prob,
                 logits,
                 probs,
@@ -248,10 +280,28 @@ impl MadeBatchSampler {
             // so only grow (and zero) when the geometry changes.
             bits_t.resize(n * rows, 0);
             bits_t.truncate(n * rows);
+            let units = rows.div_ceil(PAR_ROW_UNIT);
+            let parts = if rows >= PAR_ROWS_MIN {
+                par::active_threads().min(units.max(1))
+            } else {
+                1
+            };
+            let stripe = |w: usize| {
+                let u = par::stripe(units, parts, w);
+                (
+                    (u.start * PAR_ROW_UNIT).min(rows),
+                    (u.end * PAR_ROW_UNIT).min(rows),
+                )
+            };
+            // Stripe-blocked panel init: stripe w's panel rows start at
+            // b1 (layout `[j·bw + local_s]`), panels back to back.
             z1t.clear();
             z1t.reserve(h * rows);
-            for &bj in b1.as_slice() {
-                z1t.extend(std::iter::repeat(bj).take(rows));
+            for w in 0..parts {
+                let (start, end) = stripe(w);
+                for &bj in b1.as_slice() {
+                    z1t.extend(std::iter::repeat(bj).take(end - start));
+                }
             }
             prev_mask.clear();
             prev_mask.resize(rows, 0.0);
@@ -259,29 +309,13 @@ impl MadeBatchSampler {
             const LS_CHUNK: usize = 512;
             ls_buf.clear();
             ls_buf.resize(LS_CHUNK.min(n.max(1)) * rows, 0.0);
+            u_buf.clear();
+            u_buf.resize(rows, 0.0);
             for i in 0..n {
-                let w_prev = if i > 0 { Some(w1_t.row(i - 1)) } else { None };
-                (kern.sample_step_cols)(
-                    z1t,
-                    rows,
-                    w_prev,
-                    prev_mask,
-                    w2.row(i),
-                    b2[i],
-                    cols_scratch,
-                    logits,
-                );
-                probs.copy_from_slice(logits);
-                ops::sigmoid_slice(probs);
-                // Same draw order as the row path; the update is
-                // recorded in prev_mask instead of applied eagerly.
-                // Branchless: the drawn bit is data, not control flow,
-                // so the 50/50 outcome can't mispredict.  `-x` and the
-                // select are exact, so this stays bit-identical to the
-                // row path's `if`.
-                let row_bits = &mut bits_t[i * rows..(i + 1) * rows];
-                let c = i % LS_CHUNK;
-                let signed = &mut ls_buf[c * rows..(c + 1) * rows];
+                // Pre-draw this bit's variates sequentially, in the
+                // exact (stream, row-within-stream) order the fused
+                // draw used before parallelisation: every RNG stream
+                // advances identically at any thread count.
                 let mut s = 0;
                 for (q, &count) in counts.iter().enumerate() {
                     let rng: &mut StdRng = match external.as_deref_mut() {
@@ -289,16 +323,67 @@ impl MadeBatchSampler {
                         None => &mut rngs[q],
                     };
                     for _ in 0..count {
-                        let u = rng.gen::<f64>();
-                        let p = probs[s];
-                        debug_assert!((0.0..=1.0).contains(&p), "conditional out of range");
-                        let bit = (u < p) as u8;
-                        row_bits[s] = bit;
-                        prev_mask[s] = bit as f64;
-                        signed[s] = if bit == 1 { logits[s] } else { -logits[s] };
+                        u_buf[s] = rng.gen::<f64>();
                         s += 1;
                     }
                 }
+                let w_prev = if i > 0 { Some(w1_t.row(i - 1)) } else { None };
+                let w2_row = w2.row(i);
+                let b2_i = b2[i];
+                let c = i % LS_CHUNK;
+                let pz = par::SendPtr(z1t.as_mut_ptr());
+                let pscratch = par::SendPtr(cols_scratch.as_mut_ptr());
+                let plogits = par::SendPtr(logits.as_mut_ptr());
+                let pprobs = par::SendPtr(probs.as_mut_ptr());
+                let pmask = par::SendPtr(prev_mask.as_mut_ptr());
+                let pbits = par::SendPtr(bits_t[i * rows..(i + 1) * rows].as_mut_ptr());
+                let psigned = par::SendPtr(ls_buf[c * rows..(c + 1) * rows].as_mut_ptr());
+                let u_ref: &[f64] = u_buf;
+                par::run(parts, &|w| {
+                    let (start, end) = stripe(w);
+                    if start >= end {
+                        return;
+                    }
+                    let bw = end - start;
+                    // SAFETY: stripes are disjoint row ranges; every
+                    // pointer below is offset into its stripe's slice
+                    // of a buffer sized above, and the region joins
+                    // before any of the borrows end.
+                    unsafe {
+                        use std::slice::from_raw_parts_mut;
+                        let zt = from_raw_parts_mut(pz.get().add(h * start), h * bw);
+                        let scratch = from_raw_parts_mut(pscratch.get().add(6 * start), 6 * bw);
+                        let logits_s = from_raw_parts_mut(plogits.get().add(start), bw);
+                        let probs_s = from_raw_parts_mut(pprobs.get().add(start), bw);
+                        let mask_s = from_raw_parts_mut(pmask.get().add(start), bw);
+                        let bits_s = from_raw_parts_mut(pbits.get().add(start), bw);
+                        let signed_s = from_raw_parts_mut(psigned.get().add(start), bw);
+                        (kern.sample_step_cols)(
+                            zt, bw, w_prev, &*mask_s, w2_row, b2_i, scratch, logits_s,
+                        );
+                        probs_s.copy_from_slice(logits_s);
+                        (kern.sigmoid_slice)(probs_s);
+                        // Same draw order as the row path; the update is
+                        // recorded in prev_mask instead of applied
+                        // eagerly.  Branchless: the drawn bit is data,
+                        // not control flow, so the 50/50 outcome can't
+                        // mispredict.  `-x` and the select are exact, so
+                        // this stays bit-identical to the row path's
+                        // `if`.
+                        for s in 0..bw {
+                            let u = u_ref[start + s];
+                            let p = probs_s[s];
+                            debug_assert!(
+                                (0.0..=1.0).contains(&p),
+                                "conditional out of range"
+                            );
+                            let bit = (u < p) as u8;
+                            bits_s[s] = bit;
+                            mask_s[s] = bit as f64;
+                            signed_s[s] = if bit == 1 { logits_s[s] } else { -logits_s[s] };
+                        }
+                    }
+                });
                 if c + 1 == LS_CHUNK || i + 1 == n {
                     let filled = (c + 1) * rows;
                     ops::log_sigmoid_slice(&mut ls_buf[..filled]);
@@ -310,19 +395,30 @@ impl MadeBatchSampler {
                 }
             }
             // Tiled transpose of the drawn bits into the row-major
-            // output (64-bit tiles keep both sides L1-resident).
+            // output (64-bit tiles keep both sides L1-resident),
+            // striped over the same row partition — each worker writes
+            // only its own output rows.
             const TILE: usize = 64;
-            let mut i0 = 0;
-            while i0 < n {
-                let iend = (i0 + TILE).min(n);
-                for s in 0..rows {
-                    let row = out_batch.sample_mut(s);
-                    for i in i0..iend {
-                        row[i] = bits_t[i * rows + s];
+            let pout = par::SendPtr(out_batch.as_bytes_mut().as_mut_ptr());
+            let bits_ref: &[u8] = bits_t;
+            par::run(parts, &|w| {
+                let (start, end) = stripe(w);
+                let mut i0 = 0;
+                while i0 < n {
+                    let iend = (i0 + TILE).min(n);
+                    for s in start..end {
+                        // SAFETY: rows [start, end) belong to this
+                        // worker alone.
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(pout.get().add(s * n), n)
+                        };
+                        for i in i0..iend {
+                            row[i] = bits_ref[i * rows + s];
+                        }
                     }
+                    i0 = iend;
                 }
-                i0 = iend;
-            }
+            });
         } else {
             // Row path: z1[s] starts at b1 and absorbs W₁'s column i
             // when bit i is drawn 1.

@@ -14,7 +14,7 @@ use vqmc_nn::{Made, Nade};
 use vqmc_sampler::{
     BatchSampler, MadeBatchSampler, NadeBatchSampler, PanelLayout, SampleRequest,
 };
-use vqmc_tensor::{SpinBatch, Vector};
+use vqmc_tensor::{par, SpinBatch, Vector};
 
 /// Request sizes derived from a seed (the vendored proptest stub has no
 /// collection strategies). Sizes span 1..=11 so the coalesced row count
@@ -156,5 +156,85 @@ proptest! {
         for s in 0..row_lp.len() {
             prop_assert_eq!(row_lp[s].to_bits(), col_lp[s].to_bits());
         }
+    }
+
+    /// MADE cols path (the pool-parallel arm): configurations and `logψ`
+    /// are **bit-identical at every thread count** — the per-worker
+    /// panel stripes and the pre-drawn variates must be observationally
+    /// invisible.
+    #[test]
+    fn made_sampling_bit_identical_across_thread_counts(
+        n in 3usize..14,
+        h in 2usize..18,
+        model_seed in 0u64..500,
+        count in 16usize..160,
+        seed in 0u64..10_000,
+    ) {
+        let wf = Made::new(n, h, model_seed);
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut sampler = MadeBatchSampler::new();
+                sampler.force_layout(PanelLayout::Cols);
+                let mut b = SpinBatch::default();
+                let mut lp = Vector::default();
+                sampler.sample_stream(
+                    &wf,
+                    count,
+                    &mut StdRng::seed_from_u64(seed),
+                    &mut b,
+                    &mut lp,
+                );
+                (b, lp)
+            })
+        };
+        let seq = run(1);
+        for threads in [2usize, 4, 8] {
+            let par_out = run(threads);
+            prop_assert_eq!(par_out.0.as_bytes(), seq.0.as_bytes(), "bits at {} threads", threads);
+            for s in 0..count {
+                prop_assert_eq!(par_out.1[s].to_bits(), seq.1[s].to_bits());
+            }
+        }
+    }
+}
+
+/// The acceptance training shape (rows = 16384): one deterministic pass
+/// through the cols path at 1/2/4/8 threads must agree bit-for-bit.
+/// Moderate hidden size keeps the debug-mode runtime reasonable; the
+/// stripe arithmetic being exercised is identical at any `h`.
+#[test]
+fn training_shape_sampling_bit_identical_across_thread_counts() {
+    let n = 16;
+    let wf = Made::new(n, 24, 41);
+    let count = 16_384;
+    let run = |threads: usize| {
+        par::with_threads(threads, || {
+            let mut sampler = MadeBatchSampler::new();
+            sampler.force_layout(PanelLayout::Cols);
+            let mut b = SpinBatch::default();
+            let mut lp = Vector::default();
+            sampler.sample_stream(
+                &wf,
+                count,
+                &mut StdRng::seed_from_u64(2021),
+                &mut b,
+                &mut lp,
+            );
+            (b, lp)
+        })
+    };
+    let seq = run(1);
+    for threads in [2usize, 4, 8] {
+        let par_out = run(threads);
+        assert_eq!(par_out.0.as_bytes(), seq.0.as_bytes(), "bits at {threads} threads");
+        assert!(
+            par_out
+                .1
+                .as_slice()
+                .iter()
+                .zip(seq.1.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "logψ differs at {threads} threads"
+        );
     }
 }

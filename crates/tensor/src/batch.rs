@@ -227,6 +227,14 @@ impl SpinBatch {
     pub fn as_bytes(&self) -> &[u8] {
         &self.data
     }
+
+    /// Raw mutable byte view, row-major (`batch_size · num_spins`).
+    /// Exists for bulk writers — the batched sampler's transpose and the
+    /// local-energy neighbour builder stripe disjoint row ranges of this
+    /// across the worker pool.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
 }
 
 /// Encodes a spin configuration as a basis-state index, most significant

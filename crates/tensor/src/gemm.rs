@@ -1,4 +1,4 @@
-//! Cache-blocked, rayon-parallel GEMM kernels.
+//! Cache-blocked, pool-parallel GEMM kernels.
 //!
 //! Three layout variants cover every dense product in the workspace:
 //!
@@ -41,17 +41,24 @@
 //! across the whole A row-panel sweep.  `nn`/`nt` keep their axpy /
 //! outer-product formulations on this arm.
 //!
-//! Parallelisation is over output-row panels (rounded to [`MR`]) in
-//! chunks sized by [`crate::par::row_chunk_len`]; `tn` parallelises over
-//! *output* rows by having each worker scan the shared `k` dimension,
-//! which avoids a reduction over partial `C` buffers.  The multi-thread
-//! path keeps the scalar kernels (the packed driver is sequential); on
-//! the single-core hosts this workspace targets, `should_parallelize`
-//! is never taken and the packed path covers every shape.
+//! ## Parallelisation (the [`crate::par`] pool)
+//!
+//! All three variants parallelise over **output-row slabs**: the packed
+//! driver splits `m` into one [`MR_SIMD`]-aligned contiguous slab per
+//! worker ([`packed_driver`]), each worker running the full BLIS loop
+//! nest on its slab with its *own* thread-local pack buffers (workers
+//! re-pack the shared B panel redundantly — an `O(1/slab_rows)`
+//! overhead that buys the absence of any cross-worker handoff).  The
+//! scalar arm stripes the same way at [`MR`] alignment.  Either way a
+//! `C` element's value is a function of its row and column alone — the
+//! per-element `k`-summation order (sequential within a `KC` block,
+//! blocks ascending) does not depend on which slab the row landed in —
+//! so the parallel results are **bit-identical** to the sequential
+//! ones at every thread count (`tests/thread_identity.rs`).  `tn`
+//! avoids a partial-`C` reduction by having each worker scan the whole
+//! shared `k` dimension for its rows.
 
 use std::cell::RefCell;
-
-use rayon::prelude::*;
 
 use crate::matrix::Matrix;
 use crate::par;
@@ -80,11 +87,14 @@ const NC_PACKED: usize = 2048;
 thread_local! {
     /// Pool for the packed A/B micro-panel buffers.  Private to this
     /// module and only borrowed transiently (`take`/`give` are single
-    /// calls), so re-entrancy through the sequential rayon shim cannot
-    /// observe an outstanding borrow.  Buffer capacities grow to the
-    /// high-water mark of the shapes seen, after which `take` allocates
-    /// nothing — the packed path preserves the zero-allocation
-    /// steady-state invariant.
+    /// calls), so re-entrancy cannot observe an outstanding borrow.
+    /// Being thread-local, every pool worker owns its own pack buffers
+    /// — the parallel packed driver needs no buffer handoff and no
+    /// locking.  Capacities grow to the high-water mark of the shapes
+    /// seen on that thread, after which `take` allocates nothing — the
+    /// zero-allocation steady-state invariant holds on the caller *and*
+    /// on every warm worker (asserted by the pool counting-allocator
+    /// test in `vqmc-core`).
     static PACK_POOL: RefCell<Workspace> = RefCell::new(Workspace::new());
 }
 
@@ -103,6 +113,53 @@ fn give_pack(buf: Vec<f64>) {
 fn packed_micro() -> Option<MicroKernel> {
     let k = simd::kernels();
     (k.backend != simd::Backend::Scalar).then_some(k.micro_8x4)
+}
+
+/// Parallel front-end for [`gemm_packed`]: when the shape clears
+/// [`par::should_parallelize_gemm`], the output rows are split into one
+/// `MR_SIMD`-aligned contiguous slab per worker and each worker runs
+/// the *full* packed loop nest on its slab (own thread-local pack
+/// buffers, shared read-only operands).  Slab boundaries land on
+/// microtile edges, so every `C` element sees exactly the `k`-block
+/// accumulation order it sees in the sequential sweep — bit-identical
+/// output at any thread count.  Below the gate (or at one thread) this
+/// is exactly `gemm_packed`.
+fn packed_driver(
+    m: usize,
+    n: usize,
+    k: usize,
+    pack_a: &(dyn Fn(usize, usize, usize, usize, &mut [f64]) + Sync),
+    pack_b: &(dyn Fn(usize, usize, usize, usize, &mut [f64]) + Sync),
+    c: &mut [f64],
+    micro: MicroKernel,
+) {
+    let units = m.div_ceil(MR_SIMD);
+    let parts = par::active_threads().min(units.max(1));
+    if parts <= 1 || !par::should_parallelize_gemm(m * n * k) {
+        gemm_packed(m, n, k, pack_a, pack_b, c, micro);
+        return;
+    }
+    let base = par::SendPtr(c.as_mut_ptr());
+    par::run(parts, &|w| {
+        let u = par::stripe(units, parts, w);
+        let r0 = (u.start * MR_SIMD).min(m);
+        let r1 = (u.end * MR_SIMD).min(m);
+        if r0 < r1 {
+            // SAFETY: stripes are disjoint, contiguous row ranges of `c`,
+            // and the region joins before `c`'s borrow ends.
+            let slab =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(r0 * n), (r1 - r0) * n) };
+            gemm_packed(
+                r1 - r0,
+                n,
+                k,
+                |i0, ic, l0, lc, buf| pack_a(r0 + i0, ic, l0, lc, buf),
+                pack_b,
+                slab,
+                micro,
+            );
+        }
+    });
 }
 
 /// Gathers *rows* `[r0, r0+rc)` (k-slice `[l0, l0+lc)`) of a row-major
@@ -289,26 +346,49 @@ pub fn gemm_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         "gemm_nt: inner dimensions disagree (A is {m}x{k}, B^T is {kb}x{n})"
     );
     c.resize(m, n);
-    let work = m * n * k;
-    if par::should_parallelize(work) {
-        let chunk = par::row_chunk_len(m).div_ceil(MR) * MR;
-        c.as_mut_slice()
-            .par_chunks_mut(chunk * n)
-            .enumerate()
-            .for_each(|(ci, c_rows)| nt_panel(a, b, c_rows, ci * chunk));
-    } else if let Some(micro) = packed_micro() {
-        gemm_packed(
+    if let Some(micro) = packed_micro() {
+        packed_driver(
             m,
             n,
             k,
-            |i0, ic, l0, lc, buf| pack_rows(a, i0, ic, l0, lc, MR_SIMD, buf),
-            |j0, jc, l0, lc, buf| pack_rows(b, j0, jc, l0, lc, NR_SIMD, buf),
+            &|i0, ic, l0, lc, buf| pack_rows(a, i0, ic, l0, lc, MR_SIMD, buf),
+            &|j0, jc, l0, lc, buf| pack_rows(b, j0, jc, l0, lc, NR_SIMD, buf),
             c.as_mut_slice(),
             micro,
         );
     } else {
-        nt_panel(a, b, c.as_mut_slice(), 0);
+        nt_striped(a, b, c.as_mut_slice());
     }
+}
+
+/// Scalar-arm `nt`: `MR`-aligned row stripes over the pool when the
+/// shape clears the FLOP gate, one sequential [`nt_panel`] otherwise.
+/// Stripe starts are multiples of `MR`, so each row keeps the
+/// quad-tile/remainder classification it has in the sequential sweep
+/// (quad rows hit [`micro_4x4`], remainder rows hit [`dot`]) — the
+/// per-row value is partition-invariant, hence bit-identical.
+fn nt_striped(a: &Matrix, b: &Matrix, c: &mut [f64]) {
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let units = m.div_ceil(MR);
+    let parts = par::active_threads().min(units.max(1));
+    if parts <= 1 || !par::should_parallelize_gemm(m * n * k) {
+        nt_panel(a, b, c, 0);
+        return;
+    }
+    let base = par::SendPtr(c.as_mut_ptr());
+    par::run(parts, &|w| {
+        let u = par::stripe(units, parts, w);
+        let r0 = (u.start * MR).min(m);
+        let r1 = (u.end * MR).min(m);
+        if r0 < r1 {
+            // SAFETY: disjoint contiguous row ranges; region joins before
+            // the borrow of `c` ends.
+            let slab =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(r0 * n), (r1 - r0) * n) };
+            nt_panel(a, b, slab, r0);
+        }
+    });
 }
 
 /// The scalar blocked `nt` path, bypassing SIMD dispatch.  Hidden:
@@ -453,31 +533,32 @@ pub fn gemm_nn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         "gemm_nn: inner dimensions disagree (A is {m}x{k}, B is {kb}x{n})"
     );
     c.resize(m, n);
-    let work = m * n * k;
-    if par::should_parallelize(work) {
-        c.fill(0.0);
-        let chunk = par::row_chunk_len(m);
-        c.as_mut_slice()
-            .par_chunks_mut(chunk * n)
-            .enumerate()
-            .for_each(|(ci, c_rows)| {
-                let row0 = ci * chunk;
-                for (local_r, c_row) in c_rows.chunks_exact_mut(n).enumerate() {
-                    accumulate_row_nn(a.row(row0 + local_r), b, c_row);
-                }
-            });
-    } else if let Some(micro) = packed_micro() {
-        gemm_packed(
+    if let Some(micro) = packed_micro() {
+        packed_driver(
             m,
             n,
             k,
-            |i0, ic, l0, lc, buf| pack_rows(a, i0, ic, l0, lc, MR_SIMD, buf),
-            |j0, jc, l0, lc, buf| pack_cols(b, j0, jc, l0, lc, NR_SIMD, buf),
+            &|i0, ic, l0, lc, buf| pack_rows(a, i0, ic, l0, lc, MR_SIMD, buf),
+            &|j0, jc, l0, lc, buf| pack_cols(b, j0, jc, l0, lc, NR_SIMD, buf),
             c.as_mut_slice(),
             micro,
         );
+        return;
+    }
+    c.fill(0.0);
+    if n == 0 {
+        return;
+    }
+    if par::should_parallelize_gemm(m * n * k) {
+        // Row stripes: each output row is an independent axpy
+        // accumulation over A's row, so the partition is bit-identical.
+        par::for_each_stripe_mut(c.as_mut_slice(), n, |off, c_rows| {
+            let row0 = off / n;
+            for (local_r, c_row) in c_rows.chunks_exact_mut(n).enumerate() {
+                accumulate_row_nn(a.row(row0 + local_r), b, c_row);
+            }
+        });
     } else {
-        c.fill(0.0);
         for r in 0..m {
             // Split borrows: read A's row, write C's row.
             let a_row: &[f64] = a.row(r);
@@ -514,42 +595,40 @@ pub fn gemm_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         "gemm_tn: outer dimensions disagree (A^T is {m}x{k}, B is {kb}x{n})"
     );
     c.resize(m, n);
-    let work = m * n * k;
-    if !par::should_parallelize(work) {
-        if let Some(micro) = packed_micro() {
-            gemm_packed(
-                m,
-                n,
-                k,
-                |i0, ic, l0, lc, buf| pack_cols(a, i0, ic, l0, lc, MR_SIMD, buf),
-                |j0, jc, l0, lc, buf| pack_cols(b, j0, jc, l0, lc, NR_SIMD, buf),
-                c.as_mut_slice(),
-                micro,
-            );
-            return;
-        }
+    if let Some(micro) = packed_micro() {
+        packed_driver(
+            m,
+            n,
+            k,
+            &|i0, ic, l0, lc, buf| pack_cols(a, i0, ic, l0, lc, MR_SIMD, buf),
+            &|j0, jc, l0, lc, buf| pack_cols(b, j0, jc, l0, lc, NR_SIMD, buf),
+            c.as_mut_slice(),
+            micro,
+        );
+        return;
     }
     c.fill(0.0);
-    if par::should_parallelize(work) && m >= 2 {
-        let chunk = par::row_chunk_len(m);
-        c.as_mut_slice()
-            .par_chunks_mut(chunk * n)
-            .enumerate()
-            .for_each(|(ci, c_rows)| {
-                let row0 = ci * chunk;
-                // Each worker owns output rows [row0, row0+rows_here) and
-                // scans the full k dimension: no partial-C reduction needed.
-                for l in 0..k {
-                    let a_row = a.row(l);
-                    let b_row = b.row(l);
-                    for (local_r, c_row) in c_rows.chunks_exact_mut(n).enumerate() {
-                        let coeff = a_row[row0 + local_r];
-                        if coeff != 0.0 {
-                            axpy(c_row, coeff, b_row);
-                        }
+    if n == 0 {
+        return;
+    }
+    if par::should_parallelize_gemm(m * n * k) && m >= 2 {
+        // Each worker owns a stripe of output rows and scans the full
+        // shared k dimension for them: no partial-C reduction needed,
+        // and each row's l-ascending axpy chain matches the sequential
+        // sweep exactly — bit-identical at any thread count.
+        par::for_each_stripe_mut(c.as_mut_slice(), n, |off, c_rows| {
+            let row0 = off / n;
+            for l in 0..k {
+                let a_row = a.row(l);
+                let b_row = b.row(l);
+                for (local_r, c_row) in c_rows.chunks_exact_mut(n).enumerate() {
+                    let coeff = a_row[row0 + local_r];
+                    if coeff != 0.0 {
+                        axpy(c_row, coeff, b_row);
                     }
                 }
-            });
+            }
+        });
     } else {
         for l in 0..k {
             let a_row = a.row(l);
@@ -670,20 +749,41 @@ mod tests {
 
     #[test]
     fn large_parallel_paths_match_reference() {
-        // Big enough to cross PAR_THRESHOLD_ELEMS and exercise the rayon
-        // branches of all three kernels.
-        let a = mat(70, 90, 7);
-        let b_nt = mat(50, 90, 8);
-        let b_nn = mat(90, 50, 9);
-        let a_tn = mat(90, 70, 10);
+        // Big enough to cross PAR_GEMM_MIN_FLOPS (m*n*k >= 2^20) so the
+        // pool branches of all three kernels actually fire under
+        // with_threads.  Results must match the reference loosely and
+        // the sequential sweep *bitwise* at every thread count.
+        let a = mat(160, 96, 7);
+        let b_nt = mat(112, 96, 8);
+        let b_nn = mat(96, 112, 9);
+        let a_tn = mat(96, 160, 10);
+        assert!(160 * 112 * 96 >= par::PAR_GEMM_MIN_FLOPS);
 
-        assert!(gemm_nt(&a, &b_nt)
-            .max_abs_diff(&gemm_reference(&a, &b_nt.transpose()))
-            < 1e-10);
-        assert!(gemm_nn(&a, &b_nn).max_abs_diff(&gemm_reference(&a, &b_nn)) < 1e-10);
-        assert!(gemm_tn(&a_tn, &b_nn)
-            .max_abs_diff(&gemm_reference(&a_tn.transpose(), &b_nn))
-            < 1e-10);
+        let seq_nt = par::with_threads(1, || gemm_nt(&a, &b_nt));
+        let seq_nn = par::with_threads(1, || gemm_nn(&a, &b_nn));
+        let seq_tn = par::with_threads(1, || gemm_tn(&a_tn, &b_nn));
+        assert!(seq_nt.max_abs_diff(&gemm_reference(&a, &b_nt.transpose())) < 1e-10);
+        assert!(seq_nn.max_abs_diff(&gemm_reference(&a, &b_nn)) < 1e-10);
+        assert!(seq_tn.max_abs_diff(&gemm_reference(&a_tn.transpose(), &b_nn)) < 1e-10);
+
+        for threads in [2, 3, 4, 8] {
+            let (p_nt, p_nn, p_tn) = par::with_threads(threads, || {
+                (gemm_nt(&a, &b_nt), gemm_nn(&a, &b_nn), gemm_tn(&a_tn, &b_nn))
+            });
+            for (seq, par_c, name) in [
+                (&seq_nt, &p_nt, "nt"),
+                (&seq_nn, &p_nn, "nn"),
+                (&seq_tn, &p_tn, "tn"),
+            ] {
+                assert!(
+                    seq.as_slice()
+                        .iter()
+                        .zip(par_c.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{name} not bit-identical at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

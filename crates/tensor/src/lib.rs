@@ -6,8 +6,8 @@
 //! scalability in variational quantum Monte Carlo") executes its neural
 //! wavefunctions on NVIDIA V100 GPUs.  A GPU earns its speed by
 //! parallelising the *batch* axis of every dense kernel; this crate plays
-//! the same role on CPU by parallelising the identical axis with rayon's
-//! work-stealing pool.  The flop counts per device and the bytes moved per
+//! the same role on CPU by parallelising the identical axis over the
+//! fixed worker pool in [`par`].  The flop counts per device and the bytes moved per
 //! collective — the only quantities the paper's scaling analysis (its
 //! Eq. 15) depends on — are therefore preserved exactly.
 //!
@@ -16,7 +16,7 @@
 //! * [`Vector`] — a contiguous `f64` vector with the BLAS-1 operations the
 //!   optimisers need (axpy, dot, scaling, norms).
 //! * [`Matrix`] — a row-major `f64` matrix with cache-blocked,
-//!   rayon-parallel GEMM variants ([`Matrix::matmul_nt`] and friends).
+//!   pool-parallel GEMM variants ([`Matrix::matmul_nt`] and friends).
 //! * [`SpinBatch`] — a `bs x n` batch of binary spin configurations, the
 //!   sample container shared by Hamiltonians, samplers and wavefunctions.
 //! * [`ops`] — numerically stable elementwise activations (`sigmoid`,
@@ -37,10 +37,16 @@
 //!
 //! ## Parallelism policy
 //!
-//! Every parallel kernel has a sequential twin, and a crossover threshold
-//! ([`par::PAR_THRESHOLD_ELEMS`]) below which the parallel entry points
-//! degrade to the sequential implementation.  The threshold was chosen by
-//! the `bench_tensor` criterion group in `vqmc-bench`.
+//! Real threads live in [`par`]: a lazily-spawned fixed pool of workers
+//! (sized by `VQMC_THREADS`, default one per core) that every parallel
+//! kernel dispatches onto.  Every parallel kernel has a sequential twin,
+//! and crossover thresholds ([`par::PAR_THRESHOLD_ELEMS`] for
+//! memory-bound slices, [`par::PAR_GEMM_MIN_FLOPS`] for GEMM) below
+//! which the entry points degrade to the sequential implementation; the
+//! thresholds were calibrated by the `bench_tensor` criterion group in
+//! `vqmc-bench`.  The binding contract is *bit-identical results at any
+//! thread count* — see the [`par`] module docs for how each kernel
+//! family earns that.
 
 #![warn(missing_docs)]
 

@@ -320,16 +320,14 @@ impl Matrix {
         }
     }
 
-    /// Applies `f` elementwise in place.
+    /// Applies `f` elementwise in place (striped over the pool above
+    /// the size threshold; bit-identical at any thread count).
     pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64 + Sync) {
-        use rayon::prelude::*;
-        if crate::par::should_parallelize(self.data.len()) {
-            self.data.par_iter_mut().for_each(|v| *v = f(*v));
-        } else {
-            for v in &mut self.data {
+        crate::par::par_apply(&mut self.data, |s| {
+            for v in s {
                 *v = f(*v);
             }
-        }
+        });
     }
 
     /// Returns a new matrix with `f` applied elementwise.

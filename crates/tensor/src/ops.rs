@@ -101,35 +101,40 @@ pub fn log_one_minus_sigmoid(x: f64) -> f64 {
 
 /// Applies [`relu`] over a slice in place.  (A plain loop: the branch
 /// auto-vectorises to `maxpd`, so no dispatched kernel is needed.)
+/// Striped over the pool above the size threshold; elementwise, so
+/// bit-identical at any thread count — as are all `*_slice` entry
+/// points below.
 pub fn relu_slice(xs: &mut [f64]) {
-    for x in xs {
-        *x = relu(*x);
-    }
+    crate::par::par_apply(xs, |s| {
+        for x in s {
+            *x = relu(*x);
+        }
+    });
 }
 
 /// Applies [`sigmoid`] over a slice in place (dispatched kernel).
 pub fn sigmoid_slice(xs: &mut [f64]) {
-    (crate::simd::kernels().sigmoid_slice)(xs)
+    crate::par::par_apply(xs, crate::simd::kernels().sigmoid_slice)
 }
 
 /// Applies [`ln_cosh`] over a slice in place (dispatched kernel).
 pub fn ln_cosh_slice(xs: &mut [f64]) {
-    (crate::simd::kernels().ln_cosh_slice)(xs)
+    crate::par::par_apply(xs, crate::simd::kernels().ln_cosh_slice)
 }
 
 /// Applies [`log_sigmoid`] over a slice in place (dispatched kernel).
 pub fn log_sigmoid_slice(xs: &mut [f64]) {
-    (crate::simd::kernels().log_sigmoid_slice)(xs)
+    crate::par::par_apply(xs, crate::simd::kernels().log_sigmoid_slice)
 }
 
 /// Applies `tanh` over a slice in place (dispatched kernel).
 pub fn tanh_slice(xs: &mut [f64]) {
-    (crate::simd::kernels().tanh_slice)(xs)
+    crate::par::par_apply(xs, crate::simd::kernels().tanh_slice)
 }
 
 /// Applies `e^x` over a slice in place (dispatched kernel).
 pub fn exp_slice(xs: &mut [f64]) {
-    (crate::simd::kernels().exp_slice)(xs)
+    crate::par::par_apply(xs, crate::simd::kernels().exp_slice)
 }
 
 #[cfg(test)]

@@ -1,38 +1,440 @@
-//! Parallelism policy shared by the kernels in this crate.
+//! The deterministic fork-join thread pool under every parallel kernel
+//! in this workspace.
 //!
-//! Rayon's overhead per `par_iter` dispatch is on the order of a few
-//! microseconds; kernels touching fewer elements than
-//! [`PAR_THRESHOLD_ELEMS`] run their sequential twin instead.  The
-//! threshold is deliberately a compile-time constant (not a runtime knob)
-//! so that the branch is free; the `bench_tensor` criterion group in
-//! `vqmc-bench` sweeps it empirically.
+//! ## Design
+//!
+//! One process-global pool of `num_threads() - 1` worker threads
+//! (lazily spawned on the first parallel region, reused for the life of
+//! the process) plus the calling thread, which always participates as
+//! part 0.  A parallel region is a **broadcast**: [`run`]`(parts, f)`
+//! publishes one borrowed closure and every participant `w < parts`
+//! executes `f(w)` exactly once.  There is no task queue and no
+//! stealing — each part's work is fixed by its index — because the
+//! determinism contract below is easier to state (and test) for a
+//! static partition, and the kernels this pool serves are regular
+//! enough that stealing buys nothing.
+//!
+//! The dispatch path allocates nothing: the job slot holds a borrowed
+//! fat pointer to the caller's closure, workers are woken through one
+//! `Condvar`, and completion is a counter plus a second `Condvar`.  The
+//! caller blocks until every participant has finished, so the borrow
+//! never escapes the region (the zero-allocation `Trainer::step`
+//! invariant holds with the pool active — asserted by a
+//! counting-allocator test in `vqmc-core`).
+//!
+//! ## Determinism contract
+//!
+//! Every kernel built on this pool must produce **bit-identical**
+//! results at any thread count (`VQMC_THREADS ∈ {1, 2, 4, 8, …}`).
+//! The pool supplies the two primitives that make that provable:
+//!
+//! * **fixed chunk→worker assignment** — [`stripe`] splits `0..len`
+//!   into `parts` contiguous ranges by a pure function of
+//!   `(len, parts, w)`; no stealing, no racing for chunks;
+//! * **canonical reduction order** — reductions never combine partials
+//!   in completion order.  `reduce::sum` and friends evaluate the
+//!   *same* fixed pairwise tree the sequential path uses (leaves in
+//!   parallel, combination sequential in tree order), so the float
+//!   association is a function of the slice length alone.
+//!
+//! Kernels whose sequential association cannot be partitioned (the
+//! lane-striped whole-slice `dot`) stay sequential rather than break
+//! the contract.
+//!
+//! ## Concurrency and re-entrancy
+//!
+//! Concurrent callers (the serve engine's worker, trainer threads, the
+//! cluster's device threads) serialize on a client lock — regions run
+//! one at a time, each at full width.  A nested parallel call from
+//! inside a worker (or from inside the caller's own part) runs inline,
+//! sequentially over its parts in ascending order, which is
+//! bit-identical to a dispatched run by the contract above.  A panic in
+//! any part is caught, the region is drained, and the panic is re-raised
+//! on the caller — workers never die, the pool stays usable.
+//!
+//! ## Sizing
+//!
+//! `VQMC_THREADS` pins the width; otherwise
+//! `std::thread::available_parallelism()` decides.  [`with_threads`]
+//! overrides the width for the current thread within a scope (growing
+//! the pool if needed) — this is how the cross-thread-count
+//! bit-identity tests run 1/2/4/8 inside one process.
 
-/// Minimum number of `f64` elements a kernel must touch before the
-/// parallel code path is worth its scheduling overhead.
-pub const PAR_THRESHOLD_ELEMS: usize = 16 * 1024;
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
-/// Returns `true` when a kernel over `elems` elements should take the
-/// rayon code path.
+/// Minimum number of `f64` elements an **elementwise** kernel must
+/// touch before the parallel path is worth one pool dispatch.
+///
+/// Calibrated against this pool (criterion group `par_dispatch` /
+/// `par_threshold` in `vqmc-bench`): a broadcast wake-up costs a few
+/// microseconds, and a thread needs ≳16 KiB of streamed data for the
+/// memory system, not the dispatch, to dominate.  The old rayon-era
+/// value (16 * 1024) assumed a work-stealing dispatch that was never
+/// actually parallel; the real pool pays a full wake/join per region,
+/// so the floor doubles.
+pub const PAR_THRESHOLD_ELEMS: usize = 32 * 1024;
+
+/// Minimum `m·n·k` flop-count before a GEMM takes the parallel driver.
+/// A multiply-add is ~10× the cost of a streamed load, so the floor in
+/// "elements" is correspondingly lower than [`PAR_THRESHOLD_ELEMS`]'s;
+/// below ~1 Mflop the pack/dispatch overhead beats the win.
+pub const PAR_GEMM_MIN_FLOPS: usize = 1 << 20;
+
+/// Hard cap on pool width (worker ids, stack arrays in reductions).
+pub const MAX_THREADS: usize = 64;
+
+/// Returns `true` when an elementwise/reduction kernel over `elems`
+/// elements should take the parallel path.
 #[inline]
 pub fn should_parallelize(elems: usize) -> bool {
-    elems >= PAR_THRESHOLD_ELEMS && rayon::current_num_threads() > 1
+    elems >= PAR_THRESHOLD_ELEMS && active_threads() > 1
 }
 
-/// Splits `rows` rows into chunk sizes that give each rayon worker a few
-/// chunks to steal, without descending into per-row tasks.
+/// Returns `true` when a GEMM of `flops = m·n·k` multiply-adds should
+/// take the parallel driver.
+#[inline]
+pub fn should_parallelize_gemm(flops: usize) -> bool {
+    flops >= PAR_GEMM_MIN_FLOPS && active_threads() > 1
+}
+
+/// The configured pool width: `VQMC_THREADS` when set (clamped to
+/// `1..=`[`MAX_THREADS`]), else the machine's available parallelism.
+/// Fixed for the life of the process; cached so the hot-loop
+/// `should_parallelize` check never allocates (the cgroup lookup
+/// inside `available_parallelism` does).
+pub fn num_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        match std::env::var("VQMC_THREADS") {
+            Ok(v) => v.trim().parse::<usize>().unwrap_or(1).clamp(1, MAX_THREADS),
+            Err(_) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(MAX_THREADS),
+        }
+    })
+}
+
+thread_local! {
+    /// Per-thread width override installed by [`with_threads`];
+    /// 0 = no override.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// True while this thread is executing inside a parallel region
+    /// (as a pool worker, or as the caller running part 0).  Nested
+    /// regions run inline.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The width parallel regions started by *this thread* will use:
+/// the [`with_threads`] override when one is active, else
+/// [`num_threads`].
+#[inline]
+pub fn active_threads() -> usize {
+    let o = OVERRIDE.with(|c| c.get());
+    if o > 0 {
+        o
+    } else {
+        num_threads()
+    }
+}
+
+/// Runs `f` with parallel regions on this thread capped/widened to
+/// `threads`, restoring the previous width afterwards (also on panic).
 ///
-/// Returns a chunk length in rows, at least 1.
+/// Grows the pool if `threads` exceeds the configured width — this is
+/// the in-process lever the cross-thread-count bit-identity tests use
+/// to compare `VQMC_THREADS ∈ {1,2,4,8}` without re-execing.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let threads = threads.clamp(1, MAX_THREADS);
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(threads)));
+    f()
+}
+
+/// Deterministic contiguous partition of `0..len` into `parts` ranges:
+/// part `w` gets `[w·q + min(w, r), …)` with `q = len / parts`,
+/// `r = len % parts` — the first `r` parts are one element longer.
+/// A pure function of `(len, parts, w)`; this *is* the fixed
+/// chunk→worker assignment of the determinism contract.
+#[inline]
+pub fn stripe(len: usize, parts: usize, w: usize) -> Range<usize> {
+    debug_assert!(w < parts);
+    let q = len / parts;
+    let r = len % parts;
+    let start = w * q + w.min(r);
+    let end = start + q + usize::from(w < r);
+    start..end
+}
+
+/// Splits `rows` into one contiguous chunk per active worker (the
+/// static-assignment analogue of the old 4-chunks-per-worker rayon
+/// heuristic, which existed to feed the work-stealing scheduler slack;
+/// this pool has no stealing, so extra chunks would only multiply the
+/// per-chunk overhead).  Returns a chunk length in rows, at least 1.
 #[inline]
 pub fn row_chunk_len(rows: usize) -> usize {
-    let workers = rayon::current_num_threads().max(1);
-    // Four chunks per worker gives the scheduler slack for imbalance
-    // while keeping task-creation overhead negligible.
-    (rows / (4 * workers)).max(1)
+    rows.div_ceil(active_threads().max(1)).max(1)
+}
+
+// ---------------------------------------------------------------------
+// The pool itself.
+// ---------------------------------------------------------------------
+
+/// A borrowed parallel job: a fat pointer to the caller's closure.
+/// The caller blocks in [`run`] until every participant finishes, so
+/// the pointee outlives every dereference.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` (shared calls from many threads are
+// fine) and the raw pointer is only dereferenced while the owning
+// stack frame is alive (see `Job` docs).
+unsafe impl Send for Job {}
+
+struct State {
+    /// Bumped once per published region; workers use it to detect work.
+    epoch: u64,
+    /// The active region's job, cleared when the region completes.
+    job: Option<Job>,
+    /// Number of participants (`parts`) of the active region.
+    parts: usize,
+    /// Worker participants still running (`parts - 1` at publish).
+    remaining: usize,
+    /// Set when a worker's part panicked (re-raised on the caller).
+    panicked: bool,
+    /// Worker threads spawned so far (ids `1..=spawned`).
+    spawned: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers sleep here between regions.
+    work_cv: Condvar,
+    /// The caller sleeps here until `remaining == 0`.
+    done_cv: Condvar,
+    /// Serializes whole regions across concurrent caller threads.
+    client: Mutex<()>,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        state: Mutex::new(State {
+            epoch: 0,
+            job: None,
+            parts: 0,
+            remaining: 0,
+            panicked: false,
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        client: Mutex::new(()),
+    })
+}
+
+/// Ignore mutex poisoning: workers catch panics before they can poison
+/// anything, and the caller's own panic is caught in [`run`]; treating
+/// a (theoretically unreachable) poisoned lock as live keeps the pool
+/// usable across `should_panic` tests.
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Dedicated worker loop: wait for a new epoch, run our part if we are
+/// a participant, report completion.
+fn worker_loop(shared: &'static Shared, w: usize, mut seen: u64) {
+    IN_REGION.with(|c| c.set(true));
+    loop {
+        let (job, parts) = {
+            let mut st = lock(&shared.state);
+            while st.epoch == seen {
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            seen = st.epoch;
+            (st.job, st.parts)
+        };
+        let Some(job) = job else { continue };
+        if w < parts {
+            // SAFETY: see `Job` — the caller is blocked until we
+            // decrement `remaining`, so the closure is alive.
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(w) }));
+            let mut st = lock(&shared.state);
+            if result.is_err() {
+                st.panicked = true;
+            }
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Spawns workers up to id `needed` (no-op when already spawned).
+/// Called under the client lock, so never concurrently and never while
+/// a region is active.
+fn ensure_workers(shared: &'static Shared, needed: usize) {
+    let (have, epoch) = {
+        let st = lock(&shared.state);
+        (st.spawned, st.epoch)
+    };
+    for w in have + 1..=needed {
+        std::thread::Builder::new()
+            .name(format!("vqmc-worker-{w}"))
+            .spawn(move || worker_loop(shared, w, epoch))
+            .expect("vqmc par: failed to spawn pool worker");
+    }
+    if needed > have {
+        lock(&shared.state).spawned = needed;
+    }
+}
+
+/// Executes `f(0), …, f(parts-1)`, each part exactly once, distributed
+/// over the pool (the caller runs part 0).  Blocks until every part
+/// has finished.  Nested calls (from inside any part) run inline
+/// sequentially in ascending part order — bit-identical by the module
+/// contract.  Panics in any part propagate to the caller after the
+/// region drains; the pool remains usable.
+///
+/// The dispatch itself performs no heap allocation.
+pub fn run(parts: usize, f: &(dyn Fn(usize) + Sync)) {
+    let parts = parts.max(1);
+    if parts == 1 || IN_REGION.with(|c| c.get()) {
+        for w in 0..parts {
+            f(w);
+        }
+        return;
+    }
+    let shared = shared();
+    let region = shared
+        .client
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    ensure_workers(shared, parts - 1);
+
+    // SAFETY: launders the closure's stack lifetime into the 'static
+    // the job slot needs; `run` does not return until `remaining == 0`,
+    // i.e. until no worker can still dereference it.
+    let job = Job(unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+            f as *const (dyn Fn(usize) + Sync),
+        )
+    });
+    {
+        let mut st = lock(&shared.state);
+        st.epoch += 1;
+        st.job = Some(job);
+        st.parts = parts;
+        st.remaining = parts - 1;
+    }
+    shared.work_cv.notify_all();
+
+    IN_REGION.with(|c| c.set(true));
+    let own = catch_unwind(AssertUnwindSafe(|| f(0)));
+    IN_REGION.with(|c| c.set(false));
+
+    let mut st = lock(&shared.state);
+    while st.remaining > 0 {
+        st = shared.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    st.job = None;
+    let worker_panicked = std::mem::take(&mut st.panicked);
+    drop(st);
+    drop(region);
+
+    if let Err(p) = own {
+        resume_unwind(p);
+    }
+    if worker_panicked {
+        panic!("vqmc par: a pool worker panicked inside a parallel region");
+    }
+}
+
+/// A raw pointer that may cross into pool workers.  Used to hand each
+/// part its disjoint stripe of a `&mut` slice when the stripe geometry
+/// is too irregular for [`for_each_stripe_mut`] (e.g. several parallel
+/// buffers striped in lockstep).  Access goes through [`SendPtr::get`]
+/// so closures capture the wrapper (which is `Sync`) rather than the
+/// raw field (which is not — 2021-edition closures capture disjoint
+/// fields).
+///
+/// Safety is the caller's burden: parts must write disjoint index sets,
+/// and the pointee must outlive the [`run`] region (it always does —
+/// `run` joins before returning).
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(pub *mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer.
+    #[inline]
+    pub fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Splits `xs` into contiguous stripes whose boundaries are multiples
+/// of `granularity` and runs `f(offset, stripe)` for each, in parallel
+/// over the active width.  Falls back to one inline call when only one
+/// stripe is warranted.  Purely a partition — any elementwise `f` is
+/// bit-identical to `f(0, xs)` at every thread count.
+pub fn for_each_stripe_mut<T, F>(xs: &mut [T], granularity: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = xs.len();
+    let g = granularity.max(1);
+    let units = len.div_ceil(g);
+    let parts = active_threads().min(units).max(1);
+    if parts <= 1 {
+        f(0, xs);
+        return;
+    }
+    let base = SendPtr(xs.as_mut_ptr());
+    run(parts, &|w| {
+        let u = stripe(units, parts, w);
+        let (s, e) = ((u.start * g).min(len), (u.end * g).min(len));
+        if s < e {
+            // SAFETY: stripes over distinct `w` are disjoint
+            // (`stripe` partitions), and `xs` outlives the region.
+            let sl = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
+            f(s, sl);
+        }
+    });
+}
+
+/// Parallel in-place transform of an `f64` slice through a
+/// slice-kernel: stripes `xs` (8-element boundaries so each part's
+/// vector lanes start aligned with the sequential sweep's) and applies
+/// `f` per stripe when above threshold, else once on the whole slice.
+/// `f` must be elementwise for the bit-identity contract to hold —
+/// every slice kernel in [`crate::simd`] is.
+#[inline]
+pub fn par_apply(xs: &mut [f64], f: impl Fn(&mut [f64]) + Sync) {
+    if should_parallelize(xs.len()) {
+        for_each_stripe_mut(xs, 8, |_, s| f(s));
+    } else {
+        f(xs);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn small_sizes_stay_sequential() {
@@ -41,15 +443,127 @@ mod tests {
     }
 
     #[test]
-    fn chunk_len_is_positive() {
+    fn chunk_len_is_positive_and_bounded() {
         for rows in [0usize, 1, 7, 1024, 1_000_000] {
-            assert!(row_chunk_len(rows) >= 1);
+            let c = row_chunk_len(rows);
+            assert!(c >= 1);
+            assert!(c <= rows.max(1));
         }
     }
 
     #[test]
-    fn chunk_len_bounded_by_rows_for_large_inputs() {
-        let rows = 1_000_000;
-        assert!(row_chunk_len(rows) <= rows);
+    fn stripes_partition_exactly() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for parts in 1..=9 {
+                let mut covered = 0;
+                let mut next = 0;
+                for w in 0..parts {
+                    let r = stripe(len, parts, w);
+                    assert_eq!(r.start, next, "len={len} parts={parts} w={w}");
+                    next = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, len);
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn run_executes_every_part_once() {
+        for parts in [1usize, 2, 3, 8] {
+            let hits: Vec<AtomicUsize> = (0..parts).map(|_| AtomicUsize::new(0)).collect();
+            with_threads(parts, || {
+                run(parts, &|w| {
+                    hits[w].fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            for (w, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "part {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        let outer: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            run(4, &|w| {
+                // Nested region from inside a part: must not deadlock,
+                // must execute all its parts on this thread.
+                let inner = AtomicUsize::new(0);
+                run(4, &|_| {
+                    inner.fetch_add(1, Ordering::SeqCst);
+                });
+                assert_eq!(inner.load(Ordering::SeqCst), 4);
+                outer[w].fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert!(outer.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn for_each_stripe_mut_covers_all_elements() {
+        let mut xs = vec![0u32; 10_007];
+        with_threads(4, || {
+            for_each_stripe_mut(&mut xs, 8, |off, s| {
+                for (i, v) in s.iter_mut().enumerate() {
+                    *v = (off + i) as u32;
+                }
+            });
+        });
+        for (i, &v) in xs.iter().enumerate() {
+            assert_eq!(v as usize, i);
+        }
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let before = active_threads();
+        with_threads(7, || assert_eq!(active_threads(), 7));
+        assert_eq!(active_threads(), before);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let res = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                run(4, &|w| {
+                    if w == 2 {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(res.is_err());
+        // Pool still functional after the panic.
+        let count = AtomicUsize::new(0);
+        with_threads(4, || {
+            run(4, &|_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn caller_panic_propagates_and_pool_survives() {
+        let res = std::panic::catch_unwind(|| {
+            with_threads(2, || {
+                run(2, &|w| {
+                    if w == 0 {
+                        panic!("caller part boom");
+                    }
+                });
+            });
+        });
+        assert!(res.is_err());
+        let count = AtomicUsize::new(0);
+        with_threads(2, || {
+            run(2, &|_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
     }
 }

@@ -9,11 +9,17 @@
 //! running sum — on the 10⁵-sample energy estimators this is the
 //! difference between keeping and losing the last ~2 digits when the
 //! local energies nearly cancel (property-tested against a Neumaier
-//! compensated reference in `tests/reduce_proptests.rs`).  The
-//! association order is fully determined by the slice length, never by
-//! thread count or backend (both dispatch arms reduce bit-identically).
-
-use rayon::prelude::*;
+//! compensated reference in `tests/reduce_proptests.rs`).
+//!
+//! **Determinism:** the association order is fully determined by the
+//! slice length — never by thread count or backend.  The parallel path
+//! does not invent its own chunking: it evaluates the top of the *same*
+//! pairwise tree — the subtrees at a bounded depth become leaves, their
+//! values are computed concurrently into a stack array, and the
+//! combination replays the identical split recursion sequentially.
+//! Because the sequential recursion below the cut is byte-for-byte the
+//! same computation, `sum(xs)` is bit-identical at every
+//! `VQMC_THREADS`, including 1 (tested in `tests/thread_identity.rs`).
 
 use crate::par;
 use crate::simd;
@@ -23,20 +29,91 @@ use crate::simd;
 /// that the striped SIMD kernel dominates the runtime.
 const PAIRWISE_BASE: usize = 128;
 
-/// Sum of a slice (pairwise; see module docs).  The parallel path sums
-/// fixed-size chunks and then the chunk partials, so its association
-/// order is deterministic for a given length (independent of thread
-/// count) — important for the distributed trainer's replica-consistency
-/// test.
+/// Maximum number of parallel leaves (bounds the recursion cut depth
+/// and the stack arrays; 64 leaves keep ≥ 4 chunks per worker at the
+/// pool's maximum width without ever allocating).
+const MAX_LEAVES: usize = 64;
+
+/// Evaluates the pairwise tree of `base` over `xs` with its top
+/// `depth_budget` levels parallelised.  The split predicate — recurse
+/// while `len > PAIRWISE_BASE` *and* budget remains — is mirrored
+/// exactly by the sequential `*_seq` twins (which keep splitting at the
+/// same midpoints below the cut), so the value is independent of both
+/// the budget and the thread count.
+fn pairwise_par(xs: &[f64], base: &(dyn Fn(&[f64]) -> f64 + Sync)) -> f64 {
+    let parts = par::active_threads().min(MAX_LEAVES);
+    // Enough leaves for ~4 per worker, capped by MAX_LEAVES and by the
+    // tree's own depth (never split below PAIRWISE_BASE).
+    let mut depth = 0u32;
+    while (1usize << depth) < 4 * parts
+        && (1usize << depth) < MAX_LEAVES
+        && (xs.len() >> depth) > PAIRWISE_BASE
+    {
+        depth += 1;
+    }
+
+    // Collect the leaf ranges of the budgeted recursion, in order.
+    let mut bounds = [(0usize, 0usize); MAX_LEAVES];
+    let mut count = 0usize;
+    fn collect(
+        a: usize,
+        b: usize,
+        depth: u32,
+        bounds: &mut [(usize, usize); MAX_LEAVES],
+        count: &mut usize,
+    ) {
+        if b - a <= PAIRWISE_BASE || depth == 0 {
+            bounds[*count] = (a, b);
+            *count += 1;
+        } else {
+            let mid = a + (b - a) / 2;
+            collect(a, mid, depth - 1, bounds, count);
+            collect(mid, b, depth - 1, bounds, count);
+        }
+    }
+    collect(0, xs.len(), depth, &mut bounds, &mut count);
+
+    // Leaves in parallel (static contiguous leaf→worker assignment),
+    // partials into a stack array — no heap allocation.
+    let mut partials = [0.0f64; MAX_LEAVES];
+    let pp = par::SendPtr(partials.as_mut_ptr());
+    let workers = parts.min(count);
+    par::run(workers, &|w| {
+        for li in par::stripe(count, workers, w) {
+            let (a, b) = bounds[li];
+            // SAFETY: each leaf index is owned by exactly one part.
+            unsafe { *pp.get().add(li) = base(&xs[a..b]) };
+        }
+    });
+
+    // Replay the identical recursion to combine, consuming leaves in
+    // order — this is the canonical (sequential) association.
+    fn combine(a: usize, b: usize, depth: u32, cursor: &mut usize, partials: &[f64]) -> f64 {
+        if b - a <= PAIRWISE_BASE || depth == 0 {
+            let v = partials[*cursor];
+            *cursor += 1;
+            v
+        } else {
+            let mid = a + (b - a) / 2;
+            let left = combine(a, mid, depth - 1, cursor, partials);
+            let right = combine(mid, b, depth - 1, cursor, partials);
+            left + right
+        }
+    }
+    let mut cursor = 0;
+    combine(0, xs.len(), depth, &mut cursor, &partials)
+}
+
+/// Sum of a slice (pairwise; see module docs).  Bit-identical at every
+/// thread count — the parallel path evaluates the same tree.
 pub fn sum(xs: &[f64]) -> f64 {
     if par::should_parallelize(xs.len()) {
-        xs.par_chunks(4096).map(sum_seq).collect::<Vec<_>>().iter().sum()
+        pairwise_par(xs, &sum_seq)
     } else {
         sum_seq(xs)
     }
 }
 
-#[inline]
 fn sum_seq(xs: &[f64]) -> f64 {
     if xs.len() <= PAIRWISE_BASE {
         (simd::kernels().sum)(xs)
@@ -47,7 +124,6 @@ fn sum_seq(xs: &[f64]) -> f64 {
 }
 
 /// Pairwise `Σ (x_i - m)²` over dispatched base blocks.
-#[inline]
 fn sq_dev_seq(xs: &[f64], m: f64) -> f64 {
     if xs.len() <= PAIRWISE_BASE {
         (simd::kernels().sq_dev_sum)(xs, m)
@@ -58,7 +134,6 @@ fn sq_dev_seq(xs: &[f64], m: f64) -> f64 {
 }
 
 /// Pairwise `Σ e^{x_i - shift}` over dispatched base blocks.
-#[inline]
 fn sum_exp_seq(xs: &[f64], shift: f64) -> f64 {
     if xs.len() <= PAIRWISE_BASE {
         (simd::kernels().sum_exp_shifted)(xs, shift)
@@ -83,7 +158,7 @@ pub fn mean(xs: &[f64]) -> f64 {
 pub fn variance(xs: &[f64]) -> f64 {
     let m = mean(xs);
     let ss = if par::should_parallelize(xs.len()) {
-        xs.par_chunks(4096).map(|c| sq_dev_seq(c, m)).sum()
+        pairwise_par(xs, &|c| sq_dev_seq(c, m))
     } else {
         sq_dev_seq(xs, m)
     };
@@ -132,8 +207,13 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
         return f64::NEG_INFINITY;
     }
     // Shifted exponentials through the dispatched kernel (vectorised
-    // vendored exp), pairwise-accumulated like every other reduction.
-    let s = sum_exp_seq(xs, m);
+    // vendored exp), pairwise-accumulated like every other reduction —
+    // and parallelised over the same tree (exp dominates the cost).
+    let s = if par::should_parallelize(xs.len()) {
+        pairwise_par(xs, &|c| sum_exp_seq(c, m))
+    } else {
+        sum_exp_seq(xs, m)
+    };
     m + s.ln()
 }
 
@@ -159,9 +239,27 @@ mod tests {
     }
 
     #[test]
-    fn sum_parallel_matches_sequential() {
+    fn sum_parallel_bit_identical_to_sequential() {
         let xs: Vec<f64> = (0..100_000).map(|i| (i as f64 * 0.1).sin()).collect();
-        assert!(approx_eq(sum(&xs), sum_seq(&xs), 1e-10));
+        let seq = sum_seq(&xs);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let par_val = par::with_threads(threads, || sum(&xs));
+            assert_eq!(
+                par_val.to_bits(),
+                seq.to_bits(),
+                "threads={threads}: {par_val} vs {seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_parallel_bit_identical_to_sequential() {
+        let xs: Vec<f64> = (0..70_001).map(|i| (i as f64 * 0.31).cos()).collect();
+        let seq = par::with_threads(1, || variance(&xs));
+        for threads in [2usize, 4, 8] {
+            let par_val = par::with_threads(threads, || variance(&xs));
+            assert_eq!(par_val.to_bits(), seq.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -4,7 +4,6 @@
 use std::fmt;
 use std::ops::{Deref, DerefMut, Index, IndexMut};
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::par;
@@ -75,11 +74,7 @@ impl Vector {
         self.0.copy_from_slice(&other.0);
     }
 
-    /// Dot product `self . other`.
-    ///
-    /// Parallelises above the crate's size threshold; the parallel path
-    /// uses per-chunk partial sums, so association order differs from the
-    /// sequential path by at most the usual fp round-off.
+    /// Dot product `self . other` (always sequential; see [`dot`]).
     pub fn dot(&self, other: &Vector) -> f64 {
         dot(&self.0, &other.0)
     }
@@ -94,11 +89,14 @@ impl Vector {
         axpy(&mut self.0, alpha, &x.0);
     }
 
-    /// Scales every element in place.
+    /// Scales every element in place (striped over the pool above the
+    /// size threshold; elementwise, so bit-identical at any width).
     pub fn scale(&mut self, alpha: f64) {
-        for v in &mut self.0 {
-            *v *= alpha;
-        }
+        par::par_apply(&mut self.0, |s| {
+            for v in s {
+                *v *= alpha;
+            }
+        });
     }
 
     /// Returns `self + other` as a new vector.
@@ -119,15 +117,14 @@ impl Vector {
         Vector(self.0.iter().zip(&other.0).map(|(a, b)| a * b).collect())
     }
 
-    /// Applies `f` to every element in place.
+    /// Applies `f` to every element in place (striped over the pool
+    /// above the size threshold; bit-identical at any thread count).
     pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64 + Sync) {
-        if par::should_parallelize(self.len()) {
-            self.0.par_iter_mut().for_each(|v| *v = f(*v));
-        } else {
-            for v in &mut self.0 {
+        par::par_apply(&mut self.0, |s| {
+            for v in s {
                 *v = f(*v);
             }
-        }
+        });
     }
 
     /// Returns a new vector with `f` applied elementwise.
@@ -176,17 +173,19 @@ impl Vector {
 
 /// Free-function dot product over slices (used by matrix kernels to avoid
 /// constructing temporaries).
+///
+/// Deliberately **never parallelised**: the dispatched kernel
+/// accumulates in lanes striped across the *whole* slice, so any
+/// chunked partition changes the association order and the result's
+/// low bits.  Keeping one canonical association is what lets the CG
+/// solver and the trainer produce bit-identical traces at every
+/// `VQMC_THREADS` (the determinism contract in [`crate::par`]).  The
+/// hot dots (CG inner products) are far below memory-bandwidth sizes
+/// where threads would pay off anyway.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    if par::should_parallelize(a.len()) {
-        a.par_chunks(4096)
-            .zip(b.par_chunks(4096))
-            .map(|(ca, cb)| dot_seq(ca, cb))
-            .sum()
-    } else {
-        dot_seq(a, b)
-    }
+    dot_seq(a, b)
 }
 
 /// Sequential dot product through the dispatched kernel: 16 FMA lanes
@@ -198,20 +197,32 @@ fn dot_seq(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Free-function axpy `y += alpha * x` over slices (dispatched kernel;
-/// every step a fused multiply-add on both arms).
+/// every step a fused multiply-add on both arms).  Striped over the
+/// pool above the size threshold — each `y[i]` depends only on
+/// `(y[i], x[i])`, so the partition is bit-identical at any width.
 #[inline]
 pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     assert_eq!(y.len(), x.len(), "axpy: length mismatch");
-    (crate::simd::kernels().axpy)(y, alpha, x)
+    let kern = crate::simd::kernels().axpy;
+    if par::should_parallelize(y.len()) {
+        par::for_each_stripe_mut(y, 8, |off, ys| kern(ys, alpha, &x[off..off + ys.len()]));
+    } else {
+        kern(y, alpha, x)
+    }
 }
 
 /// Free-function `y = x + beta * y` over slices (dispatched kernel) —
 /// the conjugate-gradient direction update `p = r + β p`, which axpy
-/// cannot express without a scratch copy.
+/// cannot express without a scratch copy.  Striped like [`axpy`].
 #[inline]
 pub fn xpby(y: &mut [f64], x: &[f64], beta: f64) {
     assert_eq!(y.len(), x.len(), "xpby: length mismatch");
-    (crate::simd::kernels().xpby)(y, beta, x)
+    let kern = crate::simd::kernels().xpby;
+    if par::should_parallelize(y.len()) {
+        par::for_each_stripe_mut(y, 8, |off, ys| kern(ys, beta, &x[off..off + ys.len()]));
+    } else {
+        kern(y, beta, x)
+    }
 }
 
 impl Deref for Vector {

@@ -180,10 +180,10 @@ proptest! {
     }
 }
 
-/// The parallel (rayon) code path — shapes crossing
-/// `PAR_THRESHOLD_ELEMS` — agrees with the naive reference too.
-/// Deterministic shapes straddling tile boundaries; not a proptest so
-/// the expensive cases run once.
+/// The pool-parallel code path — shapes crossing the GEMM FLOP gate,
+/// run at several thread counts via `par::with_threads` — agrees with
+/// the naive reference too.  Deterministic shapes straddling tile
+/// boundaries; not a proptest so the expensive cases run once.
 #[test]
 fn parallel_paths_match_reference() {
     for &(m, n, k) in &[
@@ -193,20 +193,29 @@ fn parallel_paths_match_reference() {
     ] {
         let a = rand_matrix(m, k, 77);
         let b = rand_matrix(n, k, 78);
-        assert_close(
-            &gemm::gemm_nt(&a, &b),
-            &gemm_reference(&a, &b.transpose()),
-            k,
-            "par gemm_nt",
-        );
         let b_nn = rand_matrix(k, n, 79);
         let a_tn = rand_matrix(k, m, 80);
-        assert_close(&gemm::gemm_nn(&a, &b_nn), &gemm_reference(&a, &b_nn), k, "par gemm_nn");
-        assert_close(
-            &gemm::gemm_tn(&a_tn, &b_nn),
-            &gemm_reference(&a_tn.transpose(), &b_nn),
-            k,
-            "par gemm_tn",
-        );
+        let seq = vqmc_tensor::par::with_threads(1, || {
+            (
+                gemm::gemm_nt(&a, &b),
+                gemm::gemm_nn(&a, &b_nn),
+                gemm::gemm_tn(&a_tn, &b_nn),
+            )
+        });
+        assert_close(&seq.0, &gemm_reference(&a, &b.transpose()), k, "par gemm_nt");
+        assert_close(&seq.1, &gemm_reference(&a, &b_nn), k, "par gemm_nn");
+        assert_close(&seq.2, &gemm_reference(&a_tn.transpose(), &b_nn), k, "par gemm_tn");
+        for threads in [2, 4] {
+            let par = vqmc_tensor::par::with_threads(threads, || {
+                (
+                    gemm::gemm_nt(&a, &b),
+                    gemm::gemm_nn(&a, &b_nn),
+                    gemm::gemm_tn(&a_tn, &b_nn),
+                )
+            });
+            assert!(par.0 == seq.0, "gemm_nt t={threads} ({m},{n},{k})");
+            assert!(par.1 == seq.1, "gemm_nn t={threads} ({m},{n},{k})");
+            assert!(par.2 == seq.2, "gemm_tn t={threads} ({m},{n},{k})");
+        }
     }
 }

@@ -1,0 +1,92 @@
+//! Pool saturation: many OS threads hammer the shared worker pool
+//! concurrently, each repeatedly dispatching parallel work and checking
+//! its result against a sequential twin computed up front.
+//!
+//! The pool serialises client regions behind a mutex, so concurrent
+//! callers contend hard on dispatch — this is a torture test for the
+//! epoch/condvar handshake (lost wakeups, stale jobs, cross-client
+//! leakage), not a throughput benchmark.  Results must stay
+//! bit-identical under contention: a worker running another client's
+//! closure or a caller returning before its workers finish would show
+//! up as corrupted sums or torn slices.
+//!
+//! Debug builds skip it (`--release` only): the value is in iteration
+//! count, and unoptimised kernels would turn it into a minutes-long
+//! test for no extra coverage.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use vqmc_tensor::{gemm, ops, par, reduce, Matrix};
+
+fn filler(i: usize) -> f64 {
+    let x = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+    x * 10f64.powi((i % 9) as i32 - 4)
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "saturation test is release-only")]
+fn concurrent_callers_saturating_the_pool_stay_bit_identical() {
+    const CALLERS: usize = 8;
+    const ITERS: usize = 100;
+
+    // Sequential twins, computed once before any contention.
+    let xs: Vec<f64> = (0..100_000).map(filler).collect();
+    let expected_sum = par::with_threads(1, || reduce::sum(&xs));
+    let expected_exp = par::with_threads(1, || {
+        let mut v: Vec<f64> = xs.iter().map(|x| x % 20.0).collect();
+        ops::exp_slice(&mut v);
+        v
+    });
+    let a = Matrix::from_fn(96, 128, |i, j| filler(i * 128 + j));
+    let b = Matrix::from_fn(112, 128, |i, j| filler(i * 131 + j + 7));
+    let expected_c = par::with_threads(1, || {
+        let mut c = Matrix::zeros(96, 112);
+        gemm::gemm_nt_into(&a, &b, &mut c);
+        c
+    });
+
+    let failures = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..CALLERS {
+            let xs = &xs;
+            let a = &a;
+            let b = &b;
+            let expected_exp = &expected_exp;
+            let expected_c = &expected_c;
+            let failures = &failures;
+            scope.spawn(move || {
+                for it in 0..ITERS {
+                    // Vary the requested width per iteration so clients
+                    // with different `parts` interleave on the same pool.
+                    let threads = 1 + (t + it) % 8;
+                    let ok = par::with_threads(threads, || {
+                        let s = reduce::sum(xs);
+                        if s.to_bits() != expected_sum.to_bits() {
+                            return false;
+                        }
+                        let mut v: Vec<f64> = xs.iter().map(|x| x % 20.0).collect();
+                        ops::exp_slice(&mut v);
+                        if !v
+                            .iter()
+                            .zip(expected_exp)
+                            .all(|(p, q)| p.to_bits() == q.to_bits())
+                        {
+                            return false;
+                        }
+                        let mut c = Matrix::zeros(96, 112);
+                        gemm::gemm_nt_into(a, b, &mut c);
+                        c == *expected_c
+                    });
+                    if !ok {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        failures.load(Ordering::Relaxed),
+        0,
+        "pool produced non-identical results under saturation"
+    );
+}

@@ -1,37 +1,48 @@
 //! Vendored stand-in for the `rayon` API subset used by this workspace
 //! (see `third_party/README.md`).
 //!
-//! Every `par_*` entry point delegates to the equivalent sequential
-//! `std` iterator. This is semantically identical (rayon's contract is
-//! that parallel iteration computes the same result as sequential
-//! iteration, up to fp reduction order — and the sequential order *is*
-//! the canonical order), and on this single-core container it is also
-//! the fastest execution. The workspace additionally gates all parallel
-//! paths on [`current_num_threads`]` > 1` via
-//! `vqmc_tensor::par::should_parallelize`, so under this stub those
-//! branches are never taken in production code; the prelude exists so
-//! the call sites keep compiling unchanged and upstream rayon can be
-//! swapped back in on a multi-core substrate.
+//! Since PR 6 this shim is a thin adapter over the **real** worker pool
+//! in [`vqmc_tensor::par`]: the parallel-iterator entry points below
+//! partition their index space into one contiguous stripe per pool
+//! worker (`par::stripe`) and dispatch through `par::run`.  There is no
+//! work stealing and no dynamic splitting — which is exactly what gives
+//! the workspace its determinism contract:
+//!
+//! * **Fixed assignment** — item `i` of a length-`len` source always
+//!   runs on the worker designated by `par::stripe(len, parts, w)`, a
+//!   pure function of `(len, parts)`.
+//! * **Fixed reduction tree** — [`ParIter::sum`] folds items within
+//!   fixed 4096-item chunks sequentially and then folds the per-chunk
+//!   partials in ascending chunk order.  The association depends only
+//!   on `len`, never on the thread count or the schedule, so floating
+//!   point sums are **bit-identical at any `VQMC_THREADS`** (and also
+//!   identical between the sequential fallback and the parallel path).
+//! * **Slot writes** — [`ParIter::collect`] writes item `i` into slot
+//!   `i` of the output; no ordering between workers is observable.
+//!
+//! The subset implemented eagerly (pool-backed) is the one the
+//! workspace consumes: `into_par_iter` on ranges, `par_iter` /
+//! `par_iter_mut` / `par_chunks` / `par_chunks_mut` on slices, with the
+//! `map` / `for_each` / `sum` / `collect` terminals.  `Vec::into_par_iter`
+//! and [`join`] remain sequential compatibility shims (no production
+//! call sites); upstream rayon can still be swapped back in, at the
+//! cost of the bit-identity guarantee above.
 
-/// Number of worker threads the pool would have: the machine's
-/// available parallelism.
-///
-/// Cached after the first call: `available_parallelism` performs a
-/// cgroup-quota lookup on Linux (file reads, heap allocations), which
-/// would otherwise put allocations on every hot-loop call to
-/// `vqmc_tensor::par::should_parallelize`. Real rayon's pool size is
-/// likewise fixed after initialisation.
+use vqmc_tensor::par;
+
+/// Number of worker threads parallel regions may use: the pool width
+/// from [`vqmc_tensor::par::active_threads`] (the `VQMC_THREADS`
+/// environment override, a `par::with_threads` scope, or one thread per
+/// available core).
 pub fn current_num_threads() -> usize {
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    par::active_threads()
 }
 
-/// Runs two closures (sequentially here) and returns both results —
-/// the `rayon::join` signature.
+/// Runs two closures and returns both results — the `rayon::join`
+/// signature.  Executed sequentially (`a` then `b`): the workspace pool
+/// is a fork-join broadcast without a task deque, so there is nothing
+/// to steal the second closure, and sequential order is the canonical
+/// deterministic one.  No production call sites use this.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -42,31 +53,311 @@ where
     (a(), b())
 }
 
-/// The parallel-iterator traits, delegating to `std` iterators.
-pub mod prelude {
-    /// `par_chunks` for slices.
-    pub trait ParallelSlice<T> {
-        /// Chunked view of the slice (sequential stand-in).
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+/// Sources shorter than this run their terminal sequentially: one pool
+/// dispatch costs on the order of a few microseconds, so per-item work
+/// has to amortise it.  (Iterator items here are closures of arbitrary
+/// cost — e.g. a whole Hamiltonian row — hence a much lower bar than
+/// `par::PAR_THRESHOLD_ELEMS`, which prices memory-bound `f64` lanes.)
+const MIN_PAR_LEN: usize = 1024;
+
+/// Fixed fold-chunk length for [`ParIter::sum`]: partials are folded
+/// within chunks of this many items, then across chunks in ascending
+/// order, making the association independent of the thread count.
+const SUM_CHUNK: usize = 4096;
+
+#[doc(hidden)]
+pub mod plumbing {
+    //! Internal producer abstraction: an indexed, random-access source
+    //! whose items can be yielded from any pool worker.  Public only so
+    //! the adapter types can name it; not part of the stable surface.
+
+    /// An indexed source of `len` items.  The driver guarantees each
+    /// index is consumed at most once per terminal operation.
+    pub trait Producer: Sync {
+        /// The item type.
+        type Item;
+        /// Number of items.
+        fn len(&self) -> usize;
+        /// Yields item `i`.
+        ///
+        /// # Safety
+        /// Callers must consume each index at most once (mutable-slice
+        /// producers hand out disjoint `&mut` borrows by index).
+        unsafe fn item(&self, i: usize) -> Self::Item;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        #[inline]
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+    /// `0..end` offset range.
+    pub struct RangeProducer(pub(crate) usize, pub(crate) usize);
+    impl Producer for RangeProducer {
+        type Item = usize;
+        fn len(&self) -> usize {
+            self.1 - self.0
+        }
+        unsafe fn item(&self, i: usize) -> usize {
+            self.0 + i
+        }
+    }
+
+    /// Shared-slice items.
+    pub struct SliceProducer<'a, T>(pub(crate) &'a [T]);
+    impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+        type Item = &'a T;
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        unsafe fn item(&self, i: usize) -> &'a T {
+            &self.0[i]
+        }
+    }
+
+    /// Disjoint `&mut` items handed out by index.
+    pub struct SliceMutProducer<'a, T> {
+        pub(crate) ptr: *mut T,
+        pub(crate) len: usize,
+        pub(crate) _marker: std::marker::PhantomData<&'a mut [T]>,
+    }
+    // SAFETY: items are yielded at most once per index (Producer
+    // contract), so the `&mut` borrows are disjoint.
+    unsafe impl<T: Send> Sync for SliceMutProducer<'_, T> {}
+    impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+        type Item = &'a mut T;
+        fn len(&self) -> usize {
+            self.len
+        }
+        unsafe fn item(&self, i: usize) -> &'a mut T {
+            debug_assert!(i < self.len);
+            &mut *self.ptr.add(i)
+        }
+    }
+
+    /// Shared chunked view (`chunks` semantics: last chunk may be short).
+    pub struct ChunksProducer<'a, T> {
+        pub(crate) xs: &'a [T],
+        pub(crate) size: usize,
+    }
+    impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+        type Item = &'a [T];
+        fn len(&self) -> usize {
+            self.xs.len().div_ceil(self.size)
+        }
+        unsafe fn item(&self, i: usize) -> &'a [T] {
+            let s = i * self.size;
+            &self.xs[s..(s + self.size).min(self.xs.len())]
+        }
+    }
+
+    /// Mutable chunked view; chunks are disjoint by construction.
+    pub struct ChunksMutProducer<'a, T> {
+        pub(crate) ptr: *mut T,
+        pub(crate) len: usize,
+        pub(crate) size: usize,
+        pub(crate) _marker: std::marker::PhantomData<&'a mut [T]>,
+    }
+    // SAFETY: chunk `i` covers indices `[i*size, min((i+1)*size, len))`
+    // — disjoint across distinct `i`.
+    unsafe impl<T: Send> Sync for ChunksMutProducer<'_, T> {}
+    impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+        type Item = &'a mut [T];
+        fn len(&self) -> usize {
+            self.len.div_ceil(self.size)
+        }
+        unsafe fn item(&self, i: usize) -> &'a mut [T] {
+            let s = i * self.size;
+            let e = (s + self.size).min(self.len);
+            std::slice::from_raw_parts_mut(self.ptr.add(s), e - s)
+        }
+    }
+
+    /// `map` adapter: yields `f(inner item)`.
+    pub struct MapProducer<P, F> {
+        pub(crate) inner: P,
+        pub(crate) f: F,
+    }
+    impl<P, F, U> Producer for MapProducer<P, F>
+    where
+        P: Producer,
+        F: Fn(P::Item) -> U + Sync,
+    {
+        type Item = U;
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        unsafe fn item(&self, i: usize) -> U {
+            (self.f)(self.inner.item(i))
+        }
+    }
+}
+
+use plumbing::Producer;
+
+/// Raw pointer wrapper so closures capture something `Sync` (the field
+/// itself is a bare `*mut T`).
+struct Shared<T>(*mut T);
+unsafe impl<T> Send for Shared<T> {}
+unsafe impl<T> Sync for Shared<T> {}
+impl<T> Shared<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// An eager parallel iterator over an indexed producer.  Terminal
+/// operations drive every index exactly once: striped across the pool
+/// when the source is long enough, inline otherwise (identical results
+/// either way — see the crate docs for the determinism contract).
+pub struct ParIter<P>(P);
+
+impl<P: Producer> ParIter<P> {
+    /// Maps every item through `f` (lazily; fused into the terminal).
+    pub fn map<U, F>(self, f: F) -> ParIter<plumbing::MapProducer<P, F>>
+    where
+        F: Fn(P::Item) -> U + Sync,
+    {
+        ParIter(plumbing::MapProducer { inner: self.0, f })
+    }
+
+    /// Runs `f` on every item.  Items are striped contiguously across
+    /// the pool workers; each worker visits its stripe in ascending
+    /// index order.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Sync,
+    {
+        let len = self.0.len();
+        let parts = par::active_threads().min(len.max(1));
+        if parts <= 1 || len < MIN_PAR_LEN {
+            for i in 0..len {
+                // SAFETY: each index consumed exactly once.
+                unsafe { f(self.0.item(i)) };
+            }
+            return;
+        }
+        let p = &self.0;
+        par::run(parts, &|w| {
+            for i in par::stripe(len, parts, w) {
+                // SAFETY: stripes partition 0..len — once per index.
+                unsafe { f(p.item(i)) };
+            }
+        });
+    }
+
+    /// Sums the items with a thread-count-independent association:
+    /// sequential folds within fixed [`SUM_CHUNK`]-item chunks, then a
+    /// sequential fold of the per-chunk partials in ascending order.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+        P::Item: Send,
+    {
+        let len = self.0.len();
+        let nchunks = len.div_ceil(SUM_CHUNK);
+        let p = &self.0;
+        let chunk_sum = |c: usize| -> S {
+            let s = c * SUM_CHUNK;
+            let e = (s + SUM_CHUNK).min(len);
+            // SAFETY: chunks partition 0..len — once per index.
+            (s..e).map(|i| unsafe { p.item(i) }).sum()
+        };
+        collect_indexed(nchunks, &chunk_sum).into_iter().sum()
+    }
+
+    /// Collects into `C` (item `i` lands in slot `i`, so the result is
+    /// independent of scheduling by construction).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<P::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types constructible from a [`ParIter`] (the `collect`
+/// bound, mirroring rayon's trait of the same name).
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds `Self` from the iterator's items.
+    fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self {
+        let p = &iter.0;
+        // SAFETY: the driver consumes each index exactly once.
+        collect_indexed(p.len(), &|i| unsafe { p.item(i) })
+    }
+}
+
+/// Builds a `Vec` whose slot `i` holds `f(i)`, evaluating `f` across
+/// the pool when `len` warrants it.  Slot-writes into a preallocated
+/// buffer: no ordering between workers is observable in the result.
+fn collect_indexed<T: Send>(len: usize, f: &(dyn Fn(usize) -> T + Sync)) -> Vec<T> {
+    let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit needs no initialisation; every slot is
+    // written exactly once below before the transmute to Vec<T>.
+    unsafe { out.set_len(len) };
+    let parts = par::active_threads().min(len.max(1));
+    if parts <= 1 || len < MIN_PAR_LEN {
+        for (i, slot) in out.iter_mut().enumerate() {
+            slot.write(f(i));
+        }
+    } else {
+        let base = Shared(out.as_mut_ptr());
+        par::run(parts, &|w| {
+            for i in par::stripe(len, parts, w) {
+                // SAFETY: stripes are disjoint; slot `i` written once.
+                unsafe { (*base.get().add(i)).write(f(i)) };
+            }
+        });
+    }
+    let mut out = std::mem::ManuallyDrop::new(out);
+    // SAFETY: all `len` slots initialised; MaybeUninit<T> and T share
+    // layout, and ptr/len/capacity are reused verbatim.
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut T, len, out.capacity()) }
+}
+
+/// The parallel-iterator traits, adapting containers onto [`ParIter`].
+pub mod prelude {
+    pub use crate::FromParallelIterator;
+    use crate::{plumbing, ParIter};
+
+    /// `par_chunks` for slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over `chunk_size`-element chunks (last may
+        /// be short), like `slice::chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<plumbing::ChunksProducer<'_, T>>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<plumbing::ChunksProducer<'_, T>> {
+            assert!(chunk_size > 0, "par_chunks: chunk size must be non-zero");
+            ParIter(plumbing::ChunksProducer {
+                xs: self,
+                size: chunk_size,
+            })
         }
     }
 
     /// `par_chunks_mut` for slices.
-    pub trait ParallelSliceMut<T> {
-        /// Mutable chunked view of the slice (sequential stand-in).
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over disjoint mutable chunks.
+        fn par_chunks_mut(
+            &mut self,
+            chunk_size: usize,
+        ) -> ParIter<plumbing::ChunksMutProducer<'_, T>>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        #[inline]
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(
+            &mut self,
+            chunk_size: usize,
+        ) -> ParIter<plumbing::ChunksMutProducer<'_, T>> {
+            assert!(chunk_size > 0, "par_chunks_mut: chunk size must be non-zero");
+            ParIter(plumbing::ChunksMutProducer {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                size: chunk_size,
+                _marker: std::marker::PhantomData,
+            })
         }
     }
 
@@ -74,23 +365,21 @@ pub mod prelude {
     pub trait IntoParallelRefIterator<'a> {
         /// The iterator type.
         type Iter;
-        /// Sequential stand-in for `par_iter`.
+        /// Parallel iterator over `&Item`.
         fn par_iter(&'a self) -> Self::Iter;
     }
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-        type Iter = std::slice::Iter<'a, T>;
-        #[inline]
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = ParIter<plumbing::SliceProducer<'a, T>>;
         fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+            ParIter(plumbing::SliceProducer(self))
         }
     }
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-        type Iter = std::slice::Iter<'a, T>;
-        #[inline]
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = ParIter<plumbing::SliceProducer<'a, T>>;
         fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+            ParIter(plumbing::SliceProducer(self))
         }
     }
 
@@ -98,23 +387,25 @@ pub mod prelude {
     pub trait IntoParallelRefMutIterator<'a> {
         /// The iterator type.
         type Iter;
-        /// Sequential stand-in for `par_iter_mut`.
+        /// Parallel iterator over `&mut Item`.
         fn par_iter_mut(&'a mut self) -> Self::Iter;
     }
 
-    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
-        type Iter = std::slice::IterMut<'a, T>;
-        #[inline]
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = ParIter<plumbing::SliceMutProducer<'a, T>>;
         fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.iter_mut()
+            ParIter(plumbing::SliceMutProducer {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                _marker: std::marker::PhantomData,
+            })
         }
     }
 
-    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
-        type Iter = std::slice::IterMut<'a, T>;
-        #[inline]
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = ParIter<plumbing::SliceMutProducer<'a, T>>;
         fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.iter_mut()
+            self.as_mut_slice().par_iter_mut()
         }
     }
 
@@ -122,23 +413,24 @@ pub mod prelude {
     pub trait IntoParallelIterator {
         /// The iterator type.
         type Iter;
-        /// Sequential stand-in for `into_par_iter`.
+        /// Parallel iterator over owned items.
         fn into_par_iter(self) -> Self::Iter;
     }
 
     impl<T> IntoParallelIterator for Vec<T> {
         type Iter = std::vec::IntoIter<T>;
-        #[inline]
+        /// Sequential compatibility shim: moving items out of a `Vec`
+        /// in parallel needs drop-tracking machinery no workspace call
+        /// site pays for — borrow with `par_iter` instead.
         fn into_par_iter(self) -> Self::Iter {
             self.into_iter()
         }
     }
 
     impl IntoParallelIterator for std::ops::Range<usize> {
-        type Iter = std::ops::Range<usize>;
-        #[inline]
+        type Iter = ParIter<plumbing::RangeProducer>;
         fn into_par_iter(self) -> Self::Iter {
-            self
+            ParIter(plumbing::RangeProducer(self.start, self.end.max(self.start)))
         }
     }
 }
@@ -146,6 +438,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use vqmc_tensor::par;
 
     #[test]
     fn par_chunks_matches_chunks() {
@@ -170,5 +463,52 @@ mod tests {
     #[test]
     fn thread_count_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn collect_runs_on_pool_and_preserves_order() {
+        // Long enough to clear MIN_PAR_LEN so the pool branch executes.
+        let n = 10_000usize;
+        let got: Vec<usize> = par::with_threads(4, || (0..n).into_par_iter().map(|i| i * 3).collect());
+        assert_eq!(got.len(), n);
+        assert!(got.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn sum_bit_identical_across_thread_counts() {
+        // Ill-conditioned magnitudes: any change of association moves
+        // the low bits, so bitwise equality proves the fixed tree.
+        let n = 50_000usize;
+        let f = |i: usize| ((i as f64) * 1.618).sin() * 10f64.powi((i % 13) as i32 - 6);
+        let reference: f64 = par::with_threads(1, || (0..n).into_par_iter().map(f).sum());
+        for threads in [2, 3, 4, 8] {
+            let s: f64 = par::with_threads(threads, || (0..n).into_par_iter().map(f).sum());
+            assert_eq!(s.to_bits(), reference.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let n = 40_000usize;
+        let mut xs = vec![0u32; n];
+        par::with_threads(4, || {
+            xs.par_chunks_mut(7).for_each(|c| {
+                for v in c.iter_mut() {
+                    *v += 1;
+                }
+            });
+        });
+        assert!(xs.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn mutation_inside_map_for_each_via_par_iter_mut() {
+        let n = 20_000usize;
+        let mut xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let seq: Vec<f64> = xs.iter().map(|v| v * 0.5 + 1.0).collect();
+        par::with_threads(4, || {
+            xs.par_iter_mut().for_each(|v| *v = *v * 0.5 + 1.0);
+        });
+        assert_eq!(xs, seq);
     }
 }
