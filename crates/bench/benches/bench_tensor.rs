@@ -144,6 +144,72 @@ fn bench_ops_slice(c: &mut Criterion) {
     group.finish();
 }
 
+/// The f32 GEMM twin against the f64 kernel at the same shapes: the
+/// mixed-precision arm's headline claim is that halving the streamed
+/// bytes (and doubling the SIMD lanes) roughly doubles GEMM throughput
+/// once the working set spills past cache.
+fn bench_gemm_f32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_f32");
+    group.sample_size(10);
+    for &(m, n, k) in &[(256usize, 256usize, 256usize), (1024, 512, 512)] {
+        let a64 = mat(m, k, 5);
+        let b64 = mat(n, k, 6);
+        let a32: Vec<f32> = a64.as_slice().iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = b64.as_slice().iter().map(|&v| v as f32).collect();
+        let mut c32 = vec![0.0f32; m * n];
+        group.bench_function(format!("{m}x{n}x{k}/f32"), |bch| {
+            bch.iter(|| {
+                vqmc_tensor::gemm32::gemm_nt_f32(m, n, k, &a32, &b32, &mut c32);
+                black_box(c32[0])
+            })
+        });
+        group.bench_function(format!("{m}x{n}x{k}/f64"), |bch| {
+            bch.iter(|| black_box(gemm::gemm_nt(&a64, &b64)))
+        });
+    }
+    group.finish();
+}
+
+/// The f32 transcendental slice kernels (widen→f64-kernel→narrow
+/// strategy) against the f64 production dispatch at the same element
+/// count: documents how much of the f32 arm's win comes from the
+/// bandwidth side rather than the transcendental side.
+fn bench_ops_slice_f32(c: &mut Criterion) {
+    const LEN: usize = 4096;
+    let xs64: Vec<f64> = {
+        let m = mat(1, LEN, 9);
+        m.as_slice().iter().map(|v| v * 6.0).collect()
+    };
+    let xs32: Vec<f32> = xs64.iter().map(|&v| v as f32).collect();
+    let k64 = simd::kernels();
+    let k32 = simd::kernels_f32();
+    let mut group = c.benchmark_group("ops_slice_f32");
+    let pairs: [(&str, fn(&mut [f32]), fn(&mut [f64])); 3] = [
+        ("sigmoid_4096", k32.sigmoid_slice, k64.sigmoid_slice),
+        ("log_sigmoid_4096", k32.log_sigmoid_slice, k64.log_sigmoid_slice),
+        ("exp_4096", k32.exp_slice, k64.exp_slice),
+    ];
+    let mut buf32 = vec![0.0f32; LEN];
+    let mut buf64 = vec![0.0f64; LEN];
+    for (name, f32_fn, f64_fn) in pairs {
+        group.bench_function(format!("{name}/f32"), |bch| {
+            bch.iter(|| {
+                buf32.copy_from_slice(&xs32);
+                f32_fn(&mut buf32);
+                black_box(buf32[0])
+            })
+        });
+        group.bench_function(format!("{name}/f64"), |bch| {
+            bch.iter(|| {
+                buf64.copy_from_slice(&xs64);
+                f64_fn(&mut buf64);
+                black_box(buf64[0])
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Raw pool-region dispatch cost: one broadcast wake + join over an
 /// (almost) empty job, per requested width.  This is the overhead every
 /// `should_parallelize` gate amortises; `PAR_THRESHOLD_ELEMS` is sized
@@ -216,6 +282,8 @@ criterion_group!(
     bench_gemm_variants,
     bench_gemm_blocked_vs_naive,
     bench_ops_slice,
+    bench_gemm_f32,
+    bench_ops_slice_f32,
     bench_par_dispatch,
     bench_par_threshold,
     bench_gemm_threads

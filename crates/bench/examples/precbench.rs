@@ -1,0 +1,62 @@
+//! Timing probe: f64 vs f32 coalesced sampler passes at serving shapes.
+//!
+//! ```sh
+//! cargo run --release -p vqmc-bench --example precbench [n] [rows] [h]
+//! ```
+//!
+//! Used to pick the panel shapes in the README's precision table — the
+//! f32/f64 ratio is strongly shape-dependent (per-bit RNG/transcendental
+//! overhead is precision-blind, and the two arms cross their L1/L2 panel
+//! boundaries at different row counts), so rerun this when retuning
+//! `HIDDEN_MAJOR_BYTES` or the serving `max_batch` on a new host.
+
+use std::time::Instant;
+use vqmc_nn::{Made, MadeF32};
+use vqmc_sampler::{BatchSampler, SampleRequest};
+use vqmc_tensor::{Precision, SpinBatch, Vector};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(65536);
+    let h: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let rows: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let made = Made::new(n, h, 1);
+    let mut sampler = BatchSampler::new();
+    let reqs: Vec<SampleRequest> = (0..rows)
+        .map(|i| SampleRequest {
+            count: 1,
+            seed: 100 + i as u64,
+        })
+        .collect();
+    let mut out = SpinBatch::zeros(rows, n);
+    let mut lp = Vector::default();
+
+    let t = Instant::now();
+    let m32 = MadeF32::for_sampling(&made);
+    println!("for_sampling conversion: {:?} (v{})", t.elapsed(), m32.version());
+    drop(m32);
+
+    for prec in [Precision::F64, Precision::F32, Precision::F64, Precision::F32] {
+        sampler.set_precision(prec);
+        // warm pass (builds caches)
+        sampler.sample_requests(&made, &reqs, &mut out, &mut lp);
+        let t = Instant::now();
+        const PASSES: usize = 5;
+        for _ in 0..PASSES {
+            sampler.sample_requests(&made, &reqs, &mut out, &mut lp);
+        }
+        let per = t.elapsed() / PASSES as u32;
+        println!(
+            "{}: {:?}/pass  ({:.1} rows/s)  lp[0]={:.6}",
+            prec.as_str(),
+            per,
+            rows as f64 / per.as_secs_f64(),
+            lp.as_slice()[0]
+        );
+    }
+}

@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use vqmc_serve::{Client, Request};
-use vqmc_tensor::SpinBatch;
+use vqmc_tensor::{Precision, SpinBatch};
 
 const USAGE: &str = "\
 vqmc-loadgen — load generator for vqmc-serve
@@ -40,6 +40,8 @@ FLAGS:
   --requests <N>       requests per connection (default 100)
   --rate <R>           open loop only: total offered req/s (default 500)
   --op sample|logpsi|localenergy  request type (default sample)
+  --precision f64|f32  execution precision tag on every request
+                       (default: omit the tag — server default applies)
   --count <N>          rows per request (default 16)
   --seed <N>           base seed for request payloads (default 0)
   --warmup <N>         unrecorded warm-up requests per connection (default 5)
@@ -56,6 +58,7 @@ struct Opts {
     requests: usize,
     rate: f64,
     op: String,
+    precision: Option<Precision>,
     count: u32,
     seed: u64,
     warmup: usize,
@@ -90,6 +93,12 @@ fn parse_opts() -> Result<Opts, String> {
         requests: get("requests", "100").parse().map_err(|_| "--requests")?,
         rate: get("rate", "500").parse().map_err(|_| "--rate")?,
         op: get("op", "sample"),
+        precision: match flags.get("precision") {
+            None => None,
+            Some(s) => Some(
+                Precision::parse(s).ok_or(format!("--precision {s:?} (f64|f32)"))?,
+            ),
+        },
         count: get("count", "16").parse().map_err(|_| "--count")?,
         seed: get("seed", "0").parse().map_err(|_| "--seed")?,
         warmup: get("warmup", "5").parse().map_err(|_| "--warmup")?,
@@ -123,15 +132,22 @@ fn build_request(opts: &Opts, num_spins: usize, c: usize, r: usize) -> Request {
         "sample" => Request::Sample {
             count: opts.count,
             seed: Some(seed),
+            precision: opts.precision,
         },
         op => {
             let batch = SpinBatch::from_fn(opts.count as usize, num_spins, |s, i| {
                 (seed as usize + s * 31 + i * 7).wrapping_mul(2654435761) as u8 & 1
             });
             if op == "logpsi" {
-                Request::LogPsi(batch)
+                Request::LogPsi {
+                    batch,
+                    precision: opts.precision,
+                }
             } else {
-                Request::LocalEnergy(batch)
+                Request::LocalEnergy {
+                    batch,
+                    precision: opts.precision,
+                }
             }
         }
     }
@@ -279,6 +295,7 @@ fn main() {
     if opts.out != "none" {
         let record = format!(
             "{{\"label\": \"{}\", \"mode\": \"{}\", \"op\": \"{}\", \
+             \"precision\": \"{}\", \
              \"connections\": {}, \"requests_per_conn\": {}, \"count\": {}, \
              \"num_spins\": {}, \"ok\": {}, \"errors\": {}, \"wall_s\": {:.4}, \
              \"throughput_rps\": {:.2}, \"rows_per_s\": {:.1}, \
@@ -286,6 +303,7 @@ fn main() {
             opts.label,
             opts.mode,
             opts.op,
+            opts.precision.map_or("default", |p| p.as_str()),
             opts.connections,
             opts.requests,
             opts.count,

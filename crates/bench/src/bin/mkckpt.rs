@@ -1,0 +1,69 @@
+//! `vqmc-mkckpt` — writes an untrained MADE checkpoint of a given
+//! shape, so serving benchmarks can be run at sizes where training a
+//! real model first would dominate the benchmark wall-clock (the
+//! serving path only cares about shapes, not learned weights).
+//!
+//! ```sh
+//! vqmc-mkckpt --n 65536 --hidden 256 --seed 1 --out made_64k.ckpt
+//! ```
+
+use vqmc_nn::checkpoint::Checkpoint;
+use vqmc_nn::Made;
+use vqmc_tensor::Precision;
+
+const USAGE: &str = "\
+vqmc-mkckpt — write an untrained MADE checkpoint for serving benchmarks
+
+FLAGS:
+  --n <spins>          number of spins (required)
+  --hidden <N>         hidden width (required)
+  --seed <N>           weight init seed (default 1)
+  --precision f64|f32  parameter storage width (default f64)
+  --out <path>         checkpoint path (required)";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flags = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(name) = args[i].strip_prefix("--") else {
+            eprintln!("expected a --flag, found {:?}\n\n{USAGE}", args[i]);
+            std::process::exit(1);
+        };
+        if name == "help" || name == "h" {
+            println!("{USAGE}");
+            return;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("flag --{name} is missing its value\n\n{USAGE}");
+            std::process::exit(1);
+        };
+        flags.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    let req = |k: &str| -> String {
+        flags.get(k).cloned().unwrap_or_else(|| {
+            eprintln!("--{k} is required\n\n{USAGE}");
+            std::process::exit(1);
+        })
+    };
+    let n: usize = req("n").parse().expect("--n wants an integer");
+    let h: usize = req("hidden").parse().expect("--hidden wants an integer");
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(1, |s| s.parse().expect("--seed wants an integer"));
+    let precision = flags.get("precision").map_or(Precision::F64, |s| {
+        Precision::parse(s).expect("--precision wants f64|f32")
+    });
+    let out = req("out");
+
+    let model = Made::new(n, h, seed);
+    model
+        .save_with_precision(&out, precision)
+        .expect("write checkpoint");
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out}: made n={n} h={h} seed={seed} precision={} ({bytes} bytes)",
+        precision.as_str()
+    );
+}

@@ -1,10 +1,27 @@
 //! Model checkpointing: save / restore trained wavefunctions.
 //!
 //! A deliberately tiny self-describing binary format (magic + version +
-//! model kind + shape + little-endian `f64` parameters) so the crate
-//! needs no serialisation-format dependency.  Checkpoints are portable
-//! across platforms (explicit endianness) and validated on load (magic,
-//! version, kind, shape, length).
+//! model kind + precision tag + shape + little-endian parameters) so
+//! the crate needs no serialisation-format dependency.  Checkpoints are
+//! portable across platforms (explicit endianness) and validated on
+//! load (magic, version, kind, precision, shape, length).
+//!
+//! ## Versions
+//!
+//! * **v1** — `magic | version | kind | n | h | count | f64 params`.
+//!   Still accepted on load (treated as f64 storage).
+//! * **v2** — inserts one precision byte ([`Precision::tag`]) between
+//!   the kind tag and the shape: `0` = f64 storage (8-byte params),
+//!   `1` = f32 storage (4-byte params, widened to f64 on load).
+//!   Unknown tags are rejected with `InvalidData`.  [`Checkpoint::save`]
+//!   writes v2/f64; [`Checkpoint::save_with_precision`] selects the
+//!   storage width (an f32 checkpoint of a MADE at `n = 65536, h = 256`
+//!   is ~134 MB instead of ~268 MB).
+//!
+//! Loading always materialises f64 parameters (models train and serve
+//! from the same struct); the checkpoint's *storage* precision is
+//! surfaced by [`load_any`] so the serving CLI can default its
+//! execution precision to match.
 //!
 //! ```no_run
 //! use vqmc_nn::{checkpoint::Checkpoint, Made};
@@ -16,12 +33,14 @@
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-use vqmc_tensor::Vector;
+use vqmc_tensor::{Precision, Vector};
 
 use crate::{Made, Nade, Rbm, WaveFunction};
 
 const MAGIC: &[u8; 4] = b"VQMC";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version still accepted on load.
+const MIN_VERSION: u32 = 1;
 
 /// A wavefunction that can be persisted and restored.
 pub trait Checkpoint: WaveFunction + Sized {
@@ -36,20 +55,38 @@ pub trait Checkpoint: WaveFunction + Sized {
     /// parameters are immediately overwritten by the loader.
     fn with_shape(n: usize, h: usize) -> Self;
 
-    /// Writes the checkpoint.
+    /// Writes the checkpoint (v2, f64 parameter storage).
     fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.save_with_precision(path, Precision::F64)
+    }
+
+    /// Writes the checkpoint with the given parameter storage width.
+    /// `F32` narrows each parameter once at save time (half the file
+    /// size); loading widens back, so a save→load round trip through
+    /// f32 costs one rounding per parameter.
+    fn save_with_precision(&self, path: impl AsRef<Path>, precision: Precision) -> io::Result<()> {
         let mut f = std::fs::File::create(path)?;
         f.write_all(MAGIC)?;
         f.write_all(&VERSION.to_le_bytes())?;
         let kind = Self::KIND.as_bytes();
         f.write_all(&(kind.len() as u32).to_le_bytes())?;
         f.write_all(kind)?;
+        f.write_all(&[precision.tag()])?;
         f.write_all(&(self.num_spins() as u64).to_le_bytes())?;
         f.write_all(&(self.hidden() as u64).to_le_bytes())?;
         let params = self.params();
         f.write_all(&(params.len() as u64).to_le_bytes())?;
-        for v in params.iter() {
-            f.write_all(&v.to_le_bytes())?;
+        match precision {
+            Precision::F64 => {
+                for v in params.iter() {
+                    f.write_all(&v.to_le_bytes())?;
+                }
+            }
+            Precision::F32 => {
+                for v in params.iter() {
+                    f.write_all(&(*v as f32).to_le_bytes())?;
+                }
+            }
         }
         Ok(())
     }
@@ -72,6 +109,8 @@ pub trait Checkpoint: WaveFunction + Sized {
 /// The parsed checkpoint header (everything before the parameter block).
 struct Header {
     kind: String,
+    /// Parameter *storage* width in the file (v1 files are f64).
+    precision: Precision,
     n: usize,
     h: usize,
     count: usize,
@@ -85,7 +124,7 @@ impl Header {
             return Err(bad("not a vqmc checkpoint (bad magic)"));
         }
         let version = read_u32(f)?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(bad(&format!("unsupported checkpoint version {version}")));
         }
         let kind_len = read_u32(f)? as usize;
@@ -95,14 +134,30 @@ impl Header {
         let mut kind = vec![0u8; kind_len];
         f.read_exact(&mut kind)?;
         let kind = String::from_utf8(kind).map_err(|_| bad("kind tag is not UTF-8"))?;
+        // v1 has no precision byte: storage is always f64.
+        let precision = if version >= 2 {
+            let mut tag = [0u8; 1];
+            f.read_exact(&mut tag)?;
+            Precision::from_tag(tag[0])
+                .ok_or_else(|| bad(&format!("unknown precision tag {}", tag[0])))?
+        } else {
+            Precision::F64
+        };
         let n = read_u64(f)? as usize;
         let h = read_u64(f)? as usize;
         let count = read_u64(f)? as usize;
-        Ok(Header { kind, n, h, count })
+        Ok(Header {
+            kind,
+            precision,
+            n,
+            h,
+            count,
+        })
     }
 }
 
-/// Reads the parameter block that follows a validated [`Header`].
+/// Reads the parameter block that follows a validated [`Header`],
+/// widening f32 storage to the in-memory f64 parameters.
 fn load_body<M: Checkpoint>(f: &mut impl Read, header: &Header) -> io::Result<M> {
     let (n, h, count) = (header.n, header.h, header.count);
     let mut model = M::with_shape(n, h);
@@ -112,13 +167,22 @@ fn load_body<M: Checkpoint>(f: &mut impl Read, header: &Header) -> io::Result<M>
             model.num_params()
         )));
     }
-    let mut buf = vec![0u8; count * 8];
+    let width = match header.precision {
+        Precision::F64 => 8,
+        Precision::F32 => 4,
+    };
+    let mut buf = vec![0u8; count * width];
     f.read_exact(&mut buf)?;
-    let params = Vector(
-        buf.chunks_exact(8)
+    let params = Vector(match header.precision {
+        Precision::F64 => buf
+            .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
             .collect(),
-    );
+        Precision::F32 => buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")) as f64)
+            .collect(),
+    });
     if !params.all_finite() {
         return Err(bad("checkpoint contains non-finite parameters"));
     }
@@ -177,16 +241,19 @@ impl AnyModel {
 
 /// Loads a checkpoint of *any* supported kind, dispatching on the kind
 /// tag in the file header (single header read — no try-each-kind
-/// guessing, and error messages name the actual problem).
-pub fn load_any(path: impl AsRef<Path>) -> io::Result<AnyModel> {
+/// guessing, and error messages name the actual problem).  Also returns
+/// the file's parameter *storage* precision, so serving callers can
+/// default their execution precision to match the checkpoint.
+pub fn load_any(path: impl AsRef<Path>) -> io::Result<(AnyModel, Precision)> {
     let mut f = std::fs::File::open(path)?;
     let header = Header::read(&mut f)?;
-    match header.kind.as_str() {
-        "made" => Ok(AnyModel::Made(load_body(&mut f, &header)?)),
-        "rbm" => Ok(AnyModel::Rbm(load_body(&mut f, &header)?)),
-        "nade" => Ok(AnyModel::Nade(load_body(&mut f, &header)?)),
-        other => Err(bad(&format!("unknown model kind {other:?} in checkpoint"))),
-    }
+    let model = match header.kind.as_str() {
+        "made" => AnyModel::Made(load_body(&mut f, &header)?),
+        "rbm" => AnyModel::Rbm(load_body(&mut f, &header)?),
+        "nade" => AnyModel::Nade(load_body(&mut f, &header)?),
+        other => return Err(bad(&format!("unknown model kind {other:?} in checkpoint"))),
+    };
+    Ok((model, header.precision))
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -297,9 +364,10 @@ mod tests {
         ];
         for (save, expect) in savers {
             save(&path);
-            let any = load_any(&path).unwrap();
+            let (any, precision) = load_any(&path).unwrap();
             assert_eq!(any.kind(), expect);
             assert_eq!(any.num_spins(), 5);
+            assert_eq!(precision, Precision::F64);
         }
         std::fs::remove_file(&path).ok();
     }
@@ -310,11 +378,89 @@ mod tests {
         let model = Made::new(6, 9, 42);
         model.save(&path).unwrap();
         match load_any(&path).unwrap() {
-            AnyModel::Made(m) => {
+            (AnyModel::Made(m), Precision::F64) => {
                 assert_eq!(m.params().as_slice(), model.params().as_slice())
             }
-            other => panic!("expected made, got {}", other.kind()),
+            (other, p) => panic!("expected made/f64, got {}/{p:?}", other.kind()),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn f32_storage_round_trips_within_one_rounding() {
+        let path = tmp("f32-storage");
+        let model = Made::new(6, 9, 23);
+        model.save_with_precision(&path, Precision::F32).unwrap();
+        // File is ~half the f64 size (header + 4-byte params).
+        let f32_len = std::fs::metadata(&path).unwrap().len();
+        let (any, precision) = load_any(&path).unwrap();
+        assert_eq!(precision, Precision::F32);
+        let restored = match any {
+            AnyModel::Made(m) => m,
+            other => panic!("expected made, got {}", other.kind()),
+        };
+        // Widened params equal the narrowed originals exactly (one
+        // rounding at save, exact widening at load).
+        for (a, b) in model.params().iter().zip(restored.params().iter()) {
+            assert_eq!(*a as f32, *b as f32);
+            assert_eq!(*b, (*a as f32) as f64);
+        }
+        model.save(&path).unwrap();
+        let f64_len = std::fs::metadata(&path).unwrap().len();
+        assert!(f32_len < f64_len * 2 / 3, "{f32_len} vs {f64_len}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn f32_save_then_typed_load_works() {
+        let path = tmp("f32-typed");
+        let model = Made::new(5, 7, 9);
+        model.save_with_precision(&path, Precision::F32).unwrap();
+        let restored = Made::load(&path).unwrap();
+        assert_eq!(restored.num_spins(), 5);
+        assert_eq!(restored.hidden_size(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_precision_tag_rejected() {
+        let path = tmp("bad-precision");
+        Made::new(4, 5, 1).save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The precision byte sits right after magic(4) + version(4) +
+        // kind_len(4) + kind("made" = 4).
+        let off = 4 + 4 + 4 + 4;
+        assert_eq!(bytes[off], Precision::F64.tag());
+        bytes[off] = 7;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Made::load(&path).unwrap_err();
+        assert!(err.to_string().contains("precision tag"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_checkpoints_still_load_as_f64() {
+        // Hand-assemble a v1 file (no precision byte) and check both the
+        // typed and any-kind loaders accept it.
+        let path = tmp("v1-compat");
+        let model = Made::new(4, 6, 11);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"VQMC");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(b"made");
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        bytes.extend_from_slice(&6u64.to_le_bytes());
+        let params = model.params();
+        bytes.extend_from_slice(&(params.len() as u64).to_le_bytes());
+        for v in params.iter() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let restored = Made::load(&path).unwrap();
+        assert_eq!(restored.params().as_slice(), params.as_slice());
+        let (_, precision) = load_any(&path).unwrap();
+        assert_eq!(precision, Precision::F64);
         std::fs::remove_file(&path).ok();
     }
 

@@ -35,6 +35,7 @@
 pub mod checkpoint;
 pub mod init;
 pub mod made;
+pub mod made32;
 pub mod masks;
 pub mod nade;
 pub mod rbm;
@@ -43,6 +44,7 @@ pub mod sampling;
 use vqmc_tensor::{Matrix, SpinBatch, Vector, Workspace};
 
 pub use made::{Made, MadeWorkspace};
+pub use made32::{MadeF32, MadeF32Workspace};
 pub use nade::Nade;
 pub use rbm::Rbm;
 pub use sampling::{BatchedSampling, SamplingEngine};

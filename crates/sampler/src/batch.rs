@@ -24,8 +24,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vqmc_nn::{BatchedSampling, Made, Nade, Rbm, SamplingEngine, WaveFunction};
-use vqmc_tensor::{ops, par, Matrix, SpinBatch, Vector};
+use vqmc_nn::{BatchedSampling, Made, MadeF32, Nade, Rbm, SamplingEngine, WaveFunction};
+use vqmc_tensor::{ops, par, Matrix, Precision, SpinBatch, Vector};
 
 use crate::{McmcSampler, SampleOutput, SampleStats};
 
@@ -114,6 +114,12 @@ const PAR_ROWS_MIN: usize = 16;
 pub struct MadeBatchSampler {
     /// Layout override (tests / benchmarks only).
     layout: PanelLayout,
+    /// Execution precision (DESIGN.md §4.1.1).  `F32` runs the cols
+    /// path on the `f32` kernel twins — `f32` panel and weights, `f64`
+    /// logit accumulation, so the RNG draw loop and `logπ` pipeline are
+    /// *shared verbatim* with the f64 arm; the row path (tiny batches)
+    /// stays f64, as do NADE/RBM (no f32 twins — documented fallback).
+    precision: Precision,
     /// Per-row hidden pre-activations (`rows · h`, row path).
     z1: Vec<f64>,
     /// Transposed pre-activation panel (`h · rows`, cols path).
@@ -158,6 +164,17 @@ pub struct MadeBatchSampler {
     /// Cached `W₁ᵀ`, invalidated via [`Made::params_version`].
     w1_t: Matrix,
     cached_version: Option<u64>,
+    /// f32 transposed pre-activation panel (`h · rows`, f32 cols path).
+    z1t32: Vec<f32>,
+    /// f32 deferred-update mask (f32 cols path).
+    prev_mask32: Vec<f32>,
+    /// f32 kernel scratch (`10 · rows` per the f32 kernel's contract:
+    /// 9 accumulator stripes + the mask stash stripe).
+    cols_scratch32: Vec<f32>,
+    /// Cached narrowed sampler weights (`W₁ᵀ`, `W₂`, biases as f32),
+    /// invalidated via [`MadeF32::version`] against
+    /// [`Made::params_version`].
+    m32: Option<MadeF32>,
 }
 
 impl MadeBatchSampler {
@@ -170,6 +187,15 @@ impl MadeBatchSampler {
     /// before/after benchmarks).
     pub fn force_layout(&mut self, layout: PanelLayout) {
         self.layout = layout;
+    }
+
+    /// Selects the execution precision for subsequent passes.  `F32`
+    /// affects the cols path only (see the `precision` field docs);
+    /// results within the f32 arm remain bit-identical across SIMD
+    /// arms, thread counts and coalescing, but are only *bound*-close
+    /// to the f64 arm.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
     }
 
     /// Draws every request inside one combined incremental pass, each
@@ -226,10 +252,6 @@ impl MadeBatchSampler {
         out_batch.fill(0);
 
         let b1 = wf.b1();
-        if self.cached_version != Some(wf.params_version()) {
-            wf.w1().transpose_into(&mut self.w1_t);
-            self.cached_version = Some(wf.params_version());
-        }
         let w2 = wf.w2();
         let b2 = wf.b2();
         self.log_prob.clear();
@@ -238,15 +260,187 @@ impl MadeBatchSampler {
         self.probs.resize(rows, 0.0);
         let kern = vqmc_tensor::simd::kernels();
 
-        let use_cols = match self.layout {
-            PanelLayout::Auto => {
-                rows >= COLS_THRESHOLD
-                    && h * rows * 8 <= COLS_PANEL_CAP_BYTES * par::active_threads()
+        // The f32 arm rides the cols path *unconditionally* under
+        // Auto.  The f64 Auto heuristics must not apply: the L2 panel
+        // cap depends on the thread count and the small-batch
+        // threshold on the *combined* row count, and in the f32 arm a
+        // layout flip changes precision (the row path is f64), not
+        // just speed — which would break bit-identity across thread
+        // counts and the coalesced≡solo invariant.  Forcing `Rows`
+        // still means the f64 row path (documented fallback).
+        let use_cols_f32 = self.precision == Precision::F32
+            && self.layout != PanelLayout::Rows
+            && rows > 0;
+        let use_cols = !use_cols_f32
+            && match self.layout {
+                PanelLayout::Auto => {
+                    rows >= COLS_THRESHOLD
+                        && h * rows * 8 <= COLS_PANEL_CAP_BYTES * par::active_threads()
+                }
+                PanelLayout::Rows => false,
+                PanelLayout::Cols => true,
+            };
+        if use_cols_f32 {
+            if self.m32.as_ref().map(|m| m.version()) != Some(wf.params_version()) {
+                self.m32 = Some(MadeF32::for_sampling(wf));
             }
-            PanelLayout::Rows => false,
-            PanelLayout::Cols => true,
-        };
-        if use_cols {
+        } else if self.cached_version != Some(wf.params_version()) {
+            wf.w1().transpose_into(&mut self.w1_t);
+            self.cached_version = Some(wf.params_version());
+        }
+        if use_cols_f32 {
+            // f32 cols path: same structure as the f64 cols path below
+            // — transposed panel, deferred prev-bit update, fused
+            // per-bit kernel — with the panel, weights and mask in f32
+            // (half the streamed bytes, twice the lanes).  The kernel
+            // still returns **f64 logits** (f64-widened combine), and
+            // everything downstream of the logits — `σ`, the RNG draw
+            // loop, the `log σ` chunks, `logπ` accumulation — is the
+            // f64 pipeline *verbatim*, so draw order and stream
+            // semantics are shared with the f64 arm and output is
+            // bit-identical at any thread count within the f32 arm.
+            let MadeBatchSampler {
+                z1t32,
+                prev_mask32,
+                bits_t,
+                cols_scratch32,
+                ls_buf,
+                u_buf,
+                log_prob,
+                logits,
+                probs,
+                rngs,
+                m32,
+                ..
+            } = self;
+            let m32 = m32.as_ref().expect("f32 weights cached above");
+            let kern32 = vqmc_tensor::simd::kernels_f32();
+            bits_t.resize(n * rows, 0);
+            bits_t.truncate(n * rows);
+            let units = rows.div_ceil(PAR_ROW_UNIT);
+            let parts = if rows >= PAR_ROWS_MIN {
+                par::active_threads().min(units.max(1))
+            } else {
+                1
+            };
+            let stripe = |w: usize| {
+                let u = par::stripe(units, parts, w);
+                (
+                    (u.start * PAR_ROW_UNIT).min(rows),
+                    (u.end * PAR_ROW_UNIT).min(rows),
+                )
+            };
+            z1t32.clear();
+            z1t32.reserve(h * rows);
+            for w in 0..parts {
+                let (start, end) = stripe(w);
+                for &bj in m32.b1() {
+                    z1t32.extend(std::iter::repeat(bj).take(end - start));
+                }
+            }
+            prev_mask32.clear();
+            prev_mask32.resize(rows, 0.0);
+            cols_scratch32.resize(10 * rows, 0.0);
+            const LS_CHUNK: usize = 512;
+            ls_buf.clear();
+            ls_buf.resize(LS_CHUNK.min(n.max(1)) * rows, 0.0);
+            u_buf.clear();
+            u_buf.resize(rows, 0.0);
+            for i in 0..n {
+                // Pre-draw sequentially — identical to the f64 path.
+                let mut s = 0;
+                for (q, &count) in counts.iter().enumerate() {
+                    let rng: &mut StdRng = match external.as_deref_mut() {
+                        Some(r) => r,
+                        None => &mut rngs[q],
+                    };
+                    for _ in 0..count {
+                        u_buf[s] = rng.gen::<f64>();
+                        s += 1;
+                    }
+                }
+                let w_prev = (i > 0).then(|| m32.w1t_row(i - 1));
+                let w2_row = m32.w2_row(i);
+                let b2_i = m32.b2()[i] as f64;
+                let c = i % LS_CHUNK;
+                let pz = par::SendPtr(z1t32.as_mut_ptr());
+                let pscratch = par::SendPtr(cols_scratch32.as_mut_ptr());
+                let plogits = par::SendPtr(logits.as_mut_ptr());
+                let pprobs = par::SendPtr(probs.as_mut_ptr());
+                let pmask = par::SendPtr(prev_mask32.as_mut_ptr());
+                let pbits = par::SendPtr(bits_t[i * rows..(i + 1) * rows].as_mut_ptr());
+                let psigned = par::SendPtr(ls_buf[c * rows..(c + 1) * rows].as_mut_ptr());
+                let u_ref: &[f64] = u_buf;
+                par::run(parts, &|w| {
+                    let (start, end) = stripe(w);
+                    if start >= end {
+                        return;
+                    }
+                    let bw = end - start;
+                    // SAFETY: same disjoint-stripe argument as the f64
+                    // path; the f32 scratch is 10 elements per row.
+                    unsafe {
+                        use std::slice::from_raw_parts_mut;
+                        let zt = from_raw_parts_mut(pz.get().add(h * start), h * bw);
+                        let scratch =
+                            from_raw_parts_mut(pscratch.get().add(10 * start), 10 * bw);
+                        let logits_s = from_raw_parts_mut(plogits.get().add(start), bw);
+                        let probs_s = from_raw_parts_mut(pprobs.get().add(start), bw);
+                        let mask_s = from_raw_parts_mut(pmask.get().add(start), bw);
+                        let bits_s = from_raw_parts_mut(pbits.get().add(start), bw);
+                        let signed_s = from_raw_parts_mut(psigned.get().add(start), bw);
+                        (kern32.sample_step_cols)(
+                            zt, bw, w_prev, &*mask_s, w2_row, b2_i, scratch, logits_s,
+                        );
+                        probs_s.copy_from_slice(logits_s);
+                        (kern.sigmoid_slice)(probs_s);
+                        for s in 0..bw {
+                            let u = u_ref[start + s];
+                            let p = probs_s[s];
+                            debug_assert!(
+                                (0.0..=1.0).contains(&p),
+                                "conditional out of range"
+                            );
+                            let bit = (u < p) as u8;
+                            bits_s[s] = bit;
+                            mask_s[s] = bit as f32;
+                            signed_s[s] = if bit == 1 { logits_s[s] } else { -logits_s[s] };
+                        }
+                    }
+                });
+                if c + 1 == LS_CHUNK || i + 1 == n {
+                    let filled = (c + 1) * rows;
+                    ops::log_sigmoid_slice(&mut ls_buf[..filled]);
+                    for chunk in ls_buf[..filled].chunks_exact(rows) {
+                        for (lp, &v) in log_prob.iter_mut().zip(chunk) {
+                            *lp += v;
+                        }
+                    }
+                }
+            }
+            // Tiled transpose into the row-major output, as in f64.
+            const TILE: usize = 64;
+            let pout = par::SendPtr(out_batch.as_bytes_mut().as_mut_ptr());
+            let bits_ref: &[u8] = bits_t;
+            par::run(parts, &|w| {
+                let (start, end) = stripe(w);
+                let mut i0 = 0;
+                while i0 < n {
+                    let iend = (i0 + TILE).min(n);
+                    for s in start..end {
+                        // SAFETY: rows [start, end) belong to this
+                        // worker alone.
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(pout.get().add(s * n), n)
+                        };
+                        for i in i0..iend {
+                            row[i] = bits_ref[i * rows + s];
+                        }
+                    }
+                    i0 = iend;
+                }
+            });
+        } else if use_cols {
             // Cols path: transposed activation panels; bit i−1's column
             // update is deferred into bit i's fused kernel call via
             // prev_mask.
@@ -627,6 +821,14 @@ impl BatchSampler {
         }
     }
 
+    /// Selects the execution precision for subsequent passes.  Only
+    /// the MADE panel sampler has an f32 arm; NADE and RBM have no f32
+    /// twins and silently run f64 (the serving layer documents this
+    /// fallback).
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.made.set_precision(precision);
+    }
+
     /// Draws every request into one coalesced output batch (request
     /// `r`'s rows at `[Σ_{q<r} count_q, …)`), bit-identical per request
     /// to a solo call with that request's seed.  Exact-AUTO models run
@@ -890,6 +1092,82 @@ mod tests {
             assert_eq!(row_b.as_bytes(), col_b.as_bytes(), "count {count}");
             for s in 0..count {
                 assert_eq!(row_lp[s].to_bits(), col_lp[s].to_bits(), "count {count} row {s}");
+            }
+        }
+    }
+
+    /// The coalesced≡solo invariant holds inside the f32 arm too —
+    /// including a request small enough that the f64 Auto dispatch
+    /// would have sent it down the row path solo.
+    #[test]
+    fn f32_coalesced_rows_match_solo_f32_stream() {
+        let wf = Made::new(9, 14, 6);
+        let reqs = [
+            SampleRequest { count: 3, seed: 5 },
+            SampleRequest { count: 13, seed: 9 },
+        ];
+        let mut bs = BatchSampler::new();
+        bs.set_precision(Precision::F32);
+        let mut batch = SpinBatch::default();
+        let mut lp = Vector::default();
+        bs.sample_requests(&wf, &reqs, &mut batch, &mut lp);
+        assert_eq!(batch.batch_size(), 16);
+        let mut offset = 0;
+        for req in &reqs {
+            let mut sampler = MadeBatchSampler::new();
+            sampler.set_precision(Precision::F32);
+            let mut sb = SpinBatch::default();
+            let mut slp = Vector::default();
+            sampler.sample_stream(
+                &wf,
+                req.count,
+                &mut StdRng::seed_from_u64(req.seed),
+                &mut sb,
+                &mut slp,
+            );
+            for s in 0..req.count {
+                assert_eq!(batch.sample(offset + s), sb.sample(s), "seed {}", req.seed);
+                assert_eq!(lp[offset + s].to_bits(), slp[s].to_bits(), "seed {}", req.seed);
+            }
+            offset += req.count;
+        }
+    }
+
+    /// The f32 arm draws a valid, deterministic batch whose `logψ`
+    /// tracks the f64 arm within the documented serving bound (the two
+    /// arms see identical logits up to `O(h·ε₃₂)` per bit, so with the
+    /// same seed the drawn bits *almost always* agree; we assert only
+    /// determinism and shape, never cross-precision bits).
+    #[test]
+    fn f32_stream_is_deterministic_and_well_formed() {
+        let wf = Made::new(12, 17, 11);
+        let draw = || {
+            let mut sampler = MadeBatchSampler::new();
+            sampler.set_precision(Precision::F32);
+            let mut b = SpinBatch::default();
+            let mut lp = Vector::default();
+            sampler.sample_stream(&wf, 20, &mut StdRng::seed_from_u64(3), &mut b, &mut lp);
+            (b, lp)
+        };
+        let (b1, lp1) = draw();
+        let (b2, lp2) = draw();
+        assert_eq!(b1.as_bytes(), b2.as_bytes());
+        assert_eq!(b1.batch_size(), 20);
+        for s in 0..20 {
+            assert_eq!(lp1[s].to_bits(), lp2[s].to_bits());
+            assert!(lp1[s] < 0.0, "logψ of a normalised π must be negative");
+        }
+        // Warm (cached-weights) redraws stay identical after the first
+        // pass built the f32 weight cache.
+        let mut sampler = MadeBatchSampler::new();
+        sampler.set_precision(Precision::F32);
+        for _ in 0..2 {
+            let mut b = SpinBatch::default();
+            let mut lp = Vector::default();
+            sampler.sample_stream(&wf, 20, &mut StdRng::seed_from_u64(3), &mut b, &mut lp);
+            assert_eq!(b.as_bytes(), b1.as_bytes());
+            for s in 0..20 {
+                assert_eq!(lp[s].to_bits(), lp1[s].to_bits());
             }
         }
     }

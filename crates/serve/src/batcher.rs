@@ -209,6 +209,7 @@ mod tests {
                 request: Request::Sample {
                     count: 1,
                     seed: Some(0),
+                    precision: None,
                 },
                 reply: tx,
                 deadline: Instant::now() + Duration::from_secs(5),

@@ -5,7 +5,7 @@ use std::io::{self, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use vqmc_tensor::{SpinBatch, Vector};
+use vqmc_tensor::{Precision, SpinBatch, Vector};
 
 use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, ErrorCode, Request, Response,
@@ -116,7 +116,22 @@ impl Client {
         count: u32,
         seed: Option<u64>,
     ) -> Result<(SpinBatch, Vector), ClientError> {
-        match Self::expect_ok(self.call(&Request::Sample { count, seed })?)? {
+        self.sample_with(count, seed, None)
+    }
+
+    /// [`Client::sample`] with an explicit execution precision
+    /// (`None` defers to the server default).
+    pub fn sample_with(
+        &mut self,
+        count: u32,
+        seed: Option<u64>,
+        precision: Option<Precision>,
+    ) -> Result<(SpinBatch, Vector), ClientError> {
+        match Self::expect_ok(self.call(&Request::Sample {
+            count,
+            seed,
+            precision,
+        })?)? {
             Response::Samples { batch, log_psi } => Ok((batch, log_psi)),
             other => Err(ClientError::Unexpected(format!("{other:?} to Sample"))),
         }
@@ -124,7 +139,19 @@ impl Client {
 
     /// Evaluates `logψ` on the given configurations.
     pub fn log_psi(&mut self, batch: &SpinBatch) -> Result<Vector, ClientError> {
-        match Self::expect_ok(self.call(&Request::LogPsi(batch.clone()))?)? {
+        self.log_psi_with(batch, None)
+    }
+
+    /// [`Client::log_psi`] with an explicit execution precision.
+    pub fn log_psi_with(
+        &mut self,
+        batch: &SpinBatch,
+        precision: Option<Precision>,
+    ) -> Result<Vector, ClientError> {
+        match Self::expect_ok(self.call(&Request::LogPsi {
+            batch: batch.clone(),
+            precision,
+        })?)? {
             Response::Values(v) => Ok(v),
             other => Err(ClientError::Unexpected(format!("{other:?} to LogPsi"))),
         }
@@ -132,7 +159,19 @@ impl Client {
 
     /// Evaluates local energies on the given configurations.
     pub fn local_energy(&mut self, batch: &SpinBatch) -> Result<Vector, ClientError> {
-        match Self::expect_ok(self.call(&Request::LocalEnergy(batch.clone()))?)? {
+        self.local_energy_with(batch, None)
+    }
+
+    /// [`Client::local_energy`] with an explicit execution precision.
+    pub fn local_energy_with(
+        &mut self,
+        batch: &SpinBatch,
+        precision: Option<Precision>,
+    ) -> Result<Vector, ClientError> {
+        match Self::expect_ok(self.call(&Request::LocalEnergy {
+            batch: batch.clone(),
+            precision,
+        })?)? {
             Response::Values(v) => Ok(v),
             other => Err(ClientError::Unexpected(format!(
                 "{other:?} to LocalEnergy"

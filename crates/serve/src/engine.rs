@@ -29,8 +29,9 @@ use vqmc_hamiltonian::{
     local_energies_into, LocalEnergyConfig, LocalEnergyScratch, SparseRowHamiltonian,
 };
 use vqmc_nn::checkpoint::AnyModel;
+use vqmc_nn::{MadeF32, MadeF32Workspace};
 use vqmc_sampler::BatchSampler;
-use vqmc_tensor::{SpinBatch, Vector, Workspace};
+use vqmc_tensor::{Precision, SpinBatch, Vector, Workspace};
 
 use crate::batcher::WorkItem;
 use crate::protocol::{ErrorCode, Request, Response};
@@ -53,6 +54,11 @@ pub struct Engine {
     le_out: Vector,
     sample_batch: SpinBatch,
     sample_log_psi: Vector,
+    /// Cached f32 forward weights (MADE only), built lazily on the
+    /// first f32 request and keyed on the model's `params_version`.
+    m32_fwd: Option<MadeF32>,
+    /// f32 forward-pass scratch.
+    ws32: MadeF32Workspace,
 }
 
 impl Engine {
@@ -82,6 +88,8 @@ impl Engine {
             le_out: Vector::default(),
             sample_batch: SpinBatch::zeros(0, 0),
             sample_log_psi: Vector::default(),
+            m32_fwd: None,
+            ws32: MadeF32Workspace::new(),
         }
     }
 
@@ -90,13 +98,19 @@ impl Engine {
         &self.model
     }
 
-    /// Executes one drained batch: groups by operation, runs one
-    /// coalesced pass per group, and answers every item exactly once.
+    /// Executes one drained batch: groups by (operation, execution
+    /// precision), runs one coalesced pass per group, and answers every
+    /// item exactly once.  Coalescing only within a precision keeps the
+    /// coalesced≡solo bit-identity contract valid per arm; a request
+    /// without an explicit precision was resolved to the server default
+    /// at admission, so `None` here only appears for items injected by
+    /// in-process tests and means f64.
     pub fn execute(&mut self, items: Vec<WorkItem>) {
         let now = Instant::now();
-        let mut log_psi_items = Vec::new();
-        let mut local_energy_items = Vec::new();
-        let mut sample_items = Vec::new();
+        // Index 0 = f64 (tag 0), index 1 = f32 (tag 1).
+        let mut log_psi_items = [Vec::new(), Vec::new()];
+        let mut local_energy_items = [Vec::new(), Vec::new()];
+        let mut sample_items = [Vec::new(), Vec::new()];
         for item in items {
             if now > item.deadline {
                 item.respond(Response::error(
@@ -105,21 +119,62 @@ impl Engine {
                 ));
                 continue;
             }
-            match &item.request {
-                Request::LogPsi(_) => log_psi_items.push(item),
-                Request::LocalEnergy(_) => local_energy_items.push(item),
-                Request::Sample { .. } => sample_items.push(item),
+            let (bucket, precision) = match &item.request {
+                Request::LogPsi { precision, .. } => (&mut log_psi_items, *precision),
+                Request::LocalEnergy { precision, .. } => (&mut local_energy_items, *precision),
+                Request::Sample { precision, .. } => (&mut sample_items, *precision),
                 // Ping/Shutdown are handled by the connection layer and
                 // never enqueued; answer defensively if one slips in.
-                _ => item.respond(Response::error(
-                    ErrorCode::Internal,
-                    "non-batchable request reached the engine",
-                )),
-            }
+                _ => {
+                    item.respond(Response::error(
+                        ErrorCode::Internal,
+                        "non-batchable request reached the engine",
+                    ));
+                    continue;
+                }
+            };
+            let p = precision.unwrap_or(Precision::F64);
+            bucket[p.tag() as usize].push(item);
         }
-        self.execute_log_psi(log_psi_items);
-        self.execute_local_energy(local_energy_items);
-        self.execute_samples(sample_items);
+        for (group, precision) in log_psi_items.into_iter().zip([Precision::F64, Precision::F32]) {
+            self.execute_log_psi(group, precision);
+        }
+        for (group, precision) in local_energy_items
+            .into_iter()
+            .zip([Precision::F64, Precision::F32])
+        {
+            self.execute_local_energy(group, precision);
+        }
+        for (group, precision) in sample_items.into_iter().zip([Precision::F64, Precision::F32]) {
+            self.execute_samples(group, precision);
+        }
+    }
+
+    /// Refreshes the cached f32 forward weights when the model has an
+    /// f32 twin (MADE); returns `false` for models that don't (RBM,
+    /// NADE), which run the f64 path regardless of requested precision
+    /// — precision is a kernel choice, not an API guarantee.
+    fn ensure_f32_weights(&mut self) -> bool {
+        let AnyModel::Made(m) = self.model.as_ref() else {
+            return false;
+        };
+        if self.m32_fwd.as_ref().map(|c| c.version()) != Some(m.params_version()) {
+            self.m32_fwd = Some(MadeF32::for_log_psi(m));
+        }
+        true
+    }
+
+    /// `logψ` over `self.concat` into `self.log_psi_buf` at the
+    /// requested execution precision.
+    fn forward_concat(&mut self, precision: Precision) {
+        if precision == Precision::F32 && self.ensure_f32_weights() {
+            let m32 = self.m32_fwd.as_ref().expect("cached by ensure_f32_weights");
+            m32.log_psi_into(&self.concat, &mut self.ws32, &mut self.log_psi_buf);
+        } else {
+            self.model
+                .as_wavefunction()
+                .log_psi_into(&self.concat, &mut self.ws, &mut self.log_psi_buf);
+        }
     }
 
     fn gather<'a>(&mut self, batches: impl Iterator<Item = &'a SpinBatch> + Clone) -> Vec<usize> {
@@ -138,18 +193,16 @@ impl Engine {
     }
 
     /// One forward pass over the concatenation of every `LogPsi`
-    /// request, scattered back per request.
-    fn execute_log_psi(&mut self, items: Vec<WorkItem>) {
+    /// request in the precision group, scattered back per request.
+    fn execute_log_psi(&mut self, items: Vec<WorkItem>, precision: Precision) {
         if items.is_empty() {
             return;
         }
         let sizes = self.gather(items.iter().map(|it| match &it.request {
-            Request::LogPsi(b) => b,
+            Request::LogPsi { batch, .. } => batch,
             _ => unreachable!("partitioned by execute"),
         }));
-        self.model
-            .as_wavefunction()
-            .log_psi_into(&self.concat, &mut self.ws, &mut self.log_psi_buf);
+        self.forward_concat(precision);
         let mut offset = 0;
         for (item, size) in items.into_iter().zip(sizes) {
             let vals = Vector(self.log_psi_buf.as_slice()[offset..offset + size].to_vec());
@@ -161,7 +214,7 @@ impl Engine {
     /// One local-energy evaluation over the concatenation of every
     /// `LocalEnergy` request (one `logψ(x)` pass plus chunked neighbour
     /// passes), scattered back per request.
-    fn execute_local_energy(&mut self, items: Vec<WorkItem>) {
+    fn execute_local_energy(&mut self, items: Vec<WorkItem>, precision: Precision) {
         if items.is_empty() {
             return;
         }
@@ -175,21 +228,48 @@ impl Engine {
             return;
         };
         let sizes = self.gather(items.iter().map(|it| match &it.request {
-            Request::LocalEnergy(b) => b,
+            Request::LocalEnergy { batch, .. } => batch,
             _ => unreachable!("partitioned by execute"),
         }));
-        let wf = self.model.as_wavefunction();
-        wf.log_psi_into(&self.concat, &mut self.ws, &mut self.log_psi_buf);
-        let neigh_ws = &mut self.neigh_ws;
-        local_energies_into(
-            h.as_ref(),
-            &self.concat,
-            &self.log_psi_buf,
-            &mut |b, dst| wf.log_psi_into(b, neigh_ws, dst),
-            self.le_config,
-            &mut self.le_scratch,
-            &mut self.le_out,
-        );
+        if precision == Precision::F32 && self.ensure_f32_weights() {
+            // Both the base pass and every neighbour pass run on the f32
+            // twin, so the whole logψ ratio is consistently single
+            // precision; only the energy accumulation itself is f64.
+            let Engine {
+                m32_fwd,
+                ws32,
+                concat,
+                log_psi_buf,
+                le_config,
+                le_scratch,
+                le_out,
+                ..
+            } = self;
+            let m32 = m32_fwd.as_ref().expect("cached by ensure_f32_weights");
+            m32.log_psi_into(concat, ws32, log_psi_buf);
+            local_energies_into(
+                h.as_ref(),
+                concat,
+                log_psi_buf,
+                &mut |b, dst| m32.log_psi_into(b, ws32, dst),
+                *le_config,
+                le_scratch,
+                le_out,
+            );
+        } else {
+            let wf = self.model.as_wavefunction();
+            wf.log_psi_into(&self.concat, &mut self.ws, &mut self.log_psi_buf);
+            let neigh_ws = &mut self.neigh_ws;
+            local_energies_into(
+                h.as_ref(),
+                &self.concat,
+                &self.log_psi_buf,
+                &mut |b, dst| wf.log_psi_into(b, neigh_ws, dst),
+                self.le_config,
+                &mut self.le_scratch,
+                &mut self.le_out,
+            );
+        }
         let mut offset = 0;
         for (item, size) in items.into_iter().zip(sizes) {
             let vals = Vector(self.le_out.as_slice()[offset..offset + size].to_vec());
@@ -198,21 +278,21 @@ impl Engine {
         }
     }
 
-    fn execute_samples(&mut self, items: Vec<WorkItem>) {
+    fn execute_samples(&mut self, items: Vec<WorkItem>, precision: Precision) {
         if items.is_empty() {
             return;
         }
         let reqs: Vec<SampleRequest> = items
             .iter()
             .map(|it| match &it.request {
-                Request::Sample { count, seed } => SampleRequest {
+                Request::Sample { count, seed, .. } => SampleRequest {
                     count: *count as usize,
                     seed: seed.expect("server assigns seeds at admission"),
                 },
                 _ => unreachable!("partitioned by execute"),
             })
             .collect();
-        let replies = self.run_samples(&reqs);
+        let replies = self.run_samples_with(precision, &reqs);
         for (item, reply) in items.into_iter().zip(replies) {
             item.respond(reply);
         }
@@ -223,6 +303,18 @@ impl Engine {
     /// per-request replies (one bulk row copy per request).  Public for
     /// the property tests (and for in-process embedding).
     pub fn run_samples(&mut self, reqs: &[SampleRequest]) -> Vec<Response> {
+        self.run_samples_with(Precision::F64, reqs)
+    }
+
+    /// [`Engine::run_samples`] at an explicit execution precision
+    /// (models without an f32 sampling twin silently run f64; see
+    /// `BatchSampler::set_precision`).
+    pub fn run_samples_with(
+        &mut self,
+        precision: Precision,
+        reqs: &[SampleRequest],
+    ) -> Vec<Response> {
+        self.sampler.set_precision(precision);
         self.sampler.sample_requests(
             self.model.as_batched_sampling(),
             reqs,
@@ -250,9 +342,13 @@ impl Engine {
     /// `logψ` for one batch through the same path the coalesced pass
     /// uses (exposed for the identity property tests).
     pub fn run_log_psi(&mut self, batch: &SpinBatch) -> Vector {
-        self.model
-            .as_wavefunction()
-            .log_psi_into(batch, &mut self.ws, &mut self.log_psi_buf);
+        self.run_log_psi_with(batch, Precision::F64)
+    }
+
+    /// [`Engine::run_log_psi`] at an explicit execution precision.
+    pub fn run_log_psi_with(&mut self, batch: &SpinBatch, precision: Precision) -> Vector {
+        self.gather(std::iter::once(batch));
+        self.forward_concat(precision);
         Vector(self.log_psi_buf.as_slice().to_vec())
     }
 }
@@ -330,12 +426,18 @@ mod tests {
         let deadline = Instant::now() + std::time::Duration::from_secs(5);
         engine.execute(vec![
             WorkItem {
-                request: Request::LogPsi(b1.clone()),
+                request: Request::LogPsi {
+                    batch: b1.clone(),
+                    precision: None,
+                },
                 reply: tx1,
                 deadline,
             },
             WorkItem {
-                request: Request::LogPsi(b2.clone()),
+                request: Request::LogPsi {
+                    batch: b2.clone(),
+                    precision: None,
+                },
                 reply: tx2,
                 deadline,
             },
@@ -359,7 +461,10 @@ mod tests {
         let mut engine = made_engine(5, 8, 3);
         let (tx, rx) = std::sync::mpsc::channel();
         engine.execute(vec![WorkItem {
-            request: Request::LocalEnergy(SpinBatch::zeros(2, 5)),
+            request: Request::LocalEnergy {
+                batch: SpinBatch::zeros(2, 5),
+                precision: None,
+            },
             reply: tx,
             deadline: Instant::now() + std::time::Duration::from_secs(5),
         }]);
@@ -377,6 +482,7 @@ mod tests {
             request: Request::Sample {
                 count: 4,
                 seed: Some(1),
+                precision: None,
             },
             reply: tx,
             deadline: Instant::now() - std::time::Duration::from_millis(1),
@@ -384,6 +490,84 @@ mod tests {
         match rx.recv().unwrap() {
             Response::Error { code, .. } => assert_eq!(code, ErrorCode::DeadlineExceeded),
             other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn f32_log_psi_tracks_f64_within_bound() {
+        let mut engine = made_engine(48, 24, 99);
+        let batch = SpinBatch::from_fn(32, 48, |s, i| ((s * 7 + i * 3) % 2) as u8);
+        let f64_vals = engine.run_log_psi(&batch);
+        let f32_vals = engine.run_log_psi_with(&batch, Precision::F32);
+        let bound = 1e-5 * 48.0;
+        for s in 0..batch.batch_size() {
+            let err = (f32_vals[s] - f64_vals[s]).abs();
+            assert!(
+                err <= bound,
+                "row {s}: |f32 - f64| = {err:.3e} exceeds {bound:.1e}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_requests_coalesce_with_f64_without_cross_contamination() {
+        // A mixed batch must split by precision: the f64 reply stays
+        // bit-identical to the solo f64 pass and the f32 reply to the
+        // solo f32 pass.
+        let mut engine = made_engine(10, 12, 5);
+        let batch = SpinBatch::from_fn(7, 10, |s, i| ((s + i) % 2) as u8);
+        let solo64 = engine.run_log_psi(&batch);
+        let solo32 = engine.run_log_psi_with(&batch, Precision::F32);
+
+        let (tx64, rx64) = std::sync::mpsc::channel();
+        let (tx32, rx32) = std::sync::mpsc::channel();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        engine.execute(vec![
+            WorkItem {
+                request: Request::LogPsi {
+                    batch: batch.clone(),
+                    precision: Some(Precision::F64),
+                },
+                reply: tx64,
+                deadline,
+            },
+            WorkItem {
+                request: Request::LogPsi {
+                    batch: batch.clone(),
+                    precision: Some(Precision::F32),
+                },
+                reply: tx32,
+                deadline,
+            },
+        ]);
+        for (rx, solo, arm) in [(rx64, solo64, "f64"), (rx32, solo32, "f32")] {
+            match rx.recv().unwrap() {
+                Response::Values(v) => {
+                    assert_eq!(v.len(), solo.len());
+                    for s in 0..v.len() {
+                        assert_eq!(v[s].to_bits(), solo[s].to_bits(), "{arm} row {s}");
+                    }
+                }
+                other => panic!("expected Values, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn f32_coalesced_sample_replies_match_solo_f32_requests() {
+        let mut engine = made_engine(11, 16, 77);
+        let reqs = [
+            SampleRequest { count: 6, seed: 21 },
+            SampleRequest { count: 2, seed: 22 },
+            SampleRequest { count: 9, seed: 23 },
+        ];
+        let coalesced = engine.run_samples_with(Precision::F32, &reqs);
+        for (req, reply) in reqs.iter().zip(coalesced) {
+            let solo = engine
+                .run_samples_with(Precision::F32, std::slice::from_ref(req))
+                .pop()
+                .unwrap();
+            assert_eq!(reply, solo, "seed {}: coalesced f32 must equal solo f32", req.seed);
         }
     }
 

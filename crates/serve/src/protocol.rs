@@ -15,10 +15,17 @@
 //! | op | name | body |
 //! |---|---|---|
 //! | `0x01` | `Ping` | — |
-//! | `0x02` | `Sample` | `u32 count · u8 has_seed · u64 seed` |
-//! | `0x03` | `LogPsi` | `u32 bs · u32 n · bs·n spin bytes` |
-//! | `0x04` | `LocalEnergy` | `u32 bs · u32 n · bs·n spin bytes` |
+//! | `0x02` | `Sample` | `u32 count · u8 has_seed · u64 seed · [u8 precision]` |
+//! | `0x03` | `LogPsi` | `u32 bs · u32 n · bs·n spin bytes · [u8 precision]` |
+//! | `0x04` | `LocalEnergy` | `u32 bs · u32 n · bs·n spin bytes · [u8 precision]` |
 //! | `0x05` | `Shutdown` | — |
+//!
+//! `[u8 precision]` is an **optional trailing byte** on the batchable
+//! requests: absent (the pre-precision frame layout, and what encoding
+//! `precision: None` produces) means "server default"; present it is a
+//! [`Precision::tag`] (`0` = f64, `1` = f32) forcing that execution
+//! arm.  Old clients never send the byte and old servers reject frames
+//! that carry it, so the flag is strictly opt-in.
 //!
 //! Response opcodes (server → client):
 //!
@@ -37,7 +44,7 @@
 
 use std::io::{self, Read, Write};
 
-use vqmc_tensor::{SpinBatch, Vector};
+use vqmc_tensor::{Precision, SpinBatch, Vector};
 
 /// Hard ceiling on a frame payload (bounds per-connection memory).
 pub const MAX_FRAME_LEN: usize = 64 << 20;
@@ -60,11 +67,23 @@ pub enum Request {
         /// RNG seed for a deterministic reply; `None` lets the server
         /// pick a fresh stream.
         seed: Option<u64>,
+        /// Execution precision; `None` defers to the server default.
+        precision: Option<Precision>,
     },
     /// Evaluate `logψ` on the supplied configurations.
-    LogPsi(SpinBatch),
+    LogPsi {
+        /// The configurations to evaluate.
+        batch: SpinBatch,
+        /// Execution precision; `None` defers to the server default.
+        precision: Option<Precision>,
+    },
     /// Evaluate local energies `l(x)` on the supplied configurations.
-    LocalEnergy(SpinBatch),
+    LocalEnergy {
+        /// The configurations to evaluate.
+        batch: SpinBatch,
+        /// Execution precision; `None` defers to the server default.
+        precision: Option<Precision>,
+    },
     /// Begin graceful drain: queued work completes, new work is
     /// refused, then the server exits.
     Shutdown,
@@ -204,6 +223,10 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn finish(self) -> Result<(), DecodeError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -229,10 +252,28 @@ fn get_batch(c: &mut Cursor) -> Result<SpinBatch, DecodeError> {
         return Err(de(format!("batch of {bs} rows exceeds limit {MAX_BATCH_ROWS}")));
     }
     let bytes = c.bytes(bs.checked_mul(n).ok_or_else(|| de("batch size overflow"))?)?;
-    if bytes.iter().any(|&b| b > 1) {
-        return Err(de("spin bytes must be 0 or 1"));
+    // The fallible constructor owns the value/shape validation, so a
+    // garbage frame becomes this request's `BadRequest` instead of a
+    // panic in the decoding worker.
+    SpinBatch::try_from_bytes(bs, n, bytes).map_err(de)
+}
+
+fn put_precision(buf: &mut Vec<u8>, precision: Option<Precision>) {
+    if let Some(p) = precision {
+        buf.push(p.tag());
     }
-    Ok(SpinBatch::from_bytes(bs, n, bytes))
+}
+
+/// The optional trailing precision byte: absent → `None` (server
+/// default), present but unknown → decode error.
+fn get_precision(c: &mut Cursor) -> Result<Option<Precision>, DecodeError> {
+    if c.remaining() == 0 {
+        return Ok(None);
+    }
+    let tag = c.u8()?;
+    Precision::from_tag(tag)
+        .map(Some)
+        .ok_or_else(|| de(format!("unknown precision tag {tag}")))
 }
 
 fn put_f64s(buf: &mut Vec<u8>, vals: &[f64]) {
@@ -256,19 +297,26 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut buf = Vec::new();
     match req {
         Request::Ping => buf.push(0x01),
-        Request::Sample { count, seed } => {
+        Request::Sample {
+            count,
+            seed,
+            precision,
+        } => {
             buf.push(0x02);
             put_u32(&mut buf, *count);
             buf.push(seed.is_some() as u8);
             put_u64(&mut buf, seed.unwrap_or(0));
+            put_precision(&mut buf, *precision);
         }
-        Request::LogPsi(batch) => {
+        Request::LogPsi { batch, precision } => {
             buf.push(0x03);
             put_batch(&mut buf, batch);
+            put_precision(&mut buf, *precision);
         }
-        Request::LocalEnergy(batch) => {
+        Request::LocalEnergy { batch, precision } => {
             buf.push(0x04);
             put_batch(&mut buf, batch);
+            put_precision(&mut buf, *precision);
         }
         Request::Shutdown => buf.push(0x05),
     }
@@ -293,10 +341,17 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
             Request::Sample {
                 count,
                 seed: (has_seed != 0).then_some(seed),
+                precision: get_precision(&mut c)?,
             }
         }
-        0x03 => Request::LogPsi(get_batch(&mut c)?),
-        0x04 => Request::LocalEnergy(get_batch(&mut c)?),
+        0x03 => Request::LogPsi {
+            batch: get_batch(&mut c)?,
+            precision: get_precision(&mut c)?,
+        },
+        0x04 => Request::LocalEnergy {
+            batch: get_batch(&mut c)?,
+            precision: get_precision(&mut c)?,
+        },
         0x05 => Request::Shutdown,
         other => return Err(de(format!("unknown request opcode {other:#04x}"))),
     };
@@ -422,19 +477,57 @@ mod tests {
             Request::Sample {
                 count: 128,
                 seed: Some(7),
+                precision: None,
             },
             Request::Sample {
                 count: 1,
                 seed: None,
+                precision: Some(Precision::F32),
             },
-            Request::LogPsi(batch(3, 5, 0)),
-            Request::LocalEnergy(batch(2, 4, 1)),
+            Request::LogPsi {
+                batch: batch(3, 5, 0),
+                precision: None,
+            },
+            Request::LogPsi {
+                batch: batch(3, 5, 0),
+                precision: Some(Precision::F32),
+            },
+            Request::LocalEnergy {
+                batch: batch(2, 4, 1),
+                precision: Some(Precision::F64),
+            },
             Request::Shutdown,
         ];
         for req in reqs {
             let payload = encode_request(&req);
             assert_eq!(decode_request(&payload).unwrap(), req, "{req:?}");
         }
+    }
+
+    /// A frame in the pre-precision layout (no trailing byte) decodes
+    /// to `precision: None` — old clients keep working unchanged.
+    #[test]
+    fn precisionless_frames_decode_as_default() {
+        let b = batch(2, 3, 0);
+        let mut legacy = vec![0x03];
+        put_batch(&mut legacy, &b);
+        assert_eq!(
+            decode_request(&legacy).unwrap(),
+            Request::LogPsi {
+                batch: b,
+                precision: None
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_precision_tag_rejected() {
+        let mut p = encode_request(&Request::LogPsi {
+            batch: batch(1, 3, 0),
+            precision: Some(Precision::F32),
+        });
+        *p.last_mut().unwrap() = 9;
+        assert!(decode_request(&p).is_err());
     }
 
     #[test]
@@ -467,7 +560,10 @@ mod tests {
         // Trailing garbage after a valid Ping.
         assert!(decode_request(&[0x01, 0xAB]).is_err());
         // Spin byte out of {0, 1}.
-        let mut p = encode_request(&Request::LogPsi(batch(1, 3, 0)));
+        let mut p = encode_request(&Request::LogPsi {
+            batch: batch(1, 3, 0),
+            precision: None,
+        });
         *p.last_mut().unwrap() = 2;
         assert!(decode_request(&p).is_err());
         // Batch row count beyond the limit.

@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 
 use vqmc_hamiltonian::{LocalEnergyConfig, SparseRowHamiltonian};
 use vqmc_nn::checkpoint::AnyModel;
+use vqmc_tensor::Precision;
 
 use crate::batcher::{Batcher, BatcherConfig, PushError, WorkItem};
 use crate::engine::Engine;
@@ -58,6 +59,10 @@ pub struct ServeConfig {
     pub base_seed: u64,
     /// Chunking for the local-energy neighbour passes.
     pub local_energy: LocalEnergyConfig,
+    /// Default execution precision for requests that carry no explicit
+    /// precision tag (old clients).  Requests that do carry one always
+    /// win; the default only fills the gap.
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +74,7 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(2),
             base_seed: 0,
             local_energy: LocalEnergyConfig::default(),
+            precision: Precision::F64,
         }
     }
 }
@@ -81,6 +87,7 @@ struct Shared {
     request_timeout: Duration,
     num_spins: usize,
     kind: &'static str,
+    precision: Precision,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -143,6 +150,7 @@ impl Server {
             request_timeout: config.request_timeout,
             num_spins: model.num_spins(),
             kind,
+            precision: config.precision,
             conn_handles: Mutex::new(Vec::new()),
         });
 
@@ -350,7 +358,11 @@ fn handle_batched(mut request: Request, shared: &Shared) -> Response {
     // Shape validation happens here, before admission, so malformed
     // requests never occupy queue capacity.
     match &mut request {
-        Request::Sample { count, seed } => {
+        Request::Sample {
+            count,
+            seed,
+            precision,
+        } => {
             if *count == 0 {
                 return Response::error(
                     ErrorCode::BadRequest,
@@ -360,8 +372,13 @@ fn handle_batched(mut request: Request, shared: &Shared) -> Response {
             if seed.is_none() {
                 *seed = Some(shared.next_seed());
             }
+            // Resolve the server default here, at admission, so the
+            // engine only ever coalesces items of one concrete
+            // precision per pass.
+            *precision = Some(precision.unwrap_or(shared.precision));
         }
-        Request::LogPsi(batch) | Request::LocalEnergy(batch) => {
+        Request::LogPsi { batch, precision }
+        | Request::LocalEnergy { batch, precision } => {
             if batch.num_spins() != shared.num_spins {
                 return Response::error(
                     ErrorCode::BadRequest,
@@ -375,6 +392,7 @@ fn handle_batched(mut request: Request, shared: &Shared) -> Response {
             if batch.batch_size() == 0 {
                 return Response::Values(Default::default());
             }
+            *precision = Some(precision.unwrap_or(shared.precision));
         }
         _ => unreachable!("Ping/Shutdown handled inline"),
     }

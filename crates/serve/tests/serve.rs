@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use vqmc_nn::checkpoint::AnyModel;
 use vqmc_nn::Made;
 use vqmc_serve::{BatcherConfig, Client, ErrorCode, ServeConfig, Server};
-use vqmc_tensor::SpinBatch;
+use vqmc_tensor::{Precision, SpinBatch};
 
 fn start_server(n: usize, h: usize, model_seed: u64, batcher: BatcherConfig) -> Server {
     let model = AnyModel::Made(Made::new(n, h, model_seed));
@@ -343,6 +343,125 @@ fn ping_and_bad_request_handling() {
     let err = client.sample(0, None).unwrap_err();
     assert_eq!(err.server_code(), Some(ErrorCode::BadRequest), "{err}");
 
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// A frame whose spin payload is garbage (values outside {0, 1}) must
+/// come back as `BadRequest` — not crash a worker — and the connection
+/// must stay usable for well-formed traffic afterwards.
+#[test]
+fn malformed_spin_bytes_get_bad_request_and_connection_survives() {
+    use vqmc_serve::protocol::{
+        decode_response, encode_request, read_frame, write_frame, Request, Response,
+    };
+
+    let server = start_server(6, 8, 11, BatcherConfig::default());
+    let addr = server.local_addr();
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Hand-built LogPsi frame: shape says 1×6 but one spin byte is 7.
+    let mut payload = vec![0x03u8];
+    payload.extend_from_slice(&1u32.to_le_bytes());
+    payload.extend_from_slice(&6u32.to_le_bytes());
+    payload.extend_from_slice(&[0, 1, 0, 7, 1, 0]);
+    write_frame(&mut stream, &payload).unwrap();
+
+    let mut frame = Vec::new();
+    assert!(read_frame(&mut stream, &mut frame).unwrap());
+    match decode_response(&frame).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest, "{message}");
+            assert!(message.contains("spin bytes"), "{message}");
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    // The same connection still answers well-formed requests.
+    write_frame(&mut stream, &encode_request(&Request::Ping)).unwrap();
+    assert!(read_frame(&mut stream, &mut frame).unwrap());
+    match decode_response(&frame).unwrap() {
+        Response::Pong { num_spins, .. } => assert_eq!(num_spins, 6),
+        other => panic!("expected Pong, got {other:?}"),
+    }
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    server.join();
+}
+
+/// The f32 arm end-to-end over TCP: tagged f32 requests are served,
+/// stay deterministic, track the f64 answers within the documented
+/// bound, and a server started with `--precision f32` applies f32 to
+/// untagged requests.
+#[test]
+fn f32_precision_served_end_to_end() {
+    let n = 16;
+    let server = start_server(n, 12, 8, coalescing_config());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let batch = SpinBatch::from_fn(9, n, |s, i| ((s * 5 + i) % 2) as u8);
+    let lp64 = client.log_psi(&batch).unwrap();
+    let lp32 = client
+        .log_psi_with(&batch, Some(Precision::F32))
+        .unwrap();
+    let lp32_again = client
+        .log_psi_with(&batch, Some(Precision::F32))
+        .unwrap();
+    let bound = 1e-5 * n as f64;
+    for s in 0..batch.batch_size() {
+        assert!(
+            (lp32[s] - lp64[s]).abs() <= bound,
+            "row {s}: |f32 - f64| = {:.3e} exceeds {bound:.1e}",
+            (lp32[s] - lp64[s]).abs()
+        );
+        assert_eq!(lp32[s].to_bits(), lp32_again[s].to_bits(), "row {s}");
+    }
+
+    let (s32a, l32a) = client.sample_with(7, Some(33), Some(Precision::F32)).unwrap();
+    let (s32b, l32b) = client.sample_with(7, Some(33), Some(Precision::F32)).unwrap();
+    assert_eq!(s32a.as_bytes(), s32b.as_bytes(), "f32 draws must reproduce");
+    for s in 0..7 {
+        assert_eq!(l32a[s].to_bits(), l32b[s].to_bits());
+        assert!(l32a[s].is_finite() && l32a[s] < 0.0);
+    }
+
+    let le32 = client
+        .local_energy_with(&batch, Some(Precision::F32))
+        .unwrap();
+    assert_eq!(le32.len(), batch.batch_size());
+    assert!(le32.as_slice().iter().all(|e| e.is_finite()));
+
+    client.shutdown().unwrap();
+    server.join();
+
+    // Second server defaulting to f32: untagged requests run the f32
+    // arm, bit-identical to explicitly tagged ones.
+    let server = Server::start(
+        AnyModel::Made(Made::new(n, 12, 8)),
+        None,
+        ServeConfig {
+            precision: Precision::F32,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let untagged = client.log_psi(&batch).unwrap();
+    let tagged = client
+        .log_psi_with(&batch, Some(Precision::F32))
+        .unwrap();
+    for s in 0..batch.batch_size() {
+        assert_eq!(
+            untagged[s].to_bits(),
+            tagged[s].to_bits(),
+            "server default must resolve untagged requests to f32"
+        );
+    }
     client.shutdown().unwrap();
     server.join();
 }

@@ -72,6 +72,36 @@ impl SpinBatch {
         }
     }
 
+    /// Fallible twin of [`SpinBatch::from_bytes`] for **untrusted**
+    /// input — the wire-decode path.  Dimension overflow, length
+    /// mismatch and out-of-`{0, 1}` bytes are `Err`s, never panics
+    /// (and unlike `from_bytes`, the value check runs in release
+    /// builds too), so a malformed frame can only fail its own
+    /// request, not the worker that decodes it.
+    pub fn try_from_bytes(
+        batch_size: usize,
+        num_spins: usize,
+        bytes: &[u8],
+    ) -> Result<Self, String> {
+        let len = batch_size
+            .checked_mul(num_spins)
+            .ok_or_else(|| "batch dimensions overflow".to_string())?;
+        if bytes.len() != len {
+            return Err(format!(
+                "expected {len} spin bytes ({batch_size}\u{d7}{num_spins}), got {}",
+                bytes.len()
+            ));
+        }
+        if let Some(&bad) = bytes.iter().find(|&&b| b > 1) {
+            return Err(format!("spin bytes must be 0 or 1, got {bad}"));
+        }
+        Ok(SpinBatch {
+            batch_size,
+            num_spins,
+            data: bytes.to_vec(),
+        })
+    }
+
     /// Builds a single-sample batch from a configuration slice.
     pub fn from_single(config: &[u8]) -> Self {
         SpinBatch::from_bytes(1, config.len(), config)
@@ -361,6 +391,19 @@ mod tests {
         // Empty range is legal and yields an empty batch.
         b.copy_rows_into(2..2, &mut dst);
         assert_eq!(dst.batch_size(), 0);
+    }
+
+    #[test]
+    fn try_from_bytes_validates_untrusted_input() {
+        // Well-formed input round-trips.
+        let ok = SpinBatch::try_from_bytes(2, 3, &[0, 1, 1, 0, 0, 1]).unwrap();
+        assert_eq!(ok, SpinBatch::from_bytes(2, 3, &[0, 1, 1, 0, 0, 1]));
+        // Length mismatch.
+        assert!(SpinBatch::try_from_bytes(2, 3, &[0, 1]).is_err());
+        // Out-of-range spin byte (checked in release builds too).
+        assert!(SpinBatch::try_from_bytes(1, 3, &[0, 2, 1]).is_err());
+        // Dimension overflow.
+        assert!(SpinBatch::try_from_bytes(usize::MAX, 2, &[]).is_err());
     }
 
     #[test]

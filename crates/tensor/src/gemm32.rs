@@ -1,0 +1,267 @@
+//! Cache-blocked packed GEMM over **f32** slices — the mixed-precision
+//! twin of the `nt` variant in [`crate::gemm`], used by the f32
+//! inference arm (`MadeF32`).
+//!
+//! Only `nt` exists here (`C[m,n] = A[m,k] * B[n,k]^T`): inference is
+//! forward passes only, and a fully-connected forward streams both
+//! operands row-major in exactly this layout.  The driver is the same
+//! BLIS-style loop nest as the f64 one — operands repacked into
+//! contiguous `kc×8` / `kc×4` micro-panels, inner loop the 8×4 FMA
+//! microkernel from the [`crate::simd::KernelsF32`] table — with `f32`
+//! elements throughout the panels and tile.  The per-element `k`-block
+//! accumulation order matches the f64 driver, so the f32-vs-f64 error
+//! is pure rounding, bounded by the usual `O(k·ε₃₂)` dot-product bound
+//! (property-tested in `tests/simd_f32_proptests.rs`).
+//!
+//! Unlike the f64 driver this one is **sequential**: the serving hot
+//! path parallelises one level up (the batcher shards requests across
+//! engine calls), and the crate's `par` pool is already saturated by
+//! the f64 kernels the f32 arm shares the process with.  Bit-identity
+//! across thread counts is therefore trivial; bit-identity across SIMD
+//! arms holds because the three `micro_8x4` twins share their FMA
+//! chain structure.
+//!
+//! Pack buffers come from a thread-local `f32` pool with the same
+//! zero-fill contract as the f64 `PACK_POOL` (padded panel tails read
+//! as zero), so the steady state allocates nothing.
+
+use std::cell::RefCell;
+
+use crate::simd::{self, MicroKernelF32};
+
+/// `k`-dimension block depth of the packed panels (matches the f64
+/// driver's `KC`; an 8-row f32 A panel is then 8 KiB — half the f64
+/// footprint at the same depth).
+pub const KC: usize = 256;
+/// Packed A-block rows per sweep (matches the f64 driver's `MC`).
+const MC: usize = 256;
+/// Packed B-panel columns per sweep.
+const NC: usize = 2048;
+/// Microkernel tile height.
+pub const MR: usize = 8;
+/// Microkernel tile width.
+pub const NR: usize = 4;
+
+thread_local! {
+    /// Pool of zero-filled `f32` pack buffers (same contract as the f64
+    /// `PACK_POOL`: `take` returns exactly-`len` zeroed storage, growing
+    /// capacity to the high-water mark so the steady state allocates
+    /// nothing).
+    static PACK_POOL32: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_pack(len: usize) -> Vec<f32> {
+    PACK_POOL32.with(|p| {
+        let mut pool = p.borrow_mut();
+        let mut buf = pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    })
+}
+
+fn give_pack(buf: Vec<f32>) {
+    PACK_POOL32.with(|p| p.borrow_mut().push(buf));
+}
+
+/// Gathers rows `[r0, r0+rc)` (k-slice `[l0, l0+lc)`) of a row-major
+/// `stride`-wide operand into `ph`-high micro-panels:
+/// `buf[panel*ph*lc + p*ph + r] = src[(r0 + panel*ph + r)*stride + l0 + p]`.
+/// Panel tails beyond `rc` stay at the pool's zero fill.
+fn pack_rows(
+    src: &[f32],
+    stride: usize,
+    r0: usize,
+    rc: usize,
+    l0: usize,
+    lc: usize,
+    ph: usize,
+    buf: &mut [f32],
+) {
+    for (ip, panel) in buf.chunks_mut(ph * lc).enumerate() {
+        let rows_here = ph.min(rc.saturating_sub(ip * ph));
+        for r in 0..rows_here {
+            let row_base = (r0 + ip * ph + r) * stride + l0;
+            let row = &src[row_base..row_base + lc];
+            for (p, &v) in row.iter().enumerate() {
+                panel[p * ph + r] = v;
+            }
+        }
+    }
+}
+
+/// `C[m,n] = A[m,k] * B[n,k]^T` over row-major `f32` slices, `C`
+/// overwritten.  Runs the packed loop nest with the dispatched f32
+/// microkernel (vector arms after feature detection, the portable twin
+/// otherwise — one code path for every arm).
+pub fn gemm_nt_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nt_f32_with(m, n, k, a, b, c, simd::kernels_f32().micro_8x4)
+}
+
+/// [`gemm_nt_f32`] with an explicit microkernel.  Hidden: the property
+/// tests use it to pit the vector microkernels against the portable
+/// twin on one machine.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_f32_with(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    micro: MicroKernelF32,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nt_f32: A is not {m}x{k}");
+    assert_eq!(b.len(), n * k, "gemm_nt_f32: B^T is not {n}x{k}");
+    assert_eq!(c.len(), m * n, "gemm_nt_f32: C is not {m}x{n}");
+    c.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut tile = [0.0f32; MR * NR];
+    let mut l0 = 0;
+    while l0 < k {
+        let lc = KC.min(k - l0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jc = NC.min(n - j0);
+            let jpanels = jc.div_ceil(NR);
+            let mut bbuf = take_pack(jpanels * NR * lc);
+            pack_rows(b, k, j0, jc, l0, lc, NR, &mut bbuf);
+            let mut i0 = 0;
+            while i0 < m {
+                let ic = MC.min(m - i0);
+                let ipanels = ic.div_ceil(MR);
+                let mut abuf = take_pack(ipanels * MR * lc);
+                pack_rows(a, k, i0, ic, l0, lc, MR, &mut abuf);
+                for jp in 0..jpanels {
+                    let j = j0 + jp * NR;
+                    let jv = NR.min(j0 + jc - j);
+                    let bp = bbuf[jp * NR * lc..].as_ptr();
+                    for ip in 0..ipanels {
+                        let i = i0 + ip * MR;
+                        let iv = MR.min(i0 + ic - i);
+                        let ap = abuf[ip * MR * lc..].as_ptr();
+                        // SAFETY: the packed panels hold `lc` groups of
+                        // MR/NR elements, `tile` has 32, and vector
+                        // microkernels are only installed in the table
+                        // after runtime feature detection.
+                        unsafe { micro(lc, ap, bp, tile.as_mut_ptr()) };
+                        for r in 0..iv {
+                            let base = (i + r) * n + j;
+                            for (cv, tv) in c[base..base + jv].iter_mut().zip(&tile[r * NR..]) {
+                                *cv += tv;
+                            }
+                        }
+                    }
+                }
+                give_pack(abuf);
+                i0 += ic;
+            }
+            give_pack(bbuf);
+            j0 += jc;
+        }
+        l0 += lc;
+    }
+}
+
+/// Naive triple-loop f64-accumulated reference for the tests: the
+/// "infinitely precise" answer the f32 kernel is bounded against.
+pub fn gemm_nt_f32_reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f64> {
+    let mut c = vec![0.0f64; m * n];
+    for r in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for l in 0..k {
+                acc += a[r * k + l] as f64 * b[j * k + l] as f64;
+            }
+            c[r * n + j] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// `|C - C_ref| ≤ 2k²·ε₃₂` — the standard `γ_k·Σ|aᵢbᵢ|` dot bound
+    /// with operands in [-1, 1] (so `Σ|aᵢbᵢ| ≤ k`), doubled for slack.
+    fn check_bound(m: usize, n: usize, k: usize, c: &[f32], c_ref: &[f64]) {
+        let kf = k.max(1) as f64;
+        let bound = 2.0 * kf * kf * f32::EPSILON as f64;
+        for (i, (&cv, &rv)) in c.iter().zip(c_ref).enumerate() {
+            assert!(
+                (cv as f64 - rv).abs() <= bound.max(1e-6),
+                "({m},{n},{k}) element {i}: {cv} vs {rv}"
+            );
+        }
+    }
+
+    #[test]
+    fn nt_matches_reference_across_tile_remainders() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 3, 3),
+            (8, 4, 8),
+            (5, 7, 9),
+            (9, 11, KC + 5),
+            (MR * 3 + 2, NR * 5 + 1, 17),
+            (64, 33, 300),
+        ] {
+            let a = fill(m * k, m as u64 + 1);
+            let b = fill(n * k, n as u64 + 100);
+            let mut c = vec![0.0f32; m * n];
+            gemm_nt_f32(m, n, k, &a, &b, &mut c);
+            let c_ref = gemm_nt_f32_reference(m, n, k, &a, &b);
+            check_bound(m, n, k, &c, &c_ref);
+        }
+    }
+
+    #[test]
+    fn arms_are_bit_identical() {
+        let (m, n, k) = (37, 29, KC + 13);
+        let a = fill(m * k, 5);
+        let b = fill(n * k, 6);
+        let mut c_port = vec![0.0f32; m * n];
+        gemm_nt_f32_with(
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut c_port,
+            simd::portable_kernels_f32().micro_8x4,
+        );
+        if let Some(t) = simd::avx2_kernels_f32() {
+            let mut c_vec = vec![0.0f32; m * n];
+            gemm_nt_f32_with(m, n, k, &a, &b, &mut c_vec, t.micro_8x4);
+            assert!(c_port
+                .iter()
+                .zip(&c_vec)
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let mut c = vec![7.0f32; 6];
+        gemm_nt_f32(2, 3, 0, &[], &[], &mut c);
+        assert!(c.iter().all(|&v| v == 0.0));
+        let mut empty: Vec<f32> = Vec::new();
+        gemm_nt_f32(0, 3, 4, &[], &fill(12, 1), &mut empty);
+    }
+}

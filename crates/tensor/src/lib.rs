@@ -52,6 +52,7 @@
 
 pub mod batch;
 pub mod gemm;
+pub mod gemm32;
 pub mod matrix;
 pub mod ops;
 pub mod par;
@@ -64,6 +65,60 @@ pub use batch::SpinBatch;
 pub use matrix::Matrix;
 pub use vector::Vector;
 pub use workspace::Workspace;
+
+/// Numeric precision of an inference pass.
+///
+/// `F64` is the reference arm: every kernel is bit-identical across
+/// SIMD arms and thread counts.  `F32` stores weights and activations
+/// in single precision (half the bytes streamed, twice the SIMD lanes)
+/// and widens to `f64` at reduction boundaries; its correctness
+/// contract is bound-based (documented error bounds against the f64
+/// arm), not bit-based, but *within* the f32 arm results are still
+/// bit-identical across SIMD arms and thread counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Double precision (the default and reference arm).
+    #[default]
+    F64,
+    /// Single-precision weights/activations with f64 accumulation.
+    F32,
+}
+
+impl Precision {
+    /// Stable on-the-wire / on-disk tag (`0` = f64, `1` = f32).
+    pub fn tag(self) -> u8 {
+        match self {
+            Precision::F64 => 0,
+            Precision::F32 => 1,
+        }
+    }
+
+    /// Inverse of [`Precision::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Precision::F64),
+            1 => Some(Precision::F32),
+            _ => None,
+        }
+    }
+
+    /// Parses the CLI spelling (`"f64"` / `"f32"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "f64" | "double" => Some(Precision::F64),
+            "f32" | "single" => Some(Precision::F32),
+            _ => None,
+        }
+    }
+
+    /// The CLI / JSON spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
 
 /// Absolute tolerance used by the test-suites of this workspace when
 /// comparing two floating point computations that are algebraically equal

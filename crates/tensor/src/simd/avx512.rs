@@ -16,6 +16,8 @@
 #[cfg(target_arch = "x86_64")]
 use std::arch::x86_64::*;
 
+use super::portable32::{self, LANES_F32};
+
 /// Fused batched AUTO bit step over a transposed `h×b` activation
 /// panel; twin of `portable::sample_step_cols` and
 /// `avx2::sample_step_cols`, vectorised eight rows wide.
@@ -354,4 +356,276 @@ unsafe fn sample_step_cols_hidden_major(
         logits[r] = bias + (((a0[r] + a1[r]) + (a2[r] + a3[r])) + a4[r]);
         r += 1;
     }
+}
+
+/// Fused batched AUTO bit step over a transposed `h×b` **f32** panel;
+/// twin of `portable32::sample_step_cols` and
+/// `avx2f32::sample_step_cols`, vectorised **sixteen** rows wide.
+///
+/// Mirrors the f64 kernel's two-traversal split: panels that fit the
+/// [`HIDDEN_MAJOR_BYTES`] window (`h·b·4` here — f32 panels hold twice
+/// the elements per byte) run a register row-block traversal — sixteen
+/// rows per `__m512`, the nine `j%8` stripe accumulators held in
+/// registers across the whole hidden loop, so the per-element cost is
+/// load/mask-add/store/max/FMA with **no accumulator memory traffic**.
+/// Larger panels fall back to the hidden-major traversal
+/// ([`sample_step_cols_f32_hidden_major`]), whose sequential streams
+/// the prefetcher can run ahead of.
+///
+/// Bit-identity across traversals and arms is structural: both
+/// traversals produce the *same nine `f32` stripe partial sums* (same
+/// `j%8` assignment, same per-stripe FMA order in `j`; an f32 register
+/// spilled to the scratch stripe is exact), and both finish through the
+/// shared scalar `f64`-widened [`portable32::combine_stripes`].
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f")]
+pub unsafe fn sample_step_cols_f32(
+    zt: &mut [f32],
+    b: usize,
+    w_prev: Option<&[f32]>,
+    prev_mask: &[f32],
+    w_out: &[f32],
+    bias: f64,
+    scratch: &mut [f32],
+    logits: &mut [f64],
+) {
+    let h = w_out.len();
+    debug_assert_eq!(zt.len(), h * b);
+    debug_assert_eq!(prev_mask.len(), b);
+    debug_assert!(scratch.len() >= 10 * b);
+    debug_assert_eq!(logits.len(), b);
+    if h * b * 4 > HIDDEN_MAJOR_BYTES {
+        return sample_step_cols_f32_hidden_major(
+            zt, b, w_prev, prev_mask, w_out, bias, scratch, logits,
+        );
+    }
+    let _ = scratch; // register accumulators; scratch is a hidden-major concern
+    let h8 = h - h % LANES_F32;
+    let pz = zt.as_mut_ptr();
+    let pm = prev_mask.as_ptr();
+    let po = w_out.as_ptr();
+    let wp = w_prev.map(|w| w.as_ptr());
+    let zero = _mm512_setzero_ps();
+    let half = _mm512_set1_ps(0.5);
+    let mut r = 0;
+    while r + 16 <= b {
+        let k: __mmask16 =
+            _mm512_cmp_ps_mask::<_CMP_GT_OQ>(_mm512_loadu_ps(pm.add(r)), half);
+        let (mut a0, mut a1, mut a2, mut a3) = (zero, zero, zero, zero);
+        let (mut a4, mut a5, mut a6, mut a7, mut a8) = (zero, zero, zero, zero, zero);
+        // One hidden unit: masked update + striped fused accumulate.
+        macro_rules! step {
+            ($acc:ident, $j:expr) => {{
+                let j = $j;
+                let p = pz.add(j * b + r);
+                let mut z = _mm512_loadu_ps(p);
+                if let Some(w) = wp {
+                    z = _mm512_mask_add_ps(z, k, z, _mm512_set1_ps(*w.add(j)));
+                    _mm512_storeu_ps(p, z);
+                }
+                let zp = _mm512_max_ps(z, zero);
+                $acc = _mm512_fmadd_ps(_mm512_set1_ps(*po.add(j)), zp, $acc);
+            }};
+        }
+        // First row block only: stage the *next* bit's weight rows
+        // (contiguous at `base + h` in both matrices, 4-byte elements)
+        // into L2 while this bit computes.  Prefetches past the final
+        // row are harmless hints, formed with wrapping arithmetic.
+        let mut j = 0;
+        if r == 0 {
+            while j + 8 <= h8 {
+                if j % 16 == 0 {
+                    let line = (h + j) as isize * 4;
+                    _mm_prefetch(po.cast::<i8>().wrapping_offset(line), _MM_HINT_T1);
+                    if let Some(w) = wp {
+                        _mm_prefetch(w.cast::<i8>().wrapping_offset(line), _MM_HINT_T1);
+                    }
+                }
+                step!(a0, j);
+                step!(a1, j + 1);
+                step!(a2, j + 2);
+                step!(a3, j + 3);
+                step!(a4, j + 4);
+                step!(a5, j + 5);
+                step!(a6, j + 6);
+                step!(a7, j + 7);
+                j += 8;
+            }
+        }
+        while j + 8 <= h8 {
+            step!(a0, j);
+            step!(a1, j + 1);
+            step!(a2, j + 2);
+            step!(a3, j + 3);
+            step!(a4, j + 4);
+            step!(a5, j + 5);
+            step!(a6, j + 6);
+            step!(a7, j + 7);
+            j += 8;
+        }
+        while j < h {
+            step!(a8, j);
+            j += 1;
+        }
+        // In-register combine, `f64`-widened per 8-lane half: the same
+        // `bias + ((((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7))) + s8)` tree
+        // as `portable32::combine_stripes`, per lane (`cvtps_pd` is
+        // exact, f64 vector adds are lane-wise — bit-identical).
+        let bv = _mm512_set1_pd(bias);
+        macro_rules! half_combine {
+            ($lane:expr, $off:expr) => {{
+                let w = |a: __m512| -> __m512d {
+                    if $lane == 0 {
+                        _mm512_cvtps_pd(_mm512_castps512_ps256(a))
+                    } else {
+                        _mm512_cvtps_pd(_mm256_castpd_ps(_mm512_extractf64x4_pd::<1>(
+                            _mm512_castps_pd(a),
+                        )))
+                    }
+                };
+                let s01 = _mm512_add_pd(w(a0), w(a1));
+                let s23 = _mm512_add_pd(w(a2), w(a3));
+                let s45 = _mm512_add_pd(w(a4), w(a5));
+                let s67 = _mm512_add_pd(w(a6), w(a7));
+                let s = _mm512_add_pd(
+                    _mm512_add_pd(_mm512_add_pd(s01, s23), _mm512_add_pd(s45, s67)),
+                    w(a8),
+                );
+                _mm512_storeu_pd(logits.as_mut_ptr().add(r + $off), _mm512_add_pd(bv, s));
+            }};
+        }
+        half_combine!(0, 0);
+        half_combine!(1, 8);
+        r += 16;
+    }
+    // Remaining rows (b % 16): scalar, same stripe assignment and
+    // combine tree, with the nine stripes in a local array.
+    while r < b {
+        let take = wp.is_some() && *pm.add(r) > 0.5;
+        let mut acc = [0.0f32; 9];
+        for j in 0..h {
+            let p = pz.add(j * b + r);
+            let mut z = *p;
+            if take {
+                z += *wp.unwrap_unchecked().add(j);
+                *p = z;
+            }
+            let zp = if z > 0.0 { z } else { 0.0 };
+            let stripe = if j < h8 { j % LANES_F32 } else { LANES_F32 };
+            acc[stripe] = (*po.add(j)).mul_add(zp, acc[stripe]);
+        }
+        let s = |k: usize| acc[k] as f64;
+        logits[r] =
+            bias + ((((s(0) + s(1)) + (s(2) + s(3))) + ((s(4) + s(5)) + (s(6) + s(7)))) + s(8));
+        r += 1;
+    }
+}
+
+/// Hidden-major twin of the register row-block traversal in
+/// [`sample_step_cols_f32`], used for panels too large for it: `j`
+/// outermost, panel rows / mask / stripe accumulators all walked
+/// contiguously, with the nine stripes resident in `scratch` instead of
+/// registers.  The masked `+w_prev[j]` update uses `_mm512_mask_add_ps`
+/// with the panel value as pass-through (masked rows keep their stored
+/// bits exactly, matching the portable select), and the `prev_mask >
+/// 0.5` compares are hoisted into a per-bit `__mmask16` stash in the
+/// 10th scratch stripe.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f")]
+unsafe fn sample_step_cols_f32_hidden_major(
+    zt: &mut [f32],
+    b: usize,
+    w_prev: Option<&[f32]>,
+    prev_mask: &[f32],
+    w_out: &[f32],
+    bias: f64,
+    scratch: &mut [f32],
+    logits: &mut [f64],
+) {
+    let h = w_out.len();
+    let h8 = h - h % LANES_F32;
+    let (acc, mask_stash) = scratch.split_at_mut(9 * b);
+    acc.fill(0.0);
+    let pa = acc.as_mut_ptr();
+    let pz = zt.as_mut_ptr();
+    let pm = prev_mask.as_ptr();
+    let pk = mask_stash.as_mut_ptr().cast::<u16>();
+    let zero = _mm512_setzero_ps();
+    let half = _mm512_set1_ps(0.5);
+    let bv = b - b % 16;
+    if w_prev.is_some() {
+        let mut r = 0;
+        while r < bv {
+            let k: __mmask16 =
+                _mm512_cmp_ps_mask::<_CMP_GT_OQ>(_mm512_loadu_ps(pm.add(r)), half);
+            *pk.add(r / 16) = k;
+            r += 16;
+        }
+    }
+    match w_prev {
+        Some(w) => {
+            for j in 0..h {
+                let wj = *w.get_unchecked(j);
+                let wv = _mm512_set1_ps(wj);
+                let wo = *w_out.get_unchecked(j);
+                let wov = _mm512_set1_ps(wo);
+                let stripe = if j < h8 { j % LANES_F32 } else { LANES_F32 };
+                let accs = pa.add(stripe * b);
+                let row = pz.add(j * b);
+                let mut r = 0;
+                while r < bv {
+                    let k: __mmask16 = *pk.add(r / 16);
+                    let p = row.add(r);
+                    let z = _mm512_loadu_ps(p);
+                    let z = _mm512_mask_add_ps(z, k, z, wv);
+                    _mm512_storeu_ps(p, z);
+                    let a = accs.add(r);
+                    _mm512_storeu_ps(
+                        a,
+                        _mm512_fmadd_ps(wov, _mm512_max_ps(z, zero), _mm512_loadu_ps(a)),
+                    );
+                    r += 16;
+                }
+                while r < b {
+                    let p = row.add(r);
+                    let mut z = *p;
+                    if *pm.add(r) > 0.5 {
+                        z += wj;
+                        *p = z;
+                    }
+                    let zp = if z > 0.0 { z } else { 0.0 };
+                    let a = accs.add(r);
+                    *a = wo.mul_add(zp, *a);
+                    r += 1;
+                }
+            }
+        }
+        None => {
+            for j in 0..h {
+                let wo = *w_out.get_unchecked(j);
+                let wov = _mm512_set1_ps(wo);
+                let stripe = if j < h8 { j % LANES_F32 } else { LANES_F32 };
+                let accs = pa.add(stripe * b);
+                let row = pz.add(j * b);
+                let mut r = 0;
+                while r < bv {
+                    let z = _mm512_loadu_ps(row.add(r));
+                    let a = accs.add(r);
+                    _mm512_storeu_ps(
+                        a,
+                        _mm512_fmadd_ps(wov, _mm512_max_ps(z, zero), _mm512_loadu_ps(a)),
+                    );
+                    r += 16;
+                }
+                while r < b {
+                    let z = *row.add(r);
+                    let zp = if z > 0.0 { z } else { 0.0 };
+                    let a = accs.add(r);
+                    *a = wo.mul_add(zp, *a);
+                    r += 1;
+                }
+            }
+        }
+    }
+    portable32::combine_stripes(acc, b, bias, logits);
 }

@@ -43,9 +43,13 @@ use std::sync::OnceLock;
 
 pub mod exp;
 pub mod portable;
+pub mod portable32;
 
 #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
 pub mod avx2;
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+pub mod avx2f32;
 
 #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
 pub mod avx512;
@@ -315,6 +319,208 @@ pub fn kernels() -> &'static Kernels {
 /// The arm the production dispatch resolved to.
 pub fn backend() -> Backend {
     kernels().backend
+}
+
+/// The packed-GEMM microkernel signature of the **f32** arm: multiply a
+/// `kc×8` packed A micro-panel by a `kc×4` packed B micro-panel,
+/// **overwriting** the row-major 8×4 `tile`.
+///
+/// # Safety
+/// Same contract as [`MicroKernel`], with `f32` elements.
+pub type MicroKernelF32 = unsafe fn(kc: usize, ap: *const f32, bp: *const f32, tile: *mut f32);
+
+/// The resolved **f32** kernel table — the mixed-precision twin of
+/// [`Kernels`], covering the inference hot path only (no trainer-side
+/// kernels: no `xpby`, `sq_dev_sum`, `sum_exp_shifted`, `tanh`).
+///
+/// Reduction results (`dot`, `relu_dot`, `sum`, logits) are `f64`:
+/// stripe accumulators stay `f32` in registers, the cross-stripe
+/// combine widens (see [`portable32`]).  The transcendental slice
+/// entries route each chunk through the *same arm's* f64 kernel
+/// (widen → apply → narrow), inheriting the f64 cross-arm
+/// bit-identity.
+#[derive(Clone, Copy)]
+pub struct KernelsF32 {
+    /// Which arm this table belongs to.
+    pub backend: Backend,
+    /// In-place sigmoid over an `f32` slice.
+    pub sigmoid_slice: fn(&mut [f32]),
+    /// In-place `log σ` over an `f32` slice.
+    pub log_sigmoid_slice: fn(&mut [f32]),
+    /// In-place `ln cosh` over an `f32` slice.
+    pub ln_cosh_slice: fn(&mut [f32]),
+    /// In-place `e^x` over an `f32` slice.
+    pub exp_slice: fn(&mut [f32]),
+    /// Fused dot product, `f64` result.
+    pub dot: fn(&[f32], &[f32]) -> f64,
+    /// `y ← y + α·x` over `f32`.
+    pub axpy: fn(&mut [f32], f32, &[f32]),
+    /// `Σ w·max(z, 0)` over `f32` operands, `f64` result.
+    pub relu_dot: fn(&[f32], &[f32]) -> f64,
+    /// Lane-striped sum with `f64` combine.
+    pub sum: fn(&[f32]) -> f64,
+    /// Fused batched AUTO bit step over a transposed `h×b` **f32**
+    /// activation panel; logits land in `f64` so the downstream draw
+    /// machinery is shared with the f64 path.
+    /// `(zt, b, w_prev, prev_mask, w_out, bias, scratch ≥ 10·b, logits)`
+    /// — 9 `f32` accumulator stripes plus one stripe the SIMD arms use
+    /// to stash per-bit compare masks.
+    pub sample_step_cols:
+        fn(&mut [f32], usize, Option<&[f32]>, &[f32], &[f32], f64, &mut [f32], &mut [f64]),
+    /// The packed-GEMM 8×4 `f32` microkernel.
+    pub micro_8x4: MicroKernelF32,
+}
+
+/// The portable f32 arm as a constant table.
+static PORTABLE_F32: KernelsF32 = KernelsF32 {
+    backend: Backend::Scalar,
+    sigmoid_slice: portable32::sigmoid_slice,
+    log_sigmoid_slice: portable32::log_sigmoid_slice,
+    ln_cosh_slice: portable32::ln_cosh_slice,
+    exp_slice: portable32::exp_slice,
+    dot: portable32::dot,
+    axpy: portable32::axpy,
+    relu_dot: portable32::relu_dot,
+    sum: portable32::sum,
+    sample_step_cols: portable32::sample_step_cols,
+    micro_8x4: portable32::micro_8x4 as MicroKernelF32,
+};
+
+/// The portable-scalar f32 table, regardless of what the production
+/// dispatch resolved to (property tests / benches).
+pub fn portable_kernels_f32() -> &'static KernelsF32 {
+    &PORTABLE_F32
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+mod avx2_table_f32 {
+    use super::*;
+
+    // Safe shims: only installed after `is_x86_feature_detected!`
+    // confirmed avx2+fma (same gate as the f64 AVX2 table).  The
+    // transcendental entries widen each chunk through *this arm's* f64
+    // kernel — the non-capturing closures coerce to `fn(&mut [f64])`.
+    fn sigmoid_slice(xs: &mut [f32]) {
+        portable32::map_via_f64(xs, |s| unsafe { avx2::sigmoid_slice(s) })
+    }
+    fn log_sigmoid_slice(xs: &mut [f32]) {
+        portable32::map_via_f64(xs, |s| unsafe { avx2::log_sigmoid_slice(s) })
+    }
+    fn ln_cosh_slice(xs: &mut [f32]) {
+        portable32::map_via_f64(xs, |s| unsafe { avx2::ln_cosh_slice(s) })
+    }
+    fn exp_slice(xs: &mut [f32]) {
+        portable32::map_via_f64(xs, |s| unsafe { avx2::exp_slice(s) })
+    }
+    fn dot(a: &[f32], b: &[f32]) -> f64 {
+        unsafe { avx2f32::dot(a, b) }
+    }
+    fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+        unsafe { avx2f32::axpy(y, alpha, x) }
+    }
+    fn relu_dot(w: &[f32], z: &[f32]) -> f64 {
+        unsafe { avx2f32::relu_dot(w, z) }
+    }
+    fn sum(xs: &[f32]) -> f64 {
+        unsafe { avx2f32::sum(xs) }
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn sample_step_cols(
+        zt: &mut [f32],
+        b: usize,
+        w_prev: Option<&[f32]>,
+        prev_mask: &[f32],
+        w_out: &[f32],
+        bias: f64,
+        scratch: &mut [f32],
+        logits: &mut [f64],
+    ) {
+        unsafe { avx2f32::sample_step_cols(zt, b, w_prev, prev_mask, w_out, bias, scratch, logits) }
+    }
+
+    pub(super) static AVX2_F32: KernelsF32 = KernelsF32 {
+        backend: Backend::Avx2Fma,
+        sigmoid_slice,
+        log_sigmoid_slice,
+        ln_cosh_slice,
+        exp_slice,
+        dot,
+        axpy,
+        relu_dot,
+        sum,
+        sample_step_cols,
+        micro_8x4: avx2f32::micro_8x4 as MicroKernelF32,
+    };
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+mod avx512_table_f32 {
+    use super::*;
+
+    // Safe shim: only installed after `avx512f` (plus avx2+fma) was
+    // confirmed.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_step_cols(
+        zt: &mut [f32],
+        b: usize,
+        w_prev: Option<&[f32]>,
+        prev_mask: &[f32],
+        w_out: &[f32],
+        bias: f64,
+        scratch: &mut [f32],
+        logits: &mut [f64],
+    ) {
+        unsafe {
+            avx512::sample_step_cols_f32(zt, b, w_prev, prev_mask, w_out, bias, scratch, logits)
+        }
+    }
+
+    /// The AVX2 f32 table with the 16-wide panel-step override.
+    pub(super) static AVX512_F32: KernelsF32 = KernelsF32 {
+        backend: Backend::Avx512,
+        sample_step_cols,
+        ..avx2_table_f32::AVX2_F32
+    };
+}
+
+/// The AVX2 f32 table when the CPU supports avx2+fma, `None` otherwise.
+/// Shares the detection gate with [`avx2_kernels`].
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+pub fn avx2_kernels_f32() -> Option<&'static KernelsF32> {
+    avx2_kernels().map(|_| &avx2_table_f32::AVX2_F32)
+}
+
+/// The AVX-512 f32 table when `avx512f` (plus avx2+fma) is available,
+/// `None` otherwise.  Shares the detection gate with [`avx512_kernels`].
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+pub fn avx512_kernels_f32() -> Option<&'static KernelsF32> {
+    avx512_kernels().map(|_| &avx512_table_f32::AVX512_F32)
+}
+
+/// See the x86_64 variant; on this target the AVX2 f32 arm does not exist.
+#[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+pub fn avx2_kernels_f32() -> Option<&'static KernelsF32> {
+    None
+}
+
+/// See the x86_64 variant; on this target the AVX-512 f32 arm does not exist.
+#[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+pub fn avx512_kernels_f32() -> Option<&'static KernelsF32> {
+    None
+}
+
+/// The production **f32** kernel table, resolved once per process with
+/// the same fallback policy (and the same `VQMC_SIMD` cap) as
+/// [`kernels`].
+pub fn kernels_f32() -> &'static KernelsF32 {
+    static ACTIVE: OnceLock<&'static KernelsF32> = OnceLock::new();
+    ACTIVE.get_or_init(|| match env_simd_cap() {
+        Some(Backend::Scalar) => &PORTABLE_F32,
+        Some(_) => avx2_kernels_f32().unwrap_or(&PORTABLE_F32),
+        None => avx512_kernels_f32()
+            .or_else(avx2_kernels_f32)
+            .unwrap_or(&PORTABLE_F32),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,272 @@
+//! Portable scalar arm of the **f32** dispatch table.
+//!
+//! Mixed-precision discipline (see DESIGN.md "Precision"): weights and
+//! activations are `f32` — half the bytes streamed, twice the SIMD
+//! lanes — while every *reduction boundary* (a value that sums many
+//! elements: logits, dots, row sums) is widened to `f64` before the
+//! final combine.  Stripe accumulators stay `f32` (they are what the
+//! vector arms hold in registers); only the cross-stripe combine runs
+//! in `f64`.
+//!
+//! Bit-identity contract: like the f64 arm, every function here is the
+//! operation-for-operation twin of the AVX2/AVX-512 f32 kernels — the
+//! same stripe layout ([`LANES_F32`] = 8, one `ymm` of `f32`), the same
+//! fused steps (`f32::mul_add` ↔ `vfmaddps`), the same widened combine
+//! tree — so the three f32 arms agree bit-for-bit with *each other*
+//! (property-tested in `tests/simd_f32_proptests.rs`).  Agreement with
+//! the f64 arm is bound-based, never bit-based.
+//!
+//! The transcendental slice kernels take a different route: each chunk
+//! is widened into a stack buffer, run through the *same arm's* f64
+//! slice kernel, and narrowed back with one rounding per element.  That
+//! inherits the proven f64 cross-arm bit-identity (so the f32 arms
+//! agree wherever the f64 arms do), halves the bytes streamed through
+//! the caller's buffers, and is strictly more accurate than a native
+//! f32 polynomial would be.
+
+/// Number of interleaved accumulator lanes in the f32 reduction
+/// kernels: one AVX2 `ymm` register of `f32`.
+pub const LANES_F32: usize = 8;
+
+/// Chunk size of the widen → f64 kernel → narrow transcendental route
+/// (a 1 KiB stack buffer).
+pub(super) const WIDEN_CHUNK: usize = 128;
+
+/// Runs `kernel` (an f64 slice kernel) over `xs` chunk-wise through a
+/// stack buffer: widen (exact), apply, narrow (one rounding).  Shared
+/// by every arm's f32 transcendental entries; the arms differ only in
+/// which f64 kernel they pass.
+pub(super) fn map_via_f64(xs: &mut [f32], kernel: fn(&mut [f64])) {
+    let mut buf = [0.0f64; WIDEN_CHUNK];
+    for chunk in xs.chunks_mut(WIDEN_CHUNK) {
+        let wide = &mut buf[..chunk.len()];
+        for (d, &s) in wide.iter_mut().zip(chunk.iter()) {
+            *d = s as f64;
+        }
+        kernel(wide);
+        for (d, &w) in chunk.iter_mut().zip(wide.iter()) {
+            *d = w as f32;
+        }
+    }
+}
+
+/// In-place sigmoid over an `f32` slice (widen → f64 kernel → narrow).
+pub fn sigmoid_slice(xs: &mut [f32]) {
+    map_via_f64(xs, super::portable::sigmoid_slice)
+}
+
+/// In-place `log σ` over an `f32` slice.
+pub fn log_sigmoid_slice(xs: &mut [f32]) {
+    map_via_f64(xs, super::portable::log_sigmoid_slice)
+}
+
+/// In-place `ln cosh` over an `f32` slice.
+pub fn ln_cosh_slice(xs: &mut [f32]) {
+    map_via_f64(xs, super::portable::ln_cosh_slice)
+}
+
+/// In-place `e^x` over an `f32` slice.
+pub fn exp_slice(xs: &mut [f32]) {
+    map_via_f64(xs, super::portable::exp_slice)
+}
+
+/// Lane-striped sum of an `f32` slice, widened to `f64` at the combine:
+/// 8 `f32` stripe accumulators, then
+/// `(((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7))) + tail` in `f64`.
+pub fn sum(xs: &[f32]) -> f64 {
+    let mut acc = [0.0f32; LANES_F32];
+    let mut chunks = xs.chunks_exact(LANES_F32);
+    for c in &mut chunks {
+        for l in 0..LANES_F32 {
+            acc[l] += c[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for &x in chunks.remainder() {
+        tail += x;
+    }
+    combine8(&acc) + tail as f64
+}
+
+/// The shared cross-stripe combine: widen each `f32` stripe to `f64`,
+/// then the fixed tree `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7))`.
+#[inline]
+pub(super) fn combine8(acc: &[f32; LANES_F32]) -> f64 {
+    let a: [f64; 8] = std::array::from_fn(|l| acc[l] as f64);
+    ((a[0] + a[1]) + (a[2] + a[3])) + ((a[4] + a[5]) + (a[6] + a[7]))
+}
+
+/// Number of interleaved lanes in [`dot`]: four `ymm` accumulators of
+/// `f32` (32 elements per unrolled step) to cover the FMA latency.
+pub const DOT_LANES_F32: usize = 32;
+
+/// Lane-striped `f32` dot product with an `f64` result.  Vector-arm
+/// order: four `ymm` accumulators reduce pairwise lane-wise
+/// (`(y0+y1)+(y2+y3)`, in `f32`), then the surviving 8 lanes widen and
+/// combine through [`combine8`]'s tree, then `+ tail`.
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; DOT_LANES_F32];
+    let n32 = a.len() - a.len() % DOT_LANES_F32;
+    let mut i = 0;
+    while i < n32 {
+        for l in 0..DOT_LANES_F32 {
+            acc[l] = a[i + l].mul_add(b[i + l], acc[l]);
+        }
+        i += DOT_LANES_F32;
+    }
+    let mut tail = 0.0f32;
+    while i < a.len() {
+        tail = a[i].mul_add(b[i], tail);
+        i += 1;
+    }
+    let mut c = [0.0f32; LANES_F32];
+    for (l, cv) in c.iter_mut().enumerate() {
+        *cv = (acc[l] + acc[8 + l]) + (acc[16 + l] + acc[24 + l]);
+    }
+    combine8(&c) + tail as f64
+}
+
+/// Lane-striped `Σ w·max(z, 0)` over `f32` operands, `f64` result.
+pub fn relu_dot(w: &[f32], z: &[f32]) -> f64 {
+    debug_assert_eq!(w.len(), z.len());
+    let mut acc = [0.0f32; LANES_F32];
+    let n8 = w.len() - w.len() % LANES_F32;
+    let mut i = 0;
+    while i < n8 {
+        for l in 0..LANES_F32 {
+            let zp = if z[i + l] > 0.0 { z[i + l] } else { 0.0 };
+            acc[l] = w[i + l].mul_add(zp, acc[l]);
+        }
+        i += LANES_F32;
+    }
+    let mut tail = 0.0f32;
+    while i < w.len() {
+        let zp = if z[i] > 0.0 { z[i] } else { 0.0 };
+        tail = w[i].mul_add(zp, tail);
+        i += 1;
+    }
+    combine8(&acc) + tail as f64
+}
+
+/// `y ← y + α·x` over `f32`, one FMA per element (elementwise, so
+/// bit-identity across arms is structural).
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv = alpha.mul_add(xv, *yv);
+    }
+}
+
+/// The scalar twin of the AVX2 8×4 **f32** GEMM microkernel: identical
+/// per-element FMA chain over the packed panels (each `C[r,q]`
+/// accumulates `a[p,r]·b[p,q]` in the same `p` order through fused
+/// `f32` steps), so the arms are bit-identical.
+///
+/// Contract: `ap` holds `kc` groups of 8 A-values, `bp` holds `kc`
+/// groups of 4 B-values, and the row-major 8×4 `tile` is overwritten.
+///
+/// # Safety
+/// `ap`/`bp`/`tile` must be valid for `kc*8`, `kc*4` and 32 reads/
+/// writes respectively.
+pub unsafe fn micro_8x4(kc: usize, ap: *const f32, bp: *const f32, tile: *mut f32) {
+    let mut acc = [0.0f32; 32];
+    for p in 0..kc {
+        for r in 0..8 {
+            let a = *ap.add(p * 8 + r);
+            for q in 0..4 {
+                acc[r * 4 + q] = a.mul_add(*bp.add(p * 4 + q), acc[r * 4 + q]);
+            }
+        }
+    }
+    for (i, v) in acc.iter().enumerate() {
+        *tile.add(i) = *v;
+    }
+}
+
+/// Fused incremental-AUTO batched bit step over a **transposed** `h×b`
+/// `f32` activation panel — the mixed-precision twin of the f64
+/// `sample_step_cols`.
+///
+/// Like the f64 kernel, the vector arms may pick between a register
+/// row-block traversal (small panels) and this hidden-major traversal
+/// (`j` outermost, vectorised over batch rows); the portable arm has
+/// only the hidden-major shape.  Cross-arm and cross-traversal
+/// bit-identity is structural — every traversal produces the same nine
+/// `f32` stripe partial sums and finishes through the same
+/// `f64`-widened combine tree:
+///
+/// 1. masked update: rows whose previous bit was 1
+///    (`prev_mask[r] > 0.5`) get `zt[j·b+r] += w_prev[j]` (`f32` add,
+///    select semantics — masked-off rows keep their stored bits
+///    exactly);
+/// 2. logit accumulate: stripe `j % 8` (tail units → stripe 8) gets
+///    `w_out[j].mul_add(max(z,0), acc)` per row, in `f32`;
+/// 3. combine: per row, each of the 9 stripes widens to `f64` and
+///    `logits[r] = bias + ((((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7))) + s8)`.
+///
+/// `logits` is `f64` — the downstream Bernoulli draw, sigmoid and
+/// `log σ` machinery is shared verbatim with the f64 sampling path, so
+/// the f32 arm differs from f64 only in the panel arithmetic.
+///
+/// `scratch` must hold ≥ `10·b` `f32`: 9 accumulator stripes plus one
+/// stripe the SIMD arms use to stash per-bit compare masks.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_step_cols(
+    zt: &mut [f32],
+    b: usize,
+    w_prev: Option<&[f32]>,
+    prev_mask: &[f32],
+    w_out: &[f32],
+    bias: f64,
+    scratch: &mut [f32],
+    logits: &mut [f64],
+) {
+    let h = w_out.len();
+    debug_assert_eq!(zt.len(), h * b);
+    debug_assert_eq!(prev_mask.len(), b);
+    debug_assert!(scratch.len() >= 10 * b);
+    debug_assert_eq!(logits.len(), b);
+    let acc = &mut scratch[..9 * b];
+    acc.fill(0.0);
+    let h8 = h - h % LANES_F32;
+    for j in 0..h {
+        let wo = w_out[j];
+        let stripe = if j < h8 { j % LANES_F32 } else { LANES_F32 };
+        let (_, rest) = acc.split_at_mut(stripe * b);
+        let accs = &mut rest[..b];
+        let row = &mut zt[j * b..(j + 1) * b];
+        match w_prev {
+            Some(w) => {
+                let wj = w[j];
+                for r in 0..b {
+                    let mut z = row[r];
+                    if prev_mask[r] > 0.5 {
+                        z += wj;
+                        row[r] = z;
+                    }
+                    let zp = if z > 0.0 { z } else { 0.0 };
+                    accs[r] = wo.mul_add(zp, accs[r]);
+                }
+            }
+            None => {
+                for r in 0..b {
+                    let z = row[r];
+                    let zp = if z > 0.0 { z } else { 0.0 };
+                    accs[r] = wo.mul_add(zp, accs[r]);
+                }
+            }
+        }
+    }
+    combine_stripes(acc, b, bias, logits);
+}
+
+/// The shared 9-stripe → `f64` logit combine of [`sample_step_cols`];
+/// scalar in every arm (it is `O(b)` next to the `O(h·b)` sweep).
+pub(super) fn combine_stripes(acc: &[f32], b: usize, bias: f64, logits: &mut [f64]) {
+    for r in 0..b {
+        let s = |k: usize| acc[k * b + r] as f64;
+        logits[r] =
+            bias + ((((s(0) + s(1)) + (s(2) + s(3))) + ((s(4) + s(5)) + (s(6) + s(7)))) + s(8));
+    }
+}

@@ -29,6 +29,8 @@ COMMANDS:
              --instance-seed <N>       (default 2021)
              --checkpoint <path>       save the trained model
              --save-model <path>       alias for --checkpoint
+             --save-precision f64|f32  checkpoint parameter storage width
+                                       (default f64; f32 halves the file)
              --load-model <path>       warm-start from a saved checkpoint
              --exact true              compare against Lanczos (n <= 16)
   evaluate   load a checkpoint and report energy statistics
@@ -44,6 +46,9 @@ COMMANDS:
              --queue-cap <N>           admission bound (default 1024)
              --workers <N>             batch-execution threads (default 1)
              --timeout-ms <N>          per-request deadline (default 2000)
+             --precision f64|f32       default execution precision for
+                                       untagged requests (default: the
+                                       checkpoint's storage precision)
              --problem tim|sk|maxcut|none  LocalEnergy hamiltonian
                                        (default tim; n from the model)
              --instance-seed <N>       (default 2021)
@@ -205,6 +210,12 @@ pub fn train(flags: &Flags) -> Result<(), String> {
         config.batch_size
     );
 
+    let save_precision = match flags.get("save-precision") {
+        None => vqmc::tensor::Precision::F64,
+        Some(s) => vqmc::tensor::Precision::parse(s)
+            .ok_or_else(|| format!("--save-precision wants f64|f32, got {s:?}"))?,
+    };
+
     // Dispatch over (model, sampler). Each arm owns its concrete types.
     let (final_energy, save): (f64, Box<dyn FnOnce(&str) -> Result<(), String>>) =
         match (model, sampler_name) {
@@ -216,7 +227,9 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 let wf = t.into_wavefunction();
                 (
                     trace.final_energy(),
-                    Box::new(move |p: &str| wf.save(p).map_err(|e| e.to_string())),
+                    Box::new(move |p: &str| {
+                        wf.save_with_precision(p, save_precision).map_err(|e| e.to_string())
+                    }),
                 )
             }
             ("made", "mcmc") => {
@@ -227,7 +240,9 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 let wf = t.into_wavefunction();
                 (
                     trace.final_energy(),
-                    Box::new(move |p: &str| wf.save(p).map_err(|e| e.to_string())),
+                    Box::new(move |p: &str| {
+                        wf.save_with_precision(p, save_precision).map_err(|e| e.to_string())
+                    }),
                 )
             }
             ("nade", "auto") => {
@@ -238,7 +253,9 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 let wf = t.into_wavefunction();
                 (
                     trace.final_energy(),
-                    Box::new(move |p: &str| wf.save(p).map_err(|e| e.to_string())),
+                    Box::new(move |p: &str| {
+                        wf.save_with_precision(p, save_precision).map_err(|e| e.to_string())
+                    }),
                 )
             }
             ("rbm", "mcmc") => {
@@ -249,7 +266,9 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 let wf = t.into_wavefunction();
                 (
                     trace.final_energy(),
-                    Box::new(move |p: &str| wf.save(p).map_err(|e| e.to_string())),
+                    Box::new(move |p: &str| {
+                        wf.save_with_precision(p, save_precision).map_err(|e| e.to_string())
+                    }),
                 )
             }
             ("rbm", "gibbs") => {
@@ -260,7 +279,9 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 let wf = t.into_wavefunction();
                 (
                     trace.final_energy(),
-                    Box::new(move |p: &str| wf.save(p).map_err(|e| e.to_string())),
+                    Box::new(move |p: &str| {
+                        wf.save_with_precision(p, save_precision).map_err(|e| e.to_string())
+                    }),
                 )
             }
             (m, s) => {
@@ -298,7 +319,7 @@ pub fn evaluate(flags: &Flags) -> Result<(), String> {
     let batch_size = get_usize(flags, "batch", 1024)?;
 
     // The file header's kind tag disambiguates the model type.
-    let model = load_any(path).map_err(|e| format!("{path}: {e}"))?;
+    let (model, _) = load_any(path).map_err(|e| format!("{path}: {e}"))?;
     if model.num_spins() != h.num_spins() {
         return Err(format!(
             "checkpoint has {} spins but the problem has {}",
@@ -343,7 +364,7 @@ pub fn sample(flags: &Flags) -> Result<(), String> {
         .get("checkpoint")
         .ok_or("sample needs --checkpoint <path>")?;
     let count = get_usize(flags, "count", 16)?;
-    let model = load_any(path).map_err(|e| format!("{path}: {e}"))?;
+    let (model, _) = load_any(path).map_err(|e| format!("{path}: {e}"))?;
     let out = sample_checkpoint(&model, count, get_u64(flags, "seed", 0)?);
     let (batch, log_psi) = (out.batch, out.log_psi);
     for s in 0..batch.batch_size() {
@@ -367,8 +388,16 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     let path = flags
         .get("checkpoint")
         .ok_or("serve needs --checkpoint <path>")?;
-    let model = load_any(path).map_err(|e| format!("{path}: {e}"))?;
+    let (model, ckpt_precision) = load_any(path).map_err(|e| format!("{path}: {e}"))?;
     let n = model.num_spins();
+
+    // Execution precision: defaults to the checkpoint's own storage
+    // precision, overridable with --precision.
+    let precision = match flags.get("precision") {
+        None => ckpt_precision,
+        Some(s) => vqmc::tensor::Precision::parse(s)
+            .ok_or_else(|| format!("--precision wants f64|f32, got {s:?}"))?,
+    };
 
     // The hamiltonian (for LocalEnergy requests) is built over the
     // model's own spin count — there is no --n here by design.
@@ -401,15 +430,17 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
         workers: get_usize(flags, "workers", 1)?,
         request_timeout: Duration::from_millis(get_u64(flags, "timeout-ms", 2000)?),
         base_seed: get_u64(flags, "seed", 0)?,
+        precision,
         ..ServeConfig::default()
     };
     let max_batch = config.batcher.max_batch;
 
     let server = Server::start(model, hamiltonian, config).map_err(|e| e.to_string())?;
     println!(
-        "serving {} ({} spins, max_batch {max_batch}) — listening on {}",
+        "serving {} ({} spins, max_batch {max_batch}, precision {}) — listening on {}",
         path,
         n,
+        precision.as_str(),
         server.local_addr()
     );
     use std::io::Write;
