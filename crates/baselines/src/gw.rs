@@ -55,7 +55,7 @@ pub fn hyperplane_round(
 /// increases the cut, until none exists.  A cheap polish pass used by
 /// the Burer–Monteiro baseline (the paper's BM rows dominate its GW
 /// rows by a similar margin).
-pub fn local_search_1opt(graph: &Graph, x: &mut Vec<u8>) -> usize {
+pub fn local_search_1opt(graph: &Graph, x: &mut [u8]) -> usize {
     let n = graph.num_vertices();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for &(a, b) in graph.edges() {

@@ -106,9 +106,9 @@ impl BurerMonteiro {
             iterations = it + 1;
             // Euclidean gradient of the *ascent* objective.
             let mut grad = Matrix::zeros(n, k);
-            for i in 0..n {
+            for (i, adj_i) in adj.iter().enumerate() {
                 let gi = grad.row_mut(i);
-                for &j in &adj[i] {
+                for &j in adj_i {
                     // Borrow discipline: copy neighbour row (k is small).
                     for (g, &vj) in gi.iter_mut().zip(v.row(j)) {
                         *g -= 0.5 * vj;

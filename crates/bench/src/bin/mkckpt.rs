@@ -19,6 +19,9 @@ FLAGS:
   --hidden <N>         hidden width (required)
   --seed <N>           weight init seed (default 1)
   --precision f64|f32  parameter storage width (default f64)
+  --mutate             derive a *different* model of the same shape
+                       (distinguishable logψ) — pairs with the base
+                       checkpoint for hot-reload tests
   --out <path>         checkpoint path (required)";
 
 fn main() {
@@ -33,6 +36,12 @@ fn main() {
         if name == "help" || name == "h" {
             println!("{USAGE}");
             return;
+        }
+        // Boolean flags take no value.
+        if name == "mutate" {
+            flags.insert(name.to_string(), "true".to_string());
+            i += 1;
+            continue;
         }
         let Some(value) = args.get(i + 1) else {
             eprintln!("flag --{name} is missing its value\n\n{USAGE}");
@@ -57,13 +66,21 @@ fn main() {
     });
     let out = req("out");
 
-    let model = Made::new(n, h, seed);
+    // --mutate perturbs the init seed deterministically, so the same
+    // invocation plus the flag yields a same-shape model whose logψ is
+    // distinguishable from the base — the "new weights" side of a
+    // hot-reload test.
+    let mutate = flags.contains_key("mutate");
+    let model_seed = if mutate { seed ^ 0x6d75_7461 } else { seed };
+
+    let model = Made::new(n, h, model_seed);
     model
         .save_with_precision(&out, precision)
         .expect("write checkpoint");
     let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     println!(
-        "wrote {out}: made n={n} h={h} seed={seed} precision={} ({bytes} bytes)",
+        "wrote {out}: made n={n} h={h} seed={model_seed}{} precision={} ({bytes} bytes)",
+        if mutate { " (mutated)" } else { "" },
         precision.as_str()
     );
 }

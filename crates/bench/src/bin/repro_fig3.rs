@@ -53,7 +53,7 @@ fn main() {
         let mbs = if scale.full {
             paper_mbs
         } else {
-            paper_mbs.min(64).max(1)
+            paper_mbs.clamp(1, 64)
         };
 
         let mut rows = Vec::new();

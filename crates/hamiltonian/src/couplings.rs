@@ -181,7 +181,7 @@ impl Couplings {
     /// Bytes of storage used by the backing (memory-model input).
     pub fn storage_bytes(&self) -> usize {
         match self {
-            Couplings::Dense(m) => m.as_slice().len() * std::mem::size_of::<f64>(),
+            Couplings::Dense(m) => std::mem::size_of_val(m.as_slice()),
             Couplings::SparseRows { rows } => rows
                 .iter()
                 .map(|r| r.len() * std::mem::size_of::<(usize, f64)>())

@@ -111,11 +111,11 @@ impl Graph {
     /// Standard Max-Cut benchmark family (e.g. the G-set graphs).
     pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
         assert!(d < n, "Graph::random_regular: degree must be < n");
-        assert!(n * d % 2 == 0, "Graph::random_regular: n·d must be even");
+        assert!((n * d).is_multiple_of(2), "Graph::random_regular: n·d must be even");
         let mut rng = StdRng::seed_from_u64(seed);
         'attempt: for _ in 0..200 {
             // Half-edge stubs, shuffled and paired.
-            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
             // Fisher-Yates.
             for i in (1..stubs.len()).rev() {
                 let j = rand::Rng::gen_range(&mut rng, 0..=i);
@@ -319,11 +319,10 @@ impl Qubo {
 
     /// Objective value for one configuration.
     pub fn value(&self, x: &[u8]) -> f64 {
-        let n = x.len();
         let mut acc = 0.0;
-        for i in 0..n {
-            if x[i] == 1 {
-                acc += self.linear[i];
+        for (&xi, &li) in x.iter().zip(self.linear.iter()) {
+            if xi == 1 {
+                acc += li;
             }
         }
         // Σ_{i<j} Q_ij x_i x_j — only pairs with both bits set count.
@@ -343,10 +342,10 @@ impl Qubo {
                 }
             }
             Couplings::Dense(m) => {
-                for i in 0..n {
-                    if x[i] == 1 {
-                        for j in (i + 1)..n {
-                            if x[j] == 1 {
+                for (i, &xi) in x.iter().enumerate() {
+                    if xi == 1 {
+                        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                            if xj == 1 {
                                 acc += m.get(i, j);
                             }
                         }

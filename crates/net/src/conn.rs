@@ -1,0 +1,172 @@
+//! Nonblocking connection state machine.
+//!
+//! A [`Connection`] wraps one nonblocking `TcpStream` and owns both
+//! directions of its framing state:
+//!
+//! * **inbound** — bytes are pulled until `WouldBlock` and pushed
+//!   through a [`FrameDecoder`](crate::FrameDecoder); complete payloads
+//!   surface via a callback,
+//! * **outbound** — replies are queued as fully-framed wire buffers
+//!   (length prefix prepended at queue time) and flushed with partial-
+//!   write tracking, so a reply interrupted mid-write by a full socket
+//!   buffer resumes at the exact byte where the kernel stopped.
+//!
+//! The connection never blocks and never spins: the event loop uses
+//! [`Connection::wants_write`] to decide whether to arm write
+//! readiness.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+
+use crate::decoder::{FrameDecoder, FrameError};
+
+/// What a read pass observed about the peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// The peer is still sending; more bytes may arrive later.
+    Open,
+    /// The peer closed its write half (clean EOF at a frame boundary,
+    /// or mid-frame — the caller can consult the decoder).
+    Eof,
+}
+
+/// One nonblocking framed TCP connection.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Outbound wire frames, front being flushed first.
+    out: VecDeque<Vec<u8>>,
+    /// Bytes of `out.front()` already accepted by the kernel.
+    out_pos: usize,
+    /// Total outbound bytes queued but not yet written.
+    out_bytes: usize,
+}
+
+impl Connection {
+    /// Adopts `stream`, switching it to nonblocking mode.
+    ///
+    /// `max_payload` bounds the inbound frame payload length (a prefix
+    /// beyond it poisons the connection).
+    pub fn new(stream: TcpStream, max_payload: usize) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        // Latency over throughput: replies are single small frames.
+        let _ = stream.set_nodelay(true);
+        Ok(Connection {
+            stream,
+            decoder: FrameDecoder::new(max_payload),
+            out: VecDeque::new(),
+            out_pos: 0,
+            out_bytes: 0,
+        })
+    }
+
+    /// The underlying socket fd (for poller registration).
+    pub fn raw_fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Reads until `WouldBlock` or EOF, invoking `on_frame` for every
+    /// complete payload.
+    ///
+    /// Framing violations ([`FrameError`]) are returned as
+    /// `InvalidData` errors; transport errors pass through.  Either
+    /// way the caller should drop the connection.
+    pub fn read_frames(
+        &mut self,
+        mut on_frame: impl FnMut(Vec<u8>),
+    ) -> io::Result<ReadStatus> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.drain_decoder(&mut on_frame)?;
+                    return Ok(ReadStatus::Eof);
+                }
+                Ok(n) => {
+                    self.decoder.extend(&chunk[..n]);
+                    self.drain_decoder(&mut on_frame)?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(ReadStatus::Open);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn drain_decoder(&mut self, on_frame: &mut impl FnMut(Vec<u8>)) -> io::Result<()> {
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(payload)) => on_frame(payload),
+                Ok(None) => return Ok(()),
+                Err(FrameError::Oversized { len, max }) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("inbound frame of {len} bytes exceeds limit {max}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Queues a reply payload, prepending the u32le length prefix.
+    pub fn queue_payload(&mut self, payload: &[u8]) {
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.out_bytes += frame.len();
+        self.out.push_back(frame);
+    }
+
+    /// Writes queued frames until done or `WouldBlock`; returns `true`
+    /// once the outbound queue is empty.
+    ///
+    /// A partial write leaves `out_pos` pointing at the first unsent
+    /// byte of the front frame — the next call resumes there, so a
+    /// reply is never truncated or duplicated across readiness cycles.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while let Some(front) = self.out.front() {
+            match self.stream.write(&front[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.out_bytes -= n;
+                    if self.out_pos == front.len() {
+                        self.out.pop_front();
+                        self.out_pos = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// `true` while queued reply bytes remain unflushed — the event
+    /// loop arms write readiness exactly when this holds.
+    pub fn wants_write(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// Queued-but-unwritten outbound bytes.
+    pub fn pending_out_bytes(&self) -> usize {
+        self.out_bytes
+    }
+
+    /// `true` when the inbound stream sits at a frame boundary (an EOF
+    /// here is a clean close, not a truncated request).
+    pub fn inbound_at_boundary(&self) -> bool {
+        self.decoder.at_boundary()
+    }
+}

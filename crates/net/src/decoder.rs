@@ -1,0 +1,160 @@
+//! Incremental decoder for length-prefixed frames.
+//!
+//! The blocking serve path reads frames with `read_exact` — it can
+//! park a thread mid-frame.  A readiness loop cannot: bytes arrive in
+//! arbitrary splits (a 1-byte read, a length prefix straddling two
+//! `read` calls, the tail of one frame glued to the head of the next),
+//! and the decoder must resume exactly where it left off.
+//! [`FrameDecoder`] owns that reassembly: feed it whatever the socket
+//! yields, pop complete frame payloads.  Property tests assert that
+//! any split of a frame stream reassembles bit-identically to the
+//! blocking `read_frame` path.
+//!
+//! Wire format (identical to `vqmc_serve::protocol`):
+//!
+//! ```text
+//! frame := u32le payload_len · payload
+//! ```
+
+/// A framing violation (fatal for the connection — the byte stream can
+/// no longer be trusted to contain frame boundaries).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds the configured ceiling.
+    Oversized {
+        /// The length the prefix claimed.
+        len: usize,
+        /// The configured maximum payload length.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds limit {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reassembles length-prefixed frames from an arbitrarily-split byte
+/// stream.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    /// Unparsed bytes; `pos..` is live, `..pos` already consumed.
+    buf: Vec<u8>,
+    pos: usize,
+    max_payload: usize,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with the given payload-length ceiling.
+    pub fn new(max_payload: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_payload,
+        }
+    }
+
+    /// Appends newly-received bytes (any split is fine, including one
+    /// byte at a time).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: consumed prefix space is reused so
+        // steady-state traffic does not creep the buffer.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame payload, `None` while the buffered
+    /// bytes end mid-frame, or a [`FrameError`] when the stream is
+    /// unrecoverably malformed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let live = &self.buf[self.pos..];
+        if live.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(live[..4].try_into().expect("4-byte slice")) as usize;
+        if len > self.max_payload {
+            return Err(FrameError::Oversized {
+                len,
+                max: self.max_payload,
+            });
+        }
+        if live.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = live[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(payload))
+    }
+
+    /// Number of buffered-but-unparsed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when the stream sits exactly at a frame boundary — the
+    /// state in which an EOF is clean rather than a truncation.
+    pub fn at_boundary(&self) -> bool {
+        self.buffered() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut w = Vec::new();
+        for p in payloads {
+            w.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            w.extend_from_slice(p);
+        }
+        w
+    }
+
+    #[test]
+    fn single_byte_feeds_reassemble() {
+        let stream = wire(&[b"hello", b"", b"worlds!"]);
+        let mut d = FrameDecoder::new(1024);
+        let mut out = Vec::new();
+        for &b in &stream {
+            d.extend(&[b]);
+            while let Some(f) = d.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, vec![b"hello".to_vec(), b"".to_vec(), b"worlds!".to_vec()]);
+        assert!(d.at_boundary());
+    }
+
+    #[test]
+    fn oversized_prefix_is_fatal() {
+        let mut d = FrameDecoder::new(8);
+        d.extend(&9u32.to_le_bytes());
+        assert_eq!(
+            d.next_frame(),
+            Err(FrameError::Oversized { len: 9, max: 8 })
+        );
+    }
+
+    #[test]
+    fn mid_frame_is_not_a_boundary() {
+        let stream = wire(&[b"abcdef"]);
+        let mut d = FrameDecoder::new(1024);
+        d.extend(&stream[..7]);
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert!(!d.at_boundary());
+        d.extend(&stream[7..]);
+        assert_eq!(d.next_frame().unwrap(), Some(b"abcdef".to_vec()));
+        assert!(d.at_boundary());
+    }
+}

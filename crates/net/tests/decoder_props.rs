@@ -1,0 +1,161 @@
+//! Property tests for the incremental frame decoder (the satellite
+//! contract from the serving issue):
+//!
+//! 1. **Arbitrary-split reassembly.**  A stream of frames cut at
+//!    random byte boundaries — 1-byte reads, length prefixes straddling
+//!    two reads, a frame's last byte split off — must decode to exactly
+//!    the payload sequence a blocking `read_exact` loop produces, bit
+//!    for bit.
+//! 2. **Boundary tracking.**  After the final byte the decoder sits at
+//!    a frame boundary iff the stream ends on one (an EOF mid-frame is
+//!    distinguishable from a clean close).
+//! 3. **Oversized prefixes are fatal** no matter how the bytes were
+//!    split, and are detected from the prefix alone (before the
+//!    payload arrives).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vqmc_net::FrameDecoder;
+
+/// Blocking reference: the `read_frame` contract from
+/// `vqmc_serve::protocol`, restated over an in-memory buffer.
+fn blocking_decode(mut wire: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    while wire.len() >= 4 {
+        let len = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        if wire.len() < 4 + len {
+            break;
+        }
+        frames.push(wire[4..4 + len].to_vec());
+        wire = &wire[4 + len..];
+    }
+    frames
+}
+
+/// Deterministic frame stream: `n` frames with payload lengths drawn
+/// from a distribution that stresses the interesting sizes (empty, 1
+/// byte, a few hundred bytes, multi-KiB).
+fn gen_wire(rng: &mut StdRng, n: usize) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let mut wire = Vec::new();
+    let mut payloads = Vec::new();
+    for _ in 0..n {
+        let len = match rng.gen_range(0..4u32) {
+            0 => 0,
+            1 => rng.gen_range(1..8usize),
+            2 => rng.gen_range(8..512usize),
+            _ => rng.gen_range(512..4096usize),
+        };
+        let payload: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        payloads.push(payload);
+    }
+    (wire, payloads)
+}
+
+/// Splits `wire` into random chunks (1 byte up to `max_chunk`).
+fn random_chunks(rng: &mut StdRng, wire: &[u8], max_chunk: usize) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::new();
+    let mut pos = 0;
+    while pos < wire.len() {
+        let take = rng.gen_range(1..=max_chunk.min(wire.len() - pos));
+        chunks.push(wire[pos..pos + take].to_vec());
+        pos += take;
+    }
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any chunking of a valid frame stream reassembles bit-identically
+    /// to the blocking reference decoder.
+    #[test]
+    fn arbitrary_splits_match_blocking_path(
+        seed in 0u64..1u64 << 48,
+        n_frames in 1usize..12,
+        max_chunk in 1usize..64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (wire, payloads) = gen_wire(&mut rng, n_frames);
+        let reference = blocking_decode(&wire);
+        prop_assert_eq!(&reference, &payloads, "reference decoder sanity");
+
+        let mut decoder = FrameDecoder::new(1 << 20);
+        let mut out = Vec::new();
+        for chunk in random_chunks(&mut rng, &wire, max_chunk) {
+            decoder.extend(&chunk);
+            while let Some(frame) = decoder.next_frame().expect("valid stream") {
+                out.push(frame);
+            }
+        }
+        prop_assert_eq!(&out, &payloads, "incremental != blocking");
+        prop_assert!(decoder.at_boundary());
+    }
+
+    /// Truncating the stream mid-frame yields exactly the complete
+    /// frames and reports a non-boundary (dirty EOF) state.
+    #[test]
+    fn truncation_mid_frame_is_detected(
+        seed in 0u64..1u64 << 48,
+        n_frames in 1usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (wire, payloads) = gen_wire(&mut rng, n_frames);
+        // Cut strictly inside the last frame (possibly inside its
+        // length prefix).
+        let last_start = wire.len() - (payloads.last().unwrap().len() + 4);
+        let cut = rng.gen_range(last_start + 1..wire.len());
+        let truncated = &wire[..cut];
+
+        let mut decoder = FrameDecoder::new(1 << 20);
+        let mut out = Vec::new();
+        for chunk in random_chunks(&mut rng, truncated, 16) {
+            decoder.extend(&chunk);
+            while let Some(frame) = decoder.next_frame().expect("valid prefix") {
+                out.push(frame);
+            }
+        }
+        prop_assert_eq!(&out[..], &payloads[..n_frames - 1], "complete frames only");
+        prop_assert!(!decoder.at_boundary(), "mid-frame EOF must be dirty");
+    }
+
+    /// An oversized length prefix is rejected as soon as the 4 prefix
+    /// bytes are in, regardless of chunking, and regardless of how
+    /// many valid frames preceded it.
+    #[test]
+    fn oversized_prefix_rejected_under_any_split(
+        seed in 0u64..1u64 << 48,
+        n_valid in 0usize..5,
+        excess in 1u64..1u64 << 20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_payload = 4096usize;
+        let (mut wire, payloads) = gen_wire(&mut rng, n_valid);
+        let bad_len = (max_payload as u64 + excess).min(u32::MAX as u64) as u32;
+        wire.extend_from_slice(&bad_len.to_le_bytes());
+
+        let mut decoder = FrameDecoder::new(max_payload);
+        let mut out = Vec::new();
+        let mut poisoned = false;
+        for chunk in random_chunks(&mut rng, &wire, 16) {
+            decoder.extend(&chunk);
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(frame)) => out.push(frame),
+                    Ok(None) => break,
+                    Err(_) => {
+                        poisoned = true;
+                        break;
+                    }
+                }
+            }
+            if poisoned {
+                break;
+            }
+        }
+        prop_assert!(poisoned, "oversized prefix must poison the stream");
+        prop_assert_eq!(&out, &payloads, "frames before the poison still decode");
+    }
+}

@@ -409,9 +409,8 @@ impl Made {
             // into the columns where the input bit is set (mask entries
             // are already zero in w2/w1 gradient positions via δ=0?
             // No: mask must be applied explicitly).
-            for k in 0..h {
+            for (k, &dz) in delta_z_row.iter().enumerate() {
                 let base = k * n;
-                let dz = delta_z_row[k];
                 if dz != 0.0 {
                     let mrow = self.mask1.row(k);
                     for d2 in 0..n {
@@ -424,9 +423,8 @@ impl Made {
             let off_b1 = h * n;
             row[off_b1..off_b1 + h].copy_from_slice(delta_z_row);
             let off_w2 = off_b1 + h;
-            for i in 0..n {
+            for (i, &da) in delta_a_row.iter().enumerate() {
                 let base = off_w2 + i * h;
-                let da = delta_a_row[i];
                 if da != 0.0 {
                     let mrow = self.mask2.row(i);
                     for k in 0..h {

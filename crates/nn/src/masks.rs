@@ -35,7 +35,7 @@ pub fn hidden_degrees(n: usize, h: usize) -> Vec<usize> {
 /// Hidden-layer mask `M¹ (h×n)`: unit `k` sees inputs `0..m(k)`.
 pub fn input_mask(n: usize, degrees: &[usize]) -> Matrix {
     Matrix::from_fn(degrees.len(), n, |k, d| {
-        if degrees[k] >= d + 1 {
+        if degrees[k] > d {
             1.0
         } else {
             0.0

@@ -98,13 +98,13 @@ impl Nade {
     fn scan(&self, x: &[u8], mut visit: impl FnMut(usize, &[f64], f64)) {
         let mut a: Vec<f64> = self.b.as_slice().to_vec();
         let mut hidden = vec![0.0; self.h];
-        for i in 0..self.n {
+        for (i, &xi) in x.iter().enumerate() {
             for (hk, &ak) in hidden.iter_mut().zip(&a) {
                 *hk = ops::sigmoid(ak);
             }
             let logit = vqmc_tensor::vector::dot(self.v.row(i), &hidden) + self.c[i];
             visit(i, &hidden, logit);
-            if x[i] == 1 {
+            if xi == 1 {
                 vqmc_tensor::vector::axpy(&mut a, 1.0, self.w_t.row(i));
             }
         }
@@ -211,8 +211,8 @@ impl WaveFunction for Nade {
                 // dW for column i: uses the suffix accumulated from
                 // sites > i.
                 if x[i] == 1 {
-                    for k in 0..h {
-                        dw.set(k, i, dw.get(k, i) + suffix[k]);
+                    for (k, &sk) in suffix.iter().enumerate() {
+                        dw.set(k, i, dw.get(k, i) + sk);
                     }
                 }
                 for k in 0..h {

@@ -212,12 +212,12 @@ impl WaveFunction for Rbm {
             ops::tanh_slice(&mut tanh_z);
             let row = rows.row_mut(s);
             // dW[j,k] = tanh(z_j)·x_k.
-            for j in 0..h {
-                if tanh_z[j] != 0.0 {
+            for (j, &tz) in tanh_z.iter().enumerate() {
+                if tz != 0.0 {
                     let base = j * n;
                     for k in 0..n {
                         if x_row[k] != 0.0 {
-                            row[base + k] = tanh_z[j] * x_row[k];
+                            row[base + k] = tz * x_row[k];
                         }
                     }
                 }

@@ -335,7 +335,7 @@ impl MadeBatchSampler {
             for w in 0..parts {
                 let (start, end) = stripe(w);
                 for &bj in m32.b1() {
-                    z1t32.extend(std::iter::repeat(bj).take(end - start));
+                    z1t32.extend(std::iter::repeat_n(bj, end - start));
                 }
             }
             prev_mask32.clear();
@@ -494,7 +494,7 @@ impl MadeBatchSampler {
             for w in 0..parts {
                 let (start, end) = stripe(w);
                 for &bj in b1.as_slice() {
-                    z1t.extend(std::iter::repeat(bj).take(end - start));
+                    z1t.extend(std::iter::repeat_n(bj, end - start));
                 }
             }
             prev_mask.clear();

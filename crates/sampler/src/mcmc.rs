@@ -142,7 +142,7 @@ impl McmcSampler {
             stats.configurations_evaluated += c;
             step += 1;
 
-            if step > k && (step - k) % j == 0 {
+            if step > k && (step - k).is_multiple_of(j) {
                 for chain in 0..c {
                     if collected == batch_size {
                         break;
@@ -206,7 +206,7 @@ impl<W: WaveFunction + ?Sized> Sampler<W> for McmcSampler {
             }
             step += 1;
 
-            if step > k && (step - k) % j == 0 {
+            if step > k && (step - k).is_multiple_of(j) {
                 for chain in 0..c {
                     if collected == batch_size {
                         break;

@@ -172,7 +172,7 @@ impl<W: WaveFunction + ?Sized> Sampler<W> for TemperingSampler {
                              sweep: &mut usize| {
             Self::metropolis_step(wf, replicas, log_psi, betas, rng, stats);
             *sweep += 1;
-            if *sweep % self.config.swap_interval == 0 {
+            if sweep.is_multiple_of(self.config.swap_interval) {
                 Self::swap_step(
                     replicas,
                     log_psi,

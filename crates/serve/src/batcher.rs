@@ -34,24 +34,67 @@ use std::time::{Duration, Instant};
 
 use crate::protocol::{Request, Response};
 
+/// Single-use reply path back to whoever admitted the request.
+///
+/// The two runtimes answer differently — the thread-per-connection
+/// handler blocks on an `mpsc` channel, the epoll runtime posts the
+/// encoded reply into an event loop's completion queue — so the
+/// batcher and engine only see this closure.  Stats recording wraps
+/// here too, transparently to the execution layer.
+pub struct ReplySink(Box<dyn FnOnce(Response) + Send>);
+
+impl ReplySink {
+    /// Wraps an arbitrary single-use reply delivery.
+    pub fn new(f: impl FnOnce(Response) + Send + 'static) -> Self {
+        ReplySink(Box::new(f))
+    }
+
+    /// A channel-backed sink plus its receiver (the blocking runtime
+    /// and the in-process tests).
+    pub fn channel() -> (Self, std::sync::mpsc::Receiver<Response>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (ReplySink::from(tx), rx)
+    }
+
+    /// Delivers the reply, consuming the sink.
+    pub fn send(self, response: Response) {
+        (self.0)(response)
+    }
+}
+
+impl From<std::sync::mpsc::Sender<Response>> for ReplySink {
+    /// A hung-up receiver (client vanished while queued) is ignored —
+    /// there is nobody left to answer.
+    fn from(tx: std::sync::mpsc::Sender<Response>) -> Self {
+        ReplySink::new(move |r| {
+            let _ = tx.send(r);
+        })
+    }
+}
+
+impl std::fmt::Debug for ReplySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ReplySink(..)")
+    }
+}
+
 /// One queued request plus everything needed to answer it.
 #[derive(Debug)]
 pub struct WorkItem {
     /// The decoded request (never `Ping`/`Shutdown` — those are handled
     /// inline by the connection handler).
     pub request: Request,
-    /// Single-use reply channel back to the connection handler.
-    pub reply: std::sync::mpsc::Sender<Response>,
+    /// Single-use reply path back to the admitting runtime.
+    pub reply: ReplySink,
     /// Absolute deadline; items drained past it are answered with
     /// `DeadlineExceeded` instead of being executed.
     pub deadline: Instant,
 }
 
 impl WorkItem {
-    /// Sends the reply, ignoring a receiver that has already hung up
-    /// (client disconnected while queued — nothing left to do).
+    /// Delivers the reply for this item.
     pub fn respond(self, response: Response) {
-        let _ = self.reply.send(response);
+        self.reply.send(response);
     }
 }
 
@@ -203,7 +246,7 @@ mod tests {
     use std::sync::Arc;
 
     fn item() -> (WorkItem, mpsc::Receiver<Response>) {
-        let (tx, rx) = mpsc::channel();
+        let (sink, rx) = ReplySink::channel();
         (
             WorkItem {
                 request: Request::Sample {
@@ -211,7 +254,7 @@ mod tests {
                     seed: Some(0),
                     precision: None,
                 },
-                reply: tx,
+                reply: sink,
                 deadline: Instant::now() + Duration::from_secs(5),
             },
             rx,

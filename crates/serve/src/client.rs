@@ -179,6 +179,26 @@ impl Client {
         }
     }
 
+    /// Fetches a point-in-time server statistics snapshot.
+    pub fn stats(&mut self) -> Result<crate::protocol::StatsSnapshot, ClientError> {
+        match Self::expect_ok(self.call(&Request::Stats)?)? {
+            Response::StatsReport(s) => Ok(*s),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Stats"))),
+        }
+    }
+
+    /// Asks the server to hot-swap its checkpoint for the one at
+    /// `path` (a server-side path).  In-flight and concurrent requests
+    /// are unaffected; each batch runs entirely on old or new weights.
+    pub fn reload(&mut self, path: &str) -> Result<(), ClientError> {
+        match Self::expect_ok(self.call(&Request::Reload {
+            path: path.to_string(),
+        })?)? {
+            Response::ReloadAck => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Reload"))),
+        }
+    }
+
     /// Requests the graceful drain; returns once the server acks.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match Self::expect_ok(self.call(&Request::Shutdown)?)? {

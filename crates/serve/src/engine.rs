@@ -22,7 +22,8 @@
 //!   back to per-request MCMC chains (inherently sequential per chain);
 //!   the batcher still amortises queue wake-ups.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use vqmc_hamiltonian::{
@@ -38,11 +39,56 @@ use crate::protocol::{ErrorCode, Request, Response};
 
 pub use vqmc_sampler::SampleRequest;
 
+/// The hot-swappable model reference shared by every engine replica.
+///
+/// A checkpoint reload builds the new [`AnyModel`] off to the side,
+/// then [`ModelSlot::swap`]s the `Arc` in — a pointer store under a
+/// short write lock.  Engines re-read the slot at the *start of each
+/// drained batch*, so a batch executes entirely against one model
+/// (never a mix), requests already admitted run old or new weights
+/// atomically, and nothing is dropped or drained during the swap.
+pub struct ModelSlot {
+    current: RwLock<Arc<AnyModel>>,
+    /// Bumped on every swap; lets engines detect a pending swap with a
+    /// relaxed load before touching the lock.
+    version: AtomicU64,
+}
+
+impl ModelSlot {
+    /// A slot serving `model`.
+    pub fn new(model: Arc<AnyModel>) -> Self {
+        ModelSlot {
+            current: RwLock::new(model),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently-served model.
+    pub fn get(&self) -> Arc<AnyModel> {
+        Arc::clone(&self.current.read().expect("model slot poisoned"))
+    }
+
+    /// Atomically replaces the served model.
+    pub fn swap(&self, model: Arc<AnyModel>) {
+        *self.current.write().expect("model slot poisoned") = model;
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Number of swaps so far.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
 /// Per-worker execution state: the shared read-only model plus all the
 /// scratch the batched passes need (reused across batches, so the
 /// steady state stays allocation-quiet like the training loop).
 pub struct Engine {
+    slot: Arc<ModelSlot>,
+    /// Snapshot of the slot taken at the last batch boundary.
     model: Arc<AnyModel>,
+    /// Slot version the snapshot corresponds to.
+    model_version: u64,
     hamiltonian: Option<Arc<dyn SparseRowHamiltonian>>,
     le_config: LocalEnergyConfig,
     ws: Workspace,
@@ -62,12 +108,26 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// A fresh engine over a loaded model (one per worker thread).
+    /// A fresh engine over a fixed model (one per worker thread); the
+    /// model is wrapped in a private [`ModelSlot`], so this engine
+    /// never observes a reload.  Use [`Engine::with_slot`] to share a
+    /// hot-swappable slot across replicas.
     pub fn new(
         model: Arc<AnyModel>,
         hamiltonian: Option<Arc<dyn SparseRowHamiltonian>>,
         le_config: LocalEnergyConfig,
     ) -> Self {
+        Engine::with_slot(Arc::new(ModelSlot::new(model)), hamiltonian, le_config)
+    }
+
+    /// An engine replica over a shared hot-swappable [`ModelSlot`].
+    pub fn with_slot(
+        slot: Arc<ModelSlot>,
+        hamiltonian: Option<Arc<dyn SparseRowHamiltonian>>,
+        le_config: LocalEnergyConfig,
+    ) -> Self {
+        let model = slot.get();
+        let model_version = slot.version();
         if let Some(h) = &hamiltonian {
             assert_eq!(
                 h.num_spins(),
@@ -76,7 +136,9 @@ impl Engine {
             );
         }
         Engine {
+            slot,
             model,
+            model_version,
             hamiltonian,
             le_config,
             ws: Workspace::new(),
@@ -93,9 +155,21 @@ impl Engine {
         }
     }
 
-    /// The served model.
+    /// The served model (as of the last batch boundary).
     pub fn model(&self) -> &AnyModel {
         &self.model
+    }
+
+    /// Re-reads the shared slot at a batch boundary.  On a swap the
+    /// cached f32 forward weights are invalidated — they were derived
+    /// from the old model's parameters.
+    fn refresh_model(&mut self) {
+        let v = self.slot.version();
+        if v != self.model_version {
+            self.model = self.slot.get();
+            self.model_version = v;
+            self.m32_fwd = None;
+        }
     }
 
     /// Executes one drained batch: groups by (operation, execution
@@ -106,6 +180,7 @@ impl Engine {
     /// at admission, so `None` here only appears for items injected by
     /// in-process tests and means f64.
     pub fn execute(&mut self, items: Vec<WorkItem>) {
+        self.refresh_model();
         let now = Instant::now();
         // Index 0 = f64 (tag 0), index 1 = f32 (tag 1).
         let mut log_psi_items = [Vec::new(), Vec::new()];
@@ -430,7 +505,7 @@ mod tests {
                     batch: b1.clone(),
                     precision: None,
                 },
-                reply: tx1,
+                reply: tx1.into(),
                 deadline,
             },
             WorkItem {
@@ -438,7 +513,7 @@ mod tests {
                     batch: b2.clone(),
                     precision: None,
                 },
-                reply: tx2,
+                reply: tx2.into(),
                 deadline,
             },
         ]);
@@ -465,7 +540,7 @@ mod tests {
                 batch: SpinBatch::zeros(2, 5),
                 precision: None,
             },
-            reply: tx,
+            reply: tx.into(),
             deadline: Instant::now() + std::time::Duration::from_secs(5),
         }]);
         match rx.recv().unwrap() {
@@ -484,7 +559,7 @@ mod tests {
                 seed: Some(1),
                 precision: None,
             },
-            reply: tx,
+            reply: tx.into(),
             deadline: Instant::now() - std::time::Duration::from_millis(1),
         }]);
         match rx.recv().unwrap() {
@@ -528,7 +603,7 @@ mod tests {
                     batch: batch.clone(),
                     precision: Some(Precision::F64),
                 },
-                reply: tx64,
+                reply: tx64.into(),
                 deadline,
             },
             WorkItem {
@@ -536,7 +611,7 @@ mod tests {
                     batch: batch.clone(),
                     precision: Some(Precision::F32),
                 },
-                reply: tx32,
+                reply: tx32.into(),
                 deadline,
             },
         ]);

@@ -12,25 +12,29 @@
 //! ## Architecture
 //!
 //! ```text
-//!  clients ──TCP──▶ connection handlers ──▶ [ dynamic batcher ] ──▶ workers (Engine)
-//!                    (frame decode,           bounded queue,          one coalesced
-//!                     validation,             coalesce ≤ max_batch    SIMD pass per
-//!                     inline Ping)            or max_wait_us)         drained batch
+//!  clients ──TCP──▶ event loops (epoll) ──▶ [ dynamic batcher ] ──▶ engine replicas
+//!                    nonblocking accept/      bounded queue,          N workers, one
+//!                    read/write, frame        graduated admission,    coalesced SIMD
+//!                    reassembly, in-order     coalesce ≤ max_batch    pass per batch,
+//!                    pipelined replies        or max_wait_us          shared ModelSlot
 //! ```
 //!
 //! * [`protocol`] — length-prefixed binary frames: `Ping`, `Sample`,
-//!   `LogPsi`, `LocalEnergy`, `Shutdown`.
+//!   `LogPsi`, `LocalEnergy`, `Shutdown`, `Reload`, `Stats`.
 //! * [`batcher`] — the coalescing bounded queue: admission control
 //!   (`Overloaded` instead of OOM), deadline propagation, graceful
-//!   drain.
-//! * [`engine`] — batched execution over a loaded checkpoint
-//!   ([`vqmc_nn::checkpoint::AnyModel`]); coalesced replies are
-//!   **bit-identical** to the single-request path (property-tested),
-//!   including `Sample`, which draws each request's bits from its own
-//!   seeded RNG stream inside one combined incremental AUTO pass.
-//! * [`server`] — the TCP front end: accept loop, per-connection
-//!   handlers, worker pool, drain-on-`Shutdown`.
+//!   drain; replies travel through runtime-agnostic [`ReplySink`]s.
+//! * [`engine`] — batched execution over a hot-swappable checkpoint
+//!   slot ([`ModelSlot`]); coalesced replies are **bit-identical** to
+//!   the single-request path (property-tested), including `Sample`,
+//!   which draws each request's bits from its own seeded RNG stream
+//!   inside one combined incremental AUTO pass.
+//! * [`server`] — the TCP front end: the default nonblocking epoll
+//!   runtime (`vqmc-net` event loops + completion queues) and the
+//!   thread-per-connection baseline, both feeding the same batcher;
+//!   graduated admission, atomic checkpoint hot-reload, live stats.
 //! * [`client`] — a blocking client (integration tests, `vqmc-loadgen`).
+//! * [`stats`] — lock-free serving counters behind the `Stats` frame.
 
 #![warn(missing_docs)]
 
@@ -39,9 +43,11 @@ pub mod client;
 pub mod engine;
 pub mod protocol;
 pub mod server;
+pub mod stats;
 
-pub use batcher::{Batcher, BatcherConfig, PushError, WorkItem};
+pub use batcher::{Batcher, BatcherConfig, PushError, ReplySink, WorkItem};
 pub use client::{Client, ClientError};
-pub use engine::{Engine, SampleRequest};
-pub use protocol::{ErrorCode, Request, Response};
-pub use server::{ServeConfig, Server};
+pub use engine::{Engine, ModelSlot, SampleRequest};
+pub use protocol::{ErrorCode, OpLatency, Request, Response, StatsSnapshot};
+pub use server::{AdmissionTier, Runtime, ServeConfig, Server};
+pub use stats::{ServerStats, StatOp};

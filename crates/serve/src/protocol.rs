@@ -19,6 +19,8 @@
 //! | `0x03` | `LogPsi` | `u32 bs · u32 n · bs·n spin bytes · [u8 precision]` |
 //! | `0x04` | `LocalEnergy` | `u32 bs · u32 n · bs·n spin bytes · [u8 precision]` |
 //! | `0x05` | `Shutdown` | — |
+//! | `0x06` | `Reload` | `u16 path_len · path bytes (UTF-8)` |
+//! | `0x07` | `Stats` | — |
 //!
 //! `[u8 precision]` is an **optional trailing byte** on the batchable
 //! requests: absent (the pre-precision frame layout, and what encoding
@@ -35,6 +37,8 @@
 //! | `0x82` | `Samples` | `u32 count · u32 n · count·n spin bytes · count f64 logψ` |
 //! | `0x83` | `Values` | `u32 len · len f64` |
 //! | `0x84` | `ShutdownAck` | — |
+//! | `0x85` | `StatsReport` | fixed-layout counters + histograms (see [`StatsSnapshot`]) |
+//! | `0x86` | `ReloadAck` | — |
 //! | `0xEF` | `Error` | `u8 code · u16 msg_len · msg bytes` |
 //!
 //! Unknown opcodes, oversized frames and truncated bodies are decode
@@ -87,6 +91,17 @@ pub enum Request {
     /// Begin graceful drain: queued work completes, new work is
     /// refused, then the server exits.
     Shutdown,
+    /// Atomically swap the served model for the checkpoint at `path`
+    /// (same model kind and spin count required).  In-flight and
+    /// concurrent requests are never dropped: each one executes
+    /// against either the old or the new weights, atomically.
+    Reload {
+        /// Server-side filesystem path of the checkpoint to load.
+        path: String,
+    },
+    /// Fetch live serving statistics (queue depth, admission tier,
+    /// latency percentiles, batch occupancy).
+    Stats,
 }
 
 /// Error codes carried by [`Response::Error`].
@@ -139,6 +154,12 @@ pub enum Response {
     Values(Vector),
     /// Reply to [`Request::Shutdown`].
     ShutdownAck,
+    /// Reply to [`Request::Stats`].  Boxed: the fixed-layout snapshot
+    /// is ~50× the size of the other variants.
+    StatsReport(Box<StatsSnapshot>),
+    /// Reply to [`Request::Reload`]: the swap is complete and every
+    /// request admitted from now on runs the new weights.
+    ReloadAck,
     /// Any failure; the connection remains usable.
     Error {
         /// Machine-readable failure class.
@@ -156,6 +177,60 @@ impl Response {
             message: message.into(),
         }
     }
+}
+
+/// Batchable operations tracked by the stats, in wire order:
+/// `Sample`, `LogPsi`, `LocalEnergy`.
+pub const STATS_OPS: usize = 3;
+
+/// Precision arms tracked by the stats, in wire order: f64, f32.
+pub const STATS_PRECISIONS: usize = 2;
+
+/// Batch-occupancy histogram buckets: log2-spaced upper edges
+/// 1, 2, 4, 8, 16, 32, and 64-or-more items per drained batch.
+pub const OCCUPANCY_BUCKETS: usize = 7;
+
+/// Latency summary for one (operation, precision) arm, microseconds
+/// measured from admission to reply.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpLatency {
+    /// Requests answered on this arm.
+    pub count: u64,
+    /// Sum of latencies (for the mean).
+    pub sum_us: u64,
+    /// 50th-percentile latency (log-bucket upper edge).
+    pub p50_us: u64,
+    /// 95th-percentile latency (log-bucket upper edge).
+    pub p95_us: u64,
+    /// 99th-percentile latency (log-bucket upper edge).
+    pub p99_us: u64,
+}
+
+/// One point-in-time view of the serving counters, carried by
+/// [`Response::StatsReport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the batcher since startup.
+    pub accepted: u64,
+    /// Requests shed by the graduated admission tier (load-shedding of
+    /// expensive operations before full saturation).
+    pub shed: u64,
+    /// Requests refused outright (queue saturated).
+    pub refused: u64,
+    /// Completed checkpoint hot-reloads.
+    pub reloads: u64,
+    /// Items in the admission queue right now.
+    pub queue_depth: u32,
+    /// Open client connections right now.
+    pub connections: u32,
+    /// Current admission tier: 0 = accept, 1 = shedding
+    /// `LocalEnergy`, 2 = saturated.
+    pub tier: u8,
+    /// Per-op (`Sample`, `LogPsi`, `LocalEnergy`), per-precision
+    /// (f64, f32) latency summaries.
+    pub latency: [[OpLatency; STATS_PRECISIONS]; STATS_OPS],
+    /// Drained-batch size histogram (log2 buckets: 1, 2, 4, …, ≥64).
+    pub occupancy: [u64; OCCUPANCY_BUCKETS],
 }
 
 /// A malformed payload (distinct from transport-level `io::Error`).
@@ -319,6 +394,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_precision(&mut buf, *precision);
         }
         Request::Shutdown => buf.push(0x05),
+        Request::Reload { path } => {
+            buf.push(0x06);
+            let p = &path.as_bytes()[..path.len().min(u16::MAX as usize)];
+            buf.extend_from_slice(&(p.len() as u16).to_le_bytes());
+            buf.extend_from_slice(p);
+        }
+        Request::Stats => buf.push(0x07),
     }
     buf
 }
@@ -353,6 +435,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
             precision: get_precision(&mut c)?,
         },
         0x05 => Request::Shutdown,
+        0x06 => {
+            let path_len = c.u16()? as usize;
+            let path = String::from_utf8(c.bytes(path_len)?.to_vec())
+                .map_err(|_| de("reload path is not UTF-8"))?;
+            Request::Reload { path }
+        }
+        0x07 => Request::Stats,
         other => return Err(de(format!("unknown request opcode {other:#04x}"))),
     };
     c.finish()?;
@@ -380,6 +469,29 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_f64s(&mut buf, vals.as_slice());
         }
         Response::ShutdownAck => buf.push(0x84),
+        Response::StatsReport(s) => {
+            buf.push(0x85);
+            put_u64(&mut buf, s.accepted);
+            put_u64(&mut buf, s.shed);
+            put_u64(&mut buf, s.refused);
+            put_u64(&mut buf, s.reloads);
+            put_u32(&mut buf, s.queue_depth);
+            put_u32(&mut buf, s.connections);
+            buf.push(s.tier);
+            for op in &s.latency {
+                for arm in op {
+                    put_u64(&mut buf, arm.count);
+                    put_u64(&mut buf, arm.sum_us);
+                    put_u64(&mut buf, arm.p50_us);
+                    put_u64(&mut buf, arm.p95_us);
+                    put_u64(&mut buf, arm.p99_us);
+                }
+            }
+            for &b in &s.occupancy {
+                put_u64(&mut buf, b);
+            }
+        }
+        Response::ReloadAck => buf.push(0x86),
         Response::Error { code, message } => {
             buf.push(0xEF);
             buf.push(*code as u8);
@@ -413,6 +525,34 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             Response::Values(get_f64s(&mut c, len)?)
         }
         0x84 => Response::ShutdownAck,
+        0x85 => {
+            let mut s = StatsSnapshot {
+                accepted: c.u64()?,
+                shed: c.u64()?,
+                refused: c.u64()?,
+                reloads: c.u64()?,
+                queue_depth: c.u32()?,
+                connections: c.u32()?,
+                tier: c.u8()?,
+                ..StatsSnapshot::default()
+            };
+            for op in &mut s.latency {
+                for arm in op.iter_mut() {
+                    *arm = OpLatency {
+                        count: c.u64()?,
+                        sum_us: c.u64()?,
+                        p50_us: c.u64()?,
+                        p95_us: c.u64()?,
+                        p99_us: c.u64()?,
+                    };
+                }
+            }
+            for b in &mut s.occupancy {
+                *b = c.u64()?;
+            }
+            Response::StatsReport(Box::new(s))
+        }
+        0x86 => Response::ReloadAck,
         0xEF => {
             let code = ErrorCode::from_u8(c.u8()?).ok_or_else(|| de("unknown error code"))?;
             let msg_len = c.u16()? as usize;
@@ -497,6 +637,10 @@ mod tests {
                 precision: Some(Precision::F64),
             },
             Request::Shutdown,
+            Request::Reload {
+                path: "/tmp/ckpt-v2.vqmc".into(),
+            },
+            Request::Stats,
         ];
         for req in reqs {
             let payload = encode_request(&req);
@@ -543,6 +687,28 @@ mod tests {
             },
             Response::Values(Vector::from_fn(7, |i| i as f64 * 1.5 - 3.0)),
             Response::ShutdownAck,
+            Response::ReloadAck,
+            Response::StatsReport(Box::new({
+                let mut s = StatsSnapshot {
+                    accepted: 1000,
+                    shed: 17,
+                    refused: 3,
+                    reloads: 2,
+                    queue_depth: 42,
+                    connections: 2048,
+                    tier: 1,
+                    ..StatsSnapshot::default()
+                };
+                s.latency[1][0] = OpLatency {
+                    count: 900,
+                    sum_us: 123_456,
+                    p50_us: 128,
+                    p95_us: 512,
+                    p99_us: 1024,
+                };
+                s.occupancy = [1, 2, 4, 8, 16, 32, 64];
+                s
+            })),
             Response::error(ErrorCode::Overloaded, "queue full"),
         ];
         for resp in resps {
@@ -557,6 +723,8 @@ mod tests {
         assert!(decode_request(&[0x99]).is_err());
         // Truncated Sample body.
         assert!(decode_request(&[0x02, 1, 0, 0]).is_err());
+        // Truncated Reload path.
+        assert!(decode_request(&[0x06, 5, 0, b'a']).is_err());
         // Trailing garbage after a valid Ping.
         assert!(decode_request(&[0x01, 0xAB]).is_err());
         // Spin byte out of {0, 1}.

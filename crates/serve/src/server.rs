@@ -1,46 +1,72 @@
-//! The TCP server: accept loop, per-connection handlers, worker pool,
-//! admission control and graceful drain.
-//!
-//! Thread layout:
+//! The TCP server front end: two interchangeable runtimes over one
+//! execution layer (batcher → engine-replica pool).
 //!
 //! ```text
-//! accept thread ──spawns──▶ connection handlers (one per client)
-//!                                  │  push (bounded)       ▲ reply
-//!                                  ▼                       │
-//!                            [ Batcher ] ──drain──▶ worker threads (Engine each)
+//!                     ┌── Epoll (default): 1..k event-loop threads,
+//!                     │   nonblocking accept/read/write, thousands of
+//!                     │   connections, replies via completion queues
+//!  clients ──TCP──────┤
+//!                     └── Threaded: accept loop + one blocking handler
+//!                         thread per connection (the baseline the
+//!                         serving benchmark compares against)
+//!                              │ admit (validate · seed · tier · stats)
+//!                              ▼
+//!                        [ Batcher ] ──drain──▶ engine replicas (N workers,
+//!                                               shared hot-swappable ModelSlot)
 //! ```
 //!
-//! * A connection handler reads frames, answers `Ping` inline, resolves
-//!   seedless `Sample` requests to a concrete per-request seed, and
-//!   pushes everything else into the [`Batcher`] with a single-use
-//!   reply channel, blocking until the worker answers (so each
-//!   connection has at most one request in flight — concurrency comes
-//!   from concurrent connections, exactly like the load generator).
-//! * `Shutdown` triggers the graceful drain: the batcher closes (new
-//!   work is refused with `ShuttingDown`), workers finish everything
-//!   already admitted, the accept loop stops, and [`Server::join`]
-//!   returns once every thread has exited.  Every admitted request is
-//!   answered — the drain drops nothing.
-//! * Deadlines: every admitted request carries
-//!   `now + config.request_timeout`; a worker that drains an expired
-//!   item answers `DeadlineExceeded` without executing it.
+//! Both runtimes share `admit`: shape validation, server-side seeding,
+//! precision resolution, the **graduated admission tier**
+//! (accept → shed-`LocalEnergy` → saturated, driven by queue depth),
+//! and latency-stats wrapping all happen before the batcher sees the
+//! item, so the execution layer is runtime-agnostic.
+//!
+//! * `Shutdown` (frame or [`Server::shutdown`]) triggers the graceful
+//!   drain: the batcher closes, workers finish everything admitted,
+//!   both runtimes stop reading, flush every queued reply byte
+//!   (partial writes resume mid-frame), and exit.  Every admitted
+//!   request is answered — the drain drops nothing.
+//! * `Reload` swaps the served checkpoint atomically via the shared
+//!   [`ModelSlot`]: no connection is dropped, no request errs; each
+//!   batch runs entirely on old or new weights.  The epoll runtime
+//!   loads the checkpoint on a spawned thread so file I/O never stalls
+//!   the event loop.
+//! * `Stats` answers a point-in-time [`StatsSnapshot`] from lock-free
+//!   counters: queue depth, admission tier, connection gauge,
+//!   per-op/per-precision latency percentiles, batch occupancy.
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use vqmc_hamiltonian::{LocalEnergyConfig, SparseRowHamiltonian};
-use vqmc_nn::checkpoint::AnyModel;
+use vqmc_net::{
+    Completions, EventLoop, EventLoopConfig, FrameHandler, FrameOutcome, Ticket,
+};
+use vqmc_nn::checkpoint::{load_any, AnyModel};
 use vqmc_tensor::Precision;
 
-use crate::batcher::{Batcher, BatcherConfig, PushError, WorkItem};
-use crate::engine::Engine;
+use crate::batcher::{Batcher, BatcherConfig, PushError, ReplySink, WorkItem};
+use crate::engine::{Engine, ModelSlot};
 use crate::protocol::{
-    self, decode_request, encode_response, ErrorCode, Request, Response,
+    self, decode_request, encode_response, ErrorCode, Request, Response, StatsSnapshot,
 };
+use crate::stats::{ServerStats, StatOp};
+
+/// Which connection runtime the server uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Runtime {
+    /// Readiness event loop(s): nonblocking sockets, a few threads for
+    /// any number of connections.  The default.
+    Epoll,
+    /// One blocking handler thread per connection (the scalability
+    /// baseline; also what the `thread-per-connection` benchmark arm
+    /// measures).
+    Threaded,
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -50,7 +76,8 @@ pub struct ServeConfig {
     pub addr: String,
     /// Batching knobs (max batch, fill wait, admission queue bound).
     pub batcher: BatcherConfig,
-    /// Worker threads, each with its own [`Engine`] scratch.
+    /// Engine replicas (worker threads), each with its own scratch,
+    /// all draining the one shared admission queue.
     pub workers: usize,
     /// Per-request deadline measured from admission.
     pub request_timeout: Duration,
@@ -63,6 +90,19 @@ pub struct ServeConfig {
     /// precision tag (old clients).  Requests that do carry one always
     /// win; the default only fills the gap.
     pub precision: Precision,
+    /// Connection runtime.
+    pub runtime: Runtime,
+    /// Event-loop threads (epoll runtime only).  Loop 0 accepts and
+    /// deals connections round-robin across all loops.
+    pub event_loops: usize,
+    /// Queue-depth fraction at which the admission tier starts
+    /// shedding `LocalEnergy` requests (the most expensive op) while
+    /// still accepting the rest; at a full queue everything is
+    /// refused.  `1.0` disables shedding (binary accept/overloaded).
+    pub shed_threshold: f64,
+    /// Connection cap for the epoll runtime (accepts beyond it are
+    /// dropped).
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,8 +115,25 @@ impl Default for ServeConfig {
             base_seed: 0,
             local_energy: LocalEnergyConfig::default(),
             precision: Precision::F64,
+            runtime: Runtime::Epoll,
+            event_loops: 1,
+            shed_threshold: 0.75,
+            max_connections: 16 * 1024,
         }
     }
+}
+
+/// The admission tiers, most permissive first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum AdmissionTier {
+    /// Everything admitted.
+    Accept = 0,
+    /// Queue depth past the shed threshold: `LocalEnergy` requests are
+    /// refused (`Overloaded`), cheaper ops still admitted.
+    ShedLocalEnergy = 1,
+    /// Queue saturated: every batchable request is refused.
+    Saturated = 2,
 }
 
 struct Shared {
@@ -88,7 +145,13 @@ struct Shared {
     num_spins: usize,
     kind: &'static str,
     precision: Precision,
+    shed_threshold: f64,
+    slot: Arc<ModelSlot>,
+    stats: Arc<ServerStats>,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Event-loop wakeups, poked on shutdown so drains start without
+    /// waiting out a poll tick.
+    pollers: Mutex<Vec<Arc<vqmc_net::Poller>>>,
 }
 
 impl Shared {
@@ -96,11 +159,32 @@ impl Shared {
     fn begin_shutdown(&self) {
         self.stop_accepting.store(true, Ordering::SeqCst);
         self.batcher.close();
+        for p in self.pollers.lock().unwrap().iter() {
+            let _ = p.notify();
+        }
     }
 
     fn next_seed(&self) -> u64 {
         let k = self.seed_counter.fetch_add(1, Ordering::Relaxed);
         splitmix64(self.base_seed.wrapping_add(k).wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The current admission tier, derived from queue depth.
+    fn tier(&self) -> AdmissionTier {
+        let depth = self.batcher.queued();
+        let cap = self.batcher.config().queue_cap;
+        if depth >= cap {
+            AdmissionTier::Saturated
+        } else if (depth as f64) >= self.shed_threshold * (cap as f64) {
+            AdmissionTier::ShedLocalEnergy
+        } else {
+            AdmissionTier::Accept
+        }
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats
+            .snapshot(self.batcher.queued() as u32, self.tier() as u8)
     }
 }
 
@@ -119,6 +203,7 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_handle: Option<JoinHandle<()>>,
+    loop_handles: Vec<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
 }
 
@@ -132,34 +217,32 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        // Polled non-blocking accept: the drain signal must be able to
-        // stop the loop without an extra wake-up connection.
-        listener.set_nonblocking(true)?;
 
-        let kind = match &model {
-            AnyModel::Made(_) => "made",
-            AnyModel::Rbm(_) => "rbm",
-            AnyModel::Nade(_) => "nade",
-        };
-        let model = Arc::new(model);
+        let kind = model.kind();
+        let num_spins = model.num_spins();
+        let slot = Arc::new(ModelSlot::new(Arc::new(model)));
         let shared = Arc::new(Shared {
             batcher: Batcher::new(config.batcher),
             stop_accepting: AtomicBool::new(false),
             seed_counter: AtomicU64::new(0),
             base_seed: config.base_seed,
             request_timeout: config.request_timeout,
-            num_spins: model.num_spins(),
+            num_spins,
             kind,
             precision: config.precision,
+            shed_threshold: config.shed_threshold.clamp(0.0, 1.0),
+            slot: Arc::clone(&slot),
+            stats: Arc::new(ServerStats::default()),
             conn_handles: Mutex::new(Vec::new()),
+            pollers: Mutex::new(Vec::new()),
         });
 
         let workers = config.workers.max(1);
         let mut worker_handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let shared = Arc::clone(&shared);
-            let mut engine = Engine::new(
-                Arc::clone(&model),
+            let mut engine = Engine::with_slot(
+                Arc::clone(&slot),
                 hamiltonian.clone(),
                 config.local_energy,
             );
@@ -168,21 +251,65 @@ impl Server {
                     .name(format!("vqmc-serve-worker-{w}"))
                     .spawn(move || {
                         while let Some(batch) = shared.batcher.next_batch() {
+                            shared.stats.record_occupancy(batch.len());
                             engine.execute(batch);
                         }
                     })?,
             );
         }
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_handle = std::thread::Builder::new()
-            .name("vqmc-serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+        let (accept_handle, loop_handles) = match config.runtime {
+            Runtime::Threaded => {
+                // Polled non-blocking accept: the drain signal must be
+                // able to stop the loop without a wake-up connection.
+                listener.set_nonblocking(true)?;
+                let accept_shared = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name("vqmc-serve-accept".into())
+                    .spawn(move || accept_loop(listener, accept_shared))?;
+                (Some(h), Vec::new())
+            }
+            Runtime::Epoll => {
+                let n_loops = config.event_loops.max(1);
+                let el_config = EventLoopConfig {
+                    max_payload: protocol::MAX_FRAME_LEN,
+                    max_connections: config.max_connections,
+                    ..EventLoopConfig::default()
+                };
+                let mut loops = Vec::with_capacity(n_loops);
+                let mut listener = Some(listener);
+                for _ in 0..n_loops {
+                    loops.push(EventLoop::new(listener.take(), el_config.clone())?);
+                }
+                let handoffs: Vec<_> = loops.iter().map(|l| l.handoff()).collect();
+                loops[0].set_peers(handoffs);
+                {
+                    let mut pollers = shared.pollers.lock().unwrap();
+                    pollers.extend(loops.iter().map(|l| l.poller()));
+                }
+                let mut handles = Vec::with_capacity(n_loops);
+                for (i, ev) in loops.into_iter().enumerate() {
+                    let mut handler = ServeHandler {
+                        shared: Arc::clone(&shared),
+                        completions: ev.completions(),
+                    };
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("vqmc-serve-loop-{i}"))
+                            .spawn(move || {
+                                let _ = ev.run(&mut handler);
+                            })?,
+                    );
+                }
+                (None, handles)
+            }
+        };
 
         Ok(Server {
             shared,
             local_addr,
-            accept_handle: Some(accept_handle),
+            accept_handle,
+            loop_handles,
             worker_handles,
         })
     }
@@ -204,6 +331,9 @@ impl Server {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
+        for h in self.loop_handles.drain(..) {
+            let _ = h.join();
+        }
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
@@ -219,6 +349,233 @@ impl Server {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Runtime-agnostic admission
+// ---------------------------------------------------------------------
+
+/// Classifies a batchable request for the stats arrays.
+fn stat_op(request: &Request) -> (StatOp, Option<Precision>) {
+    match request {
+        Request::Sample { precision, .. } => (StatOp::Sample, *precision),
+        Request::LogPsi { precision, .. } => (StatOp::LogPsi, *precision),
+        Request::LocalEnergy { precision, .. } => (StatOp::LocalEnergy, *precision),
+        _ => unreachable!("only batchable requests are classified"),
+    }
+}
+
+/// Validates, seeds, resolves precision, applies the admission tier,
+/// wraps latency recording, and enqueues — or answers `sink`
+/// immediately with the refusal/validation error.  Every call consumes
+/// the sink exactly once, now or when the engine replies.
+fn admit(shared: &Arc<Shared>, mut request: Request, sink: ReplySink) {
+    // Shape validation happens here, before admission, so malformed
+    // requests never occupy queue capacity.
+    match &mut request {
+        Request::Sample {
+            count,
+            seed,
+            precision,
+        } => {
+            if *count == 0 {
+                return sink.send(Response::error(
+                    ErrorCode::BadRequest,
+                    "sample count must be positive",
+                ));
+            }
+            if seed.is_none() {
+                *seed = Some(shared.next_seed());
+            }
+            // Resolve the server default here, at admission, so the
+            // engine only ever coalesces items of one concrete
+            // precision per pass.
+            *precision = Some(precision.unwrap_or(shared.precision));
+        }
+        Request::LogPsi { batch, precision }
+        | Request::LocalEnergy { batch, precision } => {
+            if batch.num_spins() != shared.num_spins {
+                return sink.send(Response::error(
+                    ErrorCode::BadRequest,
+                    format!(
+                        "batch has {} spins but the model has {}",
+                        batch.num_spins(),
+                        shared.num_spins
+                    ),
+                ));
+            }
+            if batch.batch_size() == 0 {
+                return sink.send(Response::Values(Default::default()));
+            }
+            *precision = Some(precision.unwrap_or(shared.precision));
+        }
+        _ => unreachable!("inline requests are handled by the runtimes"),
+    }
+
+    // Graduated admission: shed the expensive op first, then refuse
+    // everything once the queue saturates (`push` below double-checks
+    // capacity under the queue lock — the tier read is advisory).
+    let tier = shared.tier();
+    let (op, precision) = stat_op(&request);
+    match tier {
+        AdmissionTier::Accept => {}
+        AdmissionTier::ShedLocalEnergy if op == StatOp::LocalEnergy => {
+            shared.stats.on_shed();
+            return sink.send(Response::error(
+                ErrorCode::Overloaded,
+                "shedding local-energy requests under load",
+            ));
+        }
+        AdmissionTier::ShedLocalEnergy => {}
+        AdmissionTier::Saturated => {
+            shared.stats.on_refused();
+            return sink.send(Response::error(
+                ErrorCode::Overloaded,
+                "admission queue is full",
+            ));
+        }
+    }
+
+    // Wrap latency recording around the reply path.
+    let stats = Arc::clone(&shared.stats);
+    let tag = precision.map_or(0, |p| p.tag());
+    let t0 = Instant::now();
+    let sink = ReplySink::new(move |resp| {
+        stats.record_latency(op, tag, t0.elapsed().as_micros() as u64);
+        sink.send(resp)
+    });
+
+    let item = WorkItem {
+        request,
+        reply: sink,
+        deadline: Instant::now() + shared.request_timeout,
+    };
+    match shared.batcher.push(item) {
+        Ok(()) => shared.stats.on_accepted(),
+        Err((item, PushError::Overloaded)) => {
+            shared.stats.on_refused();
+            item.respond(Response::error(
+                ErrorCode::Overloaded,
+                "admission queue is full",
+            ));
+        }
+        Err((item, PushError::ShuttingDown)) => {
+            item.respond(Response::error(
+                ErrorCode::ShuttingDown,
+                "server is draining",
+            ));
+        }
+    }
+}
+
+/// Loads, validates and swaps in a checkpoint (shared by both
+/// runtimes; the epoll runtime calls it from a spawned thread).
+fn do_reload(shared: &Shared, path: &str) -> Response {
+    if shared.stop_accepting.load(Ordering::SeqCst) {
+        return Response::error(ErrorCode::ShuttingDown, "server is draining");
+    }
+    let model = match load_any(std::path::Path::new(path)) {
+        Ok((model, _ckpt_precision)) => model,
+        Err(e) => {
+            return Response::error(
+                ErrorCode::BadRequest,
+                format!("cannot load checkpoint {path:?}: {e}"),
+            )
+        }
+    };
+    if model.kind() != shared.kind {
+        return Response::error(
+            ErrorCode::BadRequest,
+            format!(
+                "checkpoint kind {:?} does not match served kind {:?}",
+                model.kind(),
+                shared.kind
+            ),
+        );
+    }
+    if model.num_spins() != shared.num_spins {
+        return Response::error(
+            ErrorCode::BadRequest,
+            format!(
+                "checkpoint has {} spins but the server serves {}",
+                model.num_spins(),
+                shared.num_spins
+            ),
+        );
+    }
+    shared.slot.swap(Arc::new(model));
+    shared.stats.on_reload();
+    Response::ReloadAck
+}
+
+// ---------------------------------------------------------------------
+// Epoll runtime
+// ---------------------------------------------------------------------
+
+/// Per-event-loop glue between `vqmc-net` and the execution layer.
+struct ServeHandler {
+    shared: Arc<Shared>,
+    completions: Arc<Completions>,
+}
+
+impl FrameHandler for ServeHandler {
+    fn on_frame(&mut self, ticket: Ticket, payload: Vec<u8>) -> FrameOutcome {
+        let reply = |resp: Response| FrameOutcome::Reply(encode_response(&resp));
+        let request = match decode_request(&payload) {
+            // Malformed payload inside an intact frame: answer and keep
+            // the connection (framing is still synchronised).
+            Err(e) => return reply(Response::error(ErrorCode::BadRequest, e.to_string())),
+            Ok(r) => r,
+        };
+        match request {
+            Request::Ping => reply(Response::Pong {
+                num_spins: self.shared.num_spins as u32,
+                kind: self.shared.kind.into(),
+            }),
+            Request::Stats => reply(Response::StatsReport(Box::new(self.shared.stats_snapshot()))),
+            Request::Shutdown => {
+                // The drain flag is shared: every loop sees it via
+                // `draining()` and begins its own flush-and-exit.
+                self.shared.begin_shutdown();
+                reply(Response::ShutdownAck)
+            }
+            Request::Reload { path } => {
+                // Checkpoint I/O must not stall the event loop; load on
+                // a helper thread and post the outcome as a completion.
+                let shared = Arc::clone(&self.shared);
+                let completions = Arc::clone(&self.completions);
+                std::thread::spawn(move || {
+                    let resp = do_reload(&shared, &path);
+                    completions.post(ticket, encode_response(&resp));
+                });
+                FrameOutcome::Pending
+            }
+            batchable => {
+                let completions = Arc::clone(&self.completions);
+                let sink = ReplySink::new(move |resp| {
+                    completions.post(ticket, encode_response(&resp));
+                });
+                admit(&self.shared, batchable, sink);
+                FrameOutcome::Pending
+            }
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.shared.stop_accepting.load(Ordering::SeqCst)
+    }
+
+    fn on_accept(&mut self) {
+        self.shared.stats.on_connect();
+    }
+
+    fn on_close(&mut self) {
+        self.shared.stats.on_disconnect();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threaded runtime (baseline)
+// ---------------------------------------------------------------------
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     while !shared.stop_accepting.load(Ordering::SeqCst) {
@@ -309,40 +666,44 @@ fn fill(
 }
 
 fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    shared.stats.on_connect();
     // Finite read timeout so the handler notices the drain signal even
     // while a client holds the connection open without sending.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
-    let mut reader = stream.try_clone().expect("clone TCP stream");
+    // Cloning doubles the fd cost of this runtime (reader + writer per
+    // connection) — under fd exhaustion it fails, and the right answer
+    // is to drop this connection, not to panic the handler thread.
+    let Ok(mut reader) = stream.try_clone() else {
+        shared.stats.on_disconnect();
+        return;
+    };
     let mut writer = io::BufWriter::new(stream);
     let mut frame = Vec::new();
 
-    loop {
-        match read_frame_idle(&mut reader, &mut frame, &shared) {
-            FrameRead::Frame => {}
-            FrameRead::Close => break,
-        }
+    while let FrameRead::Frame = read_frame_idle(&mut reader, &mut frame, &shared) {
         let response = match decode_request(&frame) {
-            Err(e) => Some(Response::error(ErrorCode::BadRequest, e.to_string())),
-            Ok(Request::Ping) => Some(Response::Pong {
+            Err(e) => Response::error(ErrorCode::BadRequest, e.to_string()),
+            Ok(Request::Ping) => Response::Pong {
                 num_spins: shared.num_spins as u32,
                 kind: shared.kind.into(),
-            }),
+            },
+            Ok(Request::Stats) => Response::StatsReport(Box::new(shared.stats_snapshot())),
             Ok(Request::Shutdown) => {
                 shared.begin_shutdown();
-                Some(Response::ShutdownAck)
+                Response::ShutdownAck
             }
-            Ok(request) => Some(handle_batched(request, &shared)),
+            // Blocking file I/O is fine here — this thread serves only
+            // this connection.
+            Ok(Request::Reload { path }) => do_reload(&shared, &path),
+            Ok(request) => handle_batched(request, &shared),
         };
-        if let Some(response) = response {
-            if protocol::write_frame(&mut writer, &encode_response(&response)).is_err() {
-                break;
-            }
-            let shutting_down = matches!(response, Response::ShutdownAck);
-            if shutting_down {
-                // Ack delivered; the drain will close this connection.
-                break;
-            }
+        if protocol::write_frame(&mut writer, &encode_response(&response)).is_err() {
+            break;
+        }
+        if matches!(response, Response::ShutdownAck) {
+            // Ack delivered; the drain will close this connection.
+            break;
         }
         // After a drain begins, in-flight work above was still answered;
         // stop reading further requests and release the connection.
@@ -351,67 +712,14 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
         }
     }
     let _ = writer.flush();
+    shared.stats.on_disconnect();
 }
 
-/// Validates, seeds, enqueues and awaits one batchable request.
-fn handle_batched(mut request: Request, shared: &Shared) -> Response {
-    // Shape validation happens here, before admission, so malformed
-    // requests never occupy queue capacity.
-    match &mut request {
-        Request::Sample {
-            count,
-            seed,
-            precision,
-        } => {
-            if *count == 0 {
-                return Response::error(
-                    ErrorCode::BadRequest,
-                    "sample count must be positive",
-                );
-            }
-            if seed.is_none() {
-                *seed = Some(shared.next_seed());
-            }
-            // Resolve the server default here, at admission, so the
-            // engine only ever coalesces items of one concrete
-            // precision per pass.
-            *precision = Some(precision.unwrap_or(shared.precision));
-        }
-        Request::LogPsi { batch, precision }
-        | Request::LocalEnergy { batch, precision } => {
-            if batch.num_spins() != shared.num_spins {
-                return Response::error(
-                    ErrorCode::BadRequest,
-                    format!(
-                        "batch has {} spins but the model has {}",
-                        batch.num_spins(),
-                        shared.num_spins
-                    ),
-                );
-            }
-            if batch.batch_size() == 0 {
-                return Response::Values(Default::default());
-            }
-            *precision = Some(precision.unwrap_or(shared.precision));
-        }
-        _ => unreachable!("Ping/Shutdown handled inline"),
-    }
-
-    let (tx, rx) = mpsc::channel();
-    let item = WorkItem {
-        request,
-        reply: tx,
-        deadline: Instant::now() + shared.request_timeout,
-    };
-    match shared.batcher.push(item) {
-        Ok(()) => {}
-        Err((_, PushError::Overloaded)) => {
-            return Response::error(ErrorCode::Overloaded, "admission queue is full")
-        }
-        Err((_, PushError::ShuttingDown)) => {
-            return Response::error(ErrorCode::ShuttingDown, "server is draining")
-        }
-    }
+/// Admits one batchable request and blocks until its reply arrives
+/// (each blocking connection has at most one request in flight).
+fn handle_batched(request: Request, shared: &Arc<Shared>) -> Response {
+    let (sink, rx) = ReplySink::channel();
+    admit(shared, request, sink);
     // Workers always answer admitted items (drain included); the
     // generous timeout only guards against a crashed worker.
     match rx.recv_timeout(shared.request_timeout + Duration::from_secs(30)) {

@@ -84,6 +84,10 @@ const MC: usize = 256;
 /// Packed B-panel columns: [`KC`]×`NC_PACKED`×8 B = 4 MiB, L3-resident.
 const NC_PACKED: usize = 2048;
 
+/// A panel-packing routine: `(block_start, block_len, k_start, k_len, dst)`
+/// fills `dst` with the packed micro-panel layout the microkernel reads.
+type PackPanel<'a> = dyn Fn(usize, usize, usize, usize, &mut [f64]) + Sync + 'a;
+
 thread_local! {
     /// Pool for the packed A/B micro-panel buffers.  Private to this
     /// module and only borrowed transiently (`take`/`give` are single
@@ -128,8 +132,8 @@ fn packed_driver(
     m: usize,
     n: usize,
     k: usize,
-    pack_a: &(dyn Fn(usize, usize, usize, usize, &mut [f64]) + Sync),
-    pack_b: &(dyn Fn(usize, usize, usize, usize, &mut [f64]) + Sync),
+    pack_a: &PackPanel<'_>,
+    pack_b: &PackPanel<'_>,
     c: &mut [f64],
     micro: MicroKernel,
 ) {
@@ -633,8 +637,7 @@ pub fn gemm_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         for l in 0..k {
             let a_row = a.row(l);
             let b_row = b.row(l);
-            for r in 0..m {
-                let coeff = a_row[r];
+            for (r, &coeff) in a_row.iter().take(m).enumerate() {
                 if coeff != 0.0 {
                     axpy(c.row_mut(r), coeff, b_row);
                 }

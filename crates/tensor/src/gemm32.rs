@@ -68,6 +68,7 @@ fn give_pack(buf: Vec<f32>) {
 /// `stride`-wide operand into `ph`-high micro-panels:
 /// `buf[panel*ph*lc + p*ph + r] = src[(r0 + panel*ph + r)*stride + l0 + p]`.
 /// Panel tails beyond `rc` stay at the pool's zero fill.
+#[allow(clippy::too_many_arguments)]
 fn pack_rows(
     src: &[f32],
     stride: usize,

@@ -417,6 +417,7 @@ pub unsafe fn micro_8x4(kc: usize, ap: *const f64, bp: *const f64, tile: *mut f6
 /// `+w_prev[j]` update, `max(z,0)`, lane-striped fused
 /// multiply-accumulate, `((a0+a1)+(a2+a3))+tail` combine — is the same
 /// as the portable arm's, so results are bit-identical.
+#[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx2", enable = "fma")]
 pub unsafe fn sample_step_cols(
     zt: &mut [f64],
@@ -609,6 +610,7 @@ const HIDDEN_MAJOR_BYTES: usize = 64 * 1024;
 /// The `prev_mask > 0.5` compares are hoisted into a per-bit mask
 /// stash (the sixth scratch stripe), and aligned blocks of 4 hidden
 /// units — one per accumulator stripe — share each mask load.
+#[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn sample_step_cols_hidden_major(
     zt: &mut [f64],

@@ -29,6 +29,13 @@ use super::portable32::{self, LANES_F32};
 /// aligned blocks of 4 hidden units, a sequential tail, the
 /// `((a0+a1)+(a2+a3))+tail` combine, then `bias + Σ` — is the same as
 /// both other arms', so results are bit-identical.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F (callers go through the dispatch
+/// table, which verifies this at startup); slice lengths must satisfy
+/// the panel contract above (`zt` ≥ `h·b`, `scratch` ≥ `6·b`).
+#[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx512f")]
 pub unsafe fn sample_step_cols(
     zt: &mut [f64],
@@ -170,6 +177,7 @@ const HIDDEN_MAJOR_BYTES: usize = 64 * 1024;
 /// sixth scratch stripe), and aligned blocks of 4 hidden units — one
 /// per accumulator stripe — share each mask load, giving four
 /// independent FMA chains per pass over the rows.
+#[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx512f")]
 unsafe fn sample_step_cols_hidden_major(
     zt: &mut [f64],
@@ -377,6 +385,12 @@ unsafe fn sample_step_cols_hidden_major(
 /// `j%8` assignment, same per-stripe FMA order in `j`; an f32 register
 /// spilled to the scratch stripe is exact), and both finish through the
 /// shared scalar `f64`-widened [`portable32::combine_stripes`].
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F (callers go through the dispatch
+/// table, which verifies this at startup); slice lengths must satisfy
+/// the f32 panel contract above (`scratch` ≥ `10·b`).
 #[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx512f")]
 pub unsafe fn sample_step_cols_f32(

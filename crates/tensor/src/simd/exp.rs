@@ -38,6 +38,10 @@
 //! power-series branch below `2^-16` where forming `1+z` would shave
 //! input bits.
 
+// The published fdlibm/musl coefficients carry guard digits past f64
+// precision; keeping them verbatim documents their provenance.
+#![allow(clippy::excessive_precision)]
+
 /// Inputs above this overflow `exp` to `+inf`.
 pub const EXP_OVERFLOW: f64 = 709.782712893384;
 /// Inputs below this underflow `exp` to `0.0`.

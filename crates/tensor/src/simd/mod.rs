@@ -76,6 +76,11 @@ pub enum Backend {
 /// the caller to have verified CPU support.
 pub type MicroKernel = unsafe fn(kc: usize, ap: *const f64, bp: *const f64, tile: *mut f64);
 
+/// Fused batched AUTO bit-step over a transposed f64 activation panel:
+/// `(zt, b, w_prev, prev_mask, w_out, bias, scratch, logits)`.
+pub type SampleStepCols =
+    fn(&mut [f64], usize, Option<&[f64]>, &[f64], &[f64], f64, &mut [f64], &mut [f64]);
+
 /// The resolved kernel table: one function pointer per hot-path
 /// primitive.  `Copy` — consumers hold `&'static Kernels`.
 #[derive(Clone, Copy)]
@@ -110,8 +115,7 @@ pub struct Kernels {
     /// the SIMD arms' hidden-major traversal for panels over 64 KiB
     /// stashes per-bit masks in a sixth stripe — callers must size for
     /// 6·b.)
-    pub sample_step_cols:
-        fn(&mut [f64], usize, Option<&[f64]>, &[f64], &[f64], f64, &mut [f64], &mut [f64]),
+    pub sample_step_cols: SampleStepCols,
     /// Plain lane-striped sum (pairwise-summation base block).
     pub sum: fn(&[f64]) -> f64,
     /// `Σ (x−m)²` (variance base block).
@@ -329,6 +333,10 @@ pub fn backend() -> Backend {
 /// Same contract as [`MicroKernel`], with `f32` elements.
 pub type MicroKernelF32 = unsafe fn(kc: usize, ap: *const f32, bp: *const f32, tile: *mut f32);
 
+/// f32 variant of [`SampleStepCols`] (f32 panel, `f64` logits).
+pub type SampleStepColsF32 =
+    fn(&mut [f32], usize, Option<&[f32]>, &[f32], &[f32], f64, &mut [f32], &mut [f64]);
+
 /// The resolved **f32** kernel table — the mixed-precision twin of
 /// [`Kernels`], covering the inference hot path only (no trainer-side
 /// kernels: no `xpby`, `sq_dev_sum`, `sum_exp_shifted`, `tanh`).
@@ -365,8 +373,7 @@ pub struct KernelsF32 {
     /// `(zt, b, w_prev, prev_mask, w_out, bias, scratch ≥ 10·b, logits)`
     /// — 9 `f32` accumulator stripes plus one stripe the SIMD arms use
     /// to stash per-bit compare masks.
-    pub sample_step_cols:
-        fn(&mut [f32], usize, Option<&[f32]>, &[f32], &[f32], f64, &mut [f32], &mut [f64]),
+    pub sample_step_cols: SampleStepColsF32,
     /// The packed-GEMM 8×4 `f32` microkernel.
     pub micro_8x4: MicroKernelF32,
 }

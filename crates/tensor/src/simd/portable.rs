@@ -16,6 +16,10 @@
 //! which is correctly rounded (and uses the hardware instruction where
 //! present), so the twin relationship holds on any IEEE-754 target.
 
+// `!(x < BOUND)` routes NaN into the slow branch with one comparison;
+// the `>=` clippy suggests would send NaN down the fast path instead.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
 use super::exp::{self, EXP_SAFE_BOUND, LN2};
 
 /// Per-element sigmoid `1/(1+e^{-x})`, computed via `t = e^{-|x|}` so
@@ -316,6 +320,7 @@ pub unsafe fn micro_8x4(kc: usize, ap: *const f64, bp: *const f64, tile: *mut f6
 /// `scratch` provides the 5 accumulator stripes (`≥ 5·b`); `logits`
 /// (`b`) is overwritten with `bias + Σ` (the `b2[i] + relu_dot` shape
 /// of the row path).  `w_prev = None` skips the update (first bit).
+#[allow(clippy::too_many_arguments)]
 pub fn sample_step_cols(
     zt: &mut [f64],
     b: usize,

@@ -28,8 +28,8 @@ impl Vector {
     }
 
     /// Creates a vector from a generating function of the index.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
-        Vector((0..n).map(|i| f(i)).collect())
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> f64) -> Self {
+        Vector((0..n).map(f).collect())
     }
 
     /// Length of the vector.

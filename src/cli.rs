@@ -44,8 +44,15 @@ COMMANDS:
              --max-batch <N>           coalesce ceiling (default 64)
              --max-wait-us <N>         batch fill window (default 200)
              --queue-cap <N>           admission bound (default 1024)
-             --workers <N>             batch-execution threads (default 1)
+             --workers <N>             engine replicas (default:
+                                       VQMC_THREADS if set, else 1)
              --timeout-ms <N>          per-request deadline (default 2000)
+             --runtime epoll|threads   connection runtime (default epoll:
+                                       nonblocking event loops; threads =
+                                       one blocking thread per connection)
+             --event-loops <N>         epoll event-loop threads (default 1)
+             --shed-threshold <F>      queue fraction where LocalEnergy
+                                       shedding starts (default 0.75)
              --precision f64|f32       default execution precision for
                                        untagged requests (default: the
                                        checkpoint's storage precision)
@@ -216,8 +223,10 @@ pub fn train(flags: &Flags) -> Result<(), String> {
             .ok_or_else(|| format!("--save-precision wants f64|f32, got {s:?}"))?,
     };
 
-    // Dispatch over (model, sampler). Each arm owns its concrete types.
-    let (final_energy, save): (f64, Box<dyn FnOnce(&str) -> Result<(), String>>) =
+    // Dispatch over (model, sampler). Each arm owns its concrete types;
+    // each returns the run's final energy plus a deferred save closure.
+    type SaveFn = Box<dyn FnOnce(&str) -> Result<(), String>>;
+    let (final_energy, save): (f64, SaveFn) =
         match (model, sampler_name) {
             ("made", "auto") => {
                 let wf = init_model(flags, n, || Made::new(n, hidden.unwrap_or_else(|| made_hidden_size(n)), model_seed))?;
@@ -420,6 +429,26 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
         (None, Some(p)) => format!("127.0.0.1:{p}"),
         (None, None) => "127.0.0.1:0".to_string(),
     };
+    // Engine replicas follow the kernel thread-pool convention: an
+    // explicit flag wins, then VQMC_THREADS, then 1.
+    let default_workers = std::env::var("VQMC_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1);
+    let runtime = match get(flags, "runtime", "epoll") {
+        "epoll" => vqmc::serve::Runtime::Epoll,
+        "threads" | "threaded" => vqmc::serve::Runtime::Threaded,
+        other => return Err(format!("unknown runtime {other:?} (epoll|threads)")),
+    };
+    let shed_threshold = match flags.get("shed-threshold") {
+        None => 0.75,
+        Some(s) => s
+            .parse::<f64>()
+            .ok()
+            .filter(|t| (0.0..=1.0).contains(t))
+            .ok_or_else(|| format!("--shed-threshold wants a fraction in [0, 1], got {s:?}"))?,
+    };
     let config = ServeConfig {
         addr,
         batcher: BatcherConfig {
@@ -427,19 +456,27 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
             max_wait: Duration::from_micros(get_u64(flags, "max-wait-us", 200)?),
             queue_cap: get_usize(flags, "queue-cap", 1024)?,
         },
-        workers: get_usize(flags, "workers", 1)?,
+        workers: get_usize(flags, "workers", default_workers)?,
         request_timeout: Duration::from_millis(get_u64(flags, "timeout-ms", 2000)?),
         base_seed: get_u64(flags, "seed", 0)?,
         precision,
+        runtime,
+        event_loops: get_usize(flags, "event-loops", 1)?,
+        shed_threshold,
         ..ServeConfig::default()
     };
     let max_batch = config.batcher.max_batch;
+    let workers = config.workers;
 
     let server = Server::start(model, hamiltonian, config).map_err(|e| e.to_string())?;
     println!(
-        "serving {} ({} spins, max_batch {max_batch}, precision {}) — listening on {}",
+        "serving {} ({} spins, max_batch {max_batch}, {workers} worker(s), {} runtime, precision {}) — listening on {}",
         path,
         n,
+        match runtime {
+            vqmc::serve::Runtime::Epoll => "epoll",
+            vqmc::serve::Runtime::Threaded => "threaded",
+        },
         precision.as_str(),
         server.local_addr()
     );

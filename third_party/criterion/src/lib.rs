@@ -102,16 +102,9 @@ pub struct BenchRecord {
 }
 
 /// Top-level harness state; collects records across groups.
+#[derive(Default)]
 pub struct Criterion {
     results: Vec<BenchRecord>,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion {
-            results: Vec::new(),
-        }
-    }
 }
 
 const DEFAULT_SAMPLES: usize = 20;
@@ -196,7 +189,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: String, samples: usize, mut routine
     // Size each sample toward BUDGET_NS/samples, then shrink the sample
     // count if even one-iteration samples would blow the hard cap.
     let per_sample_target = BUDGET_NS / samples as u128;
-    let iters = ((per_sample_target / per_iter).max(1)).min(1_000_000_000) as u64;
+    let iters = (per_sample_target / per_iter).clamp(1, 1_000_000_000) as u64;
     let est_total = per_iter * iters as u128 * samples as u128;
     let samples = if est_total > HARD_CAP_NS {
         ((HARD_CAP_NS / (per_iter * iters as u128)).max(3) as usize).min(samples)

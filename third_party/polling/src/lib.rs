@@ -1,0 +1,557 @@
+//! # polling — vendored readiness shim
+//!
+//! A dependency-free readiness-polling layer in the spirit of the other
+//! `third_party/` stubs: the API subset of the `polling` crate that
+//! `vqmc-net` needs, implemented directly on the libc that `std`
+//! already links (no `libc` crate, no registry access).
+//!
+//! * **Linux** (default): `epoll` — O(ready) wakeups, the backend the
+//!   10k-connection serving runtime is sized for — plus an `eventfd`
+//!   for cross-thread wakeups ([`Poller::notify`]).
+//! * **Other Unix** (and Linux under the `force-poll` feature, which
+//!   exists so the fallback arm stays compile- and run-tested in CI):
+//!   POSIX `poll(2)` over a registry of interests, with a non-blocking
+//!   self-pipe for wakeups.  O(registered) per wait, fine for tests and
+//!   small fleets.
+//!
+//! The shim is **level-triggered** on both backends: an event keeps
+//! reporting until the caller drains the condition.  Callers toggle
+//! interest via [`Poller::modify`] instead of relying on edge
+//! semantics, which keeps the two backends behaviourally identical.
+//!
+//! All file descriptors are the caller's (`RawFd` from `std::net`
+//! sockets); the poller never closes them.  `key` is an opaque caller
+//! token returned in [`Event::key`]; `usize::MAX` is reserved for the
+//! internal wakeup descriptor and rejected in `add`/`modify`.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// One readiness event: the registered key plus which directions fired.
+///
+/// Error/hangup conditions are folded into `readable` (a closed or
+/// errored socket becomes readable and the subsequent `read` reports
+/// the actual condition), matching how `std`'s blocking I/O surfaces
+/// them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The caller-chosen token passed to [`Poller::add`].
+    pub key: usize,
+    /// The descriptor is readable (or in error/hangup).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+}
+
+/// Reserved key for the internal wakeup descriptor.
+const WAKE_KEY: usize = usize::MAX;
+
+#[cfg(all(target_os = "linux", not(feature = "force-poll")))]
+mod backend {
+    //! epoll + eventfd backend.
+
+    use super::*;
+
+    // epoll_event carries a packed u64 payload on x86-64; other
+    // architectures use the natural layout.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o0004000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// The epoll-backed readiness poller.
+    pub struct Poller {
+        epfd: RawFd,
+        wake_fd: RawFd,
+    }
+
+    impl Poller {
+        /// Creates the epoll instance and its wakeup eventfd.
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall wrappers; fds are validated below.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let wake_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let poller = Poller { epfd, wake_fd };
+            poller.ctl(EPOLL_CTL_ADD, wake_fd, WAKE_KEY, true, false)?;
+            Ok(poller)
+        }
+
+        fn ctl(
+            &self,
+            op: i32,
+            fd: RawFd,
+            key: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            let mut events = EPOLLRDHUP;
+            if readable {
+                events |= EPOLLIN;
+            }
+            if writable {
+                events |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent {
+                events,
+                data: key as u64,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Registers `fd` under `key` with the given interest set.
+        pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+            assert_ne!(key, WAKE_KEY, "key usize::MAX is reserved");
+            self.ctl(EPOLL_CTL_ADD, fd, key, readable, writable)
+        }
+
+        /// Replaces the interest set of an already-registered `fd`.
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            key: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            assert_ne!(key, WAKE_KEY, "key usize::MAX is reserved");
+            self.ctl(EPOLL_CTL_MOD, fd, key, readable, writable)
+        }
+
+        /// Deregisters `fd` (the caller still owns and closes it).
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, false, false)
+        }
+
+        /// Blocks until at least one registered descriptor is ready,
+        /// `timeout` elapses (`None` = indefinitely), or another thread
+        /// calls [`Poller::notify`].  Ready events are appended to
+        /// `events`; returns how many were appended (0 = timeout or
+        /// bare wakeup).
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+            let timeout_ms = match timeout {
+                // Round up so a 1ns timeout does not busy-spin at 0ms.
+                Some(t) => i32::try_from(t.as_millis().max(u128::from(!t.is_zero() as u8)))
+                    .unwrap_or(i32::MAX),
+                None => -1,
+            };
+            let n = loop {
+                // SAFETY: `raw` is a valid buffer of 256 entries.
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as i32, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            let mut appended = 0;
+            for ev in &raw[..n] {
+                let (bits, data) = (ev.events, ev.data);
+                if data == WAKE_KEY as u64 {
+                    self.drain_wakeups();
+                    continue;
+                }
+                events.push(Event {
+                    key: data as usize,
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+                appended += 1;
+            }
+            Ok(appended)
+        }
+
+        /// Wakes a concurrent [`Poller::wait`] (callable from any
+        /// thread; coalesces — N notifies cause ≥1 wakeups).
+        pub fn notify(&self) -> io::Result<()> {
+            let one = 1u64.to_ne_bytes();
+            // SAFETY: valid 8-byte buffer; eventfd writes are atomic.
+            let ret = unsafe { write(self.wake_fd, one.as_ptr(), one.len()) };
+            // EAGAIN means the counter is saturated — a wakeup is
+            // already pending, which is all notify promises.
+            if ret < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::WouldBlock {
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
+
+        fn drain_wakeups(&self) {
+            let mut buf = [0u8; 8];
+            // SAFETY: valid 8-byte buffer; nonblocking read.
+            unsafe { read(self.wake_fd, buf.as_mut_ptr(), buf.len()) };
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: fds owned by this struct, closed exactly once.
+            unsafe {
+                close(self.wake_fd);
+                close(self.epfd);
+            }
+        }
+    }
+
+    // SAFETY: the poller holds only raw fds; epoll_ctl/epoll_wait and
+    // eventfd writes are documented thread-safe.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+}
+
+#[cfg(any(not(target_os = "linux"), feature = "force-poll"))]
+mod backend {
+    //! POSIX poll(2) fallback backend with a self-pipe wakeup.
+
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0o0004000;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    #[derive(Clone, Copy)]
+    struct Interest {
+        key: usize,
+        readable: bool,
+        writable: bool,
+    }
+
+    /// The poll(2)-backed readiness poller.
+    pub struct Poller {
+        registry: Mutex<BTreeMap<RawFd, Interest>>,
+        pipe_rd: RawFd,
+        pipe_wr: RawFd,
+    }
+
+    impl Poller {
+        /// Creates the poller and its wakeup pipe.
+        pub fn new() -> io::Result<Poller> {
+            let mut fds = [0i32; 2];
+            // SAFETY: valid 2-int buffer for pipe().
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: fds are the pipe ends created above.
+            unsafe {
+                fcntl(fds[0], F_SETFL, O_NONBLOCK);
+                fcntl(fds[1], F_SETFL, O_NONBLOCK);
+            }
+            Ok(Poller {
+                registry: Mutex::new(BTreeMap::new()),
+                pipe_rd: fds[0],
+                pipe_wr: fds[1],
+            })
+        }
+
+        /// Registers `fd` under `key` with the given interest set.
+        pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+            assert_ne!(key, WAKE_KEY, "key usize::MAX is reserved");
+            let mut reg = self.registry.lock().unwrap();
+            if reg.contains_key(&fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            reg.insert(
+                fd,
+                Interest {
+                    key,
+                    readable,
+                    writable,
+                },
+            );
+            Ok(())
+        }
+
+        /// Replaces the interest set of an already-registered `fd`.
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            key: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            assert_ne!(key, WAKE_KEY, "key usize::MAX is reserved");
+            let mut reg = self.registry.lock().unwrap();
+            match reg.get_mut(&fd) {
+                Some(i) => {
+                    *i = Interest {
+                        key,
+                        readable,
+                        writable,
+                    };
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Deregisters `fd` (the caller still owns and closes it).
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            match self.registry.lock().unwrap().remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Blocks until readiness, timeout, or [`Poller::notify`];
+        /// appends ready events and returns how many were appended.
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            let mut fds: Vec<PollFd> = vec![PollFd {
+                fd: self.pipe_rd,
+                events: POLLIN,
+                revents: 0,
+            }];
+            let keys: Vec<Interest> = {
+                let reg = self.registry.lock().unwrap();
+                reg.iter()
+                    .map(|(&fd, &interest)| {
+                        let mut ev = 0i16;
+                        if interest.readable {
+                            ev |= POLLIN;
+                        }
+                        if interest.writable {
+                            ev |= POLLOUT;
+                        }
+                        fds.push(PollFd {
+                            fd,
+                            events: ev,
+                            revents: 0,
+                        });
+                        interest
+                    })
+                    .collect()
+            };
+            let timeout_ms = match timeout {
+                Some(t) => i32::try_from(t.as_millis().max(u128::from(!t.is_zero() as u8)))
+                    .unwrap_or(i32::MAX),
+                None => -1,
+            };
+            loop {
+                // SAFETY: `fds` is a valid array of initialised PollFd.
+                let ret = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+                if ret >= 0 {
+                    break;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            }
+            if fds[0].revents & POLLIN != 0 {
+                let mut buf = [0u8; 64];
+                // SAFETY: valid buffer; nonblocking pipe read.
+                while unsafe { read(self.pipe_rd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+            }
+            let mut appended = 0;
+            for (pfd, interest) in fds[1..].iter().zip(keys) {
+                let bits = pfd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    key: interest.key,
+                    readable: bits & (POLLIN | POLLERR | POLLHUP) != 0,
+                    writable: bits & (POLLOUT | POLLERR | POLLHUP) != 0,
+                });
+                appended += 1;
+            }
+            Ok(appended)
+        }
+
+        /// Wakes a concurrent [`Poller::wait`] from any thread.
+        pub fn notify(&self) -> io::Result<()> {
+            let one = [1u8];
+            // SAFETY: valid 1-byte buffer; nonblocking pipe write.
+            let ret = unsafe { write(self.pipe_wr, one.as_ptr(), 1) };
+            if ret < 0 {
+                let e = io::Error::last_os_error();
+                // A full pipe already guarantees a pending wakeup.
+                if e.kind() != io::ErrorKind::WouldBlock {
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: pipe fds owned by this struct, closed once.
+            unsafe {
+                close(self.pipe_rd);
+                close(self.pipe_wr);
+            }
+        }
+    }
+}
+
+pub use backend::Poller;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 7, true, false).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending yet: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        let _client = TcpStream::connect(addr).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+        poller.delete(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = Arc::new(Poller::new().unwrap());
+        let p2 = Arc::clone(&poller);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            p2.notify().unwrap();
+        });
+        let t0 = Instant::now();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(n, 0, "wakeup is not a user event");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "notify must cut the wait short"
+        );
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn write_interest_and_data_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 1, true, true).unwrap();
+
+        // A fresh socket with room in its send buffer is writable.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.writable));
+
+        // Narrow to read interest: pending data must surface.
+        poller.modify(server.as_raw_fd(), 1, true, false).unwrap();
+        client.write_all(b"ping").unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.readable));
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        poller.delete(server.as_raw_fd()).unwrap();
+    }
+}

@@ -78,6 +78,10 @@ pub mod plumbing {
         type Item;
         /// Number of items.
         fn len(&self) -> usize;
+        /// Whether the source is empty.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
         /// Yields item `i`.
         ///
         /// # Safety
