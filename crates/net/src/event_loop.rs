@@ -154,6 +154,13 @@ pub struct EventLoopConfig {
     /// yet replied; beyond it the loop stops reading that socket until
     /// completions catch up (pipelining backpressure).
     pub max_inflight: usize,
+    /// Per-connection high-water mark on queued-but-unflushed reply
+    /// bytes; beyond it the loop stops reading that socket until the
+    /// peer drains its replies (outbound backpressure — a client that
+    /// pipelines requests without reading cannot grow the reply queue
+    /// without bound).  A single reply larger than the mark is still
+    /// queued whole; only further reads stall.
+    pub max_out_bytes: usize,
     /// How long the drain phase waits for in-flight work and flushes
     /// before force-closing stragglers.
     pub drain_timeout: Duration,
@@ -168,6 +175,7 @@ impl Default for EventLoopConfig {
             max_payload: 64 * 1024 * 1024,
             max_connections: 16 * 1024,
             max_inflight: 256,
+            max_out_bytes: 16 * 1024 * 1024,
             drain_timeout: Duration::from_secs(10),
             tick: Duration::from_millis(50),
         }
@@ -290,6 +298,10 @@ impl EventLoop {
         let mut drain_deadline = Instant::now(); // set when drain starts
 
         loop {
+            // `wait` appends; without this clear every event ever seen
+            // would be replayed each iteration (unbounded growth, and
+            // stale readable events would defeat read backpressure).
+            events.clear();
             self.poller.wait(&mut events, Some(self.config.tick))?;
 
             for stream in self.handoff.take() {
@@ -511,8 +523,10 @@ impl EventLoop {
                 continue;
             }
 
-            let want_read =
-                cs.read_open && !cs.closing && cs.outstanding < self.config.max_inflight;
+            let want_read = cs.read_open
+                && !cs.closing
+                && cs.outstanding < self.config.max_inflight
+                && cs.conn.pending_out_bytes() < self.config.max_out_bytes;
             let want_write = cs.conn.wants_write();
             if (want_read, want_write) != (cs.reg_read, cs.reg_write) {
                 if self

@@ -5,6 +5,7 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -243,6 +244,138 @@ fn reply_close_flushes_then_disconnects() {
     let mut rest = Vec::new();
     s.read_to_end(&mut rest).expect("eof");
     assert!(rest.is_empty());
+
+    stop.store(true, Ordering::SeqCst);
+    jh.join().expect("join").expect("loop ok");
+}
+
+#[test]
+fn non_reading_pipeliner_stalls_on_outbound_backpressure() {
+    // Regression for two review findings: replayed stale readiness
+    // events (the loop must clear the event buffer each iteration) and
+    // missing outbound flow control.  A client that pipelines requests
+    // without reading replies must eventually stall against TCP flow
+    // control — the loop stops reading once the connection's unflushed
+    // reply bytes pass `max_out_bytes` — rather than the server
+    // consuming every request and queueing amplified replies forever.
+    const REPLY_LEN: usize = 64 * 1024;
+
+    // Pin kernel socket buffers small (tcp_rmem autotunes to tens of
+    // MB on this box, which would absorb the whole request budget and
+    // mask the stall).  Accepted sockets inherit the listener's
+    // SO_RCVBUF.
+    fn shrink_buf(fd: std::os::fd::RawFd, optname: i32) {
+        const SOL_SOCKET: i32 = 1;
+        extern "C" {
+            fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32)
+                -> i32;
+        }
+        let val: i32 = 64 * 1024;
+        let r = unsafe {
+            setsockopt(fd, SOL_SOCKET, optname, (&val as *const i32).cast(), 4)
+        };
+        assert_eq!(r, 0, "setsockopt failed");
+    }
+    const SO_SNDBUF: i32 = 7;
+    const SO_RCVBUF: i32 = 8;
+
+    struct AmpHandler {
+        stop: Arc<AtomicBool>,
+    }
+    impl FrameHandler for AmpHandler {
+        fn on_frame(&mut self, _t: Ticket, payload: Vec<u8>) -> FrameOutcome {
+            FrameOutcome::Reply(vec![payload[0]; REPLY_LEN])
+        }
+        fn draining(&self) -> bool {
+            self.stop.load(Ordering::SeqCst)
+        }
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    shrink_buf(listener.as_raw_fd(), SO_RCVBUF);
+    let addr = listener.local_addr().expect("addr");
+    let config = EventLoopConfig {
+        max_out_bytes: 256 * 1024,
+        ..EventLoopConfig::default()
+    };
+    let ev = EventLoop::new(Some(listener), config).expect("loop");
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handler = AmpHandler { stop: Arc::clone(&stop) };
+    let jh = thread::spawn(move || ev.run(&mut handler));
+
+    let mut s = TcpStream::connect(addr).expect("connect");
+    shrink_buf(s.as_raw_fd(), SO_SNDBUF);
+    s.set_nonblocking(true).expect("nonblocking");
+    let req = frame(&[0x5au8; 4096]);
+    // Far more request bytes than the pinned socket buffers hold: an
+    // unthrottled server would consume the lot.
+    let budget = 2000usize;
+    let mut sent = 0usize;
+    let mut pos = 0usize;
+    let mut stall_start: Option<std::time::Instant> = None;
+    let mut stalled = false;
+    while sent < budget {
+        match s.write(&req[pos..]) {
+            Ok(0) => panic!("zero-byte write"),
+            Ok(n) => {
+                stall_start = None;
+                pos += n;
+                if pos == req.len() {
+                    pos = 0;
+                    sent += 1;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                let t0 = *stall_start.get_or_insert_with(std::time::Instant::now);
+                if t0.elapsed() > Duration::from_secs(2) {
+                    stalled = true;
+                    break;
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => panic!("send: {e}"),
+        }
+    }
+    assert!(
+        stalled,
+        "server consumed {sent} frames from a non-reading client without stalling it"
+    );
+
+    // Backpressure must stall, not corrupt: drain the replies, finish
+    // the partial frame, half-close, and check every fully-sent
+    // request produced exactly one intact reply.
+    let reader = {
+        let mut rd = s.try_clone().expect("clone");
+        thread::spawn(move || {
+            // NB: blocking mode is shared with the writer via the
+            // duplicated fd — the writer switches modes below too.
+            rd.set_nonblocking(false).expect("blocking reader");
+            let mut count = 0usize;
+            loop {
+                let mut len = [0u8; 4];
+                match rd.read_exact(&mut len) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                    Err(e) => panic!("reply length: {e}"),
+                }
+                let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+                rd.read_exact(&mut payload).expect("reply payload");
+                assert_eq!(payload.len(), REPLY_LEN, "truncated reply");
+                assert!(payload.iter().all(|&b| b == 0x5a), "corrupted reply");
+                count += 1;
+            }
+            count
+        })
+    };
+    s.set_nonblocking(false).expect("blocking");
+    if pos > 0 {
+        s.write_all(&req[pos..]).expect("finish partial frame");
+        sent += 1;
+    }
+    s.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let replies = reader.join().expect("reader");
+    assert_eq!(replies, sent, "every fully-sent request gets exactly one reply");
 
     stop.store(true, Ordering::SeqCst);
     jh.join().expect("join").expect("loop ok");

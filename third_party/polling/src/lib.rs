@@ -340,7 +340,11 @@ mod backend {
                     writable,
                 },
             );
-            Ok(())
+            drop(reg);
+            // A wait blocked on the pre-mutation snapshot must re-poll
+            // to observe the new interest set (epoll gets this for free
+            // from the kernel; poll(2) snapshots the registry).
+            self.notify()
         }
 
         /// Replaces the interest set of an already-registered `fd`.
@@ -360,7 +364,9 @@ mod backend {
                         readable,
                         writable,
                     };
-                    Ok(())
+                    drop(reg);
+                    // See `add`: wake any wait holding a stale snapshot.
+                    self.notify()
                 }
                 None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
             }
@@ -368,8 +374,11 @@ mod backend {
 
         /// Deregisters `fd` (the caller still owns and closes it).
         pub fn delete(&self, fd: RawFd) -> io::Result<()> {
-            match self.registry.lock().unwrap().remove(&fd) {
-                Some(_) => Ok(()),
+            let removed = self.registry.lock().unwrap().remove(&fd);
+            match removed {
+                // See `add`: a wait still polling the deleted fd must
+                // re-snapshot before the caller closes/reuses it.
+                Some(_) => self.notify(),
                 None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
             }
         }
@@ -521,6 +530,53 @@ mod tests {
             "notify must cut the wait short"
         );
         waker.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_add_is_observed_by_blocked_wait() {
+        // Regression: the poll(2) backend snapshots its registry per
+        // wait, so a registration from another thread must notify() a
+        // blocked wait or the new fd goes unobserved until the current
+        // wait returns on its own.  (epoll observes epoll_ctl natively;
+        // this test pins the behavioural parity.)
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        // Data is on the wire before registration: the fd is readable
+        // the instant it is added.
+        client.write_all(b"x").unwrap();
+
+        let poller = Arc::new(Poller::new().unwrap());
+        let p2 = Arc::clone(&poller);
+        let waiter = std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut events = Vec::new();
+            // Bare wakeups return 0 events; keep waiting until a user
+            // event arrives or the overall deadline passes.
+            while Instant::now() < deadline {
+                events.clear();
+                let n = p2.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+                if n > 0 {
+                    break;
+                }
+            }
+            events
+        });
+        // Let the waiter block on the empty pre-registration snapshot.
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        poller.add(server.as_raw_fd(), 9, true, false).unwrap();
+        let events = waiter.join().unwrap();
+        assert!(
+            events.iter().any(|e| e.key == 9 && e.readable),
+            "registration from another thread must surface the ready fd"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "add() must wake the blocked wait, not ride out its timeout"
+        );
+        poller.delete(server.as_raw_fd()).unwrap();
     }
 
     #[test]
