@@ -19,20 +19,38 @@
 //!    which matters at `mbs = 4`);
 //! 2. the `d`-double gradient — the `O(h·n)` communication of Eq. 15.
 //!
+//! **Backends.**  The trainer runs the same algorithm over two kinds of
+//! communicator, selected at construction:
+//!
+//! * [`DistributedTrainer::new`] — the in-process [`Cluster`]: one
+//!   process owns all `L` replica states, devices are threads, and
+//!   communication is the synthetic-cost tree of `vqmc-cluster` (the
+//!   modelled clock carries the weak-scaling figures).
+//! * [`DistributedTrainer::over_mesh`] — one rank of a real
+//!   multi-process mesh ([`Collective`], e.g. `vqmc_dist::Mesh` over
+//!   TCP): this process owns exactly *its* replica; the scalar stats
+//!   travel by allgather + a local tree pass (same
+//!   [`allreduce_mean_tree`] call ⇒ same bits as the cluster arm) and
+//!   the gradient by the wire allreduce.  Because per-rank RNG streams,
+//!   reduction order and update order are identical across backends,
+//!   an `L`-rank socket run is **bit-identical** to an `L`-device
+//!   cluster run — property-tested in `vqmc-dist`.
+//!
 //! Timing: compute is charged to the modelled clock from the flop
-//! counts in [`crate::cost`]; the allreduce charges per tree hop.  See
-//! `vqmc-cluster` docs for why modelled time carries the weak-scaling
-//! claims.
+//! counts in [`crate::cost`] (cluster backend only); the allreduce
+//! charges per tree hop.  See `vqmc-cluster` docs for why modelled time
+//! carries the weak-scaling claims.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vqmc_cluster::Cluster;
+use vqmc_cluster::{allreduce_mean_tree, Cluster, Topology};
 use vqmc_hamiltonian::{local_energies_into, LocalEnergyConfig, LocalEnergyScratch, SparseRowHamiltonian};
 use vqmc_nn::WaveFunction;
 use vqmc_optim::Optimizer;
-use vqmc_sampler::{SampleOutput, Sampler};
+use vqmc_sampler::{SampleOutput, SampleStats, Sampler};
 use vqmc_tensor::{SpinBatch, Vector, Workspace};
 
+use crate::backend::{Collective, CollectiveError};
 use crate::cost;
 use crate::trainer::{IterationRecord, OptimizerChoice, TrainingTrace};
 
@@ -80,9 +98,40 @@ struct DeviceState<W, S> {
     params: Vector,
 }
 
-/// Data-parallel trainer over a [`Cluster`].
+impl<W, S> DeviceState<W, S>
+where
+    W: WaveFunction + Clone,
+    S: Sampler<W> + Clone,
+{
+    fn new(rank: usize, wf: &W, sampler: &S, config: &DistributedConfig) -> Self {
+        DeviceState {
+            wf: wf.clone(),
+            rng: StdRng::seed_from_u64(crate::derive_seed(config.seed, rank as u64, 1)),
+            opt: make_optimizer(config.optimizer),
+            sampler: sampler.clone(),
+            out: SampleOutput::default(),
+            local: Vector::default(),
+            le: LocalEnergyScratch::default(),
+            ws: Workspace::default(),
+            weights: Vector::default(),
+            params: Vector::default(),
+        }
+    }
+}
+
+/// Where the other replicas live.
+enum Backend {
+    /// In-process: this trainer owns all `L` device states and the
+    /// synthetic-cost cluster.
+    Cluster(Cluster),
+    /// One rank of a real multi-process communicator; this trainer owns
+    /// exactly one device state.
+    Mesh(Box<dyn Collective>),
+}
+
+/// Data-parallel trainer over a [`Cluster`] or a rank mesh.
 pub struct DistributedTrainer<W, S> {
-    cluster: Cluster,
+    backend: Backend,
     states: Vec<DeviceState<W, S>>,
     config: DistributedConfig,
 }
@@ -92,36 +141,44 @@ where
     W: WaveFunction + Clone,
     S: Sampler<W> + Clone,
 {
-    /// Builds the trainer: `wf` is replicated onto every device; each
-    /// device gets an independent RNG stream, its own optimiser
-    /// instance and its own sampler clone (identical construction ⇒
-    /// identical trajectories; sampler scratch is per-device).
+    /// Builds the in-process trainer: `wf` is replicated onto every
+    /// device; each device gets an independent RNG stream, its own
+    /// optimiser instance and its own sampler clone (identical
+    /// construction ⇒ identical trajectories; sampler scratch is
+    /// per-device).
     pub fn new(cluster: Cluster, wf: W, sampler: S, config: DistributedConfig) -> Self {
         let l = cluster.num_devices();
         let states = (0..l)
-            .map(|rank| DeviceState {
-                wf: wf.clone(),
-                rng: StdRng::seed_from_u64(crate::derive_seed(config.seed, rank as u64, 1)),
-                opt: make_optimizer(config.optimizer),
-                sampler: sampler.clone(),
-                out: SampleOutput::default(),
-                local: Vector::default(),
-                le: LocalEnergyScratch::default(),
-                ws: Workspace::default(),
-                weights: Vector::default(),
-                params: Vector::default(),
-            })
+            .map(|rank| DeviceState::new(rank, &wf, &sampler, &config))
             .collect();
         DistributedTrainer {
-            cluster,
+            backend: Backend::Cluster(cluster),
             states,
             config,
         }
     }
 
-    /// Number of devices `L`.
+    /// Builds one rank's trainer over a real communicator: this process
+    /// owns the replica for `mesh.rank()` and nothing else.  All ranks
+    /// must construct with identical `(wf, sampler, config)`; the
+    /// per-rank RNG stream is derived exactly as in the cluster
+    /// backend, so an `L`-rank mesh run is bit-identical to an
+    /// `L`-device cluster run.
+    pub fn over_mesh(mesh: Box<dyn Collective>, wf: W, sampler: S, config: DistributedConfig) -> Self {
+        let state = DeviceState::new(mesh.rank(), &wf, &sampler, &config);
+        DistributedTrainer {
+            backend: Backend::Mesh(mesh),
+            states: vec![state],
+            config,
+        }
+    }
+
+    /// Number of devices `L` (all ranks, whatever the backend).
     pub fn num_devices(&self) -> usize {
-        self.cluster.num_devices()
+        match &self.backend {
+            Backend::Cluster(c) => c.num_devices(),
+            Backend::Mesh(m) => m.world(),
+        }
     }
 
     /// Effective global batch size `mbs × L`.
@@ -130,11 +187,20 @@ where
     }
 
     /// The cluster (for clock readout).
+    ///
+    /// # Panics
+    /// On a mesh-backed trainer, which has no modelled clock.
     pub fn cluster(&self) -> &Cluster {
-        &self.cluster
+        match &self.backend {
+            Backend::Cluster(c) => c,
+            Backend::Mesh(_) => panic!("cluster(): trainer runs on a socket mesh"),
+        }
     }
 
-    /// Asserts every replica holds bit-identical parameters.
+    /// Asserts every replica held *by this process* is bit-identical.
+    /// On the cluster backend that is all `L` replicas; on a mesh rank
+    /// it is trivially true (cross-process consistency is asserted by
+    /// the `vqmc-dist` oracle tests instead).
     pub fn assert_replicas_consistent(&self) {
         let reference = self.states[0].wf.params();
         for (rank, st) in self.states.iter().enumerate().skip(1) {
@@ -147,163 +213,336 @@ where
         }
     }
 
+    /// Final parameters of the (rank-0 or local) replica.
+    pub fn params(&self) -> Vector {
+        self.states[0].wf.params()
+    }
+
     /// One distributed training iteration.
+    ///
+    /// # Panics
+    /// On a collective failure (mesh backend only) — use
+    /// [`DistributedTrainer::try_step`] where rank loss must be
+    /// handled.
     pub fn step(&mut self, h: &dyn SparseRowHamiltonian) -> IterationRecord {
-        let start = std::time::Instant::now();
-        let mbs = self.config.minibatch_per_device;
-        let le_cfg = self.config.local_energy;
-        let n = h.num_spins();
-        let hid = self.config.cost_hidden;
-        let offd = self.config.cost_offdiag;
+        self.try_step(h).expect("collective failed")
+    }
 
-        // Phase 1 (parallel): sample + measure; keep batch on-device.
-        let stats: Vec<(f64, f64, f64, vqmc_sampler::SampleStats)> =
-            self.cluster.run_round_mut(&mut self.states, |_rank, st| {
-                let DeviceState {
-                    wf,
-                    rng,
-                    sampler,
-                    out,
-                    local,
-                    le,
-                    ws,
-                    ..
-                } = st;
-                sampler.sample_into(wf, mbs, rng, out);
-                let wf_ref: &W = wf;
-                let mut eval = |b: &SpinBatch, dst: &mut Vector| wf_ref.log_psi_into(b, ws, dst);
-                local_energies_into(h, &out.batch, &out.log_psi, &mut eval, le_cfg, le, local);
-                let sum: f64 = local.sum();
-                let sum_sq: f64 = local.iter().map(|l| l * l).sum();
-                let min = local.min();
-                (sum, sum_sq, min, out.stats)
-            });
-        // Charge the per-device compute for phase 1: streamed flops plus
-        // the launch overhead of every batched pass (sampling passes as
-        // reported by the sampler, +2 for the measurement's own-batch
-        // and neighbour evaluations).
-        let phase1_flops = cost::auto_sampling_flops(mbs, n, hid)
-            + cost::measurement_flops(mbs, n, hid, offd);
-        self.cluster.charge_flops_all(phase1_flops);
-        self.cluster
-            .charge_passes_all(stats[0].3.forward_passes + 2);
-
-        // Collective 1: scalar statistics (3 doubles — negligible bytes,
-        // still a tree traversal's worth of latency).
-        let scalar_vectors: Vec<Vector> = stats
-            .iter()
-            .map(|&(sum, sum_sq, min, _)| Vector(vec![sum, sum_sq, min]))
-            .collect();
-        let scalar_mean = self.cluster.allreduce_mean(scalar_vectors);
-        let bs_global = (mbs * self.num_devices()) as f64;
-        let energy = scalar_mean[0] * self.num_devices() as f64 / bs_global;
-        let mean_sq = scalar_mean[1] * self.num_devices() as f64 / bs_global;
-        let variance = (mean_sq - energy * energy).max(0.0);
-        let min_energy = stats
-            .iter()
-            .map(|s| s.2)
-            .fold(f64::INFINITY, f64::min);
-
-        // Phase 2 (parallel): partial gradients against the global
-        // baseline, normalised so that the allreduce MEAN of partials is
-        // the global gradient.
-        let grads: Vec<Vector> = self.cluster.run_round_mut(&mut self.states, |_rank, st| {
-            let DeviceState {
-                wf,
-                out,
-                local,
-                ws,
-                weights,
-                ..
-            } = st;
-            weights.resize(mbs);
-            for (w, &l) in weights.iter_mut().zip(local.iter()) {
-                *w = 2.0 * (l - energy) / mbs as f64;
+    /// One distributed training iteration, surfacing collective
+    /// failures.  On `Err` no partial update has been applied: every
+    /// communication round completes before the optimiser step runs.
+    pub fn try_step(
+        &mut self,
+        h: &dyn SparseRowHamiltonian,
+    ) -> Result<IterationRecord, CollectiveError> {
+        let config = self.config;
+        match &mut self.backend {
+            Backend::Cluster(cluster) => {
+                let rec = step_cluster(cluster, &mut self.states, &config, h);
+                if cfg!(debug_assertions) {
+                    self.assert_replicas_consistent();
+                }
+                Ok(rec)
             }
-            let mut grad = Vector::default();
-            wf.weighted_log_psi_grad_into(&out.batch, weights, ws, &mut grad);
-            grad
-        });
-        self.cluster
-            .charge_flops_all(cost::backward_flops(mbs, n, hid));
-        self.cluster.charge_passes_all(1);
-
-        // Collective 2: the gradient allreduce (the O(h·n) of Eq. 15).
-        let avg_grad = self.cluster.allreduce_mean(grads);
-
-        // Phase 3 (parallel): identical local updates.
-        let grad_ref = &avg_grad;
-        self.cluster.run_round_mut(&mut self.states, |_rank, st| {
-            let DeviceState { wf, opt, params, .. } = st;
-            wf.params_into(params);
-            opt.step(params, grad_ref);
-            wf.set_params(params);
-        });
-        self.cluster.sync();
-
-        if cfg!(debug_assertions) {
-            self.assert_replicas_consistent();
-        }
-
-        let agg_stats = stats.iter().fold(
-            vqmc_sampler::SampleStats::default(),
-            |mut acc, &(_, _, _, s)| {
-                acc.forward_passes += s.forward_passes;
-                acc.configurations_evaluated += s.configurations_evaluated;
-                acc.proposals += s.proposals;
-                acc.accepted += s.accepted;
-                acc
-            },
-        );
-        IterationRecord {
-            energy,
-            std_dev: variance.sqrt(),
-            min_energy,
-            wall_secs: start.elapsed().as_secs_f64(),
-            sample_stats: agg_stats,
+            Backend::Mesh(mesh) => step_mesh(mesh.as_mut(), &mut self.states[0], &config, h),
         }
     }
 
     /// Runs the configured number of iterations.
+    ///
+    /// # Panics
+    /// On a collective failure — see [`DistributedTrainer::try_run`].
     pub fn run(&mut self, h: &dyn SparseRowHamiltonian) -> TrainingTrace {
+        self.try_run(h).expect("collective failed")
+    }
+
+    /// Runs the configured number of iterations, stopping cleanly at
+    /// the first collective failure.
+    pub fn try_run(
+        &mut self,
+        h: &dyn SparseRowHamiltonian,
+    ) -> Result<TrainingTrace, CollectiveError> {
         let start = std::time::Instant::now();
         let mut records = Vec::with_capacity(self.config.iterations);
         for _ in 0..self.config.iterations {
-            records.push(self.step(h));
+            records.push(self.try_step(h)?);
         }
-        TrainingTrace {
+        Ok(TrainingTrace {
             records,
             total_secs: start.elapsed().as_secs_f64(),
-        }
+        })
     }
 
     /// A sampling-only round (the measurement of the paper's Figure 3):
     /// every device draws `mbs` samples; only sampling flops are
     /// charged.  Returns the modelled seconds the round took.
+    ///
+    /// # Panics
+    /// On a mesh-backed trainer (no modelled clock).
     pub fn sampling_round(&mut self) -> f64 {
-        let before = self.cluster.elapsed_modelled();
+        let cluster = match &mut self.backend {
+            Backend::Cluster(c) => c,
+            Backend::Mesh(_) => panic!("sampling_round(): trainer runs on a socket mesh"),
+        };
+        let before = cluster.elapsed_modelled();
         let mbs = self.config.minibatch_per_device;
         let hid = self.config.cost_hidden;
-        let stats: Vec<(usize, usize)> =
-            self.cluster.run_round_mut(&mut self.states, |_rank, st| {
-                let DeviceState {
-                    wf, rng, sampler, out, ..
-                } = st;
-                sampler.sample_into(wf, mbs, rng, out);
-                (out.batch.num_spins(), out.stats.forward_passes)
-            });
+        let stats: Vec<(usize, usize)> = cluster.run_round_mut(&mut self.states, |_rank, st| {
+            let DeviceState {
+                wf, rng, sampler, out, ..
+            } = st;
+            sampler.sample_into(wf, mbs, rng, out);
+            (out.batch.num_spins(), out.stats.forward_passes)
+        });
         let (n, passes) = stats[0];
-        self.cluster
-            .charge_flops_all(cost::auto_sampling_flops(mbs, n, hid));
-        self.cluster.charge_passes_all(passes);
-        self.cluster.sync();
-        self.cluster.elapsed_modelled() - before
+        cluster.charge_flops_all(cost::auto_sampling_flops(mbs, n, hid));
+        cluster.charge_passes_all(passes);
+        cluster.sync();
+        cluster.elapsed_modelled() - before
     }
 
-    /// Total modelled seconds elapsed on the cluster.
+    /// Total modelled seconds elapsed on the cluster (0 on a mesh rank,
+    /// which has wall-clock time only).
     pub fn elapsed_modelled(&self) -> f64 {
-        self.cluster.elapsed_modelled()
+        match &self.backend {
+            Backend::Cluster(c) => c.elapsed_modelled(),
+            Backend::Mesh(_) => 0.0,
+        }
     }
+}
+
+/// Phase 1 per-device work: sample `mbs` configurations, measure local
+/// energies, return (Σl, Σl², min, sampler stats).  Identical between
+/// backends by construction — it is the same closure body.
+fn measure_device<W, S>(
+    st: &mut DeviceState<W, S>,
+    h: &dyn SparseRowHamiltonian,
+    mbs: usize,
+    le_cfg: LocalEnergyConfig,
+) -> (f64, f64, f64, SampleStats)
+where
+    W: WaveFunction,
+    S: Sampler<W>,
+{
+    let DeviceState {
+        wf,
+        rng,
+        sampler,
+        out,
+        local,
+        le,
+        ws,
+        ..
+    } = st;
+    sampler.sample_into(wf, mbs, rng, out);
+    let wf_ref: &W = wf;
+    let mut eval = |b: &SpinBatch, dst: &mut Vector| wf_ref.log_psi_into(b, ws, dst);
+    local_energies_into(h, &out.batch, &out.log_psi, &mut eval, le_cfg, le, local);
+    let sum: f64 = local.sum();
+    let sum_sq: f64 = local.iter().map(|l| l * l).sum();
+    let min = local.min();
+    (sum, sum_sq, min, out.stats)
+}
+
+/// Phase 2 per-device work: the partial gradient against the global
+/// baseline, normalised so the allreduce MEAN of partials is the global
+/// gradient.
+fn partial_gradient<W, S>(st: &mut DeviceState<W, S>, mbs: usize, energy: f64, grad: &mut Vector)
+where
+    W: WaveFunction,
+    S: Sampler<W>,
+{
+    let DeviceState {
+        wf,
+        out,
+        local,
+        ws,
+        weights,
+        ..
+    } = st;
+    weights.resize(mbs);
+    for (w, &l) in weights.iter_mut().zip(local.iter()) {
+        *w = 2.0 * (l - energy) / mbs as f64;
+    }
+    wf.weighted_log_psi_grad_into(&out.batch, weights, ws, grad);
+}
+
+/// Phase 3 per-device work: the identical local update.
+fn apply_update<W, S>(st: &mut DeviceState<W, S>, avg_grad: &Vector)
+where
+    W: WaveFunction,
+    S: Sampler<W>,
+{
+    let DeviceState { wf, opt, params, .. } = st;
+    wf.params_into(params);
+    opt.step(params, avg_grad);
+    wf.set_params(params);
+}
+
+/// Derives the iteration record scalars from the tree-reduced stats.
+fn energy_from_scalar_mean(scalar_mean: &Vector, l: usize, mbs: usize) -> (f64, f64) {
+    let bs_global = (mbs * l) as f64;
+    let energy = scalar_mean[0] * l as f64 / bs_global;
+    let mean_sq = scalar_mean[1] * l as f64 / bs_global;
+    let variance = (mean_sq - energy * energy).max(0.0);
+    (energy, variance)
+}
+
+fn step_cluster<W, S>(
+    cluster: &mut Cluster,
+    states: &mut [DeviceState<W, S>],
+    config: &DistributedConfig,
+    h: &dyn SparseRowHamiltonian,
+) -> IterationRecord
+where
+    W: WaveFunction + Clone,
+    S: Sampler<W> + Clone,
+{
+    let start = std::time::Instant::now();
+    let mbs = config.minibatch_per_device;
+    let le_cfg = config.local_energy;
+    let n = h.num_spins();
+    let hid = config.cost_hidden;
+    let offd = config.cost_offdiag;
+    let l = cluster.num_devices();
+
+    // Phase 1 (parallel): sample + measure; keep batch on-device.
+    let stats: Vec<(f64, f64, f64, SampleStats)> =
+        cluster.run_round_mut(states, |_rank, st| measure_device(st, h, mbs, le_cfg));
+    // Charge the per-device compute for phase 1: streamed flops plus
+    // the launch overhead of every batched pass (sampling passes as
+    // reported by the sampler, +2 for the measurement's own-batch
+    // and neighbour evaluations).
+    let phase1_flops =
+        cost::auto_sampling_flops(mbs, n, hid) + cost::measurement_flops(mbs, n, hid, offd);
+    cluster.charge_flops_all(phase1_flops);
+    cluster.charge_passes_all(stats[0].3.forward_passes + 2);
+
+    // Collective 1: scalar statistics (3 doubles — negligible bytes,
+    // still a tree traversal's worth of latency).
+    let scalar_vectors: Vec<Vector> = stats
+        .iter()
+        .map(|&(sum, sum_sq, min, _)| Vector(vec![sum, sum_sq, min]))
+        .collect();
+    let scalar_mean = cluster.allreduce_mean(scalar_vectors);
+    let (energy, variance) = energy_from_scalar_mean(&scalar_mean, l, mbs);
+    let min_energy = stats.iter().map(|s| s.2).fold(f64::INFINITY, f64::min);
+
+    // Phase 2 (parallel): partial gradients against the global baseline.
+    let grads: Vec<Vector> = cluster.run_round_mut(states, |_rank, st| {
+        let mut grad = Vector::default();
+        partial_gradient(st, mbs, energy, &mut grad);
+        grad
+    });
+    cluster.charge_flops_all(cost::backward_flops(mbs, n, hid));
+    cluster.charge_passes_all(1);
+
+    // Collective 2: the gradient allreduce (the O(h·n) of Eq. 15).
+    let avg_grad = cluster.allreduce_mean(grads);
+
+    // Phase 3 (parallel): identical local updates.
+    let grad_ref = &avg_grad;
+    cluster.run_round_mut(states, |_rank, st| apply_update(st, grad_ref));
+    cluster.sync();
+
+    let agg_stats = stats
+        .iter()
+        .fold(SampleStats::default(), |mut acc, &(_, _, _, s)| {
+            acc.forward_passes += s.forward_passes;
+            acc.configurations_evaluated += s.configurations_evaluated;
+            acc.proposals += s.proposals;
+            acc.accepted += s.accepted;
+            acc
+        });
+    IterationRecord {
+        energy,
+        std_dev: variance.sqrt(),
+        min_energy,
+        wall_secs: start.elapsed().as_secs_f64(),
+        sample_stats: agg_stats,
+    }
+}
+
+/// The mesh arm of one iteration: identical phase bodies, but this
+/// process computes only its own rank's share and the collectives run
+/// over the wire.
+///
+/// Bit-identity with [`step_cluster`]: the scalar statistics are
+/// **allgathered** (7 doubles: Σl, Σl², min + 4 sampler counters) and
+/// every rank then runs the *same local* [`allreduce_mean_tree`] call
+/// over the rank-ordered triples the cluster arm feeds it — same
+/// function, same inputs, same bits.  The gradient takes the wire
+/// allreduce, whose pairwise schedule mirrors the same tree (tested in
+/// `vqmc-dist` against this very function).
+fn step_mesh<W, S>(
+    mesh: &mut dyn Collective,
+    st: &mut DeviceState<W, S>,
+    config: &DistributedConfig,
+    h: &dyn SparseRowHamiltonian,
+) -> Result<IterationRecord, CollectiveError>
+where
+    W: WaveFunction + Clone,
+    S: Sampler<W> + Clone,
+{
+    let start = std::time::Instant::now();
+    let mbs = config.minibatch_per_device;
+    let l = mesh.world();
+
+    // Phase 1: this rank's sample + measure.
+    let (sum, sum_sq, min, sstats) = measure_device(st, h, mbs, config.local_energy);
+
+    // Collective 1: allgather the scalar stats, then reduce the
+    // rank-ordered triples through the *local* tree — the identical
+    // computation the cluster backend performs centrally.  The sampler
+    // counters ride along as exact small integers in f64.
+    let packed = Vector(vec![
+        sum,
+        sum_sq,
+        min,
+        sstats.forward_passes as f64,
+        sstats.configurations_evaluated as f64,
+        sstats.proposals as f64,
+        sstats.accepted as f64,
+    ]);
+    let gathered = mesh.allgather(&packed)?;
+    if gathered.len() != l || gathered.iter().any(|g| g.len() != 7) {
+        return Err(CollectiveError::Protocol(
+            "scalar-stats allgather returned wrong shape".into(),
+        ));
+    }
+    let scalar_vectors: Vec<Vector> = gathered
+        .iter()
+        .map(|g| Vector(vec![g[0], g[1], g[2]]))
+        .collect();
+    let scalar_mean = allreduce_mean_tree(scalar_vectors, &Topology::new(1, l)).0;
+    let (energy, variance) = energy_from_scalar_mean(&scalar_mean, l, mbs);
+    let min_energy = gathered.iter().map(|g| g[2]).fold(f64::INFINITY, f64::min);
+
+    // Phase 2: this rank's partial gradient; collective 2 on the wire.
+    let mut grad = Vector::default();
+    partial_gradient(st, mbs, energy, &mut grad);
+    let avg_grad = mesh.allreduce_mean(grad)?;
+
+    // Phase 3: the identical local update (only after every collective
+    // of this iteration has succeeded — no partial state on error).
+    apply_update(st, &avg_grad);
+
+    let agg_stats = gathered
+        .iter()
+        .fold(SampleStats::default(), |mut acc, g| {
+            acc.forward_passes += g[3] as usize;
+            acc.configurations_evaluated += g[4] as usize;
+            acc.proposals += g[5] as usize;
+            acc.accepted += g[6] as usize;
+            acc
+        });
+    Ok(IterationRecord {
+        energy,
+        std_dev: variance.sqrt(),
+        min_energy,
+        wall_secs: start.elapsed().as_secs_f64(),
+        sample_stats: agg_stats,
+    })
 }
 
 fn make_optimizer(choice: OptimizerChoice) -> Box<dyn Optimizer> {
@@ -320,6 +559,8 @@ fn make_optimizer(choice: OptimizerChoice) -> Box<dyn Optimizer> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::ThreadMesh;
+    use std::time::Duration;
     use vqmc_cluster::{DeviceSpec, Topology};
     use vqmc_hamiltonian::TransverseFieldIsing;
     use vqmc_nn::Made;
@@ -414,5 +655,66 @@ mod tests {
             trace.final_energy() < trace.records[0].energy,
             "training must lower the energy"
         );
+    }
+
+    /// The seam contract: an `L`-rank mesh run (here over the in-process
+    /// [`ThreadMesh`] oracle) is bit-identical to the `L`-device cluster
+    /// run — every iteration's energy/std/min and the final parameters.
+    #[test]
+    fn mesh_backend_bit_identical_to_cluster_backend() {
+        let n = 6;
+        let h = TransverseFieldIsing::random(n, 13);
+        for world in [2usize, 3, 4] {
+            let cfg = config(4, 8, 7, 10, n);
+            let cluster = Cluster::new(Topology::new(1, world), DeviceSpec::v100());
+            let mut reference =
+                DistributedTrainer::new(cluster, Made::new(n, 10, 42), AutoSampler::new(), cfg);
+            let ref_trace = reference.run(&h);
+            let ref_params = reference.params();
+
+            let meshes = ThreadMesh::split(world, Duration::from_secs(30));
+            let handles: Vec<_> = meshes
+                .into_iter()
+                .map(|mesh| {
+                    let h = h.clone();
+                    std::thread::spawn(move || {
+                        let mut t = DistributedTrainer::over_mesh(
+                            Box::new(mesh),
+                            Made::new(n, 10, 42),
+                            AutoSampler::new(),
+                            cfg,
+                        );
+                        let trace = t.try_run(&h).unwrap();
+                        (trace, t.params())
+                    })
+                })
+                .collect();
+            for (rank, handle) in handles.into_iter().enumerate() {
+                let (trace, params) = handle.join().unwrap();
+                for (i, (a, b)) in ref_trace.records.iter().zip(&trace.records).enumerate() {
+                    assert_eq!(
+                        a.energy.to_bits(),
+                        b.energy.to_bits(),
+                        "world {world}, rank {rank}, iter {i}: energy"
+                    );
+                    assert_eq!(
+                        a.std_dev.to_bits(),
+                        b.std_dev.to_bits(),
+                        "world {world}, rank {rank}, iter {i}: std_dev"
+                    );
+                    assert_eq!(
+                        a.min_energy.to_bits(),
+                        b.min_energy.to_bits(),
+                        "world {world}, rank {rank}, iter {i}: min"
+                    );
+                    assert_eq!(a.sample_stats.forward_passes, b.sample_stats.forward_passes);
+                }
+                assert_eq!(
+                    ref_params.as_slice(),
+                    params.as_slice(),
+                    "world {world}, rank {rank}: parameters diverged from cluster run"
+                );
+            }
+        }
     }
 }

@@ -14,6 +14,12 @@
 //!   deterministic gradient allreduce, bit-identical replica updates
 //!   (asserted, not assumed) — the engine of Figures 3–4 and
 //!   Tables 6–7;
+//! * [`backend`] — the [`backend::Collective`] seam the distributed
+//!   trainers communicate through: world-size-1, in-process thread
+//!   rendezvous (the oracle), or the real-socket mesh of `vqmc-dist`;
+//! * [`sharded`] — rank-count-invariant multi-process training
+//!   (replicated sampling, sharded measurement): the mode that
+//!   reproduces the single-process golden trace at any `--ranks`;
 //! * [`hitting`] — the time-to-target harness of Table 5;
 //! * [`cost`] — the flop/byte accounting that drives the modelled
 //!   cluster clock (see `vqmc-cluster` for why modelled time, not
@@ -21,15 +27,19 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cost;
 pub mod distributed;
 pub mod estimator;
 pub mod hitting;
 pub mod model_parallel;
 pub mod observables;
+pub mod sharded;
 pub mod trainer;
 
+pub use backend::{Collective, CollectiveError, SoloCollective, ThreadMesh};
 pub use distributed::{DistributedConfig, DistributedTrainer};
+pub use sharded::{shard_bounds, ShardedTrainer};
 pub use estimator::{energy_gradient, EnergyStats};
 pub use hitting::{hitting_time, HittingConfig, HittingResult};
 pub use trainer::{

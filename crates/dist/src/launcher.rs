@@ -1,0 +1,118 @@
+//! Single-box launcher: reserves loopback ports and spawns one child
+//! process per rank, re-executing the current binary with per-rank
+//! flags.  The parent waits for all children and reports the first
+//! failure (killing the stragglers so a crashed rank never leaves the
+//! job wedged).
+
+use std::io;
+use std::net::TcpListener;
+use std::process::{Child, Command};
+
+/// Reserves `n` distinct loopback ports by binding ephemeral listeners
+/// and immediately dropping them.  The OS keeps recently-closed ports
+/// out of ephemeral reuse long enough for the children to re-bind them.
+pub fn reserve_loopback_ports(n: usize) -> io::Result<Vec<u16>> {
+    // Hold all listeners simultaneously so the same port is never
+    // handed out twice.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    listeners.iter().map(|l| Ok(l.local_addr()?.port())).collect()
+}
+
+/// Formats a reserved port list as the `--peers` address list.
+pub fn peers_for_ports(ports: &[u16]) -> Vec<String> {
+    ports.iter().map(|p| format!("127.0.0.1:{p}")).collect()
+}
+
+/// Spawns `world` copies of `exe`, one per rank.  `build_args(rank,
+/// &peers)` produces each child's full argument vector.  Rank 0
+/// inherits the parent's stdout/stderr (it is the printing rank);
+/// other ranks inherit stderr only, so their panics stay visible
+/// without interleaving into rank 0's report.
+///
+/// Returns when every child has exited.  If any child fails, the
+/// remaining children are killed and an error naming the first failed
+/// rank is returned.
+pub fn run_ranks(
+    exe: &str,
+    world: usize,
+    build_args: impl Fn(usize, &[String]) -> Vec<String>,
+) -> io::Result<()> {
+    let ports = reserve_loopback_ports(world)?;
+    let peers = peers_for_ports(&ports);
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(world);
+    for rank in 0..world {
+        let args = build_args(rank, &peers);
+        let mut cmd = Command::new(exe);
+        cmd.args(&args);
+        if rank != 0 {
+            cmd.stdout(std::process::Stdio::null());
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push((rank, child)),
+            Err(e) => {
+                for (_, mut c) in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("spawning rank {rank}: {e}"),
+                ));
+            }
+        }
+    }
+    let mut first_failure: Option<(usize, std::process::ExitStatus)> = None;
+    for i in 0..children.len() {
+        let status = children[i].1.wait()?;
+        let rank = children[i].0;
+        if !status.success() && first_failure.is_none() {
+            first_failure = Some((rank, status));
+            // A failed rank strands its peers mid-collective; their own
+            // RankLost timeouts would eventually fire, but killing them
+            // returns control to the user immediately.  The loop keeps
+            // running, so the killed ranks are reaped by their own
+            // `wait` below.
+            for (_, other) in children.iter_mut().skip(i + 1) {
+                let _ = other.kill();
+            }
+        }
+    }
+    match first_failure {
+        Some((rank, status)) => Err(io::Error::other(format!(
+            "rank {rank} exited with {status}"
+        ))),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_ports_are_distinct() {
+        let ports = reserve_loopback_ports(8).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for p in &ports {
+            assert!(seen.insert(*p), "duplicate reserved port {p}");
+        }
+        let peers = peers_for_ports(&ports);
+        assert_eq!(peers.len(), 8);
+        assert!(peers[0].starts_with("127.0.0.1:"));
+    }
+
+    #[test]
+    fn run_ranks_reports_failed_rank() {
+        // `false` exits 1 for every rank; the launcher must surface the
+        // failure instead of hanging or claiming success.
+        let err = run_ranks("false", 2, |_, _| Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("exited with"), "{err}");
+    }
+
+    #[test]
+    fn run_ranks_succeeds_on_clean_exits() {
+        run_ranks("true", 3, |_, _| Vec::new()).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! # vqmc-dist
+//!
+//! Multi-**process** data-parallel training over real TCP sockets.
+//! Where `vqmc-cluster` *simulates* a machine (synthetic clock, modelled
+//! interconnect) and `vqmc_core::backend::ThreadMesh` rendezvouses
+//! threads in one address space, this crate runs the same collectives
+//! between separate OS processes over loopback (or a real network):
+//!
+//! * [`wire`] — the framed message set (HELLO handshake, GOODBYE
+//!   orderly-leave, DATA collective hops) carried inside `vqmc-net`'s
+//!   length-prefixed framing;
+//! * [`mesh`] — [`Mesh`]: the full-mesh [`vqmc_core::Collective`] whose
+//!   `allreduce_mean` replays the **exact pairwise schedule** of
+//!   [`vqmc_cluster::allreduce_mean_tree`], making socket training
+//!   bit-identical to the in-process oracle (property-tested in
+//!   `tests/mesh_oracle.rs`);
+//! * [`launcher`] — single-box helper that reserves loopback ports and
+//!   spawns one child process per rank.
+//!
+//! The determinism contract and failure semantics (eager
+//! [`vqmc_core::CollectiveError::RankLost`] on dirty EOF, per-collective
+//! deadlines, no partial updates) are documented on [`mesh`].
+
+#![warn(missing_docs)]
+
+pub mod launcher;
+pub mod mesh;
+pub mod wire;
+
+pub use launcher::{peers_for_ports, reserve_loopback_ports, run_ranks};
+pub use mesh::{Mesh, MeshConfig};

@@ -1,0 +1,727 @@
+//! The socket rank mesh: a full TCP mesh of `world` processes with
+//! binomial-tree collectives whose pairwise combination order is the
+//! **verbatim schedule** of [`vqmc_cluster::allreduce_mean_tree`] — so
+//! an allreduce over the wire returns the same bits the in-process
+//! oracle returns for the same rank-ordered inputs (property-tested in
+//! this crate's `mesh_oracle` suite).
+//!
+//! ## Topology and handshake
+//!
+//! Rank `r` listens on `peers[r]`, dials every lower rank (with bounded
+//! backoff — a peer that never comes up yields a clean
+//! [`CollectiveError::Handshake`], not a hang) and accepts from every
+//! higher rank.  A `HELLO`/`HELLO_ACK` exchange pins protocol version,
+//! world size and rank identity before any collective traffic.
+//!
+//! ## Determinism
+//!
+//! The reduce phase runs the oracle's exact schedule: at stride `s`,
+//! rank `r` with `r % 2s == 0` absorbs `r+s` via `acc.axpy(1.0, recv)`
+//! — the same [`vqmc_tensor::Vector::axpy`] call, in the same order —
+//! and rank 0 finishes with true division by `L`.  The broadcast
+//! retraces the tree.  Nothing is ever re-associated, so the result is
+//! bit-identical at any byte-level fragmentation the TCP stream
+//! chooses (the `vqmc-net` decoder reassembles splits losslessly).
+//!
+//! ## Failure semantics
+//!
+//! Every collective runs under a deadline.  A peer EOF **without** a
+//! prior `GOODBYE` is a crash: the mesh poisons itself and the current
+//! (and every later) collective returns [`CollectiveError::RankLost`]
+//! promptly on all survivors — no hang, and because trainers only
+//! apply updates after all of an iteration's collectives succeed, no
+//! partial gradient either.  An orderly shutdown sends `GOODBYE`
+//! first, so ranks finishing their last iteration at different times
+//! do not misread each other's close as a crash.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use polling::{Event, Poller};
+use vqmc_core::backend::{Collective, CollectiveError};
+use vqmc_net::{Connection, ReadStatus};
+use vqmc_tensor::Vector;
+
+use crate::wire::{self, Msg, OP_BCAST, OP_GATHER, OP_GBCAST, OP_REDUCE};
+
+/// Mesh formation parameters for one rank.
+#[derive(Clone, Debug)]
+pub struct MeshConfig {
+    /// This process's rank in `0..peers.len()`.
+    pub rank: usize,
+    /// One listen address per rank (`peers[rank]` is ours).
+    pub peers: Vec<String>,
+    /// Budget for the whole handshake: bind, dial-with-backoff, accept.
+    pub connect_timeout: Duration,
+    /// Deadline for each collective once the mesh is up.
+    pub collective_timeout: Duration,
+    /// Upper bound on one frame's payload (gradients are `d` doubles;
+    /// the default admits ~128M parameters).
+    pub max_payload: usize,
+}
+
+impl MeshConfig {
+    /// Defaults: 10 s handshake, 30 s per collective, 1 GiB frames.
+    pub fn new(rank: usize, peers: Vec<String>) -> Self {
+        MeshConfig {
+            rank,
+            peers,
+            connect_timeout: Duration::from_secs(10),
+            collective_timeout: Duration::from_secs(30),
+            max_payload: 1 << 30,
+        }
+    }
+}
+
+struct Peer {
+    conn: Connection,
+    /// Parsed DATA frames from this peer, in arrival order (TCP
+    /// preserves per-peer FIFO; the schedule never needs reordering
+    /// within one peer).
+    inbox: VecDeque<(u8, u64, Vec<f64>)>,
+    /// False once EOF was observed.
+    open: bool,
+    /// True once a GOODBYE arrived — a later EOF is an orderly leave.
+    goodbye: bool,
+    /// Whether write readiness is currently armed on the poller.
+    write_armed: bool,
+}
+
+/// One rank's handle on the TCP mesh.  See the module docs.
+pub struct Mesh {
+    rank: usize,
+    world: usize,
+    timeout: Duration,
+    poller: Poller,
+    /// Indexed by peer rank; `None` at our own slot.
+    peers: Vec<Option<Peer>>,
+    events: Vec<Event>,
+    /// Collective sequence number (incremented at the start of each).
+    seq: u64,
+    /// Sticky failure; set once, returned by every later collective.
+    dead: Option<CollectiveError>,
+    /// Set once the orderly-leave GOODBYEs have been sent.
+    said_goodbye: bool,
+}
+
+fn hs_err(e: impl std::fmt::Display) -> CollectiveError {
+    CollectiveError::Handshake(e.to_string())
+}
+
+/// Blocking framed write for the handshake phase (before the sockets
+/// go nonblocking).
+fn write_frame_blocking(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)
+}
+
+/// Blocking framed read for the handshake phase.
+fn read_frame_blocking(stream: &mut TcpStream, max: usize) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("handshake frame of {len} bytes"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+impl Mesh {
+    /// Forms the mesh: binds, dials lower ranks with backoff, accepts
+    /// higher ranks, validates every HELLO.  Fails cleanly (never
+    /// hangs) if a peer does not come up within `connect_timeout`.
+    pub fn connect(cfg: MeshConfig) -> Result<Mesh, CollectiveError> {
+        let world = cfg.peers.len();
+        if world == 0 || cfg.rank >= world {
+            return Err(hs_err(format!(
+                "rank {} outside world of {world}",
+                cfg.rank
+            )));
+        }
+        let poller = Poller::new().map_err(hs_err)?;
+        let mut mesh = Mesh {
+            rank: cfg.rank,
+            world,
+            timeout: cfg.collective_timeout,
+            poller,
+            peers: (0..world).map(|_| None).collect(),
+            events: Vec::new(),
+            seq: 0,
+            dead: None,
+            said_goodbye: false,
+        };
+        if world == 1 {
+            return Ok(mesh);
+        }
+        let deadline = Instant::now() + cfg.connect_timeout;
+
+        // Bind before dialing anyone: lower ranks may already be
+        // dialing us, and the listener backlog holds their connection
+        // attempts until we reach the accept loop.
+        let listener = TcpListener::bind(&cfg.peers[cfg.rank])
+            .map_err(|e| hs_err(format!("bind {}: {e}", cfg.peers[cfg.rank])))?;
+        listener.set_nonblocking(true).map_err(hs_err)?;
+
+        // Dial every lower rank, retrying while its listener comes up.
+        for lower in 0..cfg.rank {
+            let stream = dial_with_backoff(&cfg.peers[lower], deadline, lower)?;
+            let mut stream = stream;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1)))).map_err(hs_err)?;
+            stream.set_write_timeout(Some(remaining.max(Duration::from_millis(1)))).map_err(hs_err)?;
+            write_frame_blocking(
+                &mut stream,
+                &wire::encode_hello(cfg.rank as u32, world as u32),
+            )
+            .map_err(|e| hs_err(format!("hello to rank {lower}: {e}")))?;
+            let ack = read_frame_blocking(&mut stream, 64)
+                .map_err(|e| hs_err(format!("hello-ack from rank {lower}: {e}")))?;
+            match wire::parse(&ack).map_err(hs_err)? {
+                Msg::HelloAck { rank, world: w }
+                    if rank as usize == lower && w as usize == world => {}
+                other => {
+                    return Err(hs_err(format!(
+                        "rank {lower} answered with {other:?} (expected HelloAck for world {world})"
+                    )))
+                }
+            }
+            mesh.install_peer(lower, stream, cfg.max_payload)?;
+        }
+
+        // Accept every higher rank; identify each by its HELLO.
+        let expected_higher = world - cfg.rank - 1;
+        let mut accepted = 0;
+        while accepted < expected_higher {
+            if Instant::now() >= deadline {
+                let missing: Vec<usize> = (cfg.rank + 1..world)
+                    .filter(|&r| mesh.peers[r].is_none())
+                    .collect();
+                return Err(hs_err(format!(
+                    "ranks {missing:?} did not connect within {:?}",
+                    cfg.connect_timeout
+                )));
+            }
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream.set_nonblocking(false).map_err(hs_err)?;
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    stream
+                        .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                        .map_err(hs_err)?;
+                    let hello = read_frame_blocking(&mut stream, 64)
+                        .map_err(|e| hs_err(format!("hello: {e}")))?;
+                    let from = match wire::parse(&hello).map_err(hs_err)? {
+                        Msg::Hello { rank, world: w } if w as usize == world => rank as usize,
+                        other => {
+                            return Err(hs_err(format!(
+                                "bad hello {other:?} (expected world {world})"
+                            )))
+                        }
+                    };
+                    if from <= cfg.rank || from >= world {
+                        return Err(hs_err(format!("hello from out-of-range rank {from}")));
+                    }
+                    if mesh.peers[from].is_some() {
+                        return Err(hs_err(format!("duplicate connection from rank {from}")));
+                    }
+                    write_frame_blocking(
+                        &mut stream,
+                        &wire::encode_hello_ack(cfg.rank as u32, world as u32),
+                    )
+                    .map_err(|e| hs_err(format!("hello-ack to rank {from}: {e}")))?;
+                    mesh.install_peer(from, stream, cfg.max_payload)?;
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(hs_err(format!("accept: {e}"))),
+            }
+        }
+        Ok(mesh)
+    }
+
+    fn install_peer(
+        &mut self,
+        rank: usize,
+        stream: TcpStream,
+        max_payload: usize,
+    ) -> Result<(), CollectiveError> {
+        // Clear the handshake's blocking timeouts; Connection flips the
+        // socket to nonblocking.
+        let _ = stream.set_read_timeout(None);
+        let _ = stream.set_write_timeout(None);
+        let conn = Connection::new(stream, max_payload).map_err(hs_err)?;
+        self.poller
+            .add(conn.raw_fd(), rank, true, false)
+            .map_err(hs_err)?;
+        self.peers[rank] = Some(Peer {
+            conn,
+            inbox: VecDeque::new(),
+            open: true,
+            goodbye: false,
+            write_armed: false,
+        });
+        Ok(())
+    }
+
+    /// This rank's index.
+    pub fn mesh_rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn mesh_world(&self) -> usize {
+        self.world
+    }
+
+    fn poison(&mut self, e: CollectiveError) -> CollectiveError {
+        if self.dead.is_none() {
+            self.dead = Some(e.clone());
+        }
+        self.dead.clone().unwrap()
+    }
+
+    /// One poller pass: drain readable peers into inboxes, progress
+    /// writable peers' flushes.  A dirty EOF (no GOODBYE first)
+    /// anywhere poisons the mesh — the error is returned immediately.
+    fn pump(&mut self, wait: Duration) -> Result<(), CollectiveError> {
+        self.events.clear();
+        let mut events = std::mem::take(&mut self.events);
+        let res = self.poller.wait(&mut events, Some(wait));
+        let outcome = match res {
+            Ok(_) => {
+                let mut failure = None;
+                for ev in &events {
+                    let r = ev.key;
+                    if r >= self.peers.len() {
+                        continue;
+                    }
+                    if ev.readable {
+                        if let Err(e) = self.drain_peer_reads(r) {
+                            failure.get_or_insert(e);
+                        }
+                    }
+                    if ev.writable {
+                        if let Err(e) = self.progress_peer_write(r) {
+                            failure.get_or_insert(e);
+                        }
+                    }
+                }
+                match failure {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+            Err(e) => Err(CollectiveError::Io(format!("poll: {e}"))),
+        };
+        self.events = events;
+        outcome.map_err(|e| self.poison(e))
+    }
+
+    /// Reads everything currently available from peer `r`, parsing
+    /// DATA frames into its inbox.  Returns the poison-worthy error if
+    /// the peer crashed (dirty EOF) or spoke garbage.
+    fn drain_peer_reads(&mut self, r: usize) -> Result<(), CollectiveError> {
+        let Some(peer) = self.peers[r].as_mut() else {
+            return Ok(());
+        };
+        if !peer.open {
+            return Ok(());
+        }
+        let mut frames = Vec::new();
+        let status = peer.conn.read_frames(|payload| frames.push(payload));
+        let mut result = Ok(());
+        match status {
+            Ok(ReadStatus::Open) => {}
+            Ok(ReadStatus::Eof) => {
+                peer.open = false;
+            }
+            Err(_) => {
+                // Reset / framing violation: treat as a crash.
+                peer.open = false;
+                result = Err(CollectiveError::RankLost { rank: r });
+            }
+        }
+        let mut blamed = None;
+        for payload in frames {
+            match wire::parse(&payload) {
+                Ok(Msg::Data { op, seq, values }) => peer.inbox.push_back((op, seq, values)),
+                Ok(Msg::Goodbye { blame }) => {
+                    peer.goodbye = true;
+                    blamed = blamed.or(blame);
+                }
+                Ok(other) => {
+                    return Err(CollectiveError::Protocol(format!(
+                        "rank {r} sent {other:?} after handshake"
+                    )))
+                }
+                Err(e) => {
+                    return Err(CollectiveError::Protocol(format!("rank {r}: {e}")))
+                }
+            }
+        }
+        let crashed = !peer.open && !peer.goodbye;
+        if let Some(b) = blamed {
+            // The peer left because it saw rank `b` die; adopt that
+            // root cause so every survivor blames the same rank no
+            // matter whose departure it noticed first.
+            self.poison(CollectiveError::RankLost { rank: b as usize });
+        }
+        if crashed {
+            // Crash: the peer vanished without an orderly GOODBYE.
+            return Err(CollectiveError::RankLost { rank: r });
+        }
+        result
+    }
+
+    fn progress_peer_write(&mut self, r: usize) -> Result<(), CollectiveError> {
+        let Some(peer) = self.peers[r].as_mut() else {
+            return Ok(());
+        };
+        match peer.conn.flush() {
+            Ok(true) => {
+                if peer.write_armed {
+                    peer.write_armed = false;
+                    self.poller
+                        .modify(peer.conn.raw_fd(), r, true, false)
+                        .map_err(|e| CollectiveError::Io(e.to_string()))?;
+                }
+                Ok(())
+            }
+            Ok(false) => Ok(()),
+            Err(_) => {
+                peer.open = false;
+                Err(CollectiveError::RankLost { rank: r })
+            }
+        }
+    }
+
+    /// Queues `values` to peer `to` and flushes until the kernel has
+    /// accepted every byte (waiting on write readiness under the
+    /// deadline when the socket buffer fills).
+    fn send(
+        &mut self,
+        to: usize,
+        op: u8,
+        seq: u64,
+        values: &[f64],
+        deadline: Instant,
+    ) -> Result<(), CollectiveError> {
+        if let Some(e) = &self.dead {
+            return Err(e.clone());
+        }
+        {
+            let Some(peer) = self.peers[to].as_mut() else {
+                return Err(self.poison(CollectiveError::Protocol(format!(
+                    "send to unknown rank {to}"
+                ))));
+            };
+            if !peer.open {
+                return Err(self.poison(CollectiveError::RankLost { rank: to }));
+            }
+            peer.conn.queue_payload(&wire::encode_data(op, seq, values));
+        }
+        loop {
+            let peer = self.peers[to].as_mut().expect("peer exists");
+            match peer.conn.flush() {
+                Ok(true) => {
+                    if peer.write_armed {
+                        peer.write_armed = false;
+                        let fd = peer.conn.raw_fd();
+                        self.poller
+                            .modify(fd, to, true, false)
+                            .map_err(|e| self.poison(CollectiveError::Io(e.to_string())))?;
+                    }
+                    return Ok(());
+                }
+                Ok(false) => {
+                    if !peer.write_armed {
+                        peer.write_armed = true;
+                        let fd = peer.conn.raw_fd();
+                        self.poller
+                            .modify(fd, to, true, true)
+                            .map_err(|e| self.poison(CollectiveError::Io(e.to_string())))?;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(self.poison(CollectiveError::Timeout { rank: Some(to) }));
+                    }
+                    self.pump(deadline - now)?;
+                }
+                Err(_) => {
+                    peer.open = false;
+                    return Err(self.poison(CollectiveError::RankLost { rank: to }));
+                }
+            }
+        }
+    }
+
+    /// Receives the next DATA frame from `from`, validating phase and
+    /// sequence.  Polls (and services every peer) under the deadline.
+    ///
+    /// The inbox is consulted **before** the poison flag: a rank that
+    /// fully contributed to the current collective and then crashed
+    /// must not retroactively fail it — its buffered frames are valid
+    /// and complete (TCP delivers data before the FIN, and the decoder
+    /// drains before reporting EOF).  The poison stays sticky for the
+    /// *next* collective.
+    fn recv(
+        &mut self,
+        from: usize,
+        op: u8,
+        seq: u64,
+        deadline: Instant,
+    ) -> Result<Vec<f64>, CollectiveError> {
+        loop {
+            let Some(peer) = self.peers[from].as_mut() else {
+                return Err(self.poison(CollectiveError::Protocol(format!(
+                    "recv from unknown rank {from}"
+                ))));
+            };
+            let peer_open = peer.open;
+            if let Some((got_op, got_seq, values)) = peer.inbox.pop_front() {
+                if got_op != op || got_seq != seq {
+                    return Err(self.poison(CollectiveError::Protocol(format!(
+                        "rank {from}: expected op {op} seq {seq}, got op {got_op} seq {got_seq}"
+                    ))));
+                }
+                return Ok(values);
+            }
+            if let Some(e) = &self.dead {
+                // Some rank is gone and our sender is not done: the
+                // tree cannot complete; fail now rather than wait out
+                // the deadline.  Checked before the per-peer close so
+                // an already-established root cause (a dirty EOF, or a
+                // blame carried by a peer's GOODBYE) wins over blaming
+                // whichever orderly departure we noticed afterwards.
+                return Err(e.clone());
+            }
+            if !peer_open {
+                // Closed (orderly or not) with nothing buffered while
+                // we still need its data: the rank is lost to us.
+                return Err(self.poison(CollectiveError::RankLost { rank: from }));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(self.poison(CollectiveError::Timeout { rank: Some(from) }));
+            }
+            // Poison from the pump is recorded in `self.dead`; loop
+            // back so a frame it delivered alongside the failure still
+            // wins.
+            let _ = self.pump(deadline - now);
+        }
+    }
+
+    /// Orderly leave: tells every peer this rank is done (so the
+    /// subsequent close is not mistaken for a crash) and flushes.
+    /// Errors are ignored — a peer that already left cannot be told
+    /// twice.
+    pub fn shutdown(mut self) {
+        self.say_goodbyes();
+        // Drop finishes the close; `said_goodbye` keeps it from
+        // re-sending.
+    }
+
+    /// Simulates a crash (fault injection): closes every connection
+    /// **without** the orderly GOODBYE.  Peers observe a dirty EOF and
+    /// report this rank as [`CollectiveError::RankLost`].
+    pub fn abandon(mut self) {
+        self.said_goodbye = true; // suppress the Drop goodbye
+    }
+
+    fn say_goodbyes(&mut self) {
+        if self.said_goodbye {
+            return;
+        }
+        self.said_goodbye = true;
+        // Leaving because a rank died? Tell the peers who, so every
+        // survivor reports the root cause rather than whichever
+        // departure it noticed first.
+        let blame = match &self.dead {
+            Some(CollectiveError::RankLost { rank }) => Some(*rank as u32),
+            _ => None,
+        };
+        let deadline = Instant::now() + self.timeout;
+        for r in 0..self.world {
+            if let Some(peer) = self.peers[r].as_mut() {
+                if peer.open {
+                    peer.conn.queue_payload(&wire::encode_goodbye(blame));
+                }
+            }
+        }
+        for r in 0..self.world {
+            while let Some(peer) = self.peers[r].as_mut() {
+                if !peer.open {
+                    break;
+                }
+                match peer.conn.flush() {
+                    Ok(true) => break,
+                    Ok(false) => {
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Mesh {
+    /// A mesh dropped on a normal path (e.g. owned inside a boxed
+    /// [`Collective`] a trainer consumes) still leaves **orderly** —
+    /// ranks finish their last collective at different moments, and a
+    /// bare FIN here would read as a crash to a peer mid-drain.  During
+    /// a panic unwind the goodbye is deliberately skipped: the peers
+    /// *should* see this rank as lost.
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            self.say_goodbyes();
+        }
+    }
+}
+
+fn dial_with_backoff(
+    addr: &str,
+    deadline: Instant,
+    rank: usize,
+) -> Result<TcpStream, CollectiveError> {
+    let mut delay = Duration::from_millis(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() + delay >= deadline {
+                    return Err(hs_err(format!(
+                        "rank {rank} at {addr} did not come up before the connect deadline: {e}"
+                    )));
+                }
+                std::thread::sleep(delay);
+                // Exponential backoff, capped well below human scale so
+                // a late-starting peer is picked up quickly.
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+impl Collective for Mesh {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world(&self) -> usize {
+        self.world
+    }
+
+    /// The oracle schedule over TCP.  Reduce: at stride `s`, ranks with
+    /// `r % 2s == s` send their accumulator to `r − s` and move to the
+    /// broadcast phase; ranks with `r % 2s == 0` absorb `r + s` (when
+    /// it exists) via the same `axpy(1.0, ·)` the in-process tree
+    /// performs.  Rank 0 then applies true division by `L` and the
+    /// broadcast retraces the tree from stride `next_power_of_two(L)/2`
+    /// down to 1.
+    fn allreduce_mean(&mut self, v: Vector) -> Result<Vector, CollectiveError> {
+        if let Some(e) = &self.dead {
+            return Err(e.clone());
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        let l = self.world;
+        let r = self.rank;
+        let deadline = Instant::now() + self.timeout;
+        let mut acc = v;
+
+        // Reduce phase.
+        let mut stride = 1;
+        while stride < l {
+            if r % (2 * stride) == stride {
+                self.send(r - stride, OP_REDUCE, seq, acc.as_slice(), deadline)?;
+                break;
+            }
+            if r.is_multiple_of(2 * stride) && r + stride < l {
+                let recv = self.recv(r + stride, OP_REDUCE, seq, deadline)?;
+                if recv.len() != acc.len() {
+                    return Err(self.poison(CollectiveError::Protocol(format!(
+                        "rank {} reduced {} values into {} (ragged allreduce)",
+                        r + stride,
+                        recv.len(),
+                        acc.len()
+                    ))));
+                }
+                acc.axpy(1.0, &Vector(recv));
+            }
+            stride *= 2;
+        }
+        if r == 0 {
+            // True division, matching the oracle bit for bit (see the
+            // 1-ulp note in vqmc_cluster::allreduce_mean_tree).
+            for x in acc.as_mut_slice() {
+                *x /= l as f64;
+            }
+        }
+
+        // Broadcast phase retraces the tree top-down.
+        let mut stride = l.next_power_of_two() / 2;
+        while stride >= 1 {
+            if r % (2 * stride) == stride {
+                let recv = self.recv(r - stride, OP_BCAST, seq, deadline)?;
+                acc = Vector(recv);
+            } else if r.is_multiple_of(2 * stride) && r + stride < l {
+                self.send(r + stride, OP_BCAST, seq, acc.as_slice(), deadline)?;
+            }
+            if stride == 1 {
+                break;
+            }
+            stride /= 2;
+        }
+        Ok(acc)
+    }
+
+    /// Gather to rank 0, then rank 0 streams all `L` parts to every
+    /// rank in rank order (per-peer FIFO keeps them ordered).  Lengths
+    /// may differ across ranks — the trainer's shard sizes do.
+    fn allgather(&mut self, v: &Vector) -> Result<Vec<Vector>, CollectiveError> {
+        if let Some(e) = &self.dead {
+            return Err(e.clone());
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        let l = self.world;
+        let deadline = Instant::now() + self.timeout;
+        if l == 1 {
+            return Ok(vec![v.clone()]);
+        }
+        if self.rank == 0 {
+            let mut parts: Vec<Vector> = Vec::with_capacity(l);
+            parts.push(v.clone());
+            for q in 1..l {
+                parts.push(Vector(self.recv(q, OP_GATHER, seq, deadline)?));
+            }
+            for q in 1..l {
+                for part in parts.iter() {
+                    let values: Vec<f64> = part.as_slice().to_vec();
+                    self.send(q, OP_GBCAST, seq, &values, deadline)?;
+                }
+            }
+            Ok(parts)
+        } else {
+            self.send(0, OP_GATHER, seq, v.as_slice(), deadline)?;
+            let mut parts = Vec::with_capacity(l);
+            for _ in 0..l {
+                parts.push(Vector(self.recv(0, OP_GBCAST, seq, deadline)?));
+            }
+            Ok(parts)
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The rank-mesh wire protocol.
+//!
+//! Every message travels inside the `vqmc-net` length-prefixed framing
+//! (`u32le payload_len · payload`); this module defines the payloads:
+//!
+//! ```text
+//! HELLO     0x01 · version u8 · rank u32le · world u32le      (handshake, connector → acceptor)
+//! HELLO_ACK 0x02 · version u8 · rank u32le · world u32le      (acceptor → connector)
+//! GOODBYE   0x03                                              (orderly leave; EOF after this is benign)
+//! DATA      0x10 · op u8 · seq u64le · f64le × k              (collective payload)
+//! ```
+//!
+//! `seq` is the collective's sequence number, identical on every rank
+//! of an SPMD program — a mismatch means the mesh desynchronised and is
+//! reported as a protocol error rather than silently combining vectors
+//! from different iterations.  `op` distinguishes the phases so a
+//! desync inside one collective (reduce frame meeting a broadcast
+//! expectation) is equally loud.
+
+/// Protocol version byte in HELLO/HELLO_ACK.
+pub const VERSION: u8 = 1;
+
+/// Reduce-phase contribution (child → parent in the binomial tree).
+pub const OP_REDUCE: u8 = 0;
+/// Broadcast-phase mean (parent → child).
+pub const OP_BCAST: u8 = 1;
+/// Allgather contribution (rank → rank 0).
+pub const OP_GATHER: u8 = 2;
+/// Allgather distribution (rank 0 → rank, one frame per source rank).
+pub const OP_GBCAST: u8 = 3;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_HELLO_ACK: u8 = 0x02;
+const TAG_GOODBYE: u8 = 0x03;
+const TAG_DATA: u8 = 0x10;
+
+/// A decoded mesh message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Handshake opener.
+    Hello {
+        /// Sender's rank.
+        rank: u32,
+        /// Sender's world size.
+        world: u32,
+    },
+    /// Handshake acknowledgement.
+    HelloAck {
+        /// Acceptor's rank.
+        rank: u32,
+        /// Acceptor's world size.
+        world: u32,
+    },
+    /// Orderly leave: the sender has completed every collective it will
+    /// ever run; a subsequent EOF from it is not a rank loss.  A rank
+    /// that leaves because it observed a *crash* carries the culprit in
+    /// `blame`, so survivors converge on the root cause instead of
+    /// blaming whichever departure they happened to notice first.
+    Goodbye {
+        /// The rank whose loss caused this departure, if any.
+        blame: Option<u32>,
+    },
+    /// One collective hop's worth of doubles.
+    Data {
+        /// Phase tag (`OP_*`).
+        op: u8,
+        /// Collective sequence number.
+        seq: u64,
+        /// The values, in little-endian f64 wire order.
+        values: Vec<f64>,
+    },
+}
+
+/// Encodes a HELLO payload.
+pub fn encode_hello(rank: u32, world: u32) -> Vec<u8> {
+    encode_handshake(TAG_HELLO, rank, world)
+}
+
+/// Encodes a HELLO_ACK payload.
+pub fn encode_hello_ack(rank: u32, world: u32) -> Vec<u8> {
+    encode_handshake(TAG_HELLO_ACK, rank, world)
+}
+
+fn encode_handshake(tag: u8, rank: u32, world: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10);
+    out.push(tag);
+    out.push(VERSION);
+    out.extend_from_slice(&rank.to_le_bytes());
+    out.extend_from_slice(&world.to_le_bytes());
+    out
+}
+
+/// Encodes a GOODBYE payload, optionally naming the rank whose loss
+/// caused this departure.
+pub fn encode_goodbye(blame: Option<u32>) -> Vec<u8> {
+    match blame {
+        None => vec![TAG_GOODBYE],
+        Some(rank) => {
+            let mut out = Vec::with_capacity(5);
+            out.push(TAG_GOODBYE);
+            out.extend_from_slice(&rank.to_le_bytes());
+            out
+        }
+    }
+}
+
+/// Encodes a DATA payload.
+pub fn encode_data(op: u8, seq: u64, values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + values.len() * 8);
+    out.push(TAG_DATA);
+    out.push(op);
+    out.extend_from_slice(&seq.to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Parses one framed payload into a [`Msg`].
+pub fn parse(payload: &[u8]) -> Result<Msg, String> {
+    match payload.first() {
+        Some(&tag @ (TAG_HELLO | TAG_HELLO_ACK)) => {
+            if payload.len() != 10 {
+                return Err(format!("handshake frame of {} bytes", payload.len()));
+            }
+            if payload[1] != VERSION {
+                return Err(format!(
+                    "protocol version {} (this build speaks {VERSION})",
+                    payload[1]
+                ));
+            }
+            let rank = u32::from_le_bytes(payload[2..6].try_into().unwrap());
+            let world = u32::from_le_bytes(payload[6..10].try_into().unwrap());
+            Ok(if tag == TAG_HELLO {
+                Msg::Hello { rank, world }
+            } else {
+                Msg::HelloAck { rank, world }
+            })
+        }
+        Some(&TAG_GOODBYE) => match payload.len() {
+            1 => Ok(Msg::Goodbye { blame: None }),
+            5 => Ok(Msg::Goodbye {
+                blame: Some(u32::from_le_bytes(payload[1..5].try_into().unwrap())),
+            }),
+            n => Err(format!("goodbye frame of {n} bytes")),
+        },
+        Some(&TAG_DATA) => {
+            if payload.len() < 10 || !(payload.len() - 10).is_multiple_of(8) {
+                return Err(format!("data frame of {} bytes", payload.len()));
+            }
+            let op = payload[1];
+            let seq = u64::from_le_bytes(payload[2..10].try_into().unwrap());
+            let values = payload[10..]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Ok(Msg::Data { op, seq, values })
+        }
+        Some(&tag) => Err(format!("unknown message tag {tag:#04x}")),
+        None => Err("empty frame".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_roundtrip() {
+        let hello = parse(&encode_hello(3, 8)).unwrap();
+        assert_eq!(hello, Msg::Hello { rank: 3, world: 8 });
+        let ack = parse(&encode_hello_ack(0, 8)).unwrap();
+        assert_eq!(ack, Msg::HelloAck { rank: 0, world: 8 });
+    }
+
+    #[test]
+    fn goodbye_roundtrip() {
+        assert_eq!(
+            parse(&encode_goodbye(None)).unwrap(),
+            Msg::Goodbye { blame: None }
+        );
+        assert_eq!(
+            parse(&encode_goodbye(Some(7))).unwrap(),
+            Msg::Goodbye { blame: Some(7) }
+        );
+    }
+
+    #[test]
+    fn data_roundtrip_preserves_bits() {
+        // Values chosen to stress bit-exactness: negative zero, a
+        // denormal, an ulp-separated pair, infinity and a quiet NaN.
+        let values = [
+            -0.0,
+            f64::MIN_POSITIVE / 2.0,
+            1.0,
+            1.0 + f64::EPSILON,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        match parse(&encode_data(OP_REDUCE, 42, &values)).unwrap() {
+            Msg::Data { op, seq, values: got } => {
+                assert_eq!(op, OP_REDUCE);
+                assert_eq!(seq, 42);
+                assert_eq!(got.len(), values.len());
+                for (a, b) in values.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_data_frame_is_valid() {
+        match parse(&encode_data(OP_GATHER, 7, &[])).unwrap() {
+            Msg::Data { values, .. } => assert!(values.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&[0x55]).is_err());
+        assert!(parse(&[TAG_HELLO, VERSION, 0, 0]).is_err());
+        assert!(parse(&[TAG_HELLO, VERSION + 9, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(parse(&[TAG_GOODBYE, 0]).is_err());
+        // Data with a ragged f64 tail.
+        let mut d = encode_data(OP_BCAST, 1, &[1.0]);
+        d.pop();
+        assert!(parse(&d).is_err());
+    }
+}

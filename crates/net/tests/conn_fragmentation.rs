@@ -1,0 +1,207 @@
+//! Adversarial fragmentation of the `Connection` read path.
+//!
+//! The existing `decoder_props` suite samples *random* read splits;
+//! this suite is the adversarial complement:
+//!
+//! * **every** single-cut split of a multi-frame stream, exhaustively
+//!   (the cut walks each byte position, so each header straddle and
+//!   each payload-boundary split is hit by construction, not by luck);
+//! * exhaustive two-cut splits of a stream sized to keep the O(n²)
+//!   enumeration fast;
+//! * 1-byte-at-a-time delivery of the whole stream;
+//! * the same adversarial patterns through a real kernel socket pair
+//!   driving [`Connection::read_frames`], including a truncated final
+//!   frame at EOF — which must surface the frames that did complete and
+//!   report a non-boundary EOF, identically to the in-memory decoder.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+
+use vqmc_net::{Connection, FrameDecoder, ReadStatus};
+
+/// The reference parse of an unfragmented byte stream.
+fn reference_frames(wire: &[u8]) -> (Vec<Vec<u8>>, bool) {
+    let mut frames = Vec::new();
+    let mut rest = wire;
+    while rest.len() >= 4 {
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        if rest.len() < 4 + len {
+            return (frames, false);
+        }
+        frames.push(rest[4..4 + len].to_vec());
+        rest = &rest[4 + len..];
+    }
+    (frames, rest.is_empty())
+}
+
+/// Feeds `chunks` through a fresh decoder; returns frames + boundary.
+fn decode_chunks(chunks: &[&[u8]]) -> (Vec<Vec<u8>>, bool) {
+    let mut dec = FrameDecoder::new(1 << 16);
+    let mut frames = Vec::new();
+    for chunk in chunks {
+        dec.extend(chunk);
+        while let Some(f) = dec.next_frame().expect("valid stream") {
+            frames.push(f);
+        }
+    }
+    (frames, dec.at_boundary())
+}
+
+/// A stream of frames whose payload bytes identify their frame and
+/// offset, so any mis-reassembly produces a visibly wrong byte.
+fn build_wire(lens: &[usize]) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let mut wire = Vec::new();
+    let mut payloads = Vec::new();
+    for (f, &len) in lens.iter().enumerate() {
+        let payload: Vec<u8> = (0..len).map(|i| (f * 37 + i) as u8).collect();
+        wire.extend_from_slice(&(len as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        payloads.push(payload);
+    }
+    (wire, payloads)
+}
+
+/// Every single-cut split — the cut position sweeps every byte of the
+/// stream, so every header straddle (cut at offsets 1..4 of a prefix)
+/// and every payload straddle occurs exactly once.
+#[test]
+fn every_single_cut_split_decodes_identically() {
+    let (wire, payloads) = build_wire(&[0, 3, 1, 8, 0, 5]);
+    let (reference, boundary) = reference_frames(&wire);
+    assert_eq!(reference, payloads);
+    assert!(boundary);
+    for cut in 0..=wire.len() {
+        let (frames, at_boundary) = decode_chunks(&[&wire[..cut], &wire[cut..]]);
+        assert_eq!(frames, payloads, "cut at byte {cut}");
+        assert!(at_boundary, "cut at byte {cut}: boundary lost");
+    }
+}
+
+/// Every two-cut split of a short stream (O(n²) pairs, all of them).
+#[test]
+fn every_two_cut_split_decodes_identically() {
+    let (wire, payloads) = build_wire(&[2, 0, 4]);
+    for a in 0..=wire.len() {
+        for b in a..=wire.len() {
+            let (frames, at_boundary) = decode_chunks(&[&wire[..a], &wire[a..b], &wire[b..]]);
+            assert_eq!(frames, payloads, "cuts at {a},{b}");
+            assert!(at_boundary, "cuts at {a},{b}");
+        }
+    }
+}
+
+/// Maximum fragmentation: one byte per read.
+#[test]
+fn one_byte_at_a_time_decodes_identically() {
+    let (wire, payloads) = build_wire(&[5, 0, 1, 13, 2]);
+    let chunks: Vec<&[u8]> = wire.chunks(1).collect();
+    let (frames, at_boundary) = decode_chunks(&chunks);
+    assert_eq!(frames, payloads);
+    assert!(at_boundary);
+}
+
+/// Every truncation point of the final frame: the completed frames
+/// surface, the partial one never does, and the decoder reports a
+/// dirty (non-boundary) end.
+#[test]
+fn every_truncation_of_the_final_frame_is_detected() {
+    let (wire, payloads) = build_wire(&[3, 7]);
+    let last_frame_start = wire.len() - (7 + 4);
+    for cut in last_frame_start + 1..wire.len() {
+        let truncated = &wire[..cut];
+        let (expect, expect_boundary) = reference_frames(truncated);
+        assert_eq!(expect, payloads[..1].to_vec());
+        assert!(!expect_boundary);
+        // Deliver maximally fragmented for good measure.
+        let chunks: Vec<&[u8]> = truncated.chunks(1).collect();
+        let (frames, at_boundary) = decode_chunks(&chunks);
+        assert_eq!(frames, payloads[..1].to_vec(), "truncated at {cut}");
+        assert!(!at_boundary, "truncated at {cut}: dirty EOF not flagged");
+    }
+}
+
+/// Loopback socket pair with the writer applying a given chunking.
+/// Returns the frames `Connection::read_frames` produced and whether
+/// the stream ended at a frame boundary.
+fn run_socket_session(wire: &[u8], chunk_sizes: &[usize]) -> (Vec<Vec<u8>>, bool) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let wire = wire.to_vec();
+    let chunk_sizes = chunk_sizes.to_vec();
+    let writer = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_nodelay(true).unwrap();
+        let mut pos = 0;
+        for &sz in &chunk_sizes {
+            let end = (pos + sz).min(wire.len());
+            if pos >= end {
+                break;
+            }
+            s.write_all(&wire[pos..end]).unwrap();
+            s.flush().unwrap();
+            // Give the kernel a chance to deliver this chunk alone, so
+            // the reader genuinely observes the fragmentation instead
+            // of one coalesced buffer.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            pos = end;
+        }
+        // Remaining bytes (if the sizes under-count) in one burst.
+        if pos < wire.len() {
+            s.write_all(&wire[pos..]).unwrap();
+        }
+        // Drop: FIN.
+    });
+    let (stream, _) = listener.accept().unwrap();
+    let mut conn = Connection::new(stream, 1 << 16).unwrap();
+    let mut frames = Vec::new();
+    while let ReadStatus::Open = conn.read_frames(|f| frames.push(f)).expect("read_frames") {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    writer.join().unwrap();
+    (frames, conn.inbound_at_boundary())
+}
+
+/// 1-byte paced writes through a real kernel socket reassemble exactly
+/// like the unfragmented parse.
+#[test]
+fn socket_one_byte_paced_writes_reassemble() {
+    let (wire, payloads) = build_wire(&[4, 0, 9]);
+    let ones = vec![1usize; wire.len()];
+    let (frames, boundary) = run_socket_session(&wire, &ones);
+    assert_eq!(frames, payloads);
+    assert!(boundary, "clean close must land on a frame boundary");
+}
+
+/// A glued burst (everything in one write) decodes identically too —
+/// the other extreme of kernel coalescing.
+#[test]
+fn socket_single_burst_reassembles() {
+    let (wire, payloads) = build_wire(&[1, 6, 0, 2, 30]);
+    let (frames, boundary) = run_socket_session(&wire, &[wire.len()]);
+    assert_eq!(frames, payloads);
+    assert!(boundary);
+}
+
+/// Header-straddling paced writes: chunks sized to cut inside every
+/// length prefix (3 bytes at a time against 4-byte headers).
+#[test]
+fn socket_header_straddling_writes_reassemble() {
+    let (wire, payloads) = build_wire(&[5, 5, 5]);
+    let threes = vec![3usize; wire.len().div_ceil(3)];
+    let (frames, boundary) = run_socket_session(&wire, &threes);
+    assert_eq!(frames, payloads);
+    assert!(boundary);
+}
+
+/// A peer that dies mid-frame: the completed frames are delivered, the
+/// torn one is not, and the EOF is reported off-boundary — this is the
+/// signal `vqmc-dist` uses to distinguish a crash from an orderly
+/// leave.
+#[test]
+fn socket_truncated_final_frame_yields_dirty_eof() {
+    let (wire, payloads) = build_wire(&[3, 7]);
+    let cut = wire.len() - 4; // inside the last payload
+    let (frames, boundary) = run_socket_session(&wire[..cut], &[cut]);
+    assert_eq!(frames, payloads[..1].to_vec());
+    assert!(!boundary, "EOF mid-frame must not read as a clean boundary");
+}

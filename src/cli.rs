@@ -33,6 +33,16 @@ COMMANDS:
                                        (default f64; f32 halves the file)
              --load-model <path>       warm-start from a saved checkpoint
              --exact true              compare against Lanczos (n <= 16)
+             --ranks <N>               single-box multi-process run: spawn N
+                                       OS processes over loopback TCP; the
+                                       trace is bit-identical to --ranks 1
+                                       at any N (made+auto only)
+             --dist-timeout-ms <N>     per-collective deadline (default 30000)
+             --connect-timeout-ms <N>  mesh-formation deadline (default 10000)
+             --rank k --world N --peers a:p,b:p,...
+                                       run as ONE rank of an existing mesh
+                                       (what --ranks passes to its children;
+                                       usable directly across machines)
   evaluate   load a checkpoint and report energy statistics
              --checkpoint <path> --problem ... --n ... [--batch N]
   sample     draw configurations from a checkpointed model
@@ -198,6 +208,15 @@ fn init_model<M: Checkpoint + WaveFunction>(
 
 /// `vqmc-cli train`.
 pub fn train(flags: &Flags) -> Result<(), String> {
+    // Multi-process arms: `--rank` means we ARE one rank of a mesh;
+    // `--ranks N` (N > 1) means spawn the mesh on this box.
+    if flags.contains_key("rank") {
+        return train_worker(flags);
+    }
+    let ranks = get_usize(flags, "ranks", 1)?;
+    if ranks > 1 {
+        return train_launch(flags, ranks);
+    }
     let (problem, n) = Problem::build(flags)?;
     let h = problem.hamiltonian();
     let config = trainer_config(flags)?;
@@ -305,6 +324,136 @@ pub fn train(flags: &Flags) -> Result<(), String> {
     if let Some(path) = flags.get("checkpoint").or_else(|| flags.get("save-model")) {
         save(path)?;
         println!("checkpoint written to {path}");
+    }
+    Ok(())
+}
+
+/// `train --ranks N`: re-executes this binary N times over reserved
+/// loopback ports, forwarding every training flag plus the per-rank
+/// mesh coordinates.  Rank 0's child inherits stdout (it is the
+/// printing rank); the launcher returns when all ranks have exited and
+/// surfaces the first failure.
+fn train_launch(flags: &Flags, ranks: usize) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let exe = exe
+        .to_str()
+        .ok_or("current_exe is not valid UTF-8")?
+        .to_string();
+    let flags = flags.clone();
+    vqmc::dist::run_ranks(&exe, ranks, move |rank, peers| {
+        let mut args = vec!["train".to_string()];
+        for (k, v) in &flags {
+            if k != "ranks" {
+                args.push(format!("--{k}"));
+                args.push(v.clone());
+            }
+        }
+        args.push("--rank".into());
+        args.push(rank.to_string());
+        args.push("--world".into());
+        args.push(ranks.to_string());
+        args.push("--peers".into());
+        args.push(peers.join(","));
+        args
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// One rank of a multi-process training mesh: replicated sampling,
+/// sharded local-energy measurement, socket allgather — bit-identical
+/// to the single-process trainer at any world size (the `vqmc-dist`
+/// oracle tests assert this; `tests/dist_train.rs` asserts it through
+/// this exact code path).  Only the golden made+auto arm is wired: the
+/// rank-count-invariance contract is stated for it, and silently
+/// accepting other arms would imply a guarantee nobody has tested.
+fn train_worker(flags: &Flags) -> Result<(), String> {
+    use std::time::Duration;
+    use vqmc::dist::{Mesh, MeshConfig};
+
+    let rank = get_usize(flags, "rank", 0)?;
+    let world = get_usize(flags, "world", 1)?;
+    let peers: Vec<String> = flags
+        .get("peers")
+        .ok_or("--rank needs --peers a:port,b:port,... (one per rank)")?
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    if peers.len() != world {
+        return Err(format!(
+            "--world {world} but --peers lists {} addresses",
+            peers.len()
+        ));
+    }
+    let model = get(flags, "model", "made");
+    let sampler_name = get(flags, "sampler", "auto");
+    if (model, sampler_name) != ("made", "auto") {
+        return Err(format!(
+            "multi-process training supports --model made --sampler auto \
+             (got {model}+{sampler_name})"
+        ));
+    }
+    let (problem, n) = Problem::build(flags)?;
+    let h = problem.hamiltonian();
+    let config = trainer_config(flags)?;
+    let model_seed = get_u64(flags, "seed", 0)?.wrapping_add(1);
+    let hidden = match flags.get("hidden") {
+        Some(_) => get_usize(flags, "hidden", 0)?,
+        None => made_hidden_size(n),
+    };
+    let save_precision = match flags.get("save-precision") {
+        None => vqmc::tensor::Precision::F64,
+        Some(s) => vqmc::tensor::Precision::parse(s)
+            .ok_or_else(|| format!("--save-precision wants f64|f32, got {s:?}"))?,
+    };
+    // Quiet warm-start (every rank loads the identical file; only rank 0
+    // narrates).
+    let wf = match flags.get("load-model") {
+        None => Made::new(n, hidden, model_seed),
+        Some(path) => {
+            let m = Made::load(path).map_err(|e| format!("--load-model {path}: {e}"))?;
+            if m.num_spins() != n {
+                return Err(format!(
+                    "--load-model {path} has {} spins but the problem has {n}",
+                    m.num_spins()
+                ));
+            }
+            if rank == 0 {
+                println!("warm-starting from {path}");
+            }
+            m
+        }
+    };
+
+    let mut mesh_cfg = MeshConfig::new(rank, peers);
+    mesh_cfg.connect_timeout =
+        Duration::from_millis(get_u64(flags, "connect-timeout-ms", 10_000)?);
+    mesh_cfg.collective_timeout =
+        Duration::from_millis(get_u64(flags, "dist-timeout-ms", 30_000)?);
+    let mut mesh = Mesh::connect(mesh_cfg).map_err(|e| format!("rank {rank}: {e}"))?;
+
+    if rank == 0 {
+        println!(
+            "training made (+auto) on {} with {} for {} iterations, batch {} \
+             across {world} ranks",
+            get(flags, "problem", "tim"),
+            config.optimizer.label(),
+            config.iterations,
+            config.batch_size
+        );
+    }
+    let mut t = ShardedTrainer::new(wf, IncrementalAutoSampler::new(), config);
+    let trace = t.run(h, &mut mesh).map_err(|e| format!("rank {rank}: {e}"))?;
+    mesh.shutdown();
+
+    if rank == 0 {
+        report_trace(&trace);
+        maybe_exact(flags, h, trace.final_energy());
+        if let Some(path) = flags.get("checkpoint").or_else(|| flags.get("save-model")) {
+            t.into_wavefunction()
+                .save_with_precision(path, save_precision)
+                .map_err(|e| e.to_string())?;
+            println!("checkpoint written to {path}");
+        }
     }
     Ok(())
 }

@@ -50,6 +50,7 @@
 //! | [`baselines`] | random cut, Goemans–Williamson, Burer–Monteiro |
 //! | [`core`] | the VQMC trainer, estimators, distributed trainer |
 //! | [`serve`] | dynamic-batching TCP inference server + client |
+//! | [`dist`] | real-socket rank mesh: multi-process TCP collectives |
 
 #![warn(missing_docs)]
 
@@ -57,6 +58,7 @@ pub use vqmc_autodiff as autodiff;
 pub use vqmc_baselines as baselines;
 pub use vqmc_cluster as cluster;
 pub use vqmc_core as core;
+pub use vqmc_dist as dist;
 pub use vqmc_hamiltonian as hamiltonian;
 pub use vqmc_nn as nn;
 pub use vqmc_optim as optim;
@@ -69,9 +71,11 @@ pub mod prelude {
     pub use crate::baselines::{brute_force, goemans_williamson, random_cut, BurerMonteiro};
     pub use crate::cluster::{Cluster, DeviceSpec, Topology};
     pub use crate::core::{
-        hitting_time, DistributedConfig, DistributedTrainer, EnergyStats, HittingConfig,
-        OptimizerChoice, Trainer, TrainerConfig, TrainingTrace,
+        hitting_time, Collective, CollectiveError, DistributedConfig, DistributedTrainer,
+        EnergyStats, HittingConfig, OptimizerChoice, ShardedTrainer, Trainer, TrainerConfig,
+        TrainingTrace,
     };
+    pub use crate::dist::{Mesh, MeshConfig};
     pub use crate::hamiltonian::{
         ground_state, Graph, MaxCut, Qubo, SparseRowHamiltonian, TransverseFieldIsing,
     };

@@ -1,0 +1,130 @@
+//! End-to-end multi-process training through the CLI: `train --ranks N`
+//! spawns N real OS processes over loopback TCP, and the acceptance
+//! contract is that the printed trace — including the golden final
+//! energy `-10.555253` pinned by `crates/core/tests/golden_trace.rs` —
+//! and the saved checkpoint are **identical at every rank count**.
+//!
+//! This is the one test that exercises the whole chain as shipped:
+//! argv forwarding, port reservation, process spawning, the socket
+//! handshake, sharded training, and rank-0 reporting.
+
+use std::process::Command;
+
+const GOLDEN_ARGS: &[&str] = &[
+    "train", "--problem", "tim", "--n", "10", "--iters", "60", "--batch", "128", "--seed", "3",
+];
+
+fn run_train(extra: &[String]) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_vqmc-cli"))
+        .args(GOLDEN_ARGS)
+        .args(extra)
+        .output()
+        .expect("spawn vqmc-cli");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "vqmc-cli {extra:?} failed ({}):\n{stdout}\n{stderr}",
+        out.status
+    );
+    (stdout, stderr)
+}
+
+/// The reported per-iteration lines plus the final summary, stripped of
+/// the wall-clock suffix (the only legitimately nondeterministic part).
+fn trace_lines(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .filter_map(|l| {
+            if l.starts_with("iter ") {
+                Some(l.to_string())
+            } else if l.starts_with("done: ") {
+                Some(l.split(", ").take(2).collect::<Vec<_>>().join(", "))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn multi_process_training_is_bit_identical_to_single_process() {
+    let dir = std::env::temp_dir().join(format!("vqmc-dist-train-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut traces = Vec::new();
+    let mut checkpoints = Vec::new();
+    for ranks in [1usize, 2, 3, 4] {
+        let ckpt = dir.join(format!("r{ranks}.ckpt"));
+        let extra = vec![
+            "--ranks".to_string(),
+            ranks.to_string(),
+            "--checkpoint".to_string(),
+            ckpt.to_str().unwrap().to_string(),
+        ];
+        let (stdout, _) = run_train(&extra);
+        assert!(
+            stdout.contains("final energy -10.555253"),
+            "--ranks {ranks}: golden energy missing from:\n{stdout}"
+        );
+        let lines = trace_lines(&stdout);
+        assert!(
+            lines.len() > 5,
+            "--ranks {ranks}: expected a full trace, got:\n{stdout}"
+        );
+        traces.push((ranks, lines));
+        checkpoints.push((ranks, std::fs::read(&ckpt).expect("checkpoint written")));
+    }
+
+    let (_, ref_trace) = &traces[0];
+    let (_, ref_ckpt) = &checkpoints[0];
+    for ((ranks, trace), (_, ckpt)) in traces.iter().zip(&checkpoints).skip(1) {
+        assert_eq!(
+            ref_trace, trace,
+            "--ranks {ranks}: printed trace differs from single-process"
+        );
+        assert_eq!(
+            ref_ckpt, ckpt,
+            "--ranks {ranks}: checkpoint bytes differ from single-process"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The worker arm is reachable directly (`--rank/--world/--peers`), so
+/// a mesh can span machines; a worker whose peers never appear exits
+/// with a clean handshake error instead of hanging.
+#[test]
+fn lone_worker_with_absent_peers_fails_cleanly() {
+    // Two genuinely free ports; rank 0's is never bound by anyone.
+    let free: Vec<String> = (0..2)
+        .map(|_| {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            format!("127.0.0.1:{}", l.local_addr().unwrap().port())
+        })
+        .collect();
+    let out = Command::new(env!("CARGO_BIN_EXE_vqmc-cli"))
+        .args(GOLDEN_ARGS)
+        .args([
+            "--rank",
+            "1",
+            "--world",
+            "2",
+            "--peers",
+            &free.join(","),
+            "--connect-timeout-ms",
+            "400",
+        ])
+        .output()
+        .expect("spawn vqmc-cli");
+    assert!(
+        !out.status.success(),
+        "worker must fail when its peers never bind"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("rank 1"),
+        "error should name the failing rank:\n{stderr}"
+    );
+}
