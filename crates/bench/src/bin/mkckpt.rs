@@ -5,6 +5,7 @@
 //!
 //! ```sh
 //! vqmc-mkckpt --n 65536 --hidden 256 --seed 1 --out made_64k.ckpt
+//! vqmc-mkckpt --n 1024 --hidden 192,96 --seed 1 --out made_deep.ckpt
 //! ```
 
 use vqmc_nn::checkpoint::Checkpoint;
@@ -16,7 +17,8 @@ vqmc-mkckpt — write an untrained MADE checkpoint for serving benchmarks
 
 FLAGS:
   --n <spins>          number of spins (required)
-  --hidden <N>         hidden width (required)
+  --hidden <N[,N...]>  hidden widths, comma-separated for a deep
+                       stack (required)
   --seed <N>           weight init seed (default 1)
   --precision f64|f32  parameter storage width (default f64)
   --mutate             derive a *different* model of the same shape
@@ -57,7 +59,18 @@ fn main() {
         })
     };
     let n: usize = req("n").parse().expect("--n wants an integer");
-    let h: usize = req("hidden").parse().expect("--hidden wants an integer");
+    let hidden: Vec<usize> = req("hidden")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .expect("--hidden wants a comma-separated integer list")
+        })
+        .collect();
+    assert!(
+        !hidden.is_empty() && hidden.iter().all(|&w| w > 0),
+        "--hidden widths must be positive"
+    );
     let seed: u64 = flags
         .get("seed")
         .map_or(1, |s| s.parse().expect("--seed wants an integer"));
@@ -73,13 +86,13 @@ fn main() {
     let mutate = flags.contains_key("mutate");
     let model_seed = if mutate { seed ^ 0x6d75_7461 } else { seed };
 
-    let model = Made::new(n, h, model_seed);
+    let model = Made::with_hidden(n, &hidden, model_seed);
     model
         .save_with_precision(&out, precision)
         .expect("write checkpoint");
     let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     println!(
-        "wrote {out}: made n={n} h={h} seed={model_seed}{} precision={} ({bytes} bytes)",
+        "wrote {out}: made n={n} hidden={hidden:?} seed={model_seed}{} precision={} ({bytes} bytes)",
         if mutate { " (mutated)" } else { "" },
         precision.as_str()
     );

@@ -208,6 +208,36 @@ mod alloc_test {
         assert_steady_state_alloc_free(t, &h, "AUTO + SGD+SR");
     }
 
+    /// A depth-2 stack changes the buffer story — per-layer activations,
+    /// per-layer gradients, the deep sampling panels — but not the
+    /// invariant: after warm-up, `Trainer::step` performs **zero** heap
+    /// allocations at depth 2 as well.
+    #[test]
+    fn deep_trainer_step_is_allocation_free_at_steady_state() {
+        let n = 6;
+        let h = TransverseFieldIsing::random(n, 3);
+        let t = Trainer::new(
+            Made::with_hidden(n, &[12, 8], 7),
+            AutoSampler::new(),
+            config(OptimizerChoice::paper_default()),
+        );
+        assert_steady_state_alloc_free(t, &h, "depth-2 AUTO + Adam");
+    }
+
+    /// Same invariant through the incremental sampler, which at depth ≥ 2
+    /// runs the deep panel pipeline with its retained stripe buffers.
+    #[test]
+    fn deep_incremental_sampler_step_is_allocation_free_at_steady_state() {
+        let n = 6;
+        let h = TransverseFieldIsing::random(n, 3);
+        let t = Trainer::new(
+            Made::with_hidden(n, &[12, 8], 7),
+            IncrementalAutoSampler::new(),
+            config(OptimizerChoice::paper_default()),
+        );
+        assert_steady_state_alloc_free(t, &h, "depth-2 AUTO-incremental + Adam");
+    }
+
     /// With the worker pool active (4 threads, batch big enough that the
     /// sampler panels and slice kernels actually dispatch to workers),
     /// steady-state `Trainer::step` still performs **zero** heap

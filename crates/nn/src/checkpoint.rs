@@ -4,28 +4,37 @@
 //! model kind + precision tag + shape + little-endian parameters) so
 //! the crate needs no serialisation-format dependency.  Checkpoints are
 //! portable across platforms (explicit endianness) and validated on
-//! load (magic, version, kind, precision, shape, length).
+//! load (magic, version, kind, precision, shape, length).  Loading is
+//! panic-free: truncated, corrupted or adversarially-shaped files come
+//! back as `InvalidData`/`UnexpectedEof` errors, and every allocation
+//! is bounded by validated shape arithmetic *before* it happens — a
+//! serve `Reload` of a bad file answers an error frame instead of
+//! taking the server down.
 //!
 //! ## Versions
 //!
 //! * **v1** — `magic | version | kind | n | h | count | f64 params`.
-//!   Still accepted on load (treated as f64 storage).
+//!   Still accepted on load (treated as f64 storage, depth 1).
 //! * **v2** — inserts one precision byte ([`Precision::tag`]) between
 //!   the kind tag and the shape: `0` = f64 storage (8-byte params),
 //!   `1` = f32 storage (4-byte params, widened to f64 on load).
-//!   Unknown tags are rejected with `InvalidData`.  [`Checkpoint::save`]
-//!   writes v2/f64; [`Checkpoint::save_with_precision`] selects the
-//!   storage width (an f32 checkpoint of a MADE at `n = 65536, h = 256`
-//!   is ~134 MB instead of ~268 MB).
+//!   Unknown tags are rejected with `InvalidData`.
+//! * **v3** — deep stacks: the single hidden width becomes a layer
+//!   list, `… | n | L | h₁ … h_L | count | params`.  Saves only use v3
+//!   when `L > 1`: a depth-1 model keeps writing v2, byte-identical to
+//!   the previous release, and v1/v2 files load as depth-1 stacks.
 //!
-//! Loading always materialises f64 parameters (models train and serve
-//! from the same struct); the checkpoint's *storage* precision is
-//! surfaced by [`load_any`] so the serving CLI can default its
-//! execution precision to match.
+//! [`Checkpoint::save`] writes f64 storage;
+//! [`Checkpoint::save_with_precision`] selects the storage width (an
+//! f32 checkpoint of a MADE at `n = 65536, h = 256` is ~134 MB instead
+//! of ~268 MB).  Loading always materialises f64 parameters (models
+//! train and serve from the same struct); the checkpoint's *storage*
+//! precision is surfaced by [`load_any`] so the serving CLI can default
+//! its execution precision to match.
 //!
 //! ```no_run
 //! use vqmc_nn::{checkpoint::Checkpoint, Made};
-//! let model = Made::new(20, 45, 1);
+//! let model = Made::with_hidden(20, &[45, 30], 1);
 //! model.save("made.ckpt").unwrap();
 //! let restored = Made::load("made.ckpt").unwrap();
 //! ```
@@ -38,9 +47,18 @@ use vqmc_tensor::{Precision, Vector};
 use crate::{Made, Nade, Rbm, WaveFunction};
 
 const MAGIC: &[u8; 4] = b"VQMC";
-const VERSION: u32 = 2;
+/// Newest version the loader accepts; the writer emits v2 for depth-1
+/// models (byte compatibility) and v3 for deep stacks.
+const VERSION: u32 = 3;
 /// Oldest version still accepted on load.
 const MIN_VERSION: u32 = 1;
+
+/// Plausibility bounds enforced *before* any shape-derived allocation:
+/// a malformed header cannot make the loader construct a huge model or
+/// parameter buffer.
+const MAX_SPINS: usize = 1 << 24;
+const MAX_HIDDEN: usize = 1 << 24;
+const MAX_PARAM_COUNT: usize = 1 << 28;
 
 /// A wavefunction that can be persisted and restored.
 pub trait Checkpoint: WaveFunction + Sized {
@@ -48,14 +66,22 @@ pub trait Checkpoint: WaveFunction + Sized {
     /// checkpoint into a MADE, etc.).
     const KIND: &'static str;
 
-    /// Hidden width (the second shape coordinate of every model here).
-    fn hidden(&self) -> usize;
+    /// Hidden widths, input to output (single-layer models report one).
+    fn hidden_layers(&self) -> Vec<usize>;
+
+    /// The parameter count a model of this shape would have, with
+    /// checked arithmetic — `None` on overflow.  Called on *untrusted*
+    /// header values before the model is constructed, so it must not
+    /// allocate proportionally to the shape.
+    fn param_count(n: usize, hidden: &[usize]) -> Option<usize>;
 
     /// Constructs an uninitialised model of the given shape; its
-    /// parameters are immediately overwritten by the loader.
-    fn with_shape(n: usize, h: usize) -> Self;
+    /// parameters are immediately overwritten by the loader.  Errors if
+    /// the kind does not support the shape (e.g. a multi-layer hidden
+    /// list for a single-layer architecture).
+    fn with_shape(n: usize, hidden: &[usize]) -> io::Result<Self>;
 
-    /// Writes the checkpoint (v2, f64 parameter storage).
+    /// Writes the checkpoint (f64 parameter storage).
     fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         self.save_with_precision(path, Precision::F64)
     }
@@ -65,15 +91,25 @@ pub trait Checkpoint: WaveFunction + Sized {
     /// size); loading widens back, so a save→load round trip through
     /// f32 costs one rounding per parameter.
     fn save_with_precision(&self, path: impl AsRef<Path>, precision: Precision) -> io::Result<()> {
+        let hidden = self.hidden_layers();
+        let version = if hidden.len() == 1 { 2u32 } else { 3u32 };
         let mut f = std::fs::File::create(path)?;
         f.write_all(MAGIC)?;
-        f.write_all(&VERSION.to_le_bytes())?;
+        f.write_all(&version.to_le_bytes())?;
         let kind = Self::KIND.as_bytes();
         f.write_all(&(kind.len() as u32).to_le_bytes())?;
         f.write_all(kind)?;
         f.write_all(&[precision.tag()])?;
         f.write_all(&(self.num_spins() as u64).to_le_bytes())?;
-        f.write_all(&(self.hidden() as u64).to_le_bytes())?;
+        match version {
+            2 => f.write_all(&(hidden[0] as u64).to_le_bytes())?,
+            _ => {
+                f.write_all(&(hidden.len() as u64).to_le_bytes())?;
+                for &h in &hidden {
+                    f.write_all(&(h as u64).to_le_bytes())?;
+                }
+            }
+        }
         let params = self.params();
         f.write_all(&(params.len() as u64).to_le_bytes())?;
         match precision {
@@ -112,7 +148,8 @@ struct Header {
     /// Parameter *storage* width in the file (v1 files are f64).
     precision: Precision,
     n: usize,
-    h: usize,
+    /// Hidden widths, input to output (v1/v2 files carry exactly one).
+    hidden: Vec<usize>,
     count: usize,
 }
 
@@ -144,28 +181,65 @@ impl Header {
             Precision::F64
         };
         let n = read_u64(f)? as usize;
-        let h = read_u64(f)? as usize;
+        if n == 0 || n > MAX_SPINS {
+            return Err(bad(&format!("implausible spin count {n}")));
+        }
+        // v1/v2 carry one hidden width; v3 a layer count + list.
+        let hidden = if version >= 3 {
+            let layers = read_u64(f)? as usize;
+            if layers == 0 || layers >= crate::MAX_LAYERS {
+                return Err(bad(&format!("implausible hidden-layer count {layers}")));
+            }
+            let mut hidden = Vec::with_capacity(layers);
+            for _ in 0..layers {
+                hidden.push(read_hidden(f)?);
+            }
+            hidden
+        } else {
+            vec![read_hidden(f)?]
+        };
         let count = read_u64(f)? as usize;
+        if count > MAX_PARAM_COUNT {
+            return Err(bad(&format!("implausible parameter count {count}")));
+        }
         Ok(Header {
             kind,
             precision,
             n,
-            h,
+            hidden,
             count,
         })
     }
 }
 
+fn read_hidden(f: &mut impl Read) -> io::Result<usize> {
+    let h = read_u64(f)? as usize;
+    if h == 0 || h > MAX_HIDDEN {
+        return Err(bad(&format!("implausible hidden width {h}")));
+    }
+    Ok(h)
+}
+
 /// Reads the parameter block that follows a validated [`Header`],
 /// widening f32 storage to the in-memory f64 parameters.
+///
+/// The declared count is checked against the shape's expected parameter
+/// count (checked arithmetic, no allocation) *before* the model or the
+/// read buffer is built, so a malformed header cannot trigger an
+/// oversized allocation, and every byte-level conversion is fallible
+/// rather than panicking.
 fn load_body<M: Checkpoint>(f: &mut impl Read, header: &Header) -> io::Result<M> {
-    let (n, h, count) = (header.n, header.h, header.count);
-    let mut model = M::with_shape(n, h);
-    if count != model.num_params() {
+    let (n, count) = (header.n, header.count);
+    let hidden = &header.hidden;
+    let expected = M::param_count(n, hidden)
+        .ok_or_else(|| bad(&format!("parameter count overflows for shape ({n},{hidden:?})")))?;
+    if count != expected {
         return Err(bad(&format!(
-            "parameter count mismatch: file has {count}, shape ({n},{h}) wants {}",
-            model.num_params()
+            "parameter count mismatch: file has {count}, shape ({n},{hidden:?}) wants {expected}"
         )));
+    }
+    if expected > MAX_PARAM_COUNT {
+        return Err(bad(&format!("implausible parameter count {expected}")));
     }
     let width = match header.precision {
         Precision::F64 => 8,
@@ -173,19 +247,31 @@ fn load_body<M: Checkpoint>(f: &mut impl Read, header: &Header) -> io::Result<M>
     };
     let mut buf = vec![0u8; count * width];
     f.read_exact(&mut buf)?;
-    let params = Vector(match header.precision {
-        Precision::F64 => buf
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-            .collect(),
-        Precision::F32 => buf
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")) as f64)
-            .collect(),
-    });
+    let mut vals = Vec::with_capacity(count);
+    match header.precision {
+        Precision::F64 => {
+            for c in buf.chunks_exact(8) {
+                let arr: [u8; 8] =
+                    c.try_into().map_err(|_| bad("malformed parameter chunk"))?;
+                vals.push(f64::from_le_bytes(arr));
+            }
+        }
+        Precision::F32 => {
+            for c in buf.chunks_exact(4) {
+                let arr: [u8; 4] =
+                    c.try_into().map_err(|_| bad("malformed parameter chunk"))?;
+                vals.push(f32::from_le_bytes(arr) as f64);
+            }
+        }
+    }
+    if vals.len() != count {
+        return Err(bad("parameter block does not match declared count"));
+    }
+    let params = Vector(vals);
     if !params.all_finite() {
         return Err(bad("checkpoint contains non-finite parameters"));
     }
+    let mut model = M::with_shape(n, hidden)?;
     model.set_params(&params);
     Ok(model)
 }
@@ -272,33 +358,87 @@ fn read_u64(f: &mut impl Read) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
+/// Checked `Σ_l out_l·(in_l + 1)` over the dimension chain
+/// `n → hidden… → n` — the MADE stack's parameter count.
+fn stack_param_count(n: usize, hidden: &[usize]) -> Option<usize> {
+    let mut total = 0usize;
+    let mut in_dim = n;
+    for &h in hidden {
+        total = total.checked_add(h.checked_mul(in_dim.checked_add(1)?)?)?;
+        in_dim = h;
+    }
+    total.checked_add(n.checked_mul(in_dim.checked_add(1)?)?)
+}
+
+fn require_single_layer(kind: &str, hidden: &[usize]) -> io::Result<usize> {
+    match hidden {
+        [h] => Ok(*h),
+        _ => Err(bad(&format!(
+            "{kind} checkpoints are single-layer, file declares {} hidden layers",
+            hidden.len()
+        ))),
+    }
+}
+
 impl Checkpoint for Made {
     const KIND: &'static str = "made";
-    fn hidden(&self) -> usize {
-        self.hidden_size()
+    fn hidden_layers(&self) -> Vec<usize> {
+        self.hidden_sizes().to_vec()
     }
-    fn with_shape(n: usize, h: usize) -> Self {
-        Made::new(n, h, 0)
+    fn param_count(n: usize, hidden: &[usize]) -> Option<usize> {
+        stack_param_count(n, hidden)
+    }
+    fn with_shape(n: usize, hidden: &[usize]) -> io::Result<Self> {
+        if hidden.len() >= crate::MAX_LAYERS {
+            return Err(bad(&format!(
+                "made checkpoint declares {} hidden layers, max {}",
+                hidden.len(),
+                crate::MAX_LAYERS - 1
+            )));
+        }
+        Ok(Made::with_hidden(n, hidden, 0))
     }
 }
 
 impl Checkpoint for Rbm {
     const KIND: &'static str = "rbm";
-    fn hidden(&self) -> usize {
-        self.hidden_size()
+    fn hidden_layers(&self) -> Vec<usize> {
+        vec![self.hidden_size()]
     }
-    fn with_shape(n: usize, h: usize) -> Self {
-        Rbm::new(n, h, 0)
+    fn param_count(n: usize, hidden: &[usize]) -> Option<usize> {
+        let h = *hidden.first()?;
+        if hidden.len() != 1 {
+            return None;
+        }
+        // h·n + h + n + 1
+        h.checked_mul(n)?
+            .checked_add(h)?
+            .checked_add(n)?
+            .checked_add(1)
+    }
+    fn with_shape(n: usize, hidden: &[usize]) -> io::Result<Self> {
+        Ok(Rbm::new(n, require_single_layer("rbm", hidden)?, 0))
     }
 }
 
 impl Checkpoint for Nade {
     const KIND: &'static str = "nade";
-    fn hidden(&self) -> usize {
-        self.hidden_size()
+    fn hidden_layers(&self) -> Vec<usize> {
+        vec![self.hidden_size()]
     }
-    fn with_shape(n: usize, h: usize) -> Self {
-        Nade::new(n, h, 0)
+    fn param_count(n: usize, hidden: &[usize]) -> Option<usize> {
+        let h = *hidden.first()?;
+        if hidden.len() != 1 {
+            return None;
+        }
+        // 2·h·n + h + n
+        h.checked_mul(n)?
+            .checked_mul(2)?
+            .checked_add(h)?
+            .checked_add(n)
+    }
+    fn with_shape(n: usize, hidden: &[usize]) -> io::Result<Self> {
+        Ok(Nade::new(n, require_single_layer("nade", hidden)?, 0))
     }
 }
 
@@ -325,6 +465,107 @@ mod tests {
         for s in 0..batch.batch_size() {
             assert_eq!(a[s], b[s], "sample {s}");
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn depth1_save_bytes_unchanged_from_v2() {
+        // Hand-assemble the exact v2 byte stream the previous release
+        // wrote and require the new writer to reproduce it bit for bit.
+        let path = tmp("v2-bytes");
+        let model = Made::new(4, 6, 11);
+        model.save(&path).unwrap();
+        let written = std::fs::read(&path).unwrap();
+        let mut expect = Vec::new();
+        expect.extend_from_slice(b"VQMC");
+        expect.extend_from_slice(&2u32.to_le_bytes());
+        expect.extend_from_slice(&4u32.to_le_bytes());
+        expect.extend_from_slice(b"made");
+        expect.push(Precision::F64.tag());
+        expect.extend_from_slice(&4u64.to_le_bytes());
+        expect.extend_from_slice(&6u64.to_le_bytes());
+        let params = model.params();
+        expect.extend_from_slice(&(params.len() as u64).to_le_bytes());
+        for v in params.iter() {
+            expect.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(written, expect);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deep_round_trip_preserves_params_exactly() {
+        // v3: a depth-2 stack round-trips weights exactly, through both
+        // the typed and the any-kind loader, in both storage widths.
+        let path = tmp("deep");
+        let model = Made::with_hidden(6, &[9, 7], 17);
+        model.save(&path).unwrap();
+        let restored = Made::load(&path).unwrap();
+        assert_eq!(restored.hidden_sizes(), model.hidden_sizes());
+        assert_eq!(restored.params().as_slice(), model.params().as_slice());
+        let (any, precision) = load_any(&path).unwrap();
+        assert_eq!(precision, Precision::F64);
+        match any {
+            AnyModel::Made(m) => {
+                assert_eq!(m.params().as_slice(), model.params().as_slice())
+            }
+            other => panic!("expected made, got {}", other.kind()),
+        }
+        model.save_with_precision(&path, Precision::F32).unwrap();
+        let narrowed = Made::load(&path).unwrap();
+        for (a, b) in model.params().iter().zip(narrowed.params().iter()) {
+            assert_eq!(*b, (*a as f32) as f64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn depth1_v3_header_loads_to_same_weights_as_v2() {
+        // A v3 file declaring a single hidden layer is legal and loads
+        // to exactly the weights its v2 twin holds.
+        let path = tmp("v3-depth1");
+        let model = Made::new(5, 8, 3);
+        let params = model.params();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"VQMC");
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(b"made");
+        bytes.push(Precision::F64.tag());
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // one hidden layer
+        bytes.extend_from_slice(&8u64.to_le_bytes());
+        bytes.extend_from_slice(&(params.len() as u64).to_le_bytes());
+        for v in params.iter() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let restored = Made::load(&path).unwrap();
+        assert_eq!(restored.hidden_sizes(), &[8]);
+        assert_eq!(restored.params().as_slice(), params.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_layer_kinds_reject_deep_headers() {
+        // A v3 multi-layer header with an rbm/nade kind tag must be a
+        // structured error, not a panic or a silent reshape.
+        let path = tmp("deep-rbm");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"VQMC");
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(b"rbm");
+        bytes.push(Precision::F64.tag());
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Rbm::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(load_any(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
 
@@ -479,6 +720,93 @@ mod tests {
         std::fs::write(&path, b"NOPE-this-is-not-a-checkpoint").unwrap();
         let err = Made::load(&path).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_structured_error() {
+        // The satellite-1 property: cut a valid checkpoint at EVERY
+        // byte offset and require a structured io::Error (never a
+        // panic) from both the typed and any-kind loaders — for a
+        // depth-1 v2 file, a depth-2 v3 file, and an f32-storage file.
+        let path = tmp("cuts");
+        let make_files: Vec<Box<dyn Fn(&std::path::Path)>> = vec![
+            Box::new(|p: &std::path::Path| Made::new(4, 5, 1).save(p).unwrap()),
+            Box::new(|p: &std::path::Path| {
+                Made::with_hidden(4, &[5, 3], 1).save(p).unwrap()
+            }),
+            Box::new(|p: &std::path::Path| {
+                Made::new(4, 5, 1)
+                    .save_with_precision(p, Precision::F32)
+                    .unwrap()
+            }),
+        ];
+        for (which, make) in make_files.iter().enumerate() {
+            make(&path);
+            let bytes = std::fs::read(&path).unwrap();
+            for cut in 0..bytes.len() {
+                std::fs::write(&path, &bytes[..cut]).unwrap();
+                let err = Made::load(&path).unwrap_err();
+                assert!(
+                    matches!(
+                        err.kind(),
+                        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                    ),
+                    "file {which} cut {cut}: unexpected error kind {:?}",
+                    err.kind()
+                );
+                assert!(load_any(&path).is_err(), "file {which} cut {cut}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn adversarial_shape_fields_rejected_without_huge_allocations() {
+        // Overwrite each u64 shape field with u64::MAX (and other
+        // hostile values) — the loader must answer InvalidData without
+        // attempting a shape-sized allocation.
+        let path = tmp("adversarial");
+        Made::new(4, 5, 1).save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // v2 layout: magic 4 | ver 4 | kindlen 4 | kind 4 | prec 1 |
+        // n 8 | h 8 | count 8 | params.
+        let n_off = 4 + 4 + 4 + 4 + 1;
+        let h_off = n_off + 8;
+        let count_off = h_off + 8;
+        for off in [n_off, h_off, count_off] {
+            for hostile in [u64::MAX, 1 << 40, (1 << 24) + 1] {
+                let mut b = bytes.clone();
+                b[off..off + 8].copy_from_slice(&hostile.to_le_bytes());
+                std::fs::write(&path, &b).unwrap();
+                let err = Made::load(&path).unwrap_err();
+                assert_eq!(
+                    err.kind(),
+                    io::ErrorKind::InvalidData,
+                    "field at {off} = {hostile}: {err}"
+                );
+            }
+        }
+        // Zero shapes are equally invalid.
+        for off in [n_off, h_off] {
+            let mut b = bytes.clone();
+            b[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
+            std::fs::write(&path, &b).unwrap();
+            assert!(Made::load(&path).is_err(), "zero field at {off}");
+        }
+        // A hostile v3 layer count must be caught before the layer list
+        // is read.
+        let mut v3 = Vec::new();
+        v3.extend_from_slice(b"VQMC");
+        v3.extend_from_slice(&3u32.to_le_bytes());
+        v3.extend_from_slice(&4u32.to_le_bytes());
+        v3.extend_from_slice(b"made");
+        v3.push(Precision::F64.tag());
+        v3.extend_from_slice(&4u64.to_le_bytes());
+        v3.extend_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &v3).unwrap();
+        let err = Made::load(&path).unwrap_err();
+        assert!(err.to_string().contains("layer count"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -43,7 +43,7 @@ pub mod sampling;
 
 use vqmc_tensor::{Matrix, SpinBatch, Vector, Workspace};
 
-pub use made::{Made, MadeWorkspace};
+pub use made::{Made, MadeWorkspace, MaskedLinear, MAX_LAYERS};
 pub use made32::{MadeF32, MadeF32Workspace};
 pub use nade::Nade;
 pub use rbm::Rbm;

@@ -1,10 +1,13 @@
-//! The MADE autoregressive neural quantum state (paper §2.3 / §5.1).
+//! The MADE autoregressive neural quantum state (paper §2.3 / §5.1),
+//! generalised to a composable stack of masked layers.
 //!
-//! Architecture (exactly the paper's):
+//! Architecture (depth `D ≥ 1` hidden layers; the paper's ansatz is
+//! `D = 1`):
 //!
 //! ```text
-//! Input ──[bs,n]──> MaskedFC1 ──[bs,h]──> ReLU
-//!       ──[bs,h]──> MaskedFC2 ──[bs,n]──> Sigmoid ──> conditionals
+//! Input ──[bs,n]──> MaskedFC₁ ──[bs,h₁]──> ReLU
+//!       ──[bs,h₁]─> MaskedFC₂ ──[bs,h₂]──> ReLU ── … ──
+//!       ──[bs,h_D]─> MaskedFCout ──[bs,n]──> Sigmoid ──> conditionals
 //! ```
 //!
 //! The sigmoid outputs are the conditionals `pᵢ = p(xᵢ = 1 | x_{<i})`;
@@ -16,17 +19,20 @@
 //!
 //! ## Parameter layout (flattened)
 //!
-//! `[W₁ (h·n, row-major) | b₁ (h) | W₂ (n·h, row-major) | b₂ (n)]`,
-//! total `d = 2hn + h + n` — the gradient-vector length quoted in the
-//! paper's §4.
+//! Per layer `[W_l (out·in, row-major) | b_l (out)]`, layers in order —
+//! at depth 1 exactly the historical
+//! `[W₁ (h·n) | b₁ (h) | W₂ (n·h) | b₂ (n)]`, total `d = 2hn + h + n`
+//! (the gradient-vector length quoted in the paper's §4).
 //!
 //! ## Mask invariant
 //!
 //! Masked weight entries are identically zero for the lifetime of the
 //! model: they are zero-initialised, every gradient is masked, and
-//! [`Made::set_params`] re-applies the masks defensively.  The
-//! autoregressive property is therefore structural, not statistical;
-//! `tests` property-check it by perturbing suffix bits.
+//! [`Made::set_params`] re-applies the masks defensively.  The layer
+//! masks compose (strict input/output rule, non-strict interior rule —
+//! see [`crate::masks`]) so the autoregressive property is structural
+//! at any depth, not statistical; `tests` property-check it by
+//! perturbing suffix bits.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,20 +42,60 @@ use vqmc_tensor::{ops, Matrix, SpinBatch, Vector, Workspace};
 use crate::masks;
 use crate::{init, Autoregressive, WaveFunction};
 
-/// Masked autoencoder wavefunction.
+/// Hard cap on stack size (hidden layers + output layer).  Lets the
+/// workspace use fixed inline storage so pool checkout stays
+/// allocation-free at any depth; 8 hidden layers is far beyond the
+/// regime where this ansatz family is competitive.
+pub const MAX_LAYERS: usize = 9;
+
+/// One masked affine layer `y = x Wᵀ + b` with a structural mask
+/// (`W ⊙ M = W` always).  The activation between layers is ReLU; the
+/// final layer's outputs are the conditional logits.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct MaskedLinear {
+    w: Matrix,
+    b: Vector,
+    mask: Matrix,
+}
+
+impl MaskedLinear {
+    /// Masked weights (`out × in`, row-major).
+    pub fn w(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Bias (`out`).
+    pub fn b(&self) -> &Vector {
+        &self.b
+    }
+
+    /// The binary mask (`out × in`).
+    pub fn mask(&self) -> &Matrix {
+        &self.mask
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+/// Masked autoencoder wavefunction: a stack of [`MaskedLinear`] layers
+/// with ReLU between them.
 #[derive(Clone, Serialize, Deserialize)]
 pub struct Made {
     n: usize,
-    h: usize,
-    w1: Matrix,
-    b1: Vector,
-    w2: Matrix,
-    b2: Vector,
-    mask1: Matrix,
-    mask2: Matrix,
+    hidden: Vec<usize>,
+    layers: Vec<MaskedLinear>,
     /// Bumped on every [`Made::set_params`].  Lets callers that cache
-    /// derived quantities (e.g. the incremental sampler's `W₁ᵀ`) detect
-    /// staleness without holding a borrow of the model.
+    /// derived quantities (e.g. the incremental sampler's `W₁ᵀ` or the
+    /// per-layer f32 weight caches) detect staleness without holding a
+    /// borrow of the model.
     #[serde(default)]
     version: u64,
 }
@@ -60,39 +106,35 @@ pub struct Made {
 /// [`Made`] allocation-free at steady state: all activations, gradient
 /// accumulators and per-sample scratch rows live here and are `resize`d
 /// in place (capacity is kept, so after the first call on a given batch
-/// shape no heap traffic occurs).
+/// shape no heap traffic occurs).  Per-layer buffers sit in fixed
+/// `[_; MAX_LAYERS]` arrays — unused slots are empty and never touch
+/// the heap — so checkout stays zero-alloc at every depth.
 ///
 /// A `MadeWorkspace` can also be checked out of a generic
 /// [`Workspace`] pool ([`MadeWorkspace::from_pool`]) and returned to it
 /// ([`MadeWorkspace::into_pool`]); because the pool is LIFO and the
-/// checkout order is fixed, each field gets the same backing buffer
-/// every iteration.
+/// checkout order is fixed for a given stack shape, each slot gets the
+/// same backing buffer every iteration.
 #[derive(Default)]
 pub struct MadeWorkspace {
     /// Network input (the batch as `f64` 0/1 rows).
     pub x: Matrix,
-    /// Hidden pre-activations `Z₁ = X W₁ᵀ + b₁`.
-    pub z1: Matrix,
-    /// Hidden activations `H₁ = relu(Z₁)`.
-    pub h1: Matrix,
-    /// Output logits `A = H₁ W₂ᵀ + b₂`.
-    pub logits: Matrix,
-    /// Backprop: `δA` (`bs × n`).
-    delta_a: Matrix,
-    /// Backprop: `δZ₁` (`bs × h`).
-    delta_z1: Matrix,
-    /// Weight-gradient accumulator `dW₁` (`h × n`).
-    dw1: Matrix,
-    /// Weight-gradient accumulator `dW₂` (`n × h`).
-    dw2: Matrix,
-    /// Bias-gradient accumulator `db₁` (`h`).
-    db1: Vector,
-    /// Bias-gradient accumulator `db₂` (`n`).
-    db2: Vector,
-    /// Per-sample `δa` scratch row (length `n`).
-    delta_a_row: Vec<f64>,
-    /// Per-sample `δz₁` scratch row (length `h`).
-    delta_z_row: Vec<f64>,
+    /// Layers this workspace is currently shaped for.
+    num_layers: usize,
+    /// Pre-activations per layer; `z[num_layers-1]` is the output
+    /// logits.
+    z: [Matrix; MAX_LAYERS],
+    /// ReLU activations per hidden layer (`h[l] = relu(z[l])`,
+    /// `l < num_layers - 1`).
+    h: [Matrix; MAX_LAYERS],
+    /// Backprop: `δ` per layer (`bs × out_l`).
+    delta: [Matrix; MAX_LAYERS],
+    /// Weight-gradient accumulators (`out_l × in_l`).
+    dw: [Matrix; MAX_LAYERS],
+    /// Bias-gradient accumulators (`out_l`).
+    db: [Vector; MAX_LAYERS],
+    /// Per-sample `δ` scratch rows (length `out_l`).
+    delta_rows: [Vec<f64>; MAX_LAYERS],
 }
 
 impl MadeWorkspace {
@@ -101,131 +143,219 @@ impl MadeWorkspace {
         MadeWorkspace::default()
     }
 
-    /// Checks the workspace's buffers out of a shared pool.  Pair with
-    /// [`MadeWorkspace::into_pool`]; the fixed LIFO checkout order means
-    /// each field reuses the same pool buffer every iteration.
-    pub fn from_pool(ws: &mut Workspace) -> Self {
+    /// Output logits of the last forward pass (`bs × n`).
+    pub fn logits(&self) -> &Matrix {
+        &self.z[self.num_layers - 1]
+    }
+
+    fn ensure_layers(&mut self, num_layers: usize) {
+        assert!(
+            (1..=MAX_LAYERS).contains(&num_layers),
+            "MadeWorkspace: {num_layers} layers exceeds MAX_LAYERS"
+        );
+        self.num_layers = num_layers;
+    }
+
+    /// Checks the workspace's buffers out of a shared pool for a stack
+    /// of `num_layers` layers.  Pair with [`MadeWorkspace::into_pool`];
+    /// the fixed LIFO checkout order means each slot reuses the same
+    /// pool buffer every iteration.
+    pub fn from_pool(ws: &mut Workspace, num_layers: usize) -> Self {
         // `take(0)` hands back a parked buffer with its capacity intact;
         // the zero-shape matrix/vector wrappers are then grown in place
-        // by the first `_into` kernel that writes them.
-        MadeWorkspace {
-            x: Matrix::from_vec(0, 0, ws.take(0)),
-            z1: Matrix::from_vec(0, 0, ws.take(0)),
-            h1: Matrix::from_vec(0, 0, ws.take(0)),
-            logits: Matrix::from_vec(0, 0, ws.take(0)),
-            delta_a: Matrix::from_vec(0, 0, ws.take(0)),
-            delta_z1: Matrix::from_vec(0, 0, ws.take(0)),
-            dw1: Matrix::from_vec(0, 0, ws.take(0)),
-            dw2: Matrix::from_vec(0, 0, ws.take(0)),
-            db1: Vector(ws.take(0)),
-            db2: Vector(ws.take(0)),
-            delta_a_row: ws.take(0),
-            delta_z_row: ws.take(0),
+        // by the first `_into` kernel that writes them.  Checkout order:
+        // x, z[..], h[..], delta[..], dw[..], db[..], delta_rows[..].
+        let mut out = MadeWorkspace::default();
+        out.ensure_layers(num_layers);
+        out.x = Matrix::from_vec(0, 0, ws.take(0));
+        for slot in out.z.iter_mut().take(num_layers) {
+            *slot = Matrix::from_vec(0, 0, ws.take(0));
         }
+        for slot in out.h.iter_mut().take(num_layers - 1) {
+            *slot = Matrix::from_vec(0, 0, ws.take(0));
+        }
+        for slot in out.delta.iter_mut().take(num_layers) {
+            *slot = Matrix::from_vec(0, 0, ws.take(0));
+        }
+        for slot in out.dw.iter_mut().take(num_layers) {
+            *slot = Matrix::from_vec(0, 0, ws.take(0));
+        }
+        for slot in out.db.iter_mut().take(num_layers) {
+            *slot = Vector(ws.take(0));
+        }
+        for slot in out.delta_rows.iter_mut().take(num_layers) {
+            *slot = ws.take(0);
+        }
+        out
     }
 
     /// Returns every buffer to the pool, in reverse checkout order so
-    /// the next [`MadeWorkspace::from_pool`] sees them in the same
-    /// positions (LIFO discipline).
-    pub fn into_pool(self, ws: &mut Workspace) {
-        ws.give(self.delta_z_row);
-        ws.give(self.delta_a_row);
-        ws.give_vector(self.db2);
-        ws.give_vector(self.db1);
-        ws.give_matrix(self.dw2);
-        ws.give_matrix(self.dw1);
-        ws.give_matrix(self.delta_z1);
-        ws.give_matrix(self.delta_a);
-        ws.give_matrix(self.logits);
-        ws.give_matrix(self.h1);
-        ws.give_matrix(self.z1);
+    /// the next [`MadeWorkspace::from_pool`] (same stack shape) sees
+    /// them in the same positions (LIFO discipline).
+    pub fn into_pool(mut self, ws: &mut Workspace) {
+        let ll = self.num_layers;
+        for l in (0..ll).rev() {
+            ws.give(std::mem::take(&mut self.delta_rows[l]));
+        }
+        for l in (0..ll).rev() {
+            ws.give_vector(std::mem::take(&mut self.db[l]));
+        }
+        for l in (0..ll).rev() {
+            ws.give_matrix(std::mem::take(&mut self.dw[l]));
+        }
+        for l in (0..ll).rev() {
+            ws.give_matrix(std::mem::take(&mut self.delta[l]));
+        }
+        for l in (0..ll.saturating_sub(1)).rev() {
+            ws.give_matrix(std::mem::take(&mut self.h[l]));
+        }
+        for l in (0..ll).rev() {
+            ws.give_matrix(std::mem::take(&mut self.z[l]));
+        }
         ws.give_matrix(self.x);
+    }
+
+    /// Number of pool buffers a checkout for `num_layers` layers uses
+    /// (tests assert the pool parks exactly this many).
+    pub fn pool_buffers(num_layers: usize) -> usize {
+        1 + 5 * num_layers + (num_layers - 1)
     }
 }
 
 impl Made {
-    /// Creates a MADE with `n` spins and `h` hidden units, parameters
-    /// initialised from `seed` (Xavier weights, PyTorch-style biases),
-    /// masks applied.
+    /// Creates a depth-1 MADE with `n` spins and `h` hidden units,
+    /// parameters initialised from `seed` (Xavier weights,
+    /// PyTorch-style biases), masks applied.  Bit-identical to the
+    /// historical two-matrix constructor.
     pub fn new(n: usize, h: usize, seed: u64) -> Self {
-        assert!(n >= 1 && h >= 1, "Made: degenerate shape");
+        Made::with_hidden(n, &[h], seed)
+    }
+
+    /// Creates a MADE with `n` spins and one hidden layer per entry of
+    /// `hidden`, parameters initialised from `seed`.  The RNG draw
+    /// order is fixed per layer (Xavier weights, then bias), so
+    /// `with_hidden(n, &[h], seed)` reproduces `new(n, h, seed)`
+    /// exactly.
+    pub fn with_hidden(n: usize, hidden: &[usize], seed: u64) -> Self {
+        assert!(
+            n >= 1 && !hidden.is_empty() && hidden.iter().all(|&h| h >= 1),
+            "Made: degenerate shape"
+        );
+        assert!(
+            hidden.len() < MAX_LAYERS,
+            "Made: {} hidden layers exceeds the {} supported",
+            hidden.len(),
+            MAX_LAYERS - 1
+        );
         let mut rng = StdRng::seed_from_u64(seed);
-        let degrees = masks::hidden_degrees(n, h);
-        let mask1 = masks::input_mask(n, &degrees);
-        let mask2 = masks::output_mask(n, &degrees);
-        let mut w1 = init::xavier_uniform(h, n, &mut rng);
-        w1.hadamard_inplace(&mask1);
-        let b1 = init::linear_bias(n, h, &mut rng);
-        let mut w2 = init::xavier_uniform(n, h, &mut rng);
-        w2.hadamard_inplace(&mask2);
-        let b2 = init::linear_bias(h, n, &mut rng);
+        let degrees: Vec<Vec<usize>> = hidden
+            .iter()
+            .map(|&h| masks::hidden_degrees(n, h))
+            .collect();
+        let mut layers = Vec::with_capacity(hidden.len() + 1);
+        let mut in_dim = n;
+        for (l, &hl) in hidden.iter().enumerate() {
+            let mask = if l == 0 {
+                masks::input_mask(n, &degrees[0])
+            } else {
+                masks::hidden_mask(&degrees[l - 1], &degrees[l])
+            };
+            let mut w = init::xavier_uniform(hl, in_dim, &mut rng);
+            w.hadamard_inplace(&mask);
+            let b = init::linear_bias(in_dim, hl, &mut rng);
+            layers.push(MaskedLinear { w, b, mask });
+            in_dim = hl;
+        }
+        let mask = masks::output_mask(n, degrees.last().unwrap());
+        let mut w = init::xavier_uniform(n, in_dim, &mut rng);
+        w.hadamard_inplace(&mask);
+        let b = init::linear_bias(in_dim, n, &mut rng);
+        layers.push(MaskedLinear { w, b, mask });
         Made {
             n,
-            h,
-            w1,
-            b1,
-            w2,
-            b2,
-            mask1,
-            mask2,
+            hidden: hidden.to_vec(),
+            layers,
             version: 0,
         }
     }
 
     /// Monotone counter bumped by every [`Made::set_params`].  Callers
     /// caching quantities derived from the parameters (the incremental
-    /// AUTO sampler caches `W₁ᵀ`) compare this against their cached
-    /// value to decide whether to recompute.
+    /// AUTO sampler caches `W₁ᵀ`, the serve engine caches f32 weights)
+    /// compare this against their cached value to decide whether to
+    /// recompute.
     pub fn params_version(&self) -> u64 {
         self.version
     }
 
-    /// Hidden-layer width.
+    /// First hidden layer's width (the panel width of the fused
+    /// sampling kernel).
     pub fn hidden_size(&self) -> usize {
-        self.h
+        self.hidden[0]
     }
 
-    /// Masked first-layer weights (`h × n`).
+    /// All hidden-layer widths, input to output.
+    pub fn hidden_sizes(&self) -> &[usize] {
+        &self.hidden
+    }
+
+    /// Number of hidden layers.
+    pub fn depth(&self) -> usize {
+        self.hidden.len()
+    }
+
+    /// The full layer stack (`depth() + 1` masked layers).
+    pub fn layers(&self) -> &[MaskedLinear] {
+        &self.layers
+    }
+
+    /// Masked first-layer weights (`h₁ × n`).
     pub fn w1(&self) -> &Matrix {
-        &self.w1
+        &self.layers[0].w
     }
 
-    /// First-layer bias (`h`).
+    /// First-layer bias (`h₁`).
     pub fn b1(&self) -> &Vector {
-        &self.b1
+        &self.layers[0].b
     }
 
-    /// Masked second-layer weights (`n × h`).
+    /// Masked output-layer weights (`n × h_D`).
     pub fn w2(&self) -> &Matrix {
-        &self.w2
+        &self.layers[self.layers.len() - 1].w
     }
 
-    /// Second-layer bias (`n`).
+    /// Output-layer bias (`n`).
     pub fn b2(&self) -> &Vector {
-        &self.b2
+        &self.layers[self.layers.len() - 1].b
     }
 
-    /// The hidden mask `M¹` (tests / diagnostics).
+    /// The input mask `M¹` (tests / diagnostics).
     pub fn mask1(&self) -> &Matrix {
-        &self.mask1
+        &self.layers[0].mask
     }
 
     /// The output mask `M²` (tests / diagnostics).
     pub fn mask2(&self) -> &Matrix {
-        &self.mask2
+        &self.layers[self.layers.len() - 1].mask
     }
 
-    /// Forward pass into `ws` (fills `ws.x`, `ws.z1`, `ws.h1`,
-    /// `ws.logits`; allocation-free once `ws` is warm).
+    /// Forward pass into `ws` (fills `ws.x`, the per-layer
+    /// pre-activations and ReLU activations; allocation-free once `ws`
+    /// is warm).
     pub fn forward_with(&self, batch: &SpinBatch, ws: &mut MadeWorkspace) {
         assert_eq!(batch.num_spins(), self.n, "Made: spin-count mismatch");
+        let ll = self.layers.len();
+        ws.ensure_layers(ll);
         batch.to_matrix_into(&mut ws.x);
-        ws.x.matmul_nt_into(&self.w1, &mut ws.z1);
-        ws.z1.add_row_bias(&self.b1);
-        ws.h1.copy_from(&ws.z1);
-        ws.h1.map_inplace(ops::relu);
-        ws.h1.matmul_nt_into(&self.w2, &mut ws.logits);
-        ws.logits.add_row_bias(&self.b2);
+        let MadeWorkspace { x, z, h, .. } = ws;
+        x.matmul_nt_into(&self.layers[0].w, &mut z[0]);
+        z[0].add_row_bias(&self.layers[0].b);
+        for l in 1..ll {
+            h[l - 1].copy_from(&z[l - 1]);
+            h[l - 1].map_inplace(ops::relu);
+            h[l - 1].matmul_nt_into(&self.layers[l].w, &mut z[l]);
+            z[l].add_row_bias(&self.layers[l].b);
+        }
     }
 
     /// Output logits `aᵢ` (pre-sigmoid conditionals) for a batch — the
@@ -233,7 +363,8 @@ impl Made {
     pub fn logits(&self, batch: &SpinBatch) -> Matrix {
         let mut ws = MadeWorkspace::new();
         self.forward_with(batch, &mut ws);
-        ws.logits
+        let ll = self.layers.len();
+        std::mem::take(&mut ws.z[ll - 1])
     }
 
     /// Per-sample `logπ(x) = Σᵢ xᵢ·logσ(aᵢ) + (1−xᵢ)·logσ(−aᵢ)`,
@@ -264,12 +395,9 @@ impl Made {
     /// [`WaveFunction::log_psi`] with caller-owned scratch and output.
     pub fn log_psi_with(&self, batch: &SpinBatch, ws: &mut MadeWorkspace, out: &mut Vector) {
         self.forward_with(batch, ws);
-        let MadeWorkspace {
-            logits,
-            delta_a_row,
-            ..
-        } = ws;
-        Self::log_prob_from_logits_into(batch, logits, delta_a_row, out);
+        let last = self.layers.len() - 1;
+        let MadeWorkspace { z, delta_rows, .. } = ws;
+        Self::log_prob_from_logits_into(batch, &z[last], &mut delta_rows[last], out);
         out.scale(0.5);
     }
 
@@ -277,7 +405,7 @@ impl Made {
     /// output.
     pub fn conditionals_with(&self, batch: &SpinBatch, ws: &mut MadeWorkspace, out: &mut Matrix) {
         self.forward_with(batch, ws);
-        out.copy_from(&ws.logits);
+        out.copy_from(ws.logits());
         ops::sigmoid_slice(out.as_mut_slice());
     }
 
@@ -308,52 +436,59 @@ impl Made {
         out: &mut Vector,
     ) {
         let bs = batch.batch_size();
+        let ll = self.layers.len();
+        let last = ll - 1;
         // Split the workspace into per-field borrows so reads of the
         // forward activations can overlap writes to the gradient buffers.
         let MadeWorkspace {
             x,
-            z1,
-            h1,
-            logits,
-            delta_a,
-            delta_z1,
-            dw1,
-            dw2,
-            db1,
-            db2,
+            z,
+            h,
+            delta,
+            dw,
+            db,
             ..
         } = ws;
         // δA[s,i] = w_s · ½ (xᵢ − σ(aᵢ))   (∂logψ/∂aᵢ = ½ ∂logπ/∂aᵢ).
         // One matrix-wide vectorised sigmoid over a copy of the logits,
         // then the cheap affine combine per row.
-        delta_a.copy_from(logits);
-        ops::sigmoid_slice(delta_a.as_mut_slice());
+        delta[last].copy_from(&z[last]);
+        ops::sigmoid_slice(delta[last].as_mut_slice());
         for s in 0..bs {
             let w = out_weights[s];
             let x_row = batch.sample(s);
-            let out_row = delta_a.row_mut(s);
+            let out_row = delta[last].row_mut(s);
             for i in 0..self.n {
                 out_row[i] = w * 0.5 * (x_row[i] as f64 - out_row[i]);
             }
         }
-        // dW₂ = δAᵀ H₁ ⊙ M², db₂ = colsum δA.
-        delta_a.matmul_tn_into(h1, dw2);
-        dw2.hadamard_inplace(&self.mask2);
-        column_sums_into(delta_a, db2);
-        // δH₁ = δA W₂ ; δZ₁ = δH₁ ⊙ relu'(Z₁).
-        delta_a.matmul_nn_into(&self.w2, delta_z1);
-        for (dz, &z) in delta_z1.as_mut_slice().iter_mut().zip(z1.as_slice()) {
-            *dz *= ops::relu_prime(z);
+        // Walk the stack top-down: dW_l = δ_lᵀ act_l ⊙ M_l,
+        // db_l = colsum δ_l, then δ_{l-1} = δ_l W_l ⊙ relu'(Z_{l-1}).
+        for l in (0..ll).rev() {
+            let act: &Matrix = if l == 0 { x } else { &h[l - 1] };
+            delta[l].matmul_tn_into(act, &mut dw[l]);
+            dw[l].hadamard_inplace(&self.layers[l].mask);
+            column_sums_into(&delta[l], &mut db[l]);
+            if l > 0 {
+                let (lo, hi) = delta.split_at_mut(l);
+                hi[0].matmul_nn_into(&self.layers[l].w, &mut lo[l - 1]);
+                for (dz, &zv) in lo[l - 1].as_mut_slice().iter_mut().zip(z[l - 1].as_slice()) {
+                    *dz *= ops::relu_prime(zv);
+                }
+            }
         }
-        // dW₁ = δZ₁ᵀ X ⊙ M¹, db₁ = colsum δZ₁.
-        delta_z1.matmul_tn_into(x, dw1);
-        dw1.hadamard_inplace(&self.mask1);
-        column_sums_into(delta_z1, db1);
-
-        flatten_into(
-            &[dw1.as_slice(), db1.as_slice(), dw2.as_slice(), db2.as_slice()],
-            out,
-        );
+        // Flatten `[dW_0 | db_0 | dW_1 | db_1 | …]` into `out`.
+        out.resize(self.num_params());
+        let o = out.as_mut_slice();
+        let mut off = 0;
+        for l in 0..ll {
+            let wg = dw[l].as_slice();
+            o[off..off + wg.len()].copy_from_slice(wg);
+            off += wg.len();
+            let bg = db[l].as_slice();
+            o[off..off + bg.len()].copy_from_slice(bg);
+            off += bg.len();
+        }
     }
 
     /// [`WaveFunction::per_sample_grads`] with caller-owned scratch and
@@ -366,76 +501,84 @@ impl Made {
     ) {
         let bs = batch.batch_size();
         let d = self.num_params();
+        let ll = self.layers.len();
+        let last = ll - 1;
         self.forward_with(batch, ws);
         out.resize(bs, d);
         out.fill(0.0);
         let MadeWorkspace {
-            z1,
-            h1,
-            logits,
-            delta_a_row,
-            delta_z_row,
-            ..
+            z, h, delta_rows, ..
         } = ws;
+        for (row, layer) in delta_rows.iter_mut().zip(&self.layers) {
+            row.resize(layer.out_dim(), 0.0);
+        }
         // One-sample backward per row: exact but explicit.  The weight
-        // structure (δzᵀx outer products) is computed directly into the
-        // row to avoid a temporary per-layer matrix per sample.
-        let (h, n) = (self.h, self.n);
-        delta_a_row.resize(n, 0.0);
-        delta_z_row.resize(h, 0.0);
+        // structure (δᵀ·act outer products) is computed directly into
+        // the row to avoid a temporary per-layer matrix per sample.
         for s in 0..bs {
             let x_row = batch.sample(s);
-            // δa (length n): vectorised sigmoid on a copy of the logit
-            // row, then the affine combine.
-            delta_a_row.copy_from_slice(logits.row(s));
-            ops::sigmoid_slice(delta_a_row);
-            for i in 0..n {
-                delta_a_row[i] = 0.5 * (x_row[i] as f64 - delta_a_row[i]);
+            // δ_out (length n): vectorised sigmoid on a copy of the
+            // logit row, then the affine combine.
+            let dr = &mut delta_rows[last];
+            dr.copy_from_slice(z[last].row(s));
+            ops::sigmoid_slice(dr);
+            for i in 0..self.n {
+                dr[i] = 0.5 * (x_row[i] as f64 - dr[i]);
             }
-            // δz₁ = (δa W₂) ⊙ relu'(z₁) (length h).
-            let z_row = z1.row(s);
-            delta_z_row.fill(0.0);
-            for (i, &da) in delta_a_row.iter().enumerate() {
-                if da != 0.0 {
-                    vqmc_tensor::vector::axpy(delta_z_row, da, self.w2.row(i));
+            // δ_{l-1} = (δ_l W_l) ⊙ relu'(z_{l-1}).
+            for l in (1..ll).rev() {
+                let (lo, hi) = delta_rows.split_at_mut(l);
+                let src = &hi[0];
+                let dst = &mut lo[l - 1];
+                dst.fill(0.0);
+                for (i, &dv) in src.iter().enumerate() {
+                    if dv != 0.0 {
+                        vqmc_tensor::vector::axpy(dst, dv, self.layers[l].w.row(i));
+                    }
+                }
+                for (dz, &zv) in dst.iter_mut().zip(z[l - 1].row(s)) {
+                    *dz *= ops::relu_prime(zv);
                 }
             }
-            for (dz, &z) in delta_z_row.iter_mut().zip(z_row) {
-                *dz *= ops::relu_prime(z);
-            }
-            let h1_row = h1.row(s);
             let row = out.row_mut(s);
-            // dW₁[k, d'] = δz_k · x_d' · M¹ — x is 0/1 so just copy δz
-            // into the columns where the input bit is set (mask entries
-            // are already zero in w2/w1 gradient positions via δ=0?
-            // No: mask must be applied explicitly).
-            for (k, &dz) in delta_z_row.iter().enumerate() {
-                let base = k * n;
-                if dz != 0.0 {
-                    let mrow = self.mask1.row(k);
-                    for d2 in 0..n {
-                        if x_row[d2] == 1 && mrow[d2] == 1.0 {
-                            row[base + d2] = dz;
+            let mut off = 0;
+            for l in 0..ll {
+                let layer = &self.layers[l];
+                let (od, id) = (layer.out_dim(), layer.in_dim());
+                let dr = &delta_rows[l];
+                if l == 0 {
+                    // dW₁[k, d'] = δz_k · x_d' · M¹ — x is 0/1 so just
+                    // copy δz into the columns where the input bit is
+                    // set and the mask allows it.
+                    for (k, &dz) in dr.iter().enumerate() {
+                        if dz != 0.0 {
+                            let mrow = layer.mask.row(k);
+                            let base = off + k * id;
+                            for d2 in 0..id {
+                                if x_row[d2] == 1 && mrow[d2] == 1.0 {
+                                    row[base + d2] = dz;
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    let act = h[l - 1].row(s);
+                    for (i, &dv) in dr.iter().enumerate() {
+                        if dv != 0.0 {
+                            let mrow = layer.mask.row(i);
+                            let base = off + i * id;
+                            for k in 0..id {
+                                if mrow[k] == 1.0 {
+                                    row[base + k] = dv * act[k];
+                                }
+                            }
                         }
                     }
                 }
+                off += od * id;
+                row[off..off + od].copy_from_slice(dr);
+                off += od;
             }
-            let off_b1 = h * n;
-            row[off_b1..off_b1 + h].copy_from_slice(delta_z_row);
-            let off_w2 = off_b1 + h;
-            for (i, &da) in delta_a_row.iter().enumerate() {
-                let base = off_w2 + i * h;
-                if da != 0.0 {
-                    let mrow = self.mask2.row(i);
-                    for k in 0..h {
-                        if mrow[k] == 1.0 {
-                            row[base + k] = da * h1_row[k];
-                        }
-                    }
-                }
-            }
-            let off_b2 = off_w2 + n * h;
-            row[off_b2..off_b2 + n].copy_from_slice(delta_a_row);
         }
     }
 }
@@ -448,29 +591,16 @@ fn column_sums_into(m: &Matrix, out: &mut Vector) {
     }
 }
 
-fn flatten_into(parts: &[&[f64]], out: &mut Vector) {
-    let total: usize = parts.iter().map(|p| p.len()).sum();
-    out.resize(total);
-    let mut off = 0;
-    for p in parts {
-        out.as_mut_slice()[off..off + p.len()].copy_from_slice(p);
-        off += p.len();
-    }
-}
-
-fn flatten(parts: &[&[f64]]) -> Vector {
-    let mut out = Vector::default();
-    flatten_into(parts, &mut out);
-    out
-}
-
 impl WaveFunction for Made {
     fn num_spins(&self) -> usize {
         self.n
     }
 
     fn num_params(&self) -> usize {
-        2 * self.h * self.n + self.h + self.n
+        self.layers
+            .iter()
+            .map(|l| l.out_dim() * (l.in_dim() + 1))
+            .sum()
     }
 
     fn log_psi(&self, batch: &SpinBatch) -> Vector {
@@ -495,36 +625,32 @@ impl WaveFunction for Made {
     }
 
     fn params(&self) -> Vector {
-        flatten(&[
-            self.w1.as_slice(),
-            &self.b1,
-            self.w2.as_slice(),
-            &self.b2,
-        ])
+        let mut out = Vector::default();
+        self.params_into(&mut out);
+        out
     }
 
     fn set_params(&mut self, params: &Vector) {
         assert_eq!(params.len(), self.num_params(), "Made: param length");
-        let (h, n) = (self.h, self.n);
         let p = params.as_slice();
         let mut off = 0;
         // In place: the existing weight/bias buffers are overwritten, so
         // a training step performs no parameter-storage allocation.
-        self.w1.as_mut_slice().copy_from_slice(&p[off..off + h * n]);
-        off += h * n;
-        self.b1.as_mut_slice().copy_from_slice(&p[off..off + h]);
-        off += h;
-        self.w2.as_mut_slice().copy_from_slice(&p[off..off + n * h]);
-        off += n * h;
-        self.b2.as_mut_slice().copy_from_slice(&p[off..off + n]);
-        // Defensive: the mask invariant survives arbitrary inputs.
-        self.w1.hadamard_inplace(&self.mask1);
-        self.w2.hadamard_inplace(&self.mask2);
+        for layer in &mut self.layers {
+            let wlen = layer.w.as_slice().len();
+            layer.w.as_mut_slice().copy_from_slice(&p[off..off + wlen]);
+            off += wlen;
+            let blen = layer.b.len();
+            layer.b.as_mut_slice().copy_from_slice(&p[off..off + blen]);
+            off += blen;
+            // Defensive: the mask invariant survives arbitrary inputs.
+            layer.w.hadamard_inplace(&layer.mask);
+        }
         self.version = self.version.wrapping_add(1);
     }
 
     fn log_psi_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Vector) {
-        let mut mws = MadeWorkspace::from_pool(ws);
+        let mut mws = MadeWorkspace::from_pool(ws, self.layers.len());
         self.log_psi_with(batch, &mut mws, out);
         mws.into_pool(ws);
     }
@@ -536,27 +662,29 @@ impl WaveFunction for Made {
         ws: &mut Workspace,
         out: &mut Vector,
     ) {
-        let mut mws = MadeWorkspace::from_pool(ws);
+        let mut mws = MadeWorkspace::from_pool(ws, self.layers.len());
         self.weighted_log_psi_grad_with(batch, weights, &mut mws, out);
         mws.into_pool(ws);
     }
 
     fn per_sample_grads_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Matrix) {
-        let mut mws = MadeWorkspace::from_pool(ws);
+        let mut mws = MadeWorkspace::from_pool(ws, self.layers.len());
         self.per_sample_grads_with(batch, &mut mws, out);
         mws.into_pool(ws);
     }
 
     fn params_into(&self, out: &mut Vector) {
-        flatten_into(
-            &[
-                self.w1.as_slice(),
-                self.b1.as_slice(),
-                self.w2.as_slice(),
-                self.b2.as_slice(),
-            ],
-            out,
-        );
+        out.resize(self.num_params());
+        let o = out.as_mut_slice();
+        let mut off = 0;
+        for layer in &self.layers {
+            let ws = layer.w.as_slice();
+            o[off..off + ws.len()].copy_from_slice(ws);
+            off += ws.len();
+            let bs = layer.b.as_slice();
+            o[off..off + bs.len()].copy_from_slice(bs);
+            off += bs.len();
+        }
     }
 }
 
@@ -569,7 +697,7 @@ impl Autoregressive for Made {
     }
 
     fn conditionals_into(&self, batch: &SpinBatch, ws: &mut Workspace, out: &mut Matrix) {
-        let mut mws = MadeWorkspace::from_pool(ws);
+        let mut mws = MadeWorkspace::from_pool(ws, self.layers.len());
         self.conditionals_with(batch, &mut mws, out);
         mws.into_pool(ws);
     }
@@ -579,9 +707,9 @@ impl std::fmt::Debug for Made {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Made(n={}, h={}, d={})",
+            "Made(n={}, hidden={:?}, d={})",
             self.n,
-            self.h,
+            self.hidden,
             self.num_params()
         )
     }
@@ -597,12 +725,36 @@ mod tests {
         Made::new(5, 9, 42)
     }
 
+    /// The stack shapes the deep tests sweep: depths 1–3.
+    fn stack_shapes() -> Vec<Vec<usize>> {
+        vec![vec![9], vec![7, 5], vec![6, 5, 4]]
+    }
+
     #[test]
     fn shapes_and_param_count() {
         let m = tiny();
         assert_eq!(m.num_spins(), 5);
         assert_eq!(m.num_params(), 2 * 9 * 5 + 9 + 5);
         assert_eq!(m.params().len(), m.num_params());
+        assert_eq!(m.depth(), 1);
+        assert_eq!(m.hidden_sizes(), &[9]);
+    }
+
+    #[test]
+    fn with_hidden_single_layer_matches_new_exactly() {
+        // `new` is now a thin wrapper; pin the RNG draw order so the
+        // refactor cannot silently reshuffle initialisation.
+        let a = Made::new(7, 11, 123);
+        let b = Made::with_hidden(7, &[11], 123);
+        assert_eq!(a.params().as_slice(), b.params().as_slice());
+    }
+
+    #[test]
+    fn deep_param_count() {
+        let m = Made::with_hidden(5, &[7, 5], 1);
+        assert_eq!(m.num_params(), 7 * (5 + 1) + 5 * (7 + 1) + 5 * (5 + 1));
+        assert_eq!(m.depth(), 2);
+        assert_eq!(m.layers().len(), 3);
     }
 
     #[test]
@@ -621,23 +773,40 @@ mod tests {
     }
 
     #[test]
+    fn deep_distribution_is_exactly_normalised() {
+        for hidden in stack_shapes() {
+            for n in 1..=8 {
+                let m = Made::with_hidden(n, &hidden, 31 + n as u64);
+                let all = enumerate_configs(n);
+                let total = log_sum_exp(&m.log_prob(&all));
+                assert!(
+                    total.abs() < 1e-10,
+                    "n={n} hidden={hidden:?}: Σπ = exp({total}) deviates from 1"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn conditionals_ignore_suffix_bits() {
         // Autoregressive property: p(x_i|·) must not change when any bit
-        // j >= i changes.
-        let m = tiny();
-        let mut batch = SpinBatch::zeros(1, 5);
-        batch.set(0, 0, 1);
-        batch.set(0, 2, 1);
-        let base = m.conditionals(&batch);
-        for j in 0..5 {
-            let mut perturbed = batch.clone();
-            perturbed.flip(0, j);
-            let cond = m.conditionals(&perturbed);
-            for i in 0..=j {
-                assert!(
-                    (cond.get(0, i) - base.get(0, i)).abs() < 1e-14,
-                    "conditional {i} changed when bit {j} flipped"
-                );
+        // j >= i changes — at every depth.
+        for hidden in stack_shapes() {
+            let m = Made::with_hidden(5, &hidden, 42);
+            let mut batch = SpinBatch::zeros(1, 5);
+            batch.set(0, 0, 1);
+            batch.set(0, 2, 1);
+            let base = m.conditionals(&batch);
+            for j in 0..5 {
+                let mut perturbed = batch.clone();
+                perturbed.flip(0, j);
+                let cond = m.conditionals(&perturbed);
+                for i in 0..=j {
+                    assert!(
+                        (cond.get(0, i) - base.get(0, i)).abs() < 1e-14,
+                        "hidden={hidden:?}: conditional {i} changed when bit {j} flipped"
+                    );
+                }
             }
         }
     }
@@ -655,38 +824,41 @@ mod tests {
 
     #[test]
     fn params_round_trip_preserves_log_psi() {
-        let mut m = tiny();
-        let batch = enumerate_configs(5);
-        let before = m.log_psi(&batch);
-        let p = m.params();
-        m.set_params(&p);
-        let after = m.log_psi(&batch);
-        for s in 0..batch.batch_size() {
-            assert_eq!(before[s], after[s]);
+        for hidden in stack_shapes() {
+            let mut m = Made::with_hidden(5, &hidden, 42);
+            let batch = enumerate_configs(5);
+            let before = m.log_psi(&batch);
+            let p = m.params();
+            m.set_params(&p);
+            let after = m.log_psi(&batch);
+            for s in 0..batch.batch_size() {
+                assert_eq!(before[s], after[s]);
+            }
         }
     }
 
     #[test]
     fn set_params_enforces_masks() {
-        let mut m = tiny();
-        let mut p = m.params();
-        // Poison every parameter, including masked slots.
-        for v in p.iter_mut() {
-            *v += 1.0;
-        }
-        m.set_params(&p);
-        // Masked entries must still be zero.
-        for k in 0..m.hidden_size() {
-            for d in 0..m.num_spins() {
-                if m.mask1().get(k, d) == 0.0 {
-                    assert_eq!(m.w1().get(k, d), 0.0);
-                }
+        for hidden in stack_shapes() {
+            let mut m = Made::with_hidden(5, &hidden, 42);
+            let mut p = m.params();
+            // Poison every parameter, including masked slots.
+            for v in p.iter_mut() {
+                *v += 1.0;
             }
-        }
-        for i in 0..m.num_spins() {
-            for k in 0..m.hidden_size() {
-                if m.mask2().get(i, k) == 0.0 {
-                    assert_eq!(m.w2().get(i, k), 0.0);
+            m.set_params(&p);
+            // Masked entries must still be zero — in every layer.
+            for (l, layer) in m.layers().iter().enumerate() {
+                for i in 0..layer.out_dim() {
+                    for j in 0..layer.in_dim() {
+                        if layer.mask().get(i, j) == 0.0 {
+                            assert_eq!(
+                                layer.w().get(i, j),
+                                0.0,
+                                "hidden={hidden:?} layer {l}: masked ({i},{j}) nonzero"
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -711,75 +883,135 @@ mod tests {
         vqmc_autodiff::check_gradient("made-weighted", &f, &p0, &analytic, 1e-5);
     }
 
-    #[test]
-    fn weighted_grad_matches_autodiff_tape() {
-        // Rebuild the MADE computation on the tape and compare parameter
-        // gradients of Σ_s w_s logψ(x_s).
-        let m = tiny();
-        let batch = SpinBatch::from_fn(4, 5, |s, i| ((s * 3 + i * 2) % 2) as u8);
-        let weights = Vector(vec![0.7, 1.3, -1.0, 0.25]);
-        let analytic = m.weighted_log_psi_grad(&batch, &weights);
-
+    /// Rebuilds the stack's computation on the autodiff tape and
+    /// returns the parameter gradient of `Σ_s w_s logψ(x_s)` in the
+    /// `Made` flat layout.
+    fn tape_weighted_grad(m: &Made, batch: &SpinBatch, weights: &Vector) -> Vec<f64> {
         use vqmc_autodiff::Tape;
         let mut tape = Tape::new();
         let x = tape.input(batch.to_matrix());
-        let w1 = tape.input(m.w1().clone());
-        let b1 = tape.input(Matrix::from_vec(1, m.hidden_size(), m.b1().to_vec()));
-        let w2 = tape.input(m.w2().clone());
-        let b2 = tape.input(Matrix::from_vec(1, m.num_spins(), m.b2().to_vec()));
-        // Masks as constants (so gradients arrive masked like analytic).
-        let w1m = tape.mul_const(w1, m.mask1().clone());
-        let w2m = tape.mul_const(w2, m.mask2().clone());
-        let z1 = tape.matmul_nt(x, w1m);
-        let z1b = tape.add_row_bias(z1, b1);
-        let h1 = tape.relu(z1b);
-        let a = tape.matmul_nt(h1, w2m);
-        let ab = tape.add_row_bias(a, b2);
-        let logpi = tape.bernoulli_log_prob(ab, batch.to_matrix()); // bs×1
+        let mut param_ids = Vec::new();
+        let mut cur = x;
+        for (l, layer) in m.layers().iter().enumerate() {
+            let w = tape.input(layer.w().clone());
+            let b = tape.input(Matrix::from_vec(1, layer.b().len(), layer.b().to_vec()));
+            param_ids.push((w, b));
+            // Masks as constants (so gradients arrive masked like
+            // analytic).
+            let wm = tape.mul_const(w, layer.mask().clone());
+            if l > 0 {
+                cur = tape.relu(cur);
+            }
+            let zz = tape.matmul_nt(cur, wm);
+            cur = tape.add_row_bias(zz, b);
+        }
+        let logpi = tape.bernoulli_log_prob(cur, batch.to_matrix()); // bs×1
         let logpsi = tape.scale(logpi, 0.5);
         let weighted = tape.mul_const(
             logpsi,
-            Matrix::from_vec(4, 1, weights.to_vec()),
+            Matrix::from_vec(weights.len(), 1, weights.to_vec()),
         );
         let loss = tape.sum(weighted);
         let grads = tape.backward(loss);
-
-        // Assemble tape gradient in the Made layout.
         let mut tape_grad = Vec::new();
-        tape_grad.extend_from_slice(grads.get(w1).as_slice());
-        tape_grad.extend_from_slice(grads.get(b1).as_slice());
-        tape_grad.extend_from_slice(grads.get(w2).as_slice());
-        tape_grad.extend_from_slice(grads.get(b2).as_slice());
+        for (w, b) in param_ids {
+            tape_grad.extend_from_slice(grads.get(w).as_slice());
+            tape_grad.extend_from_slice(grads.get(b).as_slice());
+        }
+        tape_grad
+    }
 
-        assert_eq!(tape_grad.len(), analytic.len());
-        for (i, (a_val, t_val)) in analytic.iter().zip(&tape_grad).enumerate() {
+    fn assert_close_rel(analytic: &[f64], oracle: &[f64], tag: &str) {
+        assert_eq!(analytic.len(), oracle.len(), "{tag}: length");
+        for (i, (a, t)) in analytic.iter().zip(oracle).enumerate() {
+            let tol = 1e-10 * t.abs().max(1.0);
             assert!(
-                (a_val - t_val).abs() < 1e-10,
-                "param {i}: analytic {a_val} vs tape {t_val}"
+                (a - t).abs() <= tol,
+                "{tag} param {i}: analytic {a} vs tape {t}"
             );
         }
     }
 
     #[test]
-    fn per_sample_grads_sum_to_weighted_grad() {
+    fn weighted_grad_matches_autodiff_tape() {
+        // The historical depth-1 oracle check, kept verbatim in spirit.
         let m = tiny();
-        let batch = SpinBatch::from_fn(6, 5, |s, i| ((s + 2 * i) % 2) as u8);
-        let rows = m.per_sample_grads(&batch);
-        assert_eq!(rows.shape(), (6, m.num_params()));
-        let weights = Vector(vec![0.3, -1.0, 0.5, 2.0, 1.0, -0.25]);
-        let weighted = m.weighted_log_psi_grad(&batch, &weights);
-        // Σ_s w_s · row_s must equal the one-pass weighted gradient.
-        let mut acc = Vector::zeros(m.num_params());
-        for s in 0..6 {
-            vqmc_tensor::vector::axpy(&mut acc, weights[s], rows.row(s));
+        let batch = SpinBatch::from_fn(4, 5, |s, i| ((s * 3 + i * 2) % 2) as u8);
+        let weights = Vector(vec![0.7, 1.3, -1.0, 0.25]);
+        let analytic = m.weighted_log_psi_grad(&batch, &weights);
+        let oracle = tape_weighted_grad(&m, &batch, &weights);
+        assert_close_rel(analytic.as_slice(), &oracle, "depth-1");
+    }
+
+    #[test]
+    fn deep_weighted_grad_matches_autodiff_tape() {
+        // The tentpole oracle: hand-derived backprop through the stack
+        // vs the tape, ≤1e-10 relative, at depths 1–3, several seeds
+        // and batch patterns.
+        for hidden in stack_shapes() {
+            for seed in [3u64, 17, 91] {
+                let m = Made::with_hidden(6, &hidden, seed);
+                let bs = 5;
+                let batch = SpinBatch::from_fn(bs, 6, |s, i| {
+                    (((s + 1) * (i + 2) + seed as usize) % 2) as u8
+                });
+                let weights =
+                    Vector::from_fn(bs, |s| 0.4 * s as f64 - 0.7 + 0.1 * seed as f64);
+                let analytic = m.weighted_log_psi_grad(&batch, &weights);
+                let oracle = tape_weighted_grad(&m, &batch, &weights);
+                assert_close_rel(
+                    analytic.as_slice(),
+                    &oracle,
+                    &format!("hidden={hidden:?} seed={seed}"),
+                );
+            }
         }
-        for k in 0..m.num_params() {
-            assert!(
-                (acc[k] - weighted[k]).abs() < 1e-10,
-                "param {k}: {} vs {}",
-                acc[k],
-                weighted[k]
-            );
+    }
+
+    #[test]
+    fn deep_per_sample_grads_match_autodiff_tape() {
+        // Each per-sample row must equal the tape gradient with a
+        // one-hot weight on that sample.
+        for hidden in stack_shapes() {
+            let m = Made::with_hidden(6, &hidden, 5);
+            let bs = 3;
+            let batch =
+                SpinBatch::from_fn(bs, 6, |s, i| (((s * 5) + i * 3) % 2) as u8);
+            let rows = m.per_sample_grads(&batch);
+            for s in 0..bs {
+                let onehot = Vector::from_fn(bs, |q| if q == s { 1.0 } else { 0.0 });
+                let oracle = tape_weighted_grad(&m, &batch, &onehot);
+                assert_close_rel(
+                    rows.row(s),
+                    &oracle,
+                    &format!("hidden={hidden:?} sample {s}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_sample_grads_sum_to_weighted_grad() {
+        for hidden in stack_shapes() {
+            let m = Made::with_hidden(5, &hidden, 42);
+            let batch = SpinBatch::from_fn(6, 5, |s, i| ((s + 2 * i) % 2) as u8);
+            let rows = m.per_sample_grads(&batch);
+            assert_eq!(rows.shape(), (6, m.num_params()));
+            let weights = Vector(vec![0.3, -1.0, 0.5, 2.0, 1.0, -0.25]);
+            let weighted = m.weighted_log_psi_grad(&batch, &weights);
+            // Σ_s w_s · row_s must equal the one-pass weighted gradient.
+            let mut acc = Vector::zeros(m.num_params());
+            for s in 0..6 {
+                vqmc_tensor::vector::axpy(&mut acc, weights[s], rows.row(s));
+            }
+            for k in 0..m.num_params() {
+                assert!(
+                    (acc[k] - weighted[k]).abs() < 1e-10,
+                    "hidden={hidden:?} param {k}: {} vs {}",
+                    acc[k],
+                    weighted[k]
+                );
+            }
         }
     }
 
@@ -787,47 +1019,61 @@ mod tests {
     fn workspace_paths_are_bit_identical_to_allocating() {
         // One reused MadeWorkspace across calls and batch shapes must
         // reproduce the allocating entry points exactly (the `_with`
-        // paths ARE the implementation; this pins the wrapper plumbing).
-        let m = tiny();
-        let mut ws = MadeWorkspace::new();
-        let mut lp = Vector::default();
-        let mut cond = Matrix::default();
-        let mut grad = Vector::default();
-        let mut rows = Matrix::default();
-        for bs in [1usize, 3, 8, 2] {
-            let batch = SpinBatch::from_fn(bs, 5, |s, i| ((s * 7 + i * 3) % 2) as u8);
-            let weights = Vector::from_fn(bs, |s| 0.25 * s as f64 - 0.5);
+        // paths ARE the implementation; this pins the wrapper plumbing)
+        // — including when the same workspace is reused across models
+        // of different depth.
+        for hidden in stack_shapes() {
+            let m = Made::with_hidden(5, &hidden, 42);
+            let mut ws = MadeWorkspace::new();
+            let mut lp = Vector::default();
+            let mut cond = Matrix::default();
+            let mut grad = Vector::default();
+            let mut rows = Matrix::default();
+            for bs in [1usize, 3, 8, 2] {
+                let batch = SpinBatch::from_fn(bs, 5, |s, i| ((s * 7 + i * 3) % 2) as u8);
+                let weights = Vector::from_fn(bs, |s| 0.25 * s as f64 - 0.5);
 
-            m.log_psi_with(&batch, &mut ws, &mut lp);
-            assert_eq!(lp.as_slice(), m.log_psi(&batch).as_slice());
+                m.log_psi_with(&batch, &mut ws, &mut lp);
+                assert_eq!(lp.as_slice(), m.log_psi(&batch).as_slice());
 
-            m.conditionals_with(&batch, &mut ws, &mut cond);
-            assert_eq!(cond.as_slice(), m.conditionals(&batch).as_slice());
+                m.conditionals_with(&batch, &mut ws, &mut cond);
+                assert_eq!(cond.as_slice(), m.conditionals(&batch).as_slice());
 
-            m.weighted_log_psi_grad_with(&batch, &weights, &mut ws, &mut grad);
-            assert_eq!(
-                grad.as_slice(),
-                m.weighted_log_psi_grad(&batch, &weights).as_slice()
-            );
+                m.weighted_log_psi_grad_with(&batch, &weights, &mut ws, &mut grad);
+                assert_eq!(
+                    grad.as_slice(),
+                    m.weighted_log_psi_grad(&batch, &weights).as_slice()
+                );
 
-            m.per_sample_grads_with(&batch, &mut ws, &mut rows);
-            assert_eq!(rows.as_slice(), m.per_sample_grads(&batch).as_slice());
+                m.per_sample_grads_with(&batch, &mut ws, &mut rows);
+                assert_eq!(rows.as_slice(), m.per_sample_grads(&batch).as_slice());
+            }
         }
     }
 
     #[test]
     fn pool_checkout_roundtrip_parks_all_buffers() {
-        let m = tiny();
-        let batch = SpinBatch::from_fn(4, 5, |s, i| ((s + i) % 2) as u8);
-        let mut pool = vqmc_tensor::Workspace::new();
-        let mut out = Vector::default();
-        m.log_psi_into(&batch, &mut pool, &mut out);
-        assert_eq!(out.as_slice(), m.log_psi(&batch).as_slice());
-        // Every MadeWorkspace buffer went back to the pool...
-        assert_eq!(pool.parked(), 12);
-        // ...and a second call reuses them without growing the pool.
-        m.log_psi_into(&batch, &mut pool, &mut out);
-        assert_eq!(pool.parked(), 12);
+        for hidden in stack_shapes() {
+            let m = Made::with_hidden(5, &hidden, 42);
+            let expected = MadeWorkspace::pool_buffers(m.layers().len());
+            let batch = SpinBatch::from_fn(4, 5, |s, i| ((s + i) % 2) as u8);
+            let mut pool = vqmc_tensor::Workspace::new();
+            let mut out = Vector::default();
+            m.log_psi_into(&batch, &mut pool, &mut out);
+            assert_eq!(out.as_slice(), m.log_psi(&batch).as_slice());
+            // Every MadeWorkspace buffer went back to the pool...
+            assert_eq!(pool.parked(), expected, "hidden={hidden:?}");
+            // ...and a second call reuses them without growing the pool.
+            m.log_psi_into(&batch, &mut pool, &mut out);
+            assert_eq!(pool.parked(), expected, "hidden={hidden:?}");
+        }
+    }
+
+    #[test]
+    fn depth1_pool_footprint_unchanged() {
+        // The historical depth-1 workspace used exactly 12 pool
+        // buffers; the stack refactor must not change that.
+        assert_eq!(MadeWorkspace::pool_buffers(2), 12);
     }
 
     #[test]
@@ -843,19 +1089,25 @@ mod tests {
 
     #[test]
     fn params_into_matches_params() {
-        let m = tiny();
-        let mut out = Vector::default();
-        m.params_into(&mut out);
-        assert_eq!(out.as_slice(), m.params().as_slice());
+        for hidden in stack_shapes() {
+            let m = Made::with_hidden(5, &hidden, 42);
+            let mut out = Vector::default();
+            m.params_into(&mut out);
+            assert_eq!(out.as_slice(), m.params().as_slice());
+        }
     }
 
     #[test]
     fn single_spin_model_learns_its_bias() {
-        // n = 1: π(x₁=1) = σ(b₂); logψ([1]) = ½ logσ(b₂).
-        let m = Made::new(1, 3, 5);
-        let batch = SpinBatch::from_single(&[1]);
-        let lp = m.log_psi(&batch);
-        let expected = 0.5 * ops::log_sigmoid(m.b2()[0]);
-        assert!((lp[0] - expected).abs() < 1e-12);
+        // n = 1: π(x₁=1) = σ(b₂); logψ([1]) = ½ logσ(b₂) — and the
+        // output layer is fully masked at any depth, so this holds for
+        // deep stacks too.
+        for hidden in stack_shapes() {
+            let m = Made::with_hidden(1, &hidden, 5);
+            let batch = SpinBatch::from_single(&[1]);
+            let lp = m.log_psi(&batch);
+            let expected = 0.5 * ops::log_sigmoid(m.b2()[0]);
+            assert!((lp[0] - expected).abs() < 1e-12, "hidden={hidden:?}");
+        }
     }
 }

@@ -43,6 +43,26 @@ pub fn input_mask(n: usize, degrees: &[usize]) -> Matrix {
     })
 }
 
+/// Hidden-to-hidden mask `Mˡ (next×prev)` for stacks deeper than one
+/// hidden layer: unit `k` of the next layer (degree `m_l(k)`) may see
+/// unit `j` of the previous layer (degree `m_{l-1}(j)`) iff
+/// `m_l(k) ≥ m_{l-1}(j)` — **non-strict**, unlike the output mask.
+/// Strictness is only needed at the output: composing
+/// `d + 1 ≤ m_1 ≤ m_2 ≤ … ≤ m_L < i + 1` still implies `d < i`, while
+/// non-strict interior hops keep every degree class reachable at depth.
+/// Degree-0 units (the `n == 1` degenerate case) carry no input
+/// information, so connecting them is harmless; the composed
+/// connectivity test below pins the invariant either way.
+pub fn hidden_mask(prev_degrees: &[usize], degrees: &[usize]) -> Matrix {
+    Matrix::from_fn(degrees.len(), prev_degrees.len(), |k, j| {
+        if degrees[k] >= prev_degrees[j] {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
 /// Output-layer mask `M² (n×h)`: output `i` uses units with
 /// `m(k) < i + 1`, but never units with degree 0 (the `n == 1`
 /// degenerate case).
@@ -109,6 +129,42 @@ mod tests {
                     c.get(i, d) > 0.0,
                     "output {i} cannot see input {d} despite d < i"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_connectivity_is_strictly_lower_triangular() {
+        // Compose M_out · M_hid … · M_in through 2- and 3-hidden-layer
+        // stacks: the end-to-end connectivity must stay strictly
+        // lower-triangular, and with wide layers every d < i pair must
+        // survive the extra hops.
+        for widths in [vec![8usize, 6], vec![12, 9, 7]] {
+            let n = 6usize;
+            let degs: Vec<Vec<usize>> =
+                widths.iter().map(|&h| hidden_degrees(n, h)).collect();
+            let mut c = input_mask(n, &degs[0]);
+            for l in 1..degs.len() {
+                c = hidden_mask(&degs[l - 1], &degs[l]).matmul_nn(&c);
+            }
+            let c = output_mask(n, degs.last().unwrap()).matmul_nn(&c);
+            for i in 0..n {
+                for d in 0..n {
+                    if d >= i {
+                        assert_eq!(
+                            c.get(i, d),
+                            0.0,
+                            "depth {}: output {i} sees input {d}",
+                            widths.len()
+                        );
+                    } else {
+                        assert!(
+                            c.get(i, d) > 0.0,
+                            "depth {}: output {i} lost input {d}",
+                            widths.len()
+                        );
+                    }
+                }
             }
         }
     }

@@ -516,4 +516,78 @@ mod tests {
         let d_after = r.flip_delta_log_psi(&x, &z, 1);
         assert!((d_before - d_after).abs() < 1e-12);
     }
+
+    /// Rebuilds `logψ = a·x + c + Σⱼ ln cosh((Wx + b)ⱼ)` on the autodiff
+    /// tape and returns the gradient of `Σ_s w_s logψ(x_s)` in the flat
+    /// `[W|b|a|c]` layout.
+    fn tape_weighted_grad(r: &Rbm, batch: &SpinBatch, weights: &Vector) -> Vec<f64> {
+        use vqmc_autodiff::Tape;
+        let (n, h) = (r.num_spins(), r.hidden_size());
+        let p = r.params();
+        let ps = p.as_slice();
+        let mut tape = Tape::new();
+        let x = tape.input(batch.to_matrix());
+        let w = tape.input(Matrix::from_vec(h, n, ps[..h * n].to_vec()));
+        let b = tape.input(Matrix::from_vec(1, h, ps[h * n..h * n + h].to_vec()));
+        let a = tape.input(Matrix::from_vec(1, n, ps[h * n + h..h * n + h + n].to_vec()));
+        let c = tape.input(Matrix::from_vec(1, 1, vec![ps[h * n + h + n]]));
+        let z = tape.matmul_nt(x, w);
+        let zb = tape.add_row_bias(z, b);
+        let lc = tape.ln_cosh(zb);
+        let hidden_term = tape.row_sum(lc); // bs×1
+        let vis = tape.matmul_nt(x, a); // bs×1
+        let visc = tape.add_row_bias(vis, c);
+        let logpsi = tape.add(hidden_term, visc); // no ½ factor for RBM
+        let weighted =
+            tape.mul_const(logpsi, Matrix::from_vec(weights.len(), 1, weights.to_vec()));
+        let loss = tape.sum(weighted);
+        let grads = tape.backward(loss);
+        let mut out = Vec::with_capacity(r.num_params());
+        out.extend_from_slice(grads.get(w).as_slice());
+        out.extend_from_slice(grads.get(b).as_slice());
+        out.extend_from_slice(grads.get(a).as_slice());
+        out.extend_from_slice(grads.get(c).as_slice());
+        out
+    }
+
+    fn assert_close_rel(analytic: &[f64], oracle: &[f64], tag: &str) {
+        assert_eq!(analytic.len(), oracle.len(), "{tag}: length");
+        for (i, (a, t)) in analytic.iter().zip(oracle).enumerate() {
+            let tol = 1e-10 * t.abs().max(1.0);
+            assert!(
+                (a - t).abs() <= tol,
+                "{tag} param {i}: analytic {a} vs tape {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_grad_matches_autodiff_tape_across_shapes() {
+        for (n, h, seed) in [(4usize, 6usize, 11u64), (1, 2, 4), (9, 3, 23), (5, 8, 90)] {
+            let r = Rbm::new(n, h, seed);
+            let bs = 5;
+            let batch = SpinBatch::from_fn(bs, n, |s, i| {
+                (((s + 1) * (i + 3) + seed as usize) % 2) as u8
+            });
+            let weights = Vector::from_fn(bs, |s| 1.1 - 0.7 * s as f64);
+            let analytic = r.weighted_log_psi_grad(&batch, &weights);
+            let oracle = tape_weighted_grad(&r, &batch, &weights);
+            assert_close_rel(analytic.as_slice(), &oracle, &format!("rbm n={n} h={h}"));
+        }
+    }
+
+    #[test]
+    fn per_sample_grads_match_autodiff_tape() {
+        // One-hot weight vectors turn the weighted gradient into a
+        // per-sample gradient; every row must match the tape oracle.
+        let r = tiny();
+        let bs = 4;
+        let batch = SpinBatch::from_fn(bs, 4, |s, i| (((s + 2) * (i + 1)) % 2) as u8);
+        for s in 0..bs {
+            let weights = Vector::from_fn(bs, |k| if k == s { 1.0 } else { 0.0 });
+            let analytic = r.weighted_log_psi_grad(&batch, &weights);
+            let oracle = tape_weighted_grad(&r, &batch, &weights);
+            assert_close_rel(analytic.as_slice(), &oracle, &format!("rbm sample {s}"));
+        }
+    }
 }

@@ -175,6 +175,17 @@ pub struct MadeBatchSampler {
     /// invalidated via [`MadeF32::version`] against
     /// [`Made::params_version`].
     m32: Option<MadeF32>,
+    /// Deeper-layer pre-activation panels (deep stacks only): one flat
+    /// buffer holding a stripe-blocked `h_l · rows` transposed panel
+    /// per hidden layer `l ≥ 2`, laid out layer-major (offsets are a
+    /// pure function of the widths, computed on the stack per call).
+    zdeep: Vec<f64>,
+    /// f32 twin of [`MadeBatchSampler::zdeep`].
+    zdeep32: Vec<f32>,
+    /// Per-unit f64 logit staging for the f32 deep path (`rows`): the
+    /// f32 kernel accumulates each unit's pre-activation in f64, which
+    /// lands here before being narrowed into the f32 panel row.
+    dlog: Vec<f64>,
 }
 
 impl MadeBatchSampler {
@@ -245,6 +256,13 @@ impl MadeBatchSampler {
         out_batch: &mut SpinBatch,
         out_log_psi: &mut Vector,
     ) {
+        if wf.depth() > 1 {
+            // Deep stacks take the dedicated panel pipeline below; the
+            // depth-1 arms stay verbatim (their bit-for-bit output is
+            // pinned by the golden trace).
+            self.sample_deep(wf, counts, external, out_batch, out_log_psi);
+            return;
+        }
         let n = wf.num_spins();
         let h = wf.hidden_size();
         let rows: usize = counts.iter().sum();
@@ -660,6 +678,504 @@ impl MadeBatchSampler {
         }
         out_log_psi.resize(rows);
         for (o, &lp) in out_log_psi.iter_mut().zip(&self.log_prob) {
+            *o = 0.5 * lp;
+        }
+    }
+
+    /// Deep-stack (depth ≥ 2) incremental pass.  Layer 1 is the same
+    /// deferred-update transposed panel as the depth-1 cols path; every
+    /// deeper layer is recomputed per bit as one fused
+    /// [`sample_step_cols`](vqmc_tensor::simd) reduction per unit over
+    /// the previous layer's panel (`w_prev = None` makes the kernel a
+    /// pure `bias + Σⱼ w[j]·relu(panel[j])` per-row reduction; bit
+    /// `i−1`'s deferred `W₁`-column update rides the first layer-2
+    /// unit's call).  Per-row results are independent of the stripe
+    /// width and the RNG variates are pre-drawn sequentially, so the
+    /// depth-1 guarantees carry over verbatim: bit-identical output at
+    /// every thread count, and coalesced ≡ solo per request.
+    ///
+    /// There is no row/cols layout choice at depth ≥ 2 — the panel
+    /// pipeline is the only implementation, so `force_layout` is inert
+    /// here except that `Rows` under f32 still selects the f64
+    /// arithmetic (mirroring the depth-1 precision fallback).
+    fn sample_deep(
+        &mut self,
+        wf: &Made,
+        counts: &[usize],
+        external: Option<&mut StdRng>,
+        out_batch: &mut SpinBatch,
+        out_log_psi: &mut Vector,
+    ) {
+        if self.precision == Precision::F32 && self.layout != PanelLayout::Rows {
+            self.sample_deep_f32(wf, counts, external, out_batch, out_log_psi);
+        } else {
+            self.sample_deep_f64(wf, counts, external, out_batch, out_log_psi);
+        }
+    }
+
+    fn sample_deep_f64(
+        &mut self,
+        wf: &Made,
+        counts: &[usize],
+        mut external: Option<&mut StdRng>,
+        out_batch: &mut SpinBatch,
+        out_log_psi: &mut Vector,
+    ) {
+        let n = wf.num_spins();
+        let rows: usize = counts.iter().sum();
+        out_batch.resize(rows, n);
+        out_batch.fill(0);
+        self.log_prob.clear();
+        self.log_prob.resize(rows, 0.0);
+        self.logits.resize(rows, 0.0);
+        self.probs.resize(rows, 0.0);
+        let kern = vqmc_tensor::simd::kernels();
+        if self.cached_version != Some(wf.params_version()) {
+            wf.w1().transpose_into(&mut self.w1_t);
+            self.cached_version = Some(wf.params_version());
+        }
+        let layers = wf.layers();
+        let depth = wf.depth();
+        let hidden = wf.hidden_sizes();
+        let h1 = hidden[0];
+        // Panel offsets, on the stack (no per-call allocation): hidden
+        // layer `l ≥ 2` (index `l−1 ≥ 1`) owns `hidden[l−1]·rows`
+        // elements of `zdeep`, stripe-blocked like `z1t`.
+        let mut doff = [0usize; vqmc_nn::MAX_LAYERS];
+        let mut total = 0usize;
+        for l in 1..depth {
+            doff[l] = total;
+            total += hidden[l] * rows;
+        }
+        let MadeBatchSampler {
+            z1t,
+            zdeep,
+            prev_mask,
+            bits_t,
+            cols_scratch,
+            ls_buf,
+            u_buf,
+            log_prob,
+            logits,
+            probs,
+            rngs,
+            w1_t,
+            ..
+        } = self;
+        bits_t.resize(n * rows, 0);
+        bits_t.truncate(n * rows);
+        let units = rows.div_ceil(PAR_ROW_UNIT);
+        let parts = if rows >= PAR_ROWS_MIN {
+            par::active_threads().min(units.max(1))
+        } else {
+            1
+        };
+        let stripe = |w: usize| {
+            let u = par::stripe(units, parts, w);
+            (
+                (u.start * PAR_ROW_UNIT).min(rows),
+                (u.end * PAR_ROW_UNIT).min(rows),
+            )
+        };
+        z1t.clear();
+        z1t.reserve(h1 * rows);
+        for w in 0..parts {
+            let (start, end) = stripe(w);
+            for &bj in layers[0].b().as_slice() {
+                z1t.extend(std::iter::repeat_n(bj, end - start));
+            }
+        }
+        // Deep panel contents are fully overwritten every bit, so the
+        // resize fill value is never read.
+        zdeep.resize(total, 0.0);
+        prev_mask.clear();
+        prev_mask.resize(rows, 0.0);
+        cols_scratch.resize(6 * rows, 0.0);
+        const LS_CHUNK: usize = 512;
+        ls_buf.clear();
+        ls_buf.resize(LS_CHUNK.min(n.max(1)) * rows, 0.0);
+        u_buf.clear();
+        u_buf.resize(rows, 0.0);
+        for i in 0..n {
+            // Pre-draw sequentially — identical to the depth-1 paths.
+            let mut s = 0;
+            for (q, &count) in counts.iter().enumerate() {
+                let rng: &mut StdRng = match external.as_deref_mut() {
+                    Some(r) => r,
+                    None => &mut rngs[q],
+                };
+                for _ in 0..count {
+                    u_buf[s] = rng.gen::<f64>();
+                    s += 1;
+                }
+            }
+            let c = i % LS_CHUNK;
+            let pz = par::SendPtr(z1t.as_mut_ptr());
+            let pzd = par::SendPtr(zdeep.as_mut_ptr());
+            let pscratch = par::SendPtr(cols_scratch.as_mut_ptr());
+            let plogits = par::SendPtr(logits.as_mut_ptr());
+            let pprobs = par::SendPtr(probs.as_mut_ptr());
+            let pmask = par::SendPtr(prev_mask.as_mut_ptr());
+            let pbits = par::SendPtr(bits_t[i * rows..(i + 1) * rows].as_mut_ptr());
+            let psigned = par::SendPtr(ls_buf[c * rows..(c + 1) * rows].as_mut_ptr());
+            let u_ref: &[f64] = u_buf;
+            let w_prev = if i > 0 { Some(w1_t.row(i - 1)) } else { None };
+            par::run(parts, &|w| {
+                let (start, end) = stripe(w);
+                if start >= end {
+                    return;
+                }
+                let bw = end - start;
+                // SAFETY: same disjoint-stripe argument as the depth-1
+                // cols path; deep panel regions are additionally
+                // disjoint per (layer, stripe) by the offset
+                // arithmetic above.
+                unsafe {
+                    use std::slice::from_raw_parts_mut;
+                    let scratch = from_raw_parts_mut(pscratch.get().add(6 * start), 6 * bw);
+                    let logits_s = from_raw_parts_mut(plogits.get().add(start), bw);
+                    let probs_s = from_raw_parts_mut(pprobs.get().add(start), bw);
+                    let mask_s = from_raw_parts_mut(pmask.get().add(start), bw);
+                    let bits_s = from_raw_parts_mut(pbits.get().add(start), bw);
+                    let signed_s = from_raw_parts_mut(psigned.get().add(start), bw);
+                    let z1s = from_raw_parts_mut(pz.get().add(h1 * start), h1 * bw);
+                    // Hidden layer 2: one fused reduction per unit over
+                    // the layer-1 panel; call k == 0 applies bit i−1's
+                    // deferred W₁-column update in the same pass.
+                    for k in 0..hidden[1] {
+                        let out_row = from_raw_parts_mut(
+                            pzd.get().add(doff[1] + hidden[1] * start + k * bw),
+                            bw,
+                        );
+                        let wp = if k == 0 { w_prev } else { None };
+                        (kern.sample_step_cols)(
+                            z1s,
+                            bw,
+                            wp,
+                            &*mask_s,
+                            layers[1].w().row(k),
+                            layers[1].b()[k],
+                            scratch,
+                            out_row,
+                        );
+                    }
+                    // Hidden layers 3…: pure per-unit reductions over
+                    // the previous layer's panel.
+                    for l in 2..depth {
+                        let src = from_raw_parts_mut(
+                            pzd.get().add(doff[l - 1] + hidden[l - 1] * start),
+                            hidden[l - 1] * bw,
+                        );
+                        for k in 0..hidden[l] {
+                            let out_row = from_raw_parts_mut(
+                                pzd.get().add(doff[l] + hidden[l] * start + k * bw),
+                                bw,
+                            );
+                            (kern.sample_step_cols)(
+                                src,
+                                bw,
+                                None,
+                                &*mask_s,
+                                layers[l].w().row(k),
+                                layers[l].b()[k],
+                                scratch,
+                                out_row,
+                            );
+                        }
+                    }
+                    // Output bit i's logit over the last hidden panel.
+                    let src = from_raw_parts_mut(
+                        pzd.get().add(doff[depth - 1] + hidden[depth - 1] * start),
+                        hidden[depth - 1] * bw,
+                    );
+                    (kern.sample_step_cols)(
+                        src,
+                        bw,
+                        None,
+                        &*mask_s,
+                        layers[depth].w().row(i),
+                        layers[depth].b()[i],
+                        scratch,
+                        logits_s,
+                    );
+                    probs_s.copy_from_slice(logits_s);
+                    (kern.sigmoid_slice)(probs_s);
+                    for s in 0..bw {
+                        let u = u_ref[start + s];
+                        let p = probs_s[s];
+                        debug_assert!((0.0..=1.0).contains(&p), "conditional out of range");
+                        let bit = (u < p) as u8;
+                        bits_s[s] = bit;
+                        mask_s[s] = bit as f64;
+                        signed_s[s] = if bit == 1 { logits_s[s] } else { -logits_s[s] };
+                    }
+                }
+            });
+            if c + 1 == LS_CHUNK || i + 1 == n {
+                let filled = (c + 1) * rows;
+                ops::log_sigmoid_slice(&mut ls_buf[..filled]);
+                for chunk in ls_buf[..filled].chunks_exact(rows) {
+                    for (lp, &v) in log_prob.iter_mut().zip(chunk) {
+                        *lp += v;
+                    }
+                }
+            }
+        }
+        const TILE: usize = 64;
+        let pout = par::SendPtr(out_batch.as_bytes_mut().as_mut_ptr());
+        let bits_ref: &[u8] = bits_t;
+        par::run(parts, &|w| {
+            let (start, end) = stripe(w);
+            let mut i0 = 0;
+            while i0 < n {
+                let iend = (i0 + TILE).min(n);
+                for s in start..end {
+                    // SAFETY: rows [start, end) belong to this worker
+                    // alone.
+                    let row =
+                        unsafe { std::slice::from_raw_parts_mut(pout.get().add(s * n), n) };
+                    for i in i0..iend {
+                        row[i] = bits_ref[i * rows + s];
+                    }
+                }
+                i0 = iend;
+            }
+        });
+        out_log_psi.resize(rows);
+        for (o, &lp) in out_log_psi.iter_mut().zip(log_prob.iter()) {
+            *o = 0.5 * lp;
+        }
+    }
+
+    fn sample_deep_f32(
+        &mut self,
+        wf: &Made,
+        counts: &[usize],
+        mut external: Option<&mut StdRng>,
+        out_batch: &mut SpinBatch,
+        out_log_psi: &mut Vector,
+    ) {
+        let n = wf.num_spins();
+        let rows: usize = counts.iter().sum();
+        out_batch.resize(rows, n);
+        out_batch.fill(0);
+        self.log_prob.clear();
+        self.log_prob.resize(rows, 0.0);
+        self.logits.resize(rows, 0.0);
+        self.probs.resize(rows, 0.0);
+        let kern = vqmc_tensor::simd::kernels();
+        let kern32 = vqmc_tensor::simd::kernels_f32();
+        if self.m32.as_ref().map(|m| m.version()) != Some(wf.params_version()) {
+            self.m32 = Some(MadeF32::for_sampling(wf));
+        }
+        let depth = wf.depth();
+        let hidden = wf.hidden_sizes();
+        let h1 = hidden[0];
+        let mut doff = [0usize; vqmc_nn::MAX_LAYERS];
+        let mut total = 0usize;
+        for l in 1..depth {
+            doff[l] = total;
+            total += hidden[l] * rows;
+        }
+        let MadeBatchSampler {
+            z1t32,
+            zdeep32,
+            prev_mask32,
+            bits_t,
+            cols_scratch32,
+            dlog,
+            ls_buf,
+            u_buf,
+            log_prob,
+            logits,
+            probs,
+            rngs,
+            m32,
+            ..
+        } = self;
+        let m32 = m32.as_ref().expect("f32 weights cached above");
+        bits_t.resize(n * rows, 0);
+        bits_t.truncate(n * rows);
+        let units = rows.div_ceil(PAR_ROW_UNIT);
+        let parts = if rows >= PAR_ROWS_MIN {
+            par::active_threads().min(units.max(1))
+        } else {
+            1
+        };
+        let stripe = |w: usize| {
+            let u = par::stripe(units, parts, w);
+            (
+                (u.start * PAR_ROW_UNIT).min(rows),
+                (u.end * PAR_ROW_UNIT).min(rows),
+            )
+        };
+        z1t32.clear();
+        z1t32.reserve(h1 * rows);
+        for w in 0..parts {
+            let (start, end) = stripe(w);
+            for &bj in m32.b1() {
+                z1t32.extend(std::iter::repeat_n(bj, end - start));
+            }
+        }
+        zdeep32.resize(total, 0.0);
+        prev_mask32.clear();
+        prev_mask32.resize(rows, 0.0);
+        cols_scratch32.resize(10 * rows, 0.0);
+        dlog.resize(rows, 0.0);
+        const LS_CHUNK: usize = 512;
+        ls_buf.clear();
+        ls_buf.resize(LS_CHUNK.min(n.max(1)) * rows, 0.0);
+        u_buf.clear();
+        u_buf.resize(rows, 0.0);
+        for i in 0..n {
+            let mut s = 0;
+            for (q, &count) in counts.iter().enumerate() {
+                let rng: &mut StdRng = match external.as_deref_mut() {
+                    Some(r) => r,
+                    None => &mut rngs[q],
+                };
+                for _ in 0..count {
+                    u_buf[s] = rng.gen::<f64>();
+                    s += 1;
+                }
+            }
+            let c = i % LS_CHUNK;
+            let pz = par::SendPtr(z1t32.as_mut_ptr());
+            let pzd = par::SendPtr(zdeep32.as_mut_ptr());
+            let pscratch = par::SendPtr(cols_scratch32.as_mut_ptr());
+            let pdlog = par::SendPtr(dlog.as_mut_ptr());
+            let plogits = par::SendPtr(logits.as_mut_ptr());
+            let pprobs = par::SendPtr(probs.as_mut_ptr());
+            let pmask = par::SendPtr(prev_mask32.as_mut_ptr());
+            let pbits = par::SendPtr(bits_t[i * rows..(i + 1) * rows].as_mut_ptr());
+            let psigned = par::SendPtr(ls_buf[c * rows..(c + 1) * rows].as_mut_ptr());
+            let u_ref: &[f64] = u_buf;
+            let w_prev = if i > 0 { Some(m32.w1t_row(i - 1)) } else { None };
+            par::run(parts, &|w| {
+                let (start, end) = stripe(w);
+                if start >= end {
+                    return;
+                }
+                let bw = end - start;
+                // SAFETY: same disjoint-stripe argument as the f64
+                // deep path; the f32 scratch is 10 elements per row and
+                // `dlog` one per row.
+                unsafe {
+                    use std::slice::from_raw_parts_mut;
+                    let scratch = from_raw_parts_mut(pscratch.get().add(10 * start), 10 * bw);
+                    let dlog_s = from_raw_parts_mut(pdlog.get().add(start), bw);
+                    let logits_s = from_raw_parts_mut(plogits.get().add(start), bw);
+                    let probs_s = from_raw_parts_mut(pprobs.get().add(start), bw);
+                    let mask_s = from_raw_parts_mut(pmask.get().add(start), bw);
+                    let bits_s = from_raw_parts_mut(pbits.get().add(start), bw);
+                    let signed_s = from_raw_parts_mut(psigned.get().add(start), bw);
+                    let z1s = from_raw_parts_mut(pz.get().add(h1 * start), h1 * bw);
+                    // The f32 kernel accumulates each unit's value in
+                    // f64 (`dlog`); the panel stores the narrowed f32.
+                    for k in 0..hidden[1] {
+                        let out_row = from_raw_parts_mut(
+                            pzd.get().add(doff[1] + hidden[1] * start + k * bw),
+                            bw,
+                        );
+                        let wp = if k == 0 { w_prev } else { None };
+                        (kern32.sample_step_cols)(
+                            z1s,
+                            bw,
+                            wp,
+                            &*mask_s,
+                            m32.layer_w_row(1, k),
+                            m32.layer_b(1)[k] as f64,
+                            scratch,
+                            dlog_s,
+                        );
+                        for (dst, &v) in out_row.iter_mut().zip(&*dlog_s) {
+                            *dst = v as f32;
+                        }
+                    }
+                    for l in 2..depth {
+                        let src = from_raw_parts_mut(
+                            pzd.get().add(doff[l - 1] + hidden[l - 1] * start),
+                            hidden[l - 1] * bw,
+                        );
+                        for k in 0..hidden[l] {
+                            let out_row = from_raw_parts_mut(
+                                pzd.get().add(doff[l] + hidden[l] * start + k * bw),
+                                bw,
+                            );
+                            (kern32.sample_step_cols)(
+                                src,
+                                bw,
+                                None,
+                                &*mask_s,
+                                m32.layer_w_row(l, k),
+                                m32.layer_b(l)[k] as f64,
+                                scratch,
+                                dlog_s,
+                            );
+                            for (dst, &v) in out_row.iter_mut().zip(&*dlog_s) {
+                                *dst = v as f32;
+                            }
+                        }
+                    }
+                    let src = from_raw_parts_mut(
+                        pzd.get().add(doff[depth - 1] + hidden[depth - 1] * start),
+                        hidden[depth - 1] * bw,
+                    );
+                    (kern32.sample_step_cols)(
+                        src,
+                        bw,
+                        None,
+                        &*mask_s,
+                        m32.layer_w_row(depth, i),
+                        m32.b2()[i] as f64,
+                        scratch,
+                        logits_s,
+                    );
+                    probs_s.copy_from_slice(logits_s);
+                    (kern.sigmoid_slice)(probs_s);
+                    for s in 0..bw {
+                        let u = u_ref[start + s];
+                        let p = probs_s[s];
+                        debug_assert!((0.0..=1.0).contains(&p), "conditional out of range");
+                        let bit = (u < p) as u8;
+                        bits_s[s] = bit;
+                        mask_s[s] = bit as f32;
+                        signed_s[s] = if bit == 1 { logits_s[s] } else { -logits_s[s] };
+                    }
+                }
+            });
+            if c + 1 == LS_CHUNK || i + 1 == n {
+                let filled = (c + 1) * rows;
+                ops::log_sigmoid_slice(&mut ls_buf[..filled]);
+                for chunk in ls_buf[..filled].chunks_exact(rows) {
+                    for (lp, &v) in log_prob.iter_mut().zip(chunk) {
+                        *lp += v;
+                    }
+                }
+            }
+        }
+        const TILE: usize = 64;
+        let pout = par::SendPtr(out_batch.as_bytes_mut().as_mut_ptr());
+        let bits_ref: &[u8] = bits_t;
+        par::run(parts, &|w| {
+            let (start, end) = stripe(w);
+            let mut i0 = 0;
+            while i0 < n {
+                let iend = (i0 + TILE).min(n);
+                for s in start..end {
+                    // SAFETY: rows [start, end) belong to this worker
+                    // alone.
+                    let row =
+                        unsafe { std::slice::from_raw_parts_mut(pout.get().add(s * n), n) };
+                    for i in i0..iend {
+                        row[i] = bits_ref[i * rows + s];
+                    }
+                }
+                i0 = iend;
+            }
+        });
+        out_log_psi.resize(rows);
+        for (o, &lp) in out_log_psi.iter_mut().zip(log_prob.iter()) {
             *o = 0.5 * lp;
         }
     }
@@ -1191,6 +1707,166 @@ mod tests {
         assert_eq!(via_wrapper.batch.as_bytes(), batch.as_bytes());
         for s in 0..20 {
             assert_eq!(via_wrapper.log_psi[s].to_bits(), log_psi[s].to_bits());
+        }
+    }
+
+    /// Deep stacks: the incremental panel pipeline draws the same
+    /// configurations as the naive full-recompute AUTO sampler and its
+    /// `logψ` agrees within the incremental-vs-naive contract (same
+    /// arithmetic, different accumulation order) — at depths 2 and 3,
+    /// across batch sizes that land on either side of the striping
+    /// minimum.
+    #[test]
+    fn deep_stream_matches_naive_auto_sampler() {
+        for hidden in [vec![11usize, 6], vec![9, 7, 5]] {
+            for seed in 0..4u64 {
+                let wf = Made::with_hidden(7, &hidden, 100 + seed);
+                for count in [3usize, 16, 40] {
+                    let naive = crate::AutoSampler::new().sample(
+                        &wf,
+                        count,
+                        &mut StdRng::seed_from_u64(seed),
+                    );
+                    let mut b = SpinBatch::default();
+                    let mut lp = Vector::default();
+                    MadeBatchSampler::new().sample_stream(
+                        &wf,
+                        count,
+                        &mut StdRng::seed_from_u64(seed),
+                        &mut b,
+                        &mut lp,
+                    );
+                    assert_eq!(
+                        naive.batch.as_bytes(),
+                        b.as_bytes(),
+                        "depth {} seed {seed} count {count}: batches differ",
+                        hidden.len()
+                    );
+                    for s in 0..count {
+                        assert!(
+                            (naive.log_psi[s] - lp[s]).abs() < 1e-10,
+                            "depth {} seed {seed} count {count} row {s}: logψ differs",
+                            hidden.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deep stacks keep the coalesced≡solo invariant in both
+    /// precisions: every request's rows in a combined pass are
+    /// bit-identical to a solo stream with that request's seed.
+    #[test]
+    fn deep_coalesced_rows_match_solo_streams() {
+        let wf = Made::with_hidden(8, &[12, 7], 19);
+        let reqs = [
+            SampleRequest { count: 3, seed: 5 },
+            SampleRequest { count: 13, seed: 9 },
+            SampleRequest { count: 6, seed: 31 },
+        ];
+        for precision in [Precision::F64, Precision::F32] {
+            let mut bs = BatchSampler::new();
+            bs.set_precision(precision);
+            let mut batch = SpinBatch::default();
+            let mut lp = Vector::default();
+            bs.sample_requests(&wf, &reqs, &mut batch, &mut lp);
+            assert_eq!(batch.batch_size(), 22);
+            let mut offset = 0;
+            for req in &reqs {
+                let mut sampler = MadeBatchSampler::new();
+                sampler.set_precision(precision);
+                let mut sb = SpinBatch::default();
+                let mut slp = Vector::default();
+                sampler.sample_stream(
+                    &wf,
+                    req.count,
+                    &mut StdRng::seed_from_u64(req.seed),
+                    &mut sb,
+                    &mut slp,
+                );
+                for s in 0..req.count {
+                    assert_eq!(
+                        batch.sample(offset + s),
+                        sb.sample(s),
+                        "{precision:?} seed {}",
+                        req.seed
+                    );
+                    assert_eq!(
+                        lp[offset + s].to_bits(),
+                        slp[s].to_bits(),
+                        "{precision:?} seed {}",
+                        req.seed
+                    );
+                }
+                offset += req.count;
+            }
+        }
+    }
+
+    /// The f32 deep arm is deterministic, well-formed, and tracks the
+    /// f64 deep arm's `logψ` within the documented serving bound.
+    #[test]
+    fn deep_f32_stream_tracks_f64_within_bound() {
+        let n = 10;
+        let wf = Made::with_hidden(n, &[16, 9], 7);
+        let draw = |precision: Precision| {
+            let mut sampler = MadeBatchSampler::new();
+            sampler.set_precision(precision);
+            let mut b = SpinBatch::default();
+            let mut lp = Vector::default();
+            sampler.sample_stream(&wf, 24, &mut StdRng::seed_from_u64(3), &mut b, &mut lp);
+            (b, lp)
+        };
+        let (b32a, lp32a) = draw(Precision::F32);
+        let (b32b, lp32b) = draw(Precision::F32);
+        assert_eq!(b32a.as_bytes(), b32b.as_bytes());
+        for s in 0..24 {
+            assert_eq!(lp32a[s].to_bits(), lp32b[s].to_bits());
+            assert!(lp32a[s] < 0.0, "logψ of a normalised π must be negative");
+        }
+        // Same drawn bits imply logψ within the f32 drift bound.
+        let (b64, lp64) = draw(Precision::F64);
+        if b64.as_bytes() == b32a.as_bytes() {
+            for s in 0..24 {
+                assert!(
+                    (lp64[s] - lp32a[s]).abs() <= 1e-5 * n as f64,
+                    "row {s}: f32 logψ drifted {} vs {}",
+                    lp32a[s],
+                    lp64[s]
+                );
+            }
+        }
+    }
+
+    /// A warm deep sampler tracks parameter updates (the cached `W₁ᵀ`
+    /// and f32 weight copies invalidate on `params_version`).
+    #[test]
+    fn deep_warm_sampler_survives_parameter_updates() {
+        let mut wf = Made::with_hidden(6, &[9, 5], 3);
+        let mut warm = MadeBatchSampler::new();
+        for round in 0..3u64 {
+            let mut wb = SpinBatch::default();
+            let mut wlp = Vector::default();
+            warm.sample_stream(&wf, 12, &mut StdRng::seed_from_u64(round), &mut wb, &mut wlp);
+            let mut fresh_b = SpinBatch::default();
+            let mut fresh_lp = Vector::default();
+            MadeBatchSampler::new().sample_stream(
+                &wf,
+                12,
+                &mut StdRng::seed_from_u64(round),
+                &mut fresh_b,
+                &mut fresh_lp,
+            );
+            assert_eq!(wb.as_bytes(), fresh_b.as_bytes(), "round {round}");
+            for s in 0..12 {
+                assert_eq!(wlp[s].to_bits(), fresh_lp[s].to_bits(), "round {round}");
+            }
+            let mut p = wf.params();
+            for v in p.iter_mut() {
+                *v += 0.01;
+            }
+            wf.set_params(&p);
         }
     }
 }

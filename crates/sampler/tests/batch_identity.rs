@@ -196,6 +196,82 @@ proptest! {
             }
         }
     }
+    /// Deep MADE stacks (depth 2): every request's rows in a coalesced
+    /// pass match a solo `sample_stream` with that request's seed, bit
+    /// for bit — the deep panel pipeline preserves the invariant the
+    /// serving layer depends on.
+    #[test]
+    fn deep_made_coalesced_requests_match_solo_streams(
+        n in 3usize..12,
+        h1 in 3usize..14,
+        h2 in 2usize..10,
+        model_seed in 0u64..500,
+        nreq in 2usize..5,
+        seed0 in 0u64..10_000,
+    ) {
+        let wf = Made::with_hidden(n, &[h1, h2], model_seed);
+        let reqs = request_list(nreq, seed0);
+
+        let mut bs = BatchSampler::new();
+        let mut batch = SpinBatch::default();
+        let mut log_psi = Vector::default();
+        bs.sample_requests(&wf, &reqs, &mut batch, &mut log_psi);
+
+        let mut offset = 0;
+        for req in &reqs {
+            let mut solo_b = SpinBatch::default();
+            let mut solo_lp = Vector::default();
+            MadeBatchSampler::new().sample_stream(
+                &wf,
+                req.count,
+                &mut StdRng::seed_from_u64(req.seed),
+                &mut solo_b,
+                &mut solo_lp,
+            );
+            for s in 0..req.count {
+                prop_assert_eq!(batch.sample(offset + s), solo_b.sample(s));
+                prop_assert_eq!(log_psi[offset + s].to_bits(), solo_lp[s].to_bits());
+            }
+            offset += req.count;
+        }
+    }
+
+    /// Deep MADE stacks: configurations and `logψ` are bit-identical
+    /// at every thread count, like the depth-1 cols path.
+    #[test]
+    fn deep_made_sampling_bit_identical_across_thread_counts(
+        n in 3usize..12,
+        h1 in 3usize..14,
+        h2 in 2usize..10,
+        model_seed in 0u64..500,
+        count in 16usize..120,
+        seed in 0u64..10_000,
+    ) {
+        let wf = Made::with_hidden(n, &[h1, h2], model_seed);
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut sampler = MadeBatchSampler::new();
+                let mut b = SpinBatch::default();
+                let mut lp = Vector::default();
+                sampler.sample_stream(
+                    &wf,
+                    count,
+                    &mut StdRng::seed_from_u64(seed),
+                    &mut b,
+                    &mut lp,
+                );
+                (b, lp)
+            })
+        };
+        let seq = run(1);
+        for threads in [2usize, 4, 8] {
+            let par_out = run(threads);
+            prop_assert_eq!(par_out.0.as_bytes(), seq.0.as_bytes(), "bits at {} threads", threads);
+            for s in 0..count {
+                prop_assert_eq!(par_out.1[s].to_bits(), seq.1[s].to_bits());
+            }
+        }
+    }
 }
 
 /// The acceptance training shape (rows = 16384): one deterministic pass

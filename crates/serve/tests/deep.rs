@@ -1,0 +1,243 @@
+//! End-to-end tests of serving **deep** MADE stacks over real
+//! localhost TCP: coalesced replies bit-identical to solo ones for
+//! Sample / LogPsi / LocalEnergy in both precisions, hot-reload from a
+//! depth-1 to a depth-2 checkpoint under sustained load, and a corrupt
+//! checkpoint answered with an error frame while the connection (and
+//! the served model) stay intact.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use vqmc_nn::checkpoint::{AnyModel, Checkpoint};
+use vqmc_nn::Made;
+use vqmc_serve::{BatcherConfig, Client, ErrorCode, ServeConfig, Server};
+use vqmc_tensor::{Precision, SpinBatch};
+
+const N: usize = 10;
+
+fn start_deep_server(hidden: &[usize], model_seed: u64) -> Server {
+    let model = AnyModel::Made(Made::with_hidden(N, hidden, model_seed));
+    let ham: Arc<dyn vqmc_hamiltonian::SparseRowHamiltonian> =
+        Arc::new(vqmc_hamiltonian::TransverseFieldIsing::random(N, 2021));
+    Server::start(
+        model,
+        Some(ham),
+        ServeConfig {
+            // A long fill window guarantees concurrent requests land in
+            // one coalesced worker batch.
+            batcher: BatcherConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(50),
+                queue_cap: 1024,
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// A unique temp path that is removed when dropped.
+struct TempCkpt(PathBuf);
+
+impl TempCkpt {
+    fn new(name: &str) -> Self {
+        TempCkpt(std::env::temp_dir().join(format!(
+            "vqmc-serve-deep-{}-{}.ckpt",
+            name,
+            std::process::id()
+        )))
+    }
+    fn path(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for TempCkpt {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Depth-2 model behind the wire: K concurrent seeded requests (forced
+/// into one coalesced batch) must produce byte-identical replies to the
+/// same K requests issued sequentially — for Sample, LogPsi and
+/// LocalEnergy, in f64 and in tagged f32.
+#[test]
+fn deep_coalesced_replies_bit_identical_to_solo() {
+    let server = start_deep_server(&[14, 7], 5);
+    let addr = server.local_addr();
+
+    let k = 5;
+    let precisions = [None, Some(Precision::F32)];
+    for precision in precisions {
+        // Sequential reference: one connection, one request at a time.
+        let mut reference = Vec::new();
+        {
+            let mut client = Client::connect(addr).unwrap();
+            for r in 0..k {
+                let sample = client
+                    .sample_with(3 + r as u32, Some(100 + r as u64), precision)
+                    .unwrap();
+                let batch = SpinBatch::from_fn(4, N, |s, i| ((s + i + r) % 2) as u8);
+                let lp = client.log_psi_with(&batch, precision).unwrap();
+                let le = client.local_energy_with(&batch, precision).unwrap();
+                reference.push((sample, lp, le));
+            }
+        }
+
+        let barrier = Arc::new(Barrier::new(k));
+        let handles: Vec<_> = (0..k)
+            .map(|r| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    barrier.wait();
+                    let sample = client
+                        .sample_with(3 + r as u32, Some(100 + r as u64), precision)
+                        .unwrap();
+                    let batch = SpinBatch::from_fn(4, N, |s, i| ((s + i + r) % 2) as u8);
+                    let lp = client.log_psi_with(&batch, precision).unwrap();
+                    let le = client.local_energy_with(&batch, precision).unwrap();
+                    (r, sample, lp, le)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (r, sample, lp, le) = handle.join().unwrap();
+            let (ref_sample, ref_lp, ref_le) = &reference[r];
+            assert_eq!(
+                sample.0.as_bytes(),
+                ref_sample.0.as_bytes(),
+                "req {r} ({precision:?}): sampled configurations differ"
+            );
+            for s in 0..sample.1.len() {
+                assert_eq!(
+                    sample.1[s].to_bits(),
+                    ref_sample.1[s].to_bits(),
+                    "req {r} ({precision:?}): sample logψ differs at {s}"
+                );
+            }
+            for s in 0..lp.len() {
+                assert_eq!(
+                    lp[s].to_bits(),
+                    ref_lp[s].to_bits(),
+                    "req {r} ({precision:?}): logψ differs at {s}"
+                );
+                assert_eq!(
+                    le[s].to_bits(),
+                    ref_le[s].to_bits(),
+                    "req {r} ({precision:?}): local energy differs at {s}"
+                );
+            }
+        }
+    }
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    server.join();
+}
+
+/// `Reload` swaps a depth-1 server onto a depth-2 checkpoint (same
+/// kind, same spin count, deeper stack) while traffic flows: zero
+/// errors, every reply matches exactly one of the two models, and the
+/// post-swap logψ is the depth-2 model's.
+#[test]
+fn reload_swaps_depth1_to_depth2_under_load() {
+    let ckpt = TempCkpt::new("depth2");
+    let deep = Made::with_hidden(N, &[14, 7], 99);
+    deep.save(ckpt.path()).unwrap();
+
+    let server = start_deep_server(&[12], 5);
+    let addr = server.local_addr();
+    let batch = SpinBatch::from_fn(4, N, |s, i| ((s + i) % 2) as u8);
+
+    let mut client = Client::connect(addr).unwrap();
+    let before = client.log_psi(&batch).unwrap();
+
+    // Sustained background load across the swap.
+    let stop = Arc::new(AtomicBool::new(false));
+    let loaders: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let batch = batch.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut replies = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    replies.push(client.log_psi(&batch).expect("no errors during reload"));
+                    client.sample(2, Some(7)).expect("no errors during reload");
+                }
+                replies
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(30));
+    client
+        .reload(ckpt.path())
+        .expect("depth-2 reload must succeed");
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+
+    let after = client.log_psi(&batch).unwrap();
+    assert_ne!(
+        before.0, after.0,
+        "the depth-2 checkpoint must be distinguishable from the depth-1 model"
+    );
+    // The swapped-in weights are exactly the deep model's.
+    let direct = vqmc_nn::WaveFunction::log_psi(&deep, &batch);
+    for s in 0..batch.batch_size() {
+        assert_eq!(after[s].to_bits(), direct[s].to_bits(), "row {s}");
+    }
+
+    for handle in loaders {
+        let replies = handle.join().unwrap();
+        assert!(!replies.is_empty(), "loader made progress");
+        for v in replies {
+            assert!(
+                v.0 == before.0 || v.0 == after.0,
+                "reply matches neither old nor new model: {:?}",
+                v.0
+            );
+        }
+    }
+
+    assert_eq!(client.stats().unwrap().reloads, 1);
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// A corrupt (truncated) checkpoint handed to `Reload` must come back
+/// as a structured error frame — the connection stays usable and the
+/// served weights are untouched.
+#[test]
+fn corrupt_checkpoint_reload_answers_error_frame_connection_intact() {
+    let good = TempCkpt::new("good");
+    let bad = TempCkpt::new("corrupt");
+    Made::with_hidden(N, &[14, 7], 3).save(good.path()).unwrap();
+    // Truncate mid-parameters: the header parses, the body cannot.
+    let bytes = std::fs::read(good.path()).unwrap();
+    let mut f = std::fs::File::create(bad.path()).unwrap();
+    f.write_all(&bytes[..bytes.len() / 2]).unwrap();
+    drop(f);
+
+    let server = start_deep_server(&[12], 5);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let batch = SpinBatch::from_fn(4, N, |s, i| ((s * 3 + i) % 2) as u8);
+    let before = client.log_psi(&batch).unwrap();
+
+    let err = client.reload(bad.path()).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::BadRequest), "{err}");
+
+    // Same connection, same weights, still serving.
+    let after = client.log_psi(&batch).unwrap();
+    for s in 0..batch.batch_size() {
+        assert_eq!(before[s].to_bits(), after[s].to_bits(), "row {s}");
+    }
+    assert_eq!(client.stats().unwrap().reloads, 0);
+
+    client.shutdown().unwrap();
+    server.join();
+}

@@ -23,7 +23,9 @@ COMMANDS:
              --sampler auto|mcmc|gibbs (default: auto for made/nade, mcmc for rbm)
              --optimizer adam|sgd|sr   (default adam)
              --iters <N>               (default 300)
-             --hidden <N>              hidden width (default: size heuristic)
+             --hidden <N[,N...]>       hidden widths, comma-separated for a
+                                       deep stack, e.g. 256,128 (default:
+                                       size heuristic; made only for >1)
              --batch <N>               (default 512)
              --seed <N>                (default 0)
              --instance-seed <N>       (default 2021)
@@ -96,6 +98,42 @@ fn get_u64(flags: &Flags, key: &str, default: u64) -> Result<u64, String> {
         Some(v) => v
             .parse()
             .map_err(|_| format!("--{key} wants an integer, got {v:?}")),
+    }
+}
+
+/// `--hidden 256,128` → `Some(vec![256, 128])`; absent → `None` (size
+/// heuristic).  Every width must be a positive integer.
+fn get_hidden_list(flags: &Flags) -> Result<Option<Vec<usize>>, String> {
+    match flags.get("hidden") {
+        None => Ok(None),
+        Some(v) => {
+            let widths: Result<Vec<usize>, _> =
+                v.split(',').map(|t| t.trim().parse::<usize>()).collect();
+            let widths = widths.map_err(|_| {
+                format!("--hidden wants a comma-separated list of integers, got {v:?}")
+            })?;
+            if widths.is_empty() || widths.contains(&0) {
+                return Err(format!("--hidden widths must be positive, got {v:?}"));
+            }
+            Ok(Some(widths))
+        }
+    }
+}
+
+/// Single-hidden-layer models accept exactly one `--hidden` width.
+fn single_hidden(
+    hidden: &Option<Vec<usize>>,
+    model: &str,
+    fallback: usize,
+) -> Result<usize, String> {
+    match hidden {
+        None => Ok(fallback),
+        Some(ws) if ws.len() == 1 => Ok(ws[0]),
+        Some(ws) => Err(format!(
+            "--model {model} supports one hidden layer, got {} widths \
+             (deep stacks are made-only)",
+            ws.len()
+        )),
     }
 }
 
@@ -222,10 +260,7 @@ pub fn train(flags: &Flags) -> Result<(), String> {
     let config = trainer_config(flags)?;
     let model = get(flags, "model", "made");
     let model_seed = get_u64(flags, "seed", 0)?.wrapping_add(1);
-    let hidden = match flags.get("hidden") {
-        Some(_) => Some(get_usize(flags, "hidden", 0)?),
-        None => None,
-    };
+    let hidden = get_hidden_list(flags)?;
     let default_sampler = if model == "rbm" { "mcmc" } else { "auto" };
     let sampler_name = get(flags, "sampler", default_sampler);
     println!(
@@ -248,7 +283,8 @@ pub fn train(flags: &Flags) -> Result<(), String> {
     let (final_energy, save): (f64, SaveFn) =
         match (model, sampler_name) {
             ("made", "auto") => {
-                let wf = init_model(flags, n, || Made::new(n, hidden.unwrap_or_else(|| made_hidden_size(n)), model_seed))?;
+                let hs = hidden.clone().unwrap_or_else(|| vec![made_hidden_size(n)]);
+                let wf = init_model(flags, n, || Made::with_hidden(n, &hs, model_seed))?;
                 let mut t = Trainer::new(wf, IncrementalAutoSampler::new(), config);
                 let trace = t.run(h);
                 report_trace(&trace);
@@ -261,7 +297,8 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 )
             }
             ("made", "mcmc") => {
-                let wf = init_model(flags, n, || Made::new(n, hidden.unwrap_or_else(|| made_hidden_size(n)), model_seed))?;
+                let hs = hidden.clone().unwrap_or_else(|| vec![made_hidden_size(n)]);
+                let wf = init_model(flags, n, || Made::with_hidden(n, &hs, model_seed))?;
                 let mut t = Trainer::new(wf, McmcSampler::default(), config);
                 let trace = t.run(h);
                 report_trace(&trace);
@@ -274,7 +311,8 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 )
             }
             ("nade", "auto") => {
-                let wf = init_model(flags, n, || Nade::new(n, hidden.unwrap_or_else(|| made_hidden_size(n)), model_seed))?;
+                let h1 = single_hidden(&hidden, "nade", made_hidden_size(n))?;
+                let wf = init_model(flags, n, || Nade::new(n, h1, model_seed))?;
                 let mut t = Trainer::new(wf, NadeNativeSampler::new(), config);
                 let trace = t.run(h);
                 report_trace(&trace);
@@ -287,7 +325,8 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 )
             }
             ("rbm", "mcmc") => {
-                let wf = init_model(flags, n, || Rbm::new(n, hidden.unwrap_or_else(|| rbm_hidden_size(n)), model_seed))?;
+                let h1 = single_hidden(&hidden, "rbm", rbm_hidden_size(n))?;
+                let wf = init_model(flags, n, || Rbm::new(n, h1, model_seed))?;
                 let mut t = Trainer::new(wf, RbmFastMcmc(McmcSampler::default()), config);
                 let trace = t.run(h);
                 report_trace(&trace);
@@ -300,7 +339,8 @@ pub fn train(flags: &Flags) -> Result<(), String> {
                 )
             }
             ("rbm", "gibbs") => {
-                let wf = init_model(flags, n, || Rbm::new(n, hidden.unwrap_or_else(|| rbm_hidden_size(n)), model_seed))?;
+                let h1 = single_hidden(&hidden, "rbm", rbm_hidden_size(n))?;
+                let wf = init_model(flags, n, || Rbm::new(n, h1, model_seed))?;
                 let mut t = Trainer::new(wf, GibbsSampler::default(), config);
                 let trace = t.run(h);
                 report_trace(&trace);
@@ -396,10 +436,8 @@ fn train_worker(flags: &Flags) -> Result<(), String> {
     let h = problem.hamiltonian();
     let config = trainer_config(flags)?;
     let model_seed = get_u64(flags, "seed", 0)?.wrapping_add(1);
-    let hidden = match flags.get("hidden") {
-        Some(_) => get_usize(flags, "hidden", 0)?,
-        None => made_hidden_size(n),
-    };
+    let hidden =
+        get_hidden_list(flags)?.unwrap_or_else(|| vec![made_hidden_size(n)]);
     let save_precision = match flags.get("save-precision") {
         None => vqmc::tensor::Precision::F64,
         Some(s) => vqmc::tensor::Precision::parse(s)
@@ -408,7 +446,7 @@ fn train_worker(flags: &Flags) -> Result<(), String> {
     // Quiet warm-start (every rank loads the identical file; only rank 0
     // narrates).
     let wf = match flags.get("load-model") {
-        None => Made::new(n, hidden, model_seed),
+        None => Made::with_hidden(n, &hidden, model_seed),
         Some(path) => {
             let m = Made::load(path).map_err(|e| format!("--load-model {path}: {e}"))?;
             if m.num_spins() != n {
